@@ -1,0 +1,116 @@
+//! Wire messages shared by the baseline protocols.
+
+use xft_core::types::{Batch, Request, SeqNum};
+use xft_crypto::Digest;
+use xft_simnet::SimMessage;
+
+/// Messages exchanged by the baseline protocols (the concrete meaning of `Order`,
+/// `Agree` and `Ack` depends on the protocol: ACCEPT/ACCEPTED for Paxos, PRE-PREPARE /
+/// PREPARE for PBFT, ORDER-REQ for Zyzzyva, PROPOSAL/ACK/COMMIT for Zab).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineMsg {
+    /// Client → leader: replicate a request.
+    Request {
+        /// The request.
+        request: Request,
+    },
+    /// Leader → cohort: ordering message carrying the batch.
+    Order {
+        /// Sequence number assigned by the leader.
+        sn: SeqNum,
+        /// The ordered batch.
+        batch: Batch,
+    },
+    /// Cohort → leader (leader-centric patterns): acknowledgement.
+    Ack {
+        /// Acknowledged sequence number.
+        sn: SeqNum,
+        /// Digest of the acknowledged batch.
+        digest: Digest,
+        /// Acknowledging replica.
+        replica: usize,
+    },
+    /// Cohort → cohort (all-to-all pattern): agreement message.
+    Agree {
+        /// Sequence number being agreed on.
+        sn: SeqNum,
+        /// Digest of the batch.
+        digest: Digest,
+        /// Agreeing replica.
+        replica: usize,
+    },
+    /// Leader → cohort (Zab): commit notification.
+    CommitNotify {
+        /// Committed sequence number.
+        sn: SeqNum,
+    },
+    /// Replica → client: reply.
+    Reply {
+        /// Sequence number the request committed at.
+        sn: SeqNum,
+        /// Client timestamp echoed back.
+        timestamp: u64,
+        /// Digest of the application reply.
+        reply_digest: Digest,
+        /// Replying replica.
+        replica: usize,
+        /// Full payload (leader / executing replica only).
+        payload_len: usize,
+    },
+}
+
+impl SimMessage for BaselineMsg {
+    fn size_bytes(&self) -> usize {
+        const HDR: usize = 32;
+        HDR + match self {
+            BaselineMsg::Request { request } => request.wire_size() + 32,
+            BaselineMsg::Order { batch, .. } => batch.wire_size() + 48,
+            BaselineMsg::Ack { .. } | BaselineMsg::Agree { .. } => 80,
+            BaselineMsg::CommitNotify { .. } => 40,
+            BaselineMsg::Reply { payload_len, .. } => 72 + payload_len,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            BaselineMsg::Request { .. } => "REQUEST",
+            BaselineMsg::Order { .. } => "ORDER",
+            BaselineMsg::Ack { .. } => "ACK",
+            BaselineMsg::Agree { .. } => "AGREE",
+            BaselineMsg::CommitNotify { .. } => "COMMIT-NOTIFY",
+            BaselineMsg::Reply { .. } => "REPLY",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use xft_core::types::ClientId;
+
+    #[test]
+    fn sizes_scale_with_batch() {
+        let small = BaselineMsg::Order {
+            sn: SeqNum(1),
+            batch: Batch::single(Request::new(ClientId(0), 1, Bytes::from(vec![0; 100]))),
+        };
+        let big = BaselineMsg::Order {
+            sn: SeqNum(1),
+            batch: Batch::single(Request::new(ClientId(0), 1, Bytes::from(vec![0; 4096]))),
+        };
+        assert!(big.size_bytes() > small.size_bytes() + 3900);
+        assert_eq!(big.kind(), "ORDER");
+    }
+
+    #[test]
+    fn control_messages_are_small() {
+        let ack = BaselineMsg::Ack {
+            sn: SeqNum(1),
+            digest: Digest::ZERO,
+            replica: 2,
+        };
+        assert!(ack.size_bytes() < 200);
+        assert_eq!(ack.kind(), "ACK");
+    }
+}

@@ -1,0 +1,171 @@
+//! Protocol specifications for the baselines the paper compares XPaxos against
+//! (§5.1.2, Figure 6, and the native ZooKeeper/Zab series of Figure 10).
+//!
+//! Each baseline is described by a [`ProtocolSpec`]: how many replicas it needs for a
+//! fault threshold `t`, which replicas participate in the common case, what the
+//! agreement pattern among replicas looks like, and how many matching replies the
+//! client needs. A single generic engine (`replica`/`client`) executes any spec, which
+//! keeps the message counts, fan-outs and crypto costs — the quantities the evaluation
+//! actually measures — faithful to each protocol.
+
+/// The agreement pattern executed by the replicas after the leader orders a batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AgreementPattern {
+    /// Leader sends the batch to its common-case cohort; cohort members acknowledge to
+    /// the leader; the leader commits at a quorum of acknowledgements, executes and
+    /// replies (WAN-optimized Paxos, Figure 6c).
+    LeaderRoundTrip,
+    /// Like [`AgreementPattern::LeaderRoundTrip`], but the leader additionally
+    /// broadcasts a commit notification so followers also execute (Zab / primary-backup
+    /// atomic broadcast).
+    LeaderRoundTripWithCommit,
+    /// Leader pre-prepares to the cohort; cohort members broadcast an agreement message
+    /// to each other; every cohort member commits once it has a quorum, executes and
+    /// replies to the client (speculative PBFT over 2t + 1 replicas, Figure 6a).
+    AllToAll,
+    /// Cohort members speculatively execute as soon as they receive the leader's order
+    /// message and reply to the client directly (Zyzzyva, Figure 6b).
+    Speculative,
+}
+
+/// Identifies one of the baseline protocols.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BaselineProtocol {
+    /// WAN-optimized crash-tolerant Paxos (the paper's strongest CFT baseline).
+    PaxosWan,
+    /// Speculative PBFT variant with a 2-phase commit over 2t + 1 active replicas.
+    PbftSpeculative,
+    /// Zyzzyva: speculative BFT involving all 3t + 1 replicas in the common case.
+    Zyzzyva,
+    /// Zab-like primary-backup broadcast (native ZooKeeper replication).
+    Zab,
+}
+
+/// Static description of one baseline protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProtocolSpec {
+    /// Which protocol this is.
+    pub protocol: BaselineProtocol,
+    /// Human-readable name used in reports.
+    pub name: &'static str,
+    /// Total number of replicas for fault threshold `t`.
+    pub n: usize,
+    /// Number of replicas (including the leader) involved in the common case.
+    pub common_case_cohort: usize,
+    /// Number of matching acknowledgements the committer needs (for leader-centric
+    /// patterns this counts follower ACKs; for all-to-all it counts agreement messages
+    /// including the replica's own).
+    pub quorum: usize,
+    /// Number of matching replies the client needs to commit a request.
+    pub client_quorum: usize,
+    /// The agreement pattern.
+    pub pattern: AgreementPattern,
+    /// Whether replicas authenticate with digital signatures (`true`) or MACs (`false`).
+    pub uses_signatures: bool,
+}
+
+impl BaselineProtocol {
+    /// All baseline protocols, in the order the paper's figures list them.
+    pub const ALL: [BaselineProtocol; 4] = [
+        BaselineProtocol::PaxosWan,
+        BaselineProtocol::PbftSpeculative,
+        BaselineProtocol::Zyzzyva,
+        BaselineProtocol::Zab,
+    ];
+
+    /// Builds the spec of this protocol for fault threshold `t`.
+    pub fn spec(&self, t: usize) -> ProtocolSpec {
+        match self {
+            BaselineProtocol::PaxosWan => ProtocolSpec {
+                protocol: *self,
+                name: "Paxos",
+                n: 2 * t + 1,
+                common_case_cohort: t + 1,
+                quorum: t, // t follower ACKs + the leader itself = majority of 2t + 1
+                client_quorum: 1,
+                pattern: AgreementPattern::LeaderRoundTrip,
+                uses_signatures: false,
+            },
+            BaselineProtocol::PbftSpeculative => ProtocolSpec {
+                protocol: *self,
+                name: "PBFT",
+                n: 3 * t + 1,
+                common_case_cohort: 2 * t + 1,
+                quorum: 2 * t, // agreement messages from the other cohort members
+                client_quorum: t + 1,
+                pattern: AgreementPattern::AllToAll,
+                uses_signatures: false,
+            },
+            BaselineProtocol::Zyzzyva => ProtocolSpec {
+                protocol: *self,
+                name: "Zyzzyva",
+                n: 3 * t + 1,
+                common_case_cohort: 3 * t + 1,
+                quorum: 0, // speculative: no inter-replica agreement in the fast path
+                client_quorum: 3 * t + 1,
+                pattern: AgreementPattern::Speculative,
+                uses_signatures: false,
+            },
+            BaselineProtocol::Zab => ProtocolSpec {
+                protocol: *self,
+                name: "Zab",
+                n: 2 * t + 1,
+                common_case_cohort: 2 * t + 1,
+                quorum: t, // majority of follower ACKs
+                client_quorum: 1,
+                pattern: AgreementPattern::LeaderRoundTripWithCommit,
+                uses_signatures: false,
+            },
+        }
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        self.spec(1).name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_counts_match_the_paper() {
+        // Table 4 / §5.1.2: Paxos and Zab need 2t+1, PBFT and Zyzzyva need 3t+1.
+        for t in 1..=3 {
+            assert_eq!(BaselineProtocol::PaxosWan.spec(t).n, 2 * t + 1);
+            assert_eq!(BaselineProtocol::Zab.spec(t).n, 2 * t + 1);
+            assert_eq!(BaselineProtocol::PbftSpeculative.spec(t).n, 3 * t + 1);
+            assert_eq!(BaselineProtocol::Zyzzyva.spec(t).n, 3 * t + 1);
+        }
+    }
+
+    #[test]
+    fn common_case_cohorts_match_figure_6() {
+        let t = 1;
+        // Paxos involves t+1 replicas in the common case (like XPaxos).
+        assert_eq!(BaselineProtocol::PaxosWan.spec(t).common_case_cohort, 2);
+        // The speculative PBFT variant uses 2t+1 of the 3t+1 replicas.
+        assert_eq!(BaselineProtocol::PbftSpeculative.spec(t).common_case_cohort, 3);
+        // Zyzzyva uses all 3t+1 replicas.
+        assert_eq!(BaselineProtocol::Zyzzyva.spec(t).common_case_cohort, 4);
+        // Zab sends to all 2t followers.
+        assert_eq!(BaselineProtocol::Zab.spec(t).common_case_cohort, 3);
+    }
+
+    #[test]
+    fn client_quorums() {
+        let t = 1;
+        assert_eq!(BaselineProtocol::PaxosWan.spec(t).client_quorum, 1);
+        assert_eq!(BaselineProtocol::Zab.spec(t).client_quorum, 1);
+        assert_eq!(BaselineProtocol::PbftSpeculative.spec(t).client_quorum, 2);
+        assert_eq!(BaselineProtocol::Zyzzyva.spec(t).client_quorum, 4);
+    }
+
+    #[test]
+    fn all_lists_every_protocol_once() {
+        let names: std::collections::HashSet<_> =
+            BaselineProtocol::ALL.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), 4);
+    }
+}

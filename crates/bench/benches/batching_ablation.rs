@@ -1,0 +1,31 @@
+//! Criterion ablation of the batching optimization (§4.5): throughput of XPaxos with
+//! batch sizes 1, 5, 20 (the paper's setting) and 50 under a fixed client population.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xft_bench::runner::{run, ProtocolUnderTest, RunSpec};
+use xft_simnet::SimDuration;
+
+fn bench_batching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("xpaxos_batching");
+    group.sample_size(10);
+    for batch in [1usize, 5, 20, 50] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("batch_{batch}")),
+            &batch,
+            |b, batch| {
+                b.iter(|| {
+                    let mut spec = RunSpec::micro(ProtocolUnderTest::XPaxos, 1, 100, 1024);
+                    spec.batch_size = *batch;
+                    spec.duration = SimDuration::from_secs(3);
+                    spec.warmup = SimDuration::from_secs(1);
+                    black_box(run(&spec).throughput_kops)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batching);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion benchmark of the common-case commit path: simulated seconds of XPaxos and
+//! each baseline on the Table 4 placement, measuring wall-clock cost per simulated
+//! commit (the simulator's own efficiency) and acting as a regression guard on the
+//! protocol hot path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xft_baselines::BaselineProtocol;
+use xft_bench::runner::{run, ProtocolUnderTest, RunSpec};
+use xft_simnet::SimDuration;
+
+fn bench_common_case(c: &mut Criterion) {
+    let mut group = c.benchmark_group("common_case_commit");
+    group.sample_size(10);
+    for protocol in [
+        ProtocolUnderTest::XPaxos,
+        ProtocolUnderTest::Baseline(BaselineProtocol::PaxosWan),
+        ProtocolUnderTest::Baseline(BaselineProtocol::PbftSpeculative),
+        ProtocolUnderTest::Baseline(BaselineProtocol::Zyzzyva),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(protocol.name()),
+            &protocol,
+            |b, protocol| {
+                b.iter(|| {
+                    let mut spec = RunSpec::micro(*protocol, 1, 10, 1024);
+                    spec.duration = SimDuration::from_secs(2);
+                    spec.warmup = SimDuration::from_secs(1);
+                    black_box(run(&spec))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_common_case);
+criterion_main!(benches);

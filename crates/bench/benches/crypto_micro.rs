@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks of the cryptographic substrate: the per-operation costs
+//! that the simulator's cost model abstracts (hashing, MACs, simulated signatures).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use xft_crypto::{hmac_sha256, sha256, Digest, KeyId, KeyRegistry, Signer, Verifier};
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for size in [64usize, 1024, 4096] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{size}B"), |b| {
+            b.iter(|| sha256(black_box(&data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_hmac(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hmac_sha256");
+    let key = b"benchmark-key";
+    for size in [64usize, 1024, 4096] {
+        let data = vec![0xcdu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{size}B"), |b| {
+            b.iter(|| hmac_sha256(black_box(key), black_box(&data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_signatures(c: &mut Criterion) {
+    let registry = KeyRegistry::new(1);
+    let signer = Signer::new(&registry, KeyId(1));
+    let verifier = Verifier::new(registry);
+    let digest = Digest::of(b"a batch of requests");
+    let sig = signer.sign_digest(&digest);
+
+    c.bench_function("sign_digest", |b| {
+        b.iter(|| signer.sign_digest(black_box(&digest)))
+    });
+    c.bench_function("verify_digest", |b| {
+        b.iter(|| verifier.verify_digest(black_box(&digest), black_box(&sig)))
+    });
+}
+
+criterion_group!(benches, bench_sha256, bench_hmac, bench_signatures);
+criterion_main!(benches);

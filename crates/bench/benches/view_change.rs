@@ -1,0 +1,54 @@
+//! Criterion benchmark of the view-change path: time for an XPaxos cluster to complete
+//! a view change after a follower crash, as a function of the committed-log size that
+//! must be transferred (the ablation behind §5.4's "view change lasts less than 10 s").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use xft_core::client::ClientWorkload;
+use xft_core::harness::{ClusterBuilder, LatencySpec};
+use xft_simnet::{FaultEvent, SimDuration, SimTime};
+
+fn view_change_run(preload_requests: u64) -> u64 {
+    let mut cluster = ClusterBuilder::new(1, 2)
+        .with_seed(5)
+        .with_latency(LatencySpec::Constant(SimDuration::from_millis(5)))
+        .with_workload(ClientWorkload {
+            payload_size: 512,
+            requests: None,
+            think_time: SimDuration::ZERO,
+            op_bytes: None,
+        })
+        .with_config(|c| {
+            c.with_delta(SimDuration::from_millis(100))
+                .with_client_retransmit(SimDuration::from_millis(400))
+                .with_checkpoint_interval(0)
+        })
+        .build();
+    // Preload: let the cluster commit a prefix, then crash the follower.
+    let preload_secs = (preload_requests / 50).max(1);
+    cluster.run_for(SimDuration::from_secs(preload_secs));
+    cluster
+        .sim
+        .inject_fault_at(cluster.sim.now(), FaultEvent::Crash(1));
+    cluster.run_for(SimDuration::from_secs(15));
+    cluster.check_total_order().expect("safety");
+    cluster.sim.metrics().view_changes().len() as u64
+}
+
+fn bench_view_change(c: &mut Criterion) {
+    let mut group = c.benchmark_group("view_change_after_crash");
+    group.sample_size(10);
+    for preload in [50u64, 200, 800] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{preload}_committed")),
+            &preload,
+            |b, preload| {
+                b.iter(|| black_box(view_change_run(*preload)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_view_change);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Regenerates Figure 7: fault-free latency vs throughput for XPaxos, Paxos, PBFT and
+//! Zyzzyva, on the 1/0 and 4/0 micro-benchmarks, for t = 1 (Table 4 placement) and
+//! t = 2 (seven-datacenter placement).
+//!
+//! Usage: `fig7_fault_free [--quick]`. The client counts are swept to trace the
+//! latency/throughput curves; `--quick` uses a smaller sweep for CI-style runs.
+
+use xft_bench::report::{f1, render_table};
+use xft_bench::runner::{run, ProtocolUnderTest, RunSpec};
+use xft_simnet::SimDuration;
+
+fn sweep(t: usize, payload: usize, client_counts: &[usize], duration_secs: u64) {
+    let title = format!(
+        "Figure 7 — {}/0 benchmark, t = {t} (latency vs throughput)",
+        payload / 1024
+    );
+    let mut rows = Vec::new();
+    for protocol in ProtocolUnderTest::FIGURE_SET {
+        for &clients in client_counts {
+            let mut spec = RunSpec::micro(protocol, t, clients, payload);
+            spec.duration = SimDuration::from_secs(duration_secs);
+            spec.warmup = SimDuration::from_secs(2);
+            let result = run(&spec);
+            rows.push(vec![
+                protocol.name().to_string(),
+                clients.to_string(),
+                f1(result.throughput_kops),
+                f1(result.mean_latency_ms),
+                f1(result.p99_latency_ms),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &title,
+            &["protocol", "clients", "kops/s", "mean latency (ms)", "p99 latency (ms)"],
+            &rows
+        )
+    );
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (counts, counts_t2, duration) = if quick {
+        (vec![10, 50, 200], vec![10, 50], 6)
+    } else {
+        (vec![10, 50, 200, 500, 1000], vec![10, 50, 200, 500], 10)
+    };
+
+    println!("Replica placement (t = 1): Table 4 — primary CA, follower/active VA, then JP/EU.");
+    println!("Clients are co-located with the primary (CA), as in the paper.");
+
+    // Figure 7a: 1/0 benchmark, t = 1.
+    sweep(1, 1024, &counts, duration);
+    // Figure 7b: 4/0 benchmark, t = 1.
+    sweep(1, 4096, &counts, duration);
+    // Figure 7c: 1/0 benchmark, t = 2.
+    sweep(2, 1024, &counts_t2, duration);
+
+    println!(
+        "\nExpected shape (paper): XPaxos ≈ Paxos (both one CA↔VA round trip), both clearly\n\
+         above PBFT and Zyzzyva in throughput and below them in latency; the t = 2 sweep\n\
+         degrades only moderately for XPaxos/Paxos but more for the BFT protocols."
+    );
+}

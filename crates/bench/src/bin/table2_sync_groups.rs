@@ -1,0 +1,44 @@
+//! Regenerates Table 2: the synchronous-group combinations for t = 1 and shows the
+//! rotation for t = 2.
+
+use xft_bench::report::render_table;
+use xft_core::sync_group::SyncGroups;
+use xft_core::types::ViewNumber;
+
+fn print_groups(t: usize, views: u64) {
+    let groups = SyncGroups::new(t);
+    let mut rows = Vec::new();
+    for v in 0..views {
+        let view = ViewNumber(v);
+        rows.push(vec![
+            format!("sg_{{i+{v}}}"),
+            format!("s{}", groups.primary(view)),
+            groups
+                .followers(view)
+                .iter()
+                .map(|r| format!("s{r}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+            groups
+                .passive_replicas(view)
+                .iter()
+                .map(|r| format!("s{r}"))
+                .collect::<Vec<_>>()
+                .join(", "),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &format!("Synchronous groups, t = {t} (n = {})", 2 * t + 1),
+            &["view", "primary", "followers", "passive"],
+            &rows
+        )
+    );
+}
+
+fn main() {
+    println!("Table 2 — synchronous group combinations");
+    print_groups(1, 4);
+    print_groups(2, 10);
+}

@@ -1,0 +1,54 @@
+//! Regenerates Table 3: the EC2 round-trip latency matrix the paper measured over three
+//! months, and the derivation of the network-fault bound Δ (§5.1.1).
+
+use xft_bench::report::render_table;
+use xft_simnet::ec2::{ec2_rtt_matrix, recommended_delta_ms, Region};
+
+fn main() {
+    let matrix = ec2_rtt_matrix();
+    let measured: Vec<Region> = Region::ALL
+        .iter()
+        .copied()
+        .filter(|r| r.measured_in_paper())
+        .collect();
+
+    let mut rows = Vec::new();
+    for (i, a) in measured.iter().enumerate() {
+        for b in measured.iter().skip(i + 1) {
+            let s = matrix[a.index()][b.index()];
+            rows.push(vec![
+                a.full_name().to_string(),
+                b.full_name().to_string(),
+                format!("{:.0}", s.avg_ms),
+                format!("{:.0}", s.p9999_ms),
+                format!("{:.0}", s.p99999_ms),
+                format!("{:.0}", s.max_ms),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            "Table 3 — RTT of TCP ping across EC2 datacenters (ms)",
+            &["from", "to", "average", "99.99%", "99.999%", "maximum"],
+            &rows
+        )
+    );
+
+    println!(
+        "Derived Δ: worst measured 99.99th-percentile RTT rounded up is {} ms,\n\
+         so Δ = {} ms (the paper adopts Δ = 1.25 s = 1250 ms).",
+        2 * recommended_delta_ms(),
+        recommended_delta_ms()
+    );
+
+    println!(
+        "\nApproximated entries (not in Table 3, used only by the t = 2 deployment): {}",
+        Region::ALL
+            .iter()
+            .filter(|r| !r.measured_in_paper())
+            .map(|r| r.full_name())
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

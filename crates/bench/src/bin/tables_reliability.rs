@@ -1,0 +1,95 @@
+//! Regenerates the reliability analysis outputs: the §6 examples and the Appendix D
+//! tables (Tables 5–8).
+
+use xft_bench::report::render_table;
+use xft_reliability::{
+    nines_of, table5, table6, table7, table8, ConsistencyRow, AvailabilityRow, ProtocolFamily,
+    ReliabilityParams,
+};
+
+fn print_consistency(title: &str, rows: &[ConsistencyRow]) {
+    let mut out = Vec::new();
+    for r in rows {
+        out.push(vec![
+            r.benign_nines.to_string(),
+            r.cft.to_string(),
+            r.correct_nines.to_string(),
+            r.xpaxos_by_synchrony
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(" "),
+            r.bft.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            title,
+            &["9benign", "9ofC(CFT)", "9correct", "9ofC(XPaxos) for 9sync=2..6", "9ofC(BFT)"],
+            &out
+        )
+    );
+}
+
+fn print_availability(title: &str, rows: &[AvailabilityRow]) {
+    let mut out = Vec::new();
+    for r in rows {
+        out.push(vec![
+            r.available_nines.to_string(),
+            r.cft_by_benign
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(" "),
+            r.bft.to_string(),
+            r.xpaxos.to_string(),
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            title,
+            &["9available", "9ofA(CFT) for 9benign=+1..8", "9ofA(BFT)", "9ofA(XPaxos)"],
+            &out
+        )
+    );
+}
+
+fn print_examples() {
+    println!("\n== Section 6 examples ==");
+    let ex1 = ReliabilityParams::new(0.9999, 0.999, 0.999);
+    let ex2 = ReliabilityParams::new(0.9999, 0.999, 0.9999);
+    for (name, p) in [("Example 1", ex1), ("Example 2", ex2)] {
+        println!(
+            "{name}: p_benign={}, p_correct={}, p_synchrony={} -> 9ofC(CFT)={}, 9ofC(XPaxos)={}, 9ofC(BFT)={}",
+            p.p_benign,
+            p.p_correct,
+            p.p_synchrony,
+            nines_of(ProtocolFamily::Cft.consistency(p, 1)),
+            nines_of(ProtocolFamily::Xft.consistency(p, 1)),
+            nines_of(ProtocolFamily::Bft.consistency(p, 1)),
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let only: Option<&str> = args.iter().position(|a| a == "--table").map(|i| args[i + 1].as_str());
+
+    if only.is_none() || args.iter().any(|a| a == "--examples") {
+        print_examples();
+    }
+    match only {
+        Some("5") => print_consistency("Table 5 — nines of consistency, t = 1", &table5()),
+        Some("6") => print_consistency("Table 6 — nines of consistency, t = 2", &table6()),
+        Some("7") => print_availability("Table 7 — nines of availability, t = 1", &table7()),
+        Some("8") => print_availability("Table 8 — nines of availability, t = 2", &table8()),
+        _ => {
+            print_consistency("Table 5 — nines of consistency, t = 1", &table5());
+            print_consistency("Table 6 — nines of consistency, t = 2", &table6());
+            print_availability("Table 7 — nines of availability, t = 1", &table7());
+            print_availability("Table 8 — nines of availability, t = 2", &table8());
+        }
+    }
+}

@@ -1,0 +1,28 @@
+//! # xft-bench — benchmark harness regenerating the paper's tables and figures
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the evaluation section
+//! of *XFT: Practical Fault Tolerance Beyond Crashes*; the shared [`runner`] module
+//! drives XPaxos and the baselines over identical simulated deployments, and
+//! [`report`] renders the resulting series as plain-text tables (one row per plotted
+//! point). Absolute numbers are simulator outputs, not EC2 measurements; the quantities
+//! to compare against the paper are the *shapes*: protocol ordering, ratios and
+//! crossover points (see EXPERIMENTS.md).
+//!
+//! | Binary | Paper artifact |
+//! |---|---|
+//! | `table1_model` | Table 1 — fault-tolerance matrix |
+//! | `table2_sync_groups` | Table 2 — synchronous groups for t = 1 |
+//! | `table3_latency` | Table 3 — EC2 RTT matrix and the derivation of Δ |
+//! | `fig7_fault_free` | Figure 7a/7b/7c — fault-free latency vs throughput |
+//! | `fig8_cpu` | Figure 8 — CPU usage vs throughput |
+//! | `fig9_faults` | Figure 9 — XPaxos throughput under faults over time |
+//! | `fig10_zookeeper` | Figure 10 — ZooKeeper macro-benchmark |
+//! | `tables_reliability` | §6 examples and Appendix D Tables 5–8 |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+pub mod runner;
+
+pub use runner::{ProtocolUnderTest, RunResult, RunSpec};

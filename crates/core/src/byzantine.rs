@@ -1,0 +1,93 @@
+//! Byzantine (non-crash) behaviours that a replica can be instructed to exhibit,
+//! used by the fault-detection experiments and the robustness test suite.
+//!
+//! The behaviours are deliberately the ones the paper's fault-detection mechanism is
+//! designed around: *data loss* faults (a replica "forgets" a suffix of its commit or
+//! prepare log before a view change) and *mute* faults (a replica silently stops
+//! participating, indistinguishable from a crash to the rest of the system).
+
+use crate::types::SeqNum;
+use xft_simnet::ControlCode;
+
+/// The non-crash behaviour currently exhibited by a replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ByzantineBehavior {
+    /// Behave correctly.
+    #[default]
+    Correct,
+    /// Stop sending any protocol messages (but keep receiving). A "silent" non-crash
+    /// fault: unlike a crash, the simulator still considers the node alive.
+    Mute,
+    /// When building a VIEW-CHANGE message, drop every commit-log entry with a
+    /// sequence number greater than `keep` (a data-loss fault on the commit log).
+    DataLossCommitLog {
+        /// Highest sequence number to keep.
+        keep: SeqNum,
+    },
+    /// Drop the suffix of both the commit log and the prepare log beyond `keep` —
+    /// the dangerous fault the paper's FD mechanism targets (§4.4).
+    DataLossBothLogs {
+        /// Highest sequence number to keep.
+        keep: SeqNum,
+    },
+    /// Sign messages with garbage so signature verification fails at receivers.
+    CorruptSignatures,
+}
+
+impl ByzantineBehavior {
+    /// Whether this behaviour counts as a non-crash fault (anything but `Correct`).
+    pub fn is_faulty(&self) -> bool {
+        *self != ByzantineBehavior::Correct
+    }
+
+    /// Decodes a behaviour from a fault-script control code:
+    /// `0` = correct, `1` = mute, `2` = lose entire commit log, `3` = lose both logs,
+    /// `4` = corrupt signatures. Unknown codes leave the behaviour unchanged (`None`).
+    pub fn from_control_code(code: ControlCode) -> Option<ByzantineBehavior> {
+        match code.0 {
+            0 => Some(ByzantineBehavior::Correct),
+            1 => Some(ByzantineBehavior::Mute),
+            2 => Some(ByzantineBehavior::DataLossCommitLog { keep: SeqNum(0) }),
+            3 => Some(ByzantineBehavior::DataLossBothLogs { keep: SeqNum(0) }),
+            4 => Some(ByzantineBehavior::CorruptSignatures),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_correct() {
+        assert_eq!(ByzantineBehavior::default(), ByzantineBehavior::Correct);
+        assert!(!ByzantineBehavior::Correct.is_faulty());
+        assert!(ByzantineBehavior::Mute.is_faulty());
+    }
+
+    #[test]
+    fn control_code_decoding() {
+        assert_eq!(
+            ByzantineBehavior::from_control_code(ControlCode(0)),
+            Some(ByzantineBehavior::Correct)
+        );
+        assert_eq!(
+            ByzantineBehavior::from_control_code(ControlCode(1)),
+            Some(ByzantineBehavior::Mute)
+        );
+        assert_eq!(
+            ByzantineBehavior::from_control_code(ControlCode(2)),
+            Some(ByzantineBehavior::DataLossCommitLog { keep: SeqNum(0) })
+        );
+        assert_eq!(
+            ByzantineBehavior::from_control_code(ControlCode(3)),
+            Some(ByzantineBehavior::DataLossBothLogs { keep: SeqNum(0) })
+        );
+        assert_eq!(
+            ByzantineBehavior::from_control_code(ControlCode(4)),
+            Some(ByzantineBehavior::CorruptSignatures)
+        );
+        assert_eq!(ByzantineBehavior::from_control_code(ControlCode(99)), None);
+    }
+}

@@ -1,0 +1,317 @@
+//! The XPaxos client (paper §4.2 and Algorithm 4).
+//!
+//! Clients issue requests in a closed loop (one outstanding request each, as in the
+//! paper's micro-benchmarks): a request is signed and sent to the primary of the
+//! client's current view estimate; the client *commits* the request when it has the
+//! required matching replies (a single primary reply carrying the follower's signed
+//! commit for t = 1, or t + 1 matching replies from all active replicas in the general
+//! case). On timeout the client broadcasts a RE-SEND to the active replicas, and on
+//! receiving a SUSPECT message it follows the view change.
+
+use crate::config::XPaxosConfig;
+use crate::messages::{client_request_digest, ReplyMsg, SignedRequest, SuspectMsg, XPaxosMsg};
+use crate::sync_group::SyncGroups;
+use crate::types::{client_key, ClientId, ReplicaId, Request, Timestamp, ViewNumber};
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use xft_crypto::{CryptoOp, KeyRegistry, Signer, Verifier};
+use xft_simnet::{Actor, Context, NodeId, SimDuration, SimTime, TimerId};
+
+/// Timer token used for the client's retransmission timeout.
+const TOKEN_RETRANSMIT: u64 = 1;
+/// Timer token used for open-loop / think-time pacing.
+const TOKEN_NEXT_REQUEST: u64 = 2;
+
+/// Workload configuration for a client.
+#[derive(Debug, Clone)]
+pub struct ClientWorkload {
+    /// Payload size of each request in bytes (1 kB and 4 kB in the paper). Ignored when
+    /// `op_bytes` is set.
+    pub payload_size: usize,
+    /// Number of requests to issue; `None` keeps the closed loop running until the
+    /// simulation ends.
+    pub requests: Option<u64>,
+    /// Think time between a commit and the next request (0 = closed loop).
+    pub think_time: SimDuration,
+    /// Explicit operation payload (e.g. an encoded coordination-service operation for
+    /// the ZooKeeper macro-benchmark); when `None` the op is `payload_size` zero bytes.
+    pub op_bytes: Option<Bytes>,
+}
+
+impl Default for ClientWorkload {
+    fn default() -> Self {
+        ClientWorkload {
+            payload_size: 1024,
+            requests: None,
+            think_time: SimDuration::ZERO,
+            op_bytes: None,
+        }
+    }
+}
+
+struct Pending {
+    request: Request,
+    signature: xft_crypto::Signature,
+    issued_at: SimTime,
+    /// Matching replies per replica (general case).
+    replies: BTreeMap<ReplicaId, ReplyMsg>,
+    retransmit_timer: TimerId,
+    retransmissions: u32,
+}
+
+/// An XPaxos client actor.
+pub struct Client {
+    id: ClientId,
+    config: XPaxosConfig,
+    groups: SyncGroups,
+    signer: Signer,
+    #[allow(dead_code)]
+    verifier: Verifier,
+    workload: ClientWorkload,
+    /// The client's current view estimate.
+    view: ViewNumber,
+    next_ts: Timestamp,
+    pending: Option<Pending>,
+    committed: u64,
+    stopped: bool,
+}
+
+impl Client {
+    /// Creates a client actor.
+    pub fn new(
+        id: ClientId,
+        config: XPaxosConfig,
+        registry: &Arc<KeyRegistry>,
+        workload: ClientWorkload,
+    ) -> Self {
+        let signer = Signer::new(registry, client_key(id));
+        let verifier = Verifier::new(registry.clone());
+        let groups = SyncGroups::new(config.t);
+        Client {
+            id,
+            config,
+            groups,
+            signer,
+            verifier,
+            workload,
+            view: ViewNumber(0),
+            next_ts: 0,
+            pending: None,
+            committed: 0,
+            stopped: false,
+        }
+    }
+
+    /// The client's id.
+    pub fn id(&self) -> ClientId {
+        self.id
+    }
+
+    /// Number of requests this client has committed.
+    pub fn committed(&self) -> u64 {
+        self.committed
+    }
+
+    /// The client's current view estimate.
+    pub fn view(&self) -> ViewNumber {
+        self.view
+    }
+
+    fn node_of(&self, replica: ReplicaId) -> NodeId {
+        self.config.node_of(replica)
+    }
+
+    fn issue_next(&mut self, ctx: &mut Context<XPaxosMsg>) {
+        if self.stopped || self.pending.is_some() {
+            return;
+        }
+        if let Some(limit) = self.workload.requests {
+            if self.committed >= limit {
+                self.stopped = true;
+                return;
+            }
+        }
+        self.next_ts += 1;
+        let op = match &self.workload.op_bytes {
+            Some(bytes) => bytes.clone(),
+            None => Bytes::from(vec![0u8; self.workload.payload_size]),
+        };
+        let request = Request::new(self.id, self.next_ts, op);
+        ctx.charge(CryptoOp::Sign);
+        let signature = self.signer.sign_digest(&client_request_digest(&request));
+        let signed = SignedRequest {
+            request: request.clone(),
+            signature,
+        };
+        let primary = self.groups.primary(self.view);
+        ctx.send(self.node_of(primary), XPaxosMsg::Replicate(signed));
+        let retransmit_timer = ctx.set_timer(self.config.client_retransmit, TOKEN_RETRANSMIT);
+        self.pending = Some(Pending {
+            request,
+            signature,
+            issued_at: ctx.now(),
+            replies: BTreeMap::new(),
+            retransmit_timer,
+            retransmissions: 0,
+        });
+    }
+
+    fn commit_condition_met(&self, pending: &Pending) -> Option<ViewNumber> {
+        // Group replies by (view, reply digest) and look for a quorum.
+        let mut by_key: BTreeMap<(u64, [u8; 32]), Vec<ReplicaId>> = BTreeMap::new();
+        for (replica, reply) in &pending.replies {
+            by_key
+                .entry((reply.view.0, reply.reply_digest.0))
+                .or_default()
+                .push(*replica);
+        }
+        for ((view, _), replicas) in &by_key {
+            let view = ViewNumber(*view);
+            if self.config.t == 1 {
+                // Fast path: the primary's reply carrying the follower's signed commit
+                // suffices; alternatively, matching replies from both active replicas.
+                let primary = self.groups.primary(view);
+                let has_full_primary_reply = replicas.contains(&primary)
+                    && pending
+                        .replies
+                        .get(&primary)
+                        .map(|r| r.follower_commit.is_some())
+                        .unwrap_or(false);
+                if has_full_primary_reply || replicas.len() >= self.config.active_count() {
+                    return Some(view);
+                }
+            } else {
+                // General case: matching replies from all t + 1 active replicas.
+                let active = self.groups.active_replicas(view);
+                if active.iter().all(|a| replicas.contains(a)) {
+                    return Some(view);
+                }
+            }
+        }
+        None
+    }
+
+    fn on_reply(&mut self, reply: ReplyMsg, ctx: &mut Context<XPaxosMsg>) {
+        let Some(pending) = self.pending.as_mut() else {
+            return;
+        };
+        if reply.timestamp != pending.request.timestamp {
+            return; // reply for an older request
+        }
+        ctx.charge(CryptoOp::VerifySig);
+        if reply.replica >= self.config.n() {
+            return;
+        }
+        pending.replies.insert(reply.replica, reply.clone());
+        // Track the replicas' view so retransmissions go to the right primary.
+        if reply.view > self.view {
+            self.view = reply.view;
+        }
+
+        let Some(pending_ref) = self.pending.as_ref() else {
+            return;
+        };
+        if let Some(view) = self.commit_condition_met(pending_ref) {
+            let pending = self.pending.take().expect("pending exists");
+            ctx.cancel_timer(pending.retransmit_timer);
+            self.view = self.view.max(view);
+            self.committed += 1;
+            let latency = ctx.now().duration_since(pending.issued_at);
+            ctx.record_commit(latency, pending.request.op.len());
+            if self.workload.think_time == SimDuration::ZERO {
+                self.issue_next(ctx);
+            } else {
+                ctx.set_timer(self.workload.think_time, TOKEN_NEXT_REQUEST);
+            }
+        }
+    }
+
+    fn retransmit(&mut self, ctx: &mut Context<XPaxosMsg>) {
+        let (signed, retransmissions) = {
+            let Some(pending) = self.pending.as_mut() else {
+                return;
+            };
+            pending.retransmissions += 1;
+            (
+                SignedRequest {
+                    request: pending.request.clone(),
+                    signature: pending.signature,
+                },
+                pending.retransmissions,
+            )
+        };
+        ctx.count("client_retransmissions", 1);
+        // Broadcast the RE-SEND to the active replicas of the current view estimate;
+        // after repeated failures fall back to all replicas (the client's estimate may
+        // be arbitrarily stale after a burst of view changes).
+        let targets: Vec<ReplicaId> = if retransmissions <= 2 {
+            self.groups.active_replicas(self.view).to_vec()
+        } else {
+            (0..self.config.n()).collect()
+        };
+        for replica in targets {
+            ctx.send(self.node_of(replica), XPaxosMsg::Resend(signed.clone()));
+        }
+        let timer = ctx.set_timer(self.config.client_retransmit, TOKEN_RETRANSMIT);
+        if let Some(pending) = self.pending.as_mut() {
+            pending.retransmit_timer = timer;
+        }
+    }
+
+    fn on_suspect(&mut self, m: SuspectMsg, ctx: &mut Context<XPaxosMsg>) {
+        if !self.groups.is_active(m.view, m.replica) {
+            return;
+        }
+        // Follow the view change (Algorithm 4, lines 11–15): adopt view i + 1, forward
+        // the suspect to the new active replicas and re-send the pending request to the
+        // new primary.
+        if m.view.next() > self.view {
+            self.view = m.view.next();
+        }
+        for replica in self.groups.active_replicas(self.view).to_vec() {
+            ctx.send(self.node_of(replica), XPaxosMsg::Suspect(m.clone()));
+        }
+        if let Some(pending) = self.pending.as_ref() {
+            let signed = SignedRequest {
+                request: pending.request.clone(),
+                signature: pending.signature,
+            };
+            let primary = self.groups.primary(self.view);
+            ctx.send(self.node_of(primary), XPaxosMsg::Replicate(signed));
+        }
+    }
+}
+
+impl Actor for Client {
+    type Msg = XPaxosMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<XPaxosMsg>) {
+        self.issue_next(ctx);
+    }
+
+    fn on_message(&mut self, _from: NodeId, msg: XPaxosMsg, ctx: &mut Context<XPaxosMsg>) {
+        match msg {
+            XPaxosMsg::Reply(reply) => self.on_reply(reply, ctx),
+            XPaxosMsg::SuspectToClient(m) | XPaxosMsg::Suspect(m) => self.on_suspect(m, ctx),
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<XPaxosMsg>) {
+        match token {
+            TOKEN_RETRANSMIT => self.retransmit(ctx),
+            TOKEN_NEXT_REQUEST => self.issue_next(ctx),
+            _ => {}
+        }
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<XPaxosMsg>) {
+        // A recovered client simply resumes its closed loop.
+        if self.pending.is_none() {
+            self.issue_next(ctx);
+        } else {
+            self.retransmit(ctx);
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Protocol configuration.
+
+use crate::types::ReplicaId;
+use xft_simnet::{NodeId, SimDuration};
+
+/// Configuration shared by every XPaxos replica and client in a cluster.
+#[derive(Debug, Clone)]
+pub struct XPaxosConfig {
+    /// Fault threshold `t`. The cluster has `n = 2t + 1` replicas.
+    pub t: usize,
+    /// The network-fault bound Δ: messages between correct, synchronous replicas are
+    /// delivered and processed within Δ (paper §2). The view-change collection window
+    /// is 2Δ.
+    pub delta: SimDuration,
+    /// Maximum number of requests the primary packs into one batch (paper uses 20).
+    pub batch_size: usize,
+    /// How long the primary waits to fill a batch before sending a partial one.
+    pub batch_timeout: SimDuration,
+    /// Checkpoint interval (in sequence numbers). 0 disables checkpointing.
+    pub checkpoint_interval: u64,
+    /// Client retransmission timeout: after this long without a committed reply the
+    /// client broadcasts a RE-SEND to all active replicas.
+    pub client_retransmit: SimDuration,
+    /// Retransmission timer at active replicas: after forwarding a re-sent request to
+    /// the primary, a correct active replica expects it to commit within this time,
+    /// otherwise it suspects the view.
+    pub replica_retransmit: SimDuration,
+    /// Timeout for completing a view change before suspecting the new view as well.
+    pub view_change_timeout: SimDuration,
+    /// Enable the Fault Detection mechanism (extra VC-CONFIRM phase and prepare-log
+    /// exchange during view change, paper §4.4).
+    pub fault_detection: bool,
+    /// Enable lazy replication of commit logs to passive replicas (paper §4.5.2).
+    pub lazy_replication: bool,
+    /// Simnet node ids of the replicas, indexed by [`ReplicaId`].
+    pub replica_nodes: Vec<NodeId>,
+    /// Simnet node ids of the clients.
+    pub client_nodes: Vec<NodeId>,
+}
+
+impl XPaxosConfig {
+    /// Creates a configuration for a cluster tolerating `t` faults with replicas on
+    /// simnet nodes `0..2t+1` and clients on the following node ids.
+    pub fn new(t: usize, clients: usize) -> Self {
+        let n = 2 * t + 1;
+        let delta = SimDuration::from_millis(1250); // the paper's Δ for EC2
+        XPaxosConfig {
+            t,
+            delta,
+            batch_size: 20,
+            batch_timeout: SimDuration::from_millis(2),
+            checkpoint_interval: 128,
+            client_retransmit: SimDuration::from_secs(4),
+            replica_retransmit: SimDuration::from_secs(4),
+            view_change_timeout: SimDuration::from_millis(1250 * 4),
+            fault_detection: false,
+            lazy_replication: true,
+            replica_nodes: (0..n).collect(),
+            client_nodes: (n..n + clients).collect(),
+        }
+    }
+
+    /// Number of replicas, `n = 2t + 1`.
+    pub fn n(&self) -> usize {
+        2 * self.t + 1
+    }
+
+    /// Number of active replicas per view, `t + 1`.
+    pub fn active_count(&self) -> usize {
+        self.t + 1
+    }
+
+    /// Simnet node of a replica.
+    pub fn node_of(&self, replica: ReplicaId) -> NodeId {
+        self.replica_nodes[replica]
+    }
+
+    /// Replica id occupying a simnet node, if any.
+    pub fn replica_at(&self, node: NodeId) -> Option<ReplicaId> {
+        self.replica_nodes.iter().position(|&n| n == node)
+    }
+
+    /// The 2Δ window used when collecting VIEW-CHANGE messages.
+    pub fn two_delta(&self) -> SimDuration {
+        self.delta * 2
+    }
+
+    /// Sets Δ (and scales the view-change timeout accordingly).
+    pub fn with_delta(mut self, delta: SimDuration) -> Self {
+        self.delta = delta;
+        self.view_change_timeout = delta * 4;
+        self
+    }
+
+    /// Enables or disables fault detection.
+    pub fn with_fault_detection(mut self, enabled: bool) -> Self {
+        self.fault_detection = enabled;
+        self
+    }
+
+    /// Sets the batch size.
+    pub fn with_batch_size(mut self, batch: usize) -> Self {
+        self.batch_size = batch.max(1);
+        self
+    }
+
+    /// Sets the checkpoint interval.
+    pub fn with_checkpoint_interval(mut self, interval: u64) -> Self {
+        self.checkpoint_interval = interval;
+        self
+    }
+
+    /// Enables or disables lazy replication.
+    pub fn with_lazy_replication(mut self, enabled: bool) -> Self {
+        self.lazy_replication = enabled;
+        self
+    }
+
+    /// Sets the client retransmission timeout.
+    pub fn with_client_retransmit(mut self, timeout: SimDuration) -> Self {
+        self.client_retransmit = timeout;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_counts() {
+        let c = XPaxosConfig::new(2, 3);
+        assert_eq!(c.n(), 5);
+        assert_eq!(c.active_count(), 3);
+        assert_eq!(c.replica_nodes, vec![0, 1, 2, 3, 4]);
+        assert_eq!(c.client_nodes, vec![5, 6, 7]);
+    }
+
+    #[test]
+    fn node_mapping_roundtrips() {
+        let c = XPaxosConfig::new(1, 1);
+        for r in 0..c.n() {
+            assert_eq!(c.replica_at(c.node_of(r)), Some(r));
+        }
+        assert_eq!(c.replica_at(99), None);
+    }
+
+    #[test]
+    fn builders_adjust_fields() {
+        let c = XPaxosConfig::new(1, 0)
+            .with_delta(SimDuration::from_millis(100))
+            .with_fault_detection(true)
+            .with_batch_size(0)
+            .with_checkpoint_interval(64)
+            .with_lazy_replication(false);
+        assert_eq!(c.delta, SimDuration::from_millis(100));
+        assert_eq!(c.two_delta(), SimDuration::from_millis(200));
+        assert_eq!(c.view_change_timeout, SimDuration::from_millis(400));
+        assert!(c.fault_detection);
+        assert_eq!(c.batch_size, 1, "batch size is clamped to at least 1");
+        assert_eq!(c.checkpoint_interval, 64);
+        assert!(!c.lazy_replication);
+    }
+}

@@ -1,0 +1,454 @@
+//! XPaxos wire messages (paper Figures 2–5, 13 and Appendix B).
+
+use crate::log::{CommitEntry, PrepareEntry};
+use crate::types::{Batch, ClientId, ReplicaId, Request, SeqNum, Timestamp, ViewNumber};
+use xft_crypto::{Digest, Signature};
+use xft_simnet::SimMessage;
+
+/// A client request together with the client's signature, `⟨REPLICATE, op, ts_c, c⟩σc`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SignedRequest {
+    /// The request payload.
+    pub request: Request,
+    /// The client's signature over the request digest.
+    pub signature: Signature,
+}
+
+impl SignedRequest {
+    /// Approximate wire size.
+    pub fn wire_size(&self) -> usize {
+        self.request.wire_size() + 40
+    }
+}
+
+/// PREPARE (general case, t ≥ 2): the primary's ordering statement carrying the batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PrepareMsg {
+    /// Current view.
+    pub view: ViewNumber,
+    /// Sequence number assigned to the batch.
+    pub sn: SeqNum,
+    /// The batch of requests being ordered.
+    pub batch: Batch,
+    /// Client signatures for the requests in the batch.
+    pub client_sigs: Vec<Signature>,
+    /// The primary's signature over (D(batch), sn, view).
+    pub signature: Signature,
+}
+
+/// COMMIT carrying the batch — the t = 1 fast path message from the primary to the
+/// follower (`⟨req, m0⟩` in §4.2.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommitCarryMsg {
+    /// Current view.
+    pub view: ViewNumber,
+    /// Sequence number assigned to the batch.
+    pub sn: SeqNum,
+    /// The batch of requests being ordered.
+    pub batch: Batch,
+    /// Client signatures for the requests in the batch.
+    pub client_sigs: Vec<Signature>,
+    /// The primary's commit signature `m0`.
+    pub signature: Signature,
+}
+
+/// COMMIT (digest form): a follower's signed commit statement. In the t = 1 fast path
+/// this is `m1` and also carries the client timestamp and reply digest.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommitMsg {
+    /// Current view.
+    pub view: ViewNumber,
+    /// Sequence number being committed.
+    pub sn: SeqNum,
+    /// Digest of the batch.
+    pub batch_digest: Digest,
+    /// Replica issuing the commit.
+    pub replica: ReplicaId,
+    /// Digest of the replies produced by executing the batch (t = 1 fast path only).
+    pub reply_digest: Option<Digest>,
+    /// The replica's signature.
+    pub signature: Signature,
+}
+
+/// REPLY to the client.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplyMsg {
+    /// View in which the request committed.
+    pub view: ViewNumber,
+    /// Sequence number of the batch that contained the request.
+    pub sn: SeqNum,
+    /// Echo of the client's timestamp.
+    pub timestamp: Timestamp,
+    /// Digest of the application-level reply.
+    pub reply_digest: Digest,
+    /// Full reply payload (primary only; followers send the digest only).
+    pub payload: Option<bytes::Bytes>,
+    /// Replica sending the reply.
+    pub replica: ReplicaId,
+    /// The follower's signed commit `m1`, attached by the primary in the t = 1 fast
+    /// path so the client can verify with a single reply message.
+    pub follower_commit: Option<CommitMsg>,
+}
+
+/// SUSPECT: a replica announces it suspects the current view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SuspectMsg {
+    /// The suspected view.
+    pub view: ViewNumber,
+    /// The suspecting replica.
+    pub replica: ReplicaId,
+    /// Signature over (view, replica).
+    pub signature: Signature,
+}
+
+/// VIEW-CHANGE: a replica transfers its logs to the active replicas of the new view.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewChangeMsg {
+    /// The view being installed (`i + 1`).
+    pub new_view: ViewNumber,
+    /// Sender.
+    pub replica: ReplicaId,
+    /// The sender's commit log.
+    pub commit_log: Vec<CommitEntry>,
+    /// The sender's prepare log — only transferred when fault detection is enabled.
+    pub prepare_log: Vec<PrepareEntry>,
+    /// Signature over a digest of the message.
+    pub signature: Signature,
+}
+
+impl ViewChangeMsg {
+    /// Digest covered by the sender's signature.
+    pub fn digest(&self) -> Digest {
+        let mut d = Digest::of_parts(&[
+            b"view-change",
+            &self.new_view.0.to_le_bytes(),
+            &(self.replica as u64).to_le_bytes(),
+        ]);
+        for e in &self.commit_log {
+            d = d.combine(&CommitEntry::commit_digest(&e.batch.digest(), e.sn, e.view));
+        }
+        for e in &self.prepare_log {
+            d = d.combine(&PrepareEntry::signed_digest(&e.batch.digest(), e.sn, e.view));
+        }
+        d
+    }
+
+    /// Approximate wire size.
+    pub fn wire_size(&self) -> usize {
+        64 + self.commit_log.iter().map(|e| e.wire_size()).sum::<usize>()
+            + self.prepare_log.iter().map(|e| e.wire_size()).sum::<usize>()
+    }
+}
+
+/// VC-FINAL: active replicas of the new view exchange the view-change messages they
+/// collected.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VcFinalMsg {
+    /// The view being installed.
+    pub new_view: ViewNumber,
+    /// Sender (an active replica of the new view).
+    pub replica: ReplicaId,
+    /// The set of view-change messages the sender collected.
+    pub vc_set: Vec<ViewChangeMsg>,
+    /// Signature.
+    pub signature: Signature,
+}
+
+/// VC-CONFIRM: fault-detection round agreeing on the filtered view-change set
+/// (paper §B.4, Figure 13).
+#[derive(Debug, Clone, PartialEq)]
+pub struct VcConfirmMsg {
+    /// The view being installed.
+    pub new_view: ViewNumber,
+    /// Sender.
+    pub replica: ReplicaId,
+    /// Digest of the sender's (filtered) view-change set.
+    pub vc_set_digest: Digest,
+    /// Signature.
+    pub signature: Signature,
+}
+
+/// NEW-VIEW: the new primary re-proposes the selected requests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NewViewMsg {
+    /// The view being installed.
+    pub new_view: ViewNumber,
+    /// Prepare entries (one per selected sequence number), regenerated in the new view.
+    pub prepare_log: Vec<PrepareEntry>,
+    /// Signature of the new primary.
+    pub signature: Signature,
+}
+
+/// PRECHK / CHKPT: checkpoint agreement among active replicas (paper §4.5.1).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointMsg {
+    /// Sequence number at which the checkpoint is taken.
+    pub sn: SeqNum,
+    /// Current view.
+    pub view: ViewNumber,
+    /// Digest of the replica state after executing `sn`.
+    pub state_digest: Digest,
+    /// Sender.
+    pub replica: ReplicaId,
+    /// `false` for the MAC-authenticated PRECHK round, `true` for the signed CHKPT round.
+    pub signed: bool,
+    /// Signature (meaningful when `signed`).
+    pub signature: Signature,
+}
+
+/// FAULT-DETECTED: broadcast by a replica whose fault-detection checks identified a
+/// non-crash-faulty replica during a view change (simplified form of the paper's
+/// STATE-LOSS / FORK-I / FORK-II announcements).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultDetectedMsg {
+    /// View change in which the fault was detected.
+    pub new_view: ViewNumber,
+    /// The replica detected as faulty.
+    pub culprit: ReplicaId,
+    /// Kind of fault detected.
+    pub kind: DetectedFaultKind,
+    /// Reporter.
+    pub reporter: ReplicaId,
+    /// Reporter's signature.
+    pub signature: Signature,
+}
+
+/// The classes of detectable non-crash faults (paper Algorithm 6).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DetectedFaultKind {
+    /// A replica's prepare log lost an entry its own view's commit proof shows existed.
+    StateLoss,
+    /// A replica's logs contain conflicting entries for the same sequence number
+    /// (fork-I / fork-II in the paper).
+    Fork,
+    /// A message carried an invalid signature.
+    BadSignature,
+}
+
+/// All XPaxos wire messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum XPaxosMsg {
+    /// Client → primary: replicate a request.
+    Replicate(SignedRequest),
+    /// Client → active replicas: retransmission of an uncommitted request.
+    Resend(SignedRequest),
+    /// Primary → followers (t ≥ 2).
+    Prepare(PrepareMsg),
+    /// Primary → follower (t = 1 fast path), carrying the batch.
+    CommitCarry(CommitCarryMsg),
+    /// Follower → active replicas: signed commit (digest form).
+    Commit(CommitMsg),
+    /// Active replica → client.
+    Reply(ReplyMsg),
+    /// Replica → all replicas: suspect the current view.
+    Suspect(SuspectMsg),
+    /// Replica → new active replicas: log transfer.
+    ViewChange(ViewChangeMsg),
+    /// New active replica → new active replicas: collected view-change set.
+    VcFinal(VcFinalMsg),
+    /// New active replica → new active replicas: fault-detection confirmation.
+    VcConfirm(VcConfirmMsg),
+    /// New primary → new active replicas: re-proposal of selected requests.
+    NewView(NewViewMsg),
+    /// Checkpoint rounds among active replicas.
+    Checkpoint(CheckpointMsg),
+    /// Active replica → passive replicas: checkpoint proof (LAZYCHK).
+    LazyCheckpoint {
+        /// The t + 1 signed CHKPT messages proving the checkpoint.
+        proof: Vec<CheckpointMsg>,
+    },
+    /// Follower → passive replicas: lazy replication of committed entries.
+    LazyReplicate {
+        /// View in which the entries were committed.
+        view: ViewNumber,
+        /// The committed entries being propagated.
+        entries: Vec<CommitEntry>,
+    },
+    /// Replica → everyone: a non-crash fault was detected during a view change.
+    FaultDetected(FaultDetectedMsg),
+    /// Replica → client: the view the replica is currently in (sent alongside SUSPECT
+    /// handling so clients can follow view changes, Algorithm 4).
+    SuspectToClient(SuspectMsg),
+}
+
+impl SimMessage for XPaxosMsg {
+    fn size_bytes(&self) -> usize {
+        const HDR: usize = 32; // framing + MAC overhead
+        HDR + match self {
+            XPaxosMsg::Replicate(r) | XPaxosMsg::Resend(r) => r.wire_size(),
+            XPaxosMsg::Prepare(p) => p.batch.wire_size() + 40 * (1 + p.client_sigs.len()) + 24,
+            XPaxosMsg::CommitCarry(c) => c.batch.wire_size() + 40 * (1 + c.client_sigs.len()) + 24,
+            XPaxosMsg::Commit(_) => 32 + 40 + 24 + 32,
+            XPaxosMsg::Reply(r) => {
+                64 + r.payload.as_ref().map(|p| p.len()).unwrap_or(0)
+                    + if r.follower_commit.is_some() { 128 } else { 0 }
+            }
+            XPaxosMsg::Suspect(_) | XPaxosMsg::SuspectToClient(_) => 56,
+            XPaxosMsg::ViewChange(vc) => vc.wire_size(),
+            XPaxosMsg::VcFinal(f) => {
+                64 + f.vc_set.iter().map(|m| m.wire_size()).sum::<usize>()
+            }
+            XPaxosMsg::VcConfirm(_) => 104,
+            XPaxosMsg::NewView(nv) => {
+                64 + nv
+                    .prepare_log
+                    .iter()
+                    .map(|e| e.wire_size())
+                    .sum::<usize>()
+            }
+            XPaxosMsg::Checkpoint(_) => 112,
+            XPaxosMsg::LazyCheckpoint { proof } => 16 + proof.len() * 112,
+            XPaxosMsg::LazyReplicate { entries, .. } => {
+                16 + entries.iter().map(|e| e.wire_size()).sum::<usize>()
+            }
+            XPaxosMsg::FaultDetected(_) => 96,
+        }
+    }
+
+    fn kind(&self) -> &'static str {
+        match self {
+            XPaxosMsg::Replicate(_) => "REPLICATE",
+            XPaxosMsg::Resend(_) => "RE-SEND",
+            XPaxosMsg::Prepare(_) => "PREPARE",
+            XPaxosMsg::CommitCarry(_) => "COMMIT-CARRY",
+            XPaxosMsg::Commit(_) => "COMMIT",
+            XPaxosMsg::Reply(_) => "REPLY",
+            XPaxosMsg::Suspect(_) => "SUSPECT",
+            XPaxosMsg::ViewChange(_) => "VIEW-CHANGE",
+            XPaxosMsg::VcFinal(_) => "VC-FINAL",
+            XPaxosMsg::VcConfirm(_) => "VC-CONFIRM",
+            XPaxosMsg::NewView(_) => "NEW-VIEW",
+            XPaxosMsg::Checkpoint(c) => {
+                if c.signed {
+                    "CHKPT"
+                } else {
+                    "PRECHK"
+                }
+            }
+            XPaxosMsg::LazyCheckpoint { .. } => "LAZYCHK",
+            XPaxosMsg::LazyReplicate { .. } => "LAZY-REPLICATE",
+            XPaxosMsg::FaultDetected(_) => "FAULT-DETECTED",
+            XPaxosMsg::SuspectToClient(_) => "SUSPECT-CLIENT",
+        }
+    }
+}
+
+/// Digest signed by a client over its request (domain-separated from replica digests).
+pub fn client_request_digest(request: &Request) -> Digest {
+    Digest::of_parts(&[b"client-request", request.digest().as_bytes()])
+}
+
+/// Digest signed in a SUSPECT message.
+pub fn suspect_digest(view: ViewNumber, replica: ReplicaId) -> Digest {
+    Digest::of_parts(&[
+        b"suspect",
+        &view.0.to_le_bytes(),
+        &(replica as u64).to_le_bytes(),
+    ])
+}
+
+/// Digest signed in a REPLY message (binds view, sn, client timestamp and reply digest).
+pub fn reply_digest(
+    view: ViewNumber,
+    sn: SeqNum,
+    client: ClientId,
+    ts: Timestamp,
+    reply: &Digest,
+) -> Digest {
+    Digest::of_parts(&[
+        b"reply",
+        &view.0.to_le_bytes(),
+        &sn.0.to_le_bytes(),
+        &client.0.to_le_bytes(),
+        &ts.to_le_bytes(),
+        reply.as_bytes(),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use xft_crypto::KeyId;
+
+    fn request(bytes: usize) -> Request {
+        Request::new(ClientId(1), 7, Bytes::from(vec![0u8; bytes]))
+    }
+
+    #[test]
+    fn message_sizes_scale_with_payload() {
+        let small = XPaxosMsg::Replicate(SignedRequest {
+            request: request(16),
+            signature: Signature::forged(KeyId(0)),
+        });
+        let big = XPaxosMsg::Replicate(SignedRequest {
+            request: request(4096),
+            signature: Signature::forged(KeyId(0)),
+        });
+        assert!(big.size_bytes() > small.size_bytes() + 4000);
+        assert_eq!(small.kind(), "REPLICATE");
+    }
+
+    #[test]
+    fn commit_is_small_regardless_of_batch() {
+        let commit = XPaxosMsg::Commit(CommitMsg {
+            view: ViewNumber(0),
+            sn: SeqNum(1),
+            batch_digest: Digest::of(b"batch"),
+            replica: 1,
+            reply_digest: None,
+            signature: Signature::forged(KeyId(1)),
+        });
+        assert!(commit.size_bytes() < 256);
+        assert_eq!(commit.kind(), "COMMIT");
+    }
+
+    #[test]
+    fn checkpoint_kind_distinguishes_rounds() {
+        let mut chk = CheckpointMsg {
+            sn: SeqNum(128),
+            view: ViewNumber(0),
+            state_digest: Digest::ZERO,
+            replica: 0,
+            signed: false,
+            signature: Signature::forged(KeyId(0)),
+        };
+        assert_eq!(XPaxosMsg::Checkpoint(chk.clone()).kind(), "PRECHK");
+        chk.signed = true;
+        assert_eq!(XPaxosMsg::Checkpoint(chk).kind(), "CHKPT");
+    }
+
+    #[test]
+    fn view_change_digest_covers_logs() {
+        let base = ViewChangeMsg {
+            new_view: ViewNumber(2),
+            replica: 1,
+            commit_log: vec![],
+            prepare_log: vec![],
+            signature: Signature::forged(KeyId(1)),
+        };
+        let with_log = ViewChangeMsg {
+            commit_log: vec![CommitEntry {
+                view: ViewNumber(1),
+                sn: SeqNum(1),
+                batch: Batch::single(request(8)),
+                primary_sig: Signature::forged(KeyId(0)),
+                commit_sigs: Default::default(),
+            }],
+            ..base.clone()
+        };
+        assert_ne!(base.digest(), with_log.digest());
+        assert!(with_log.wire_size() > base.wire_size());
+    }
+
+    #[test]
+    fn helper_digests_are_domain_separated() {
+        let req = request(8);
+        assert_ne!(client_request_digest(&req), req.digest());
+        let r = Digest::of(b"result");
+        let d1 = reply_digest(ViewNumber(0), SeqNum(1), ClientId(1), 7, &r);
+        let d2 = reply_digest(ViewNumber(0), SeqNum(2), ClientId(1), 7, &r);
+        assert_ne!(d1, d2);
+        assert_ne!(suspect_digest(ViewNumber(0), 1), suspect_digest(ViewNumber(1), 1));
+    }
+}

@@ -1,0 +1,307 @@
+//! The XFT fault model (paper §2 and §3): machine fault classes, partitioned replicas,
+//! the *anarchy* predicate, and the qualitative fault-tolerance matrix of Table 1.
+//!
+//! These definitions are used by the test harness (to decide whether a fault schedule
+//! keeps the system outside anarchy, in which case XPaxos must stay consistent) and by
+//! the reliability analysis crate.
+
+use crate::types::ReplicaId;
+
+/// The fault state of a single replica at a given moment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReplicaFaultState {
+    /// Correct and synchronous.
+    Correct,
+    /// Crashed (stopped computing and communicating).
+    Crashed,
+    /// Non-crash (Byzantine) faulty: behaves arbitrarily but cannot break crypto.
+    NonCrash,
+    /// Correct but partitioned: unable to communicate with the largest synchronous
+    /// subset within Δ (Definition 1).
+    Partitioned,
+}
+
+/// A snapshot of the whole system's fault state at one moment `s`.
+#[derive(Debug, Clone)]
+pub struct SystemSnapshot {
+    states: Vec<ReplicaFaultState>,
+}
+
+impl SystemSnapshot {
+    /// Builds a snapshot for `n` replicas, all initially correct.
+    pub fn all_correct(n: usize) -> Self {
+        SystemSnapshot {
+            states: vec![ReplicaFaultState::Correct; n],
+        }
+    }
+
+    /// Builds a snapshot from explicit per-replica states.
+    pub fn new(states: Vec<ReplicaFaultState>) -> Self {
+        SystemSnapshot { states }
+    }
+
+    /// Number of replicas `n`.
+    pub fn n(&self) -> usize {
+        self.states.len()
+    }
+
+    /// Sets the state of one replica.
+    pub fn set(&mut self, replica: ReplicaId, state: ReplicaFaultState) {
+        self.states[replica] = state;
+    }
+
+    /// The state of one replica.
+    pub fn state(&self, replica: ReplicaId) -> ReplicaFaultState {
+        self.states[replica]
+    }
+
+    /// `t_c(s)`: number of crash-faulty replicas.
+    pub fn crash_faults(&self) -> usize {
+        self.count(ReplicaFaultState::Crashed)
+    }
+
+    /// `t_nc(s)`: number of non-crash-faulty replicas.
+    pub fn non_crash_faults(&self) -> usize {
+        self.count(ReplicaFaultState::NonCrash)
+    }
+
+    /// `t_p(s)`: number of correct but partitioned replicas.
+    pub fn partitioned(&self) -> usize {
+        self.count(ReplicaFaultState::Partitioned)
+    }
+
+    /// Replicas that are correct *and* synchronous.
+    pub fn correct_and_synchronous(&self) -> Vec<ReplicaId> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| **s == ReplicaFaultState::Correct)
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Replicas that are benign (correct or crash-faulty).
+    pub fn benign(&self) -> Vec<ReplicaId> {
+        self.states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| {
+                matches!(
+                    **s,
+                    ReplicaFaultState::Correct
+                        | ReplicaFaultState::Crashed
+                        | ReplicaFaultState::Partitioned
+                )
+            })
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    fn count(&self, which: ReplicaFaultState) -> usize {
+        self.states.iter().filter(|s| **s == which).count()
+    }
+
+    /// The fault threshold `t = ⌊(n − 1) / 2⌋` for this cluster size.
+    pub fn threshold(&self) -> usize {
+        (self.n() - 1) / 2
+    }
+
+    /// Definition 2 (*anarchy*): the system is in anarchy iff some replica is non-crash
+    /// faulty **and** `t_c + t_nc + t_p > t`.
+    pub fn in_anarchy(&self) -> bool {
+        self.non_crash_faults() > 0
+            && self.crash_faults() + self.non_crash_faults() + self.partitioned() > self.threshold()
+    }
+
+    /// Whether a majority of replicas is correct and synchronous — the condition under
+    /// which XPaxos guarantees both consistency and availability (Table 1).
+    pub fn majority_correct_synchronous(&self) -> bool {
+        self.correct_and_synchronous().len() > self.n() / 2
+    }
+}
+
+/// Which guarantee a protocol model provides under a given snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Guarantees {
+    /// Safety / consistency holds.
+    pub consistent: bool,
+    /// Liveness / availability holds.
+    pub available: bool,
+}
+
+/// The four SMR fault-tolerance models compared in Table 1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolModel {
+    /// Asynchronous crash fault tolerance (Paxos, Raft, Zab).
+    AsyncCft,
+    /// Asynchronous Byzantine fault tolerance (PBFT, Zyzzyva) with `n = 3t + 1`.
+    AsyncBft,
+    /// Authenticated synchronous BFT (Byzantine Generals).
+    SyncBft,
+    /// Cross fault tolerance (XPaxos) with `n = 2t + 1`.
+    Xft,
+}
+
+impl ProtocolModel {
+    /// Evaluates Table 1: whether the model keeps consistency / availability under the
+    /// given snapshot, assuming the resource-optimal `n` for the model and threshold
+    /// `t = ⌊(n−1)/2⌋` (CFT/XFT) or `⌊(n−1)/3⌋` (BFT) faults tolerated.
+    ///
+    /// For the asynchronous BFT row, `snapshot.n()` is interpreted as the CFT/XFT
+    /// cluster size `2t + 1` and the BFT cluster is assumed to have `3t + 1` replicas
+    /// with the *same* per-replica fault pattern extended by `t` additional correct
+    /// replicas; this matches how the paper compares models at equal `t` (Section 6).
+    pub fn guarantees(&self, snapshot: &SystemSnapshot) -> Guarantees {
+        let n = snapshot.n();
+        let t = snapshot.threshold();
+        let tc = snapshot.crash_faults();
+        let tnc = snapshot.non_crash_faults();
+        let tp = snapshot.partitioned();
+        match self {
+            ProtocolModel::AsyncCft => Guarantees {
+                consistent: tnc == 0,
+                available: tnc == 0 && tc + tp <= t,
+            },
+            ProtocolModel::AsyncBft => {
+                // With the same t, BFT uses 3t + 1 replicas; the extra t replicas are
+                // correct in this comparison.
+                Guarantees {
+                    consistent: tnc <= t,
+                    available: tc + tnc + tp <= t,
+                }
+            }
+            ProtocolModel::SyncBft => Guarantees {
+                // Authenticated synchronous BFT tolerates up to n − 1 non-crash faults
+                // but no partitioned replicas at all.
+                consistent: tp == 0 && tnc <= n.saturating_sub(1),
+                available: tp == 0 && tc + tnc <= n.saturating_sub(1),
+            },
+            ProtocolModel::Xft => {
+                let combined_ok = tc + tnc + tp <= t;
+                Guarantees {
+                    consistent: tnc == 0 || combined_ok,
+                    available: combined_ok,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ReplicaFaultState::*;
+
+    fn snap(states: &[ReplicaFaultState]) -> SystemSnapshot {
+        SystemSnapshot::new(states.to_vec())
+    }
+
+    #[test]
+    fn fault_counting() {
+        let s = snap(&[Correct, Crashed, NonCrash, Partitioned, Correct]);
+        assert_eq!(s.n(), 5);
+        assert_eq!(s.crash_faults(), 1);
+        assert_eq!(s.non_crash_faults(), 1);
+        assert_eq!(s.partitioned(), 1);
+        assert_eq!(s.correct_and_synchronous(), vec![0, 4]);
+        assert_eq!(s.benign(), vec![0, 1, 3, 4]);
+        assert_eq!(s.threshold(), 2);
+    }
+
+    #[test]
+    fn anarchy_requires_non_crash_fault_and_lost_majority() {
+        // n = 3, t = 1.
+        // One non-crash fault alone: not anarchy (faults ≤ t).
+        assert!(!snap(&[NonCrash, Correct, Correct]).in_anarchy());
+        // One non-crash + one crash: 2 > t = 1 and tnc > 0 → anarchy.
+        assert!(snap(&[NonCrash, Crashed, Correct]).in_anarchy());
+        // One non-crash + one partitioned: anarchy.
+        assert!(snap(&[NonCrash, Partitioned, Correct]).in_anarchy());
+        // Two crashes but no non-crash fault: never anarchy.
+        assert!(!snap(&[Crashed, Crashed, Correct]).in_anarchy());
+    }
+
+    #[test]
+    fn table1_cft_row() {
+        // CFT consistency: any number of crash faults and partitions, zero non-crash.
+        let m = ProtocolModel::AsyncCft;
+        assert!(m.guarantees(&snap(&[Crashed, Crashed, Partitioned])).consistent);
+        assert!(!m.guarantees(&snap(&[NonCrash, Correct, Correct])).consistent);
+        // CFT availability: majority correct & synchronous.
+        assert!(m.guarantees(&snap(&[Correct, Correct, Crashed])).available);
+        assert!(!m.guarantees(&snap(&[Correct, Crashed, Crashed])).available);
+        assert!(!m.guarantees(&snap(&[Correct, Correct, NonCrash])).available);
+    }
+
+    #[test]
+    fn table1_xft_row() {
+        let m = ProtocolModel::Xft;
+        // Without non-crash faults: consistent like CFT regardless of crashes/partitions.
+        assert!(m.guarantees(&snap(&[Crashed, Crashed, Partitioned])).consistent);
+        // With a non-crash fault but within the combined threshold: still consistent.
+        assert!(m.guarantees(&snap(&[NonCrash, Correct, Correct])).consistent);
+        // In anarchy: not consistent.
+        assert!(!m.guarantees(&snap(&[NonCrash, Crashed, Correct])).consistent);
+        // Availability requires a correct synchronous majority.
+        assert!(m.guarantees(&snap(&[NonCrash, Correct, Correct])).available);
+        assert!(!m.guarantees(&snap(&[NonCrash, Partitioned, Correct])).available);
+    }
+
+    #[test]
+    fn table1_bft_rows() {
+        let bft = ProtocolModel::AsyncBft;
+        // Async BFT stays consistent with ≤ t non-crash faults even in asynchrony.
+        assert!(bft.guarantees(&snap(&[NonCrash, Crashed, Correct])).consistent);
+        // But not with more than t non-crash faults.
+        assert!(!bft.guarantees(&snap(&[NonCrash, NonCrash, Correct])).consistent);
+        // Availability needs every class of fault within t.
+        assert!(!bft.guarantees(&snap(&[Crashed, Partitioned, Correct])).available);
+        assert!(bft.guarantees(&snap(&[Crashed, Correct, Correct])).available);
+
+        let sbft = ProtocolModel::SyncBft;
+        // Synchronous BFT tolerates n−1 non-crash faults but no partitions.
+        assert!(sbft.guarantees(&snap(&[NonCrash, NonCrash, Correct])).consistent);
+        assert!(!sbft.guarantees(&snap(&[NonCrash, Partitioned, Correct])).consistent);
+    }
+
+    #[test]
+    fn xft_consistency_strictly_stronger_than_cft() {
+        // Exhaustively enumerate all 3-replica snapshots: whenever CFT is consistent,
+        // XFT must be too (strict containment shown by the anarchy-free non-crash case).
+        let states = [Correct, Crashed, NonCrash, Partitioned];
+        let mut xft_strictly_better = false;
+        for a in states {
+            for b in states {
+                for c in states {
+                    let s = snap(&[a, b, c]);
+                    let cft = ProtocolModel::AsyncCft.guarantees(&s);
+                    let xft = ProtocolModel::Xft.guarantees(&s);
+                    if cft.consistent {
+                        assert!(xft.consistent, "XFT weaker than CFT at {:?}", (a, b, c));
+                    }
+                    if cft.available {
+                        assert!(xft.available, "XFT availability weaker at {:?}", (a, b, c));
+                    }
+                    if xft.consistent && !cft.consistent {
+                        xft_strictly_better = true;
+                    }
+                }
+            }
+        }
+        assert!(xft_strictly_better);
+    }
+
+    #[test]
+    fn majority_predicate() {
+        assert!(snap(&[Correct, Correct, Crashed]).majority_correct_synchronous());
+        assert!(!snap(&[Correct, Crashed, Crashed]).majority_correct_synchronous());
+        let mut s = SystemSnapshot::all_correct(5);
+        assert!(s.majority_correct_synchronous());
+        s.set(0, Partitioned);
+        s.set(1, Partitioned);
+        assert!(s.majority_correct_synchronous());
+        s.set(2, Crashed);
+        assert!(!s.majority_correct_synchronous());
+        assert_eq!(s.state(2), Crashed);
+    }
+}

@@ -1,0 +1,240 @@
+//! Checkpointing and lazy replication (paper §4.5, Figures 4 and 5).
+//!
+//! Active replicas agree on a state digest every `checkpoint_interval` sequence numbers
+//! through a MAC-authenticated PRECHK round followed by a signed CHKPT round; the
+//! resulting proof lets them garbage-collect their prepare and commit logs and is
+//! lazily propagated to the passive replicas. Followers also lazily propagate committed
+//! entries to the passive replicas so that a passive replica promoted by a view change
+//! has most of the state already ("this fast execution of the view-change subprotocol is
+//! a consequence of lazy replication" — §5.4).
+
+use super::{Phase, Replica};
+use crate::log::CommitEntry;
+use crate::messages::{CheckpointMsg, XPaxosMsg};
+use crate::types::SeqNum;
+use xft_crypto::CryptoOp;
+use xft_simnet::Context;
+
+impl Replica {
+    /// After executing a batch, starts a checkpoint round if the interval was crossed.
+    pub(crate) fn maybe_checkpoint(&mut self, ctx: &mut Context<XPaxosMsg>) {
+        let interval = self.config.checkpoint_interval;
+        if interval == 0 || self.phase != Phase::Active || !self.is_active_in(self.view) {
+            return;
+        }
+        let sn = self.exec_sn;
+        if sn.0 == 0 || sn.0 % interval != 0 || sn <= self.last_checkpoint {
+            return;
+        }
+        // PRECHK round: MAC-authenticated state digest exchange among active replicas.
+        ctx.charge(CryptoOp::Mac { len: 64 });
+        let msg = CheckpointMsg {
+            sn,
+            view: self.view,
+            state_digest: self.state.state_digest(),
+            replica: self.id,
+            signed: false,
+            signature: xft_crypto::Signature::forged(self.signer.id()),
+        };
+        self.prechk_votes
+            .entry(sn.0)
+            .or_default()
+            .insert(self.id, msg.state_digest);
+        for node in self.other_active_nodes(self.view) {
+            ctx.send(node, XPaxosMsg::Checkpoint(msg.clone()));
+        }
+        self.check_prechk_quorum(sn, ctx);
+    }
+
+    /// Handles both PRECHK (unsigned) and CHKPT (signed) messages.
+    pub(crate) fn on_checkpoint(&mut self, m: CheckpointMsg, ctx: &mut Context<XPaxosMsg>) {
+        if !self.is_active_in(self.view) {
+            return;
+        }
+        if m.signed {
+            ctx.charge(CryptoOp::VerifySig);
+            self.chkpt_votes.entry(m.sn.0).or_default().push(m.clone());
+            self.check_chkpt_quorum(m.sn, ctx);
+        } else {
+            ctx.charge(CryptoOp::VerifyMac { len: 64 });
+            self.prechk_votes
+                .entry(m.sn.0)
+                .or_default()
+                .insert(m.replica, m.state_digest);
+            self.check_prechk_quorum(m.sn, ctx);
+        }
+    }
+
+    /// Once t + 1 matching PRECHK digests are in, send the signed CHKPT message.
+    fn check_prechk_quorum(&mut self, sn: SeqNum, ctx: &mut Context<XPaxosMsg>) {
+        let needed = self.config.active_count();
+        let Some(votes) = self.prechk_votes.get(&sn.0) else {
+            return;
+        };
+        if votes.len() < needed {
+            return;
+        }
+        // All active replicas must report the same digest; otherwise states diverged
+        // and the view must be suspected.
+        let mut digests = votes.values();
+        let first = *digests.next().expect("non-empty votes");
+        if !digests.all(|d| *d == first) {
+            self.suspect_view(ctx);
+            return;
+        }
+        // Send our signed CHKPT (once).
+        let already_sent = self
+            .chkpt_votes
+            .get(&sn.0)
+            .map(|v| v.iter().any(|m| m.replica == self.id))
+            .unwrap_or(false);
+        if already_sent {
+            return;
+        }
+        ctx.charge(CryptoOp::Sign);
+        let msg = CheckpointMsg {
+            sn,
+            view: self.view,
+            state_digest: first,
+            replica: self.id,
+            signed: true,
+            signature: self.sign(&crate::messages::reply_digest(
+                self.view,
+                sn,
+                crate::types::ClientId(0),
+                0,
+                &first,
+            )),
+        };
+        self.chkpt_votes.entry(sn.0).or_default().push(msg.clone());
+        for node in self.other_active_nodes(self.view) {
+            ctx.send(node, XPaxosMsg::Checkpoint(msg.clone()));
+        }
+        self.check_chkpt_quorum(sn, ctx);
+    }
+
+    /// Once t + 1 signed CHKPT messages are in, the checkpoint is stable: truncate the
+    /// logs and propagate the proof to passive replicas (LAZYCHK).
+    fn check_chkpt_quorum(&mut self, sn: SeqNum, ctx: &mut Context<XPaxosMsg>) {
+        let needed = self.config.active_count();
+        let proof: Vec<CheckpointMsg> = {
+            let Some(votes) = self.chkpt_votes.get(&sn.0) else {
+                return;
+            };
+            if votes.len() < needed || sn <= self.last_checkpoint {
+                return;
+            }
+            votes.clone()
+        };
+
+        self.last_checkpoint = sn;
+        self.prepare_log.truncate_upto(sn);
+        self.commit_log.truncate_upto(sn);
+        self.pending_commits.retain(|k, _| *k > sn.0);
+        self.follower_commits.retain(|k, _| *k > sn.0);
+        self.prechk_votes.retain(|k, _| *k > sn.0);
+        self.chkpt_votes.retain(|k, _| *k >= sn.0);
+        ctx.count("checkpoints", 1);
+
+        // Propagate the checkpoint proof to the passive replicas.
+        for passive in self.groups.passive_replicas(self.view) {
+            ctx.send(
+                self.node_of(passive),
+                XPaxosMsg::LazyCheckpoint {
+                    proof: proof.clone(),
+                },
+            );
+        }
+    }
+
+    /// A passive replica receives a checkpoint proof: adopt it and garbage-collect.
+    pub(crate) fn on_lazy_checkpoint(
+        &mut self,
+        proof: Vec<CheckpointMsg>,
+        ctx: &mut Context<XPaxosMsg>,
+    ) {
+        let needed = self.config.active_count();
+        if proof.len() < needed {
+            return;
+        }
+        let sn = proof[0].sn;
+        if !proof.iter().all(|m| m.sn == sn && m.signed) {
+            return;
+        }
+        for _ in &proof {
+            ctx.charge(CryptoOp::VerifySig);
+        }
+        if sn <= self.last_checkpoint {
+            return;
+        }
+        self.last_checkpoint = sn;
+        self.prepare_log.truncate_upto(sn);
+        self.commit_log.truncate_upto(sn);
+        // A passive replica that lags behind the checkpoint adopts the checkpointed
+        // state (modeling snapshot transfer).
+        if self.exec_sn < sn {
+            self.exec_sn = sn;
+        }
+        ctx.count("lazy_checkpoints", 1);
+    }
+
+    /// Followers lazily propagate the committed entry at `sn` to passive replicas.
+    pub(crate) fn lazy_replicate(&mut self, sn: SeqNum, ctx: &mut Context<XPaxosMsg>) {
+        if !self.config.lazy_replication || self.phase != Phase::Active {
+            return;
+        }
+        // Only followers propagate (the primary's uplink is the throughput bottleneck
+        // in WAN deployments, so the paper keeps it out of lazy replication).
+        let followers = self.groups.followers(self.view);
+        let Some(my_follower_index) = followers.iter().position(|f| *f == self.id) else {
+            return;
+        };
+        let Some(entry) = self.commit_log.get(sn) else {
+            return;
+        };
+        let entry = entry.clone();
+        let passives = self.groups.passive_replicas(self.view);
+        if passives.is_empty() {
+            return;
+        }
+        // Follower j serves passive replicas j, j + t, … (round-robin split of the
+        // lazy-replication work among the t followers).
+        for (i, passive) in passives.iter().enumerate() {
+            if i % followers.len() == my_follower_index {
+                ctx.send(
+                    self.node_of(*passive),
+                    XPaxosMsg::LazyReplicate {
+                        view: self.view,
+                        entries: vec![entry.clone()],
+                    },
+                );
+            }
+        }
+    }
+
+    /// A passive replica receives lazily replicated commit entries.
+    pub(crate) fn on_lazy_replicate(
+        &mut self,
+        entries: Vec<CommitEntry>,
+        ctx: &mut Context<XPaxosMsg>,
+    ) {
+        for entry in entries {
+            if entry.sn <= self.last_checkpoint {
+                continue;
+            }
+            ctx.charge(CryptoOp::VerifySig);
+            let keep = match self.commit_log.get(entry.sn) {
+                Some(existing) => existing.view < entry.view,
+                None => true,
+            };
+            if keep {
+                if entry.sn > self.next_sn {
+                    self.next_sn = entry.sn;
+                }
+                self.commit_log.insert(entry);
+            }
+        }
+        self.try_execute(ctx);
+        ctx.count("lazy_entries", 1);
+    }
+}

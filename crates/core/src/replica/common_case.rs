@@ -1,0 +1,538 @@
+//! Common-case request ordering (paper §4.2, Algorithms 1 and 2).
+//!
+//! * For `t = 1` the fast path of Figure 2b is used: the primary sends a COMMIT message
+//!   carrying the batch to its single follower, the follower executes and returns a
+//!   signed COMMIT with the reply digest, and the primary answers the client with both
+//!   signatures.
+//! * For `t ≥ 2` the general PREPARE / COMMIT pattern of Figure 2a is used: the primary
+//!   prepares, followers broadcast signed COMMITs to all active replicas, and every
+//!   active replica commits once it holds one COMMIT from each follower.
+
+use super::{Phase, Replica, TOKEN_BATCH, TOKEN_MONITOR};
+use crate::byzantine::ByzantineBehavior;
+use crate::log::{CommitEntry, PrepareEntry};
+use crate::messages::{
+    client_request_digest, reply_digest, CommitCarryMsg, CommitMsg, PrepareMsg, ReplyMsg,
+    SignedRequest, XPaxosMsg,
+};
+use crate::types::{Batch, ClientId, SeqNum, Timestamp};
+use std::collections::BTreeMap;
+use xft_crypto::{CryptoOp, Digest, Signature};
+use xft_simnet::{Context, NodeId};
+
+impl Replica {
+    /// Signs a digest, honouring the `CorruptSignatures` Byzantine behaviour.
+    pub(crate) fn sign(&self, digest: &Digest) -> Signature {
+        if self.behavior == ByzantineBehavior::CorruptSignatures {
+            Signature::forged(self.signer.id())
+        } else {
+            self.signer.sign_digest(digest)
+        }
+    }
+
+    // -----------------------------------------------------------------------------
+    // Client requests, batching and retransmission monitoring
+    // -----------------------------------------------------------------------------
+
+    /// Handles a REPLICATE (fresh) or RE-SEND (retransmitted) client request.
+    pub(crate) fn on_client_request(
+        &mut self,
+        req: SignedRequest,
+        retransmission: bool,
+        ctx: &mut Context<XPaxosMsg>,
+    ) {
+        ctx.charge(CryptoOp::VerifySig);
+        if self
+            .verifier
+            .verify_digest(&client_request_digest(&req.request), &req.signature)
+            .is_err()
+        {
+            return;
+        }
+
+        let client = req.request.client;
+        let ts = req.request.timestamp;
+
+        // Exactly-once: a request at or below the last executed timestamp for this
+        // client is answered from the client table.
+        if let Some((last_ts, cached)) = self.client_table.get(&client) {
+            if ts <= *last_ts {
+                let reply = if ts == *last_ts {
+                    cached.clone()
+                } else {
+                    cached.clone() // older duplicates also get the latest reply
+                };
+                let node = self.client_node(client);
+                ctx.send(node, XPaxosMsg::Reply(reply));
+                return;
+            }
+        }
+
+        // Retransmitted requests are monitored (Algorithm 4): if the request does not
+        // commit in time, this replica suspects the view.
+        if retransmission && self.is_active_in(self.view) {
+            self.monitor_request(client, ts, ctx);
+        }
+
+        if self.phase != Phase::Active {
+            // Buffer during view changes; the new primary will pick pending requests up.
+            self.pending_requests.push(req);
+            return;
+        }
+
+        if self.is_primary_in(self.view) {
+            self.pending_requests.push(req);
+            self.maybe_flush(ctx);
+        } else {
+            // Not the primary: forward to the current primary (covers both clients with
+            // stale view estimates and the RE-SEND path of Algorithm 4).
+            let primary = self.groups.primary(self.view);
+            ctx.send(self.node_of(primary), XPaxosMsg::Replicate(req));
+        }
+    }
+
+    /// Starts the per-request retransmission monitor if not already running.
+    pub(crate) fn monitor_request(
+        &mut self,
+        client: ClientId,
+        ts: Timestamp,
+        ctx: &mut Context<XPaxosMsg>,
+    ) {
+        if self.monitored_by_req.contains_key(&(client, ts)) {
+            return;
+        }
+        let token = TOKEN_MONITOR + self.next_monitor_token;
+        self.next_monitor_token += 1;
+        let timer = ctx.set_timer(self.config.replica_retransmit, token);
+        self.monitored.insert(token, (client, ts));
+        self.monitored_by_req.insert((client, ts), (token, timer));
+    }
+
+    /// A monitored request did not commit in time: suspect the view and tell the client
+    /// (Algorithm 4, lines 8–10).
+    pub(crate) fn on_monitor_timeout(&mut self, token: u64, ctx: &mut Context<XPaxosMsg>) {
+        let Some((client, ts)) = self.monitored.remove(&token) else {
+            return;
+        };
+        self.monitored_by_req.remove(&(client, ts));
+        // Already executed? Then the reply was (re)sent; nothing to do.
+        if let Some((last_ts, _)) = self.client_table.get(&client) {
+            if ts <= *last_ts {
+                return;
+            }
+        }
+        if self.is_active_in(self.view) && self.phase == Phase::Active {
+            let suspect = self.make_suspect(self.view);
+            ctx.send(
+                self.client_node(client),
+                XPaxosMsg::SuspectToClient(suspect),
+            );
+            self.suspect_view(ctx);
+        }
+    }
+
+    /// Cancels the retransmission monitor of an executed request.
+    pub(crate) fn clear_monitor(&mut self, client: ClientId, ts: Timestamp, ctx: &mut Context<XPaxosMsg>) {
+        if let Some((token, timer)) = self.monitored_by_req.remove(&(client, ts)) {
+            self.monitored.remove(&token);
+            ctx.cancel_timer(timer);
+        }
+    }
+
+    /// Flushes a batch if it is full, otherwise arms the batch timer.
+    pub(crate) fn maybe_flush(&mut self, ctx: &mut Context<XPaxosMsg>) {
+        if self.pending_requests.len() >= self.config.batch_size {
+            self.flush_batches(ctx);
+        } else if self.batch_timer.is_none() && !self.pending_requests.is_empty() {
+            self.batch_timer = Some(ctx.set_timer(self.config.batch_timeout, TOKEN_BATCH));
+        }
+    }
+
+    /// Forms batches out of the pending requests and proposes them (primary only).
+    pub(crate) fn flush_batches(&mut self, ctx: &mut Context<XPaxosMsg>) {
+        if self.phase != Phase::Active || !self.is_primary_in(self.view) {
+            return;
+        }
+        while !self.pending_requests.is_empty() {
+            let take = self.pending_requests.len().min(self.config.batch_size);
+            let chunk: Vec<SignedRequest> = self.pending_requests.drain(..take).collect();
+            self.propose_batch(chunk, ctx);
+        }
+    }
+
+    /// Assigns the next sequence number to a batch and sends it to the followers.
+    fn propose_batch(&mut self, requests: Vec<SignedRequest>, ctx: &mut Context<XPaxosMsg>) {
+        let (reqs, sigs): (Vec<_>, Vec<_>) = requests
+            .into_iter()
+            .map(|sr| (sr.request, sr.signature))
+            .unzip();
+        let batch = Batch::new(reqs);
+        self.next_sn = self.next_sn.next();
+        let sn = self.next_sn;
+        let view = self.view;
+        let batch_digest = batch.digest();
+        ctx.charge(CryptoOp::Hash {
+            len: batch.wire_size(),
+        });
+
+        // The primary's signature doubles as its commit statement in the t = 1 path and
+        // as the prepare statement in the general path.
+        let signed = if self.config.t == 1 {
+            CommitEntry::commit_digest(&batch_digest, sn, view)
+        } else {
+            PrepareEntry::signed_digest(&batch_digest, sn, view)
+        };
+        ctx.charge(CryptoOp::Sign);
+        let primary_sig = self.sign(&signed);
+
+        let entry = PrepareEntry {
+            view,
+            sn,
+            batch: batch.clone(),
+            client_sigs: sigs.clone(),
+            primary_sig,
+        };
+        self.prepare_log.insert(entry);
+
+        if self.config.t == 1 {
+            let follower = self.groups.followers(view)[0];
+            ctx.send(
+                self.node_of(follower),
+                XPaxosMsg::CommitCarry(CommitCarryMsg {
+                    view,
+                    sn,
+                    batch,
+                    client_sigs: sigs,
+                    signature: primary_sig,
+                }),
+            );
+        } else {
+            let msg = XPaxosMsg::Prepare(PrepareMsg {
+                view,
+                sn,
+                batch,
+                client_sigs: sigs,
+                signature: primary_sig,
+            });
+            for follower in self.groups.followers(view) {
+                ctx.send(self.node_of(follower), msg.clone());
+            }
+        }
+    }
+
+    // -----------------------------------------------------------------------------
+    // Follower paths
+    // -----------------------------------------------------------------------------
+
+    /// General case (t ≥ 2): a follower receives the primary's PREPARE.
+    pub(crate) fn on_prepare(
+        &mut self,
+        _from: NodeId,
+        m: PrepareMsg,
+        ctx: &mut Context<XPaxosMsg>,
+    ) {
+        if self.phase != Phase::Active || m.view != self.view || !self.is_active_in(self.view) {
+            return;
+        }
+        if self.is_primary_in(self.view) {
+            return; // the primary never receives PREPAREs
+        }
+        // Verify the primary's and the clients' signatures.
+        ctx.charge(CryptoOp::VerifySig);
+        let expected = PrepareEntry::signed_digest(&m.batch.digest(), m.sn, m.view);
+        if !self.verifier.is_valid_digest(&expected, &m.signature) {
+            self.suspect_view(ctx);
+            return;
+        }
+        for _ in &m.client_sigs {
+            ctx.charge(CryptoOp::VerifySig);
+        }
+        if m.sn != self.next_sn.next() {
+            return; // out-of-order proposal; rely on retransmission / view change
+        }
+        self.next_sn = m.sn;
+        let batch_digest = m.batch.digest();
+        self.prepare_log.insert(PrepareEntry {
+            view: m.view,
+            sn: m.sn,
+            batch: m.batch,
+            client_sigs: m.client_sigs,
+            primary_sig: m.signature,
+        });
+
+        // Sign and broadcast the COMMIT to all active replicas.
+        ctx.charge(CryptoOp::Sign);
+        let commit_digest = CommitEntry::commit_digest(&batch_digest, m.sn, m.view);
+        let sig = self.sign(&commit_digest);
+        let commit = CommitMsg {
+            view: m.view,
+            sn: m.sn,
+            batch_digest,
+            replica: self.id,
+            reply_digest: None,
+            signature: sig,
+        };
+        // Record our own commit locally, then broadcast.
+        self.pending_commits
+            .entry(m.sn.0)
+            .or_default()
+            .sigs
+            .insert(self.id, sig);
+        for node in self.other_active_nodes(m.view) {
+            ctx.send(node, XPaxosMsg::Commit(commit.clone()));
+        }
+        self.try_complete_general(m.sn, ctx);
+    }
+
+    /// t = 1 fast path: the follower receives the primary's COMMIT carrying the batch.
+    pub(crate) fn on_commit_carry(
+        &mut self,
+        _from: NodeId,
+        m: CommitCarryMsg,
+        ctx: &mut Context<XPaxosMsg>,
+    ) {
+        if self.phase != Phase::Active || m.view != self.view {
+            return;
+        }
+        if !self.is_active_in(self.view) || self.is_primary_in(self.view) {
+            return;
+        }
+        ctx.charge(CryptoOp::VerifySig);
+        let batch_digest = m.batch.digest();
+        let expected = CommitEntry::commit_digest(&batch_digest, m.sn, m.view);
+        if !self.verifier.is_valid_digest(&expected, &m.signature) {
+            self.suspect_view(ctx);
+            return;
+        }
+        for _ in &m.client_sigs {
+            ctx.charge(CryptoOp::VerifySig);
+        }
+        if m.sn != self.next_sn.next() {
+            return;
+        }
+        self.next_sn = m.sn;
+        self.prepare_log.insert(PrepareEntry {
+            view: m.view,
+            sn: m.sn,
+            batch: m.batch.clone(),
+            client_sigs: m.client_sigs,
+            primary_sig: m.signature,
+        });
+
+        // Execute immediately (the follower executes before the primary in this path)
+        // and include the reply digest in the signed commit m1.
+        let reply_digests = self.execute_batch_now(m.sn, &m.batch, ctx);
+        let combined_reply = combine_digests(&reply_digests);
+
+        ctx.charge(CryptoOp::Sign);
+        let commit_digest = CommitEntry::commit_digest(&batch_digest, m.sn, m.view)
+            .combine(&combined_reply);
+        let sig = self.sign(&commit_digest);
+        let m1 = CommitMsg {
+            view: m.view,
+            sn: m.sn,
+            batch_digest,
+            replica: self.id,
+            reply_digest: Some(combined_reply),
+            signature: sig,
+        };
+
+        let mut commit_sigs = BTreeMap::new();
+        commit_sigs.insert(self.id, sig);
+        self.commit_log.insert(CommitEntry {
+            view: m.view,
+            sn: m.sn,
+            batch: m.batch,
+            primary_sig: m.signature,
+            commit_sigs,
+        });
+        self.committed_batches += 1;
+
+        let primary = self.groups.primary(m.view);
+        ctx.send(self.node_of(primary), XPaxosMsg::Commit(m1));
+
+        self.maybe_checkpoint(ctx);
+        self.lazy_replicate(m.sn, ctx);
+    }
+
+    /// COMMIT (digest form): t = 1 completion at the primary, general-case collection,
+    /// or post-view-change proof accumulation.
+    pub(crate) fn on_commit(&mut self, _from: NodeId, m: CommitMsg, ctx: &mut Context<XPaxosMsg>) {
+        if m.view != self.view {
+            return;
+        }
+        ctx.charge(CryptoOp::VerifySig);
+        if m.replica >= self.config.n() {
+            return;
+        }
+
+        // Proof accumulation for an entry that is already committed locally (also used
+        // after view changes to rebuild full commit certificates).
+        if let Some(existing) = self.commit_log.get(m.sn) {
+            if existing.batch.digest() == m.batch_digest {
+                let view = existing.view;
+                let mut entry = existing.clone();
+                entry.commit_sigs.insert(m.replica, m.signature);
+                // Only strengthen the proof; never downgrade the view.
+                if view == entry.view {
+                    self.commit_log.insert(entry);
+                }
+            }
+            return;
+        }
+
+        if self.config.t == 1 && self.is_primary_in(self.view) {
+            self.complete_fast_path(m, ctx);
+        } else {
+            // General case: collect one COMMIT per follower.
+            let Some(prep) = self.prepare_log.get(m.sn) else {
+                return;
+            };
+            if prep.batch.digest() != m.batch_digest || prep.view != m.view {
+                return;
+            }
+            self.pending_commits
+                .entry(m.sn.0)
+                .or_default()
+                .sigs
+                .insert(m.replica, m.signature);
+            self.try_complete_general(m.sn, ctx);
+        }
+    }
+
+    /// t = 1: the primary completes a batch once the follower's signed commit arrives.
+    fn complete_fast_path(&mut self, m: CommitMsg, ctx: &mut Context<XPaxosMsg>) {
+        let Some(prep) = self.prepare_log.get(m.sn) else {
+            return;
+        };
+        if prep.batch.digest() != m.batch_digest {
+            // The follower committed a different batch than we prepared: a non-crash
+            // fault somewhere; trigger a view change.
+            self.suspect_view(ctx);
+            return;
+        }
+        let follower = self.groups.followers(self.view)[0];
+        if m.replica != follower {
+            return;
+        }
+        let mut commit_sigs = BTreeMap::new();
+        commit_sigs.insert(follower, m.signature);
+        let entry = CommitEntry {
+            view: prep.view,
+            sn: prep.sn,
+            batch: prep.batch.clone(),
+            primary_sig: prep.primary_sig,
+            commit_sigs,
+        };
+        self.follower_commits.insert(m.sn.0, m);
+        self.commit_log.insert(entry);
+        self.committed_batches += 1;
+        self.try_execute(ctx);
+        self.maybe_checkpoint(ctx);
+    }
+
+    /// General case: completes the commit of `sn` once every follower's COMMIT arrived.
+    pub(crate) fn try_complete_general(&mut self, sn: SeqNum, ctx: &mut Context<XPaxosMsg>) {
+        let followers = self.groups.followers(self.view);
+        let Some(pending) = self.pending_commits.get(&sn.0) else {
+            return;
+        };
+        if !followers.iter().all(|f| pending.sigs.contains_key(f)) {
+            return;
+        }
+        let Some(prep) = self.prepare_log.get(sn) else {
+            return;
+        };
+        let entry = CommitEntry {
+            view: prep.view,
+            sn,
+            batch: prep.batch.clone(),
+            primary_sig: prep.primary_sig,
+            commit_sigs: self.pending_commits.remove(&sn.0).unwrap_or_default().sigs,
+        };
+        self.commit_log.insert(entry);
+        self.committed_batches += 1;
+        self.try_execute(ctx);
+        self.maybe_checkpoint(ctx);
+        self.lazy_replicate(sn, ctx);
+    }
+
+    // -----------------------------------------------------------------------------
+    // Execution and replies
+    // -----------------------------------------------------------------------------
+
+    /// Executes committed batches in sequence-number order and replies to clients.
+    pub(crate) fn try_execute(&mut self, ctx: &mut Context<XPaxosMsg>) {
+        loop {
+            let next = self.exec_sn.next();
+            let Some(entry) = self.commit_log.get(next) else {
+                break;
+            };
+            let batch = entry.batch.clone();
+            self.execute_batch_now(next, &batch, ctx);
+        }
+    }
+
+    /// Executes one batch (which must be the next in order), updates the client table,
+    /// sends replies and returns the per-request reply digests.
+    pub(crate) fn execute_batch_now(
+        &mut self,
+        sn: SeqNum,
+        batch: &Batch,
+        ctx: &mut Context<XPaxosMsg>,
+    ) -> Vec<Digest> {
+        debug_assert_eq!(sn, self.exec_sn.next(), "execution must be in order");
+        self.exec_sn = sn;
+        self.executed_history.push((sn, batch.digest()));
+
+        let is_primary = self.is_primary_in(self.view);
+        // In the t = 1 fast path only the primary answers the client (Figure 2b); in
+        // the general case every active replica replies (followers with the digest).
+        let is_active = self.is_active_in(self.view)
+            && self.phase == Phase::Active
+            && (self.config.t > 1 || is_primary);
+        let attach_follower_commit = self.config.t == 1 && is_primary;
+
+        let mut digests = Vec::with_capacity(batch.len());
+        for req in &batch.requests {
+            ctx.charge_ns(self.state.execution_cost_ns(&req.op));
+            let payload = self.state.apply(&req.op);
+            let rd = Digest::of(&payload);
+            digests.push(rd);
+
+            let reply = ReplyMsg {
+                view: self.view,
+                sn,
+                timestamp: req.timestamp,
+                reply_digest: reply_digest(self.view, sn, req.client, req.timestamp, &rd),
+                payload: if is_primary { Some(payload) } else { None },
+                replica: self.id,
+                follower_commit: if attach_follower_commit {
+                    self.follower_commits.get(&sn.0).cloned()
+                } else {
+                    None
+                },
+            };
+            // Remember the latest reply for duplicate suppression.
+            self.client_table
+                .insert(req.client, (req.timestamp, reply.clone()));
+            self.clear_monitor(req.client, req.timestamp, ctx);
+
+            // Only active replicas answer clients (passive replicas execute silently).
+            if is_active {
+                ctx.send(self.client_node(req.client), XPaxosMsg::Reply(reply));
+            }
+        }
+        digests
+    }
+}
+
+/// Combines per-request reply digests into the single digest carried by the follower's
+/// commit message in the t = 1 fast path.
+pub(crate) fn combine_digests(digests: &[Digest]) -> Digest {
+    let mut acc = Digest::of(b"replies");
+    for d in digests {
+        acc = acc.combine(d);
+    }
+    acc
+}

@@ -1,0 +1,342 @@
+//! The XPaxos replica: state, message dispatch and the common-case ordering protocol.
+//!
+//! The replica is split across several files by protocol component, mirroring the
+//! paper's presentation: this module holds the state and the common case (§4.2),
+//! [`view_change`] the decentralized view change (§4.3), [`fault_detection`] the FD
+//! checks (§4.4, Appendix B.4), and [`checkpoint`] the checkpointing and lazy
+//! replication optimizations (§4.5).
+
+pub mod checkpoint;
+pub mod common_case;
+pub mod fault_detection;
+pub mod view_change;
+
+use crate::byzantine::ByzantineBehavior;
+use crate::config::XPaxosConfig;
+use crate::log::{CommitLog, PrepareLog};
+use crate::messages::{CommitMsg, ReplyMsg, SignedRequest, XPaxosMsg};
+use crate::state_machine::StateMachine;
+use crate::sync_group::SyncGroups;
+use crate::types::{ClientId, ReplicaId, SeqNum, Timestamp, ViewNumber};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use xft_crypto::{Digest, KeyRegistry, Signature, Signer, Verifier};
+use xft_simnet::{Actor, Context, ControlCode, NodeId, TimerId};
+
+/// Timer token: the primary's batch-accumulation timeout.
+pub(crate) const TOKEN_BATCH: u64 = 1;
+/// Timer token base: the 2Δ VIEW-CHANGE collection window (plus the target view).
+pub(crate) const TOKEN_VC_COLLECT: u64 = 1_000_000_000;
+/// Timer token base: the overall view-change completion timeout (plus the target view).
+pub(crate) const TOKEN_VC_TIMEOUT: u64 = 2_000_000_000;
+/// Timer token base: per-request retransmission monitors (plus a local counter).
+pub(crate) const TOKEN_MONITOR: u64 = 3_000_000_000;
+
+/// Which protocol phase the replica is currently in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Phase {
+    /// Normal operation in the current view.
+    Active,
+    /// A view change towards `Replica::view` is in progress.
+    ViewChange,
+}
+
+/// Commit signatures collected for a sequence number before the entry is complete
+/// (general case, t ≥ 2).
+#[derive(Debug, Default, Clone)]
+pub(crate) struct PendingCommit {
+    pub(crate) sigs: BTreeMap<ReplicaId, Signature>,
+}
+
+/// Per-view-change bookkeeping (paper Algorithm 3 / 5).
+pub(crate) struct ViewChangeState {
+    /// The view being installed.
+    pub(crate) target: ViewNumber,
+    /// VIEW-CHANGE messages received, keyed by sender.
+    pub(crate) vc_msgs: BTreeMap<ReplicaId, crate::messages::ViewChangeMsg>,
+    /// Whether the 2Δ collection window has elapsed.
+    pub(crate) collect_deadline_passed: bool,
+    /// Whether this replica already broadcast its VC-FINAL.
+    pub(crate) vc_final_sent: bool,
+    /// VC-FINAL messages received, keyed by sender.
+    pub(crate) vc_finals: BTreeMap<ReplicaId, crate::messages::VcFinalMsg>,
+    /// VC-CONFIRM digests received (fault-detection mode only).
+    pub(crate) vc_confirms: BTreeMap<ReplicaId, Digest>,
+    /// Whether this replica already broadcast its VC-CONFIRM.
+    pub(crate) confirm_sent: bool,
+    /// The merged view-change set (after VC-FINAL exchange).
+    pub(crate) merged: Option<Vec<crate::messages::ViewChangeMsg>>,
+    /// The selection this replica computed from the merged set (sn → batch digest).
+    pub(crate) selection_digests: BTreeMap<u64, Digest>,
+    /// 2Δ collection timer.
+    pub(crate) collect_timer: Option<TimerId>,
+    /// Overall completion timer.
+    pub(crate) timeout_timer: Option<TimerId>,
+}
+
+/// An XPaxos replica.
+pub struct Replica {
+    pub(crate) id: ReplicaId,
+    pub(crate) config: XPaxosConfig,
+    pub(crate) groups: SyncGroups,
+    pub(crate) signer: Signer,
+    pub(crate) verifier: Verifier,
+    /// Injected non-crash behaviour (tests / FD experiments).
+    pub(crate) behavior: ByzantineBehavior,
+
+    // ---- view state -------------------------------------------------------------
+    pub(crate) view: ViewNumber,
+    pub(crate) phase: Phase,
+
+    // ---- ordering state ---------------------------------------------------------
+    /// Highest sequence number prepared/accepted locally.
+    pub(crate) next_sn: SeqNum,
+    /// Highest sequence number executed.
+    pub(crate) exec_sn: SeqNum,
+    pub(crate) prepare_log: PrepareLog,
+    pub(crate) commit_log: CommitLog,
+    /// Commit signatures still being collected (general case).
+    pub(crate) pending_commits: BTreeMap<u64, PendingCommit>,
+    /// Follower COMMIT messages kept for attaching to client replies (t = 1 path).
+    pub(crate) follower_commits: HashMap<u64, CommitMsg>,
+    pub(crate) state: Box<dyn StateMachine>,
+    /// (sn, batch digest) for every executed batch, used by consistency checks.
+    pub(crate) executed_history: Vec<(SeqNum, Digest)>,
+    /// Last executed timestamp and cached reply per client (exactly-once semantics).
+    pub(crate) client_table: HashMap<ClientId, (Timestamp, ReplyMsg)>,
+
+    // ---- batching (primary role) ------------------------------------------------
+    pub(crate) pending_requests: Vec<SignedRequest>,
+    pub(crate) batch_timer: Option<TimerId>,
+
+    // ---- checkpointing ----------------------------------------------------------
+    pub(crate) last_checkpoint: SeqNum,
+    pub(crate) prechk_votes: BTreeMap<u64, BTreeMap<ReplicaId, Digest>>,
+    pub(crate) chkpt_votes: BTreeMap<u64, Vec<crate::messages::CheckpointMsg>>,
+
+    // ---- view change ------------------------------------------------------------
+    pub(crate) vc: Option<ViewChangeState>,
+    /// Views for which a SUSPECT has already been forwarded (dedup).
+    pub(crate) forwarded_suspects: HashSet<u64>,
+
+    // ---- retransmission monitoring (Algorithm 4) ---------------------------------
+    pub(crate) monitored: HashMap<u64, (ClientId, Timestamp)>,
+    pub(crate) monitored_by_req: HashMap<(ClientId, Timestamp), (u64, TimerId)>,
+    pub(crate) next_monitor_token: u64,
+
+    // ---- fault detection --------------------------------------------------------
+    /// Replicas this replica has detected (or been told, with proof) to be faulty.
+    pub(crate) detected_faulty: BTreeSet<ReplicaId>,
+
+    // ---- statistics --------------------------------------------------------------
+    pub(crate) committed_batches: u64,
+    pub(crate) view_changes_completed: u64,
+}
+
+impl Replica {
+    /// Creates a replica with the given id, configuration and state machine.
+    pub fn new(
+        id: ReplicaId,
+        config: XPaxosConfig,
+        registry: &std::sync::Arc<KeyRegistry>,
+        state: Box<dyn StateMachine>,
+    ) -> Self {
+        let signer = Signer::new(registry, crate::types::replica_key(id));
+        let verifier = Verifier::new(registry.clone());
+        let groups = SyncGroups::new(config.t);
+        Replica {
+            id,
+            config,
+            groups,
+            signer,
+            verifier,
+            behavior: ByzantineBehavior::Correct,
+            view: ViewNumber(0),
+            phase: Phase::Active,
+            next_sn: SeqNum(0),
+            exec_sn: SeqNum(0),
+            prepare_log: PrepareLog::new(),
+            commit_log: CommitLog::new(),
+            pending_commits: BTreeMap::new(),
+            follower_commits: HashMap::new(),
+            state,
+            executed_history: Vec::new(),
+            client_table: HashMap::new(),
+            pending_requests: Vec::new(),
+            batch_timer: None,
+            last_checkpoint: SeqNum(0),
+            prechk_votes: BTreeMap::new(),
+            chkpt_votes: BTreeMap::new(),
+            vc: None,
+            forwarded_suspects: HashSet::new(),
+            monitored: HashMap::new(),
+            monitored_by_req: HashMap::new(),
+            next_monitor_token: 0,
+            detected_faulty: BTreeSet::new(),
+            committed_batches: 0,
+            view_changes_completed: 0,
+        }
+    }
+
+    // ---- role helpers -----------------------------------------------------------
+
+    /// The replica's id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// Current view.
+    pub fn view(&self) -> ViewNumber {
+        self.view
+    }
+
+    /// Current protocol phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Highest executed sequence number.
+    pub fn executed_upto(&self) -> SeqNum {
+        self.exec_sn
+    }
+
+    /// The executed history (sn, batch digest) — used by consistency checks.
+    pub fn executed_history(&self) -> &[(SeqNum, Digest)] {
+        &self.executed_history
+    }
+
+    /// Digest of the replicated state machine's state.
+    pub fn state_digest(&self) -> Digest {
+        self.state.state_digest()
+    }
+
+    /// Number of batches this replica has committed.
+    pub fn committed_batches(&self) -> u64 {
+        self.committed_batches
+    }
+
+    /// Number of view changes this replica has completed.
+    pub fn view_changes_completed(&self) -> u64 {
+        self.view_changes_completed
+    }
+
+    /// Replicas detected as faulty by the FD mechanism.
+    pub fn detected_faulty(&self) -> &BTreeSet<ReplicaId> {
+        &self.detected_faulty
+    }
+
+    /// Sets the replica's Byzantine behaviour (tests / FD experiments).
+    pub fn set_behavior(&mut self, behavior: ByzantineBehavior) {
+        self.behavior = behavior;
+    }
+
+    /// The currently configured Byzantine behaviour.
+    pub fn behavior(&self) -> ByzantineBehavior {
+        self.behavior
+    }
+
+    /// Whether this replica is active (primary or follower) in `view`.
+    pub fn is_active_in(&self, view: ViewNumber) -> bool {
+        self.groups.is_active(view, self.id)
+    }
+
+    /// Whether this replica is the primary of `view`.
+    pub fn is_primary_in(&self, view: ViewNumber) -> bool {
+        self.groups.is_primary(view, self.id)
+    }
+
+    /// Simnet node id of a replica.
+    pub(crate) fn node_of(&self, replica: ReplicaId) -> NodeId {
+        self.config.node_of(replica)
+    }
+
+    /// Simnet node id of a client.
+    pub(crate) fn client_node(&self, client: ClientId) -> NodeId {
+        // Clients occupy the configured client nodes indexed by their id.
+        self.config.client_nodes[client.0 as usize % self.config.client_nodes.len().max(1)]
+    }
+
+    /// Active replicas of a view, as simnet node ids, excluding this replica.
+    pub(crate) fn other_active_nodes(&self, view: ViewNumber) -> Vec<NodeId> {
+        self.groups
+            .active_replicas(view)
+            .iter()
+            .filter(|r| **r != self.id)
+            .map(|r| self.node_of(*r))
+            .collect()
+    }
+
+    /// All replica nodes except this one.
+    pub(crate) fn other_replica_nodes(&self) -> Vec<NodeId> {
+        (0..self.config.n())
+            .filter(|r| *r != self.id)
+            .map(|r| self.node_of(r))
+            .collect()
+    }
+}
+
+impl Actor for Replica {
+    type Msg = XPaxosMsg;
+
+    fn on_start(&mut self, _ctx: &mut Context<XPaxosMsg>) {}
+
+    fn on_message(&mut self, from: NodeId, msg: XPaxosMsg, ctx: &mut Context<XPaxosMsg>) {
+        // A mute replica receives but never reacts: a "silent" non-crash fault.
+        if self.behavior == ByzantineBehavior::Mute {
+            return;
+        }
+        match msg {
+            XPaxosMsg::Replicate(req) => self.on_client_request(req, false, ctx),
+            XPaxosMsg::Resend(req) => self.on_client_request(req, true, ctx),
+            XPaxosMsg::Prepare(m) => self.on_prepare(from, m, ctx),
+            XPaxosMsg::CommitCarry(m) => self.on_commit_carry(from, m, ctx),
+            XPaxosMsg::Commit(m) => self.on_commit(from, m, ctx),
+            XPaxosMsg::Suspect(m) => self.on_suspect(m, ctx),
+            XPaxosMsg::ViewChange(m) => self.on_view_change(m, ctx),
+            XPaxosMsg::VcFinal(m) => self.on_vc_final(m, ctx),
+            XPaxosMsg::VcConfirm(m) => self.on_vc_confirm(m, ctx),
+            XPaxosMsg::NewView(m) => self.on_new_view(m, ctx),
+            XPaxosMsg::Checkpoint(m) => self.on_checkpoint(m, ctx),
+            XPaxosMsg::LazyCheckpoint { proof } => self.on_lazy_checkpoint(proof, ctx),
+            XPaxosMsg::LazyReplicate { entries, .. } => self.on_lazy_replicate(entries, ctx),
+            XPaxosMsg::FaultDetected(m) => self.on_fault_detected(m, ctx),
+            // Replies and client-directed suspects are never addressed to replicas.
+            XPaxosMsg::Reply(_) | XPaxosMsg::SuspectToClient(_) => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<XPaxosMsg>) {
+        if self.behavior == ByzantineBehavior::Mute {
+            return;
+        }
+        if token == TOKEN_BATCH {
+            self.batch_timer = None;
+            self.flush_batches(ctx);
+        } else if (TOKEN_VC_COLLECT..TOKEN_VC_TIMEOUT).contains(&token) {
+            let target = ViewNumber(token - TOKEN_VC_COLLECT);
+            self.on_vc_collect_deadline(target, ctx);
+        } else if (TOKEN_VC_TIMEOUT..TOKEN_MONITOR).contains(&token) {
+            let target = ViewNumber(token - TOKEN_VC_TIMEOUT);
+            self.on_vc_timeout(target, ctx);
+        } else if token >= TOKEN_MONITOR {
+            self.on_monitor_timeout(token, ctx);
+        }
+    }
+
+    fn on_recover(&mut self, _ctx: &mut Context<XPaxosMsg>) {
+        // State (logs, state machine) is preserved across the crash, modeling stable
+        // storage. Timers were discarded by the simulator; in-progress view-change
+        // bookkeeping is reset — the replica will rejoin through SUSPECT / VIEW-CHANGE
+        // messages from others.
+        self.batch_timer = None;
+        self.vc = None;
+        self.phase = Phase::Active;
+        self.monitored.clear();
+        self.monitored_by_req.clear();
+    }
+
+    fn on_control(&mut self, code: ControlCode, _ctx: &mut Context<XPaxosMsg>) {
+        if let Some(behavior) = ByzantineBehavior::from_control_code(code) {
+            self.behavior = behavior;
+        }
+    }
+}

@@ -1,0 +1,547 @@
+//! The decentralized XPaxos view change (paper §4.3, Algorithm 3) and, when fault
+//! detection is enabled, the extra VC-CONFIRM round of Algorithm 5.
+//!
+//! Unlike classical view changes led by the new primary, *every* active replica of the
+//! new synchronous group collects VIEW-CHANGE messages from all replicas (waiting at
+//! least 2Δ and for at least n − t messages), exchanges the collected sets in VC-FINAL
+//! messages, and only then lets the new primary re-propose the selected requests in a
+//! NEW-VIEW message.
+
+use super::{Phase, Replica, ViewChangeState, TOKEN_VC_COLLECT, TOKEN_VC_TIMEOUT};
+use crate::byzantine::ByzantineBehavior;
+use crate::log::{CommitEntry, PrepareEntry};
+use crate::messages::{
+    suspect_digest, NewViewMsg, SuspectMsg, VcFinalMsg, ViewChangeMsg, XPaxosMsg,
+};
+use crate::types::{Batch, SeqNum, ViewNumber};
+use std::collections::BTreeMap;
+use xft_crypto::{CryptoOp, Digest};
+use xft_simnet::{Context, MetricEvent};
+
+impl Replica {
+    /// Builds a signed SUSPECT message for `view`.
+    pub(crate) fn make_suspect(&self, view: ViewNumber) -> SuspectMsg {
+        SuspectMsg {
+            view,
+            replica: self.id,
+            signature: self.sign(&suspect_digest(view, self.id)),
+        }
+    }
+
+    /// Initiates a view change from the current view (only active replicas may do so).
+    pub(crate) fn suspect_view(&mut self, ctx: &mut Context<XPaxosMsg>) {
+        if !self.is_active_in(self.view) {
+            return;
+        }
+        let view = self.view;
+        ctx.charge(CryptoOp::Sign);
+        let suspect = self.make_suspect(view);
+        ctx.count("suspects_sent", 1);
+        for node in self.other_replica_nodes() {
+            ctx.send(node, XPaxosMsg::Suspect(suspect.clone()));
+        }
+        self.enter_view_change(view.next(), ctx);
+    }
+
+    /// Handles a SUSPECT message: verify, forward once, and move to the next view.
+    pub(crate) fn on_suspect(&mut self, m: SuspectMsg, ctx: &mut Context<XPaxosMsg>) {
+        // Only active replicas of the suspected view may initiate its view change.
+        if !self.groups.is_active(m.view, m.replica) {
+            return;
+        }
+        ctx.charge(CryptoOp::VerifySig);
+        if !self
+            .verifier
+            .is_valid_digest(&suspect_digest(m.view, m.replica), &m.signature)
+        {
+            return;
+        }
+        if m.view < self.view {
+            return; // stale
+        }
+        // Forward the suspect to everyone the first time we see one for this view.
+        if self.forwarded_suspects.insert(m.view.0) {
+            for node in self.other_replica_nodes() {
+                ctx.send(node, XPaxosMsg::Suspect(m.clone()));
+            }
+        }
+        self.enter_view_change(m.view.next(), ctx);
+    }
+
+    /// Moves this replica into the view change installing `target`.
+    pub(crate) fn enter_view_change(&mut self, target: ViewNumber, ctx: &mut Context<XPaxosMsg>) {
+        // Already installing or installed `target` (or something later): nothing to do.
+        if target < self.view || (target == self.view && self.phase == Phase::ViewChange) {
+            return;
+        }
+        if target == self.view && self.phase == Phase::Active {
+            return;
+        }
+
+        self.view = target;
+        self.phase = Phase::ViewChange;
+        if let Some(old) = self.vc.take() {
+            if let Some(t) = old.collect_timer {
+                ctx.cancel_timer(t);
+            }
+            if let Some(t) = old.timeout_timer {
+                ctx.cancel_timer(t);
+            }
+        }
+        if let Some(t) = self.batch_timer.take() {
+            ctx.cancel_timer(t);
+        }
+        self.pending_commits.clear();
+        ctx.count("view_changes_started", 1);
+
+        // Build and send our VIEW-CHANGE message to the active replicas of the target
+        // view, applying any configured data-loss fault.
+        let mut commit_log = self.commit_log.to_vec();
+        let mut prepare_log = if self.config.fault_detection {
+            self.prepare_log.to_vec()
+        } else {
+            Vec::new()
+        };
+        match self.behavior {
+            ByzantineBehavior::DataLossCommitLog { keep } => {
+                commit_log.retain(|e| e.sn <= keep);
+            }
+            ByzantineBehavior::DataLossBothLogs { keep } => {
+                commit_log.retain(|e| e.sn <= keep);
+                prepare_log.retain(|e| e.sn <= keep);
+            }
+            _ => {}
+        }
+        ctx.charge(CryptoOp::Sign);
+        let mut vc = ViewChangeMsg {
+            new_view: target,
+            replica: self.id,
+            commit_log,
+            prepare_log,
+            signature: xft_crypto::Signature::forged(self.signer.id()),
+        };
+        vc.signature = self.sign(&vc.digest());
+
+        for replica in self.groups.active_replicas(target).to_vec() {
+            ctx.send(self.node_of(replica), XPaxosMsg::ViewChange(vc.clone()));
+        }
+
+        if self.is_active_in(target) {
+            // Active replicas of the new view collect messages from everyone else.
+            let collect_timer =
+                ctx.set_timer(self.config.two_delta(), TOKEN_VC_COLLECT + target.0);
+            let timeout_timer =
+                ctx.set_timer(self.config.view_change_timeout, TOKEN_VC_TIMEOUT + target.0);
+            self.vc = Some(ViewChangeState {
+                target,
+                vc_msgs: BTreeMap::new(),
+                collect_deadline_passed: false,
+                vc_final_sent: false,
+                vc_finals: BTreeMap::new(),
+                vc_confirms: BTreeMap::new(),
+                confirm_sent: false,
+                merged: None,
+                selection_digests: BTreeMap::new(),
+                collect_timer: Some(collect_timer),
+                timeout_timer: Some(timeout_timer),
+            });
+        } else {
+            // Passive replicas have done their part (log transfer): they simply adopt
+            // the new view number and keep serving lazy replication.
+            self.vc = None;
+            self.phase = Phase::Active;
+        }
+    }
+
+    /// Handles a VIEW-CHANGE message addressed to an active replica of the new view.
+    pub(crate) fn on_view_change(&mut self, m: ViewChangeMsg, ctx: &mut Context<XPaxosMsg>) {
+        ctx.charge(CryptoOp::VerifySig);
+        if !self.verifier.is_valid_digest(&m.digest(), &m.signature) {
+            return;
+        }
+        if m.new_view > self.view {
+            // Someone is ahead of us: join that view change.
+            self.enter_view_change(m.new_view, ctx);
+        }
+        let Some(vc) = self.vc.as_mut() else {
+            return;
+        };
+        if vc.target != m.new_view {
+            return;
+        }
+        vc.vc_msgs.insert(m.replica, m);
+        self.check_vc_progress(ctx);
+    }
+
+    /// The 2Δ collection window elapsed.
+    pub(crate) fn on_vc_collect_deadline(
+        &mut self,
+        target: ViewNumber,
+        ctx: &mut Context<XPaxosMsg>,
+    ) {
+        let mut relevant = false;
+        if let Some(vc) = self.vc.as_mut() {
+            if vc.target == target {
+                vc.collect_deadline_passed = true;
+                relevant = true;
+            }
+        }
+        if relevant {
+            self.check_vc_progress(ctx);
+        }
+    }
+
+    /// Sends VC-FINAL once the collection condition of Algorithm 3 line 13 holds:
+    /// either every replica answered, or the 2Δ window elapsed with at least n − t
+    /// answers.
+    pub(crate) fn check_vc_progress(&mut self, ctx: &mut Context<XPaxosMsg>) {
+        let n = self.config.n();
+        let t = self.config.t;
+        let (target, set) = {
+            let Some(vc) = self.vc.as_mut() else {
+                return;
+            };
+            if vc.vc_final_sent {
+                let _ = vc;
+                self.maybe_merge(ctx);
+                return;
+            }
+            let enough = vc.vc_msgs.len() == n
+                || (vc.collect_deadline_passed && vc.vc_msgs.len() >= n - t);
+            if !enough {
+                return;
+            }
+            vc.vc_final_sent = true;
+            let set: Vec<ViewChangeMsg> = vc.vc_msgs.values().cloned().collect();
+            (vc.target, set)
+        };
+
+        ctx.charge(CryptoOp::Sign);
+        let digest = vc_set_digest(&set);
+        let msg = VcFinalMsg {
+            new_view: target,
+            replica: self.id,
+            vc_set: set,
+            signature: self.sign(&digest),
+        };
+        // Record our own VC-FINAL, then send to the other active replicas.
+        if let Some(vc) = self.vc.as_mut() {
+            vc.vc_finals.insert(self.id, msg.clone());
+        }
+        for node in self.other_active_nodes(target) {
+            ctx.send(node, XPaxosMsg::VcFinal(msg.clone()));
+        }
+        self.maybe_merge(ctx);
+    }
+
+    /// Handles a VC-FINAL message from another active replica of the new view.
+    pub(crate) fn on_vc_final(&mut self, m: VcFinalMsg, ctx: &mut Context<XPaxosMsg>) {
+        ctx.charge(CryptoOp::VerifySig);
+        if m.new_view > self.view {
+            self.enter_view_change(m.new_view, ctx);
+        }
+        {
+            let Some(vc) = self.vc.as_mut() else {
+                return;
+            };
+            if vc.target != m.new_view {
+                return;
+            }
+            if !self.groups.is_active(m.new_view, m.replica) {
+                return;
+            }
+            vc.vc_finals.insert(m.replica, m);
+        }
+        self.maybe_merge(ctx);
+    }
+
+    /// Once VC-FINAL messages from all t + 1 active replicas of the new view are in,
+    /// merge the sets and either run fault detection (VC-CONFIRM) or select directly.
+    pub(crate) fn maybe_merge(&mut self, ctx: &mut Context<XPaxosMsg>) {
+        let fd = self.config.fault_detection;
+        let merged = {
+            let Some(vc) = self.vc.as_mut() else {
+                return;
+            };
+            if vc.merged.is_some() || !vc.vc_final_sent {
+                return;
+            }
+            let active = self.groups.active_replicas(vc.target);
+            if !active.iter().all(|r| vc.vc_finals.contains_key(r)) {
+                return;
+            }
+            // Union of every received set, keyed by the sender of the VIEW-CHANGE
+            // message.
+            let mut merged: BTreeMap<usize, ViewChangeMsg> = BTreeMap::new();
+            for final_msg in vc.vc_finals.values() {
+                for m in &final_msg.vc_set {
+                    merged.entry(m.replica).or_insert_with(|| m.clone());
+                }
+            }
+            for m in vc.vc_msgs.values() {
+                merged.entry(m.replica).or_insert_with(|| m.clone());
+            }
+            let merged: Vec<ViewChangeMsg> = merged.into_values().collect();
+            vc.merged = Some(merged.clone());
+            merged
+        };
+
+        if fd {
+            self.run_fault_detection_and_confirm(merged, ctx);
+        } else {
+            self.proceed_with_selection(merged, ctx);
+        }
+    }
+
+    /// Computes the selection from the merged view-change set and, if this replica is
+    /// the new primary, broadcasts NEW-VIEW.
+    pub(crate) fn proceed_with_selection(
+        &mut self,
+        merged: Vec<ViewChangeMsg>,
+        ctx: &mut Context<XPaxosMsg>,
+    ) {
+        let fd = self.config.fault_detection;
+        let target = match self.vc.as_ref() {
+            Some(vc) => vc.target,
+            None => return,
+        };
+
+        // For each sequence number keep the batch with the highest view number found in
+        // any commit log (and, with FD, any prepare log).
+        let mut selected: BTreeMap<u64, (ViewNumber, Batch)> = BTreeMap::new();
+        for m in &merged {
+            for entry in &m.commit_log {
+                let slot = selected
+                    .entry(entry.sn.0)
+                    .or_insert((entry.view, entry.batch.clone()));
+                if entry.view > slot.0 {
+                    *slot = (entry.view, entry.batch.clone());
+                }
+            }
+            if fd {
+                for entry in &m.prepare_log {
+                    let slot = selected
+                        .entry(entry.sn.0)
+                        .or_insert((entry.view, entry.batch.clone()));
+                    if entry.view > slot.0 {
+                        *slot = (entry.view, entry.batch.clone());
+                    }
+                }
+            }
+        }
+        let selection_digests: BTreeMap<u64, Digest> = selected
+            .iter()
+            .map(|(sn, (_, batch))| (*sn, batch.digest()))
+            .collect();
+        if let Some(vc) = self.vc.as_mut() {
+            vc.selection_digests = selection_digests;
+        }
+
+        if self.groups.is_primary(target, self.id) {
+            // Re-propose every selected request in the new view.
+            let mut prepare_log = Vec::with_capacity(selected.len());
+            for (sn, (_, batch)) in &selected {
+                ctx.charge(CryptoOp::Sign);
+                let sn = SeqNum(*sn);
+                let digest_to_sign = if self.config.t == 1 {
+                    CommitEntry::commit_digest(&batch.digest(), sn, target)
+                } else {
+                    PrepareEntry::signed_digest(&batch.digest(), sn, target)
+                };
+                prepare_log.push(PrepareEntry {
+                    view: target,
+                    sn,
+                    batch: batch.clone(),
+                    client_sigs: Vec::new(),
+                    primary_sig: self.sign(&digest_to_sign),
+                });
+            }
+            ctx.charge(CryptoOp::Sign);
+            let nv = NewViewMsg {
+                new_view: target,
+                prepare_log: prepare_log.clone(),
+                signature: self.sign(&Digest::of_parts(&[b"new-view", &target.0.to_le_bytes()])),
+            };
+            for node in self.other_active_nodes(target) {
+                ctx.send(node, XPaxosMsg::NewView(nv.clone()));
+            }
+            self.install_new_view(target, prepare_log, ctx);
+        }
+    }
+
+    /// Handles the new primary's NEW-VIEW message.
+    pub(crate) fn on_new_view(&mut self, m: NewViewMsg, ctx: &mut Context<XPaxosMsg>) {
+        ctx.charge(CryptoOp::VerifySig);
+        if m.new_view > self.view {
+            self.enter_view_change(m.new_view, ctx);
+        }
+        let selection = match self.vc.as_ref() {
+            Some(vc) if vc.target == m.new_view && self.is_active_in(m.new_view) => {
+                vc.selection_digests.clone()
+            }
+            _ => return,
+        };
+        // Verify the proposal against our own selection where we have one: the new
+        // primary must not omit or alter requests we know were committed.
+        if !selection.is_empty() {
+            for (sn, digest) in &selection {
+                match m.prepare_log.iter().find(|e| e.sn.0 == *sn) {
+                    Some(entry) if entry.batch.digest() == *digest => {}
+                    _ => {
+                        // The new primary is faulty: suspect the new view.
+                        self.suspect_view(ctx);
+                        return;
+                    }
+                }
+            }
+        }
+        self.install_new_view(m.new_view, m.prepare_log, ctx);
+    }
+
+    /// Installs the new view: adopt the re-proposed entries, exchange commit proofs,
+    /// execute what became committed and resume normal operation.
+    pub(crate) fn install_new_view(
+        &mut self,
+        target: ViewNumber,
+        entries: Vec<PrepareEntry>,
+        ctx: &mut Context<XPaxosMsg>,
+    ) {
+        let present: std::collections::BTreeSet<u64> = entries.iter().map(|e| e.sn.0).collect();
+        let highest = present.iter().next_back().copied().unwrap_or(0);
+        let lowest = present.iter().next().copied().unwrap_or(0);
+
+        // If everything below `lowest` was garbage-collected by checkpoints on the
+        // other replicas, this replica adopts the checkpointed state: it skips forward
+        // (modeling the state-snapshot transfer of a real deployment).
+        if lowest > 0 && lowest > self.exec_sn.0 + 1 {
+            self.exec_sn = SeqNum(lowest - 1);
+        }
+
+        for entry in entries {
+            let replace = match self.commit_log.get(entry.sn) {
+                Some(existing) => existing.view < target,
+                None => true,
+            };
+            if replace {
+                // If this replica already executed a *different* batch at this slot
+                // (possible only for entries it executed speculatively in the t = 1
+                // fast path before being cut off), adopt the authoritative batch and
+                // record the repair — this models the state transfer a rejoining
+                // replica performs in a real deployment.
+                if entry.sn <= self.exec_sn {
+                    let new_digest = entry.batch.digest();
+                    if let Some(slot) = self
+                        .executed_history
+                        .iter_mut()
+                        .find(|(sn, _)| *sn == entry.sn)
+                    {
+                        if slot.1 != new_digest {
+                            slot.1 = new_digest;
+                            ctx.count("state_repairs", 1);
+                        }
+                    }
+                }
+                self.commit_log.insert(CommitEntry {
+                    view: target,
+                    sn: entry.sn,
+                    batch: entry.batch.clone(),
+                    primary_sig: entry.primary_sig,
+                    commit_sigs: BTreeMap::new(),
+                });
+            }
+            self.prepare_log.insert(entry);
+        }
+        // Fill any holes in the adopted sequence with no-op batches so execution can
+        // proceed past them (holes can only correspond to never-committed slots).
+        for sn in (self.exec_sn.0 + 1)..=highest {
+            if !present.contains(&sn) && !self.commit_log.contains(SeqNum(sn)) {
+                self.commit_log.insert(CommitEntry {
+                    view: target,
+                    sn: SeqNum(sn),
+                    batch: Batch::default(),
+                    primary_sig: xft_crypto::Signature::forged(self.signer.id()),
+                    commit_sigs: BTreeMap::new(),
+                });
+            }
+        }
+
+        // Strengthen proofs: send a COMMIT for every adopted entry to the other active
+        // replicas (this mirrors "process the prepare logs as in the common case").
+        let other_actives = self.other_active_nodes(target);
+        let commits: Vec<XPaxosMsg> = self
+            .commit_log
+            .iter()
+            .filter(|e| e.view == target && e.sn.0 <= highest)
+            .map(|e| {
+                XPaxosMsg::Commit(crate::messages::CommitMsg {
+                    view: target,
+                    sn: e.sn,
+                    batch_digest: e.batch.digest(),
+                    replica: self.id,
+                    reply_digest: None,
+                    signature: self
+                        .sign(&CommitEntry::commit_digest(&e.batch.digest(), e.sn, target)),
+                })
+            })
+            .collect();
+        for msg in commits {
+            ctx.charge(CryptoOp::Sign);
+            for node in &other_actives {
+                ctx.send(*node, msg.clone());
+            }
+        }
+
+        // Sequencing in the new view continues from the end of the adopted log. Any
+        // higher slots this replica prepared in previous views were never committed
+        // (outside anarchy) and are abandoned: their requests will be re-proposed when
+        // the clients retransmit.
+        self.next_sn = SeqNum(highest.max(self.exec_sn.0));
+        self.pending_commits.retain(|sn, _| *sn <= self.next_sn.0);
+        self.view = target;
+        self.phase = Phase::Active;
+        self.view_changes_completed += 1;
+        if let Some(vc) = self.vc.take() {
+            if let Some(t) = vc.collect_timer {
+                ctx.cancel_timer(t);
+            }
+            if let Some(t) = vc.timeout_timer {
+                ctx.cancel_timer(t);
+            }
+        }
+        ctx.record(MetricEvent::ViewChange {
+            at: ctx.now(),
+            new_view: target.0,
+        });
+
+        self.try_execute(ctx);
+
+        // The new primary resumes proposing any buffered client requests.
+        if self.is_primary_in(target) && !self.pending_requests.is_empty() {
+            self.flush_batches(ctx);
+        }
+    }
+
+    /// The view change towards `target` did not complete in time: suspect it and move on
+    /// (initiation condition (iii) of §4.3.2).
+    pub(crate) fn on_vc_timeout(&mut self, target: ViewNumber, ctx: &mut Context<XPaxosMsg>) {
+        if self.phase != Phase::ViewChange || self.view != target {
+            return;
+        }
+        ctx.count("view_change_timeouts", 1);
+        ctx.charge(CryptoOp::Sign);
+        let suspect = self.make_suspect(target);
+        for node in self.other_replica_nodes() {
+            ctx.send(node, XPaxosMsg::Suspect(suspect.clone()));
+        }
+        self.enter_view_change(target.next(), ctx);
+    }
+}
+
+/// Digest of a set of view-change messages (used for VC-FINAL / VC-CONFIRM signatures).
+pub(crate) fn vc_set_digest(set: &[ViewChangeMsg]) -> Digest {
+    let mut acc = Digest::of(b"vc-set");
+    for m in set {
+        acc = acc.combine(&m.digest());
+    }
+    acc
+}

@@ -1,0 +1,115 @@
+//! Message digests — the `D(m)` primitive of the paper.
+
+use crate::sha256::{sha256, Sha256, OUTPUT_LEN};
+use std::fmt;
+
+/// A 32-byte SHA-256 digest of a message.
+///
+/// Digests are used pervasively by XPaxos and the baselines: the primary signs the
+/// digest of a request rather than the request itself, replies may carry only the digest
+/// of the application result, and commit-log entries are matched by digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Digest(pub [u8; OUTPUT_LEN]);
+
+impl Digest {
+    /// The all-zero digest, used as a placeholder (e.g. digest of an empty log).
+    pub const ZERO: Digest = Digest([0u8; OUTPUT_LEN]);
+
+    /// Computes the digest of a byte string.
+    pub fn of(data: &[u8]) -> Self {
+        Digest(sha256(data))
+    }
+
+    /// Computes the digest of a sequence of byte strings, with length framing so that
+    /// `of_parts(&[a, b])` differs from `of_parts(&[ab, ""])`.
+    pub fn of_parts(parts: &[&[u8]]) -> Self {
+        let mut h = Sha256::new();
+        for p in parts {
+            h.update(&(p.len() as u64).to_le_bytes());
+            h.update(p);
+        }
+        Digest(h.finalize())
+    }
+
+    /// Combines two digests into one (used for chained/checkpoint digests).
+    pub fn combine(&self, other: &Digest) -> Digest {
+        Digest::of_parts(&[&self.0, &other.0])
+    }
+
+    /// Returns the raw bytes.
+    pub fn as_bytes(&self) -> &[u8; OUTPUT_LEN] {
+        &self.0
+    }
+
+    /// Renders the first 8 bytes as hex (for logs and traces).
+    pub fn short_hex(&self) -> String {
+        self.0[..8].iter().map(|b| format!("{:02x}", b)).collect()
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({}…)", self.short_hex())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            write!(f, "{:02x}", b)?;
+        }
+        Ok(())
+    }
+}
+
+impl AsRef<[u8]> for Digest {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<[u8; OUTPUT_LEN]> for Digest {
+    fn from(value: [u8; OUTPUT_LEN]) -> Self {
+        Digest(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_matches_sha256() {
+        assert_eq!(Digest::of(b"abc").0, sha256(b"abc"));
+    }
+
+    #[test]
+    fn of_parts_framing_prevents_concatenation_ambiguity() {
+        let a = Digest::of_parts(&[b"ab", b"c"]);
+        let b = Digest::of_parts(&[b"a", b"bc"]);
+        let c = Digest::of_parts(&[b"abc"]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(b, c);
+    }
+
+    #[test]
+    fn combine_is_order_sensitive() {
+        let a = Digest::of(b"a");
+        let b = Digest::of(b"b");
+        assert_ne!(a.combine(&b), b.combine(&a));
+    }
+
+    #[test]
+    fn display_is_64_hex_chars() {
+        let d = Digest::of(b"hello");
+        let s = d.to_string();
+        assert_eq!(s.len(), 64);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn zero_digest_is_distinct_from_empty_hash() {
+        assert_ne!(Digest::ZERO, Digest::of(b""));
+    }
+}

@@ -1,0 +1,158 @@
+//! Key material and the shared key registry used by the simulated signature scheme.
+
+use crate::sha256::sha256;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// Identity of a key holder (a replica or a client). The protocols map their own node
+/// identifiers into `KeyId`s; the registry does not care about the distinction.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct KeyId(pub u64);
+
+impl fmt::Debug for KeyId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "key#{}", self.0)
+    }
+}
+
+/// A secret signing/MAC key. In the real system this would be an RSA private key; here
+/// it is 32 bytes of key material derived deterministically from the registry seed and
+/// the key id, which keeps whole simulations reproducible.
+#[derive(Clone, PartialEq, Eq)]
+pub struct SecretKey(pub(crate) [u8; 32]);
+
+impl SecretKey {
+    /// Derives a secret key from a seed and an identity.
+    pub fn derive(seed: u64, id: KeyId) -> Self {
+        let mut material = Vec::with_capacity(24);
+        material.extend_from_slice(b"xft-sk::");
+        material.extend_from_slice(&seed.to_le_bytes());
+        material.extend_from_slice(&id.0.to_le_bytes());
+        SecretKey(sha256(&material))
+    }
+
+    /// Raw key bytes (used by the HMAC-based signature and MAC schemes).
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+}
+
+impl fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print key material.
+        write!(f, "SecretKey(…)")
+    }
+}
+
+/// A registry holding every participant's secret key.
+///
+/// The registry plays the role of the PKI assumed by the paper ("we assume that all
+/// machines have public keys of all other processes"): verification of a signature by
+/// `p` recomputes the HMAC under `p`'s key. Protocol actors are only ever handed their
+/// *own* [`SecretKey`] plus a shared `Arc<KeyRegistry>` used exclusively through the
+/// verification API, so a Byzantine actor in a test cannot forge another node's
+/// signatures without deliberately breaking this discipline.
+pub struct KeyRegistry {
+    seed: u64,
+    keys: RwLock<HashMap<KeyId, SecretKey>>,
+}
+
+impl KeyRegistry {
+    /// Creates an empty registry. All keys derived through it are a deterministic
+    /// function of `seed`.
+    pub fn new(seed: u64) -> Arc<Self> {
+        Arc::new(KeyRegistry {
+            seed,
+            keys: RwLock::new(HashMap::new()),
+        })
+    }
+
+    /// Registers (or returns the previously registered) key for `id` and hands the
+    /// secret key to the caller. Each node calls this once at start-up.
+    pub fn register(&self, id: KeyId) -> SecretKey {
+        let mut keys = self.keys.write();
+        keys.entry(id)
+            .or_insert_with(|| SecretKey::derive(self.seed, id))
+            .clone()
+    }
+
+    /// Returns the key registered for `id`, if any. Used internally by verification.
+    pub(crate) fn key_of(&self, id: KeyId) -> Option<SecretKey> {
+        self.keys.read().get(&id).cloned()
+    }
+
+    /// Returns whether `id` has been registered.
+    pub fn contains(&self, id: KeyId) -> bool {
+        self.keys.read().contains_key(&id)
+    }
+
+    /// Number of registered identities.
+    pub fn len(&self) -> usize {
+        self.keys.read().len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.keys.read().is_empty()
+    }
+
+    /// The registry seed (useful for spawning related registries in tests).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+impl fmt::Debug for KeyRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "KeyRegistry(seed={}, keys={})", self.seed, self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_is_idempotent() {
+        let reg = KeyRegistry::new(7);
+        let k1 = reg.register(KeyId(3));
+        let k2 = reg.register(KeyId(3));
+        assert_eq!(k1, k2);
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn keys_are_deterministic_in_seed_and_id() {
+        let a = KeyRegistry::new(42);
+        let b = KeyRegistry::new(42);
+        assert_eq!(a.register(KeyId(1)), b.register(KeyId(1)));
+        let c = KeyRegistry::new(43);
+        assert_ne!(a.register(KeyId(1)), c.register(KeyId(1)));
+    }
+
+    #[test]
+    fn different_ids_get_different_keys() {
+        let reg = KeyRegistry::new(1);
+        assert_ne!(reg.register(KeyId(1)), reg.register(KeyId(2)));
+    }
+
+    #[test]
+    fn contains_and_len_track_registration() {
+        let reg = KeyRegistry::new(0);
+        assert!(reg.is_empty());
+        assert!(!reg.contains(KeyId(9)));
+        reg.register(KeyId(9));
+        assert!(reg.contains(KeyId(9)));
+        assert_eq!(reg.len(), 1);
+    }
+
+    #[test]
+    fn debug_does_not_leak_key_material() {
+        let reg = KeyRegistry::new(5);
+        let key = reg.register(KeyId(1));
+        let rendered = format!("{:?}", key);
+        assert!(!rendered.contains("["));
+    }
+}

@@ -1,0 +1,42 @@
+//! Cryptographic substrate for the XFT / XPaxos reproduction.
+//!
+//! The XPaxos protocol (and the BFT baselines it is compared against) rely on three
+//! cryptographic primitives:
+//!
+//! * **message digests** — `D(m)` in the paper — implemented here as SHA-256,
+//! * **MACs** for pairwise-authenticated channels (the paper uses HMAC-SHA1; we use
+//!   HMAC-SHA-256),
+//! * **digital signatures** — `⟨m⟩σp` in the paper — which the original system computes
+//!   with RSA-1024 through Crypto++.
+//!
+//! This crate implements SHA-256 and HMAC-SHA-256 from scratch (no external
+//! dependencies) and provides a *simulated* signature scheme: a signature is an HMAC of
+//! the message under the signer's secret key, and verification goes through a shared
+//! [`KeyRegistry`] that knows every node's key. Inside a deterministic simulation this
+//! gives exactly the property the protocols need — no participant can produce a valid
+//! signature for another identity, because the simulation's "adversary" never gets
+//! access to other nodes' secret keys — while staying dependency-free.
+//!
+//! Because the paper's CPU-cost experiment (Figure 8) depends on the *relative* cost of
+//! signatures vs. MACs, the crate also exposes a [`CostModel`](cost::CostModel) that
+//! assigns a simulated CPU time to each operation; the simulator charges this time to
+//! the node performing the operation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod digest;
+pub mod hmac;
+pub mod keys;
+pub mod mac;
+pub mod sha256;
+pub mod sig;
+
+pub use cost::{CostModel, CryptoOp};
+pub use digest::Digest;
+pub use hmac::hmac_sha256;
+pub use keys::{KeyId, KeyRegistry, SecretKey};
+pub use mac::{Authenticator, MacTag};
+pub use sha256::{sha256, Sha256};
+pub use sig::{SignError, Signature, Signer, Verifier};

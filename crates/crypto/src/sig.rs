@@ -1,0 +1,238 @@
+//! Simulated digital signatures (`⟨m⟩σp` in the paper).
+//!
+//! A [`Signature`] produced by [`Signer::sign`] is an HMAC-SHA-256 of the message under
+//! the signer's secret key, tagged with the signer's [`KeyId`]. Verification recomputes
+//! the HMAC through the shared [`KeyRegistry`]. Within the simulation this provides the
+//! unforgeability the protocols assume (a node that does not hold `p`'s secret key
+//! cannot construct a tag that verifies as `p`'s), while avoiding a real public-key
+//! implementation. The substitution is documented in DESIGN.md.
+
+use crate::digest::Digest;
+use crate::hmac::{hmac_sha256, verify_tag};
+use crate::keys::{KeyId, KeyRegistry, SecretKey};
+use std::fmt;
+use std::sync::Arc;
+
+/// Domain-separation prefix so signature tags can never collide with channel MAC tags.
+const SIG_DOMAIN: &[u8] = b"xft-signature-v1";
+
+/// A signature over a message digest, attributable to `signer`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Signature {
+    /// Identity the signature claims to come from.
+    pub signer: KeyId,
+    /// HMAC tag binding the signer to the signed digest.
+    pub tag: [u8; 32],
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Sig({:?}, {:02x}{:02x}…)",
+            self.signer, self.tag[0], self.tag[1]
+        )
+    }
+}
+
+impl Signature {
+    /// A structurally valid but never-verifying signature, useful as a placeholder in
+    /// tests that model Byzantine garbage.
+    pub fn forged(signer: KeyId) -> Self {
+        Signature {
+            signer,
+            tag: [0u8; 32],
+        }
+    }
+}
+
+/// Errors returned by signature verification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SignError {
+    /// The claimed signer is not registered with the key registry.
+    UnknownSigner(KeyId),
+    /// The tag does not verify for the claimed signer and message.
+    BadSignature(KeyId),
+}
+
+impl fmt::Display for SignError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignError::UnknownSigner(id) => write!(f, "unknown signer {:?}", id),
+            SignError::BadSignature(id) => write!(f, "bad signature claimed by {:?}", id),
+        }
+    }
+}
+
+impl std::error::Error for SignError {}
+
+/// Signing handle held by a single node. Owns the node's secret key.
+#[derive(Clone)]
+pub struct Signer {
+    id: KeyId,
+    key: SecretKey,
+}
+
+impl Signer {
+    /// Creates a signer for `id`, registering its key with `registry`.
+    pub fn new(registry: &KeyRegistry, id: KeyId) -> Self {
+        let key = registry.register(id);
+        Signer { id, key }
+    }
+
+    /// The identity this signer signs as.
+    pub fn id(&self) -> KeyId {
+        self.id
+    }
+
+    /// Signs a message digest.
+    pub fn sign_digest(&self, digest: &Digest) -> Signature {
+        let mut buf = Vec::with_capacity(SIG_DOMAIN.len() + 8 + 32);
+        buf.extend_from_slice(SIG_DOMAIN);
+        buf.extend_from_slice(&self.id.0.to_le_bytes());
+        buf.extend_from_slice(digest.as_bytes());
+        Signature {
+            signer: self.id,
+            tag: hmac_sha256(self.key.as_bytes(), &buf),
+        }
+    }
+
+    /// Signs an arbitrary byte string (hashing it first).
+    pub fn sign_bytes(&self, data: &[u8]) -> Signature {
+        self.sign_digest(&Digest::of(data))
+    }
+}
+
+impl fmt::Debug for Signer {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Signer({:?})", self.id)
+    }
+}
+
+/// Verification handle shared by all nodes; wraps the key registry.
+#[derive(Clone)]
+pub struct Verifier {
+    registry: Arc<KeyRegistry>,
+}
+
+impl Verifier {
+    /// Creates a verifier backed by `registry`.
+    pub fn new(registry: Arc<KeyRegistry>) -> Self {
+        Verifier { registry }
+    }
+
+    /// Verifies that `sig` is a valid signature by `sig.signer` over `digest`.
+    pub fn verify_digest(&self, digest: &Digest, sig: &Signature) -> Result<(), SignError> {
+        let key = self
+            .registry
+            .key_of(sig.signer)
+            .ok_or(SignError::UnknownSigner(sig.signer))?;
+        let mut buf = Vec::with_capacity(SIG_DOMAIN.len() + 8 + 32);
+        buf.extend_from_slice(SIG_DOMAIN);
+        buf.extend_from_slice(&sig.signer.0.to_le_bytes());
+        buf.extend_from_slice(digest.as_bytes());
+        let expected = hmac_sha256(key.as_bytes(), &buf);
+        if verify_tag(&expected, &sig.tag) {
+            Ok(())
+        } else {
+            Err(SignError::BadSignature(sig.signer))
+        }
+    }
+
+    /// Verifies a signature over raw bytes.
+    pub fn verify_bytes(&self, data: &[u8], sig: &Signature) -> Result<(), SignError> {
+        self.verify_digest(&Digest::of(data), sig)
+    }
+
+    /// Whether the signature verifies (convenience boolean form).
+    pub fn is_valid_digest(&self, digest: &Digest, sig: &Signature) -> bool {
+        self.verify_digest(digest, sig).is_ok()
+    }
+}
+
+impl fmt::Debug for Verifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Verifier({:?})", self.registry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (Arc<KeyRegistry>, Signer, Signer, Verifier) {
+        let registry = KeyRegistry::new(99);
+        let alice = Signer::new(&registry, KeyId(1));
+        let bob = Signer::new(&registry, KeyId(2));
+        let verifier = Verifier::new(registry.clone());
+        (registry, alice, bob, verifier)
+    }
+
+    #[test]
+    fn sign_then_verify_roundtrip() {
+        let (_r, alice, _b, verifier) = setup();
+        let sig = alice.sign_bytes(b"request payload");
+        assert!(verifier.verify_bytes(b"request payload", &sig).is_ok());
+    }
+
+    #[test]
+    fn verification_fails_for_modified_message() {
+        let (_r, alice, _b, verifier) = setup();
+        let sig = alice.sign_bytes(b"request payload");
+        assert_eq!(
+            verifier.verify_bytes(b"request payload!", &sig),
+            Err(SignError::BadSignature(KeyId(1)))
+        );
+    }
+
+    #[test]
+    fn signature_cannot_be_reattributed() {
+        let (_r, alice, _bob, verifier) = setup();
+        let mut sig = alice.sign_bytes(b"m");
+        // A Byzantine node relabels Alice's signature as Bob's; it must not verify.
+        sig.signer = KeyId(2);
+        assert_eq!(
+            verifier.verify_bytes(b"m", &sig),
+            Err(SignError::BadSignature(KeyId(2)))
+        );
+    }
+
+    #[test]
+    fn unknown_signer_is_rejected() {
+        let (_r, alice, _b, verifier) = setup();
+        let mut sig = alice.sign_bytes(b"m");
+        sig.signer = KeyId(77);
+        assert_eq!(
+            verifier.verify_bytes(b"m", &sig),
+            Err(SignError::UnknownSigner(KeyId(77)))
+        );
+    }
+
+    #[test]
+    fn forged_signature_never_verifies() {
+        let (_r, _a, _b, verifier) = setup();
+        let sig = Signature::forged(KeyId(1));
+        assert!(verifier.verify_bytes(b"anything", &sig).is_err());
+    }
+
+    #[test]
+    fn digest_and_bytes_signing_are_consistent() {
+        let (_r, alice, _b, verifier) = setup();
+        let d = Digest::of(b"payload");
+        let sig = alice.sign_digest(&d);
+        assert!(verifier.verify_bytes(b"payload", &sig).is_ok());
+        assert!(verifier.is_valid_digest(&d, &sig));
+    }
+
+    #[test]
+    fn signatures_from_two_registries_do_not_cross_verify() {
+        let reg_a = KeyRegistry::new(1);
+        let reg_b = KeyRegistry::new(2);
+        let signer = Signer::new(&reg_a, KeyId(1));
+        // The same identity exists in registry B, but with a different key.
+        let _ = reg_b.register(KeyId(1));
+        let verifier_b = Verifier::new(reg_b);
+        let sig = signer.sign_bytes(b"m");
+        assert!(verifier_b.verify_bytes(b"m", &sig).is_err());
+    }
+}

@@ -1,0 +1,24 @@
+//! # xft-kvstore — a ZooKeeper-like coordination service state machine
+//!
+//! The paper's macro-benchmark (§5.5, Figure 10) replicates Apache ZooKeeper with each
+//! of the evaluated protocols. This crate provides the replicated service itself: an
+//! in-memory hierarchical namespace of *znodes* with the core ZooKeeper operations
+//! (create, delete, set, get, exists, children, sequential and ephemeral nodes), a
+//! compact binary operation encoding, and an implementation of the
+//! [`StateMachine`](xft_core::state_machine::StateMachine) trait so it can be plugged
+//! into XPaxos or any baseline protocol.
+//!
+//! The service is deterministic: replicas applying the same operations in the same
+//! order reach identical state digests, which is what the replication protocols
+//! guarantee and the tests verify.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ops;
+pub mod service;
+pub mod tree;
+
+pub use ops::{KvOp, KvResult};
+pub use service::CoordinationService;
+pub use tree::{ZNode, ZNodeTree};

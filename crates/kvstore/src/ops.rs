@@ -1,0 +1,293 @@
+//! Operation encoding for the coordination service.
+//!
+//! Replication protocols carry opaque byte strings; [`KvOp`] provides a compact,
+//! deterministic binary encoding so benchmark clients can generate ZooKeeper-style
+//! operations (1 kB writes in the paper's Figure 10 workload) and replicas can decode
+//! and apply them.
+
+use bytes::{BufMut, Bytes, BytesMut};
+
+/// A coordination-service operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KvOp {
+    /// Create a node.
+    Create {
+        /// Path of the new node.
+        path: String,
+        /// Initial data.
+        data: Bytes,
+        /// Session owning the node if ephemeral.
+        ephemeral_owner: Option<u64>,
+        /// Whether a sequential suffix is appended.
+        sequential: bool,
+    },
+    /// Delete a node.
+    Delete {
+        /// Path to delete.
+        path: String,
+    },
+    /// Overwrite a node's data (the Figure 10 workload: 1 kB writes).
+    SetData {
+        /// Path to update.
+        path: String,
+        /// New data.
+        data: Bytes,
+    },
+    /// Read a node's data.
+    GetData {
+        /// Path to read.
+        path: String,
+    },
+    /// Check whether a node exists.
+    Exists {
+        /// Path to probe.
+        path: String,
+    },
+    /// List the direct children of a node.
+    GetChildren {
+        /// Path whose children are listed.
+        path: String,
+    },
+    /// Expire a session, removing its ephemeral nodes.
+    ExpireSession {
+        /// The expired session id.
+        session: u64,
+    },
+}
+
+/// Result of applying an operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum KvResult {
+    /// Operation succeeded; optional payload (created path, read data, child list…).
+    Ok(Bytes),
+    /// Operation failed with a ZooKeeper-style error name.
+    Err(&'static str),
+}
+
+impl KvResult {
+    /// Whether the result is a success.
+    pub fn is_ok(&self) -> bool {
+        matches!(self, KvResult::Ok(_))
+    }
+
+    /// Serializes the result to bytes (for protocol replies).
+    pub fn encode(&self) -> Bytes {
+        let mut out = BytesMut::new();
+        match self {
+            KvResult::Ok(payload) => {
+                out.put_u8(1);
+                out.put_slice(payload);
+            }
+            KvResult::Err(name) => {
+                out.put_u8(0);
+                out.put_slice(name.as_bytes());
+            }
+        }
+        out.freeze()
+    }
+}
+
+const TAG_CREATE: u8 = 1;
+const TAG_DELETE: u8 = 2;
+const TAG_SET: u8 = 3;
+const TAG_GET: u8 = 4;
+const TAG_EXISTS: u8 = 5;
+const TAG_CHILDREN: u8 = 6;
+const TAG_EXPIRE: u8 = 7;
+
+fn put_str(out: &mut BytesMut, s: &str) {
+    out.put_u32_le(s.len() as u32);
+    out.put_slice(s.as_bytes());
+}
+
+fn get_str(data: &[u8], pos: &mut usize) -> Option<String> {
+    if data.len() < *pos + 4 {
+        return None;
+    }
+    let len = u32::from_le_bytes(data[*pos..*pos + 4].try_into().ok()?) as usize;
+    *pos += 4;
+    if data.len() < *pos + len {
+        return None;
+    }
+    let s = String::from_utf8(data[*pos..*pos + len].to_vec()).ok()?;
+    *pos += len;
+    Some(s)
+}
+
+fn get_bytes(data: &[u8], pos: &mut usize) -> Option<Bytes> {
+    if data.len() < *pos + 4 {
+        return None;
+    }
+    let len = u32::from_le_bytes(data[*pos..*pos + 4].try_into().ok()?) as usize;
+    *pos += 4;
+    if data.len() < *pos + len {
+        return None;
+    }
+    let b = Bytes::copy_from_slice(&data[*pos..*pos + len]);
+    *pos += len;
+    Some(b)
+}
+
+impl KvOp {
+    /// Encodes the operation to bytes.
+    pub fn encode(&self) -> Bytes {
+        let mut out = BytesMut::new();
+        match self {
+            KvOp::Create {
+                path,
+                data,
+                ephemeral_owner,
+                sequential,
+            } => {
+                out.put_u8(TAG_CREATE);
+                put_str(&mut out, path);
+                out.put_u32_le(data.len() as u32);
+                out.put_slice(data);
+                out.put_u64_le(ephemeral_owner.map(|s| s + 1).unwrap_or(0));
+                out.put_u8(u8::from(*sequential));
+            }
+            KvOp::Delete { path } => {
+                out.put_u8(TAG_DELETE);
+                put_str(&mut out, path);
+            }
+            KvOp::SetData { path, data } => {
+                out.put_u8(TAG_SET);
+                put_str(&mut out, path);
+                out.put_u32_le(data.len() as u32);
+                out.put_slice(data);
+            }
+            KvOp::GetData { path } => {
+                out.put_u8(TAG_GET);
+                put_str(&mut out, path);
+            }
+            KvOp::Exists { path } => {
+                out.put_u8(TAG_EXISTS);
+                put_str(&mut out, path);
+            }
+            KvOp::GetChildren { path } => {
+                out.put_u8(TAG_CHILDREN);
+                put_str(&mut out, path);
+            }
+            KvOp::ExpireSession { session } => {
+                out.put_u8(TAG_EXPIRE);
+                out.put_u64_le(*session);
+            }
+        }
+        out.freeze()
+    }
+
+    /// Decodes an operation from bytes. Returns `None` on malformed input (replicas
+    /// treat undecodable operations as no-ops with an error reply).
+    pub fn decode(data: &[u8]) -> Option<KvOp> {
+        let mut pos = 1usize;
+        match *data.first()? {
+            TAG_CREATE => {
+                let path = get_str(data, &mut pos)?;
+                let payload = get_bytes(data, &mut pos)?;
+                if data.len() < pos + 9 {
+                    return None;
+                }
+                let owner_raw = u64::from_le_bytes(data[pos..pos + 8].try_into().ok()?);
+                pos += 8;
+                let sequential = data[pos] != 0;
+                Some(KvOp::Create {
+                    path,
+                    data: payload,
+                    ephemeral_owner: if owner_raw == 0 { None } else { Some(owner_raw - 1) },
+                    sequential,
+                })
+            }
+            TAG_DELETE => Some(KvOp::Delete {
+                path: get_str(data, &mut pos)?,
+            }),
+            TAG_SET => {
+                let path = get_str(data, &mut pos)?;
+                let payload = get_bytes(data, &mut pos)?;
+                Some(KvOp::SetData {
+                    path,
+                    data: payload,
+                })
+            }
+            TAG_GET => Some(KvOp::GetData {
+                path: get_str(data, &mut pos)?,
+            }),
+            TAG_EXISTS => Some(KvOp::Exists {
+                path: get_str(data, &mut pos)?,
+            }),
+            TAG_CHILDREN => Some(KvOp::GetChildren {
+                path: get_str(data, &mut pos)?,
+            }),
+            TAG_EXPIRE => {
+                if data.len() < pos + 8 {
+                    return None;
+                }
+                Some(KvOp::ExpireSession {
+                    session: u64::from_le_bytes(data[pos..pos + 8].try_into().ok()?),
+                })
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(op: KvOp) {
+        let encoded = op.encode();
+        let decoded = KvOp::decode(&encoded).expect("decodes");
+        assert_eq!(decoded, op);
+    }
+
+    #[test]
+    fn all_ops_roundtrip() {
+        roundtrip(KvOp::Create {
+            path: "/a/b".into(),
+            data: Bytes::from(vec![7u8; 100]),
+            ephemeral_owner: Some(42),
+            sequential: true,
+        });
+        roundtrip(KvOp::Create {
+            path: "/plain".into(),
+            data: Bytes::new(),
+            ephemeral_owner: None,
+            sequential: false,
+        });
+        roundtrip(KvOp::Delete { path: "/a".into() });
+        roundtrip(KvOp::SetData {
+            path: "/k".into(),
+            data: Bytes::from(vec![1u8; 1024]),
+        });
+        roundtrip(KvOp::GetData { path: "/k".into() });
+        roundtrip(KvOp::Exists { path: "/k".into() });
+        roundtrip(KvOp::GetChildren { path: "/".into() });
+        roundtrip(KvOp::ExpireSession { session: 9 });
+    }
+
+    #[test]
+    fn malformed_input_is_rejected_not_panicking() {
+        assert_eq!(KvOp::decode(&[]), None);
+        assert_eq!(KvOp::decode(&[99]), None);
+        assert_eq!(KvOp::decode(&[TAG_CREATE, 1, 2]), None);
+        // Truncate a valid encoding at every length and make sure decode never panics.
+        let full = KvOp::SetData {
+            path: "/key".into(),
+            data: Bytes::from(vec![0u8; 32]),
+        }
+        .encode();
+        for cut in 0..full.len() {
+            let _ = KvOp::decode(&full[..cut]);
+        }
+    }
+
+    #[test]
+    fn result_encoding_distinguishes_ok_and_err() {
+        let ok = KvResult::Ok(Bytes::from_static(b"payload")).encode();
+        let err = KvResult::Err("NoNode").encode();
+        assert_eq!(ok[0], 1);
+        assert_eq!(err[0], 0);
+        assert!(KvResult::Ok(Bytes::new()).is_ok());
+        assert!(!KvResult::Err("x").is_ok());
+    }
+}

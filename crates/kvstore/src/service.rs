@@ -1,0 +1,198 @@
+//! The replicated coordination service: a [`ZNodeTree`] driven through the
+//! [`StateMachine`] interface, ready to be replicated by XPaxos or any baseline.
+
+use crate::ops::{KvOp, KvResult};
+use crate::tree::{TreeError, ZNodeTree};
+use bytes::{BufMut, Bytes, BytesMut};
+use xft_core::state_machine::StateMachine;
+use xft_crypto::Digest;
+
+/// The coordination service state machine.
+#[derive(Debug, Clone, Default)]
+pub struct CoordinationService {
+    tree: ZNodeTree,
+    applied: u64,
+}
+
+impl CoordinationService {
+    /// Creates an empty service.
+    pub fn new() -> Self {
+        CoordinationService {
+            tree: ZNodeTree::new(),
+            applied: 0,
+        }
+    }
+
+    /// Applies a decoded operation and returns its result.
+    pub fn apply_op(&mut self, op: &KvOp) -> KvResult {
+        self.applied += 1;
+        match op {
+            KvOp::Create {
+                path,
+                data,
+                ephemeral_owner,
+                sequential,
+            } => match self
+                .tree
+                .create(path, data.clone(), *ephemeral_owner, *sequential)
+            {
+                Ok(created) => KvResult::Ok(Bytes::from(created.into_bytes())),
+                Err(e) => KvResult::Err(err_name(e)),
+            },
+            KvOp::Delete { path } => match self.tree.delete(path, None) {
+                Ok(()) => KvResult::Ok(Bytes::new()),
+                Err(e) => KvResult::Err(err_name(e)),
+            },
+            KvOp::SetData { path, data } => match self.tree.set(path, data.clone(), None) {
+                Ok(version) => KvResult::Ok(Bytes::copy_from_slice(&version.to_le_bytes())),
+                Err(e) => KvResult::Err(err_name(e)),
+            },
+            KvOp::GetData { path } => match self.tree.get(path) {
+                Ok(node) => KvResult::Ok(node.data.clone()),
+                Err(e) => KvResult::Err(err_name(e)),
+            },
+            KvOp::Exists { path } => {
+                KvResult::Ok(Bytes::from_static(if self.tree.exists(path) {
+                    b"1"
+                } else {
+                    b"0"
+                }))
+            }
+            KvOp::GetChildren { path } => {
+                let mut out = BytesMut::new();
+                for child in self.tree.children(path) {
+                    out.put_slice(child.as_bytes());
+                    out.put_u8(b'\n');
+                }
+                KvResult::Ok(out.freeze())
+            }
+            KvOp::ExpireSession { session } => {
+                let removed = self.tree.expire_session(*session);
+                KvResult::Ok(Bytes::copy_from_slice(&(removed as u64).to_le_bytes()))
+            }
+        }
+    }
+
+    /// Read access to the underlying tree.
+    pub fn tree(&self) -> &ZNodeTree {
+        &self.tree
+    }
+
+    /// Number of operations applied.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+}
+
+fn err_name(e: TreeError) -> &'static str {
+    match e {
+        TreeError::NodeExists => "NodeExists",
+        TreeError::NoNode => "NoNode",
+        TreeError::NoParent => "NoParent",
+        TreeError::NotEmpty => "NotEmpty",
+        TreeError::BadVersion => "BadVersion",
+        TreeError::BadPath => "BadPath",
+    }
+}
+
+impl StateMachine for CoordinationService {
+    fn apply(&mut self, op: &[u8]) -> Bytes {
+        match KvOp::decode(op) {
+            Some(decoded) => self.apply_op(&decoded).encode(),
+            None => KvResult::Err("Malformed").encode(),
+        }
+    }
+
+    fn state_digest(&self) -> Digest {
+        self.tree.digest()
+    }
+
+    fn execution_cost_ns(&self, op: &[u8]) -> u64 {
+        // A small, size-proportional execution cost: ZooKeeper operations on tmpfs are
+        // cheap compared to the replication protocol (which is the paper's point).
+        500 + (op.len() as u64) / 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn apply_decodes_and_executes() {
+        let mut svc = CoordinationService::new();
+        let create = KvOp::Create {
+            path: "/cfg".into(),
+            data: Bytes::from_static(b"x"),
+            ephemeral_owner: None,
+            sequential: false,
+        };
+        let reply = svc.apply(&create.encode());
+        assert_eq!(reply[0], 1, "success tag");
+        let get = KvOp::GetData { path: "/cfg".into() };
+        let reply = svc.apply(&get.encode());
+        assert_eq!(&reply[1..], b"x");
+        assert_eq!(svc.applied(), 2);
+    }
+
+    #[test]
+    fn malformed_operations_return_error_replies() {
+        let mut svc = CoordinationService::new();
+        let reply = svc.apply(b"\xffgarbage");
+        assert_eq!(reply[0], 0);
+        assert!(svc.tree().is_empty());
+    }
+
+    #[test]
+    fn deterministic_across_replicas() {
+        let script: Vec<KvOp> = (0..50)
+            .map(|i| {
+                if i % 10 == 0 {
+                    KvOp::Create {
+                        path: format!("/node{i}"),
+                        data: Bytes::from(vec![i as u8; 64]),
+                        ephemeral_owner: None,
+                        sequential: false,
+                    }
+                } else {
+                    KvOp::SetData {
+                        path: format!("/node{}", (i / 10) * 10),
+                        data: Bytes::from(vec![i as u8; 128]),
+                    }
+                }
+            })
+            .collect();
+        let mut a = CoordinationService::new();
+        let mut b = CoordinationService::new();
+        for op in &script {
+            let ra = a.apply(&op.encode());
+            let rb = b.apply(&op.encode());
+            assert_eq!(ra, rb);
+        }
+        assert_eq!(a.state_digest(), b.state_digest());
+    }
+
+    #[test]
+    fn error_paths_map_to_zookeeper_style_codes() {
+        let mut svc = CoordinationService::new();
+        assert_eq!(
+            svc.apply_op(&KvOp::Delete { path: "/missing".into() }),
+            KvResult::Err("NoNode")
+        );
+        assert_eq!(
+            svc.apply_op(&KvOp::Create {
+                path: "/a/b".into(),
+                data: Bytes::new(),
+                ephemeral_owner: None,
+                sequential: false
+            }),
+            KvResult::Err("NoParent")
+        );
+    }
+
+    #[test]
+    fn execution_cost_scales_with_payload() {
+        let svc = CoordinationService::new();
+        assert!(svc.execution_cost_ns(&[0u8; 4096]) > svc.execution_cost_ns(&[0u8; 16]));
+    }
+}

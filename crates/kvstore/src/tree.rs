@@ -1,0 +1,344 @@
+//! The znode tree: a hierarchical namespace of versioned nodes, modeled after the
+//! ZooKeeper data model.
+
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use xft_crypto::Digest;
+
+/// One node in the hierarchical namespace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ZNode {
+    /// Node payload.
+    pub data: Bytes,
+    /// Data version, incremented on every set.
+    pub version: u64,
+    /// Creation order (zxid-like counter at creation time).
+    pub created_at: u64,
+    /// Session id of the owner for ephemeral nodes; `None` for persistent nodes.
+    pub ephemeral_owner: Option<u64>,
+    /// Counter used to name sequential children.
+    pub next_sequential: u64,
+}
+
+impl ZNode {
+    fn new(data: Bytes, created_at: u64, ephemeral_owner: Option<u64>) -> Self {
+        ZNode {
+            data,
+            version: 0,
+            created_at,
+            ephemeral_owner,
+            next_sequential: 0,
+        }
+    }
+}
+
+/// Errors returned by tree operations (mirroring ZooKeeper error codes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TreeError {
+    /// The node already exists.
+    NodeExists,
+    /// The node does not exist.
+    NoNode,
+    /// The parent node does not exist.
+    NoParent,
+    /// The node still has children.
+    NotEmpty,
+    /// A version check failed.
+    BadVersion,
+    /// The path is syntactically invalid.
+    BadPath,
+}
+
+/// The hierarchical namespace.
+#[derive(Debug, Clone)]
+pub struct ZNodeTree {
+    nodes: BTreeMap<String, ZNode>,
+    /// Monotonic operation counter (zxid).
+    zxid: u64,
+}
+
+impl Default for ZNodeTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn parent_of(path: &str) -> Option<String> {
+    if path == "/" {
+        return None;
+    }
+    let idx = path.rfind('/')?;
+    Some(if idx == 0 {
+        "/".to_string()
+    } else {
+        path[..idx].to_string()
+    })
+}
+
+fn valid_path(path: &str) -> bool {
+    path.starts_with('/')
+        && !path.contains("//")
+        && (path == "/" || !path.ends_with('/'))
+        && !path.is_empty()
+}
+
+impl ZNodeTree {
+    /// Creates a tree containing only the root node `/`.
+    pub fn new() -> Self {
+        let mut nodes = BTreeMap::new();
+        nodes.insert("/".to_string(), ZNode::new(Bytes::new(), 0, None));
+        ZNodeTree { nodes, zxid: 0 }
+    }
+
+    /// Number of nodes (including the root).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether only the root exists.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() == 1
+    }
+
+    /// The current zxid (number of mutations applied).
+    pub fn zxid(&self) -> u64 {
+        self.zxid
+    }
+
+    /// Creates a node. With `sequential`, a zero-padded counter maintained by the
+    /// parent is appended to the name; the final path is returned.
+    pub fn create(
+        &mut self,
+        path: &str,
+        data: Bytes,
+        ephemeral_owner: Option<u64>,
+        sequential: bool,
+    ) -> Result<String, TreeError> {
+        if !valid_path(path) || path == "/" {
+            return Err(TreeError::BadPath);
+        }
+        let parent = parent_of(path).ok_or(TreeError::BadPath)?;
+        if !self.nodes.contains_key(&parent) {
+            return Err(TreeError::NoParent);
+        }
+        let final_path = if sequential {
+            let parent_node = self.nodes.get_mut(&parent).expect("parent exists");
+            let seq = parent_node.next_sequential;
+            parent_node.next_sequential += 1;
+            format!("{path}{seq:010}")
+        } else {
+            path.to_string()
+        };
+        if self.nodes.contains_key(&final_path) {
+            return Err(TreeError::NodeExists);
+        }
+        self.zxid += 1;
+        self.nodes
+            .insert(final_path.clone(), ZNode::new(data, self.zxid, ephemeral_owner));
+        Ok(final_path)
+    }
+
+    /// Deletes a node (which must have no children). `expected_version` of `None`
+    /// skips the version check.
+    pub fn delete(&mut self, path: &str, expected_version: Option<u64>) -> Result<(), TreeError> {
+        if path == "/" {
+            return Err(TreeError::BadPath);
+        }
+        let node = self.nodes.get(path).ok_or(TreeError::NoNode)?;
+        if let Some(v) = expected_version {
+            if node.version != v {
+                return Err(TreeError::BadVersion);
+            }
+        }
+        if self.children(path).next().is_some() {
+            return Err(TreeError::NotEmpty);
+        }
+        self.zxid += 1;
+        self.nodes.remove(path);
+        Ok(())
+    }
+
+    /// Overwrites a node's data, bumping its version.
+    pub fn set(
+        &mut self,
+        path: &str,
+        data: Bytes,
+        expected_version: Option<u64>,
+    ) -> Result<u64, TreeError> {
+        let node = self.nodes.get_mut(path).ok_or(TreeError::NoNode)?;
+        if let Some(v) = expected_version {
+            if node.version != v {
+                return Err(TreeError::BadVersion);
+            }
+        }
+        node.data = data;
+        node.version += 1;
+        self.zxid += 1;
+        Ok(node.version)
+    }
+
+    /// Reads a node.
+    pub fn get(&self, path: &str) -> Result<&ZNode, TreeError> {
+        self.nodes.get(path).ok_or(TreeError::NoNode)
+    }
+
+    /// Whether a node exists.
+    pub fn exists(&self, path: &str) -> bool {
+        self.nodes.contains_key(path)
+    }
+
+    /// Iterates over the direct children of a node, in lexicographic order.
+    pub fn children<'a>(&'a self, path: &'a str) -> impl Iterator<Item = &'a str> + 'a {
+        let prefix = if path == "/" {
+            "/".to_string()
+        } else {
+            format!("{path}/")
+        };
+        let prefix2 = prefix.clone();
+        self.nodes
+            .range(prefix.clone()..)
+            .take_while(move |(k, _)| k.starts_with(&prefix))
+            .filter(move |(k, _)| {
+                !k[prefix2.len()..].contains('/') && !k[prefix2.len()..].is_empty()
+            })
+            .map(|(k, _)| k.as_str())
+    }
+
+    /// Removes every ephemeral node owned by `session` (session expiry).
+    pub fn expire_session(&mut self, session: u64) -> usize {
+        let doomed: Vec<String> = self
+            .nodes
+            .iter()
+            .filter(|(_, n)| n.ephemeral_owner == Some(session))
+            .map(|(k, _)| k.clone())
+            .collect();
+        // Delete leaves first (longest paths first) so NotEmpty cannot trigger.
+        let mut sorted = doomed;
+        sorted.sort_by_key(|p| std::cmp::Reverse(p.len()));
+        let mut removed = 0;
+        for path in sorted {
+            if self.delete(&path, None).is_ok() {
+                removed += 1;
+            }
+        }
+        removed
+    }
+
+    /// A digest covering the entire tree contents (paths, data, versions).
+    pub fn digest(&self) -> Digest {
+        let mut acc = Digest::of(b"znode-tree");
+        for (path, node) in &self.nodes {
+            acc = acc.combine(&Digest::of_parts(&[
+                path.as_bytes(),
+                &node.data,
+                &node.version.to_le_bytes(),
+                &node.ephemeral_owner.unwrap_or(u64::MAX).to_le_bytes(),
+            ]));
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn create_get_set_delete_roundtrip() {
+        let mut t = ZNodeTree::new();
+        assert!(t.is_empty());
+        t.create("/app", Bytes::from_static(b"cfg"), None, false).unwrap();
+        assert_eq!(t.get("/app").unwrap().data, Bytes::from_static(b"cfg"));
+        assert_eq!(t.set("/app", Bytes::from_static(b"v2"), None).unwrap(), 1);
+        assert_eq!(t.get("/app").unwrap().version, 1);
+        t.delete("/app", None).unwrap();
+        assert!(!t.exists("/app"));
+        assert_eq!(t.zxid(), 3);
+    }
+
+    #[test]
+    fn create_requires_parent_and_uniqueness() {
+        let mut t = ZNodeTree::new();
+        assert_eq!(
+            t.create("/a/b", Bytes::new(), None, false),
+            Err(TreeError::NoParent)
+        );
+        t.create("/a", Bytes::new(), None, false).unwrap();
+        t.create("/a/b", Bytes::new(), None, false).unwrap();
+        assert_eq!(
+            t.create("/a/b", Bytes::new(), None, false),
+            Err(TreeError::NodeExists)
+        );
+    }
+
+    #[test]
+    fn bad_paths_rejected() {
+        let mut t = ZNodeTree::new();
+        for bad in ["", "nope", "/a//b", "/a/", "/"] {
+            assert!(t.create(bad, Bytes::new(), None, false).is_err(), "{bad}");
+        }
+        assert_eq!(t.delete("/", None), Err(TreeError::BadPath));
+    }
+
+    #[test]
+    fn sequential_nodes_get_increasing_suffixes() {
+        let mut t = ZNodeTree::new();
+        t.create("/locks", Bytes::new(), None, false).unwrap();
+        let a = t.create("/locks/lock-", Bytes::new(), None, true).unwrap();
+        let b = t.create("/locks/lock-", Bytes::new(), None, true).unwrap();
+        assert_eq!(a, "/locks/lock-0000000000");
+        assert_eq!(b, "/locks/lock-0000000001");
+        assert!(a < b);
+        let children: Vec<&str> = t.children("/locks").collect();
+        assert_eq!(children.len(), 2);
+    }
+
+    #[test]
+    fn delete_respects_children_and_versions() {
+        let mut t = ZNodeTree::new();
+        t.create("/a", Bytes::new(), None, false).unwrap();
+        t.create("/a/b", Bytes::new(), None, false).unwrap();
+        assert_eq!(t.delete("/a", None), Err(TreeError::NotEmpty));
+        assert_eq!(t.delete("/a/b", Some(3)), Err(TreeError::BadVersion));
+        t.delete("/a/b", Some(0)).unwrap();
+        t.delete("/a", None).unwrap();
+    }
+
+    #[test]
+    fn children_only_lists_direct_descendants() {
+        let mut t = ZNodeTree::new();
+        for p in ["/a", "/a/x", "/a/y", "/a/x/deep", "/b"] {
+            t.create(p, Bytes::new(), None, false).unwrap();
+        }
+        let kids: Vec<&str> = t.children("/a").collect();
+        assert_eq!(kids, vec!["/a/x", "/a/y"]);
+        let root_kids: Vec<&str> = t.children("/").collect();
+        assert_eq!(root_kids, vec!["/a", "/b"]);
+    }
+
+    #[test]
+    fn ephemeral_nodes_die_with_their_session() {
+        let mut t = ZNodeTree::new();
+        t.create("/services", Bytes::new(), None, false).unwrap();
+        t.create("/services/s1", Bytes::new(), Some(7), false).unwrap();
+        t.create("/services/s2", Bytes::new(), Some(7), false).unwrap();
+        t.create("/services/s3", Bytes::new(), Some(8), false).unwrap();
+        assert_eq!(t.expire_session(7), 2);
+        assert!(!t.exists("/services/s1"));
+        assert!(t.exists("/services/s3"));
+    }
+
+    #[test]
+    fn digest_reflects_content_and_is_deterministic() {
+        let build = |extra: bool| {
+            let mut t = ZNodeTree::new();
+            t.create("/k", Bytes::from_static(b"v"), None, false).unwrap();
+            if extra {
+                t.set("/k", Bytes::from_static(b"v2"), None).unwrap();
+            }
+            t.digest()
+        };
+        assert_eq!(build(false), build(false));
+        assert_ne!(build(false), build(true));
+    }
+}

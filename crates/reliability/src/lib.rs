@@ -1,0 +1,24 @@
+//! # xft-reliability — nines-of-reliability analysis for CFT, BFT and XFT
+//!
+//! This crate implements the reliability analysis of Section 6 of *XFT: Practical
+//! Fault Tolerance Beyond Crashes*: under the assumption that machine and network
+//! faults are independent and identically distributed across replicas, it computes the
+//! probability that each protocol family (asynchronous CFT, asynchronous BFT, and XFT /
+//! XPaxos) is *consistent* and *available*, and converts probabilities into "nines"
+//! with `9of(p) = ⌊−log10(1 − p)⌋`.
+//!
+//! The exact combinatorial formulas from the paper are implemented directly (not the
+//! closed-form "observed relations"); the unit tests check that the closed forms the
+//! paper reports for t = 1 and t = 2 agree with the exact evaluation over the same
+//! parameter grids, and the benchmark harness regenerates Tables 5–8 of Appendix D.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod nines;
+pub mod probability;
+pub mod tables;
+
+pub use nines::{nines_of, probability_from_nines};
+pub use probability::{ProtocolFamily, ReliabilityParams};
+pub use tables::{table5, table6, table7, table8, ConsistencyRow, AvailabilityRow};

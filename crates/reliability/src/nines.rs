@@ -1,0 +1,57 @@
+//! Conversion between probabilities and "nines of reliability".
+
+/// `9of(p) = ⌊−log10(1 − p)⌋`, the number of nines of a probability (paper §6).
+/// Probabilities ≥ 1 (within floating-point error) are capped at 16 nines.
+pub fn nines_of(p: f64) -> u32 {
+    if p >= 1.0 - 1e-15 {
+        return 16;
+    }
+    if p <= 0.0 {
+        return 0;
+    }
+    // A small epsilon absorbs the floating-point error of computing `1 - p` for inputs
+    // like 0.999 (whose complement is not exactly representable); the error grows with
+    // the number of nines, reaching ~2e-5 in log space near twelve nines.
+    ((-(1.0 - p).log10()) + 1e-4).floor().max(0.0) as u32
+}
+
+/// Inverse helper: the probability corresponding to exactly `n` nines
+/// (e.g. 3 → 0.999). Used to build the parameter grids of Appendix D.
+pub fn probability_from_nines(n: u32) -> f64 {
+    1.0 - 10f64.powi(-(n as i32))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_9of() {
+        // The paper's example: 9of(0.999) = 3.
+        assert_eq!(nines_of(0.999), 3);
+        assert_eq!(nines_of(0.9), 1);
+        assert_eq!(nines_of(0.99), 2);
+        assert_eq!(nines_of(0.9999), 4);
+    }
+
+    #[test]
+    fn edge_cases() {
+        assert_eq!(nines_of(0.0), 0);
+        assert_eq!(nines_of(0.5), 0);
+        assert_eq!(nines_of(1.0), 16);
+        assert_eq!(nines_of(-0.1), 0);
+    }
+
+    #[test]
+    fn roundtrip_through_probability() {
+        for n in 1..=12 {
+            assert_eq!(nines_of(probability_from_nines(n)), n, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn just_below_threshold_rounds_down() {
+        // 0.9989 has 2 nines, not 3.
+        assert_eq!(nines_of(0.9989), 2);
+    }
+}

@@ -1,0 +1,287 @@
+//! Exact consistency/availability probabilities for CFT, BFT and XFT (paper §6).
+
+/// Per-replica reliability parameters (i.i.d. across replicas, as in the paper).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReliabilityParams {
+    /// Probability that a replica is benign (correct or crash-faulty).
+    pub p_benign: f64,
+    /// Probability that a replica is correct (neither crashed nor non-crash-faulty).
+    pub p_correct: f64,
+    /// Probability that a replica is synchronous (not partitioned).
+    pub p_synchrony: f64,
+}
+
+impl ReliabilityParams {
+    /// Creates the parameter set, checking basic sanity (`p_correct ≤ p_benign`).
+    pub fn new(p_benign: f64, p_correct: f64, p_synchrony: f64) -> Self {
+        assert!(
+            p_correct <= p_benign + 1e-12,
+            "p_correct must not exceed p_benign"
+        );
+        ReliabilityParams {
+            p_benign,
+            p_correct,
+            p_synchrony,
+        }
+    }
+
+    /// Probability that a replica is crash-faulty.
+    pub fn p_crash(&self) -> f64 {
+        (self.p_benign - self.p_correct).max(0.0)
+    }
+
+    /// Probability that a replica is non-crash (Byzantine) faulty.
+    pub fn p_non_crash(&self) -> f64 {
+        (1.0 - self.p_benign).max(0.0)
+    }
+
+    /// Probability that a replica is available (correct and synchronous); machine and
+    /// network faults are independent.
+    pub fn p_available(&self) -> f64 {
+        self.p_correct * self.p_synchrony
+    }
+}
+
+/// Protocol families compared in the analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProtocolFamily {
+    /// Asynchronous CFT (Paxos/Raft/Zab), `n = 2t + 1`.
+    Cft,
+    /// Asynchronous BFT (PBFT/Zyzzyva), `n = 3t + 1`.
+    Bft,
+    /// XFT (XPaxos), `n = 2t + 1`.
+    Xft,
+}
+
+fn binomial(n: usize, k: usize) -> f64 {
+    if k > n {
+        return 0.0;
+    }
+    let k = k.min(n - k);
+    let mut result = 1.0f64;
+    for i in 0..k {
+        result = result * (n - i) as f64 / (i + 1) as f64;
+    }
+    result
+}
+
+impl ProtocolFamily {
+    /// The number of replicas the family needs to tolerate `t` faults.
+    pub fn replicas(&self, t: usize) -> usize {
+        match self {
+            ProtocolFamily::Cft | ProtocolFamily::Xft => 2 * t + 1,
+            ProtocolFamily::Bft => 3 * t + 1,
+        }
+    }
+
+    /// Probability that the protocol is consistent (safe), per the formulas of §6.1.
+    pub fn consistency(&self, params: ReliabilityParams, t: usize) -> f64 {
+        let n = self.replicas(t);
+        match self {
+            // CFT is consistent iff every replica is benign.
+            ProtocolFamily::Cft => params.p_benign.powi(n as i32),
+            // BFT is consistent iff at most ⌊(n−1)/3⌋ = t replicas are non-benign.
+            ProtocolFamily::Bft => {
+                let p_nb = 1.0 - params.p_benign;
+                (0..=t)
+                    .map(|i| {
+                        binomial(n, i)
+                            * p_nb.powi(i as i32)
+                            * params.p_benign.powi((n - i) as i32)
+                    })
+                    .sum()
+            }
+            // XPaxos is consistent iff there are no non-crash faults, or the combined
+            // number of non-crash, crash and partitioned replicas is at most t.
+            ProtocolFamily::Xft => {
+                let p_nc = params.p_non_crash();
+                let p_crash = params.p_crash();
+                let p_correct = params.p_correct;
+                let p_sync = params.p_synchrony;
+                let mut total = params.p_benign.powi(n as i32);
+                for i in 1..=t {
+                    let mut inner_j = 0.0;
+                    for j in 0..=(t - i) {
+                        let mut inner_k = 0.0;
+                        for k in 0..=(t - i - j) {
+                            inner_k += binomial(n - i - j, k)
+                                * p_sync.powi((n - i - j - k) as i32)
+                                * (1.0 - p_sync).powi(k as i32);
+                        }
+                        inner_j += binomial(n - i, j)
+                            * p_crash.powi(j as i32)
+                            * p_correct.powi((n - i - j) as i32)
+                            * inner_k;
+                    }
+                    total += binomial(n, i) * p_nc.powi(i as i32) * inner_j;
+                }
+                total
+            }
+        }
+    }
+
+    /// Probability that the protocol is available (live), per the formulas of §6.2.
+    pub fn availability(&self, params: ReliabilityParams, t: usize) -> f64 {
+        let n = self.replicas(t);
+        let p_avail = params.p_available();
+        match self {
+            // CFT needs n − ⌊(n−1)/2⌋ = t + 1 available replicas, and the remaining
+            // replicas must still be benign.
+            ProtocolFamily::Cft => {
+                let p_benign_not_avail = (params.p_benign - p_avail).max(0.0);
+                ((n - t)..=n)
+                    .map(|i| {
+                        binomial(n, i)
+                            * p_avail.powi(i as i32)
+                            * p_benign_not_avail.powi((n - i) as i32)
+                    })
+                    .sum()
+            }
+            // BFT needs n − ⌊(n−1)/3⌋ = 2t + 1 available replicas out of 3t + 1.
+            ProtocolFamily::Bft => ((n - t)..=n)
+                .map(|i| {
+                    binomial(n, i)
+                        * p_avail.powi(i as i32)
+                        * (1.0 - p_avail).powi((n - i) as i32)
+                })
+                .sum(),
+            // XPaxos needs a majority (t + 1) of available replicas, regardless of the
+            // state of the others.
+            ProtocolFamily::Xft => ((t + 1)..=n)
+                .map(|i| {
+                    binomial(n, i)
+                        * p_avail.powi(i as i32)
+                        * (1.0 - p_avail).powi((n - i) as i32)
+                })
+                .sum(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nines::nines_of;
+
+    #[test]
+    fn binomial_basics() {
+        assert_eq!(binomial(5, 0), 1.0);
+        assert_eq!(binomial(5, 5), 1.0);
+        assert_eq!(binomial(5, 2), 10.0);
+        assert_eq!(binomial(7, 3), 35.0);
+        assert_eq!(binomial(3, 5), 0.0);
+    }
+
+    #[test]
+    fn example_1_of_section_6() {
+        // p_benign = 0.9999, p_correct = p_synchrony = 0.999:
+        // 9ofC(CFT) = 3, 9ofC(XPaxos) = 5, 9ofC(BFT) = 7 (t = 1).
+        let p = ReliabilityParams::new(0.9999, 0.999, 0.999);
+        assert_eq!(nines_of(ProtocolFamily::Cft.consistency(p, 1)), 3);
+        assert_eq!(nines_of(ProtocolFamily::Xft.consistency(p, 1)), 5);
+        assert_eq!(nines_of(ProtocolFamily::Bft.consistency(p, 1)), 7);
+    }
+
+    #[test]
+    fn example_2_of_section_6() {
+        // p_benign = p_synchrony = 0.9999, p_correct = 0.999:
+        // 9ofC(CFT) = 3, 9ofC(XPaxos) = 6, 9ofC(BFT) = 7 (t = 1).
+        let p = ReliabilityParams::new(0.9999, 0.999, 0.9999);
+        assert_eq!(nines_of(ProtocolFamily::Cft.consistency(p, 1)), 3);
+        assert_eq!(nines_of(ProtocolFamily::Xft.consistency(p, 1)), 6);
+        assert_eq!(nines_of(ProtocolFamily::Bft.consistency(p, 1)), 7);
+    }
+
+    #[test]
+    fn availability_example_of_section_6_2() {
+        // p_available = 0.999, p_benign = 0.99999:
+        // 9ofA(XPaxos) = 5, 9ofA(CFT) = 4 (t = 1).
+        // Choose p_correct = 0.999 / p_synchrony with p_synchrony = 0.9995 so that
+        // p_available = 0.999 while p_correct ≤ p_benign.
+        let p_sync = 0.9995;
+        let p_correct = 0.999 / p_sync;
+        let p = ReliabilityParams::new(0.99999, p_correct, p_sync);
+        assert!((p.p_available() - 0.999).abs() < 1e-12);
+        assert_eq!(nines_of(ProtocolFamily::Xft.availability(p, 1)), 5);
+        assert_eq!(nines_of(ProtocolFamily::Cft.availability(p, 1)), 4);
+    }
+
+    #[test]
+    fn xpaxos_availability_equals_bft_for_t1_and_beats_it_for_t2() {
+        // §6.2.2: for t = 1, 9ofA(XPaxos) = 9ofA(BFT) = 2·9available − 1;
+        // for t = 2, 9ofA(XPaxos) = 9ofA(BFT) + 1 = 3·9available − 1.
+        for nines_avail in 2..=6u32 {
+            let p_avail = crate::nines::probability_from_nines(nines_avail);
+            // Make every replica benign so availability depends on p_available only.
+            let p = ReliabilityParams::new(1.0, p_avail, 1.0);
+            let xft1 = nines_of(ProtocolFamily::Xft.availability(p, 1));
+            let bft1 = nines_of(ProtocolFamily::Bft.availability(p, 1));
+            assert_eq!(xft1, bft1);
+            assert_eq!(xft1, 2 * nines_avail - 1);
+            // The t = 2 values exceed f64 resolution beyond 9available = 5.
+            if nines_avail <= 5 {
+                let xft2 = nines_of(ProtocolFamily::Xft.availability(p, 2));
+                let bft2 = nines_of(ProtocolFamily::Bft.availability(p, 2));
+                assert_eq!(xft2, bft2 + 1);
+                assert_eq!(xft2, 3 * nines_avail - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn xft_consistency_dominates_cft_everywhere() {
+        for b in 1..=8u32 {
+            for c in 1..=b {
+                for s in 1..=8u32 {
+                    let p = ReliabilityParams::new(
+                        crate::nines::probability_from_nines(b),
+                        crate::nines::probability_from_nines(c),
+                        crate::nines::probability_from_nines(s),
+                    );
+                    for t in 1..=3 {
+                        assert!(
+                            ProtocolFamily::Xft.consistency(p, t)
+                                >= ProtocolFamily::Cft.consistency(p, t) - 1e-15,
+                            "XFT weaker than CFT at b={b} c={c} s={s} t={t}"
+                        );
+                        assert!(
+                            ProtocolFamily::Xft.availability(p, t)
+                                >= ProtocolFamily::Cft.availability(p, t) - 1e-15
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn xpaxos_beats_bft_consistency_iff_pavailable_above_pbenign_to_1_5() {
+        // §6.1.2: for t = 1, P[XPaxos consistent] > P[BFT consistent] ⇔
+        // p_available > p_benign^1.5. Check both sides of the boundary.
+        let above = ReliabilityParams::new(0.999, 0.999, 0.9999); // p_avail ≈ 0.9989
+        assert!(above.p_available() > above.p_benign.powf(1.5));
+        assert!(
+            ProtocolFamily::Xft.consistency(above, 1) > ProtocolFamily::Bft.consistency(above, 1)
+        );
+        let below = ReliabilityParams::new(0.9999, 0.999, 0.999); // p_avail ≈ 0.998
+        assert!(below.p_available() < below.p_benign.powf(1.5));
+        assert!(
+            ProtocolFamily::Xft.consistency(below, 1) < ProtocolFamily::Bft.consistency(below, 1)
+        );
+    }
+
+    #[test]
+    fn probabilities_are_valid() {
+        let p = ReliabilityParams::new(0.999, 0.99, 0.95);
+        for fam in [ProtocolFamily::Cft, ProtocolFamily::Bft, ProtocolFamily::Xft] {
+            for t in 1..=3 {
+                let c = fam.consistency(p, t);
+                let a = fam.availability(p, t);
+                assert!((0.0..=1.0 + 1e-12).contains(&c), "{fam:?} consistency {c}");
+                assert!((0.0..=1.0 + 1e-12).contains(&a), "{fam:?} availability {a}");
+            }
+        }
+        assert!((p.p_crash() - 0.009).abs() < 1e-12);
+        assert!((p.p_non_crash() - 0.001).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,215 @@
+//! Regeneration of the Appendix D tables (Tables 5–8): nines of consistency and
+//! availability for CFT, XPaxos and BFT over the parameter grids the paper sweeps.
+
+use crate::nines::{nines_of, probability_from_nines};
+use crate::probability::{ProtocolFamily, ReliabilityParams};
+
+/// One row of Table 5 / Table 6 (consistency).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConsistencyRow {
+    /// Nines of `p_benign`.
+    pub benign_nines: u32,
+    /// Nines of `p_correct`.
+    pub correct_nines: u32,
+    /// Nines of consistency of asynchronous CFT.
+    pub cft: u32,
+    /// Nines of consistency of XPaxos, for `9synchrony` = 2, 3, 4, 5, 6 (in order).
+    pub xpaxos_by_synchrony: Vec<u32>,
+    /// Nines of consistency of asynchronous BFT.
+    pub bft: u32,
+}
+
+/// One row of Table 7 / Table 8 (availability).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AvailabilityRow {
+    /// Nines of `p_available`.
+    pub available_nines: u32,
+    /// Nines of availability of CFT for `9benign` = `available_nines + 1` … 8 (in order).
+    pub cft_by_benign: Vec<u32>,
+    /// Nines of availability of BFT.
+    pub bft: u32,
+    /// Nines of availability of XPaxos.
+    pub xpaxos: u32,
+}
+
+/// The `9synchrony` values swept by Tables 5 and 6.
+pub const SYNCHRONY_NINES: [u32; 5] = [2, 3, 4, 5, 6];
+
+fn consistency_table(t: usize) -> Vec<ConsistencyRow> {
+    let mut rows = Vec::new();
+    for benign in 3..=8u32 {
+        for correct in 2..benign {
+            let p_benign = probability_from_nines(benign);
+            let p_correct = probability_from_nines(correct);
+            let cft = nines_of(
+                ProtocolFamily::Cft
+                    .consistency(ReliabilityParams::new(p_benign, p_correct, 0.99), t),
+            );
+            let bft = nines_of(
+                ProtocolFamily::Bft
+                    .consistency(ReliabilityParams::new(p_benign, p_correct, 0.99), t),
+            );
+            let xpaxos_by_synchrony = SYNCHRONY_NINES
+                .iter()
+                .map(|s| {
+                    let p = ReliabilityParams::new(
+                        p_benign,
+                        p_correct,
+                        probability_from_nines(*s),
+                    );
+                    nines_of(ProtocolFamily::Xft.consistency(p, t))
+                })
+                .collect();
+            rows.push(ConsistencyRow {
+                benign_nines: benign,
+                correct_nines: correct,
+                cft,
+                xpaxos_by_synchrony,
+                bft,
+            });
+        }
+    }
+    rows
+}
+
+fn availability_table(t: usize) -> Vec<AvailabilityRow> {
+    let mut rows = Vec::new();
+    for available in 2..=6u32 {
+        let p_available = probability_from_nines(available);
+        let cft_by_benign = ((available + 1)..=8)
+            .map(|benign| {
+                let p_benign = probability_from_nines(benign);
+                // Split p_available into p_correct × p_synchrony without exceeding
+                // p_benign: attribute everything to p_correct when possible.
+                let (p_correct, p_sync) = if p_available <= p_benign {
+                    (p_available, 1.0)
+                } else {
+                    (p_benign, p_available / p_benign)
+                };
+                let p = ReliabilityParams::new(p_benign, p_correct, p_sync);
+                nines_of(ProtocolFamily::Cft.availability(p, t))
+            })
+            .collect();
+        // BFT / XPaxos availability depends on p_available only.
+        let p = ReliabilityParams::new(1.0, p_available, 1.0);
+        rows.push(AvailabilityRow {
+            available_nines: available,
+            cft_by_benign,
+            bft: nines_of(ProtocolFamily::Bft.availability(p, t)),
+            xpaxos: nines_of(ProtocolFamily::Xft.availability(p, t)),
+        });
+    }
+    rows
+}
+
+/// Table 5: nines of consistency for t = 1.
+pub fn table5() -> Vec<ConsistencyRow> {
+    consistency_table(1)
+}
+
+/// Table 6: nines of consistency for t = 2.
+pub fn table6() -> Vec<ConsistencyRow> {
+    consistency_table(2)
+}
+
+/// Table 7: nines of availability for t = 1.
+pub fn table7() -> Vec<AvailabilityRow> {
+    availability_table(1)
+}
+
+/// Table 8: nines of availability for t = 2.
+pub fn table8() -> Vec<AvailabilityRow> {
+    availability_table(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row5(benign: u32, correct: u32) -> ConsistencyRow {
+        table5()
+            .into_iter()
+            .find(|r| r.benign_nines == benign && r.correct_nines == correct)
+            .expect("row exists")
+    }
+
+    #[test]
+    fn table5_first_row_matches_paper() {
+        // Paper Table 5, row (9benign = 3, 9correct = 2):
+        // CFT = 2, XPaxos = 3 4 4 4 4, BFT = 5.
+        let row = row5(3, 2);
+        assert_eq!(row.cft, 2);
+        assert_eq!(row.xpaxos_by_synchrony, vec![3, 4, 4, 4, 4]);
+        assert_eq!(row.bft, 5);
+    }
+
+    #[test]
+    fn table5_selected_rows_match_paper() {
+        // (9benign = 4, 9correct = 3): CFT = 3, XPaxos = 5 5 6 6 6, BFT = 7.
+        let row = row5(4, 3);
+        assert_eq!(row.cft, 3);
+        assert_eq!(row.xpaxos_by_synchrony, vec![5, 5, 6, 6, 6]);
+        assert_eq!(row.bft, 7);
+        // (9benign = 5, 9correct = 4): CFT = 4, XPaxos = 6 7 7 8 8, BFT = 9.
+        let row = row5(5, 4);
+        assert_eq!(row.cft, 4);
+        assert_eq!(row.xpaxos_by_synchrony, vec![6, 7, 7, 8, 8]);
+        assert_eq!(row.bft, 9);
+    }
+
+    #[test]
+    fn table6_first_row_matches_paper() {
+        // Paper Table 6, row (9benign = 3, 9correct = 2):
+        // CFT = 2, XPaxos = 4 5 5 5 5, BFT = 7.
+        let row = table6()
+            .into_iter()
+            .find(|r| r.benign_nines == 3 && r.correct_nines == 2)
+            .unwrap();
+        assert_eq!(row.cft, 2);
+        assert_eq!(row.xpaxos_by_synchrony, vec![4, 5, 5, 5, 5]);
+        assert_eq!(row.bft, 7);
+    }
+
+    #[test]
+    fn table7_matches_paper() {
+        // Paper Table 7: for 9available = 2: CFT(benign 3..8) = 2 3 3 3 3 3, BFT = 3,
+        // XPaxos = 3; for 9available = 3: CFT(benign 4..8) = 3 4 5 5 5, BFT = 5,
+        // XPaxos = 5.
+        let rows = table7();
+        let r2 = rows.iter().find(|r| r.available_nines == 2).unwrap();
+        assert_eq!(r2.bft, 3);
+        assert_eq!(r2.xpaxos, 3);
+        assert_eq!(r2.cft_by_benign, vec![2, 3, 3, 3, 3, 3]);
+        let r3 = rows.iter().find(|r| r.available_nines == 3).unwrap();
+        assert_eq!(r3.bft, 5);
+        assert_eq!(r3.xpaxos, 5);
+        assert_eq!(r3.cft_by_benign, vec![3, 4, 5, 5, 5]);
+    }
+
+    #[test]
+    fn table8_matches_paper() {
+        // Paper Table 8: for 9available = 2: BFT = 4, XPaxos = 5;
+        // for 9available = 4: BFT = 10, XPaxos = 11.
+        let rows = table8();
+        let r2 = rows.iter().find(|r| r.available_nines == 2).unwrap();
+        assert_eq!(r2.bft, 4);
+        assert_eq!(r2.xpaxos, 5);
+        let r4 = rows.iter().find(|r| r.available_nines == 4).unwrap();
+        assert_eq!(r4.bft, 10);
+        assert_eq!(r4.xpaxos, 11);
+    }
+
+    #[test]
+    fn tables_have_expected_shapes() {
+        assert_eq!(table5().len(), table6().len());
+        // 9benign from 3..=8, 9correct from 2..9benign: 1+2+3+4+5+6 = 21 rows.
+        assert_eq!(table5().len(), 21);
+        assert_eq!(table7().len(), 5);
+        for row in table5() {
+            assert_eq!(row.xpaxos_by_synchrony.len(), SYNCHRONY_NINES.len());
+        }
+        for row in table7() {
+            assert_eq!(row.cft_by_benign.len(), (8 - row.available_nines) as usize);
+        }
+    }
+}

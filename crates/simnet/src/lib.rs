@@ -1,0 +1,48 @@
+//! # xft-simnet — deterministic discrete-event network simulator
+//!
+//! This crate is the experimental substrate of the XFT reproduction. The paper
+//! evaluates XPaxos and its baselines on a geo-replicated Amazon EC2 deployment; this
+//! simulator replaces that testbed with a deterministic discrete-event model that
+//! captures the behaviours the evaluation depends on:
+//!
+//! * **WAN latency** — per-datacenter-pair empirical RTT distributions taken from the
+//!   paper's Table 3 ([`ec2`]);
+//! * **bandwidth** — finite per-node uplinks so that leader fan-out becomes the
+//!   bottleneck exactly as in §5.5 ([`network`]);
+//! * **CPU cost** — protocol actors charge signature/MAC costs, limiting per-node
+//!   processing rates (§5.3, Figure 8);
+//! * **faults** — crashes, recoveries, partitions and protocol-specific Byzantine
+//!   control codes, optionally scheduled by a [`fault::FaultScript`] (Figure 9);
+//! * **metrics** — committed requests, latency percentiles, throughput time series,
+//!   per-node CPU accounting ([`metrics`]);
+//! * **traces** — message-level traces for the message-pattern conformance tests
+//!   ([`trace`]).
+//!
+//! Protocol crates implement [`Actor`] for their replicas and clients and run them in a
+//! [`Simulation`]. Runs are reproducible bit-for-bit given the same seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod actor;
+pub mod ec2;
+pub mod fault;
+pub mod latency;
+pub mod metrics;
+pub mod network;
+pub mod rng;
+pub mod sim;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use actor::{Actor, Context, ControlCode, NodeId, SimMessage, TimerId};
+pub use ec2::{ec2_latency_model, ec2_rtt_matrix, recommended_delta_ms, Region};
+pub use fault::{FaultEvent, FaultScript};
+pub use latency::{ConstantLatency, LatencyModel, RegionLatencyModel, RttStats, UniformLatency};
+pub use metrics::{MetricEvent, Metrics};
+pub use network::{Bandwidth, Network, SendOutcome};
+pub use rng::SimRng;
+pub use sim::{SimConfig, Simulation};
+pub use time::{SimDuration, SimTime};
+pub use trace::{MessageTrace, TraceEntry};

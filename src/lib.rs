@@ -1,0 +1,25 @@
+//! # xft — umbrella crate for the XFT / XPaxos reproduction
+//!
+//! This crate re-exports the workspace members so applications (and the runnable
+//! examples under `examples/`) can depend on a single crate:
+//!
+//! * [`core`] (`xft-core`) — the XFT model and the XPaxos protocol,
+//! * [`simnet`] (`xft-simnet`) — the deterministic discrete-event network simulator,
+//! * [`crypto`] (`xft-crypto`) — digests, MACs and simulated signatures,
+//! * [`baselines`] (`xft-baselines`) — Paxos, PBFT, Zyzzyva and Zab comparison
+//!   protocols,
+//! * [`reliability`] (`xft-reliability`) — the nines-of-reliability analysis,
+//! * [`kvstore`] (`xft-kvstore`) — the ZooKeeper-like coordination service.
+//!
+//! See the repository README for a tour and EXPERIMENTS.md for the paper-vs-measured
+//! record of every table and figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use xft_baselines as baselines;
+pub use xft_core as core;
+pub use xft_crypto as crypto;
+pub use xft_kvstore as kvstore;
+pub use xft_reliability as reliability;
+pub use xft_simnet as simnet;

@@ -1,0 +1,147 @@
+//! Property-based tests over the core invariants of the reproduction:
+//! cryptographic round trips, synchronous-group structure, reliability-formula
+//! monotonicity, coordination-service determinism and — most importantly — XPaxos
+//! total order under randomized crash/partition schedules that stay outside anarchy.
+
+use proptest::prelude::*;
+use xft::core::client::ClientWorkload;
+use xft::core::harness::{ClusterBuilder, LatencySpec};
+use xft::core::sync_group::SyncGroups;
+use xft::core::types::ViewNumber;
+use xft::crypto::{hmac_sha256, sha256, Digest, KeyId, KeyRegistry, Signer, Verifier};
+use xft::kvstore::{CoordinationService, KvOp};
+use xft::reliability::{ProtocolFamily, ReliabilityParams};
+use xft::simnet::{FaultEvent, SimDuration, SimTime};
+use xft_core::state_machine::StateMachine;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// SHA-256 and HMAC are deterministic and sensitive to any single-byte change.
+    #[test]
+    fn hash_and_mac_detect_any_mutation(data in proptest::collection::vec(any::<u8>(), 1..512),
+                                        flip in 0usize..512) {
+        let baseline = sha256(&data);
+        prop_assert_eq!(baseline, sha256(&data));
+        let mut mutated = data.clone();
+        let idx = flip % mutated.len();
+        mutated[idx] ^= 0x01;
+        prop_assert_ne!(baseline, sha256(&mutated));
+        prop_assert_ne!(hmac_sha256(b"k", &data), hmac_sha256(b"k", &mutated));
+    }
+
+    /// Signatures verify for the signer and never for a different claimed signer.
+    #[test]
+    fn signatures_bind_signer_and_message(payload in proptest::collection::vec(any::<u8>(), 1..256),
+                                          signer_id in 0u64..8, other_id in 8u64..16) {
+        let registry = KeyRegistry::new(1);
+        let signer = Signer::new(&registry, KeyId(signer_id));
+        let _other = Signer::new(&registry, KeyId(other_id));
+        let verifier = Verifier::new(registry);
+        let digest = Digest::of(&payload);
+        let mut sig = signer.sign_digest(&digest);
+        prop_assert!(verifier.verify_digest(&digest, &sig).is_ok());
+        sig.signer = KeyId(other_id);
+        prop_assert!(verifier.verify_digest(&digest, &sig).is_err());
+    }
+
+    /// Synchronous groups always have t + 1 members, a primary inside the group, and
+    /// partition the replica set together with the passive replicas.
+    #[test]
+    fn sync_groups_are_well_formed(t in 1usize..4, view in 0u64..500) {
+        let groups = SyncGroups::new(t);
+        let v = ViewNumber(view);
+        let active = groups.active_replicas(v);
+        let passive = groups.passive_replicas(v);
+        prop_assert_eq!(active.len(), t + 1);
+        prop_assert_eq!(passive.len(), t);
+        prop_assert!(active.contains(&groups.primary(v)));
+        let mut all: Vec<usize> = active.iter().copied().chain(passive).collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..2 * t + 1).collect::<Vec<_>>());
+    }
+
+    /// The reliability formulas are monotone: more reliable machines never yield fewer
+    /// nines, and XFT consistency/availability always dominates CFT.
+    #[test]
+    fn reliability_formulas_are_monotone_and_dominate_cft(
+        benign_a in 0.95f64..0.999999, delta in 0.0f64..0.00005,
+        correct_frac in 0.9f64..1.0, sync in 0.95f64..0.999999, t in 1usize..3,
+    ) {
+        let benign_b = (benign_a + delta).min(0.9999995);
+        let pa = ReliabilityParams::new(benign_a, benign_a * correct_frac, sync);
+        let pb = ReliabilityParams::new(benign_b, benign_b * correct_frac, sync);
+        for fam in [ProtocolFamily::Cft, ProtocolFamily::Bft, ProtocolFamily::Xft] {
+            prop_assert!(fam.consistency(pb, t) + 1e-12 >= fam.consistency(pa, t));
+        }
+        prop_assert!(ProtocolFamily::Xft.consistency(pa, t) + 1e-12 >= ProtocolFamily::Cft.consistency(pa, t));
+        prop_assert!(ProtocolFamily::Xft.availability(pa, t) + 1e-12 >= ProtocolFamily::Cft.availability(pa, t));
+    }
+
+    /// The coordination service is deterministic: any operation sequence applied to two
+    /// fresh replicas yields identical replies and state digests.
+    #[test]
+    fn coordination_service_is_deterministic(ops in proptest::collection::vec((0u8..4, 0u8..8, proptest::collection::vec(any::<u8>(), 0..64)), 1..40)) {
+        let mut a = CoordinationService::new();
+        let mut b = CoordinationService::new();
+        for (kind, node, data) in ops {
+            let path = format!("/n{node}");
+            let op = match kind {
+                0 => KvOp::Create { path, data: data.clone().into(), ephemeral_owner: None, sequential: false },
+                1 => KvOp::SetData { path, data: data.clone().into() },
+                2 => KvOp::Delete { path },
+                _ => KvOp::GetData { path },
+            };
+            let encoded = op.encode();
+            prop_assert_eq!(a.apply(&encoded), b.apply(&encoded));
+        }
+        prop_assert_eq!(a.state_digest(), b.state_digest());
+    }
+}
+
+proptest! {
+    // Whole-cluster simulations are comparatively expensive; run fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Total order holds under randomized single-replica crash/recovery schedules
+    /// (never more than t = 1 simultaneous fault, hence never in anarchy).
+    #[test]
+    fn xpaxos_total_order_under_random_crash_schedules(
+        seed in 0u64..1000,
+        victim in 0usize..3,
+        crash_at_secs in 2u64..8,
+        downtime_secs in 1u64..10,
+        partition_instead in any::<bool>(),
+    ) {
+        let mut cluster = ClusterBuilder::new(1, 2)
+            .with_seed(seed)
+            .with_latency(LatencySpec::Uniform(
+                SimDuration::from_millis(2),
+                SimDuration::from_millis(15),
+            ))
+            .with_workload(ClientWorkload { payload_size: 128, ..Default::default() })
+            .with_config(|c| {
+                c.with_delta(SimDuration::from_millis(100))
+                    .with_client_retransmit(SimDuration::from_millis(500))
+                    .with_checkpoint_interval(0)
+            })
+            .build();
+        let start = SimTime::ZERO + SimDuration::from_secs(crash_at_secs);
+        let end = start + SimDuration::from_secs(downtime_secs);
+        if partition_instead {
+            cluster.sim.inject_fault_at(start, FaultEvent::Isolate(victim));
+            cluster.sim.inject_fault_at(end, FaultEvent::Reconnect(victim));
+        } else {
+            cluster.sim.inject_fault_at(start, FaultEvent::Crash(victim));
+            cluster.sim.inject_fault_at(end, FaultEvent::Recover(victim));
+        }
+        cluster.run_for(SimDuration::from_secs(30));
+
+        // Liveness: the system must keep committing after the fault heals.
+        prop_assert!(cluster.total_committed() > 20, "only {} commits", cluster.total_committed());
+        // Safety among the replicas that were never disturbed (the disturbed replica may
+        // hold a speculative suffix until it repairs through a later view change).
+        let undisturbed: Vec<usize> = (0..3).filter(|r| *r != victim).collect();
+        prop_assert!(cluster.check_total_order_among(&undisturbed).is_ok());
+    }
+}

@@ -1,0 +1,170 @@
+//! Protocol-conformance integration tests: common-case message patterns (Figure 2),
+//! lazy replication (Figure 5), fault detection (§4.4), and the XFT model boundary.
+
+use xft::core::client::ClientWorkload;
+use xft::core::harness::{ClusterBuilder, LatencySpec};
+use xft::core::{ByzantineBehavior, SeqNum};
+use xft::simnet::{FaultEvent, SimDuration, SimTime};
+
+fn small_workload(requests: u64) -> ClientWorkload {
+    ClientWorkload {
+        payload_size: 128,
+        requests: Some(requests),
+        ..Default::default()
+    }
+}
+
+#[test]
+fn t1_common_case_uses_the_two_message_fast_path_of_figure_2b() {
+    let mut cluster = ClusterBuilder::new(1, 1)
+        .with_seed(2)
+        .with_latency(LatencySpec::Constant(SimDuration::from_millis(5)))
+        .with_workload(small_workload(10))
+        .with_tracing(true)
+        .build();
+    cluster.run_for(SimDuration::from_secs(10));
+    assert_eq!(cluster.total_committed(), 10);
+
+    let trace = cluster.sim.trace();
+    // Fast path: the primary sends COMMIT-CARRY to the follower, the follower answers
+    // with COMMIT, and only the primary replies to the client. No PREPARE messages.
+    assert!(trace.count_between(0, 1, "COMMIT-CARRY") >= 10);
+    assert!(trace.count_between(1, 0, "COMMIT") >= 10);
+    assert_eq!(trace.count_kind("PREPARE"), 0);
+    // The client (node 3) receives replies from the primary only.
+    assert!(trace.count_between(0, 3, "REPLY") >= 10);
+    assert_eq!(trace.count_between(1, 3, "REPLY"), 0);
+    // The passive replica never participates in the common case (beyond lazy traffic).
+    assert_eq!(trace.count_between(2, 0, "COMMIT"), 0);
+}
+
+#[test]
+fn t2_common_case_uses_prepare_commit_of_figure_2a() {
+    let mut cluster = ClusterBuilder::new(2, 1)
+        .with_seed(3)
+        .with_latency(LatencySpec::Constant(SimDuration::from_millis(5)))
+        .with_workload(small_workload(5))
+        .with_tracing(true)
+        .build();
+    cluster.run_for(SimDuration::from_secs(10));
+    assert_eq!(cluster.total_committed(), 5);
+
+    let trace = cluster.sim.trace();
+    // The primary (0) prepares to both followers (1, 2) of view 0.
+    assert!(trace.count_between(0, 1, "PREPARE") >= 5);
+    assert!(trace.count_between(0, 2, "PREPARE") >= 5);
+    // Followers broadcast COMMITs to the active replicas.
+    assert!(trace.count_between(1, 0, "COMMIT") >= 5);
+    assert!(trace.count_between(2, 0, "COMMIT") >= 5);
+    assert!(trace.count_between(1, 2, "COMMIT") >= 5);
+    // The client receives replies from all t + 1 = 3 active replicas.
+    let client_node = cluster.config.client_nodes[0];
+    for active in 0..3 {
+        assert!(trace.count_between(active, client_node, "REPLY") >= 5);
+    }
+    // Passive replicas (3, 4) are not part of the ordering exchange.
+    assert_eq!(trace.count_between(3, 0, "COMMIT"), 0);
+    assert_eq!(trace.count_between(4, 0, "COMMIT"), 0);
+}
+
+#[test]
+fn lazy_replication_keeps_the_passive_replica_up_to_date() {
+    let mut cluster = ClusterBuilder::new(1, 2)
+        .with_seed(4)
+        .with_latency(LatencySpec::Constant(SimDuration::from_millis(5)))
+        .with_workload(small_workload(50))
+        .with_tracing(true)
+        .build();
+    cluster.run_for(SimDuration::from_secs(30));
+    assert_eq!(cluster.total_committed(), 100);
+    // The follower (1) lazily forwards committed entries to the passive replica (2),
+    // which executes them.
+    assert!(cluster.sim.trace().count_between(1, 2, "LAZY-REPLICATE") > 0);
+    assert!(cluster.replica(2).executed_upto() > SeqNum(0));
+    cluster.check_total_order().expect("total order including passive replica");
+}
+
+#[test]
+fn fault_detection_flags_a_data_loss_primary() {
+    let mut cluster = ClusterBuilder::new(1, 2)
+        .with_seed(5)
+        .with_latency(LatencySpec::Constant(SimDuration::from_millis(5)))
+        .with_workload(ClientWorkload { payload_size: 128, ..Default::default() })
+        .with_config(|c| {
+            c.with_delta(SimDuration::from_millis(100))
+                .with_client_retransmit(SimDuration::from_millis(500))
+                .with_fault_detection(true)
+                .with_checkpoint_interval(0)
+        })
+        .build();
+    // Commit a prefix, then make the primary lose its logs (a data-loss fault). The
+    // view change is triggered by crashing the follower; the primary still participates
+    // in the view change, so its truncated logs are observable — the scenario of
+    // Figure 11b.
+    cluster.run_for(SimDuration::from_secs(5));
+    assert!(cluster.total_committed() > 0);
+    cluster
+        .replica_mut(0)
+        .set_behavior(ByzantineBehavior::DataLossBothLogs { keep: SeqNum(0) });
+    cluster.sim.inject_fault_at(
+        SimTime::ZERO + SimDuration::from_secs(5),
+        FaultEvent::Crash(1),
+    );
+    cluster.run_for(SimDuration::from_secs(25));
+
+    // Progress resumed in a later view. (Note: with the follower crashed *and* the
+    // primary non-crash-faulty the system is briefly in anarchy, so the paper does not
+    // promise consistency here — what it promises, and what we assert, is detection.)
+    assert!(cluster.sim.metrics().view_changes().iter().any(|(_, v)| *v >= 1));
+    // The data-loss fault of the old primary must be detected by some correct replica
+    // during the view change (strong completeness).
+    let detected_anywhere = (1..3).any(|r| cluster.replica(r).detected_faulty().contains(&0));
+    assert!(detected_anywhere, "data-loss fault was not detected");
+    // Strong accuracy: no correct replica is ever detected.
+    for r in 1..3 {
+        for culprit in cluster.replica(r).detected_faulty() {
+            assert_eq!(*culprit, 0, "correct replica {culprit} wrongly detected");
+        }
+    }
+}
+
+#[test]
+fn checkpointing_truncates_logs_and_preserves_progress() {
+    let mut cluster = ClusterBuilder::new(1, 4)
+        .with_seed(6)
+        .with_latency(LatencySpec::Constant(SimDuration::from_millis(2)))
+        .with_workload(ClientWorkload { payload_size: 64, ..Default::default() })
+        .with_config(|c| c.with_checkpoint_interval(16))
+        .build();
+    cluster.run_for(SimDuration::from_secs(20));
+    assert!(cluster.total_committed() > 200);
+    assert!(cluster.sim.metrics().counter("checkpoints") > 0);
+    cluster.check_total_order().expect("total order with checkpointing");
+}
+
+#[test]
+fn corrupt_signature_primary_is_replaced() {
+    let mut cluster = ClusterBuilder::new(1, 2)
+        .with_seed(7)
+        .with_latency(LatencySpec::Constant(SimDuration::from_millis(5)))
+        .with_workload(ClientWorkload { payload_size: 128, ..Default::default() })
+        .with_config(|c| {
+            c.with_delta(SimDuration::from_millis(100))
+                .with_client_retransmit(SimDuration::from_millis(500))
+        })
+        .build();
+    cluster.run_for(SimDuration::from_secs(3));
+    let before = cluster.total_committed();
+    // The primary starts signing garbage: followers reject its messages (initiation
+    // condition (i) of §4.3.2) and the system moves to a view that excludes it as
+    // primary only after exhausting views it leads; progress must eventually resume.
+    cluster
+        .replica_mut(0)
+        .set_behavior(ByzantineBehavior::CorruptSignatures);
+    cluster.run_for(SimDuration::from_secs(30));
+    let after = cluster.total_committed();
+    assert!(after > before, "no progress after signature corruption");
+    cluster
+        .check_total_order_among(&[1, 2])
+        .expect("correct replicas consistent");
+}
