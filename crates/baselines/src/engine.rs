@@ -1,4 +1,4 @@
-//! Generic replica/client engine executing any [`ProtocolSpec`](crate::spec::ProtocolSpec).
+//! Generic replica/client engine executing any [`crate::spec::ProtocolSpec`].
 //!
 //! The engine reproduces the *common-case* message patterns of Figure 6 (and Zab's
 //! broadcast) with faithful fan-outs, message sizes and crypto costs — the quantities

@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use xft_core::client::ClientWorkload;
 use xft_core::harness::{ClusterBuilder, LatencySpec};
-use xft_simnet::{FaultEvent, SimDuration, SimTime};
+use xft_simnet::{FaultEvent, SimDuration};
 
 fn view_change_run(preload_requests: u64) -> u64 {
     let mut cluster = ClusterBuilder::new(1, 2)

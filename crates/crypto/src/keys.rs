@@ -1,10 +1,9 @@
 //! Key material and the shared key registry used by the simulated signature scheme.
 
 use crate::sha256::sha256;
-use parking_lot::RwLock;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// Identity of a key holder (a replica or a client). The protocols map their own node
 /// identifiers into `KeyId`s; the registry does not care about the distinction.
@@ -72,7 +71,7 @@ impl KeyRegistry {
     /// Registers (or returns the previously registered) key for `id` and hands the
     /// secret key to the caller. Each node calls this once at start-up.
     pub fn register(&self, id: KeyId) -> SecretKey {
-        let mut keys = self.keys.write();
+        let mut keys = self.keys.write().expect("key registry lock poisoned");
         keys.entry(id)
             .or_insert_with(|| SecretKey::derive(self.seed, id))
             .clone()
@@ -80,27 +79,31 @@ impl KeyRegistry {
 
     /// Returns the key registered for `id`, if any. Used internally by verification.
     pub(crate) fn key_of(&self, id: KeyId) -> Option<SecretKey> {
-        self.keys.read().get(&id).cloned()
+        self.read_keys().get(&id).cloned()
     }
 
     /// Returns whether `id` has been registered.
     pub fn contains(&self, id: KeyId) -> bool {
-        self.keys.read().contains_key(&id)
+        self.read_keys().contains_key(&id)
     }
 
     /// Number of registered identities.
     pub fn len(&self) -> usize {
-        self.keys.read().len()
+        self.read_keys().len()
     }
 
     /// Whether the registry is empty.
     pub fn is_empty(&self) -> bool {
-        self.keys.read().is_empty()
+        self.read_keys().is_empty()
     }
 
     /// The registry seed (useful for spawning related registries in tests).
     pub fn seed(&self) -> u64 {
         self.seed
+    }
+
+    fn read_keys(&self) -> std::sync::RwLockReadGuard<'_, HashMap<KeyId, SecretKey>> {
+        self.keys.read().expect("key registry lock poisoned")
     }
 }
 

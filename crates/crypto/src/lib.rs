@@ -18,7 +18,7 @@
 //! access to other nodes' secret keys — while staying dependency-free.
 //!
 //! Because the paper's CPU-cost experiment (Figure 8) depends on the *relative* cost of
-//! signatures vs. MACs, the crate also exposes a [`CostModel`](cost::CostModel) that
+//! signatures vs. MACs, the crate also exposes a [`cost::CostModel`] that
 //! assigns a simulated CPU time to each operation; the simulator charges this time to
 //! the node performing the operation.
 

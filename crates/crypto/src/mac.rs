@@ -10,7 +10,7 @@ use crate::hmac::{hmac_sha256, verify_tag};
 use crate::keys::{KeyId, KeyRegistry, SecretKey};
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// Domain-separation prefix for channel MACs.
 const MAC_DOMAIN: &[u8] = b"xft-channel-mac-v1";
@@ -37,7 +37,7 @@ pub struct Authenticator {
     id: KeyId,
     own_key: SecretKey,
     registry: Arc<KeyRegistry>,
-    pair_keys: parking_lot::Mutex<HashMap<KeyId, [u8; 32]>>,
+    pair_keys: Mutex<HashMap<KeyId, [u8; 32]>>,
 }
 
 impl Authenticator {
@@ -48,7 +48,7 @@ impl Authenticator {
             id,
             own_key,
             registry,
-            pair_keys: parking_lot::Mutex::new(HashMap::new()),
+            pair_keys: Mutex::new(HashMap::new()),
         }
     }
 
@@ -60,7 +60,12 @@ impl Authenticator {
     /// Derives (and caches) the symmetric key shared with `peer`. The key is a hash of
     /// both parties' secret keys in a canonical order, so both sides derive the same key.
     fn pair_key(&self, peer: KeyId) -> Option<[u8; 32]> {
-        if let Some(k) = self.pair_keys.lock().get(&peer) {
+        if let Some(k) = self
+            .pair_keys
+            .lock()
+            .expect("pair-key cache lock poisoned")
+            .get(&peer)
+        {
             return Some(*k);
         }
         let peer_key = self.registry.key_of(peer)?;
@@ -74,7 +79,10 @@ impl Authenticator {
         buf.extend_from_slice(lo.as_bytes());
         buf.extend_from_slice(hi.as_bytes());
         let key = crate::sha256::sha256(&buf);
-        self.pair_keys.lock().insert(peer, key);
+        self.pair_keys
+            .lock()
+            .expect("pair-key cache lock poisoned")
+            .insert(peer, key);
         Some(key)
     }
 

@@ -1,6 +1,6 @@
 //! Simulated digital signatures (`⟨m⟩σp` in the paper).
 //!
-//! A [`Signature`] produced by [`Signer::sign`] is an HMAC-SHA-256 of the message under
+//! A [`Signature`] produced by [`Signer::sign_digest`] is an HMAC-SHA-256 of the message under
 //! the signer's secret key, tagged with the signer's [`KeyId`]. Verification recomputes
 //! the HMAC through the shared [`KeyRegistry`]. Within the simulation this provides the
 //! unforgeability the protocols assume (a node that does not hold `p`'s secret key

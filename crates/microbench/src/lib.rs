@@ -1,0 +1,345 @@
+//! # xft-microbench — a criterion-compatible micro-benchmark harness
+//!
+//! The build environment is offline, so the workspace cannot pull
+//! [criterion](https://crates.io/crates/criterion) from crates.io. This crate
+//! provides the subset of criterion's API that the benchmarks under
+//! `crates/bench/benches/` use — [`Criterion`], [`BenchmarkId`], [`Throughput`],
+//! [`black_box`], [`criterion_group!`] and [`criterion_main!`] — and is aliased
+//! in the consumer's manifest as
+//! `criterion = { path = "../microbench", package = "xft-microbench" }`, so the
+//! bench sources compile unchanged.
+//!
+//! Measurement model: each benchmark collects `sample_size` samples (default
+//! 20) after one warm-up iteration; a sample is one wall-clock-timed call of
+//! the benchmarked closure. The harness reports min / median / mean / p99 per
+//! iteration, plus derived throughput when [`Throughput`] was declared.
+//! This is deliberately simpler than criterion (no bootstrap analysis, no
+//! regression baselines) but is honest wall-clock data and keeps `cargo bench`
+//! runs short.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared data volume of one iteration, used to derive throughput.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many bytes each.
+    Bytes(u64),
+    /// Iterations process this many logical elements each.
+    Elements(u64),
+}
+
+/// Identifier of one benchmark within a group, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handed to benchmark closures; call [`Bencher::iter`] exactly as
+/// with criterion.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher<'_> {
+    /// Runs `routine` once for warm-up and then `sample_size` timed times,
+    /// recording one wall-clock sample per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Statistics of one benchmark's samples.
+#[derive(Debug, Clone, Copy)]
+struct Stats {
+    min: Duration,
+    median: Duration,
+    mean: Duration,
+    p99: Duration,
+}
+
+fn stats(samples: &mut [Duration]) -> Option<Stats> {
+    if samples.is_empty() {
+        return None;
+    }
+    samples.sort_unstable();
+    let n = samples.len();
+    let total: Duration = samples.iter().sum();
+    let p99_idx = ((n as f64 * 0.99).ceil() as usize).clamp(1, n) - 1;
+    Some(Stats {
+        min: samples[0],
+        median: samples[n / 2],
+        mean: total / n as u32,
+        p99: samples[p99_idx],
+    })
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+fn fmt_throughput(t: Throughput, per_iter: Duration) -> String {
+    let secs = per_iter.as_secs_f64().max(1e-12);
+    match t {
+        Throughput::Bytes(b) => {
+            let rate = b as f64 / secs;
+            if rate >= (1u64 << 30) as f64 {
+                format!("{:.2} GiB/s", rate / (1u64 << 30) as f64)
+            } else if rate >= (1u64 << 20) as f64 {
+                format!("{:.2} MiB/s", rate / (1u64 << 20) as f64)
+            } else {
+                format!("{:.2} KiB/s", rate / (1u64 << 10) as f64)
+            }
+        }
+        Throughput::Elements(e) => format!("{:.2} Kelem/s", e as f64 / secs / 1_000.0),
+    }
+}
+
+fn report(name: &str, throughput: Option<Throughput>, samples: &mut Vec<Duration>) {
+    match stats(samples) {
+        Some(s) => {
+            let tp = throughput
+                .map(|t| format!("  [{}]", fmt_throughput(t, s.median)))
+                .unwrap_or_default();
+            println!(
+                "bench: {name:<40} min {:>10}  median {:>10}  mean {:>10}  p99 {:>10}{tp}",
+                fmt_duration(s.min),
+                fmt_duration(s.median),
+                fmt_duration(s.mean),
+                fmt_duration(s.p99),
+            );
+        }
+        None => println!("bench: {name:<40} (no samples — closure never called iter)"),
+    }
+    samples.clear();
+}
+
+/// A named collection of related benchmarks, mirroring `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    // Holds the Criterion borrow so, as with criterion, two groups cannot be
+    // open at once; the group itself only needs the copied settings below.
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Declares the data volume of one iteration for throughput reporting.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Benchmarks `routine` under `id` within this group.
+    pub fn bench_function<R: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Display,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher);
+        report(
+            &format!("{}/{}", self.name, id),
+            self.throughput,
+            &mut samples,
+        );
+        self
+    }
+
+    /// Benchmarks `routine` with an explicit input, criterion-style.
+    pub fn bench_with_input<I: ?Sized, R: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        self.bench_function(id, |b| routine(b, input))
+    }
+
+    /// Finishes the group. (Statistics are reported eagerly; this only closes
+    /// the group scope, as with criterion.)
+    pub fn finish(self) {}
+}
+
+/// The benchmark harness entry point, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Accepted for source compatibility with criterion's generated main; the
+    /// shim has no CLI options, so this is the identity.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks `routine` as a stand-alone (ungrouped) benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: impl Display,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let mut bencher = Bencher {
+            samples: &mut samples,
+            sample_size: self.sample_size,
+        };
+        routine(&mut bencher);
+        report(&id.to_string(), None, &mut samples);
+        self
+    }
+}
+
+/// Defines a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Defines `main` running one or more benchmark groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        let mut calls = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        group.finish();
+        // 1 warm-up + 5 samples.
+        assert_eq!(calls, 6);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input_through() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(2);
+        group.throughput(Throughput::Bytes(128));
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &41u64, |b, &x| {
+            b.iter(|| {
+                seen = x + 1;
+                seen
+            })
+        });
+        group.finish();
+        assert_eq!(seen, 42);
+    }
+
+    #[test]
+    fn stats_orders_quantiles() {
+        let mut samples: Vec<Duration> = (1..=100u64).map(Duration::from_micros).collect();
+        let s = stats(&mut samples).unwrap();
+        assert_eq!(s.min, Duration::from_micros(1));
+        assert!(s.median <= s.p99);
+        assert!(s.min <= s.median);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+    }
+
+    #[test]
+    fn duration_formatting_covers_scales() {
+        assert_eq!(fmt_duration(Duration::from_nanos(12)), "12 ns");
+        assert_eq!(fmt_duration(Duration::from_micros(3)), "3.00 µs");
+        assert_eq!(fmt_duration(Duration::from_millis(5)), "5.00 ms");
+        assert_eq!(fmt_duration(Duration::from_secs(2)), "2.00 s");
+    }
+}

@@ -223,7 +223,7 @@ mod tests {
     use super::*;
 
     #[derive(Clone, Debug)]
-    struct Ping(u32);
+    struct Ping(#[allow(dead_code)] u32);
     impl SimMessage for Ping {
         fn size_bytes(&self) -> usize {
             8

@@ -7,7 +7,7 @@
 //!   shared by all of its outgoing messages, which is what makes the leader's uplink the
 //!   bottleneck in the WAN experiments (paper §5.5);
 //! * **serialization delay** (`size / bandwidth`);
-//! * **propagation delay** sampled from the [`LatencyModel`](crate::latency::LatencyModel).
+//! * **propagation delay** sampled from the [`crate::latency::LatencyModel`].
 //!
 //! Partitions and crashed destinations cause silent message drops, which is exactly the
 //! paper's notion of a network fault (messages not delivered within Δ).

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI gate for the XFT reproduction. Everything runs offline against the
+# vendored in-workspace shims; there are no crates.io dependencies.
+#
+#   tier-1 : cargo build --release && cargo test -q
+#   extras : all bench/bin/example targets must compile, docs must build
+#            without warnings (the crates carry #![warn(missing_docs)]).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> tier-1: release build"
+cargo build --release --offline
+
+echo "==> tier-1: tests"
+cargo test -q --offline
+
+echo "==> benches, bins and examples compile"
+cargo build --offline --all-targets
+
+echo "==> docs stay warning-clean"
+doc_log=$(cargo doc --offline --no-deps 2>&1) || {
+    echo "$doc_log"
+    exit 1
+}
+if grep -q "^warning" <<<"$doc_log"; then
+    echo "$doc_log"
+    echo "cargo doc emitted warnings" >&2
+    exit 1
+fi
+
+echo "==> quickstart example exits 0"
+cargo run --offline --release --example quickstart >/dev/null
+
+echo "CI green ✓"

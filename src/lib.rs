@@ -11,11 +11,16 @@
 //! * [`reliability`] (`xft-reliability`) — the nines-of-reliability analysis,
 //! * [`kvstore`] (`xft-kvstore`) — the ZooKeeper-like coordination service.
 //!
+//! It also hosts [`testing`], the seeded property-testing harness the
+//! integration tests use in place of `proptest` (the build is offline).
+//!
 //! See the repository README for a tour and EXPERIMENTS.md for the paper-vs-measured
 //! record of every table and figure.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod testing;
 
 pub use xft_baselines as baselines;
 pub use xft_core as core;

@@ -1,0 +1,244 @@
+//! A small seeded property-testing harness, replacing `proptest` offline.
+//!
+//! The integration tests under `tests/` express randomized invariants
+//! ("for all operation sequences, replicas agree"). The build environment has
+//! no crates.io access, so instead of `proptest` this module provides a
+//! deliberately tiny harness on top of `xft-simnet`'s deterministic
+//! [`SimRng`]:
+//!
+//! * **Seeded case generation** — [`check`] runs a property over `cases`
+//!   pseudo-random cases. Each case gets an independent [`CaseRng`] whose seed
+//!   is derived from a base seed and the case index, so failures are
+//!   reproducible bit-for-bit.
+//! * **Shrinking-free failure reporting** — on the first failing case the
+//!   harness panics with the property name, the case index and the exact
+//!   per-case seed. Re-running the failing case is a one-liner with
+//!   [`check_one`]; there is no shrinking, which keeps the harness ~100 lines
+//!   and fully deterministic.
+//! * **Environment override** — setting `XFT_PROP_SEED` changes the base seed
+//!   of every property (useful for soaking the suite with fresh cases in CI
+//!   without touching code).
+//!
+//! ```
+//! use xft::testing::check;
+//!
+//! check("addition_commutes", 64, |rng| {
+//!     let a = rng.u64_below(1 << 32);
+//!     let b = rng.u64_below(1 << 32);
+//!     if a + b == b + a {
+//!         Ok(())
+//!     } else {
+//!         Err(format!("{a} + {b} disagreed"))
+//!     }
+//! });
+//! ```
+
+use xft_simnet::SimRng;
+
+/// Default base seed; chosen arbitrarily but fixed so CI runs are reproducible.
+const DEFAULT_BASE_SEED: u64 = 0x5F37_2026_0BAD_F00D;
+
+/// Per-case random generator handed to properties.
+///
+/// Wraps [`SimRng`] with generators for the shapes the test-suite needs
+/// (byte vectors, ranges, booleans). The underlying [`SimRng`] is exposed via
+/// [`CaseRng::rng`] for anything more exotic.
+pub struct CaseRng {
+    rng: SimRng,
+}
+
+impl CaseRng {
+    /// Creates the generator for `(base_seed, case_index)`; used by [`check`]
+    /// and by [`check_one`] when replaying a reported failure.
+    pub fn for_case(base_seed: u64, case: u64) -> Self {
+        // SplitMix-style mixing keeps neighbouring case streams uncorrelated.
+        let mut mixer = SimRng::seed_from_u64(base_seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        CaseRng {
+            rng: mixer.fork(case),
+        }
+    }
+
+    /// Direct access to the underlying deterministic generator.
+    pub fn rng(&mut self) -> &mut SimRng {
+        &mut self.rng
+    }
+
+    /// Uniform `u64` in `[0, bound)`; returns 0 when `bound == 0`.
+    pub fn u64_below(&mut self, bound: u64) -> u64 {
+        self.rng.next_below(bound)
+    }
+
+    /// Uniform `u64` in `[lo, hi)`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        self.rng.range_u64(lo, hi)
+    }
+
+    /// Uniform `usize` in `[lo, hi)`.
+    pub fn usize_in(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.range_u64(lo as u64, hi as u64) as usize
+    }
+
+    /// Uniform `f64` in `[lo, hi)`.
+    pub fn f64_in(&mut self, lo: f64, hi: f64) -> f64 {
+        self.rng.range_f64(lo, hi)
+    }
+
+    /// Fair coin flip.
+    pub fn bool(&mut self) -> bool {
+        self.rng.chance(0.5)
+    }
+
+    /// A uniformly random byte.
+    pub fn byte(&mut self) -> u8 {
+        self.rng.next_below(256) as u8
+    }
+
+    /// A byte vector whose length is uniform in `[min_len, max_len)`.
+    pub fn bytes(&mut self, min_len: usize, max_len: usize) -> Vec<u8> {
+        let len = self.usize_in(min_len, max_len);
+        (0..len).map(|_| self.byte()).collect()
+    }
+}
+
+/// The base seed, honouring the `XFT_PROP_SEED` environment override.
+pub fn base_seed() -> u64 {
+    match std::env::var("XFT_PROP_SEED") {
+        Ok(v) => v
+            .parse::<u64>()
+            .unwrap_or_else(|_| panic!("XFT_PROP_SEED must be a u64, got {v:?}")),
+        Err(_) => DEFAULT_BASE_SEED,
+    }
+}
+
+/// Runs `property` over `cases` seeded cases, panicking with a reproducible
+/// report on the first failure.
+///
+/// The property returns `Err(description)` (or panics) to signal a failure;
+/// [`CaseRng`] provides the random inputs. All cases derive from
+/// [`base_seed`], so a failure report like
+/// `property "p" failed at case 17 (base seed 123): …` is replayed exactly by
+/// `check_one("p", 123, 17, property)`.
+pub fn check<F>(name: &str, cases: u64, mut property: F)
+where
+    F: FnMut(&mut CaseRng) -> Result<(), String>,
+{
+    let base = base_seed();
+    for case in 0..cases {
+        run_case(name, base, case, &mut property);
+    }
+}
+
+/// Replays a single case of a property, using the base seed and case index
+/// from a [`check`] failure report.
+pub fn check_one<F>(name: &str, base_seed: u64, case: u64, mut property: F)
+where
+    F: FnMut(&mut CaseRng) -> Result<(), String>,
+{
+    run_case(name, base_seed, case, &mut property);
+}
+
+fn run_case<F>(name: &str, base: u64, case: u64, property: &mut F)
+where
+    F: FnMut(&mut CaseRng) -> Result<(), String>,
+{
+    let mut rng = CaseRng::for_case(base, case);
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| property(&mut rng)));
+    match outcome {
+        Ok(Ok(())) => {}
+        Ok(Err(msg)) => panic!(
+            "property {name:?} failed at case {case} (base seed {base}): {msg}\n\
+             replay with xft::testing::check_one({name:?}, {base}, {case}, …) \
+             or XFT_PROP_SEED={base}"
+        ),
+        Err(cause) => {
+            let msg = cause
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| cause.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "panic with non-string payload".to_string());
+            panic!(
+                "property {name:?} panicked at case {case} (base seed {base}): {msg}\n\
+                 replay with xft::testing::check_one({name:?}, {base}, {case}, …) \
+                 or XFT_PROP_SEED={base}"
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cases_are_deterministic_per_seed_and_index() {
+        let mut a = CaseRng::for_case(1, 5);
+        let mut b = CaseRng::for_case(1, 5);
+        for _ in 0..100 {
+            assert_eq!(a.rng().next_u64(), b.rng().next_u64());
+        }
+        let mut c = CaseRng::for_case(1, 6);
+        let diverged = (0..100).filter(|_| a.rng().next_u64() != c.rng().next_u64()).count();
+        assert!(diverged > 90);
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut seen = 0u64;
+        check("always_passes", 32, |_| {
+            seen += 1;
+            Ok(())
+        });
+        assert_eq!(seen, 32);
+    }
+
+    #[test]
+    fn failing_property_reports_name_case_and_seed() {
+        let err = std::panic::catch_unwind(|| {
+            check("always_fails", 8, |_| Err("nope".to_string()));
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("always_fails"), "{msg}");
+        assert!(msg.contains("case 0"), "{msg}");
+        assert!(msg.contains("nope"), "{msg}");
+    }
+
+    #[test]
+    fn panicking_property_is_reported_not_lost() {
+        let err = std::panic::catch_unwind(|| {
+            check("panics", 4, |rng| {
+                let _ = rng.u64_below(10);
+                assert_eq!(1, 2, "inner assertion");
+                Ok(())
+            });
+        })
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().unwrap();
+        assert!(msg.contains("panics"), "{msg}");
+        assert!(msg.contains("inner assertion"), "{msg}");
+    }
+
+    #[test]
+    fn bytes_respects_length_bounds() {
+        let mut rng = CaseRng::for_case(9, 0);
+        for _ in 0..200 {
+            let v = rng.bytes(1, 16);
+            assert!((1..16).contains(&v.len()));
+        }
+    }
+
+    #[test]
+    fn replay_matches_original_case_stream() {
+        let mut first: Vec<u64> = Vec::new();
+        check("record", 3, |rng| {
+            first.push(rng.u64_below(1_000_000));
+            Ok(())
+        });
+        let mut replayed = Vec::new();
+        check_one("record", base_seed(), 2, |rng| {
+            replayed.push(rng.u64_below(1_000_000));
+            Ok(())
+        });
+        assert_eq!(replayed[0], first[2]);
+    }
+}

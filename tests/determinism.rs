@@ -1,0 +1,88 @@
+//! Determinism regression tests: the whole stack — simulator, protocol, crypto —
+//! must be bit-for-bit reproducible given a seed. Two independently built
+//! clusters driven with the same seed must commit the identical trace; this is
+//! the property every experiment in EXPERIMENTS.md and every seeded failure
+//! report from `xft::testing` relies on.
+
+use xft::core::client::ClientWorkload;
+use xft::core::harness::{ClusterBuilder, LatencySpec, XPaxosCluster};
+use xft::crypto::Digest;
+use xft::simnet::{FaultEvent, SimDuration, SimTime};
+
+/// Builds a cluster with a randomized-latency workload; everything depends only
+/// on `seed`.
+fn build(seed: u64) -> XPaxosCluster {
+    ClusterBuilder::new(1, 3)
+        .with_seed(seed)
+        .with_latency(LatencySpec::Uniform(
+            SimDuration::from_millis(2),
+            SimDuration::from_millis(20),
+        ))
+        .with_workload(ClientWorkload {
+            payload_size: 256,
+            requests: Some(40),
+            ..Default::default()
+        })
+        .build()
+}
+
+/// A digest of one replica's committed log: every (sequence number, batch
+/// digest) pair it executed, in order.
+fn log_digest(cluster: &XPaxosCluster, replica: usize) -> Digest {
+    let mut buf = Vec::new();
+    for (sn, digest) in cluster.replica(replica).executed_history() {
+        buf.extend_from_slice(&sn.0.to_le_bytes());
+        buf.extend_from_slice(digest.as_bytes());
+    }
+    Digest::of(&buf)
+}
+
+#[test]
+fn same_seed_produces_identical_commit_traces() {
+    let mut a = build(0xD5EE_D);
+    let mut b = build(0xD5EE_D);
+    a.run_for(SimDuration::from_secs(30));
+    b.run_for(SimDuration::from_secs(30));
+
+    a.check_total_order().expect("run A violates total order");
+    b.check_total_order().expect("run B violates total order");
+
+    assert_eq!(a.total_committed(), b.total_committed());
+    assert!(a.total_committed() > 0, "workload never committed");
+    assert_eq!(a.max_executed(), b.max_executed());
+    for r in 0..a.n() {
+        assert_eq!(
+            a.replica(r).executed_history(),
+            b.replica(r).executed_history(),
+            "replica {r} executed different histories across identically seeded runs"
+        );
+        assert_eq!(
+            log_digest(&a, r),
+            log_digest(&b, r),
+            "replica {r} log digests diverged across identically seeded runs"
+        );
+        assert_eq!(
+            a.replica(r).state_digest(),
+            b.replica(r).state_digest(),
+            "replica {r} state digests diverged across identically seeded runs"
+        );
+    }
+}
+
+#[test]
+fn same_seed_is_deterministic_even_under_faults() {
+    let run = |seed: u64| {
+        let mut cluster = build(seed);
+        let crash = SimTime::ZERO + SimDuration::from_secs(5);
+        let heal = crash + SimDuration::from_secs(5);
+        cluster.sim.inject_fault_at(crash, FaultEvent::Crash(1));
+        cluster.sim.inject_fault_at(heal, FaultEvent::Recover(1));
+        cluster.run_for(SimDuration::from_secs(30));
+        cluster.check_total_order().expect("total order");
+        (
+            cluster.total_committed(),
+            (0..cluster.n()).map(|r| log_digest(&cluster, r)).collect::<Vec<_>>(),
+        )
+    };
+    assert_eq!(run(7), run(7));
+}

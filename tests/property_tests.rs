@@ -2,8 +2,12 @@
 //! cryptographic round trips, synchronous-group structure, reliability-formula
 //! monotonicity, coordination-service determinism and — most importantly — XPaxos
 //! total order under randomized crash/partition schedules that stay outside anarchy.
+//!
+//! Randomized cases come from the in-repo [`xft::testing`] harness (seeded by
+//! `xft-simnet`'s deterministic RNG) instead of `proptest`, which is unavailable
+//! offline; every failure report carries the base seed and case index needed to
+//! replay it exactly.
 
-use proptest::prelude::*;
 use xft::core::client::ClientWorkload;
 use xft::core::harness::{ClusterBuilder, LatencySpec};
 use xft::core::sync_group::SyncGroups;
@@ -12,107 +16,161 @@ use xft::crypto::{hmac_sha256, sha256, Digest, KeyId, KeyRegistry, Signer, Verif
 use xft::kvstore::{CoordinationService, KvOp};
 use xft::reliability::{ProtocolFamily, ReliabilityParams};
 use xft::simnet::{FaultEvent, SimDuration, SimTime};
+use xft::testing::check;
 use xft_core::state_machine::StateMachine;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// SHA-256 and HMAC are deterministic and sensitive to any single-byte change.
-    #[test]
-    fn hash_and_mac_detect_any_mutation(data in proptest::collection::vec(any::<u8>(), 1..512),
-                                        flip in 0usize..512) {
+/// SHA-256 and HMAC are deterministic and sensitive to any single-byte change.
+#[test]
+fn hash_and_mac_detect_any_mutation() {
+    check("hash_and_mac_detect_any_mutation", 64, |rng| {
+        let data = rng.bytes(1, 512);
+        let flip = rng.usize_in(0, 512);
         let baseline = sha256(&data);
-        prop_assert_eq!(baseline, sha256(&data));
+        if baseline != sha256(&data) {
+            return Err("sha256 not deterministic".into());
+        }
         let mut mutated = data.clone();
         let idx = flip % mutated.len();
         mutated[idx] ^= 0x01;
-        prop_assert_ne!(baseline, sha256(&mutated));
-        prop_assert_ne!(hmac_sha256(b"k", &data), hmac_sha256(b"k", &mutated));
-    }
+        if baseline == sha256(&mutated) {
+            return Err(format!("sha256 collision after flipping byte {idx}"));
+        }
+        if hmac_sha256(b"k", &data) == hmac_sha256(b"k", &mutated) {
+            return Err(format!("hmac collision after flipping byte {idx}"));
+        }
+        Ok(())
+    });
+}
 
-    /// Signatures verify for the signer and never for a different claimed signer.
-    #[test]
-    fn signatures_bind_signer_and_message(payload in proptest::collection::vec(any::<u8>(), 1..256),
-                                          signer_id in 0u64..8, other_id in 8u64..16) {
+/// Signatures verify for the signer and never for a different claimed signer.
+#[test]
+fn signatures_bind_signer_and_message() {
+    check("signatures_bind_signer_and_message", 64, |rng| {
+        let payload = rng.bytes(1, 256);
+        let signer_id = rng.u64_in(0, 8);
+        let other_id = rng.u64_in(8, 16);
         let registry = KeyRegistry::new(1);
         let signer = Signer::new(&registry, KeyId(signer_id));
         let _other = Signer::new(&registry, KeyId(other_id));
         let verifier = Verifier::new(registry);
         let digest = Digest::of(&payload);
         let mut sig = signer.sign_digest(&digest);
-        prop_assert!(verifier.verify_digest(&digest, &sig).is_ok());
+        if verifier.verify_digest(&digest, &sig).is_err() {
+            return Err("genuine signature rejected".into());
+        }
         sig.signer = KeyId(other_id);
-        prop_assert!(verifier.verify_digest(&digest, &sig).is_err());
-    }
+        if verifier.verify_digest(&digest, &sig).is_ok() {
+            return Err("signature accepted for the wrong signer".into());
+        }
+        Ok(())
+    });
+}
 
-    /// Synchronous groups always have t + 1 members, a primary inside the group, and
-    /// partition the replica set together with the passive replicas.
-    #[test]
-    fn sync_groups_are_well_formed(t in 1usize..4, view in 0u64..500) {
+/// Synchronous groups always have t + 1 members, a primary inside the group, and
+/// partition the replica set together with the passive replicas.
+#[test]
+fn sync_groups_are_well_formed() {
+    check("sync_groups_are_well_formed", 64, |rng| {
+        let t = rng.usize_in(1, 4);
+        let view = rng.u64_in(0, 500);
         let groups = SyncGroups::new(t);
         let v = ViewNumber(view);
         let active = groups.active_replicas(v);
         let passive = groups.passive_replicas(v);
-        prop_assert_eq!(active.len(), t + 1);
-        prop_assert_eq!(passive.len(), t);
-        prop_assert!(active.contains(&groups.primary(v)));
+        if active.len() != t + 1 {
+            return Err(format!("active group has {} members, want {}", active.len(), t + 1));
+        }
+        if passive.len() != t {
+            return Err(format!("passive set has {} members, want {t}", passive.len()));
+        }
+        if !active.contains(&groups.primary(v)) {
+            return Err("primary not inside its synchronous group".into());
+        }
         let mut all: Vec<usize> = active.iter().copied().chain(passive).collect();
         all.sort_unstable();
-        prop_assert_eq!(all, (0..2 * t + 1).collect::<Vec<_>>());
-    }
+        if all != (0..2 * t + 1).collect::<Vec<_>>() {
+            return Err(format!("active ∪ passive is not the replica set: {all:?}"));
+        }
+        Ok(())
+    });
+}
 
-    /// The reliability formulas are monotone: more reliable machines never yield fewer
-    /// nines, and XFT consistency/availability always dominates CFT.
-    #[test]
-    fn reliability_formulas_are_monotone_and_dominate_cft(
-        benign_a in 0.95f64..0.999999, delta in 0.0f64..0.00005,
-        correct_frac in 0.9f64..1.0, sync in 0.95f64..0.999999, t in 1usize..3,
-    ) {
+/// The reliability formulas are monotone: more reliable machines never yield fewer
+/// nines, and XFT consistency/availability always dominates CFT.
+#[test]
+fn reliability_formulas_are_monotone_and_dominate_cft() {
+    check("reliability_formulas_are_monotone_and_dominate_cft", 64, |rng| {
+        let benign_a = rng.f64_in(0.95, 0.999999);
+        let delta = rng.f64_in(0.0, 0.00005);
+        let correct_frac = rng.f64_in(0.9, 1.0);
+        let sync = rng.f64_in(0.95, 0.999999);
+        let t = rng.usize_in(1, 3);
         let benign_b = (benign_a + delta).min(0.9999995);
         let pa = ReliabilityParams::new(benign_a, benign_a * correct_frac, sync);
         let pb = ReliabilityParams::new(benign_b, benign_b * correct_frac, sync);
         for fam in [ProtocolFamily::Cft, ProtocolFamily::Bft, ProtocolFamily::Xft] {
-            prop_assert!(fam.consistency(pb, t) + 1e-12 >= fam.consistency(pa, t));
+            if fam.consistency(pb, t) + 1e-12 < fam.consistency(pa, t) {
+                return Err(format!("{fam:?} consistency not monotone at t = {t}"));
+            }
         }
-        prop_assert!(ProtocolFamily::Xft.consistency(pa, t) + 1e-12 >= ProtocolFamily::Cft.consistency(pa, t));
-        prop_assert!(ProtocolFamily::Xft.availability(pa, t) + 1e-12 >= ProtocolFamily::Cft.availability(pa, t));
-    }
+        if ProtocolFamily::Xft.consistency(pa, t) + 1e-12 < ProtocolFamily::Cft.consistency(pa, t) {
+            return Err(format!("XFT consistency below CFT at t = {t}"));
+        }
+        if ProtocolFamily::Xft.availability(pa, t) + 1e-12 < ProtocolFamily::Cft.availability(pa, t) {
+            return Err(format!("XFT availability below CFT at t = {t}"));
+        }
+        Ok(())
+    });
+}
 
-    /// The coordination service is deterministic: any operation sequence applied to two
-    /// fresh replicas yields identical replies and state digests.
-    #[test]
-    fn coordination_service_is_deterministic(ops in proptest::collection::vec((0u8..4, 0u8..8, proptest::collection::vec(any::<u8>(), 0..64)), 1..40)) {
+/// The coordination service is deterministic: any operation sequence applied to two
+/// fresh replicas yields identical replies and state digests.
+#[test]
+fn coordination_service_is_deterministic() {
+    check("coordination_service_is_deterministic", 64, |rng| {
         let mut a = CoordinationService::new();
         let mut b = CoordinationService::new();
-        for (kind, node, data) in ops {
+        let op_count = rng.usize_in(1, 40);
+        for step in 0..op_count {
+            let kind = rng.u64_below(4);
+            let node = rng.u64_below(8);
+            let data = rng.bytes(0, 64);
             let path = format!("/n{node}");
             let op = match kind {
-                0 => KvOp::Create { path, data: data.clone().into(), ephemeral_owner: None, sequential: false },
+                0 => KvOp::Create {
+                    path,
+                    data: data.clone().into(),
+                    ephemeral_owner: None,
+                    sequential: false,
+                },
                 1 => KvOp::SetData { path, data: data.clone().into() },
                 2 => KvOp::Delete { path },
                 _ => KvOp::GetData { path },
             };
             let encoded = op.encode();
-            prop_assert_eq!(a.apply(&encoded), b.apply(&encoded));
+            if a.apply(&encoded) != b.apply(&encoded) {
+                return Err(format!("replies diverged at step {step} ({op:?})"));
+            }
         }
-        prop_assert_eq!(a.state_digest(), b.state_digest());
-    }
+        if a.state_digest() != b.state_digest() {
+            return Err("state digests diverged after identical histories".into());
+        }
+        Ok(())
+    });
 }
 
-proptest! {
-    // Whole-cluster simulations are comparatively expensive; run fewer cases.
-    #![proptest_config(ProptestConfig::with_cases(8))]
-
-    /// Total order holds under randomized single-replica crash/recovery schedules
-    /// (never more than t = 1 simultaneous fault, hence never in anarchy).
-    #[test]
-    fn xpaxos_total_order_under_random_crash_schedules(
-        seed in 0u64..1000,
-        victim in 0usize..3,
-        crash_at_secs in 2u64..8,
-        downtime_secs in 1u64..10,
-        partition_instead in any::<bool>(),
-    ) {
+/// Total order holds under randomized single-replica crash/recovery schedules
+/// (never more than t = 1 simultaneous fault, hence never in anarchy).
+///
+/// Whole-cluster simulations are comparatively expensive; run fewer cases.
+#[test]
+fn xpaxos_total_order_under_random_crash_schedules() {
+    check("xpaxos_total_order_under_random_crash_schedules", 8, |rng| {
+        let seed = rng.u64_in(0, 1000);
+        let victim = rng.usize_in(0, 3);
+        let crash_at_secs = rng.u64_in(2, 8);
+        let downtime_secs = rng.u64_in(1, 10);
+        let partition_instead = rng.bool();
         let mut cluster = ClusterBuilder::new(1, 2)
             .with_seed(seed)
             .with_latency(LatencySpec::Uniform(
@@ -138,10 +196,15 @@ proptest! {
         cluster.run_for(SimDuration::from_secs(30));
 
         // Liveness: the system must keep committing after the fault heals.
-        prop_assert!(cluster.total_committed() > 20, "only {} commits", cluster.total_committed());
+        if cluster.total_committed() <= 20 {
+            return Err(format!(
+                "only {} commits (seed {seed}, victim {victim}, partition {partition_instead})",
+                cluster.total_committed()
+            ));
+        }
         // Safety among the replicas that were never disturbed (the disturbed replica may
         // hold a speculative suffix until it repairs through a later view change).
         let undisturbed: Vec<usize> = (0..3).filter(|r| *r != victim).collect();
-        prop_assert!(cluster.check_total_order_among(&undisturbed).is_ok());
-    }
+        cluster.check_total_order_among(&undisturbed)
+    });
 }

@@ -1,0 +1,31 @@
+//! Smoke test mirroring `examples/quickstart.rs`: the exact cluster the README
+//! tells a new user to run must commit its workload and verify total order.
+//! If this test fails, the five-minute tour of the repository is broken.
+
+use xft::core::client::ClientWorkload;
+use xft::core::harness::{ClusterBuilder, LatencySpec};
+use xft::simnet::SimDuration;
+
+#[test]
+fn quickstart_path_commits_and_verifies_total_order() {
+    // Keep in sync with examples/quickstart.rs.
+    let mut cluster = ClusterBuilder::new(1, 2)
+        .with_seed(42)
+        .with_latency(LatencySpec::Constant(SimDuration::from_millis(10)))
+        .with_workload(ClientWorkload {
+            payload_size: 1024,
+            requests: Some(100),
+            ..Default::default()
+        })
+        .build();
+
+    cluster.run_for(SimDuration::from_secs(60));
+
+    assert_eq!(
+        cluster.total_committed(),
+        200,
+        "both quickstart clients must commit all 100 requests"
+    );
+    assert!(cluster.sim.metrics().mean_latency_ms() > 0.0);
+    cluster.check_total_order().expect("total order holds");
+}
