@@ -1,0 +1,80 @@
+//! Micro-benchmarks of the canonical wire codec: the encode/decode cost every
+//! live-cluster message pays on top of the protocol itself.
+
+use bytes::Bytes;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use xft_core::messages::{CommitCarryMsg, CommitMsg, SignedRequest};
+use xft_core::types::{Batch, ClientId, Request, SeqNum, ViewNumber};
+use xft_core::XPaxosMsg;
+use xft_crypto::{Digest, KeyId, Signature};
+use xft_wire::{decode_msg, encode_msg_vec};
+
+fn sig(id: u64) -> Signature {
+    Signature {
+        signer: KeyId(id),
+        tag: [id as u8; 32],
+    }
+}
+
+fn replicate_msg(payload: usize) -> XPaxosMsg {
+    XPaxosMsg::Replicate(SignedRequest {
+        request: Request::new(ClientId(1), 7, Bytes::from(vec![0xAB; payload])),
+        signature: sig(100),
+    })
+}
+
+fn commit_carry_msg(batch_size: usize, payload: usize) -> XPaxosMsg {
+    let requests = (0..batch_size)
+        .map(|i| Request::new(ClientId(i as u64), i as u64, Bytes::from(vec![0xCD; payload])))
+        .collect();
+    XPaxosMsg::CommitCarry(CommitCarryMsg {
+        view: ViewNumber(3),
+        sn: SeqNum(99),
+        batch: Batch::new(requests),
+        client_sigs: (0..batch_size as u64).map(sig).collect(),
+        signature: sig(0),
+    })
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_encode");
+    for (label, msg) in [
+        ("replicate_1KiB", replicate_msg(1024)),
+        ("commit_carry_20x1KiB", commit_carry_msg(20, 1024)),
+        (
+            "commit_digest_form",
+            XPaxosMsg::Commit(CommitMsg {
+                view: ViewNumber(3),
+                sn: SeqNum(99),
+                batch_digest: Digest::of(b"batch"),
+                replica: 1,
+                reply_digest: Some(Digest::of(b"reply")),
+                signature: sig(1),
+            }),
+        ),
+    ] {
+        let encoded_len = encode_msg_vec(&msg).len() as u64;
+        group.throughput(Throughput::Bytes(encoded_len));
+        group.bench_function(label, |b| b.iter(|| encode_msg_vec(black_box(&msg))));
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wire_decode");
+    for (label, msg) in [
+        ("replicate_1KiB", replicate_msg(1024)),
+        ("commit_carry_20x1KiB", commit_carry_msg(20, 1024)),
+    ] {
+        let encoded = encode_msg_vec(&msg);
+        group.throughput(Throughput::Bytes(encoded.len() as u64));
+        group.bench_function(label, |b| {
+            b.iter(|| decode_msg::<XPaxosMsg>(black_box(&encoded)).expect("decodes"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_encode, bench_decode);
+criterion_main!(benches);

@@ -388,6 +388,85 @@ impl BufMut for Vec<u8> {
     }
 }
 
+/// A `Buf`-style cursor over a byte slice: the reading counterpart of [`BufMut`].
+///
+/// Every accessor is bounds-checked and returns `None` instead of panicking when
+/// the slice is exhausted, which is what decoders working on untrusted wire input
+/// need. The cursor never copies; [`Reader::get_slice`] hands back a sub-slice of
+/// the original buffer.
+#[derive(Debug, Clone)]
+pub struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Creates a cursor positioned at the start of `data`.
+    pub fn new(data: &'a [u8]) -> Self {
+        Reader { data, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// Whether the cursor has consumed the whole slice.
+    pub fn is_empty(&self) -> bool {
+        self.pos == self.data.len()
+    }
+
+    /// Number of bytes consumed so far.
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+
+    /// Reads the next `len` bytes as a sub-slice of the underlying buffer.
+    pub fn get_slice(&mut self, len: usize) -> Option<&'a [u8]> {
+        if self.remaining() < len {
+            return None;
+        }
+        let s = &self.data[self.pos..self.pos + len];
+        self.pos += len;
+        Some(s)
+    }
+
+    /// Reads a fixed-size byte array.
+    pub fn get_array<const N: usize>(&mut self) -> Option<[u8; N]> {
+        self.get_slice(N).map(|s| s.try_into().expect("length checked"))
+    }
+
+    /// Reads a single byte.
+    pub fn get_u8(&mut self) -> Option<u8> {
+        self.get_array::<1>().map(|b| b[0])
+    }
+
+    /// Reads a `u16` in little-endian order.
+    pub fn get_u16_le(&mut self) -> Option<u16> {
+        self.get_array().map(u16::from_le_bytes)
+    }
+
+    /// Reads a `u32` in little-endian order.
+    pub fn get_u32_le(&mut self) -> Option<u32> {
+        self.get_array().map(u32::from_le_bytes)
+    }
+
+    /// Reads a `u64` in little-endian order.
+    pub fn get_u64_le(&mut self) -> Option<u64> {
+        self.get_array().map(u64::from_le_bytes)
+    }
+
+    /// Reads a `u32` in big-endian order.
+    pub fn get_u32(&mut self) -> Option<u32> {
+        self.get_array().map(u32::from_be_bytes)
+    }
+
+    /// Reads a `u64` in big-endian order.
+    pub fn get_u64(&mut self) -> Option<u64> {
+        self.get_array().map(u64::from_be_bytes)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -452,5 +531,39 @@ mod tests {
     fn debug_formats_as_byte_string() {
         let b = Bytes::from_static(b"a\x00b");
         assert_eq!(format!("{b:?}"), "b\"a\\x00b\"");
+    }
+
+    #[test]
+    fn reader_round_trips_bufmut_writers() {
+        let mut buf = Vec::new();
+        buf.put_u8(7);
+        buf.put_u16_le(513);
+        buf.put_u32_le(0xDEADBEEF);
+        buf.put_u64_le(42);
+        buf.put_u32(0xCAFEBABE);
+        buf.put_u64(99);
+        buf.put_slice(b"tail");
+        let mut r = Reader::new(&buf);
+        assert_eq!(r.get_u8(), Some(7));
+        assert_eq!(r.get_u16_le(), Some(513));
+        assert_eq!(r.get_u32_le(), Some(0xDEADBEEF));
+        assert_eq!(r.get_u64_le(), Some(42));
+        assert_eq!(r.get_u32(), Some(0xCAFEBABE));
+        assert_eq!(r.get_u64(), Some(99));
+        assert_eq!(r.get_slice(4), Some(&b"tail"[..]));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn reader_is_bounds_checked_not_panicking() {
+        let mut r = Reader::new(&[1, 2, 3]);
+        assert_eq!(r.get_u32_le(), None, "4 bytes requested, 3 available");
+        assert_eq!(r.remaining(), 3, "failed reads consume nothing");
+        assert_eq!(r.get_u8(), Some(1));
+        assert_eq!(r.position(), 1);
+        assert_eq!(r.get_slice(3), None);
+        assert_eq!(r.get_slice(2), Some(&[2, 3][..]));
+        assert_eq!(r.get_u8(), None);
+        assert_eq!(r.get_slice(usize::MAX), None, "no overflow on huge lengths");
     }
 }

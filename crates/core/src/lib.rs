@@ -46,6 +46,7 @@ pub mod replica;
 pub mod state_machine;
 pub mod sync_group;
 pub mod types;
+pub mod wire;
 
 pub use byzantine::ByzantineBehavior;
 pub use client::{Client, ClientWorkload};

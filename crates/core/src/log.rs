@@ -22,14 +22,10 @@ pub struct PrepareEntry {
 }
 
 impl PrepareEntry {
-    /// Digest the primary signs: binds the batch digest, sequence number and view.
+    /// Digest the primary signs: binds the batch digest, sequence number and
+    /// view through their canonical wire encoding.
     pub fn signed_digest(batch_digest: &Digest, sn: SeqNum, view: ViewNumber) -> Digest {
-        Digest::of_parts(&[
-            b"prepare",
-            batch_digest.as_bytes(),
-            &sn.0.to_le_bytes(),
-            &view.0.to_le_bytes(),
-        ])
+        xft_wire::domain_digest(b"prepare", &(*batch_digest, sn, view))
     }
 
     /// Approximate wire size.
@@ -56,14 +52,10 @@ pub struct CommitEntry {
 }
 
 impl CommitEntry {
-    /// Digest a follower signs when committing: binds batch digest, sn and view.
+    /// Digest a follower signs when committing: binds batch digest, sn and
+    /// view through their canonical wire encoding.
     pub fn commit_digest(batch_digest: &Digest, sn: SeqNum, view: ViewNumber) -> Digest {
-        Digest::of_parts(&[
-            b"commit",
-            batch_digest.as_bytes(),
-            &sn.0.to_le_bytes(),
-            &view.0.to_le_bytes(),
-        ])
+        xft_wire::domain_digest(b"commit", &(*batch_digest, sn, view))
     }
 
     /// Total number of distinct signatures in the proof (primary + followers).

@@ -117,20 +117,11 @@ pub struct ViewChangeMsg {
 }
 
 impl ViewChangeMsg {
-    /// Digest covered by the sender's signature.
+    /// Digest covered by the sender's signature: the canonical wire encoding of
+    /// every field except the signature itself, so what is signed is exactly
+    /// what travels (no encode/sign drift).
     pub fn digest(&self) -> Digest {
-        let mut d = Digest::of_parts(&[
-            b"view-change",
-            &self.new_view.0.to_le_bytes(),
-            &(self.replica as u64).to_le_bytes(),
-        ]);
-        for e in &self.commit_log {
-            d = d.combine(&CommitEntry::commit_digest(&e.batch.digest(), e.sn, e.view));
-        }
-        for e in &self.prepare_log {
-            d = d.combine(&PrepareEntry::signed_digest(&e.batch.digest(), e.sn, e.view));
-        }
-        d
+        xft_wire::domain_digest(b"view-change", &self.unsigned_part())
     }
 
     /// Approximate wire size.
@@ -333,18 +324,15 @@ impl SimMessage for XPaxosMsg {
     }
 }
 
-/// Digest signed by a client over its request (domain-separated from replica digests).
+/// Digest signed by a client over its request (domain-separated from replica
+/// digests), derived from the request's canonical wire encoding.
 pub fn client_request_digest(request: &Request) -> Digest {
-    Digest::of_parts(&[b"client-request", request.digest().as_bytes()])
+    xft_wire::domain_digest(b"client-request", request)
 }
 
 /// Digest signed in a SUSPECT message.
 pub fn suspect_digest(view: ViewNumber, replica: ReplicaId) -> Digest {
-    Digest::of_parts(&[
-        b"suspect",
-        &view.0.to_le_bytes(),
-        &(replica as u64).to_le_bytes(),
-    ])
+    xft_wire::domain_digest(b"suspect", &(view, replica as u64))
 }
 
 /// Digest signed in a REPLY message (binds view, sn, client timestamp and reply digest).
@@ -355,14 +343,7 @@ pub fn reply_digest(
     ts: Timestamp,
     reply: &Digest,
 ) -> Digest {
-    Digest::of_parts(&[
-        b"reply",
-        &view.0.to_le_bytes(),
-        &sn.0.to_le_bytes(),
-        &client.0.to_le_bytes(),
-        &ts.to_le_bytes(),
-        reply.as_bytes(),
-    ])
+    xft_wire::domain_digest(b"reply", &(view, sn, client, ts, *reply))
 }
 
 #[cfg(test)]

@@ -85,13 +85,10 @@ impl Request {
         (self.client, self.timestamp)
     }
 
-    /// Digest of the request, `D(req)` in the paper.
+    /// Digest of the request, `D(req)` in the paper, derived from the request's
+    /// canonical wire encoding.
     pub fn digest(&self) -> Digest {
-        Digest::of_parts(&[
-            &self.client.0.to_le_bytes(),
-            &self.timestamp.to_le_bytes(),
-            &self.op,
-        ])
+        xft_wire::domain_digest(b"request", self)
     }
 
     /// Approximate wire size in bytes.
@@ -133,14 +130,9 @@ impl Batch {
         }
     }
 
-    /// Digest of the whole batch.
+    /// Digest of the whole batch, derived from its canonical wire encoding.
     pub fn digest(&self) -> Digest {
-        let parts: Vec<Digest> = self.requests.iter().map(|r| r.digest()).collect();
-        let mut acc = Digest::of(b"batch");
-        for p in parts {
-            acc = acc.combine(&p);
-        }
-        acc
+        xft_wire::domain_digest(b"batch", self)
     }
 
     /// Number of requests in the batch.

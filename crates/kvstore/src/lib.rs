@@ -18,6 +18,7 @@
 pub mod ops;
 pub mod service;
 pub mod tree;
+pub mod workload;
 
 pub use ops::{KvOp, KvResult};
 pub use service::CoordinationService;

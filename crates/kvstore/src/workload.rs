@@ -1,0 +1,64 @@
+//! Pre-encoded coordination-service workloads.
+//!
+//! The simulator's clients, the `xpaxos-client` binary and the loopback-TCP
+//! integration test all drive the replicated [`CoordinationService`] with the
+//! same operations; generating them here keeps the three consumers in
+//! agreement about what "a 1 kB ZooKeeper write" (the paper's Figure 10
+//! workload) means.
+//!
+//! [`CoordinationService`]: crate::service::CoordinationService
+
+use crate::ops::KvOp;
+use bytes::Bytes;
+
+/// A sequential create under the root, the always-succeeding write the
+/// macro-benchmark issues: each application creates a fresh znode
+/// `/bench-c<client>-<seq>` holding `payload` bytes.
+pub fn bench_create_op(client: u64, payload: usize) -> Bytes {
+    KvOp::Create {
+        path: format!("/bench-c{client}-"),
+        data: Bytes::from(vec![0xAB; payload]),
+        ephemeral_owner: None,
+        sequential: true,
+    }
+    .encode()
+}
+
+/// An overwrite of a client-owned znode (ZooKeeper `setData`), the paper's
+/// 1 kB-write workload once the znode exists. Fails with `NoNode` (still a
+/// committed, totally-ordered operation) if [`bench_create_op`] never ran.
+pub fn bench_set_op(client: u64, payload: usize) -> Bytes {
+    KvOp::SetData {
+        path: format!("/bench-c{client}-0000000000"),
+        data: Bytes::from(vec![0xCD; payload]),
+    }
+    .encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::CoordinationService;
+    use xft_core::state_machine::StateMachine;
+
+    #[test]
+    fn bench_create_always_succeeds_and_grows_state() {
+        let mut svc = CoordinationService::new();
+        for i in 0..5 {
+            let reply = svc.apply(&bench_create_op(7, 64));
+            assert_eq!(reply[0], 1, "create {i} succeeded");
+        }
+        assert_eq!(svc.applied(), 5);
+        // Sequential suffixes make every create distinct.
+        assert_eq!(svc.tree().children("/").count(), 5);
+    }
+
+    #[test]
+    fn bench_set_targets_the_first_created_node() {
+        let mut svc = CoordinationService::new();
+        let create_reply = svc.apply(&bench_create_op(3, 16));
+        let created = String::from_utf8(create_reply[1..].to_vec()).unwrap();
+        let set_reply = svc.apply(&bench_set_op(3, 16));
+        assert_eq!(set_reply[0], 1, "set of {created} succeeded");
+    }
+}

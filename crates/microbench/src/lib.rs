@@ -82,16 +82,24 @@ impl Bencher<'_> {
     }
 }
 
-/// Statistics of one benchmark's samples.
+/// Statistics of a set of duration samples.
+///
+/// Public so deployment tooling (the `xpaxos-client` binary, smoke tests) can
+/// report wall-clock latency with the same summary the benches print.
 #[derive(Debug, Clone, Copy)]
-struct Stats {
-    min: Duration,
-    median: Duration,
-    mean: Duration,
-    p99: Duration,
+pub struct Stats {
+    /// Fastest sample.
+    pub min: Duration,
+    /// Median sample.
+    pub median: Duration,
+    /// Arithmetic mean.
+    pub mean: Duration,
+    /// 99th percentile (nearest-rank).
+    pub p99: Duration,
 }
 
-fn stats(samples: &mut [Duration]) -> Option<Stats> {
+/// Summarizes samples (sorting them in place); `None` when empty.
+pub fn summarize(samples: &mut [Duration]) -> Option<Stats> {
     if samples.is_empty() {
         return None;
     }
@@ -107,7 +115,8 @@ fn stats(samples: &mut [Duration]) -> Option<Stats> {
     })
 }
 
-fn fmt_duration(d: Duration) -> String {
+/// Renders a duration with a human-friendly unit (ns/µs/ms/s).
+pub fn fmt_duration(d: Duration) -> String {
     let nanos = d.as_nanos();
     if nanos < 1_000 {
         format!("{nanos} ns")
@@ -138,7 +147,7 @@ fn fmt_throughput(t: Throughput, per_iter: Duration) -> String {
 }
 
 fn report(name: &str, throughput: Option<Throughput>, samples: &mut Vec<Duration>) {
-    match stats(samples) {
+    match summarize(samples) {
         Some(s) => {
             let tp = throughput
                 .map(|t| format!("  [{}]", fmt_throughput(t, s.median)))
@@ -323,7 +332,7 @@ mod tests {
     #[test]
     fn stats_orders_quantiles() {
         let mut samples: Vec<Duration> = (1..=100u64).map(Duration::from_micros).collect();
-        let s = stats(&mut samples).unwrap();
+        let s = summarize(&mut samples).unwrap();
         assert_eq!(s.min, Duration::from_micros(1));
         assert!(s.median <= s.p99);
         assert!(s.min <= s.median);

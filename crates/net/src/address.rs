@@ -1,0 +1,83 @@
+//! The cluster address book: node id → socket address, mutable at runtime.
+//!
+//! Sender threads consult the book on every (re)connection attempt instead of
+//! caching addresses, so an operator — or the integration test's recovery
+//! path — can re-home a node onto a new port and the rest of the cluster
+//! converges on the next reconnect.
+
+use std::collections::HashMap;
+use std::net::SocketAddr;
+use std::sync::{Arc, Mutex};
+use xft_simnet::NodeId;
+
+/// Shared, mutable node-id → address mapping.
+#[derive(Debug, Default)]
+pub struct AddressBook {
+    entries: Mutex<HashMap<NodeId, SocketAddr>>,
+}
+
+impl AddressBook {
+    /// Creates a book from `(node, address)` entries.
+    pub fn new(entries: impl IntoIterator<Item = (NodeId, SocketAddr)>) -> Arc<Self> {
+        Arc::new(AddressBook {
+            entries: Mutex::new(entries.into_iter().collect()),
+        })
+    }
+
+    /// Creates a book mapping node `i` to `addrs[i]` (the layout produced by
+    /// [`crate::cluster::parse_node_addrs`]: replicas first, then clients).
+    pub fn from_ordered(addrs: &[SocketAddr]) -> Arc<Self> {
+        AddressBook::new(addrs.iter().copied().enumerate())
+    }
+
+    /// Current address of `node`, if known.
+    pub fn get(&self, node: NodeId) -> Option<SocketAddr> {
+        self.entries.lock().expect("address book poisoned").get(&node).copied()
+    }
+
+    /// Inserts or updates the address of `node` (e.g. after a recovery onto a
+    /// fresh port).
+    pub fn set(&self, node: NodeId, addr: SocketAddr) {
+        self.entries.lock().expect("address book poisoned").insert(node, addr);
+    }
+
+    /// All node ids currently in the book, in ascending order.
+    pub fn nodes(&self) -> Vec<NodeId> {
+        let mut ids: Vec<NodeId> = self
+            .entries
+            .lock()
+            .expect("address book poisoned")
+            .keys()
+            .copied()
+            .collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Number of known nodes.
+    pub fn len(&self) -> usize {
+        self.entries.lock().expect("address book poisoned").len()
+    }
+
+    /// Whether the book is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_overrides_initial_entries() {
+        let a: SocketAddr = "127.0.0.1:1000".parse().unwrap();
+        let b: SocketAddr = "127.0.0.1:2000".parse().unwrap();
+        let book = AddressBook::new([(0usize, a)]);
+        assert_eq!(book.get(0), Some(a));
+        assert_eq!(book.get(1), None);
+        book.set(0, b);
+        assert_eq!(book.get(0), Some(b));
+        assert_eq!(book.len(), 1);
+    }
+}

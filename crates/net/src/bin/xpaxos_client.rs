@@ -1,0 +1,137 @@
+//! `xpaxos-client` — a closed-loop client driving a live XPaxos cluster with
+//! coordination-service writes and reporting throughput/latency.
+//!
+//! ```text
+//! xpaxos-client --id 0 --t 1 --clients 1 \
+//!     --addrs 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7010 \
+//!     --ops 100 [--payload 1024] [--seed 1] [--delta-ms 500] \
+//!     [--retransmit-ms 2000] [--timeout-secs 60]
+//! ```
+//!
+//! `--id` is the client index (node id `2t + 1 + id`). The client issues
+//! `--ops` sequential-create operations of `--payload` bytes against the
+//! replicated ZooKeeper-like service, waits for each commit, then prints
+//! `xft-microbench` latency statistics and exits 0. A cluster that fails to
+//! commit the target within `--timeout-secs` exits 1.
+
+use std::net::TcpListener;
+use std::process::exit;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use xft_core::client::{Client, ClientWorkload};
+use xft_core::types::ClientId;
+use xft_core::XPaxosConfig;
+use xft_crypto::KeyRegistry;
+use xft_kvstore::workload::bench_create_op;
+use xft_net::cli::Args;
+use xft_net::{
+    parse_node_addrs, register_cluster_keys, AddressBook, NetConfig, StartMode, TcpRuntime,
+};
+use xft_simnet::SimDuration;
+
+fn main() {
+    let mut args = Args::parse();
+    let id: usize = args.required("--id");
+    let t: usize = args.required("--t");
+    let clients: usize = args.required("--clients");
+    let addrs_raw: String = args.required("--addrs");
+    let ops: u64 = args.required("--ops");
+    let payload: usize = args.optional("--payload").unwrap_or(1024);
+    let seed: u64 = args.optional("--seed").unwrap_or(1);
+    let delta_ms: u64 = args.optional("--delta-ms").unwrap_or(500);
+    let retransmit_ms: u64 = args.optional("--retransmit-ms").unwrap_or(2000);
+    let timeout_secs: u64 = args.optional("--timeout-secs").unwrap_or(60);
+    args.finish();
+
+    let addrs = match parse_node_addrs(&addrs_raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("xpaxos-client: {e}");
+            exit(2);
+        }
+    };
+    let config = XPaxosConfig::new(t, clients)
+        .with_delta(SimDuration::from_millis(delta_ms))
+        .with_client_retransmit(SimDuration::from_millis(retransmit_ms));
+    let n = config.n();
+    if id >= clients {
+        eprintln!("xpaxos-client: --id {id} out of range for --clients {clients}");
+        exit(2);
+    }
+    if addrs.len() != n + clients {
+        eprintln!(
+            "xpaxos-client: --addrs lists {} nodes, expected {}",
+            addrs.len(),
+            n + clients
+        );
+        exit(2);
+    }
+    let node = n + id;
+
+    let registry = KeyRegistry::new(seed ^ 0x5eed);
+    register_cluster_keys(&registry, &config);
+    let workload = ClientWorkload {
+        payload_size: payload,
+        requests: Some(ops),
+        think_time: SimDuration::ZERO,
+        op_bytes: Some(bench_create_op(id as u64, payload)),
+    };
+    let client = Client::new(ClientId(id as u64), config, &registry, workload);
+
+    let book = AddressBook::from_ordered(&addrs);
+    let listener = match TcpListener::bind(addrs[node]) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("xpaxos-client: cannot bind {}: {e}", addrs[node]);
+            exit(1);
+        }
+    };
+    let mut runtime = match TcpRuntime::start(
+        client,
+        node,
+        Arc::clone(&book),
+        listener,
+        NetConfig {
+            seed: seed ^ 0xC11E47,
+            ..NetConfig::default()
+        },
+        StartMode::Fresh,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xpaxos-client: start failed: {e}");
+            exit(1);
+        }
+    };
+    eprintln!(
+        "xpaxos-client: client {id} (node {node}) on {}, targeting {ops} ops of {payload} B",
+        runtime.local_addr()
+    );
+
+    let handle = runtime.handle();
+    let started = Instant::now();
+    let deadline = started + Duration::from_secs(timeout_secs);
+    while handle.committed() < ops && Instant::now() < deadline {
+        runtime.run_for(Duration::from_millis(100));
+    }
+    let elapsed = started.elapsed();
+    let committed = handle.committed();
+    let mut latencies = handle.latencies();
+    runtime.shutdown();
+
+    let throughput = committed as f64 / elapsed.as_secs_f64().max(1e-9);
+    println!(
+        "xpaxos-client: committed {committed}/{ops} ops in {:.2} s ({throughput:.1} ops/s)",
+        elapsed.as_secs_f64()
+    );
+    if let Some(stats) = criterion::summarize(&mut latencies) {
+        println!(
+            "xpaxos-client: latency min {}  median {}  mean {}  p99 {}",
+            criterion::fmt_duration(stats.min),
+            criterion::fmt_duration(stats.median),
+            criterion::fmt_duration(stats.mean),
+            criterion::fmt_duration(stats.p99),
+        );
+    }
+    exit(if committed >= ops { 0 } else { 1 });
+}

@@ -1,0 +1,119 @@
+//! `xpaxos-server` — one live XPaxos replica serving the replicated
+//! coordination service over TCP.
+//!
+//! ```text
+//! xpaxos-server --id 0 --t 1 --clients 1 \
+//!     --addrs 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7010 \
+//!     [--seed 1] [--delta-ms 500] [--retransmit-ms 2000] [--run-secs 0]
+//! ```
+//!
+//! `--addrs` lists every node of the cluster in node-id order: the `2t + 1`
+//! replicas first, then the clients. All processes must be launched with the
+//! same `--t/--clients/--addrs/--seed/--delta-ms` so they agree on membership,
+//! keys and timeouts. `--run-secs 0` runs until killed.
+
+use std::net::TcpListener;
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
+use xft_core::replica::Replica;
+use xft_core::XPaxosConfig;
+use xft_crypto::KeyRegistry;
+use xft_kvstore::CoordinationService;
+use xft_net::cli::Args;
+use xft_net::{
+    parse_node_addrs, register_cluster_keys, AddressBook, NetConfig, StartMode, TcpRuntime,
+};
+use xft_simnet::SimDuration;
+
+fn main() {
+    let mut args = Args::parse();
+    let id: usize = args.required("--id");
+    let t: usize = args.required("--t");
+    let clients: usize = args.required("--clients");
+    let addrs_raw: String = args.required("--addrs");
+    let seed: u64 = args.optional("--seed").unwrap_or(1);
+    let delta_ms: u64 = args.optional("--delta-ms").unwrap_or(500);
+    let retransmit_ms: u64 = args.optional("--retransmit-ms").unwrap_or(2000);
+    let run_secs: u64 = args.optional("--run-secs").unwrap_or(0);
+    args.finish();
+
+    let addrs = match parse_node_addrs(&addrs_raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("xpaxos-server: {e}");
+            exit(2);
+        }
+    };
+    let config = XPaxosConfig::new(t, clients)
+        .with_delta(SimDuration::from_millis(delta_ms))
+        .with_client_retransmit(SimDuration::from_millis(retransmit_ms));
+    let n = config.n();
+    if id >= n {
+        eprintln!("xpaxos-server: --id {id} out of range for t = {t} (n = {n})");
+        exit(2);
+    }
+    if addrs.len() != n + clients {
+        eprintln!(
+            "xpaxos-server: --addrs lists {} nodes, expected {} ({} replicas + {} clients)",
+            addrs.len(),
+            n + clients,
+            n,
+            clients
+        );
+        exit(2);
+    }
+
+    let registry = KeyRegistry::new(seed ^ 0x5eed);
+    register_cluster_keys(&registry, &config);
+    let replica = Replica::new(id, config, &registry, Box::new(CoordinationService::new()));
+
+    let book = AddressBook::from_ordered(&addrs);
+    let listener = match TcpListener::bind(addrs[id]) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("xpaxos-server: cannot bind {}: {e}", addrs[id]);
+            exit(1);
+        }
+    };
+    let net_config = NetConfig {
+        seed,
+        ..NetConfig::default()
+    };
+    let mut runtime = match TcpRuntime::start(
+        replica,
+        id,
+        Arc::clone(&book),
+        listener,
+        net_config,
+        StartMode::Fresh,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xpaxos-server: start failed: {e}");
+            exit(1);
+        }
+    };
+    eprintln!(
+        "xpaxos-server: replica {id} of {n} listening on {} (t = {t}, delta = {delta_ms} ms)",
+        runtime.local_addr()
+    );
+
+    if run_secs == 0 {
+        runtime.run();
+    } else {
+        runtime.run_for(Duration::from_secs(run_secs));
+    }
+
+    let stats = runtime.transport_stats();
+    let replica = runtime.shutdown();
+    eprintln!(
+        "xpaxos-server: replica {id} stopping in view {:?}: {} batches committed, \
+         executed up to sn {}, {} frames sent / {} received",
+        replica.view(),
+        replica.committed_batches(),
+        replica.executed_upto().0,
+        stats.sent.load(std::sync::atomic::Ordering::Relaxed),
+        stats.received.load(std::sync::atomic::Ordering::Relaxed),
+    );
+}

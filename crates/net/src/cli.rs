@@ -1,0 +1,77 @@
+//! A tiny `--flag value` argument parser for the cluster binaries (the build
+//! is offline, so no clap).
+
+use std::collections::HashMap;
+use std::process::exit;
+use std::str::FromStr;
+
+/// Parsed `--flag value` pairs from `std::env::args`.
+pub struct Args {
+    program: String,
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses the process arguments, exiting with a usage error on stray
+    /// positional arguments or a flag without a value.
+    pub fn parse() -> Self {
+        let mut argv = std::env::args();
+        let program = argv.next().unwrap_or_else(|| "xpaxos".into());
+        let mut values = HashMap::new();
+        while let Some(arg) = argv.next() {
+            if !arg.starts_with("--") {
+                eprintln!("{program}: unexpected argument {arg:?} (flags are --name value)");
+                exit(2);
+            }
+            let Some(value) = argv.next() else {
+                eprintln!("{program}: flag {arg} is missing its value");
+                exit(2);
+            };
+            values.insert(arg, value);
+        }
+        Args { program, values }
+    }
+
+    /// Takes a required flag, exiting with a diagnostic when absent or
+    /// unparsable.
+    pub fn required<T: FromStr>(&mut self, flag: &str) -> T
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.values.remove(flag) {
+            Some(raw) => match raw.parse() {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("{}: bad value for {flag}: {e}", self.program);
+                    exit(2);
+                }
+            },
+            None => {
+                eprintln!("{}: missing required flag {flag}", self.program);
+                exit(2);
+            }
+        }
+    }
+
+    /// Takes an optional flag, exiting only when present but unparsable.
+    pub fn optional<T: FromStr>(&mut self, flag: &str) -> Option<T>
+    where
+        T::Err: std::fmt::Display,
+    {
+        self.values.remove(flag).map(|raw| match raw.parse() {
+            Ok(v) => v,
+            Err(e) => {
+                eprintln!("{}: bad value for {flag}: {e}", self.program);
+                exit(2);
+            }
+        })
+    }
+
+    /// Rejects any flags that were not consumed.
+    pub fn finish(self) {
+        if let Some(flag) = self.values.keys().next() {
+            eprintln!("{}: unknown flag {flag}", self.program);
+            exit(2);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Cluster bring-up helpers shared by the binaries and the integration tests.
+
+use std::net::SocketAddr;
+use std::sync::Arc;
+use xft_core::replica::Replica;
+use xft_core::types::{client_key, replica_key, ClientId};
+use xft_core::XPaxosConfig;
+use xft_crypto::KeyRegistry;
+
+/// Registers every cluster identity (replicas and clients) with the registry.
+///
+/// The simulated signature scheme verifies through the registry's key table,
+/// which stands in for the paper's PKI ("all machines have public keys of all
+/// other processes"). In a single simulation the harness registers everyone as
+/// a side effect of construction; separate OS processes must each pre-register
+/// the full membership — same seed, same keys — before verifying anything.
+pub fn register_cluster_keys(registry: &Arc<KeyRegistry>, config: &XPaxosConfig) {
+    for r in 0..config.n() {
+        registry.register(replica_key(r));
+    }
+    for c in 0..config.client_nodes.len() {
+        registry.register(client_key(ClientId(c as u64)));
+    }
+}
+
+/// Parses a comma-separated node address list (`host:port,host:port,…`),
+/// ordered replicas-first then clients, exactly as node ids are assigned.
+pub fn parse_node_addrs(list: &str) -> Result<Vec<SocketAddr>, String> {
+    list.split(',')
+        .map(|a| {
+            a.trim()
+                .parse::<SocketAddr>()
+                .map_err(|e| format!("bad address {a:?}: {e}"))
+        })
+        .collect()
+}
+
+/// Checks the paper's total-order safety property across live replicas: every
+/// sequence number executed by two of them must carry the same batch digest.
+///
+/// The socket-runtime counterpart of
+/// `XPaxosCluster::check_total_order_among`, for replicas recovered out of
+/// [`crate::TcpRuntime::shutdown`] rather than read from a simulation.
+pub fn check_total_order(replicas: &[&Replica]) -> Result<(), String> {
+    let histories: Vec<std::collections::BTreeMap<u64, _>> = replicas
+        .iter()
+        .map(|r| r.executed_history().iter().map(|(sn, d)| (sn.0, *d)).collect())
+        .collect();
+    for (i, a) in replicas.iter().enumerate() {
+        for (j, b) in replicas.iter().enumerate().skip(i + 1) {
+            for (sn, da) in a.executed_history() {
+                if let Some(db) = histories[j].get(&sn.0) {
+                    if da != db {
+                        return Err(format!(
+                            "total-order violation at sn {}: replica {} executed {:?}, replica {} executed {:?}",
+                            sn.0,
+                            a.id(),
+                            da,
+                            b.id(),
+                            db
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_node_addrs_accepts_lists_and_rejects_garbage() {
+        let addrs = parse_node_addrs("127.0.0.1:1000, 127.0.0.1:1001").unwrap();
+        assert_eq!(addrs.len(), 2);
+        assert_eq!(addrs[1].port(), 1001);
+        assert!(parse_node_addrs("localhost-no-port").is_err());
+        assert!(parse_node_addrs("").is_err());
+    }
+
+    #[test]
+    fn register_cluster_keys_covers_all_identities() {
+        let config = XPaxosConfig::new(1, 2);
+        let registry = KeyRegistry::new(7);
+        register_cluster_keys(&registry, &config);
+        assert_eq!(registry.len(), 3 + 2);
+        assert!(registry.contains(replica_key(2)));
+        assert!(registry.contains(client_key(ClientId(1))));
+    }
+}

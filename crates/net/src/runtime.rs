@@ -1,0 +1,463 @@
+//! [`TcpRuntime`] — drives one [`Actor`] over real sockets and wall-clock
+//! timers, implementing the same contract as the simulator.
+//!
+//! The runtime owns the protocol thread: it pulls decoded messages from the
+//! transport's inbox, fires due timers, and feeds each stimulus through
+//! [`ActorDriver::step`] exactly as [`xft_simnet::Simulation`] does. The
+//! returned [`StepEffects`] are interpreted against reality instead of the
+//! event queue: sends are encoded and handed to per-peer sender threads,
+//! timer operations arm a wall-clock timer wheel, metric events feed the same
+//! [`Metrics`] collector the simulator uses.
+
+use crate::address::AddressBook;
+use crate::transport::{spawn_acceptor, PeerLink, TransportStats};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use xft_simnet::{
+    Actor, ActorDriver, ActorEvent, MetricEvent, Metrics, NodeId, Runtime, SimDuration, SimRng,
+    SimTime, StepEffects, TimerId, TimerOp,
+};
+use xft_wire::{encode_msg_vec, WireDecode, WireEncode};
+
+/// Tuning knobs of a [`TcpRuntime`].
+#[derive(Debug, Clone)]
+pub struct NetConfig {
+    /// Seed for the actor-visible deterministic RNG.
+    pub seed: u64,
+    /// Maximum accepted frame payload size.
+    pub max_frame: usize,
+    /// Backoff between reconnection attempts to an unreachable peer.
+    pub reconnect_delay: Duration,
+    /// Capacity of each per-peer outbound queue (frames beyond it are dropped).
+    pub queue_capacity: usize,
+    /// Capacity of the inbound message queue. When the protocol thread lags,
+    /// connection readers block on it, exerting TCP backpressure on peers
+    /// instead of buffering without bound.
+    pub inbox_capacity: usize,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            seed: 1,
+            max_frame: xft_wire::DEFAULT_MAX_FRAME,
+            reconnect_delay: Duration::from_millis(200),
+            queue_capacity: 4096,
+            inbox_capacity: 65536,
+        }
+    }
+}
+
+/// Whether the node is starting fresh or rejoining after a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StartMode {
+    /// First activation: the actor's `on_start` runs.
+    Fresh,
+    /// Rejoin with preserved state: the actor's `on_recover` runs (pending
+    /// timers from the previous incarnation are gone, as in the simulator).
+    Recovered,
+}
+
+/// Observable state of a running [`TcpRuntime`], shared with other threads.
+///
+/// The run loop updates it; test harnesses and the binaries read it (and
+/// request shutdown through it) without touching the actor.
+#[derive(Debug, Default)]
+pub struct NetHandle {
+    committed: AtomicU64,
+    shutdown: Arc<AtomicBool>,
+    latencies_ns: Mutex<Vec<u64>>,
+}
+
+impl NetHandle {
+    /// Requests go through commits recorded by the actor (client runtimes).
+    pub fn committed(&self) -> u64 {
+        self.committed.load(Ordering::Relaxed)
+    }
+
+    /// Asks the run loop (and all transport threads) to stop.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether shutdown has been requested.
+    pub fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::Relaxed)
+    }
+
+    /// The raw shutdown bit, shared with transport threads.
+    fn shutdown_flag(&self) -> Arc<AtomicBool> {
+        self.shutdown.clone()
+    }
+
+    /// Commit latencies recorded so far (client runtimes).
+    pub fn latencies(&self) -> Vec<Duration> {
+        self.latencies_ns
+            .lock()
+            .expect("latency buffer poisoned")
+            .iter()
+            .map(|&ns| Duration::from_nanos(ns))
+            .collect()
+    }
+}
+
+/// An armed wall-clock timer; the heap pops the earliest deadline first.
+#[derive(Debug, PartialEq, Eq)]
+struct ArmedTimer {
+    fire_at_ns: u64,
+    seq: u64,
+    id: TimerId,
+    token: u64,
+}
+
+impl Ord for ArmedTimer {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Reversed: BinaryHeap is a max-heap, we want the earliest deadline.
+        other
+            .fire_at_ns
+            .cmp(&self.fire_at_ns)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for ArmedTimer {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A protocol node running over real TCP.
+pub struct TcpRuntime<A: Actor>
+where
+    A::Msg: WireEncode + WireDecode + Send + 'static,
+{
+    actor: A,
+    local: NodeId,
+    driver: ActorDriver,
+    rng: SimRng,
+    origin: Instant,
+    timers: BinaryHeap<ArmedTimer>,
+    cancelled: HashSet<TimerId>,
+    timer_seq: u64,
+    links: HashMap<NodeId, PeerLink>,
+    inbox_rx: Receiver<(NodeId, A::Msg)>,
+    /// Self-sends bypass the bounded network inbox: the protocol thread is
+    /// the inbox's only consumer, so blocking on it here would self-deadlock.
+    pending_local: VecDeque<(NodeId, A::Msg)>,
+    metrics: Metrics,
+    handle: Arc<NetHandle>,
+    stats: Arc<TransportStats>,
+    accept_thread: Option<JoinHandle<()>>,
+    reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    book: Arc<AddressBook>,
+    config: NetConfig,
+    local_addr: SocketAddr,
+    events_processed: u64,
+}
+
+impl<A: Actor> TcpRuntime<A>
+where
+    A::Msg: WireEncode + WireDecode + Send + 'static,
+{
+    /// Starts a runtime for `actor` as node `local`: binds nothing itself —
+    /// pass a pre-bound `listener` (use port 0 for an ephemeral port and
+    /// publish the result through the address book).
+    ///
+    /// Spawns the accept thread and one sender thread per address-book peer.
+    /// The actor's initial callback (`on_start` or `on_recover`) runs before
+    /// the first message is processed.
+    pub fn start(
+        actor: A,
+        local: NodeId,
+        book: Arc<AddressBook>,
+        listener: TcpListener,
+        config: NetConfig,
+        mode: StartMode,
+    ) -> std::io::Result<Self> {
+        let local_addr = listener.local_addr()?;
+        book.set(local, local_addr);
+
+        let handle = Arc::new(NetHandle::default());
+        let stats = Arc::new(TransportStats::default());
+        let (inbox_tx, inbox_rx) = sync_channel::<(NodeId, A::Msg)>(config.inbox_capacity);
+        let reader_threads = Arc::new(Mutex::new(Vec::new()));
+        let accept_thread = spawn_acceptor::<A::Msg>(
+            local,
+            listener,
+            inbox_tx,
+            handle.shutdown_flag(),
+            stats.clone(),
+            reader_threads.clone(),
+            config.max_frame,
+        );
+
+        let mut runtime = TcpRuntime {
+            actor,
+            local,
+            driver: ActorDriver::new(xft_crypto::CostModel::free()),
+            rng: SimRng::seed_from_u64(config.seed ^ local as u64),
+            origin: Instant::now(),
+            timers: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            timer_seq: 0,
+            links: HashMap::new(),
+            inbox_rx,
+            pending_local: VecDeque::new(),
+            metrics: Metrics::new(local + 1),
+            handle,
+            stats,
+            accept_thread: Some(accept_thread),
+            reader_threads,
+            book,
+            config,
+            local_addr,
+            events_processed: 0,
+        };
+        // Sender threads are created lazily by ensure_link on the first send
+        // to each peer — clients never pay for client↔client links.
+        let first = match mode {
+            StartMode::Fresh => ActorEvent::Start,
+            StartMode::Recovered => ActorEvent::Recover,
+        };
+        runtime.process(first);
+        Ok(runtime)
+    }
+
+    /// The address this runtime accepts connections on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The shared observability/shutdown handle.
+    pub fn handle(&self) -> Arc<NetHandle> {
+        self.handle.clone()
+    }
+
+    /// Transport counters (sent/received/dropped frames).
+    pub fn transport_stats(&self) -> Arc<TransportStats> {
+        self.stats.clone()
+    }
+
+    /// Read access to the driven actor.
+    pub fn actor(&self) -> &A {
+        &self.actor
+    }
+
+    /// Wall-clock time since the runtime started, as the actor sees it.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.origin.elapsed().as_nanos() as u64)
+    }
+
+    /// Runs until `duration` elapses or shutdown/halt is requested. Returns
+    /// the number of actor events processed.
+    pub fn run_for(&mut self, duration: Duration) -> u64 {
+        self.run_inner(Some(Instant::now() + duration))
+    }
+
+    /// Runs until shutdown (via the handle) or an actor halt request.
+    pub fn run(&mut self) -> u64 {
+        self.run_inner(None)
+    }
+
+    fn run_inner(&mut self, deadline: Option<Instant>) -> u64 {
+        let before = self.events_processed;
+        while !self.handle.is_shutdown() {
+            if let Some(d) = deadline {
+                if Instant::now() >= d {
+                    break;
+                }
+            }
+            self.fire_due_timers();
+            if self.handle.is_shutdown() {
+                break;
+            }
+            if let Some((from, msg)) = self.pending_local.pop_front() {
+                self.process(ActorEvent::Message { from, msg });
+                continue;
+            }
+
+            // Sleep until the next timer, the deadline, or an idle tick.
+            let now_ns = self.now().as_nanos();
+            let mut wait = Duration::from_millis(20);
+            if let Some(t) = self.timers.peek() {
+                wait = wait.min(Duration::from_nanos(t.fire_at_ns.saturating_sub(now_ns)));
+            }
+            if let Some(d) = deadline {
+                wait = wait.min(d.saturating_duration_since(Instant::now()));
+            }
+            match self.inbox_rx.recv_timeout(wait) {
+                Ok((from, msg)) => self.process(ActorEvent::Message { from, msg }),
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        self.events_processed - before
+    }
+
+    fn fire_due_timers(&mut self) {
+        loop {
+            let now_ns = self.now().as_nanos();
+            let Some(head) = self.timers.peek() else {
+                return;
+            };
+            if head.fire_at_ns > now_ns {
+                return;
+            }
+            let timer = self.timers.pop().expect("peeked above");
+            if self.cancelled.remove(&timer.id) {
+                continue;
+            }
+            self.process(ActorEvent::Timer { token: timer.token });
+            if self.handle.is_shutdown() {
+                return;
+            }
+        }
+    }
+
+    fn process(&mut self, event: ActorEvent<A::Msg>) {
+        let now = self.now();
+        let effects = self
+            .driver
+            .step(&mut self.actor, self.local, now, &mut self.rng, event);
+        self.events_processed += 1;
+        self.apply(now, effects);
+    }
+
+    /// Returns the sender link for `peer`, spawning its thread on first use.
+    fn ensure_link(&mut self, peer: NodeId) -> &PeerLink {
+        let (local, book, handle, stats, config) = (
+            self.local,
+            &self.book,
+            &self.handle,
+            &self.stats,
+            &self.config,
+        );
+        self.links.entry(peer).or_insert_with(|| {
+            PeerLink::spawn(
+                local,
+                peer,
+                book.clone(),
+                handle.shutdown_flag(),
+                stats.clone(),
+                config.queue_capacity,
+                config.reconnect_delay,
+            )
+        })
+    }
+
+    fn apply(&mut self, now: SimTime, effects: StepEffects<A::Msg>) {
+        for out in effects.sends {
+            if out.to == self.local {
+                // Self-sends short-circuit the network, as in the simulator.
+                self.pending_local.push_back((self.local, out.msg));
+            } else {
+                let payload = encode_msg_vec(&out.msg);
+                self.ensure_link(out.to).send(payload);
+            }
+        }
+        for op in effects.timer_ops {
+            match op {
+                TimerOp::Set { id, delay, token } => {
+                    self.timer_seq += 1;
+                    self.timers.push(ArmedTimer {
+                        fire_at_ns: now.as_nanos().saturating_add(delay.as_nanos()),
+                        seq: self.timer_seq,
+                        id,
+                        token,
+                    });
+                }
+                TimerOp::Cancel(id) => {
+                    self.cancelled.insert(id);
+                }
+            }
+        }
+        if effects.cpu_charged_ns > 0 {
+            self.metrics.charge_cpu(self.local, effects.cpu_charged_ns);
+        }
+        for ev in effects.metric_events {
+            if let MetricEvent::Commit { latency, .. } = &ev {
+                self.handle.committed.fetch_add(1, Ordering::Relaxed);
+                self.handle
+                    .latencies_ns
+                    .lock()
+                    .expect("latency buffer poisoned")
+                    .push(latency.as_nanos());
+            }
+            self.metrics.apply(ev);
+        }
+        if effects.halt_requested {
+            self.handle.request_shutdown();
+        }
+    }
+
+    /// Stops the runtime: signals every transport thread, joins them, and
+    /// returns the actor with its full protocol state (the "stable storage"
+    /// that survives into a [`StartMode::Recovered`] restart).
+    pub fn shutdown(mut self) -> A {
+        self.handle.request_shutdown();
+        for (_, link) in self.links.drain() {
+            link.join();
+        }
+        if let Some(h) = self.accept_thread.take() {
+            let _ = h.join();
+        }
+        let readers: Vec<_> = self
+            .reader_threads
+            .lock()
+            .expect("reader list poisoned")
+            .drain(..)
+            .collect();
+        for h in readers {
+            // A reader parked on a full inbox unblocks as we drain it; keep
+            // draining until the thread observes the shutdown flag and exits.
+            while !h.is_finished() {
+                while self.inbox_rx.try_recv().is_ok() {}
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            let _ = h.join();
+        }
+        self.actor
+    }
+
+    /// Metrics collected so far (commits, counters, CPU).
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+}
+
+impl<A: Actor> Runtime<A> for TcpRuntime<A>
+where
+    A::Msg: WireEncode + WireDecode + Send + 'static,
+{
+    fn now(&self) -> SimTime {
+        TcpRuntime::now(self)
+    }
+
+    /// Local deliveries honor `from` exactly. Remote deliveries only exist
+    /// for `from == local`: this runtime's outbound links announce the local
+    /// node id in their one-shot handshake, so the transport has no way to
+    /// express a third-party origin — rather than ship a frame the receiver
+    /// would misattribute to us, a spoofed-`from` request is dropped. (The
+    /// simulator backend, which owns every node, can deliver arbitrary pairs.)
+    fn post_message(&mut self, from: NodeId, to: NodeId, msg: A::Msg) {
+        if to == self.local {
+            self.pending_local.push_back((from, msg));
+        } else if from == self.local {
+            let payload = encode_msg_vec(&msg);
+            self.ensure_link(to).send(payload);
+        }
+    }
+
+    fn run_for(&mut self, duration: SimDuration) -> u64 {
+        TcpRuntime::run_for(self, Duration::from_nanos(duration.as_nanos()))
+    }
+
+    fn metrics(&self) -> &Metrics {
+        TcpRuntime::metrics(self)
+    }
+}

@@ -1,0 +1,438 @@
+//! Connection management: handshakes, per-peer sender threads with bounded
+//! outbound queues and reconnect, the accept loop and per-connection readers.
+//!
+//! Connections are unidirectional: the node that needs to send opens the
+//! connection and writes; the accepting side only reads. A full mesh therefore
+//! uses up to two TCP connections per node pair, which keeps both endpoints'
+//! state machines trivial (no stream sharing, no write locks).
+
+use crate::address::AddressBook;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+use xft_simnet::NodeId;
+use xft_wire::{decode_msg, FrameBuffer, WireDecode};
+
+/// Magic opening the per-connection handshake (distinct from the per-message
+/// envelope magic so a misdirected client fails immediately).
+///
+/// The announced node id is trust-on-connect: it routes `from` attribution
+/// but is not authenticated at the transport layer. XPaxos does not rely on
+/// transport identity for safety — every protocol decision that matters is
+/// backed by per-message signatures verified against the key registry.
+pub const HELLO_MAGIC: [u8; 4] = *b"XFTN";
+
+/// Transport protocol version carried in the handshake.
+pub const TRANSPORT_VERSION: u8 = 1;
+
+/// Wire size of the handshake: magic, version, sender node id.
+pub const HELLO_LEN: usize = 4 + 1 + 8;
+
+/// How long sender threads and readers sleep-poll while idle; bounds shutdown
+/// latency.
+const TICK: Duration = Duration::from_millis(50);
+
+/// Builds the handshake bytes announcing `node`.
+pub fn hello_bytes(node: NodeId) -> [u8; HELLO_LEN] {
+    let mut out = [0u8; HELLO_LEN];
+    out[..4].copy_from_slice(&HELLO_MAGIC);
+    out[4] = TRANSPORT_VERSION;
+    out[5..].copy_from_slice(&(node as u64).to_le_bytes());
+    out
+}
+
+/// Parses a handshake, returning the announced node id.
+pub fn parse_hello(raw: &[u8; HELLO_LEN]) -> Option<NodeId> {
+    if raw[..4] != HELLO_MAGIC || raw[4] != TRANSPORT_VERSION {
+        return None;
+    }
+    let id = u64::from_le_bytes(raw[5..].try_into().expect("length fixed"));
+    usize::try_from(id).ok()
+}
+
+/// Counters shared by all transport threads of one runtime (drop accounting is
+/// surfaced by the binaries and asserted on in tests).
+#[derive(Debug, Default)]
+pub struct TransportStats {
+    /// Frames dropped because a peer queue was full.
+    pub dropped_full: AtomicU64,
+    /// Frames dropped because the peer was unreachable.
+    pub dropped_unreachable: AtomicU64,
+    /// Frames successfully written to a socket.
+    pub sent: AtomicU64,
+    /// Frames received and decoded.
+    pub received: AtomicU64,
+}
+
+/// The sending half of a peer link: a bounded queue drained by a dedicated
+/// thread that owns the connection and reconnects through the address book.
+pub struct PeerLink {
+    peer: NodeId,
+    queue: SyncSender<Vec<u8>>,
+    handle: Option<JoinHandle<()>>,
+    stats: Arc<TransportStats>,
+}
+
+impl PeerLink {
+    /// Spawns the sender thread for `peer`.
+    pub fn spawn(
+        local: NodeId,
+        peer: NodeId,
+        book: Arc<AddressBook>,
+        shutdown: Arc<AtomicBool>,
+        stats: Arc<TransportStats>,
+        queue_capacity: usize,
+        reconnect_delay: Duration,
+    ) -> Self {
+        let (tx, rx) = sync_channel::<Vec<u8>>(queue_capacity);
+        let thread_stats = stats.clone();
+        let handle = std::thread::Builder::new()
+            .name(format!("xft-send-{local}-to-{peer}"))
+            .spawn(move || {
+                sender_loop(local, peer, book, shutdown, thread_stats, rx, reconnect_delay)
+            })
+            .expect("spawn sender thread");
+        PeerLink {
+            peer,
+            queue: tx,
+            handle: Some(handle),
+            stats,
+        }
+    }
+
+    /// Enqueues an already-encoded message payload for this peer, dropping it
+    /// (with accounting) when the queue is full — backpressure must never stall
+    /// the protocol thread.
+    pub fn send(&self, payload: Vec<u8>) {
+        match self.queue.try_send(payload) {
+            Ok(()) => {}
+            Err(TrySendError::Full(_)) => {
+                self.stats.dropped_full.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                // Sender thread already gone (shutdown or panic): the peer is
+                // effectively unreachable, not backpressured.
+                self.stats.dropped_unreachable.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// The peer this link targets.
+    pub fn peer(&self) -> NodeId {
+        self.peer
+    }
+
+    /// Waits for the sender thread to exit (call after dropping/shutdown).
+    pub fn join(mut self) {
+        drop(self.queue);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn sender_loop(
+    local: NodeId,
+    peer: NodeId,
+    book: Arc<AddressBook>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<TransportStats>,
+    rx: Receiver<Vec<u8>>,
+    reconnect_delay: Duration,
+) {
+    let mut stream: Option<TcpStream> = None;
+    let mut next_attempt = Instant::now();
+    loop {
+        let payload = match rx.recv_timeout(TICK) {
+            Ok(p) => p,
+            Err(RecvTimeoutError::Timeout) => {
+                if shutdown.load(Ordering::Relaxed) {
+                    return;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
+        };
+
+        // One write attempt plus one reconnect-and-retry; then the frame is
+        // dropped (XPaxos recovers lost messages via retransmission).
+        let mut written = false;
+        for _ in 0..2 {
+            if stream.is_none() {
+                if Instant::now() < next_attempt {
+                    break; // peer recently unreachable: drop without blocking
+                }
+                match connect(local, peer, &book) {
+                    Some(s) => stream = Some(s),
+                    None => {
+                        next_attempt = Instant::now() + reconnect_delay;
+                        break;
+                    }
+                }
+            }
+            let s = stream.as_mut().expect("connected above");
+            match write_framed(s, &payload) {
+                Ok(()) => {
+                    written = true;
+                    break;
+                }
+                Err(_) => {
+                    stream = None; // stale connection: reconnect once
+                }
+            }
+        }
+        if written {
+            stats.sent.fetch_add(1, Ordering::Relaxed);
+        } else {
+            stats.dropped_unreachable.fetch_add(1, Ordering::Relaxed);
+        }
+        // No explicit shutdown-with-queued-frames check: PeerLink::join drops
+        // the sending half, so recv drains the queue and then reports
+        // Disconnected; a flagged shutdown with a live queue exits on the
+        // next Timeout tick above.
+    }
+}
+
+fn connect(local: NodeId, peer: NodeId, book: &AddressBook) -> Option<TcpStream> {
+    let addr = book.get(peer)?;
+    let stream = TcpStream::connect_timeout(&addr, Duration::from_millis(500)).ok()?;
+    stream.set_nodelay(true).ok()?;
+    let mut stream = stream;
+    stream.write_all(&hello_bytes(local)).ok()?;
+    Some(stream)
+}
+
+fn write_framed(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
+    xft_wire::write_frame(stream, payload)
+}
+
+/// Spawns the accept loop: accepts connections on `listener` and hands each to
+/// a reader thread that decodes frames into `inbox`. Returns the accept-thread
+/// handle; reader handles accumulate in `readers`.
+pub fn spawn_acceptor<M>(
+    local: NodeId,
+    listener: TcpListener,
+    inbox: SyncSender<(NodeId, M)>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<TransportStats>,
+    readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    max_frame: usize,
+) -> JoinHandle<()>
+where
+    M: WireDecode + Send + 'static,
+{
+    listener
+        .set_nonblocking(true)
+        .expect("set listener nonblocking");
+    std::thread::Builder::new()
+        .name(format!("xft-accept-{local}"))
+        .spawn(move || loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let inbox = inbox.clone();
+                    let shutdown = shutdown.clone();
+                    let stats = stats.clone();
+                    let handle = std::thread::Builder::new()
+                        .name(format!("xft-read-{local}"))
+                        .spawn(move || reader_loop(stream, inbox, shutdown, stats, max_frame))
+                        .expect("spawn reader thread");
+                    let mut list = readers.lock().expect("reader list poisoned");
+                    // Reap readers whose connections already closed, so a
+                    // long-lived server with flapping peers doesn't accumulate
+                    // handles without bound.
+                    list.retain(|h: &JoinHandle<()>| !h.is_finished());
+                    list.push(handle);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    if shutdown.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+                Err(_) => {
+                    if shutdown.load(Ordering::Relaxed) {
+                        return;
+                    }
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        })
+        .expect("spawn accept thread")
+}
+
+fn reader_loop<M: WireDecode>(
+    mut stream: TcpStream,
+    inbox: SyncSender<(NodeId, M)>,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<TransportStats>,
+    max_frame: usize,
+) {
+    let _ = stream.set_nodelay(true);
+    if stream.set_read_timeout(Some(TICK)).is_err() {
+        return;
+    }
+
+    // Accumulate the fixed-size handshake, tolerating timeout ticks.
+    let mut hello = [0u8; HELLO_LEN];
+    let mut have = 0usize;
+    while have < HELLO_LEN {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match stream.read(&mut hello[have..]) {
+            Ok(0) => return, // peer went away before identifying
+            Ok(n) => have += n,
+            Err(e) if is_timeout(&e) => continue,
+            Err(_) => return,
+        }
+    }
+    let Some(from) = parse_hello(&hello) else {
+        return; // wrong protocol: drop the connection
+    };
+
+    let mut frames = FrameBuffer::new(max_frame);
+    let mut chunk = [0u8; 64 * 1024];
+    loop {
+        if shutdown.load(Ordering::Relaxed) {
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // EOF: peer closed
+            Ok(n) => {
+                frames.extend(&chunk[..n]);
+                loop {
+                    match frames.next_frame() {
+                        Ok(Some(frame)) => match decode_msg::<M>(&frame) {
+                            Ok(msg) => {
+                                stats.received.fetch_add(1, Ordering::Relaxed);
+                                if inbox.send((from, msg)).is_err() {
+                                    return; // runtime gone
+                                }
+                            }
+                            Err(_) => return, // corrupted stream: drop connection
+                        },
+                        Ok(None) => break,
+                        Err(_) => return, // oversized frame: drop connection
+                    }
+                }
+            }
+            Err(e) if is_timeout(&e) => continue,
+            Err(_) => return,
+        }
+    }
+}
+
+fn is_timeout(e: &std::io::Error) -> bool {
+    matches!(
+        e.kind(),
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+
+    #[test]
+    fn hello_round_trips_and_rejects_garbage() {
+        let bytes = hello_bytes(42);
+        assert_eq!(parse_hello(&bytes), Some(42));
+        let mut bad = bytes;
+        bad[0] = b'?';
+        assert_eq!(parse_hello(&bad), None);
+        let mut wrong_version = bytes;
+        wrong_version[4] = 9;
+        assert_eq!(parse_hello(&wrong_version), None);
+    }
+
+    #[test]
+    fn link_delivers_frames_to_reader() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let book = AddressBook::new([(1usize, addr)]);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(TransportStats::default());
+        let readers = Arc::new(Mutex::new(Vec::new()));
+        let (tx, rx) = sync_channel::<(NodeId, u64)>(64);
+        let accept = spawn_acceptor::<u64>(
+            1,
+            listener,
+            tx,
+            shutdown.clone(),
+            stats.clone(),
+            readers.clone(),
+            1 << 20,
+        );
+
+        let link = PeerLink::spawn(
+            0,
+            1,
+            book,
+            shutdown.clone(),
+            stats.clone(),
+            64,
+            Duration::from_millis(100),
+        );
+        for v in [7u64, 8, 9] {
+            link.send(xft_wire::encode_msg_vec(&v));
+        }
+        let mut got = Vec::new();
+        for _ in 0..3 {
+            let (from, v) = rx.recv_timeout(Duration::from_secs(5)).expect("frame arrives");
+            assert_eq!(from, 0);
+            got.push(v);
+        }
+        assert_eq!(got, vec![7, 8, 9]);
+
+        shutdown.store(true, Ordering::Relaxed);
+        link.join();
+        accept.join().unwrap();
+        for h in readers.lock().unwrap().drain(..) {
+            h.join().unwrap();
+        }
+        assert_eq!(stats.sent.load(Ordering::Relaxed), 3);
+        assert_eq!(stats.received.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn unreachable_peer_drops_frames_without_blocking() {
+        // Reserve a port and close it so nothing is listening there.
+        let dead = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let book = AddressBook::new([(1usize, dead)]);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(TransportStats::default());
+        let link = PeerLink::spawn(
+            0,
+            1,
+            book,
+            shutdown.clone(),
+            stats.clone(),
+            4,
+            Duration::from_millis(50),
+        );
+        for v in 0..20u64 {
+            link.send(xft_wire::encode_msg_vec(&v));
+        }
+        let start = Instant::now();
+        while stats.dropped_unreachable.load(Ordering::Relaxed)
+            + stats.dropped_full.load(Ordering::Relaxed)
+            < 20
+            && start.elapsed() < Duration::from_secs(5)
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        let dropped = stats.dropped_unreachable.load(Ordering::Relaxed)
+            + stats.dropped_full.load(Ordering::Relaxed);
+        assert_eq!(dropped, 20, "all frames dropped, none delivered");
+        shutdown.store(true, Ordering::Relaxed);
+        link.join();
+    }
+}

@@ -31,6 +31,7 @@ pub mod latency;
 pub mod metrics;
 pub mod network;
 pub mod rng;
+pub mod runtime;
 pub mod sim;
 pub mod stats;
 pub mod time;
@@ -42,7 +43,9 @@ pub use fault::{FaultEvent, FaultScript};
 pub use latency::{ConstantLatency, LatencyModel, RegionLatencyModel, RttStats, UniformLatency};
 pub use metrics::{MetricEvent, Metrics};
 pub use network::{Bandwidth, Network, SendOutcome};
+pub use actor::{OutboundMessage, TimerOp};
 pub use rng::SimRng;
+pub use runtime::{ActorDriver, ActorEvent, Runtime, StepEffects};
 pub use sim::{SimConfig, Simulation};
 pub use time::{SimDuration, SimTime};
 pub use trace::{MessageTrace, TraceEntry};

@@ -58,13 +58,17 @@ impl Metrics {
         }
     }
 
-    pub(crate) fn ensure_nodes(&mut self, nodes: usize) {
+    /// Grows the per-node CPU table to cover `nodes` nodes. Runtimes call this
+    /// when nodes are added; applying events never indexes past the table.
+    pub fn ensure_nodes(&mut self, nodes: usize) {
         if self.cpu_ns.len() < nodes {
             self.cpu_ns.resize(nodes, 0);
         }
     }
 
-    pub(crate) fn apply(&mut self, event: MetricEvent) {
+    /// Applies one metric event. Public so that any [`crate::runtime::Runtime`]
+    /// backend (the simulator, a real TCP deployment) can feed the same collector.
+    pub fn apply(&mut self, event: MetricEvent) {
         match event {
             MetricEvent::Commit {
                 at,
@@ -78,7 +82,8 @@ impl Metrics {
         }
     }
 
-    pub(crate) fn charge_cpu(&mut self, node: usize, ns: u64) {
+    /// Accounts CPU time consumed by `node`.
+    pub fn charge_cpu(&mut self, node: usize, ns: u64) {
         self.ensure_nodes(node + 1);
         self.cpu_ns[node] += ns;
     }

@@ -10,12 +10,13 @@
 //! event processing (`busy_until`), which is how compute-bound saturation (Figure 8)
 //! emerges in the simulated throughput curves.
 
-use crate::actor::{Actor, Context, ControlCode, NodeId, SimMessage, TimerId, TimerOp};
+use crate::actor::{Actor, ControlCode, NodeId, SimMessage, TimerId, TimerOp};
 use crate::fault::{FaultEvent, FaultScript};
 use crate::latency::LatencyModel;
 use crate::metrics::Metrics;
 use crate::network::{Bandwidth, Network, SendOutcome};
 use crate::rng::SimRng;
+use crate::runtime::{ActorDriver, ActorEvent, Runtime};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{MessageTrace, TraceEntry};
 use std::cmp::Ordering;
@@ -100,7 +101,7 @@ pub struct Simulation<A: Actor> {
     queue: BinaryHeap<QueuedEvent<A::Msg>>,
     cancelled_timers: HashSet<TimerId>,
     next_seq: u64,
-    next_timer_id: u64,
+    driver: ActorDriver,
     halted: bool,
 }
 
@@ -109,6 +110,7 @@ impl<A: Actor> Simulation<A> {
     pub fn new(config: SimConfig, latency: Box<dyn LatencyModel>, uplink: Bandwidth) -> Self {
         let rng = SimRng::seed_from_u64(config.seed);
         let trace = MessageTrace::new(config.trace_messages);
+        let driver = ActorDriver::new(config.cost_model);
         Simulation {
             config,
             now: SimTime::ZERO,
@@ -123,7 +125,7 @@ impl<A: Actor> Simulation<A> {
             queue: BinaryHeap::new(),
             cancelled_timers: HashSet::new(),
             next_seq: 0,
-            next_timer_id: 0,
+            driver,
             halted: false,
         }
     }
@@ -277,7 +279,7 @@ impl<A: Actor> Simulation<A> {
 
         match event.kind {
             EventKind::Fault(fault) => self.apply_fault(fault),
-            EventKind::Start => self.dispatch(event.node, event.time, DispatchKind::Start),
+            EventKind::Start => self.dispatch(event.node, event.time, ActorEvent::Start),
             EventKind::Deliver { from, msg } => {
                 if !self.alive[event.node] {
                     return true; // message to a crashed node is lost
@@ -294,7 +296,7 @@ impl<A: Actor> Simulation<A> {
                     });
                     return true;
                 }
-                self.dispatch(event.node, event.time, DispatchKind::Deliver { from, msg });
+                self.dispatch(event.node, event.time, ActorEvent::Message { from, msg });
             }
             EventKind::Timer { id, token, epoch } => {
                 if !self.alive[event.node]
@@ -314,7 +316,7 @@ impl<A: Actor> Simulation<A> {
                     });
                     return true;
                 }
-                self.dispatch(event.node, event.time, DispatchKind::Timer { token });
+                self.dispatch(event.node, event.time, ActorEvent::Timer { token });
             }
         }
         true
@@ -332,7 +334,7 @@ impl<A: Actor> Simulation<A> {
                 if node < self.nodes.len() && !self.alive[node] {
                     self.alive[node] = true;
                     self.busy_until[node] = self.now;
-                    self.dispatch(node, self.now, DispatchKind::Recover);
+                    self.dispatch(node, self.now, ActorEvent::Recover);
                 }
             }
             FaultEvent::PartitionPair(a, b) => self.network.block_pair(a, b),
@@ -342,39 +344,23 @@ impl<A: Actor> Simulation<A> {
             FaultEvent::HealAll => self.network.heal_all(),
             FaultEvent::Control(node, code) => {
                 if node < self.nodes.len() && self.alive[node] {
-                    self.dispatch(node, self.now, DispatchKind::Control { code });
+                    self.dispatch(node, self.now, ActorEvent::Control(ControlCode(code)));
                 }
             }
             FaultEvent::SetDropProbability(p) => self.network.set_drop_probability(p),
         }
     }
 
-    fn dispatch(&mut self, node: NodeId, event_time: SimTime, kind: DispatchKind<A::Msg>) {
-        let mut ctx = Context::new(
-            node,
-            event_time,
-            &mut self.rng,
-            self.config.cost_model,
-            &mut self.next_timer_id,
-        );
-        match kind {
-            DispatchKind::Start => self.nodes[node].on_start(&mut ctx),
-            DispatchKind::Deliver { from, msg } => self.nodes[node].on_message(from, msg, &mut ctx),
-            DispatchKind::Timer { token } => self.nodes[node].on_timer(token, &mut ctx),
-            DispatchKind::Recover => self.nodes[node].on_recover(&mut ctx),
-            DispatchKind::Control { code } => {
-                self.nodes[node].on_control(ControlCode(code), &mut ctx)
-            }
-        }
-
-        let Context {
+    fn dispatch(&mut self, node: NodeId, event_time: SimTime, event: ActorEvent<A::Msg>) {
+        let crate::runtime::StepEffects {
             sends,
             timer_ops,
             cpu_charged_ns,
             metric_events,
             halt_requested,
-            ..
-        } = ctx;
+        } = self
+            .driver
+            .step(&mut self.nodes[node], node, event_time, &mut self.rng, event);
 
         // CPU accounting: the node stays busy for charged / cores.
         let busy_ns = cpu_charged_ns / self.config.cores_per_node.max(1) as u64;
@@ -450,17 +436,28 @@ impl<A: Actor> Simulation<A> {
     }
 }
 
-enum DispatchKind<M> {
-    Start,
-    Deliver { from: NodeId, msg: M },
-    Timer { token: u64 },
-    Recover,
-    Control { code: u64 },
+impl<A: Actor> Runtime<A> for Simulation<A> {
+    fn now(&self) -> SimTime {
+        Simulation::now(self)
+    }
+
+    fn post_message(&mut self, from: NodeId, to: NodeId, msg: A::Msg) {
+        Simulation::post_message(self, from, to, msg)
+    }
+
+    fn run_for(&mut self, duration: SimDuration) -> u64 {
+        Simulation::run_for(self, duration)
+    }
+
+    fn metrics(&self) -> &Metrics {
+        Simulation::metrics(self)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::actor::Context;
     use crate::latency::ConstantLatency;
 
     /// A toy actor that floods ping-pong messages and counts what it sees.

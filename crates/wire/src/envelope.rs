@@ -1,0 +1,122 @@
+//! The versioned message envelope: `MAGIC ‖ version ‖ body`.
+//!
+//! Peers speaking a different protocol (or garbage) fail fast on the magic
+//! header; peers speaking a future codec revision fail on the version byte
+//! with a dedicated error instead of mis-decoding the body.
+
+use crate::codec::{WireDecode, WireEncode};
+use bytes::{BufMut, Bytes, Reader};
+use std::fmt;
+
+/// Magic header opening every encoded message.
+pub const MAGIC: [u8; 4] = *b"XFTW";
+
+/// Version of the canonical encoding produced by this crate.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Typed decoding failures surfaced by [`decode_msg`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer does not start with [`MAGIC`].
+    BadMagic,
+    /// The version byte names an encoding this build does not speak.
+    UnsupportedVersion(u8),
+    /// The body failed to decode (truncated, unknown tag, non-canonical data).
+    Malformed,
+    /// The body decoded but left unconsumed bytes — not a canonical encoding.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic => write!(f, "bad magic header"),
+            WireError::UnsupportedVersion(v) => write!(f, "unsupported wire version {v}"),
+            WireError::Malformed => write!(f, "malformed message body"),
+            WireError::TrailingBytes(n) => write!(f, "{n} trailing bytes after message"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Encodes a message under the versioned envelope, appending to `out`.
+pub fn encode_msg_into<T: WireEncode + ?Sized>(msg: &T, out: &mut Vec<u8>) {
+    out.put_slice(&MAGIC);
+    out.put_u8(WIRE_VERSION);
+    msg.encode_into(out);
+}
+
+/// Encodes a message under the versioned envelope into a fresh vector.
+pub fn encode_msg_vec<T: WireEncode + ?Sized>(msg: &T) -> Vec<u8> {
+    let mut out = Vec::with_capacity(128);
+    encode_msg_into(msg, &mut out);
+    out
+}
+
+/// Encodes a message under the versioned envelope as immutable [`Bytes`].
+pub fn encode_msg<T: WireEncode + ?Sized>(msg: &T) -> Bytes {
+    Bytes::from(encode_msg_vec(msg))
+}
+
+/// Decodes a message from an enveloped buffer, enforcing canonicality: the
+/// magic and version must match and the body must consume every byte.
+pub fn decode_msg<T: WireDecode>(data: &[u8]) -> Result<T, WireError> {
+    let mut r = Reader::new(data);
+    let magic = r.get_array::<4>().ok_or(WireError::BadMagic)?;
+    if magic != MAGIC {
+        return Err(WireError::BadMagic);
+    }
+    let version = r.get_u8().ok_or(WireError::Malformed)?;
+    if version != WIRE_VERSION {
+        return Err(WireError::UnsupportedVersion(version));
+    }
+    let msg = T::decode_from(&mut r).ok_or(WireError::Malformed)?;
+    if !r.is_empty() {
+        return Err(WireError::TrailingBytes(r.remaining()));
+    }
+    Ok(msg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_round_trip() {
+        let encoded = encode_msg(&(5u64, true));
+        assert_eq!(&encoded[..4], &MAGIC);
+        assert_eq!(encoded[4], WIRE_VERSION);
+        let decoded: (u64, bool) = decode_msg(&encoded).unwrap();
+        assert_eq!(decoded, (5, true));
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed_errors() {
+        let mut encoded = encode_msg_vec(&1u64);
+        encoded[0] ^= 0xFF;
+        assert_eq!(decode_msg::<u64>(&encoded), Err(WireError::BadMagic));
+
+        let mut encoded = encode_msg_vec(&1u64);
+        encoded[4] = 99;
+        assert_eq!(
+            decode_msg::<u64>(&encoded),
+            Err(WireError::UnsupportedVersion(99))
+        );
+    }
+
+    #[test]
+    fn truncation_and_trailing_bytes_are_rejected() {
+        let encoded = encode_msg_vec(&7u64);
+        assert_eq!(decode_msg::<u64>(&encoded[..3]), Err(WireError::BadMagic));
+        assert_eq!(decode_msg::<u64>(&encoded[..8]), Err(WireError::Malformed));
+        let mut padded = encoded.clone();
+        padded.push(0);
+        assert_eq!(decode_msg::<u64>(&padded), Err(WireError::TrailingBytes(1)));
+    }
+
+    #[test]
+    fn empty_buffer_is_bad_magic() {
+        assert_eq!(decode_msg::<u64>(&[]), Err(WireError::BadMagic));
+    }
+}

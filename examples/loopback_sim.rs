@@ -1,0 +1,45 @@
+//! The simnet twin of the live loopback TCP cluster.
+//!
+//! Runs the exact workload of `xpaxos-client --ops 1000 --payload 1024`
+//! (a t = 1 cluster serving sequential znode creates) inside the
+//! deterministic simulator with loopback-like constant latency, so the
+//! numbers in EXPERIMENTS.md's "loopback TCP vs simnet" section can be
+//! regenerated from both backends:
+//!
+//! ```console
+//! $ cargo run --release --example loopback_sim
+//! ```
+
+use xft::core::client::ClientWorkload;
+use xft::core::harness::{ClusterBuilder, LatencySpec};
+use xft::kvstore::workload::bench_create_op;
+use xft::kvstore::CoordinationService;
+use xft::simnet::SimDuration;
+
+fn main() {
+    const OPS: u64 = 1000;
+    const PAYLOAD: usize = 1024;
+    let mut cluster = ClusterBuilder::new(1, 1)
+        // Loopback RTTs are tens of microseconds; 25 µs one-way approximates it.
+        .with_latency(LatencySpec::Constant(SimDuration::from_micros(25)))
+        .with_workload(ClientWorkload {
+            payload_size: PAYLOAD,
+            requests: Some(OPS),
+            think_time: SimDuration::ZERO,
+            op_bytes: Some(bench_create_op(0, PAYLOAD)),
+        })
+        .with_state_machine(|| Box::new(CoordinationService::new()))
+        .build();
+    cluster.run_for(SimDuration::from_secs(60));
+
+    let committed = cluster.total_committed();
+    let metrics = cluster.sim.metrics();
+    let mean_ms = metrics.mean_latency_ms();
+    let last = metrics.commit_times_secs().last().copied().unwrap_or(0.0);
+    println!("simnet loopback twin: committed {committed}/{OPS} ops of {PAYLOAD} B");
+    println!(
+        "simnet loopback twin: {:.1} ops/s closed-loop, mean latency {mean_ms:.2} ms",
+        committed as f64 / last.max(1e-9)
+    );
+    cluster.check_total_order().expect("total order holds");
+}

@@ -31,4 +31,26 @@ fi
 echo "==> quickstart example exits 0"
 cargo run --offline --release --example quickstart >/dev/null
 
+echo "==> loopback TCP smoke: 3 xpaxos-servers + 1 xpaxos-client"
+# Ephemeral-ish port block; one retry with a different base absorbs the rare
+# collision with another process.
+smoke() {
+    local base=$1 ops=50
+    local addrs="127.0.0.1:${base},127.0.0.1:$((base + 1)),127.0.0.1:$((base + 2)),127.0.0.1:$((base + 3))"
+    local flags=(--t 1 --clients 1 --addrs "$addrs" --delta-ms 200 --retransmit-ms 1000)
+    local pids=()
+    for id in 0 1 2; do
+        target/release/xpaxos-server --id "$id" "${flags[@]}" --run-secs 120 &
+        pids+=($!)
+    done
+    local ok=0
+    if target/release/xpaxos-client --id 0 "${flags[@]}" --ops "$ops" --payload 256 --timeout-secs 60; then
+        ok=1
+    fi
+    kill "${pids[@]}" 2>/dev/null || true
+    wait "${pids[@]}" 2>/dev/null || true
+    [ "$ok" = 1 ]
+}
+smoke $((20000 + RANDOM % 20000)) || smoke $((20000 + RANDOM % 20000))
+
 echo "CI green ✓"

@@ -6,6 +6,9 @@
 //! * [`core`] (`xft-core`) — the XFT model and the XPaxos protocol,
 //! * [`simnet`] (`xft-simnet`) — the deterministic discrete-event network simulator,
 //! * [`crypto`] (`xft-crypto`) — digests, MACs and simulated signatures,
+//! * [`wire`] (`xft-wire`) — the canonical wire codec every message (and every
+//!   signed digest) goes through,
+//! * [`net`] (`xft-net`) — the real TCP transport and runtime for live clusters,
 //! * [`baselines`] (`xft-baselines`) — Paxos, PBFT, Zyzzyva and Zab comparison
 //!   protocols,
 //! * [`reliability`] (`xft-reliability`) — the nines-of-reliability analysis,
@@ -26,5 +29,7 @@ pub use xft_baselines as baselines;
 pub use xft_core as core;
 pub use xft_crypto as crypto;
 pub use xft_kvstore as kvstore;
+pub use xft_net as net;
 pub use xft_reliability as reliability;
 pub use xft_simnet as simnet;
+pub use xft_wire as wire;

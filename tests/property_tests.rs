@@ -8,15 +8,24 @@
 //! offline; every failure report carries the base seed and case index needed to
 //! replay it exactly.
 
+use bytes::Bytes;
+use std::collections::BTreeMap;
 use xft::core::client::ClientWorkload;
 use xft::core::harness::{ClusterBuilder, LatencySpec};
+use xft::core::log::{CommitEntry, PrepareEntry};
+use xft::core::messages::{
+    CheckpointMsg, CommitCarryMsg, CommitMsg, DetectedFaultKind, FaultDetectedMsg, NewViewMsg,
+    PrepareMsg, ReplyMsg, SignedRequest, SuspectMsg, VcConfirmMsg, VcFinalMsg, ViewChangeMsg,
+};
 use xft::core::sync_group::SyncGroups;
-use xft::core::types::ViewNumber;
-use xft::crypto::{hmac_sha256, sha256, Digest, KeyId, KeyRegistry, Signer, Verifier};
+use xft::core::types::{Batch, ClientId, Request, SeqNum, ViewNumber};
+use xft::core::XPaxosMsg;
+use xft::crypto::{hmac_sha256, sha256, Digest, KeyId, KeyRegistry, Signature, Signer, Verifier};
 use xft::kvstore::{CoordinationService, KvOp};
 use xft::reliability::{ProtocolFamily, ReliabilityParams};
 use xft::simnet::{FaultEvent, SimDuration, SimTime};
-use xft::testing::check;
+use xft::testing::{check, CaseRng};
+use xft::wire::{decode_msg, encode_msg_vec, WireError, MAGIC, WIRE_VERSION};
 use xft_core::state_machine::StateMachine;
 
 /// SHA-256 and HMAC are deterministic and sensitive to any single-byte change.
@@ -154,6 +163,265 @@ fn coordination_service_is_deterministic() {
         }
         if a.state_digest() != b.state_digest() {
             return Err("state digests diverged after identical histories".into());
+        }
+        Ok(())
+    });
+}
+
+fn arb_digest(rng: &mut CaseRng) -> Digest {
+    Digest::of(&rng.bytes(0, 48))
+}
+
+fn arb_signature(rng: &mut CaseRng) -> Signature {
+    Signature {
+        signer: KeyId(rng.u64_below(1 << 20)),
+        tag: {
+            let mut tag = [0u8; 32];
+            for b in &mut tag {
+                *b = rng.byte();
+            }
+            tag
+        },
+    }
+}
+
+fn arb_request(rng: &mut CaseRng) -> Request {
+    Request::new(
+        ClientId(rng.u64_below(64)),
+        rng.u64_below(1 << 30),
+        Bytes::from(rng.bytes(0, 256)),
+    )
+}
+
+fn arb_batch(rng: &mut CaseRng) -> Batch {
+    let len = rng.usize_in(0, 4);
+    Batch::new((0..len).map(|_| arb_request(rng)).collect())
+}
+
+fn arb_commit(rng: &mut CaseRng) -> CommitMsg {
+    CommitMsg {
+        view: ViewNumber(rng.u64_below(100)),
+        sn: SeqNum(rng.u64_below(1 << 20)),
+        batch_digest: arb_digest(rng),
+        replica: rng.usize_in(0, 8),
+        reply_digest: rng.bool().then(|| arb_digest(rng)),
+        signature: arb_signature(rng),
+    }
+}
+
+fn arb_commit_entry(rng: &mut CaseRng) -> CommitEntry {
+    let sigs = rng.usize_in(0, 3);
+    CommitEntry {
+        view: ViewNumber(rng.u64_below(100)),
+        sn: SeqNum(rng.u64_below(1 << 20)),
+        batch: arb_batch(rng),
+        primary_sig: arb_signature(rng),
+        commit_sigs: (0..sigs).map(|r| (r, arb_signature(rng))).collect::<BTreeMap<_, _>>(),
+    }
+}
+
+fn arb_prepare_entry(rng: &mut CaseRng) -> PrepareEntry {
+    PrepareEntry {
+        view: ViewNumber(rng.u64_below(100)),
+        sn: SeqNum(rng.u64_below(1 << 20)),
+        batch: arb_batch(rng),
+        client_sigs: (0..rng.usize_in(0, 3)).map(|_| arb_signature(rng)).collect(),
+        primary_sig: arb_signature(rng),
+    }
+}
+
+fn arb_view_change(rng: &mut CaseRng) -> ViewChangeMsg {
+    ViewChangeMsg {
+        new_view: ViewNumber(rng.u64_below(100)),
+        replica: rng.usize_in(0, 8),
+        commit_log: (0..rng.usize_in(0, 2)).map(|_| arb_commit_entry(rng)).collect(),
+        prepare_log: (0..rng.usize_in(0, 2)).map(|_| arb_prepare_entry(rng)).collect(),
+        signature: arb_signature(rng),
+    }
+}
+
+fn arb_checkpoint(rng: &mut CaseRng) -> CheckpointMsg {
+    CheckpointMsg {
+        sn: SeqNum(rng.u64_below(1 << 20)),
+        view: ViewNumber(rng.u64_below(100)),
+        state_digest: arb_digest(rng),
+        replica: rng.usize_in(0, 8),
+        signed: rng.bool(),
+        signature: arb_signature(rng),
+    }
+}
+
+/// A uniformly random message covering all 16 [`XPaxosMsg`] variants.
+fn arb_msg(rng: &mut CaseRng) -> XPaxosMsg {
+    match rng.u64_below(16) {
+        0 => XPaxosMsg::Replicate(SignedRequest {
+            request: arb_request(rng),
+            signature: arb_signature(rng),
+        }),
+        1 => XPaxosMsg::Resend(SignedRequest {
+            request: arb_request(rng),
+            signature: arb_signature(rng),
+        }),
+        2 => XPaxosMsg::Prepare(PrepareMsg {
+            view: ViewNumber(rng.u64_below(100)),
+            sn: SeqNum(rng.u64_below(1 << 20)),
+            batch: arb_batch(rng),
+            client_sigs: (0..rng.usize_in(0, 3)).map(|_| arb_signature(rng)).collect(),
+            signature: arb_signature(rng),
+        }),
+        3 => XPaxosMsg::CommitCarry(CommitCarryMsg {
+            view: ViewNumber(rng.u64_below(100)),
+            sn: SeqNum(rng.u64_below(1 << 20)),
+            batch: arb_batch(rng),
+            client_sigs: (0..rng.usize_in(0, 3)).map(|_| arb_signature(rng)).collect(),
+            signature: arb_signature(rng),
+        }),
+        4 => XPaxosMsg::Commit(arb_commit(rng)),
+        5 => XPaxosMsg::Reply(ReplyMsg {
+            view: ViewNumber(rng.u64_below(100)),
+            sn: SeqNum(rng.u64_below(1 << 20)),
+            timestamp: rng.u64_below(1 << 30),
+            reply_digest: arb_digest(rng),
+            payload: rng.bool().then(|| Bytes::from(rng.bytes(0, 128))),
+            replica: rng.usize_in(0, 8),
+            follower_commit: rng.bool().then(|| arb_commit(rng)),
+        }),
+        6 => XPaxosMsg::Suspect(SuspectMsg {
+            view: ViewNumber(rng.u64_below(100)),
+            replica: rng.usize_in(0, 8),
+            signature: arb_signature(rng),
+        }),
+        7 => XPaxosMsg::ViewChange(arb_view_change(rng)),
+        8 => XPaxosMsg::VcFinal(VcFinalMsg {
+            new_view: ViewNumber(rng.u64_below(100)),
+            replica: rng.usize_in(0, 8),
+            vc_set: (0..rng.usize_in(0, 2)).map(|_| arb_view_change(rng)).collect(),
+            signature: arb_signature(rng),
+        }),
+        9 => XPaxosMsg::VcConfirm(VcConfirmMsg {
+            new_view: ViewNumber(rng.u64_below(100)),
+            replica: rng.usize_in(0, 8),
+            vc_set_digest: arb_digest(rng),
+            signature: arb_signature(rng),
+        }),
+        10 => XPaxosMsg::NewView(NewViewMsg {
+            new_view: ViewNumber(rng.u64_below(100)),
+            prepare_log: (0..rng.usize_in(0, 2)).map(|_| arb_prepare_entry(rng)).collect(),
+            signature: arb_signature(rng),
+        }),
+        11 => XPaxosMsg::Checkpoint(arb_checkpoint(rng)),
+        12 => XPaxosMsg::LazyCheckpoint {
+            proof: (0..rng.usize_in(0, 3)).map(|_| arb_checkpoint(rng)).collect(),
+        },
+        13 => XPaxosMsg::LazyReplicate {
+            view: ViewNumber(rng.u64_below(100)),
+            entries: (0..rng.usize_in(0, 2)).map(|_| arb_commit_entry(rng)).collect(),
+        },
+        14 => XPaxosMsg::FaultDetected(FaultDetectedMsg {
+            new_view: ViewNumber(rng.u64_below(100)),
+            culprit: rng.usize_in(0, 8),
+            kind: match rng.u64_below(3) {
+                0 => DetectedFaultKind::StateLoss,
+                1 => DetectedFaultKind::Fork,
+                _ => DetectedFaultKind::BadSignature,
+            },
+            reporter: rng.usize_in(0, 8),
+            signature: arb_signature(rng),
+        }),
+        _ => XPaxosMsg::SuspectToClient(SuspectMsg {
+            view: ViewNumber(rng.u64_below(100)),
+            replica: rng.usize_in(0, 8),
+            signature: arb_signature(rng),
+        }),
+    }
+}
+
+/// Canonical-codec round trip: `decode(encode(m)) == m` for every message
+/// variant, with the decoder consuming the buffer exactly.
+#[test]
+fn wire_codec_round_trips_every_message_variant() {
+    check("wire_codec_round_trips_every_message_variant", 256, |rng| {
+        let msg = arb_msg(rng);
+        let encoded = encode_msg_vec(&msg);
+        match decode_msg::<XPaxosMsg>(&encoded) {
+            Ok(decoded) if decoded == msg => Ok(()),
+            Ok(decoded) => Err(format!("decoded {decoded:?}, expected {msg:?}")),
+            Err(e) => Err(format!("decode failed with {e}: {msg:?}")),
+        }
+    });
+}
+
+/// Hostile inputs — truncations, bad magic, unknown version, unknown variant
+/// tags and random byte flips — must yield a typed error, never a panic or an
+/// out-of-bounds access.
+#[test]
+fn wire_codec_rejects_malformed_inputs_without_panicking() {
+    check("wire_codec_rejects_malformed_inputs", 128, |rng| {
+        let msg = arb_msg(rng);
+        let encoded = encode_msg_vec(&msg);
+
+        // Any strict prefix fails to decode (canonical encodings have no
+        // self-delimiting shorter form).
+        let cut = rng.usize_in(0, encoded.len());
+        if decode_msg::<XPaxosMsg>(&encoded[..cut]).is_ok() {
+            return Err(format!("a {cut}-byte prefix of {} decoded", encoded.len()));
+        }
+
+        // Bad magic and unsupported version are identified as such.
+        let mut bad_magic = encoded.clone();
+        bad_magic[rng.usize_in(0, 4)] ^= 0x40;
+        if decode_msg::<XPaxosMsg>(&bad_magic) != Err(WireError::BadMagic) {
+            return Err("corrupted magic not rejected as BadMagic".into());
+        }
+        let mut bad_version = encoded.clone();
+        bad_version[4] = WIRE_VERSION + 1 + rng.byte() % 100;
+        if !matches!(
+            decode_msg::<XPaxosMsg>(&bad_version),
+            Err(WireError::UnsupportedVersion(_))
+        ) {
+            return Err("future version not rejected as UnsupportedVersion".into());
+        }
+
+        // An unknown variant tag is malformed.
+        let mut unknown_tag = Vec::from(MAGIC);
+        unknown_tag.push(WIRE_VERSION);
+        unknown_tag.push(17 + (rng.byte() % 200)); // tags stop at 16
+        unknown_tag.extend_from_slice(&rng.bytes(0, 64));
+        if decode_msg::<XPaxosMsg>(&unknown_tag).is_err() {
+            // expected — fall through
+        } else {
+            return Err("unknown variant tag decoded".into());
+        }
+
+        // Random single-byte corruption never panics: it either still decodes
+        // (the flip hit a free-form payload byte) or errors cleanly.
+        let mut flipped = encoded.clone();
+        let idx = rng.usize_in(0, flipped.len());
+        flipped[idx] ^= 1 << (rng.byte() % 8);
+        let _ = decode_msg::<XPaxosMsg>(&flipped);
+        Ok(())
+    });
+}
+
+/// Signed digests are derived from the canonical encoding, so two messages
+/// sign the same digest exactly when their wire bytes agree.
+#[test]
+fn signed_digests_track_canonical_encoding() {
+    use xft::wire::WireEncode;
+    check("signed_digests_track_canonical_encoding", 64, |rng| {
+        let a = arb_view_change(rng);
+        let mut b = arb_view_change(rng);
+        b.signature = a.signature; // signature is excluded from the digest
+        let bytes_equal = {
+            let (mut ba, mut bb) = (Vec::new(), Vec::new());
+            XPaxosMsg::ViewChange(a.clone()).encode_into(&mut ba);
+            XPaxosMsg::ViewChange(b.clone()).encode_into(&mut bb);
+            ba == bb
+        };
+        if (a.digest() == b.digest()) != bytes_equal {
+            return Err(format!(
+                "digest equality diverged from wire equality for {a:?} vs {b:?}"
+            ));
         }
         Ok(())
     });
