@@ -247,8 +247,8 @@ impl BaselineReplica {
         }
         self.charge_auth(ctx, 80, false);
         self.acks.entry(sn.0).or_default().insert(replica);
-        if self.acks[&sn.0].len() >= self.config.spec.quorum && self.log.contains_key(&sn.0) {
-            if self.committed.insert(sn.0) {
+        if self.acks[&sn.0].len() >= self.config.spec.quorum && self.log.contains_key(&sn.0)
+            && self.committed.insert(sn.0) {
                 self.try_execute(ctx);
                 if self.config.spec.pattern == AgreementPattern::LeaderRoundTripWithCommit {
                     let msg = BaselineMsg::CommitNotify { sn };
@@ -257,7 +257,6 @@ impl BaselineReplica {
                     }
                 }
             }
-        }
     }
 
     fn on_agree(&mut self, sn: SeqNum, replica: usize, ctx: &mut Context<BaselineMsg>) {
@@ -271,11 +270,10 @@ impl BaselineReplica {
             return;
         }
         let others = self.agrees.get(&sn.0).map(|s| s.len()).unwrap_or(0);
-        if others >= self.config.spec.quorum && self.log.contains_key(&sn.0) {
-            if self.committed.insert(sn.0) {
+        if others >= self.config.spec.quorum && self.log.contains_key(&sn.0)
+            && self.committed.insert(sn.0) {
                 self.try_execute(ctx);
             }
-        }
     }
 
     fn on_commit_notify(&mut self, sn: SeqNum, ctx: &mut Context<BaselineMsg>) {
@@ -440,7 +438,7 @@ impl Actor for BaselineClient {
         let Some((request, issued_at, replies, timer)) = self.outstanding.as_mut() else {
             return;
         };
-        if *&request.timestamp != timestamp {
+        if request.timestamp != timestamp {
             return;
         }
         ctx.charge(CryptoOp::VerifyMac { len: 64 });

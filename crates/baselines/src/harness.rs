@@ -156,7 +156,7 @@ impl BaselineClusterBuilder {
                     spec.n
                 );
                 let mut placement = replica_regions.clone();
-                placement.extend(std::iter::repeat(*client_region).take(self.clients));
+                placement.extend(std::iter::repeat_n(*client_region, self.clients));
                 Box::new(ec2_latency_model(&placement))
             }
         };
@@ -166,6 +166,9 @@ impl BaselineClusterBuilder {
             cost_model: self.cost_model,
             cores_per_node: self.cores_per_node,
             trace_messages: self.trace_messages,
+            // The baseline actors run the seed's stop-and-wait request path;
+            // record that on the run configuration.
+            pipeline: xft_simnet::PipelineConfig::stop_and_wait(),
         };
         let mut sim: Simulation<BaselineNode> = Simulation::new(sim_config, latency, self.uplink);
         for r in 0..spec.n {

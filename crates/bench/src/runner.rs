@@ -8,7 +8,7 @@ use xft_core::harness::{ClusterBuilder, LatencySpec};
 use xft_core::state_machine::{NullService, StateMachine};
 use xft_crypto::CostModel;
 use xft_simnet::ec2::{t2_placement, table4_placement};
-use xft_simnet::{Bandwidth, Region, SimDuration};
+use xft_simnet::{Bandwidth, PipelineConfig, Region, SimDuration};
 
 /// The protocol being measured.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -81,6 +81,10 @@ pub struct RunSpec {
     pub seed: u64,
     /// Batch size (20 in the paper).
     pub batch_size: usize,
+    /// Request-path pipelining (XPaxos only; the baselines keep the seed's
+    /// stop-and-wait request path, so figure comparisons default to
+    /// [`PipelineConfig::stop_and_wait`] for apples-to-apples curves).
+    pub pipeline: PipelineConfig,
 }
 
 impl RunSpec {
@@ -98,6 +102,7 @@ impl RunSpec {
             uplink: Bandwidth::mbps(1000.0),
             seed: 7,
             batch_size: 20,
+            pipeline: PipelineConfig::stop_and_wait(),
         }
     }
 }
@@ -151,6 +156,7 @@ pub fn run_with_state(
                 .with_uplink(spec.uplink)
                 .with_state_machine(state)
                 .with_config(|c| c.with_batch_size(spec.batch_size))
+                .with_pipeline(spec.pipeline.clone())
                 .build();
             cluster.run_for(total);
             summarize(

@@ -1,15 +1,24 @@
-//! The XPaxos client (paper §4.2 and Algorithm 4).
+//! The XPaxos client (paper §4.2 and Algorithm 4), generalized to a windowed
+//! request pipeline.
 //!
-//! Clients issue requests in a closed loop (one outstanding request each, as in the
-//! paper's micro-benchmarks): a request is signed and sent to the primary of the
-//! client's current view estimate; the client *commits* the request when it has the
-//! required matching replies (a single primary reply carrying the follower's signed
-//! commit for t = 1, or t + 1 matching replies from all active replicas in the general
-//! case). On timeout the client broadcasts a RE-SEND to the active replicas, and on
-//! receiving a SUSPECT message it follows the view change.
+//! The client keeps up to `pipeline.client_window` requests outstanding, each
+//! with its own timestamp, issue time and retransmission timer; replies are
+//! matched to outstanding requests by timestamp. `client_window = 1` is
+//! exactly the closed-loop client of the paper's micro-benchmarks; larger
+//! windows drive the primary's batching pipeline with multiple requests in
+//! flight. A request *commits* when it has the required matching replies (a
+//! single primary reply carrying the follower's signed commit for t = 1, or
+//! t + 1 matching replies from all active replicas in the general case). On
+//! timeout the client broadcasts a RE-SEND to the active replicas; on a BUSY
+//! notice (the primary shed the request under load) it backs off briefly and
+//! re-sends to the primary alone; and on receiving a SUSPECT message it
+//! follows the view change, re-sending every outstanding request to the new
+//! primary.
 
 use crate::config::XPaxosConfig;
-use crate::messages::{client_request_digest, ReplyMsg, SignedRequest, SuspectMsg, XPaxosMsg};
+use crate::messages::{
+    client_request_digest, BusyMsg, ReplyMsg, SignedRequest, SuspectMsg, XPaxosMsg,
+};
 use crate::sync_group::SyncGroups;
 use crate::types::{client_key, ClientId, ReplicaId, Request, Timestamp, ViewNumber};
 use bytes::Bytes;
@@ -18,10 +27,33 @@ use std::sync::Arc;
 use xft_crypto::{CryptoOp, KeyRegistry, Signer, Verifier};
 use xft_simnet::{Actor, Context, NodeId, SimDuration, SimTime, TimerId};
 
-/// Timer token used for the client's retransmission timeout.
-const TOKEN_RETRANSMIT: u64 = 1;
+/// Hard cap on the request window. Replicas cache
+/// [`CLIENT_REPLY_CACHE`](crate::replica) replies per client for exact-match
+/// duplicate suppression; a window beyond that cache could let a pruned
+/// reply's retransmission re-execute, so windows are clamped well below it.
+pub const MAX_CLIENT_WINDOW: usize = 128;
+
+/// Maximum timestamp spread between a client's oldest outstanding request and
+/// the newest one it will issue. The window bounds how many requests are
+/// outstanding, but not how far the stream can slide past a stuck request —
+/// and replicas can only re-answer retransmissions from a bounded reply cache
+/// (`CLIENT_REPLY_CACHE = 2 × MAX_CLIENT_WINDOW` entries per client). Holding
+/// the spread at `MAX_CLIENT_WINDOW` guarantees a stuck request's reply is
+/// still cached whenever its retransmission arrives.
+const MAX_TS_SPREAD: u64 = MAX_CLIENT_WINDOW as u64;
+
+/// Consecutive BUSY notices a request tolerates before the client stops
+/// resetting its timeout. Without this cap a faulty primary could answer
+/// every retry with an unsigned BUSY and suppress the RE-SEND broadcast (and
+/// with it the Algorithm-4 monitors) forever — bounded backoff means
+/// sustained shedding still escalates to the fault-detection path.
+const MAX_BUSY_BACKOFFS: u32 = 3;
+
 /// Timer token used for open-loop / think-time pacing.
-const TOKEN_NEXT_REQUEST: u64 = 2;
+const TOKEN_NEXT_REQUEST: u64 = 1;
+/// Timer token base for per-request retransmission timeouts; the request's
+/// timestamp is added, so every outstanding request has a distinct token.
+const TOKEN_RETRANSMIT_BASE: u64 = 1 << 32;
 
 /// Workload configuration for a client.
 #[derive(Debug, Clone)]
@@ -29,10 +61,10 @@ pub struct ClientWorkload {
     /// Payload size of each request in bytes (1 kB and 4 kB in the paper). Ignored when
     /// `op_bytes` is set.
     pub payload_size: usize,
-    /// Number of requests to issue; `None` keeps the closed loop running until the
+    /// Number of requests to issue; `None` keeps the loop running until the
     /// simulation ends.
     pub requests: Option<u64>,
-    /// Think time between a commit and the next request (0 = closed loop).
+    /// Think time between a commit and the next request (0 = saturating loop).
     pub think_time: SimDuration,
     /// Explicit operation payload (e.g. an encoded coordination-service operation for
     /// the ZooKeeper macro-benchmark); when `None` the op is `payload_size` zero bytes.
@@ -50,6 +82,7 @@ impl Default for ClientWorkload {
     }
 }
 
+/// One outstanding (issued, uncommitted) request.
 struct Pending {
     request: Request,
     signature: xft_crypto::Signature,
@@ -58,9 +91,15 @@ struct Pending {
     replies: BTreeMap<ReplicaId, ReplyMsg>,
     retransmit_timer: TimerId,
     retransmissions: u32,
+    /// Set when the primary shed this request with BUSY: the next timer firing
+    /// re-sends to the primary alone instead of broadcasting a RE-SEND.
+    busy_backoff: bool,
+    /// BUSY notices received for this request (capped by
+    /// [`MAX_BUSY_BACKOFFS`]).
+    busy_count: u32,
 }
 
-/// An XPaxos client actor.
+/// An XPaxos client actor with a configurable request window.
 pub struct Client {
     id: ClientId,
     config: XPaxosConfig,
@@ -71,8 +110,10 @@ pub struct Client {
     workload: ClientWorkload,
     /// The client's current view estimate.
     view: ViewNumber,
+    /// Timestamp of the most recently issued request (= requests issued).
     next_ts: Timestamp,
-    pending: Option<Pending>,
+    /// Outstanding requests keyed by timestamp, at most `client_window` deep.
+    pending: BTreeMap<Timestamp, Pending>,
     committed: u64,
     stopped: bool,
 }
@@ -97,7 +138,7 @@ impl Client {
             workload,
             view: ViewNumber(0),
             next_ts: 0,
-            pending: None,
+            pending: BTreeMap::new(),
             committed: 0,
             stopped: false,
         }
@@ -113,31 +154,66 @@ impl Client {
         self.committed
     }
 
+    /// Number of requests currently outstanding.
+    pub fn in_flight(&self) -> usize {
+        self.pending.len()
+    }
+
     /// The client's current view estimate.
     pub fn view(&self) -> ViewNumber {
         self.view
+    }
+
+    /// The configured request window, clamped to [`MAX_CLIENT_WINDOW`].
+    fn window(&self) -> usize {
+        self.config.pipeline.client_window.clamp(1, MAX_CLIENT_WINDOW)
+    }
+
+    /// Backoff before re-sending a request the primary shed with BUSY — a few
+    /// batch periods (jittered, so competing clients don't retry in lockstep
+    /// and starve whoever sorts last), giving the queue time to drain.
+    fn busy_backoff_delay(&self, ctx: &mut Context<XPaxosMsg>) -> SimDuration {
+        self.config.batch_timeout * (4 + ctx.rng().next_below(9))
     }
 
     fn node_of(&self, replica: ReplicaId) -> NodeId {
         self.config.node_of(replica)
     }
 
-    fn issue_next(&mut self, ctx: &mut Context<XPaxosMsg>) {
-        if self.stopped || self.pending.is_some() {
+    /// Issues requests until the window is full, the workload is exhausted,
+    /// or the stream would run [`MAX_TS_SPREAD`] past the oldest outstanding
+    /// request (head-of-line bound; issuing resumes as commits land).
+    fn fill_window(&mut self, ctx: &mut Context<XPaxosMsg>) {
+        if self.stopped {
             return;
         }
-        if let Some(limit) = self.workload.requests {
-            if self.committed >= limit {
-                self.stopped = true;
-                return;
+        while self.pending.len() < self.window() {
+            if let Some(limit) = self.workload.requests {
+                if self.next_ts >= limit {
+                    if self.pending.is_empty() {
+                        self.stopped = true;
+                    }
+                    return;
+                }
             }
+            if let Some((&oldest, _)) = self.pending.iter().next() {
+                if self.next_ts.saturating_sub(oldest) >= MAX_TS_SPREAD {
+                    return;
+                }
+            }
+            self.issue_one(ctx);
         }
+    }
+
+    /// Signs and sends one fresh request to the primary of the current view.
+    fn issue_one(&mut self, ctx: &mut Context<XPaxosMsg>) {
         self.next_ts += 1;
+        let ts = self.next_ts;
         let op = match &self.workload.op_bytes {
             Some(bytes) => bytes.clone(),
             None => Bytes::from(vec![0u8; self.workload.payload_size]),
         };
-        let request = Request::new(self.id, self.next_ts, op);
+        let request = Request::new(self.id, ts, op);
         ctx.charge(CryptoOp::Sign);
         let signature = self.signer.sign_digest(&client_request_digest(&request));
         let signed = SignedRequest {
@@ -146,15 +222,21 @@ impl Client {
         };
         let primary = self.groups.primary(self.view);
         ctx.send(self.node_of(primary), XPaxosMsg::Replicate(signed));
-        let retransmit_timer = ctx.set_timer(self.config.client_retransmit, TOKEN_RETRANSMIT);
-        self.pending = Some(Pending {
-            request,
-            signature,
-            issued_at: ctx.now(),
-            replies: BTreeMap::new(),
-            retransmit_timer,
-            retransmissions: 0,
-        });
+        let retransmit_timer =
+            ctx.set_timer(self.config.client_retransmit, TOKEN_RETRANSMIT_BASE + ts);
+        self.pending.insert(
+            ts,
+            Pending {
+                request,
+                signature,
+                issued_at: ctx.now(),
+                replies: BTreeMap::new(),
+                retransmit_timer,
+                retransmissions: 0,
+                busy_backoff: false,
+                busy_count: 0,
+            },
+        );
     }
 
     fn commit_condition_met(&self, pending: &Pending) -> Option<ViewNumber> {
@@ -193,12 +275,10 @@ impl Client {
     }
 
     fn on_reply(&mut self, reply: ReplyMsg, ctx: &mut Context<XPaxosMsg>) {
-        let Some(pending) = self.pending.as_mut() else {
-            return;
+        let ts = reply.timestamp;
+        let Some(pending) = self.pending.get_mut(&ts) else {
+            return; // reply for a request that already committed (or was never ours)
         };
-        if reply.timestamp != pending.request.timestamp {
-            return; // reply for an older request
-        }
         ctx.charge(CryptoOp::VerifySig);
         if reply.replica >= self.config.n() {
             return;
@@ -209,52 +289,90 @@ impl Client {
             self.view = reply.view;
         }
 
-        let Some(pending_ref) = self.pending.as_ref() else {
+        let Some(pending_ref) = self.pending.get(&ts) else {
             return;
         };
         if let Some(view) = self.commit_condition_met(pending_ref) {
-            let pending = self.pending.take().expect("pending exists");
+            let pending = self.pending.remove(&ts).expect("pending exists");
             ctx.cancel_timer(pending.retransmit_timer);
             self.view = self.view.max(view);
             self.committed += 1;
             let latency = ctx.now().duration_since(pending.issued_at);
             ctx.record_commit(latency, pending.request.op.len());
             if self.workload.think_time == SimDuration::ZERO {
-                self.issue_next(ctx);
+                self.fill_window(ctx);
             } else {
                 ctx.set_timer(self.workload.think_time, TOKEN_NEXT_REQUEST);
             }
         }
     }
 
-    fn retransmit(&mut self, ctx: &mut Context<XPaxosMsg>) {
-        let (signed, retransmissions) = {
-            let Some(pending) = self.pending.as_mut() else {
+    /// The primary shed request `ts` under load: back off briefly, then
+    /// re-send to the primary alone (no RE-SEND broadcast — a shed request is
+    /// not evidence of a faulty view, so it must not arm replica monitors).
+    ///
+    /// BUSY is unsigned, so nothing else is learned from it: in particular the
+    /// view estimate is only ever adopted from verified replies and suspects —
+    /// a forged BUSY may delay one request, never redirect future ones.
+    fn on_busy(&mut self, m: BusyMsg, ctx: &mut Context<XPaxosMsg>) {
+        let delay = self.busy_backoff_delay(ctx);
+        let Some(pending) = self.pending.get_mut(&m.timestamp) else {
+            return;
+        };
+        ctx.count("client_busy", 1);
+        pending.busy_count += 1;
+        if pending.busy_count > MAX_BUSY_BACKOFFS {
+            // Too many BUSYs for one request: stop resetting the timeout and
+            // let the full retransmission path (RE-SEND broadcast → replica
+            // monitors → possible view change) judge the primary instead.
+            return;
+        }
+        ctx.cancel_timer(pending.retransmit_timer);
+        pending.busy_backoff = true;
+        pending.retransmit_timer = ctx.set_timer(delay, TOKEN_RETRANSMIT_BASE + m.timestamp);
+    }
+
+    /// The retransmission timer of request `ts` fired.
+    fn retransmit(&mut self, ts: Timestamp, ctx: &mut Context<XPaxosMsg>) {
+        let (signed, retransmissions, was_busy) = {
+            let Some(pending) = self.pending.get_mut(&ts) else {
                 return;
             };
-            pending.retransmissions += 1;
+            let was_busy = pending.busy_backoff;
+            pending.busy_backoff = false;
+            if !was_busy {
+                pending.retransmissions += 1;
+            }
             (
                 SignedRequest {
                     request: pending.request.clone(),
                     signature: pending.signature,
                 },
                 pending.retransmissions,
+                was_busy,
             )
         };
-        ctx.count("client_retransmissions", 1);
-        // Broadcast the RE-SEND to the active replicas of the current view estimate;
-        // after repeated failures fall back to all replicas (the client's estimate may
-        // be arbitrarily stale after a burst of view changes).
-        let targets: Vec<ReplicaId> = if retransmissions <= 2 {
-            self.groups.active_replicas(self.view).to_vec()
+        if was_busy {
+            // Busy-shed requests retry as a plain REPLICATE to the primary.
+            let primary = self.groups.primary(self.view);
+            ctx.send(self.node_of(primary), XPaxosMsg::Replicate(signed));
         } else {
-            (0..self.config.n()).collect()
-        };
-        for replica in targets {
-            ctx.send(self.node_of(replica), XPaxosMsg::Resend(signed.clone()));
+            ctx.count("client_retransmissions", 1);
+            // Broadcast the RE-SEND to the active replicas of the current view
+            // estimate; after repeated failures fall back to all replicas (the
+            // client's estimate may be arbitrarily stale after a burst of view
+            // changes).
+            let targets: Vec<ReplicaId> = if retransmissions <= 2 {
+                self.groups.active_replicas(self.view).to_vec()
+            } else {
+                (0..self.config.n()).collect()
+            };
+            for replica in targets {
+                ctx.send(self.node_of(replica), XPaxosMsg::Resend(signed.clone()));
+            }
         }
-        let timer = ctx.set_timer(self.config.client_retransmit, TOKEN_RETRANSMIT);
-        if let Some(pending) = self.pending.as_mut() {
+        let timer = ctx.set_timer(self.config.client_retransmit, TOKEN_RETRANSMIT_BASE + ts);
+        if let Some(pending) = self.pending.get_mut(&ts) {
             pending.retransmit_timer = timer;
         }
     }
@@ -264,21 +382,22 @@ impl Client {
             return;
         }
         // Follow the view change (Algorithm 4, lines 11–15): adopt view i + 1, forward
-        // the suspect to the new active replicas and re-send the pending request to the
-        // new primary.
+        // the suspect to the new active replicas and re-send every outstanding request
+        // to the new primary.
         if m.view.next() > self.view {
             self.view = m.view.next();
         }
         for replica in self.groups.active_replicas(self.view).to_vec() {
             ctx.send(self.node_of(replica), XPaxosMsg::Suspect(m.clone()));
         }
-        if let Some(pending) = self.pending.as_ref() {
+        let primary = self.groups.primary(self.view);
+        let primary_node = self.node_of(primary);
+        for pending in self.pending.values() {
             let signed = SignedRequest {
                 request: pending.request.clone(),
                 signature: pending.signature,
             };
-            let primary = self.groups.primary(self.view);
-            ctx.send(self.node_of(primary), XPaxosMsg::Replicate(signed));
+            ctx.send(primary_node, XPaxosMsg::Replicate(signed));
         }
     }
 }
@@ -287,31 +406,41 @@ impl Actor for Client {
     type Msg = XPaxosMsg;
 
     fn on_start(&mut self, ctx: &mut Context<XPaxosMsg>) {
-        self.issue_next(ctx);
+        self.fill_window(ctx);
     }
 
     fn on_message(&mut self, _from: NodeId, msg: XPaxosMsg, ctx: &mut Context<XPaxosMsg>) {
         match msg {
             XPaxosMsg::Reply(reply) => self.on_reply(reply, ctx),
+            XPaxosMsg::Busy(m) => self.on_busy(m, ctx),
             XPaxosMsg::SuspectToClient(m) | XPaxosMsg::Suspect(m) => self.on_suspect(m, ctx),
             _ => {}
         }
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Context<XPaxosMsg>) {
-        match token {
-            TOKEN_RETRANSMIT => self.retransmit(ctx),
-            TOKEN_NEXT_REQUEST => self.issue_next(ctx),
-            _ => {}
+        if token >= TOKEN_RETRANSMIT_BASE {
+            self.retransmit(token - TOKEN_RETRANSMIT_BASE, ctx);
+        } else if token == TOKEN_NEXT_REQUEST {
+            self.fill_window(ctx);
         }
     }
 
     fn on_recover(&mut self, ctx: &mut Context<XPaxosMsg>) {
-        // A recovered client simply resumes its closed loop.
-        if self.pending.is_none() {
-            self.issue_next(ctx);
-        } else {
-            self.retransmit(ctx);
+        // Timers were discarded by the crash: re-send every outstanding request
+        // and re-arm its retransmission timer, then refill the window.
+        let primary = self.groups.primary(self.view);
+        let primary_node = self.node_of(primary);
+        for (&ts, pending) in self.pending.iter_mut() {
+            pending.busy_backoff = false;
+            let signed = SignedRequest {
+                request: pending.request.clone(),
+                signature: pending.signature,
+            };
+            ctx.send(primary_node, XPaxosMsg::Replicate(signed));
+            pending.retransmit_timer =
+                ctx.set_timer(self.config.client_retransmit, TOKEN_RETRANSMIT_BASE + ts);
         }
+        self.fill_window(ctx);
     }
 }

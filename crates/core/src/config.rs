@@ -1,7 +1,7 @@
 //! Protocol configuration.
 
 use crate::types::ReplicaId;
-use xft_simnet::{NodeId, SimDuration};
+use xft_simnet::{NodeId, PipelineConfig, SimDuration};
 
 /// Configuration shared by every XPaxos replica and client in a cluster.
 #[derive(Debug, Clone)]
@@ -32,6 +32,9 @@ pub struct XPaxosConfig {
     pub fault_detection: bool,
     /// Enable lazy replication of commit logs to passive replicas (paper §4.5.2).
     pub lazy_replication: bool,
+    /// Request-path pipelining: client windows, in-flight batch limit, adaptive
+    /// batch timeout and the primary's admission-queue bound.
+    pub pipeline: PipelineConfig,
     /// Simnet node ids of the replicas, indexed by [`ReplicaId`].
     pub replica_nodes: Vec<NodeId>,
     /// Simnet node ids of the clients.
@@ -55,6 +58,7 @@ impl XPaxosConfig {
             view_change_timeout: SimDuration::from_millis(1250 * 4),
             fault_detection: false,
             lazy_replication: true,
+            pipeline: PipelineConfig::default(),
             replica_nodes: (0..n).collect(),
             client_nodes: (n..n + clients).collect(),
         }
@@ -121,6 +125,24 @@ impl XPaxosConfig {
         self.client_retransmit = timeout;
         self
     }
+
+    /// Replaces the whole pipeline configuration.
+    pub fn with_pipeline(mut self, pipeline: PipelineConfig) -> Self {
+        self.pipeline = pipeline;
+        self
+    }
+
+    /// Sets the per-client request window (1 = closed loop).
+    pub fn with_client_window(mut self, window: usize) -> Self {
+        self.pipeline.client_window = window.max(1);
+        self
+    }
+
+    /// Sets the primary's in-flight batch limit (1 = stop-and-wait).
+    pub fn with_max_in_flight(mut self, batches: usize) -> Self {
+        self.pipeline.max_in_flight_batches = batches.max(1);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -143,6 +165,18 @@ mod tests {
             assert_eq!(c.replica_at(c.node_of(r)), Some(r));
         }
         assert_eq!(c.replica_at(99), None);
+    }
+
+    #[test]
+    fn pipeline_builders_clamp_and_replace() {
+        let c = XPaxosConfig::new(1, 0)
+            .with_client_window(0)
+            .with_max_in_flight(0);
+        assert_eq!(c.pipeline.client_window, 1);
+        assert_eq!(c.pipeline.max_in_flight_batches, 1);
+        let c = c.with_pipeline(PipelineConfig::default().with_client_window(16));
+        assert_eq!(c.pipeline.client_window, 16);
+        assert!(c.pipeline.adaptive_timeout);
     }
 
     #[test]

@@ -40,7 +40,7 @@ pub struct ClusterBuilder {
     config: XPaxosConfig,
     clients: usize,
     seed: u64,
-    workload: ClientWorkload,
+    workload_factory: Box<dyn Fn(usize) -> ClientWorkload>,
     latency: LatencySpec,
     uplink: Bandwidth,
     cost_model: CostModel,
@@ -56,7 +56,7 @@ impl ClusterBuilder {
             config: XPaxosConfig::new(t, clients),
             clients,
             seed: 1,
-            workload: ClientWorkload::default(),
+            workload_factory: Box::new(|_| ClientWorkload::default()),
             latency: LatencySpec::Constant(SimDuration::from_millis(1)),
             uplink: Bandwidth::UNLIMITED,
             cost_model: CostModel::free(),
@@ -82,9 +82,27 @@ impl ClusterBuilder {
         self
     }
 
-    /// Sets the client workload.
-    pub fn with_workload(mut self, workload: ClientWorkload) -> Self {
-        self.workload = workload;
+    /// Sets the same workload for every client.
+    pub fn with_workload(self, workload: ClientWorkload) -> Self {
+        self.with_workload_factory(move |_| workload.clone())
+    }
+
+    /// Sets a per-client workload (the factory receives the client index), so
+    /// simulated clients can be parameterized exactly like the `xpaxos-client`
+    /// binary parameterizes its workers.
+    pub fn with_workload_factory(
+        mut self,
+        factory: impl Fn(usize) -> ClientWorkload + 'static,
+    ) -> Self {
+        self.workload_factory = Box::new(factory);
+        self
+    }
+
+    /// Sets the request-path pipeline knobs (client window, in-flight batch
+    /// limit, adaptive batch timeout, admission bound) for every node, and
+    /// records them on the simulation's [`SimConfig`].
+    pub fn with_pipeline(mut self, pipeline: xft_simnet::PipelineConfig) -> Self {
+        self.config.pipeline = pipeline;
         self
     }
 
@@ -144,7 +162,7 @@ impl ClusterBuilder {
                     "need one region per replica (n = {n})"
                 );
                 let mut placement = replica_regions.clone();
-                placement.extend(std::iter::repeat(*client_region).take(self.clients));
+                placement.extend(std::iter::repeat_n(*client_region, self.clients));
                 Box::new(ec2_latency_model(&placement))
             }
         };
@@ -154,6 +172,7 @@ impl ClusterBuilder {
             cost_model: self.cost_model,
             cores_per_node: self.cores_per_node,
             trace_messages: self.trace_messages,
+            pipeline: self.config.pipeline.clone(),
         };
         let mut sim: Simulation<XPaxosNode> = Simulation::new(sim_config, latency, self.uplink);
 
@@ -168,7 +187,7 @@ impl ClusterBuilder {
                 ClientId(c as u64),
                 self.config.clone(),
                 &registry,
-                self.workload.clone(),
+                (self.workload_factory)(c),
             );
             let node = sim.add_node(XPaxosNode::Client(Box::new(client)));
             debug_assert_eq!(node, self.config.client_nodes[c]);

@@ -51,6 +51,7 @@ pub mod wire;
 pub use byzantine::ByzantineBehavior;
 pub use client::{Client, ClientWorkload};
 pub use config::XPaxosConfig;
+pub use xft_simnet::PipelineConfig;
 pub use harness::{ClusterBuilder, LatencySpec, XPaxosCluster};
 pub use messages::XPaxosMsg;
 pub use model::{ProtocolModel, ReplicaFaultState, SystemSnapshot};

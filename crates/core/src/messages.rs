@@ -90,6 +90,23 @@ pub struct ReplyMsg {
     pub follower_commit: Option<CommitMsg>,
 }
 
+/// BUSY: the primary's admission queue is full; the request identified by
+/// `timestamp` was shed and the client should retry after a short backoff.
+///
+/// Unsigned by design: a forged BUSY can only delay one client's request,
+/// which the network is already free to do by dropping messages; the client's
+/// retransmission path recovers in both cases.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BusyMsg {
+    /// The replica's current view, for diagnostics only — clients must not
+    /// adopt a view estimate from an unsigned message.
+    pub view: ViewNumber,
+    /// Timestamp of the shed request.
+    pub timestamp: Timestamp,
+    /// Replica shedding the request.
+    pub replica: ReplicaId,
+}
+
 /// SUSPECT: a replica announces it suspects the current view.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SuspectMsg {
@@ -231,6 +248,8 @@ pub enum XPaxosMsg {
     Commit(CommitMsg),
     /// Active replica → client.
     Reply(ReplyMsg),
+    /// Primary → client: admission queue full, request shed — retry later.
+    Busy(BusyMsg),
     /// Replica → all replicas: suspect the current view.
     Suspect(SuspectMsg),
     /// Replica → new active replicas: log transfer.
@@ -274,6 +293,7 @@ impl SimMessage for XPaxosMsg {
                 64 + r.payload.as_ref().map(|p| p.len()).unwrap_or(0)
                     + if r.follower_commit.is_some() { 128 } else { 0 }
             }
+            XPaxosMsg::Busy(_) => 24,
             XPaxosMsg::Suspect(_) | XPaxosMsg::SuspectToClient(_) => 56,
             XPaxosMsg::ViewChange(vc) => vc.wire_size(),
             XPaxosMsg::VcFinal(f) => {
@@ -304,6 +324,7 @@ impl SimMessage for XPaxosMsg {
             XPaxosMsg::CommitCarry(_) => "COMMIT-CARRY",
             XPaxosMsg::Commit(_) => "COMMIT",
             XPaxosMsg::Reply(_) => "REPLY",
+            XPaxosMsg::Busy(_) => "BUSY",
             XPaxosMsg::Suspect(_) => "SUSPECT",
             XPaxosMsg::ViewChange(_) => "VIEW-CHANGE",
             XPaxosMsg::VcFinal(_) => "VC-FINAL",

@@ -23,7 +23,7 @@ impl Replica {
             return;
         }
         let sn = self.exec_sn;
-        if sn.0 == 0 || sn.0 % interval != 0 || sn <= self.last_checkpoint {
+        if sn.0 == 0 || !sn.0.is_multiple_of(interval) || sn <= self.last_checkpoint {
             return;
         }
         // PRECHK round: MAC-authenticated state digest exchange among active replicas.

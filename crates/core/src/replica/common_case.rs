@@ -31,10 +31,14 @@ impl Replica {
     }
 
     // -----------------------------------------------------------------------------
-    // Client requests, batching and retransmission monitoring
+    // Client requests: admission, batching pipeline and retransmission monitoring
     // -----------------------------------------------------------------------------
 
     /// Handles a REPLICATE (fresh) or RE-SEND (retransmitted) client request.
+    ///
+    /// First stage of the request pipeline (*admit*): verify, answer duplicates
+    /// from the reply cache, and either queue the request for batching (bounded
+    /// — overflow is shed with a BUSY notice) or forward it to the primary.
     pub(crate) fn on_client_request(
         &mut self,
         req: SignedRequest,
@@ -53,19 +57,54 @@ impl Replica {
         let client = req.request.client;
         let ts = req.request.timestamp;
 
-        // Exactly-once: a request at or below the last executed timestamp for this
-        // client is answered from the client table.
-        if let Some((last_ts, cached)) = self.client_table.get(&client) {
-            if ts <= *last_ts {
-                let reply = if ts == *last_ts {
-                    cached.clone()
-                } else {
-                    cached.clone() // older duplicates also get the latest reply
-                };
-                let node = self.client_node(client);
-                ctx.send(node, XPaxosMsg::Reply(reply));
+        // Exactly-once: an already-executed request is answered from the reply
+        // cache and never re-admitted (even once its reply has been pruned).
+        // Matching is by *exact* timestamp — under load shedding a client's
+        // later request can execute before an earlier shed one, so "at or
+        // below the latest executed timestamp" would wrongly swallow the shed
+        // request's retry.
+        if let Some(record) = self.client_table.get(&client) {
+            if record.executed(ts) {
+                if let Some(reply) = record.reply_for(ts) {
+                    let reply = reply.clone();
+                    let node = self.client_node(client);
+                    ctx.send(node, XPaxosMsg::Reply(reply));
+                }
                 return;
             }
+        }
+
+        // A retransmitted copy of a request that is still in the admission
+        // queue must not occupy another slot (copies of already-batched
+        // requests are caught by the execution-time duplicate skip instead).
+        if self.queued_keys.contains(&(client, ts)) {
+            if retransmission && self.is_active_in(self.view) {
+                self.monitor_request(client, ts, ctx);
+            }
+            return;
+        }
+
+        // Admission control: a full queue sheds the request before *this
+        // replica* arms a monitor, and the client's busy-backoff retries are
+        // plain REPLICATEs, so routine shedding never masquerades as a faulty
+        // view. One residual by design: a request starved past the client's
+        // full retransmission timeout RE-SENDs through the other active
+        // replicas, whose Algorithm-4 monitors may then suspect the view —
+        // under that much sustained overload a view change is the protocol's
+        // intended response, not a false positive.
+        let queue_full = self.pending_requests.len() >= self.config.pipeline.max_pending_requests;
+        let queues_here = self.phase != Phase::Active || self.is_primary_in(self.view);
+        if queues_here && queue_full {
+            ctx.count("requests_shed", 1);
+            ctx.send(
+                self.client_node(client),
+                XPaxosMsg::Busy(crate::messages::BusyMsg {
+                    view: self.view,
+                    timestamp: ts,
+                    replica: self.id,
+                }),
+            );
+            return;
         }
 
         // Retransmitted requests are monitored (Algorithm 4): if the request does not
@@ -76,13 +115,15 @@ impl Replica {
 
         if self.phase != Phase::Active {
             // Buffer during view changes; the new primary will pick pending requests up.
-            self.pending_requests.push(req);
+            self.queued_keys.insert((client, ts));
+            self.pending_requests.push_back(req);
             return;
         }
 
         if self.is_primary_in(self.view) {
-            self.pending_requests.push(req);
-            self.maybe_flush(ctx);
+            self.queued_keys.insert((client, ts));
+            self.pending_requests.push_back(req);
+            self.pump_pipeline(ctx, false);
         } else {
             // Not the primary: forward to the current primary (covers both clients with
             // stale view estimates and the RE-SEND path of Algorithm 4).
@@ -116,8 +157,8 @@ impl Replica {
         };
         self.monitored_by_req.remove(&(client, ts));
         // Already executed? Then the reply was (re)sent; nothing to do.
-        if let Some((last_ts, _)) = self.client_table.get(&client) {
-            if ts <= *last_ts {
+        if let Some(record) = self.client_table.get(&client) {
+            if record.executed(ts) {
                 return;
             }
         }
@@ -139,25 +180,60 @@ impl Replica {
         }
     }
 
-    /// Flushes a batch if it is full, otherwise arms the batch timer.
-    pub(crate) fn maybe_flush(&mut self, ctx: &mut Context<XPaxosMsg>) {
-        if self.pending_requests.len() >= self.config.batch_size {
-            self.flush_batches(ctx);
-        } else if self.batch_timer.is_none() && !self.pending_requests.is_empty() {
-            self.batch_timer = Some(ctx.set_timer(self.config.batch_timeout, TOKEN_BATCH));
-        }
-    }
-
-    /// Forms batches out of the pending requests and proposes them (primary only).
-    pub(crate) fn flush_batches(&mut self, ctx: &mut Context<XPaxosMsg>) {
+    /// Second and third stages of the request pipeline (*batch* → *propose*):
+    /// forms batches from the admission queue and proposes them, keeping up to
+    /// `pipeline.max_in_flight_batches` sequence numbers in flight.
+    ///
+    /// Proposal policy per iteration:
+    /// * a **full** batch goes out immediately;
+    /// * with `adaptive_timeout`, a **partial** batch goes out immediately when
+    ///   nothing is in flight (an idle pipe means waiting buys no batching,
+    ///   only latency — this kills the batch-timeout floor for a lone client);
+    /// * otherwise (`force`, i.e. the batch timer fired or a view change
+    ///   handover), partial batches go out regardless.
+    ///
+    /// Leftover requests re-arm the batch timer, so a partial batch waits at
+    /// most `batch_timeout` even while the pipe is busy.
+    pub(crate) fn pump_pipeline(&mut self, ctx: &mut Context<XPaxosMsg>, force: bool) {
         if self.phase != Phase::Active || !self.is_primary_in(self.view) {
             return;
         }
-        while !self.pending_requests.is_empty() {
+        let max_in_flight = self.config.pipeline.max_in_flight_batches.max(1);
+        while self.proposed_in_flight < max_in_flight && !self.pending_requests.is_empty() {
+            let full = self.pending_requests.len() >= self.config.batch_size;
+            let pipe_idle = self.proposed_in_flight == 0;
+            let immediate = self.config.pipeline.adaptive_timeout && pipe_idle;
+            if !(force || full || immediate) {
+                break;
+            }
             let take = self.pending_requests.len().min(self.config.batch_size);
             let chunk: Vec<SignedRequest> = self.pending_requests.drain(..take).collect();
+            for req in &chunk {
+                self.queued_keys
+                    .remove(&(req.request.client, req.request.timestamp));
+            }
             self.propose_batch(chunk, ctx);
         }
+        if !self.pending_requests.is_empty() {
+            if self.batch_timer.is_none() {
+                self.batch_timer = Some(ctx.set_timer(self.config.batch_timeout, TOKEN_BATCH));
+            }
+        } else if let Some(timer) = self.batch_timer.take() {
+            ctx.cancel_timer(timer);
+        }
+    }
+
+    /// Force-flushes the admission queue up to the in-flight limit (batch-timer
+    /// expiry and view-change handover).
+    pub(crate) fn flush_batches(&mut self, ctx: &mut Context<XPaxosMsg>) {
+        self.pump_pipeline(ctx, true);
+    }
+
+    /// A batch this primary proposed has committed: free its pipeline slot and
+    /// propose more if requests are waiting.
+    pub(crate) fn note_batch_committed(&mut self, ctx: &mut Context<XPaxosMsg>) {
+        self.proposed_in_flight = self.proposed_in_flight.saturating_sub(1);
+        self.pump_pipeline(ctx, false);
     }
 
     /// Assigns the next sequence number to a batch and sends it to the followers.
@@ -168,6 +244,8 @@ impl Replica {
             .unzip();
         let batch = Batch::new(reqs);
         self.next_sn = self.next_sn.next();
+        self.proposed_in_flight += 1;
+        ctx.count("batches_proposed", 1);
         let sn = self.next_sn;
         let view = self.view;
         let batch_digest = batch.digest();
@@ -224,6 +302,68 @@ impl Replica {
     // Follower paths
     // -----------------------------------------------------------------------------
 
+    /// Stashes a verified proposal that arrived ahead of the next expected
+    /// sequence number. The stash is bounded to roughly the pipeline depth:
+    /// anything farther ahead is dropped and recovered by retransmission or a
+    /// view change, exactly as a lost message would be.
+    fn stash_proposal(&mut self, sn: SeqNum, msg: XPaxosMsg, ctx: &mut Context<XPaxosMsg>) {
+        let cap = self.config.pipeline.max_in_flight_batches.max(1) * 2 + 16;
+        if sn.0 > self.next_sn.0 + cap as u64 || self.stashed_proposals.len() >= cap {
+            ctx.count("proposals_dropped", 1);
+            return;
+        }
+        ctx.count("proposals_stashed", 1);
+        self.stashed_proposals.insert(sn.0, msg);
+    }
+
+    /// Buffers a COMMIT whose PREPARE has not been processed yet, bounded to
+    /// the same pipeline-depth window as the proposal stash. Commits at or
+    /// below `next_sn` are stale, not early (their prepare either exists or
+    /// was checkpoint-truncated because the slot committed): buffering them
+    /// would pin the stash forever since no future prepare drains them.
+    fn stash_early_commit(&mut self, m: CommitMsg, ctx: &mut Context<XPaxosMsg>) {
+        let cap = self.config.pipeline.max_in_flight_batches.max(1) * 2 + 16;
+        self.early_commits.retain(|sn, _| *sn > self.next_sn.0);
+        if m.sn.0 <= self.next_sn.0
+            || m.sn.0 > self.next_sn.0 + cap as u64
+            || self.early_commits.len() >= cap
+        {
+            ctx.count("commits_dropped", 1);
+            return;
+        }
+        let slot = self.early_commits.entry(m.sn.0).or_default();
+        if !slot.iter().any(|c| c.replica == m.replica) {
+            ctx.count("commits_buffered", 1);
+            slot.push(m);
+        }
+    }
+
+    /// Replays buffered COMMITs for `sn` once its prepare entry exists; the
+    /// replay skips straight past the (already charged) verification step.
+    fn drain_early_commits(&mut self, sn: SeqNum, ctx: &mut Context<XPaxosMsg>) {
+        if let Some(commits) = self.early_commits.remove(&sn.0) {
+            for commit in commits {
+                self.process_commit(commit, ctx);
+            }
+        }
+    }
+
+    /// Replays the stashed proposal for the next expected sequence number, if
+    /// any. Stashed proposals were signature-verified on arrival and the
+    /// stash is cleared on every view change, so replay skips straight to the
+    /// apply step. Each replay ends with another drain call, so a run of
+    /// consecutive stashed proposals is consumed in order.
+    fn drain_stashed(&mut self, ctx: &mut Context<XPaxosMsg>) {
+        let next = self.next_sn.next().0;
+        if let Some(msg) = self.stashed_proposals.remove(&next) {
+            match msg {
+                XPaxosMsg::Prepare(m) => self.apply_prepare(m, ctx),
+                XPaxosMsg::CommitCarry(m) => self.apply_commit_carry(m, ctx),
+                _ => {}
+            }
+        }
+    }
+
     /// General case (t ≥ 2): a follower receives the primary's PREPARE.
     pub(crate) fn on_prepare(
         &mut self,
@@ -247,9 +387,23 @@ impl Replica {
         for _ in &m.client_sigs {
             ctx.charge(CryptoOp::VerifySig);
         }
-        if m.sn != self.next_sn.next() {
-            return; // out-of-order proposal; rely on retransmission / view change
+        if m.sn > self.next_sn.next() {
+            // Ahead of the pipeline: buffer and replay once the gap fills.
+            self.stash_proposal(m.sn, XPaxosMsg::Prepare(m), ctx);
+            return;
         }
+        if m.sn != self.next_sn.next() {
+            return; // stale or duplicate proposal
+        }
+        self.apply_prepare(m, ctx);
+    }
+
+    /// Applies a verified, in-order PREPARE (`m.sn == next_sn + 1`). Split
+    /// from [`Self::on_prepare`] so proposals replayed from the stash —
+    /// already verified on arrival, and invalidated by view changes clearing
+    /// the stash — don't pay (or charge) verification twice.
+    fn apply_prepare(&mut self, m: PrepareMsg, ctx: &mut Context<XPaxosMsg>) {
+        debug_assert_eq!(m.sn, self.next_sn.next());
         self.next_sn = m.sn;
         let batch_digest = m.batch.digest();
         self.prepare_log.insert(PrepareEntry {
@@ -281,7 +435,9 @@ impl Replica {
         for node in self.other_active_nodes(m.view) {
             ctx.send(node, XPaxosMsg::Commit(commit.clone()));
         }
+        self.drain_early_commits(m.sn, ctx);
         self.try_complete_general(m.sn, ctx);
+        self.drain_stashed(ctx);
     }
 
     /// t = 1 fast path: the follower receives the primary's COMMIT carrying the batch.
@@ -307,9 +463,23 @@ impl Replica {
         for _ in &m.client_sigs {
             ctx.charge(CryptoOp::VerifySig);
         }
+        if m.sn > self.next_sn.next() {
+            // Ahead of the pipeline: buffer and replay once the gap fills.
+            self.stash_proposal(m.sn, XPaxosMsg::CommitCarry(m), ctx);
+            return;
+        }
         if m.sn != self.next_sn.next() {
             return;
         }
+        self.apply_commit_carry(m, ctx);
+    }
+
+    /// Applies a verified, in-order COMMIT-CARRY (`m.sn == next_sn + 1`);
+    /// split from [`Self::on_commit_carry`] for the same reason as
+    /// [`Self::apply_prepare`].
+    fn apply_commit_carry(&mut self, m: CommitCarryMsg, ctx: &mut Context<XPaxosMsg>) {
+        debug_assert_eq!(m.sn, self.next_sn.next());
+        let batch_digest = m.batch.digest();
         self.next_sn = m.sn;
         self.prepare_log.insert(PrepareEntry {
             view: m.view,
@@ -353,6 +523,7 @@ impl Replica {
 
         self.maybe_checkpoint(ctx);
         self.lazy_replicate(m.sn, ctx);
+        self.drain_stashed(ctx);
     }
 
     /// COMMIT (digest form): t = 1 completion at the primary, general-case collection,
@@ -365,7 +536,14 @@ impl Replica {
         if m.replica >= self.config.n() {
             return;
         }
+        self.process_commit(m, ctx);
+    }
 
+    /// Applies a verified COMMIT. Split from [`Self::on_commit`] so commits
+    /// replayed from the early-commit buffer — verified (and charged) on
+    /// arrival, and invalidated by view changes clearing the buffer — don't
+    /// charge verification twice.
+    fn process_commit(&mut self, m: CommitMsg, ctx: &mut Context<XPaxosMsg>) {
         // Proof accumulation for an entry that is already committed locally (also used
         // after view changes to rebuild full commit certificates).
         if let Some(existing) = self.commit_log.get(m.sn) {
@@ -386,6 +564,11 @@ impl Replica {
         } else {
             // General case: collect one COMMIT per follower.
             let Some(prep) = self.prepare_log.get(m.sn) else {
+                // With multiple proposals in flight, a peer's COMMIT can
+                // overtake the primary's PREPARE on jittered links. Buffer it
+                // and replay once the prepare lands — dropping it would leave
+                // this replica's commit certificate permanently incomplete.
+                self.stash_early_commit(m, ctx);
                 return;
             };
             if prep.batch.digest() != m.batch_digest || prep.view != m.view {
@@ -429,6 +612,7 @@ impl Replica {
         self.committed_batches += 1;
         self.try_execute(ctx);
         self.maybe_checkpoint(ctx);
+        self.note_batch_committed(ctx);
     }
 
     /// General case: completes the commit of `sn` once every follower's COMMIT arrived.
@@ -455,6 +639,9 @@ impl Replica {
         self.try_execute(ctx);
         self.maybe_checkpoint(ctx);
         self.lazy_replicate(sn, ctx);
+        if self.is_primary_in(self.view) {
+            self.note_batch_committed(ctx);
+        }
     }
 
     // -----------------------------------------------------------------------------
@@ -495,6 +682,19 @@ impl Replica {
 
         let mut digests = Vec::with_capacity(batch.len());
         for req in &batch.requests {
+            // Exactly-once at execution: a retransmitted copy of a request can
+            // be admitted into a later batch while the original is still in
+            // flight. Every replica executes batches in the same total order,
+            // so every replica skips the same duplicates.
+            let already_executed = self
+                .client_table
+                .get(&req.client)
+                .map(|record| record.executed(req.timestamp))
+                .unwrap_or(false);
+            if already_executed {
+                digests.push(Digest::of(b"duplicate-skip"));
+                continue;
+            }
             ctx.charge_ns(self.state.execution_cost_ns(&req.op));
             let payload = self.state.apply(&req.op);
             let rd = Digest::of(&payload);
@@ -513,9 +713,11 @@ impl Replica {
                     None
                 },
             };
-            // Remember the latest reply for duplicate suppression.
+            // Remember recent replies for duplicate suppression.
             self.client_table
-                .insert(req.client, (req.timestamp, reply.clone()));
+                .entry(req.client)
+                .or_default()
+                .record(req.timestamp, reply.clone());
             self.clear_monitor(req.client, req.timestamp, ctx);
 
             // Only active replicas answer clients (passive replicas execute silently).

@@ -18,7 +18,7 @@ use crate::messages::{CommitMsg, ReplyMsg, SignedRequest, XPaxosMsg};
 use crate::state_machine::StateMachine;
 use crate::sync_group::SyncGroups;
 use crate::types::{ClientId, ReplicaId, SeqNum, Timestamp, ViewNumber};
-use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use xft_crypto::{Digest, KeyRegistry, Signature, Signer, Verifier};
 use xft_simnet::{Actor, Context, ControlCode, NodeId, TimerId};
 
@@ -45,6 +45,90 @@ pub enum Phase {
 #[derive(Debug, Default, Clone)]
 pub(crate) struct PendingCommit {
     pub(crate) sigs: BTreeMap<ReplicaId, Signature>,
+}
+
+/// Cached replies per client for exactly-once semantics. With windowed clients
+/// several of a client's requests execute close together — and load shedding
+/// can reorder a single client's timestamps — so the seed's single "latest
+/// timestamp" slot is no longer enough: duplicate suppression must match the
+/// *exact* timestamp, both at admission and at execution.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct ClientRecord {
+    /// Replies to recent requests, pruned to [`CLIENT_REPLY_CACHE`] entries.
+    pub(crate) replies: BTreeMap<Timestamp, ReplyMsg>,
+    /// Every executed timestamp, as merged inclusive ranges (start → end).
+    /// Execution is near-monotone per client (gaps only while shedding
+    /// reorders a client's requests, and they close when the stragglers
+    /// execute), so this stays a handful of entries — and unlike the bounded
+    /// reply cache it is *exact forever*, which is what makes it safe to
+    /// decide "already executed" from: a pruned reply can no longer be
+    /// re-sent, but its request can never be re-executed either.
+    executed_ranges: BTreeMap<u64, u64>,
+}
+
+/// Replies retained per client for re-answering retransmissions. A correct
+/// client bounds its timestamp spread (oldest outstanding to newest issued)
+/// by `MAX_TS_SPREAD = MAX_CLIENT_WINDOW`, so any request it can still
+/// retransmit lies within the last `MAX_CLIENT_WINDOW` executed timestamps —
+/// double that is ample. Executed-ness itself is tracked exactly by
+/// `executed_ranges`, not by this bounded cache, so even a misbehaving
+/// client's ancient duplicate can be swallowed but never re-executed.
+pub(crate) const CLIENT_REPLY_CACHE: usize = 2 * crate::client::MAX_CLIENT_WINDOW;
+
+impl ClientRecord {
+    /// Records the reply for `ts`, pruning the oldest replies past the cap.
+    pub(crate) fn record(&mut self, ts: Timestamp, reply: ReplyMsg) {
+        self.mark_executed(ts);
+        self.replies.insert(ts, reply);
+        while self.replies.len() > CLIENT_REPLY_CACHE {
+            let oldest = *self.replies.keys().next().expect("non-empty cache");
+            self.replies.remove(&oldest);
+        }
+    }
+
+    fn mark_executed(&mut self, ts: Timestamp) {
+        // Extend the predecessor range if `ts` touches it…
+        if let Some((&start, &end)) = self.executed_ranges.range(..=ts).next_back() {
+            if ts <= end {
+                return; // already covered
+            }
+            if end.saturating_add(1) == ts {
+                let merged_end = self.absorb_successor(ts);
+                self.executed_ranges.insert(start, merged_end);
+                return;
+            }
+        }
+        // …otherwise open a new range (possibly fusing with a successor).
+        let merged_end = self.absorb_successor(ts);
+        self.executed_ranges.insert(ts, merged_end);
+    }
+
+    /// Removes a range starting exactly at `ts + 1`, returning the combined
+    /// end (or `ts` when none adjoins).
+    fn absorb_successor(&mut self, ts: Timestamp) -> u64 {
+        let next = ts.saturating_add(1);
+        if let Some((&start, &end)) = self.executed_ranges.range(next..).next() {
+            if start == next {
+                self.executed_ranges.remove(&start);
+                return end;
+            }
+        }
+        ts
+    }
+
+    /// Whether request `ts` has ever been executed.
+    pub(crate) fn executed(&self, ts: Timestamp) -> bool {
+        self.executed_ranges
+            .range(..=ts)
+            .next_back()
+            .map(|(_, &end)| ts <= end)
+            .unwrap_or(false)
+    }
+
+    /// The cached reply for exactly `ts`, if not yet pruned.
+    pub(crate) fn reply_for(&self, ts: Timestamp) -> Option<&ReplyMsg> {
+        self.replies.get(&ts)
+    }
 }
 
 /// Per-view-change bookkeeping (paper Algorithm 3 / 5).
@@ -101,12 +185,29 @@ pub struct Replica {
     pub(crate) state: Box<dyn StateMachine>,
     /// (sn, batch digest) for every executed batch, used by consistency checks.
     pub(crate) executed_history: Vec<(SeqNum, Digest)>,
-    /// Last executed timestamp and cached reply per client (exactly-once semantics).
-    pub(crate) client_table: HashMap<ClientId, (Timestamp, ReplyMsg)>,
+    /// Recently executed timestamps and cached replies per client
+    /// (exactly-once semantics, windowed).
+    pub(crate) client_table: HashMap<ClientId, ClientRecord>,
+    /// Proposals (PREPARE / COMMIT-CARRY) that arrived ahead of the next
+    /// expected sequence number; drained in order as the gap fills (follower
+    /// side of the commit pipeline).
+    pub(crate) stashed_proposals: BTreeMap<u64, XPaxosMsg>,
+    /// COMMITs that arrived before this replica processed the matching
+    /// PREPARE (possible whenever proposals are pipelined over jittered
+    /// links); replayed once the prepare lands.
+    pub(crate) early_commits: BTreeMap<u64, Vec<CommitMsg>>,
 
-    // ---- batching (primary role) ------------------------------------------------
-    pub(crate) pending_requests: Vec<SignedRequest>,
+    // ---- batching pipeline (primary role) ----------------------------------------
+    /// Admission queue: requests accepted but not yet proposed. Bounded by
+    /// `config.pipeline.max_pending_requests`; overflow is shed with BUSY.
+    pub(crate) pending_requests: VecDeque<SignedRequest>,
+    /// Mirror of `pending_requests` keys, so retransmissions of a request
+    /// that is still queued (client re-sends after a suspect or recovery)
+    /// don't occupy additional queue slots or batch capacity.
+    pub(crate) queued_keys: HashSet<(ClientId, Timestamp)>,
     pub(crate) batch_timer: Option<TimerId>,
+    /// Batches proposed in the current view that have not yet committed.
+    pub(crate) proposed_in_flight: usize,
 
     // ---- checkpointing ----------------------------------------------------------
     pub(crate) last_checkpoint: SeqNum,
@@ -161,8 +262,12 @@ impl Replica {
             state,
             executed_history: Vec::new(),
             client_table: HashMap::new(),
-            pending_requests: Vec::new(),
+            stashed_proposals: BTreeMap::new(),
+            early_commits: BTreeMap::new(),
+            pending_requests: VecDeque::new(),
+            queued_keys: HashSet::new(),
             batch_timer: None,
+            proposed_in_flight: 0,
             last_checkpoint: SeqNum(0),
             prechk_votes: BTreeMap::new(),
             chkpt_votes: BTreeMap::new(),
@@ -299,8 +404,9 @@ impl Actor for Replica {
             XPaxosMsg::LazyCheckpoint { proof } => self.on_lazy_checkpoint(proof, ctx),
             XPaxosMsg::LazyReplicate { entries, .. } => self.on_lazy_replicate(entries, ctx),
             XPaxosMsg::FaultDetected(m) => self.on_fault_detected(m, ctx),
-            // Replies and client-directed suspects are never addressed to replicas.
-            XPaxosMsg::Reply(_) | XPaxosMsg::SuspectToClient(_) => {}
+            // Replies, busy notices and client-directed suspects are never
+            // addressed to replicas.
+            XPaxosMsg::Reply(_) | XPaxosMsg::Busy(_) | XPaxosMsg::SuspectToClient(_) => {}
         }
     }
 
@@ -332,11 +438,73 @@ impl Actor for Replica {
         self.phase = Phase::Active;
         self.monitored.clear();
         self.monitored_by_req.clear();
+        // In-flight accounting restarts conservatively: commits for batches
+        // proposed before the crash still drain through the commit log, and
+        // the saturating decrement absorbs the mismatch.
+        self.proposed_in_flight = 0;
+        self.stashed_proposals.clear();
+        self.early_commits.clear();
     }
 
     fn on_control(&mut self, code: ControlCode, _ctx: &mut Context<XPaxosMsg>) {
         if let Some(behavior) = ByzantineBehavior::from_control_code(code) {
             self.behavior = behavior;
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::SeqNum as Sn;
+    use xft_crypto::Digest as D;
+
+    fn reply(ts: Timestamp) -> ReplyMsg {
+        ReplyMsg {
+            view: ViewNumber(0),
+            sn: Sn(ts),
+            timestamp: ts,
+            reply_digest: D::of(&ts.to_le_bytes()),
+            payload: None,
+            replica: 0,
+            follower_commit: None,
+        }
+    }
+
+    #[test]
+    fn client_record_merges_executed_ranges() {
+        let mut r = ClientRecord::default();
+        for ts in [1, 2, 3, 7, 5, 6, 4] {
+            r.record(ts, reply(ts));
+        }
+        // Out-of-order execution collapses into one contiguous range.
+        assert_eq!(r.executed_ranges, BTreeMap::from([(1, 7)]));
+        assert!(r.executed(1) && r.executed(7));
+        assert!(!r.executed(0) && !r.executed(8));
+    }
+
+    #[test]
+    fn client_record_executedness_survives_reply_pruning() {
+        let mut r = ClientRecord::default();
+        for ts in 1..=(CLIENT_REPLY_CACHE as u64 + 50) {
+            r.record(ts, reply(ts));
+        }
+        assert_eq!(r.replies.len(), CLIENT_REPLY_CACHE);
+        // The oldest replies were pruned…
+        assert!(r.reply_for(1).is_none());
+        // …but their requests can never be re-admitted.
+        assert!(r.executed(1));
+        assert_eq!(r.executed_ranges.len(), 1);
+    }
+
+    #[test]
+    fn client_record_tracks_gaps_until_they_close() {
+        let mut r = ClientRecord::default();
+        r.record(1, reply(1));
+        r.record(3, reply(3));
+        assert!(!r.executed(2), "the shed request is still admissible");
+        assert_eq!(r.executed_ranges.len(), 2);
+        r.record(2, reply(2));
+        assert_eq!(r.executed_ranges, BTreeMap::from([(1, 3)]));
     }
 }

@@ -92,6 +92,12 @@ impl Replica {
             ctx.cancel_timer(t);
         }
         self.pending_commits.clear();
+        // Proposals in flight in the old view either survive into the new view
+        // through the log transfer or are re-proposed after client
+        // retransmission; the pipeline restarts empty either way.
+        self.proposed_in_flight = 0;
+        self.stashed_proposals.clear();
+        self.early_commits.clear();
         ctx.count("view_changes_started", 1);
 
         // Build and send our VIEW-CHANGE message to the active replicas of the target

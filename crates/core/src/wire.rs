@@ -15,9 +15,9 @@
 
 use crate::log::{CommitEntry, PrepareEntry};
 use crate::messages::{
-    CheckpointMsg, CommitCarryMsg, CommitMsg, DetectedFaultKind, FaultDetectedMsg, NewViewMsg,
-    PrepareMsg, ReplyMsg, SignedRequest, SuspectMsg, VcConfirmMsg, VcFinalMsg, ViewChangeMsg,
-    XPaxosMsg,
+    BusyMsg, CheckpointMsg, CommitCarryMsg, CommitMsg, DetectedFaultKind, FaultDetectedMsg,
+    NewViewMsg, PrepareMsg, ReplyMsg, SignedRequest, SuspectMsg, VcConfirmMsg, VcFinalMsg,
+    ViewChangeMsg, XPaxosMsg,
 };
 use crate::types::{Batch, ClientId, Request, SeqNum, ViewNumber};
 use bytes::{BufMut, Reader};
@@ -43,6 +43,7 @@ mod tag {
     pub const LAZY_REPLICATE: u8 = 14;
     pub const FAULT_DETECTED: u8 = 15;
     pub const SUSPECT_TO_CLIENT: u8 = 16;
+    pub const BUSY: u8 = 17;
 }
 
 macro_rules! newtype_u64_codec {
@@ -186,6 +187,24 @@ impl WireDecode for ReplyMsg {
             payload: WireDecode::decode_from(r)?,
             replica: decode_replica(r)?,
             follower_commit: WireDecode::decode_from(r)?,
+        })
+    }
+}
+
+impl WireEncode for BusyMsg {
+    fn encode_into(&self, out: &mut impl BufMut) {
+        self.view.encode_into(out);
+        self.timestamp.encode_into(out);
+        encode_replica(self.replica, out);
+    }
+}
+
+impl WireDecode for BusyMsg {
+    fn decode_from(r: &mut Reader<'_>) -> Option<Self> {
+        Some(BusyMsg {
+            view: WireDecode::decode_from(r)?,
+            timestamp: WireDecode::decode_from(r)?,
+            replica: decode_replica(r)?,
         })
     }
 }
@@ -370,6 +389,7 @@ impl WireEncode for XPaxosMsg {
             }
             XPaxosMsg::FaultDetected(m) => (tag::FAULT_DETECTED, m).encode_into(out),
             XPaxosMsg::SuspectToClient(m) => (tag::SUSPECT_TO_CLIENT, m).encode_into(out),
+            XPaxosMsg::Busy(m) => (tag::BUSY, m).encode_into(out),
         }
     }
 }
@@ -398,6 +418,7 @@ impl WireDecode for XPaxosMsg {
             }
             tag::FAULT_DETECTED => XPaxosMsg::FaultDetected(WireDecode::decode_from(r)?),
             tag::SUSPECT_TO_CLIENT => XPaxosMsg::SuspectToClient(WireDecode::decode_from(r)?),
+            tag::BUSY => XPaxosMsg::Busy(WireDecode::decode_from(r)?),
             _ => return None,
         })
     }
@@ -539,6 +560,11 @@ mod tests {
             view: ViewNumber(5),
             replica: 1,
             signature: sig(1),
+        }));
+        round_trip(XPaxosMsg::Busy(BusyMsg {
+            view: ViewNumber(3),
+            timestamp: 42,
+            replica: 0,
         }));
     }
 

@@ -10,6 +10,8 @@
 
 use crate::ops::KvOp;
 use bytes::Bytes;
+use xft_core::client::ClientWorkload;
+use xft_simnet::SimDuration;
 
 /// A sequential create under the root, the always-succeeding write the
 /// macro-benchmark issues: each application creates a fresh znode
@@ -22,6 +24,21 @@ pub fn bench_create_op(client: u64, payload: usize) -> Bytes {
         sequential: true,
     }
     .encode()
+}
+
+/// The saturating create workload shared by the simulator's clients, the
+/// `xpaxos-client` workers and the loopback integration tests: `ops`
+/// sequential znode creates of `payload` bytes with zero think time. The
+/// client's request *window* comes from the cluster's
+/// `XPaxosConfig::pipeline`, so the same workload drives closed-loop
+/// (window 1) and open-loop (window > 1) runs.
+pub fn bench_workload(client: u64, payload: usize, ops: Option<u64>) -> ClientWorkload {
+    ClientWorkload {
+        payload_size: payload,
+        requests: ops,
+        think_time: SimDuration::ZERO,
+        op_bytes: Some(bench_create_op(client, payload)),
+    }
 }
 
 /// An overwrite of a client-owned znode (ZooKeeper `setData`), the paper's

@@ -90,12 +90,31 @@ impl Bencher<'_> {
 pub struct Stats {
     /// Fastest sample.
     pub min: Duration,
-    /// Median sample.
+    /// Median sample (the 50th percentile).
     pub median: Duration,
     /// Arithmetic mean.
     pub mean: Duration,
+    /// 90th percentile (nearest-rank).
+    pub p90: Duration,
     /// 99th percentile (nearest-rank).
     pub p99: Duration,
+}
+
+impl Stats {
+    /// The 50th percentile — an alias for [`Stats::median`], so callers
+    /// reporting p50/p90/p99 columns read uniformly.
+    pub fn p50(&self) -> Duration {
+        self.median
+    }
+}
+
+/// Percentile of a sorted sample set, using the same rounded-rank convention
+/// as `xft_simnet::stats::percentile` (`round((n − 1) · q)`), so the p50/p90/
+/// p99 columns printed by the binaries match the simulator's metrics for
+/// identical data.
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
 }
 
 /// Summarizes samples (sorting them in place); `None` when empty.
@@ -106,12 +125,12 @@ pub fn summarize(samples: &mut [Duration]) -> Option<Stats> {
     samples.sort_unstable();
     let n = samples.len();
     let total: Duration = samples.iter().sum();
-    let p99_idx = ((n as f64 * 0.99).ceil() as usize).clamp(1, n) - 1;
     Some(Stats {
         min: samples[0],
-        median: samples[n / 2],
+        median: percentile(samples, 0.50),
         mean: total / n as u32,
-        p99: samples[p99_idx],
+        p90: percentile(samples, 0.90),
+        p99: percentile(samples, 0.99),
     })
 }
 
@@ -153,10 +172,11 @@ fn report(name: &str, throughput: Option<Throughput>, samples: &mut Vec<Duration
                 .map(|t| format!("  [{}]", fmt_throughput(t, s.median)))
                 .unwrap_or_default();
             println!(
-                "bench: {name:<40} min {:>10}  median {:>10}  mean {:>10}  p99 {:>10}{tp}",
+                "bench: {name:<40} min {:>10}  median {:>10}  mean {:>10}  p90 {:>10}  p99 {:>10}{tp}",
                 fmt_duration(s.min),
                 fmt_duration(s.median),
                 fmt_duration(s.mean),
+                fmt_duration(s.p90),
                 fmt_duration(s.p99),
             );
         }
@@ -334,8 +354,12 @@ mod tests {
         let mut samples: Vec<Duration> = (1..=100u64).map(Duration::from_micros).collect();
         let s = summarize(&mut samples).unwrap();
         assert_eq!(s.min, Duration::from_micros(1));
-        assert!(s.median <= s.p99);
+        assert!(s.median <= s.p90);
+        assert!(s.p90 <= s.p99);
         assert!(s.min <= s.median);
+        assert_eq!(s.p50(), s.median);
+        assert_eq!(s.p90, Duration::from_micros(90));
+        assert_eq!(s.p99, Duration::from_micros(99));
     }
 
     #[test]

@@ -1,46 +1,120 @@
-//! `xpaxos-client` — a closed-loop client driving a live XPaxos cluster with
-//! coordination-service writes and reporting throughput/latency.
+//! `xpaxos-client` — windowed clients driving a live XPaxos cluster with
+//! coordination-service writes and reporting throughput/latency percentiles.
 //!
 //! ```text
-//! xpaxos-client --id 0 --t 1 --clients 1 \
-//!     --addrs 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7010 \
-//!     --ops 100 [--payload 1024] [--seed 1] [--delta-ms 500] \
+//! xpaxos-client --t 1 --clients 4 --window 8 \
+//!     --addrs <replica addrs>,<client addrs> \
+//!     --ops 1000 [--id 0] [--payload 1024] [--seed 1] [--delta-ms 500] \
 //!     [--retransmit-ms 2000] [--timeout-secs 60]
 //! ```
 //!
-//! `--id` is the client index (node id `2t + 1 + id`). The client issues
-//! `--ops` sequential-create operations of `--payload` bytes against the
-//! replicated ZooKeeper-like service, waits for each commit, then prints
-//! `xft-microbench` latency statistics and exits 0. A cluster that fails to
+//! Without `--id` the binary spawns **all** `--clients` windowed workers
+//! (client `i` on node `2t + 1 + i`), each keeping `--window` requests in
+//! flight; with `--id i` it runs only worker `i` (the original one-process-
+//! per-client deployment). Each worker issues `--ops` sequential-create
+//! operations of `--payload` bytes against the replicated ZooKeeper-like
+//! service; the binary prints aggregate throughput plus p50/p90/p99 latency
+//! and exits 0 once every worker commits its target. A cluster that fails to
 //! commit the target within `--timeout-secs` exits 1.
 
 use std::net::TcpListener;
 use std::process::exit;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use xft_core::client::{Client, ClientWorkload};
+use xft_core::client::Client;
 use xft_core::types::ClientId;
 use xft_core::XPaxosConfig;
 use xft_crypto::KeyRegistry;
-use xft_kvstore::workload::bench_create_op;
+use xft_kvstore::workload::bench_workload;
 use xft_net::cli::Args;
 use xft_net::{
     parse_node_addrs, register_cluster_keys, AddressBook, NetConfig, StartMode, TcpRuntime,
 };
-use xft_simnet::SimDuration;
+use xft_simnet::{PipelineConfig, SimDuration};
+
+/// One worker's outcome: requests committed and their wall-clock latencies.
+struct WorkerResult {
+    committed: u64,
+    latencies: Vec<Duration>,
+}
+
+/// Runs one windowed client to completion (or the shared deadline).
+#[allow(clippy::too_many_arguments)]
+fn run_worker(
+    id: usize,
+    config: XPaxosConfig,
+    registry: Arc<KeyRegistry>,
+    book: Arc<AddressBook>,
+    ops: u64,
+    payload: usize,
+    seed: u64,
+    deadline: Instant,
+) -> WorkerResult {
+    let n = config.n();
+    let node = n + id;
+    let workload = bench_workload(id as u64, payload, Some(ops));
+    let client = Client::new(ClientId(id as u64), config, &registry, workload);
+    let listener = match TcpListener::bind(book.get(node).expect("client addr published")) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("xpaxos-client: worker {id} cannot bind: {e}");
+            return WorkerResult {
+                committed: 0,
+                latencies: Vec::new(),
+            };
+        }
+    };
+    let mut runtime = match TcpRuntime::start(
+        client,
+        node,
+        book,
+        listener,
+        NetConfig {
+            seed: seed ^ 0xC11E47 ^ (id as u64) << 8,
+            ..NetConfig::default()
+        },
+        StartMode::Fresh,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xpaxos-client: worker {id} start failed: {e}");
+            return WorkerResult {
+                committed: 0,
+                latencies: Vec::new(),
+            };
+        }
+    };
+    let handle = runtime.handle();
+    while handle.committed() < ops && Instant::now() < deadline {
+        runtime.run_for(Duration::from_millis(100));
+    }
+    let committed = handle.committed();
+    let latencies = handle.latencies();
+    runtime.shutdown();
+    WorkerResult {
+        committed,
+        latencies,
+    }
+}
 
 fn main() {
     let mut args = Args::parse();
-    let id: usize = args.required("--id");
     let t: usize = args.required("--t");
     let clients: usize = args.required("--clients");
     let addrs_raw: String = args.required("--addrs");
     let ops: u64 = args.required("--ops");
+    let only_id: Option<usize> = args.optional("--id");
+    let window: usize = args.optional("--window").unwrap_or(1);
     let payload: usize = args.optional("--payload").unwrap_or(1024);
     let seed: u64 = args.optional("--seed").unwrap_or(1);
     let delta_ms: u64 = args.optional("--delta-ms").unwrap_or(500);
     let retransmit_ms: u64 = args.optional("--retransmit-ms").unwrap_or(2000);
     let timeout_secs: u64 = args.optional("--timeout-secs").unwrap_or(60);
+    // Accepted for flag-list parity with xpaxos-server; only the servers act
+    // on them.
+    let _max_in_flight: Option<usize> = args.optional("--max-in-flight");
+    let _adaptive: Option<u64> = args.optional("--adaptive");
+    let _max_pending: Option<usize> = args.optional("--max-pending");
     args.finish();
 
     let addrs = match parse_node_addrs(&addrs_raw) {
@@ -52,11 +126,14 @@ fn main() {
     };
     let config = XPaxosConfig::new(t, clients)
         .with_delta(SimDuration::from_millis(delta_ms))
-        .with_client_retransmit(SimDuration::from_millis(retransmit_ms));
+        .with_client_retransmit(SimDuration::from_millis(retransmit_ms))
+        .with_pipeline(PipelineConfig::default().with_client_window(window));
     let n = config.n();
-    if id >= clients {
-        eprintln!("xpaxos-client: --id {id} out of range for --clients {clients}");
-        exit(2);
+    if let Some(id) = only_id {
+        if id >= clients {
+            eprintln!("xpaxos-client: --id {id} out of range for --clients {clients}");
+            exit(2);
+        }
     }
     if addrs.len() != n + clients {
         eprintln!(
@@ -66,72 +143,59 @@ fn main() {
         );
         exit(2);
     }
-    let node = n + id;
 
     let registry = KeyRegistry::new(seed ^ 0x5eed);
     register_cluster_keys(&registry, &config);
-    let workload = ClientWorkload {
-        payload_size: payload,
-        requests: Some(ops),
-        think_time: SimDuration::ZERO,
-        op_bytes: Some(bench_create_op(id as u64, payload)),
-    };
-    let client = Client::new(ClientId(id as u64), config, &registry, workload);
-
     let book = AddressBook::from_ordered(&addrs);
-    let listener = match TcpListener::bind(addrs[node]) {
-        Ok(l) => l,
-        Err(e) => {
-            eprintln!("xpaxos-client: cannot bind {}: {e}", addrs[node]);
-            exit(1);
-        }
+
+    let worker_ids: Vec<usize> = match only_id {
+        Some(id) => vec![id],
+        None => (0..clients).collect(),
     };
-    let mut runtime = match TcpRuntime::start(
-        client,
-        node,
-        Arc::clone(&book),
-        listener,
-        NetConfig {
-            seed: seed ^ 0xC11E47,
-            ..NetConfig::default()
-        },
-        StartMode::Fresh,
-    ) {
-        Ok(r) => r,
-        Err(e) => {
-            eprintln!("xpaxos-client: start failed: {e}");
-            exit(1);
-        }
-    };
+    let total_target = ops * worker_ids.len() as u64;
     eprintln!(
-        "xpaxos-client: client {id} (node {node}) on {}, targeting {ops} ops of {payload} B",
-        runtime.local_addr()
+        "xpaxos-client: {} worker(s), window {window}, targeting {ops} ops of {payload} B each",
+        worker_ids.len()
     );
 
-    let handle = runtime.handle();
     let started = Instant::now();
     let deadline = started + Duration::from_secs(timeout_secs);
-    while handle.committed() < ops && Instant::now() < deadline {
-        runtime.run_for(Duration::from_millis(100));
+    let handles: Vec<std::thread::JoinHandle<WorkerResult>> = worker_ids
+        .into_iter()
+        .map(|id| {
+            let config = config.clone();
+            let registry = Arc::clone(&registry);
+            let book = Arc::clone(&book);
+            std::thread::Builder::new()
+                .name(format!("client-{id}"))
+                .spawn(move || run_worker(id, config, registry, book, ops, payload, seed, deadline))
+                .expect("spawn client worker")
+        })
+        .collect();
+
+    let mut committed = 0u64;
+    let mut latencies: Vec<Duration> = Vec::new();
+    for handle in handles {
+        let result = handle.join().expect("client worker panicked");
+        committed += result.committed;
+        latencies.extend(result.latencies);
     }
     let elapsed = started.elapsed();
-    let committed = handle.committed();
-    let mut latencies = handle.latencies();
-    runtime.shutdown();
 
     let throughput = committed as f64 / elapsed.as_secs_f64().max(1e-9);
     println!(
-        "xpaxos-client: committed {committed}/{ops} ops in {:.2} s ({throughput:.1} ops/s)",
+        "xpaxos-client: committed {committed}/{total_target} ops in {:.2} s ({throughput:.1} ops/s)",
         elapsed.as_secs_f64()
     );
     if let Some(stats) = criterion::summarize(&mut latencies) {
         println!(
-            "xpaxos-client: latency min {}  median {}  mean {}  p99 {}",
+            "xpaxos-client: latency min {}  mean {}  p50 {}  p90 {}  p99 {}",
             criterion::fmt_duration(stats.min),
-            criterion::fmt_duration(stats.median),
             criterion::fmt_duration(stats.mean),
+            criterion::fmt_duration(stats.p50()),
+            criterion::fmt_duration(stats.p90),
             criterion::fmt_duration(stats.p99),
         );
     }
-    exit(if committed >= ops { 0 } else { 1 });
+    exit(if committed >= total_target { 0 } else { 1 });
 }

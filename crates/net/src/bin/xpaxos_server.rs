@@ -4,13 +4,20 @@
 //! ```text
 //! xpaxos-server --id 0 --t 1 --clients 1 \
 //!     --addrs 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7010 \
-//!     [--seed 1] [--delta-ms 500] [--retransmit-ms 2000] [--run-secs 0]
+//!     [--seed 1] [--delta-ms 500] [--retransmit-ms 2000] [--run-secs 0] \
+//!     [--window 1] [--max-in-flight 8] [--adaptive 1] [--max-pending 4096]
 //! ```
 //!
 //! `--addrs` lists every node of the cluster in node-id order: the `2t + 1`
 //! replicas first, then the clients. All processes must be launched with the
 //! same `--t/--clients/--addrs/--seed/--delta-ms` so they agree on membership,
 //! keys and timeouts. `--run-secs 0` runs until killed.
+//!
+//! The pipeline knobs mirror `xft_simnet::PipelineConfig`: `--max-in-flight`
+//! bounds how many batches the primary keeps in flight, `--adaptive 0`
+//! restores the seed's always-wait batch timer, `--max-pending` bounds the
+//! admission queue (overflow is shed with BUSY), and `--window` is accepted
+//! so all cluster processes can share one flag list.
 
 use std::net::TcpListener;
 use std::process::exit;
@@ -24,7 +31,7 @@ use xft_net::cli::Args;
 use xft_net::{
     parse_node_addrs, register_cluster_keys, AddressBook, NetConfig, StartMode, TcpRuntime,
 };
-use xft_simnet::SimDuration;
+use xft_simnet::{PipelineConfig, SimDuration};
 
 fn main() {
     let mut args = Args::parse();
@@ -36,7 +43,17 @@ fn main() {
     let delta_ms: u64 = args.optional("--delta-ms").unwrap_or(500);
     let retransmit_ms: u64 = args.optional("--retransmit-ms").unwrap_or(2000);
     let run_secs: u64 = args.optional("--run-secs").unwrap_or(0);
+    let window: usize = args.optional("--window").unwrap_or(1);
+    let max_in_flight: usize = args.optional("--max-in-flight").unwrap_or(8);
+    let adaptive: u64 = args.optional("--adaptive").unwrap_or(1);
+    let max_pending: usize = args.optional("--max-pending").unwrap_or(4096);
     args.finish();
+
+    let pipeline = PipelineConfig::default()
+        .with_client_window(window)
+        .with_max_in_flight(max_in_flight)
+        .with_adaptive_timeout(adaptive != 0)
+        .with_max_pending(max_pending);
 
     let addrs = match parse_node_addrs(&addrs_raw) {
         Ok(a) => a,
@@ -47,7 +64,8 @@ fn main() {
     };
     let config = XPaxosConfig::new(t, clients)
         .with_delta(SimDuration::from_millis(delta_ms))
-        .with_client_retransmit(SimDuration::from_millis(retransmit_ms));
+        .with_client_retransmit(SimDuration::from_millis(retransmit_ms))
+        .with_pipeline(pipeline);
     let n = config.n();
     if id >= n {
         eprintln!("xpaxos-server: --id {id} out of range for t = {t} (n = {n})");

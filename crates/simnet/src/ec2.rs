@@ -208,9 +208,9 @@ mod tests {
     #[test]
     fn matrix_is_symmetric() {
         let m = ec2_rtt_matrix();
-        for a in 0..8 {
-            for b in 0..8 {
-                assert_eq!(m[a][b], m[b][a], "asymmetry at ({a},{b})");
+        for (a, row) in m.iter().enumerate() {
+            for (b, cell) in row.iter().enumerate() {
+                assert_eq!(*cell, m[b][a], "asymmetry at ({a},{b})");
             }
         }
     }

@@ -30,6 +30,7 @@ pub mod fault;
 pub mod latency;
 pub mod metrics;
 pub mod network;
+pub mod pipeline;
 pub mod rng;
 pub mod runtime;
 pub mod sim;
@@ -41,8 +42,9 @@ pub use actor::{Actor, Context, ControlCode, NodeId, SimMessage, TimerId};
 pub use ec2::{ec2_latency_model, ec2_rtt_matrix, recommended_delta_ms, Region};
 pub use fault::{FaultEvent, FaultScript};
 pub use latency::{ConstantLatency, LatencyModel, RegionLatencyModel, RttStats, UniformLatency};
-pub use metrics::{MetricEvent, Metrics};
+pub use metrics::{LatencySummary, MetricEvent, Metrics};
 pub use network::{Bandwidth, Network, SendOutcome};
+pub use pipeline::PipelineConfig;
 pub use actor::{OutboundMessage, TimerOp};
 pub use rng::SimRng;
 pub use runtime::{ActorDriver, ActorEvent, Runtime, StepEffects};

@@ -34,6 +34,23 @@ pub enum MetricEvent {
     },
 }
 
+/// End-to-end latency percentiles of one run, in milliseconds.
+///
+/// Mirrors the `p50/p90/p99` summary reported by `xft-microbench` so the
+/// simulator's metrics and the live binaries' wall-clock reports carry the
+/// same columns.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Arithmetic mean.
+    pub mean_ms: f64,
+    /// Median (50th percentile).
+    pub p50_ms: f64,
+    /// 90th percentile.
+    pub p90_ms: f64,
+    /// 99th percentile.
+    pub p99_ms: f64,
+}
+
 /// Aggregated metrics for one simulation run.
 #[derive(Debug, Clone, Default)]
 pub struct Metrics {
@@ -139,6 +156,24 @@ impl Metrics {
             .map(|(_, l, _)| l.as_millis_f64())
             .collect();
         mean(&values)
+    }
+
+    /// Mean / p50 / p90 / p99 latency summary; `None` when nothing committed.
+    pub fn latency_summary(&self) -> Option<LatencySummary> {
+        if self.commits.is_empty() {
+            return None;
+        }
+        let values: Vec<f64> = self
+            .commits
+            .iter()
+            .map(|(_, l, _)| l.as_millis_f64())
+            .collect();
+        Some(LatencySummary {
+            mean_ms: mean(&values),
+            p50_ms: percentile(&values, 0.50),
+            p90_ms: percentile(&values, 0.90),
+            p99_ms: percentile(&values, 0.99),
+        })
     }
 
     /// Average commit throughput over a window, in operations per second.
@@ -290,5 +325,18 @@ mod tests {
         }
         assert!((m.latency_percentile_ms(0.5) - 50.0).abs() <= 1.0);
         assert!((m.latency_percentile_ms(1.0) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_summary_orders_quantiles() {
+        let mut m = Metrics::new(1);
+        assert!(m.latency_summary().is_none());
+        for i in 1..=100 {
+            commit_at(&mut m, i as f64, i as f64);
+        }
+        let s = m.latency_summary().expect("commits exist");
+        assert!(s.p50_ms <= s.p90_ms && s.p90_ms <= s.p99_ms);
+        assert!((s.mean_ms - 50.5).abs() < 1e-9);
+        assert!((s.p90_ms - 90.0).abs() <= 1.0);
     }
 }

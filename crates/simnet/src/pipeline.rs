@@ -1,0 +1,114 @@
+//! Request-path pipelining knobs shared by every runtime backend.
+//!
+//! The same [`PipelineConfig`] travels through the simulator's
+//! [`SimConfig`](crate::sim::SimConfig), protocol configurations built on top
+//! of it, and the deployment CLIs, so a pipelined experiment means the same
+//! thing on every backend:
+//!
+//! * **`client_window`** — how many requests each client keeps outstanding.
+//!   `1` is the classical closed loop of the paper's micro-benchmarks; larger
+//!   windows turn the client into an open-loop load generator with bounded
+//!   in-flight work.
+//! * **`max_in_flight_batches`** — how many sequence numbers the primary may
+//!   have proposed but not yet committed. `1` is stop-and-wait agreement;
+//!   larger values overlap agreement rounds (pipelining).
+//! * **`adaptive_timeout`** — when set, the primary proposes a partial batch
+//!   *immediately* whenever the pipeline is empty instead of waiting out the
+//!   batch timer; batches then form naturally only while the pipe is busy.
+//!   This removes the batch-timeout latency floor for light load without
+//!   giving up batching under heavy load.
+//! * **`max_pending_requests`** — bound on the primary's admission queue;
+//!   requests beyond it are shed with a typed busy reply so open-loop clients
+//!   cannot exhaust replica memory.
+
+/// Tuning knobs of the windowed request pipeline (clients and primary).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipelineConfig {
+    /// Batches the primary may have proposed but not yet committed (≥ 1).
+    pub max_in_flight_batches: usize,
+    /// Requests each client keeps outstanding (≥ 1; 1 = closed loop).
+    pub client_window: usize,
+    /// Propose partial batches immediately while the pipeline is empty.
+    pub adaptive_timeout: bool,
+    /// Bound on the primary's admission queue; overflow is shed with a BUSY
+    /// reply.
+    pub max_pending_requests: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            max_in_flight_batches: 8,
+            client_window: 1,
+            adaptive_timeout: true,
+            max_pending_requests: 4096,
+        }
+    }
+}
+
+impl PipelineConfig {
+    /// The seed's stop-and-wait behaviour: one outstanding request per client,
+    /// one batch at a time, every partial batch waits out the batch timer.
+    pub fn stop_and_wait() -> Self {
+        PipelineConfig {
+            max_in_flight_batches: 1,
+            client_window: 1,
+            adaptive_timeout: false,
+            max_pending_requests: 4096,
+        }
+    }
+
+    /// Sets the client window (clamped to ≥ 1).
+    pub fn with_client_window(mut self, window: usize) -> Self {
+        self.client_window = window.max(1);
+        self
+    }
+
+    /// Sets the maximum number of in-flight batches (clamped to ≥ 1).
+    pub fn with_max_in_flight(mut self, batches: usize) -> Self {
+        self.max_in_flight_batches = batches.max(1);
+        self
+    }
+
+    /// Enables or disables adaptive batch timeouts.
+    pub fn with_adaptive_timeout(mut self, enabled: bool) -> Self {
+        self.adaptive_timeout = enabled;
+        self
+    }
+
+    /// Sets the admission-queue bound (clamped to ≥ 1).
+    pub fn with_max_pending(mut self, bound: usize) -> Self {
+        self.max_pending_requests = bound.max(1);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_pipelined_and_stop_and_wait_is_not() {
+        let d = PipelineConfig::default();
+        assert!(d.max_in_flight_batches > 1);
+        assert_eq!(d.client_window, 1);
+        assert!(d.adaptive_timeout);
+
+        let s = PipelineConfig::stop_and_wait();
+        assert_eq!(s.max_in_flight_batches, 1);
+        assert!(!s.adaptive_timeout);
+    }
+
+    #[test]
+    fn builders_clamp_to_one() {
+        let p = PipelineConfig::default()
+            .with_client_window(0)
+            .with_max_in_flight(0)
+            .with_max_pending(0)
+            .with_adaptive_timeout(false);
+        assert_eq!(p.client_window, 1);
+        assert_eq!(p.max_in_flight_batches, 1);
+        assert_eq!(p.max_pending_requests, 1);
+        assert!(!p.adaptive_timeout);
+    }
+}

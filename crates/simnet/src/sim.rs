@@ -15,6 +15,7 @@ use crate::fault::{FaultEvent, FaultScript};
 use crate::latency::LatencyModel;
 use crate::metrics::Metrics;
 use crate::network::{Bandwidth, Network, SendOutcome};
+use crate::pipeline::PipelineConfig;
 use crate::rng::SimRng;
 use crate::runtime::{ActorDriver, ActorEvent, Runtime};
 use crate::time::{SimDuration, SimTime};
@@ -36,6 +37,11 @@ pub struct SimConfig {
     pub cores_per_node: u32,
     /// Record every message transmission in the trace.
     pub trace_messages: bool,
+    /// The request-path pipelining knobs in effect for this run. The
+    /// simulator core doesn't consume them (actors read their own protocol
+    /// config); cluster builders record them here so every backend's run
+    /// configuration carries the same knob set and tooling can introspect it.
+    pub pipeline: PipelineConfig,
 }
 
 impl Default for SimConfig {
@@ -45,6 +51,7 @@ impl Default for SimConfig {
             cost_model: CostModel::paper_default(),
             cores_per_node: 8, // the paper's EC2 VMs have 8 vCPUs
             trace_messages: false,
+            pipeline: PipelineConfig::default(),
         }
     }
 }
@@ -551,6 +558,7 @@ mod tests {
             cost_model: CostModel::free(),
             cores_per_node: 1,
             trace_messages: trace,
+            ..SimConfig::default()
         };
         Simulation::new(
             config,
@@ -635,6 +643,7 @@ mod tests {
                 cost_model: CostModel::paper_default(),
                 cores_per_node: 2,
                 trace_messages: false,
+                ..SimConfig::default()
             };
             let mut s: Simulation<PingPong> = Simulation::new(
                 config,
@@ -687,6 +696,7 @@ mod tests {
             cost_model: CostModel::free(),
             cores_per_node: 1,
             trace_messages: false,
+            ..SimConfig::default()
         };
         let mut s: Simulation<Busy> = Simulation::new(
             config,

@@ -8,38 +8,68 @@
 //!
 //! ```console
 //! $ cargo run --release --example loopback_sim
+//! $ cargo run --release --example loopback_sim -- --clients 4 --window 8
+//! $ cargo run --release --example loopback_sim -- --stop-and-wait
 //! ```
+//!
+//! `--clients N` / `--window K` mirror the `xpaxos-client` flags;
+//! `--stop-and-wait` restores the seed's request path (window 1, one batch in
+//! flight, always-wait batch timer) for before/after comparison.
 
-use xft::core::client::ClientWorkload;
 use xft::core::harness::{ClusterBuilder, LatencySpec};
-use xft::kvstore::workload::bench_create_op;
+use xft::kvstore::workload::bench_workload;
 use xft::kvstore::CoordinationService;
-use xft::simnet::SimDuration;
+use xft::simnet::{PipelineConfig, SimDuration};
+
+fn flag_value(name: &str) -> Option<usize> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
 
 fn main() {
     const OPS: u64 = 1000;
     const PAYLOAD: usize = 1024;
-    let mut cluster = ClusterBuilder::new(1, 1)
+    let clients = flag_value("--clients").unwrap_or(1).max(1);
+    let stop_and_wait = std::env::args().any(|a| a == "--stop-and-wait");
+    let pipeline = if stop_and_wait {
+        PipelineConfig::stop_and_wait()
+    } else {
+        PipelineConfig::default().with_client_window(flag_value("--window").unwrap_or(1).max(1))
+    };
+    let window = pipeline.client_window;
+
+    let mut cluster = ClusterBuilder::new(1, clients)
         // Loopback RTTs are tens of microseconds; 25 µs one-way approximates it.
         .with_latency(LatencySpec::Constant(SimDuration::from_micros(25)))
-        .with_workload(ClientWorkload {
-            payload_size: PAYLOAD,
-            requests: Some(OPS),
-            think_time: SimDuration::ZERO,
-            op_bytes: Some(bench_create_op(0, PAYLOAD)),
-        })
+        // Per-client op bytes, exactly as `xpaxos-client` parameterizes its
+        // workers.
+        .with_workload_factory(|c| bench_workload(c as u64, PAYLOAD, Some(OPS)))
         .with_state_machine(|| Box::new(CoordinationService::new()))
+        .with_pipeline(pipeline)
         .build();
     cluster.run_for(SimDuration::from_secs(60));
 
     let committed = cluster.total_committed();
+    let target = OPS * clients as u64;
     let metrics = cluster.sim.metrics();
-    let mean_ms = metrics.mean_latency_ms();
     let last = metrics.commit_times_secs().last().copied().unwrap_or(0.0);
-    println!("simnet loopback twin: committed {committed}/{OPS} ops of {PAYLOAD} B");
     println!(
-        "simnet loopback twin: {:.1} ops/s closed-loop, mean latency {mean_ms:.2} ms",
+        "simnet loopback twin: committed {committed}/{target} ops of {PAYLOAD} B \
+         ({clients} client(s), window {window}{})",
+        if stop_and_wait { ", stop-and-wait" } else { "" }
+    );
+    println!(
+        "simnet loopback twin: {:.1} ops/s",
         committed as f64 / last.max(1e-9)
     );
+    if let Some(s) = metrics.latency_summary() {
+        println!(
+            "simnet loopback twin: latency mean {:.2} ms  p50 {:.2} ms  p90 {:.2} ms  p99 {:.2} ms",
+            s.mean_ms, s.p50_ms, s.p90_ms, s.p99_ms
+        );
+    }
     cluster.check_total_order().expect("total order holds");
 }

@@ -17,6 +17,9 @@ cargo test -q --offline
 echo "==> benches, bins and examples compile"
 cargo build --offline --all-targets
 
+echo "==> clippy stays warning-clean"
+cargo clippy --workspace --offline --all-targets -- -D warnings
+
 echo "==> docs stay warning-clean"
 doc_log=$(cargo doc --offline --no-deps 2>&1) || {
     echo "$doc_log"
@@ -52,5 +55,29 @@ smoke() {
     [ "$ok" = 1 ]
 }
 smoke $((20000 + RANDOM % 20000)) || smoke $((20000 + RANDOM % 20000))
+
+echo "==> pipelined loopback smoke: 3 xpaxos-servers + 4 windowed clients"
+smoke_pipelined() {
+    local base=$1 ops=50
+    local addrs="127.0.0.1:${base},127.0.0.1:$((base + 1)),127.0.0.1:$((base + 2))"
+    addrs="${addrs},127.0.0.1:$((base + 3)),127.0.0.1:$((base + 4))"
+    addrs="${addrs},127.0.0.1:$((base + 5)),127.0.0.1:$((base + 6))"
+    local flags=(--t 1 --clients 4 --window 8 --addrs "$addrs"
+                 --delta-ms 200 --retransmit-ms 1000)
+    local pids=()
+    for id in 0 1 2; do
+        target/release/xpaxos-server --id "$id" "${flags[@]}" --run-secs 120 &
+        pids+=($!)
+    done
+    local ok=0
+    # No --id: the client binary spawns all 4 windowed workers itself.
+    if target/release/xpaxos-client "${flags[@]}" --ops "$ops" --payload 256 --timeout-secs 60; then
+        ok=1
+    fi
+    kill "${pids[@]}" 2>/dev/null || true
+    wait "${pids[@]}" 2>/dev/null || true
+    [ "$ok" = 1 ]
+}
+smoke_pipelined $((20000 + RANDOM % 20000)) || smoke_pipelined $((20000 + RANDOM % 20000))
 
 echo "CI green ✓"

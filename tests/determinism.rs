@@ -39,8 +39,8 @@ fn log_digest(cluster: &XPaxosCluster, replica: usize) -> Digest {
 
 #[test]
 fn same_seed_produces_identical_commit_traces() {
-    let mut a = build(0xD5EE_D);
-    let mut b = build(0xD5EE_D);
+    let mut a = build(0x000D_5EED);
+    let mut b = build(0x000D_5EED);
     a.run_for(SimDuration::from_secs(30));
     b.run_for(SimDuration::from_secs(30));
 

@@ -4,11 +4,13 @@
 //! Three replica runtimes and two client runtimes run on their own OS
 //! threads, each listening on an ephemeral 127.0.0.1 port and exchanging
 //! canonically encoded frames through `xft-net`. The test drives the
-//! replicated coordination service through ≥ 100 committed operations,
-//! kills the view-0 primary mid-run (forcing a view change negotiated
-//! entirely over the wire), recovers it on a *fresh* port (exercising the
-//! address book + reconnect path), and finally verifies the paper's
-//! total-order safety property across the replicas' executed histories.
+//! replicated coordination service through ≥ 100 committed operations
+//! **with the request pipeline on** (windowed clients, multiple batches in
+//! flight), kills the view-0 primary mid-run (forcing a view change under
+//! load with batches in flight, negotiated entirely over the wire),
+//! recovers it on a *fresh* port (exercising the address book + reconnect
+//! path), and finally verifies the paper's total-order safety property
+//! across the replicas' executed histories.
 
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -24,7 +26,7 @@ use xft::kvstore::CoordinationService;
 use xft::net::runtime::{NetConfig, NetHandle, StartMode, TcpRuntime};
 use xft::net::transport::TransportStats;
 use xft::net::{check_total_order, register_cluster_keys, AddressBook};
-use xft::simnet::{Actor, SimDuration};
+use xft::simnet::{Actor, PipelineConfig, SimDuration};
 use xft_wire::{WireDecode, WireEncode};
 
 const T: usize = 1;
@@ -32,11 +34,20 @@ const N: usize = 2 * T + 1;
 const CLIENTS: usize = 2;
 const OPS_PER_CLIENT: u64 = 60; // 120 total, comfortably over the 100-op bar
 const PAYLOAD: usize = 128;
+/// Requests each client keeps in flight: the primary kill lands while
+/// several batches are outstanding, so the view change must preserve total
+/// order with a non-trivial pipeline.
+const WINDOW: usize = 4;
 
 fn cluster_config() -> XPaxosConfig {
     let mut config = XPaxosConfig::new(T, CLIENTS)
         .with_delta(SimDuration::from_millis(150))
-        .with_client_retransmit(SimDuration::from_millis(400));
+        .with_client_retransmit(SimDuration::from_millis(400))
+        .with_pipeline(
+            PipelineConfig::default()
+                .with_client_window(WINDOW)
+                .with_max_in_flight(8),
+        );
     // Active replicas must give up on a dead primary quickly for the test to
     // finish in seconds rather than the production default's 4 s.
     config.replica_retransmit = SimDuration::from_millis(500);
@@ -146,9 +157,12 @@ fn live_tcp_cluster_commits_survives_primary_kill_and_reconnect() {
     for (c, listener) in listeners.drain(..).enumerate() {
         let workload = ClientWorkload {
             payload_size: PAYLOAD,
-            requests: Some(OPS_PER_CLIENT),
-            // A little think time stretches the run so the post-recovery
-            // phase sees live traffic (and keeps CPU contention civil).
+            // Open-ended: the windowed clients keep the cluster under load
+            // through every phase (kill, view change, recovery), so the
+            // post-recovery phase is guaranteed live traffic; the phases below
+            // gate on committed counts instead of workload completion.
+            requests: None,
+            // A little think time keeps CPU contention civil.
             think_time: SimDuration::from_millis(5),
             op_bytes: Some(bench_create_op(c as u64, PAYLOAD)),
         };
@@ -199,7 +213,7 @@ fn live_tcp_cluster_commits_survives_primary_kill_and_reconnect() {
     let received_at_recovery = recovered.stats.received.load(std::sync::atomic::Ordering::Relaxed);
     replicas[0] = Some(recovered);
 
-    // Phase 4: every client finishes its workload.
+    // Phase 4: every client passes its per-client commit target.
     wait_until(Duration::from_secs(60), "all 120 commits", || {
         clients.iter().all(|c| c.handle.committed() >= OPS_PER_CLIENT)
     });
