@@ -36,6 +36,7 @@ fn main() {
             requests: None,
             think_time: SimDuration::ZERO,
             op_bytes: None,
+        ..Default::default()
         })
         .with_config(|c| {
             // Δ = 1.25 s as derived from Table 3; faster client/replica timeouts so the

@@ -144,6 +144,7 @@ pub fn run_with_state(
                 requests: None,
                 think_time: SimDuration::ZERO,
                 op_bytes: spec.op_bytes.clone(),
+            ..Default::default()
             };
             let mut cluster = ClusterBuilder::new(spec.t, spec.clients)
                 .with_seed(spec.seed)

@@ -1,0 +1,231 @@
+//! `chaos-explorer` — explore thousands of seeded random fault schedules,
+//! verify every run's client history for linearizability, and shrink any
+//! failing schedule to a minimal `FaultScript` reproducer.
+//!
+//! ```text
+//! chaos-explorer --seeds 1000                     # in-budget sweep: must be clean
+//! chaos-explorer --seeds 200 --mode beyond        # over-budget sweep: must be caught
+//! chaos-explorer --mode demo                      # deterministic over-budget demo
+//! chaos-explorer --seeds 50 --tcp-sample 2        # also replay 2 seeds over real sockets
+//! ```
+//!
+//! Exit code 0 = the run's expectation held (clean for in-budget sweeps,
+//! caught-and-shrunk for `beyond`/`demo`); 1 = it did not.
+
+use std::process::exit;
+use std::time::Instant;
+use xft_chaos::explorer::{demo_violation_events, run_schedule};
+use xft_chaos::tcp::{run_seed_tcp, TcpChaosConfig};
+use xft_chaos::{explore, format_script, shrink, ExplorerConfig, SeedReport};
+use xft_net::cli::Args;
+use xft_simnet::SimDuration;
+
+fn main() {
+    let mut args = Args::parse();
+    let seeds: u64 = args.optional("--seeds").unwrap_or(200);
+    let base_seed: u64 = args.optional("--base-seed").unwrap_or(1);
+    let threads: usize = args.optional("--threads").unwrap_or_else(|| {
+        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+    });
+    let mode: String = args.optional("--mode").unwrap_or_else(|| "budget".to_string());
+    let t: usize = args.optional("--t").unwrap_or(1);
+    let clients: usize = args.optional("--clients").unwrap_or(3);
+    let keys: usize = args.optional("--keys").unwrap_or(4);
+    let read_pct: u64 = args.optional("--read-pct").unwrap_or(35);
+    let max_events: usize = args.optional("--events").unwrap_or(8);
+    let window_secs: f64 = args.optional("--window-secs").unwrap_or(8.0);
+    let drain_secs: f64 = args.optional("--drain-secs").unwrap_or(22.0);
+    let tcp_sample: u64 = args.optional("--tcp-sample").unwrap_or(0);
+    let verbose: bool = args.optional("--verbose").unwrap_or(false);
+    args.finish();
+
+    let cfg = ExplorerConfig {
+        t,
+        clients,
+        keys,
+        read_pct,
+        fault_window: SimDuration::from_secs_f64(window_secs),
+        drain: SimDuration::from_secs_f64(drain_secs),
+        max_events,
+        beyond_budget: mode == "beyond",
+    };
+
+    match mode.as_str() {
+        "budget" => {
+            let failing = sweep(&cfg, base_seed, seeds, threads, verbose);
+            let tcp_ok = tcp_phase(&cfg, base_seed, tcp_sample);
+            match failing {
+                None if tcp_ok => {
+                    println!("RESULT: OK — zero violations within the t = {t} budget");
+                }
+                _ => {
+                    if let Some(report) = failing {
+                        shrink_and_print(&report, &cfg);
+                    }
+                    println!("RESULT: FAIL — safety violated within the fault budget");
+                    exit(1);
+                }
+            }
+        }
+        "beyond" => {
+            let failing = sweep(&cfg, base_seed, seeds, threads, verbose);
+            match failing {
+                Some(report) => {
+                    println!(
+                        "over-budget schedule caught by the checker (seed {}, peak budget {} > t = {t})",
+                        report.seed, report.peak_budget
+                    );
+                    shrink_and_print(&report, &cfg);
+                    println!("RESULT: OK — over-budget run caught and shrunk");
+                }
+                None => {
+                    println!(
+                        "RESULT: FAIL — {seeds} over-budget schedules all passed; the checker saw nothing"
+                    );
+                    exit(1);
+                }
+            }
+        }
+        "demo" => {
+            // Deterministic over-budget demonstration: both active replicas
+            // of view 0 lose their storage mid-run (2 > t concurrent
+            // non-crash faults).
+            let demo_cfg = ExplorerConfig { beyond_budget: true, ..cfg.clone() };
+            let events = demo_violation_events(&demo_cfg);
+            let report = run_schedule(base_seed, events, &demo_cfg);
+            print_report(&report, true);
+            if report.ok() {
+                println!("RESULT: FAIL — the demo violation was not caught");
+                exit(1);
+            }
+            shrink_and_print(&report, &demo_cfg);
+            println!("RESULT: OK — demo violation caught and shrunk");
+        }
+        other => {
+            eprintln!("unknown --mode {other:?} (budget | beyond | demo)");
+            exit(2);
+        }
+    }
+}
+
+/// Runs the sweep, prints the summary, returns the first failing report.
+fn sweep(
+    cfg: &ExplorerConfig,
+    base_seed: u64,
+    seeds: u64,
+    threads: usize,
+    verbose: bool,
+) -> Option<SeedReport> {
+    let started = Instant::now();
+    let reports = explore(base_seed, seeds, threads, cfg);
+    let elapsed = started.elapsed();
+    let committed: u64 = reports.iter().map(|r| r.committed).sum();
+    let events: usize = reports.iter().map(|r| r.events.len()).sum();
+    let failing: Vec<&SeedReport> = reports.iter().filter(|r| !r.ok()).collect();
+    let peak = reports.iter().map(|r| r.peak_budget).max().unwrap_or(0);
+    println!(
+        "explored {} schedules ({} fault events, {} commits) in {:.1}s on {} threads — {:.0} sims/min",
+        reports.len(),
+        events,
+        committed,
+        elapsed.as_secs_f64(),
+        threads,
+        reports.len() as f64 / elapsed.as_secs_f64().max(1e-9) * 60.0
+    );
+    println!(
+        "peak concurrent faults observed: {peak} (budget t = {}{})",
+        cfg.t,
+        if cfg.beyond_budget { ", deliberately exceeded" } else { "" }
+    );
+    if verbose {
+        for r in &reports {
+            print_report(r, false);
+        }
+    }
+    for r in &failing {
+        print_report(r, true);
+    }
+    println!(
+        "violating seeds: {} / {}",
+        failing.len(),
+        reports.len()
+    );
+    failing.first().map(|r| (*r).clone())
+}
+
+/// Optionally replays in-budget seeds over live loopback sockets.
+fn tcp_phase(cfg: &ExplorerConfig, base_seed: u64, tcp_sample: u64) -> bool {
+    if tcp_sample == 0 {
+        return true;
+    }
+    let tcp_cfg = TcpChaosConfig {
+        t: cfg.t,
+        clients: cfg.clients.min(2),
+        keys: cfg.keys,
+        read_pct: cfg.read_pct,
+        ..Default::default()
+    };
+    let mut ok = true;
+    for i in 0..tcp_sample {
+        let seed = base_seed.wrapping_add(0x7C9_0000).wrapping_add(i);
+        let report = run_seed_tcp(seed, &tcp_cfg);
+        println!(
+            "tcp sample seed {}: {} commits over real sockets, {} events, {}",
+            report.seed,
+            report.committed,
+            report.events.len(),
+            if report.ok() { "clean" } else { "VIOLATION" }
+        );
+        if !report.ok() {
+            print_report(&report, true);
+            ok = false;
+        }
+    }
+    ok
+}
+
+fn print_report(report: &SeedReport, full: bool) {
+    println!(
+        "seed {:>6}: {:>5} commits ({:>4} post-heal), {} events, peak budget {}{}",
+        report.seed,
+        report.committed,
+        report.committed_after_heal,
+        report.events.len(),
+        report.peak_budget,
+        if report.ok() { "".to_string() } else { format!(", {} VIOLATIONS", report.violations.len()) }
+    );
+    if full {
+        for v in &report.violations {
+            println!("    violation: {v}");
+        }
+        for (at, event) in &report.events {
+            println!("    {:>8.3}s {event:?}", at.as_secs_f64());
+        }
+    }
+}
+
+fn shrink_and_print(report: &SeedReport, cfg: &ExplorerConfig) {
+    let seed = report.seed;
+    let started = Instant::now();
+    let mut runs = 0u32;
+    let shrunk = shrink(
+        report.events.clone(),
+        |events| {
+            runs += 1;
+            !run_schedule(seed, events.to_vec(), cfg).violations.is_empty()
+        },
+        120,
+    );
+    println!(
+        "shrunk {} events -> {} in {} re-runs ({:.1}s); minimal reproducer (seed {seed}):",
+        report.events.len(),
+        shrunk.len(),
+        runs,
+        started.elapsed().as_secs_f64()
+    );
+    println!("{}", format_script(&shrunk));
+    let verdict = run_schedule(seed, shrunk, cfg);
+    for v in &verdict.violations {
+        println!("    reproduces: {v}");
+    }
+}

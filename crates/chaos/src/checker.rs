@@ -1,0 +1,529 @@
+//! The history checker: linearizability of the recorded kvstore history,
+//! plus exactly-once accounting.
+//!
+//! The chaos workload makes checking tractable without a search: every write
+//! returns the key's new *version* (its serial position in the key's write
+//! order), every read returns the version it observed, and write values are
+//! unique per request. Linearizability of a versioned register then reduces
+//! to local checks:
+//!
+//! 1. no two acknowledged writes to a key share a version;
+//! 2. a version maps to one value (writes and reads must agree on it);
+//! 3. versions never regress across the real-time order: if operation A
+//!    completed before operation B was invoked, B must observe at least A's
+//!    version (strictly more if B is a write);
+//! 4. a read never returns a value whose writing request was invoked after
+//!    the read completed;
+//! 5. the highest version observed on a key implies at most as many write
+//!    executions as write requests were ever issued to it (exactly-once).
+//!
+//! Unacknowledged operations (no response by the end of the run) have open
+//! intervals: they may or may not have executed, so they impose no ordering
+//! constraint — but their invocations still count towards 5, and their
+//! values may legitimately be observed by reads.
+
+use crate::workload::decode_value;
+use bytes::Bytes;
+use std::collections::BTreeMap;
+use std::fmt;
+use xft_core::client::HistoryRecord;
+use xft_kvstore::KvOp;
+
+/// One client operation, decoded for the checker.
+#[derive(Debug, Clone)]
+pub struct OpEvent {
+    /// Issuing client.
+    pub client: u64,
+    /// Client-local request timestamp.
+    pub ts: u64,
+    /// The decoded operation.
+    pub op: KvOp,
+    /// Invocation instant (ns of simulated or wall time).
+    pub invoked_ns: u64,
+    /// Completion instant; `None` = still outstanding at the end of the run.
+    pub completed_ns: Option<u64>,
+    /// Decoded reply: `Ok(payload)` or `Err(error name)`.
+    pub result: Option<Result<Bytes, String>>,
+}
+
+/// Decodes one client's recorded history into checker events.
+pub fn decode_history(client: u64, records: &[HistoryRecord]) -> Vec<OpEvent> {
+    records
+        .iter()
+        .filter_map(|r| {
+            let op = KvOp::decode(&r.op)?;
+            let result = r.result.as_ref().map(|payload| {
+                if payload.first() == Some(&1) {
+                    Ok(payload.slice(1..))
+                } else {
+                    Err(String::from_utf8_lossy(&payload[1.min(payload.len())..]).into_owned())
+                }
+            });
+            Some(OpEvent {
+                client,
+                ts: r.timestamp,
+                op,
+                invoked_ns: r.invoked_at.as_nanos(),
+                completed_ns: r.completed_at.map(|t| t.as_nanos()),
+                result,
+            })
+        })
+        .collect()
+}
+
+/// A safety violation found in a history (or across replica logs).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Violation {
+    /// Two acknowledged writes to the same key returned the same version —
+    /// the register forked or a write executed twice.
+    DuplicateWriteVersion {
+        /// The key.
+        key: String,
+        /// The duplicated version.
+        version: u64,
+        /// First writer `(client, ts)`.
+        a: (u64, u64),
+        /// Second writer `(client, ts)`.
+        b: (u64, u64),
+    },
+    /// Operations disagree about the value stored at a version of a key.
+    ValueMismatch {
+        /// The key.
+        key: String,
+        /// The version observed.
+        version: u64,
+        /// Observer `(client, ts)`.
+        observer: (u64, u64),
+    },
+    /// An operation observed an older version than one already observed by
+    /// an operation that completed before it was invoked — acknowledged
+    /// state rolled back.
+    VersionRegression {
+        /// The key.
+        key: String,
+        /// The earlier, completed operation `(client, ts)` and its version
+        /// (`None` encodes "key absent").
+        earlier: ((u64, u64), Option<u64>),
+        /// The later operation `(client, ts)` and the version it observed.
+        later: ((u64, u64), Option<u64>),
+    },
+    /// A read returned a value whose writing request had not been invoked
+    /// yet when the read completed.
+    ReadUnbornValue {
+        /// The key.
+        key: String,
+        /// The reader `(client, ts)`.
+        reader: (u64, u64),
+        /// The writer `(client, ts)` of the observed value.
+        writer: (u64, u64),
+    },
+    /// A read returned a value no request ever wrote.
+    ForeignValue {
+        /// The key.
+        key: String,
+        /// The reader `(client, ts)`.
+        reader: (u64, u64),
+    },
+    /// The highest version observed on a key implies more write executions
+    /// than write requests were issued — some request executed twice.
+    MoreVersionsThanWrites {
+        /// The key.
+        key: String,
+        /// Highest version observed.
+        max_version: u64,
+        /// Write requests ever issued to the key.
+        writes_issued: u64,
+    },
+    /// Correct (never-faulted) replicas committed different batches at the
+    /// same sequence number.
+    TotalOrderDivergence {
+        /// The harness's divergence description.
+        detail: String,
+    },
+    /// An in-budget schedule left the healed cluster unable to commit — a
+    /// liveness failure the paper's model rules out once faults are repaired.
+    NoProgressAfterHeal,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::DuplicateWriteVersion { key, version, a, b } => write!(
+                f,
+                "duplicate write version on {key}: v{version} acked to both c{}#{} and c{}#{}",
+                a.0, a.1, b.0, b.1
+            ),
+            Violation::ValueMismatch { key, version, observer } => write!(
+                f,
+                "value mismatch on {key} v{version} observed by c{}#{}",
+                observer.0, observer.1
+            ),
+            Violation::VersionRegression { key, earlier, later } => write!(
+                f,
+                "version regression on {key}: c{}#{} completed at {:?} before c{}#{} began, which saw {:?}",
+                earlier.0 .0, earlier.0 .1, earlier.1, later.0 .0, later.0 .1, later.1
+            ),
+            Violation::ReadUnbornValue { key, reader, writer } => write!(
+                f,
+                "read of unborn value on {key}: c{}#{} returned the value of c{}#{} before it was invoked",
+                reader.0, reader.1, writer.0, writer.1
+            ),
+            Violation::ForeignValue { key, reader } => write!(
+                f,
+                "foreign value on {key}: c{}#{} read a value no request wrote",
+                reader.0, reader.1
+            ),
+            Violation::MoreVersionsThanWrites { key, max_version, writes_issued } => write!(
+                f,
+                "exactly-once broken on {key}: version {max_version} implies {} write executions, only {writes_issued} writes issued",
+                max_version + 1
+            ),
+            Violation::TotalOrderDivergence { detail } => {
+                write!(f, "total-order divergence across correct replicas: {detail}")
+            }
+            Violation::NoProgressAfterHeal => {
+                write!(f, "no commits after all faults were healed (liveness)")
+            }
+        }
+    }
+}
+
+/// An acknowledged operation on one key, normalized for the sweeps.
+struct AckedOp {
+    id: (u64, u64),
+    /// Version observed; `None` = key absent (`NoNode`).
+    version: Option<u64>,
+    is_write: bool,
+    value: Option<Bytes>,
+    invoked_ns: u64,
+    completed_ns: u64,
+}
+
+/// Checks a set of client histories. Returns every violation found (empty =
+/// the history is linearizable and exactly-once as far as it constrains).
+pub fn check_history(events: &[OpEvent]) -> Vec<Violation> {
+    let mut violations = Vec::new();
+
+    // Group per key; remember every write invocation for checks 4 and 5.
+    let mut acked: BTreeMap<String, Vec<AckedOp>> = BTreeMap::new();
+    let mut writes_issued: BTreeMap<String, u64> = BTreeMap::new();
+    let mut write_invocations: BTreeMap<(u64, u64), u64> = BTreeMap::new();
+
+    for e in events {
+        let (key, is_write) = match &e.op {
+            KvOp::Put { path, .. } => (path.clone(), true),
+            KvOp::GetVer { path } => (path.clone(), false),
+            _ => continue,
+        };
+        if is_write {
+            *writes_issued.entry(key.clone()).or_insert(0) += 1;
+            write_invocations.insert((e.client, e.ts), e.invoked_ns);
+        }
+        let (Some(completed_ns), Some(result)) = (e.completed_ns, &e.result) else {
+            continue;
+        };
+        let (version, value) = match result {
+            Ok(payload) if is_write => {
+                if payload.len() < 8 {
+                    continue; // malformed ack; nothing to constrain
+                }
+                let v = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+                let KvOp::Put { data, .. } = &e.op else { unreachable!() };
+                (Some(v), Some(data.clone()))
+            }
+            Ok(payload) => {
+                if payload.len() < 8 {
+                    continue;
+                }
+                let v = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
+                (Some(v), Some(payload.slice(8..)))
+            }
+            // `NoNode`: the key did not exist at the linearization point.
+            Err(_) => (None, None),
+        };
+        acked.entry(key).or_default().push(AckedOp {
+            id: (e.client, e.ts),
+            version,
+            is_write,
+            value,
+            invoked_ns: e.invoked_ns,
+            completed_ns,
+        });
+    }
+
+    for (key, ops) in &acked {
+        check_key(key, ops, &write_invocations, &mut violations);
+        // Check 5: exactly-once accounting.
+        let max_version = ops.iter().filter_map(|o| o.version).max();
+        if let Some(max_version) = max_version {
+            let issued = writes_issued.get(key).copied().unwrap_or(0);
+            if max_version + 1 > issued {
+                violations.push(Violation::MoreVersionsThanWrites {
+                    key: key.clone(),
+                    max_version,
+                    writes_issued: issued,
+                });
+            }
+        }
+    }
+    violations
+}
+
+fn check_key(
+    key: &str,
+    ops: &[AckedOp],
+    write_invocations: &BTreeMap<(u64, u64), u64>,
+    violations: &mut Vec<Violation>,
+) {
+    // Check 1: write versions are unique.
+    let mut writers: BTreeMap<u64, &AckedOp> = BTreeMap::new();
+    for op in ops.iter().filter(|o| o.is_write) {
+        let Some(v) = op.version else { continue };
+        if let Some(prev) = writers.insert(v, op) {
+            violations.push(Violation::DuplicateWriteVersion {
+                key: key.to_string(),
+                version: v,
+                a: prev.id,
+                b: op.id,
+            });
+        }
+    }
+
+    // Check 2: one value per version (writes authoritative, reads must agree
+    // with them and with each other).
+    let mut value_of: BTreeMap<u64, &Bytes> = writers
+        .iter()
+        .filter_map(|(v, op)| op.value.as_ref().map(|val| (*v, val)))
+        .collect();
+    for op in ops.iter().filter(|o| !o.is_write) {
+        let (Some(v), Some(value)) = (op.version, op.value.as_ref()) else {
+            continue;
+        };
+        match value_of.get(&v) {
+            Some(known) if *known != value => violations.push(Violation::ValueMismatch {
+                key: key.to_string(),
+                version: v,
+                observer: op.id,
+            }),
+            Some(_) => {}
+            None => {
+                value_of.insert(v, value);
+            }
+        }
+
+        // Check 4: the observed value's writer must have been invoked before
+        // the read completed.
+        match decode_value(value) {
+            Some(writer) => match write_invocations.get(&writer) {
+                Some(writer_invoked) if *writer_invoked > op.completed_ns => {
+                    violations.push(Violation::ReadUnbornValue {
+                        key: key.to_string(),
+                        reader: op.id,
+                        writer,
+                    });
+                }
+                Some(_) => {}
+                None => violations.push(Violation::ForeignValue {
+                    key: key.to_string(),
+                    reader: op.id,
+                }),
+            },
+            None => violations.push(Violation::ForeignValue {
+                key: key.to_string(),
+                reader: op.id,
+            }),
+        }
+    }
+
+    // Check 3: real-time version monotonicity. Sweep operations in
+    // invocation order while tracking the highest version of any operation
+    // already *completed* — reads must observe at least it, writes strictly
+    // more. `None` (key absent) sits below every version.
+    let ord = |v: Option<u64>| v.map(|x| x as i128).unwrap_or(-1);
+    let mut by_inv: Vec<&AckedOp> = ops.iter().collect();
+    by_inv.sort_by_key(|o| o.invoked_ns);
+    let mut by_resp: Vec<&AckedOp> = ops.iter().collect();
+    by_resp.sort_by_key(|o| o.completed_ns);
+    let mut completed_max: Option<&AckedOp> = None;
+    let mut resp_idx = 0;
+    for op in by_inv {
+        while resp_idx < by_resp.len() && by_resp[resp_idx].completed_ns < op.invoked_ns {
+            let done = by_resp[resp_idx];
+            if completed_max.map(|m| ord(done.version) > ord(m.version)).unwrap_or(true) {
+                completed_max = Some(done);
+            }
+            resp_idx += 1;
+        }
+        let Some(floor) = completed_max else { continue };
+        let regressed = if op.is_write {
+            ord(op.version) <= ord(floor.version)
+        } else {
+            ord(op.version) < ord(floor.version)
+        };
+        if regressed {
+            violations.push(Violation::VersionRegression {
+                key: key.to_string(),
+                earlier: (floor.id, floor.version),
+                later: (op.id, op.version),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::encode_value;
+
+    fn put(client: u64, ts: u64, key: &str, inv: u64, resp: Option<u64>, version: Option<u64>) -> OpEvent {
+        OpEvent {
+            client,
+            ts,
+            op: KvOp::Put {
+                path: key.to_string(),
+                data: encode_value(client, ts),
+            },
+            invoked_ns: inv,
+            completed_ns: resp,
+            result: version.map(|v| Ok(Bytes::copy_from_slice(&v.to_le_bytes()))),
+        }
+    }
+
+    fn get(
+        client: u64,
+        ts: u64,
+        key: &str,
+        inv: u64,
+        resp: u64,
+        version: Option<u64>,
+        value: Option<(u64, u64)>,
+    ) -> OpEvent {
+        let result = match version {
+            Some(v) => {
+                let mut payload = v.to_le_bytes().to_vec();
+                if let Some((c, t)) = value {
+                    payload.extend_from_slice(&encode_value(c, t));
+                }
+                Some(Ok(Bytes::from(payload)))
+            }
+            None => Some(Err("NoNode".to_string())),
+        };
+        OpEvent {
+            client,
+            ts,
+            op: KvOp::GetVer { path: key.to_string() },
+            invoked_ns: inv,
+            completed_ns: Some(resp),
+            result,
+        }
+    }
+
+    #[test]
+    fn clean_sequential_history_passes() {
+        let h = vec![
+            put(0, 1, "/k", 0, Some(10), Some(0)),
+            put(0, 2, "/k", 20, Some(30), Some(1)),
+            get(1, 1, "/k", 40, 50, Some(1), Some((0, 2))),
+            put(1, 2, "/k", 60, Some(70), Some(2)),
+        ];
+        assert_eq!(check_history(&h), vec![]);
+    }
+
+    #[test]
+    fn concurrent_overlapping_ops_are_not_flagged() {
+        // Two overlapping writes may serialize either way; a read overlapping
+        // both may see any of the three versions.
+        let h = vec![
+            put(0, 1, "/k", 0, Some(100), Some(0)),
+            put(1, 1, "/k", 50, Some(150), Some(1)),
+            get(2, 1, "/k", 60, 160, Some(0), Some((0, 1))),
+        ];
+        assert_eq!(check_history(&h), vec![]);
+    }
+
+    #[test]
+    fn duplicate_versions_are_flagged() {
+        let h = vec![
+            put(0, 1, "/k", 0, Some(10), Some(0)),
+            put(1, 1, "/k", 20, Some(30), Some(0)),
+        ];
+        let v = check_history(&h);
+        assert!(
+            v.iter().any(|x| matches!(x, Violation::DuplicateWriteVersion { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn version_regression_is_flagged() {
+        // Write acked v5, then a later read (invoked after the ack) sees v2.
+        let h = vec![
+            put(0, 1, "/k", 0, Some(10), Some(5)),
+            get(1, 1, "/k", 20, 30, Some(2), None),
+        ];
+        let v = check_history(&h);
+        assert!(
+            v.iter().any(|x| matches!(x, Violation::VersionRegression { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn nonode_after_acked_write_is_a_regression() {
+        let h = vec![
+            put(0, 1, "/k", 0, Some(10), Some(0)),
+            get(1, 1, "/k", 20, 30, None, None),
+        ];
+        let v = check_history(&h);
+        assert!(
+            v.iter().any(|x| matches!(x, Violation::VersionRegression { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn unacked_writes_constrain_nothing_but_count_as_issued() {
+        // An unacked write may have executed: reads seeing its value and the
+        // version bump are fine.
+        let h = vec![
+            put(0, 1, "/k", 0, Some(10), Some(0)),
+            put(0, 2, "/k", 20, None, None), // lost in flight, maybe executed
+            get(1, 1, "/k", 40, 50, Some(1), Some((0, 2))),
+        ];
+        assert_eq!(check_history(&h), vec![]);
+    }
+
+    #[test]
+    fn more_versions_than_writes_is_flagged() {
+        // Only one write ever issued, yet version 1 observed: something
+        // executed twice.
+        let h = vec![
+            put(0, 1, "/k", 0, Some(10), Some(1)),
+        ];
+        let v = check_history(&h);
+        assert!(
+            v.iter().any(|x| matches!(x, Violation::MoreVersionsThanWrites { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn read_of_unborn_value_is_flagged() {
+        let h = vec![
+            get(1, 1, "/k", 0, 10, Some(0), Some((0, 9))),
+            put(0, 9, "/k", 100, Some(110), Some(0)),
+        ];
+        let v = check_history(&h);
+        assert!(
+            v.iter().any(|x| matches!(x, Violation::ReadUnbornValue { .. })),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn foreign_value_is_flagged() {
+        let h = vec![get(1, 1, "/k", 0, 10, Some(0), Some((7, 7)))];
+        let v = check_history(&h);
+        assert!(v.iter().any(|x| matches!(x, Violation::ForeignValue { .. })), "{v:?}");
+    }
+}

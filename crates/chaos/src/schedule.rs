@@ -1,0 +1,543 @@
+//! Seeded random fault-schedule generation within (or deliberately beyond)
+//! the paper's fault budget.
+//!
+//! The XFT model tolerates any combination of crashed, partitioned and
+//! non-crash-faulty machines as long as at most `t` replicas are affected *at
+//! the same time* (paper §2, `n = 2t + 1`). The generator composes random
+//! [`FaultEvent`] sequences while tracking exactly that budget: every active
+//! fault — a crash, an isolation, one attributed endpoint of a link
+//! partition, a Byzantine behaviour, an amnesia storage loss, or a non-zero
+//! network drop probability — occupies one budget slot until repaired.
+//! Amnesia never releases its slot (lost storage stays lost), matching how
+//! the paper counts a machine as faulty for the remainder of the window.
+//!
+//! With `beyond_budget` the cap is lifted and amnesia is biased heavily: the
+//! checker must then *report* violations instead of the harness hanging.
+
+use std::collections::BTreeSet;
+use xft_core::byzantine::CONTROL_AMNESIA;
+use xft_simnet::{FaultEvent, FaultScript, SimDuration, SimRng, SimTime};
+
+/// One scheduled fault event.
+pub type TimedEvent = (SimTime, FaultEvent);
+
+/// Knobs of the schedule generator.
+#[derive(Debug, Clone)]
+pub struct ScheduleConfig {
+    /// Fault threshold of the cluster under test (`n = 2t + 1` replicas).
+    pub t: usize,
+    /// Number of clients (their simnet nodes follow the replicas).
+    pub clients: usize,
+    /// Window during which faults are injected; every fault that can be
+    /// repaired is repaired at the end of it.
+    pub fault_window: SimDuration,
+    /// Upper bound on scheduled events inside the window; each slot becomes
+    /// a fault *or* a repair (the end-of-window heal events come on top).
+    pub max_events: usize,
+    /// Lift the `t` budget and bias storage-loss faults: schedules from this
+    /// mode are *expected* to break safety.
+    pub beyond_budget: bool,
+    /// Restrict to events a live TCP harness can apply: crashes, recoveries
+    /// and control codes (no link partitions, no probabilistic drops).
+    pub tcp_compatible: bool,
+}
+
+impl Default for ScheduleConfig {
+    fn default() -> Self {
+        ScheduleConfig {
+            t: 1,
+            clients: 2,
+            fault_window: SimDuration::from_secs(8),
+            max_events: 10,
+            beyond_budget: false,
+            tcp_compatible: false,
+        }
+    }
+}
+
+/// Fault bookkeeping while generating: which replicas currently occupy a
+/// budget slot and how to release it.
+struct GenState {
+    n: usize,
+    crashed: Vec<bool>,
+    isolated: Vec<bool>,
+    /// Active Byzantine behaviour (control codes 1–4).
+    byzantine: Vec<bool>,
+    /// Amnesia suffered: a permanent budget occupant.
+    amnesic: Vec<bool>,
+    /// Active link partitions between replicas.
+    partitions: Vec<(usize, usize)>,
+    /// Isolated client nodes (free: clients are outside the replica budget).
+    client_isolated: Vec<bool>,
+    drop_active: bool,
+}
+
+impl GenState {
+    fn new(n: usize, clients: usize) -> Self {
+        GenState {
+            n,
+            crashed: vec![false; n],
+            isolated: vec![false; n],
+            byzantine: vec![false; n],
+            amnesic: vec![false; n],
+            partitions: Vec::new(),
+            client_isolated: vec![false; clients],
+            drop_active: false,
+        }
+    }
+
+    /// Replicas currently counting against the budget (each counted once).
+    fn faulty_replicas(&self) -> BTreeSet<usize> {
+        let mut set = BTreeSet::new();
+        for r in 0..self.n {
+            if self.crashed[r] || self.isolated[r] || self.byzantine[r] || self.amnesic[r] {
+                set.insert(r);
+            }
+        }
+        // A severed link is attributed to its lower endpoint (one network
+        // fault explains the partition, cf. the paper's partitioned-machine
+        // counting).
+        for (a, _) in &self.partitions {
+            set.insert(*a);
+        }
+        set
+    }
+
+    fn budget_used(&self) -> usize {
+        self.faulty_replicas().len() + usize::from(self.drop_active)
+    }
+
+    /// Replicas with no fault at all (candidates for a fresh fault).
+    fn healthy(&self) -> Vec<usize> {
+        (0..self.n)
+            .filter(|&r| {
+                !self.crashed[r]
+                    && !self.isolated[r]
+                    && !self.byzantine[r]
+                    && !self.amnesic[r]
+                    && !self.partitions.iter().any(|(a, b)| *a == r || *b == r)
+            })
+            .collect()
+    }
+}
+
+/// Generates a seeded random fault schedule. The same `(seed, config)` always
+/// produces the same schedule; verdicts over it are therefore reproducible
+/// and shrinkable.
+pub fn generate(seed: u64, cfg: &ScheduleConfig) -> FaultScript {
+    let n = 2 * cfg.t + 1;
+    let budget_cap = if cfg.beyond_budget { n } else { cfg.t };
+    let mut rng = SimRng::seed_from_u64(seed ^ 0xC4A0_5EED);
+    let mut state = GenState::new(n, cfg.clients);
+    let mut events: Vec<TimedEvent> = Vec::new();
+
+    // Fault instants: sorted uniform draws over the window, starting after a
+    // short warm-up so every run commits a fault-free prefix first.
+    let window_ns = cfg.fault_window.as_nanos();
+    let warmup_ns = window_ns / 5;
+    let count = if cfg.max_events == 0 {
+        0
+    } else {
+        1 + rng.next_index(cfg.max_events)
+    };
+    let mut times: Vec<u64> = (0..count)
+        .map(|_| rng.range_u64(warmup_ns, window_ns.max(warmup_ns + 1)))
+        .collect();
+    times.sort_unstable();
+
+    for t_ns in times {
+        let at = SimTime::ZERO + SimDuration::from_nanos(t_ns);
+        let repairable = !state.faulty_replicas().is_empty()
+            || state.drop_active
+            || state.client_isolated.iter().any(|i| *i);
+        // Lean towards injecting while budget remains, repairing otherwise.
+        let want_fault = state.budget_used() < budget_cap
+            && (!repairable || rng.chance(if cfg.beyond_budget { 0.85 } else { 0.6 }));
+        let event = if want_fault {
+            pick_fault(&mut rng, &mut state, cfg)
+        } else {
+            pick_repair(&mut rng, &mut state, cfg)
+        };
+        if let Some(event) = event {
+            events.push((at, event));
+        }
+    }
+
+    // End of window: repair everything repairable so the drain phase runs on
+    // a correct, connected cluster (amnesia cannot be repaired — the replica
+    // rebuilds through the protocol, which is the point).
+    let heal_at = SimTime::ZERO + cfg.fault_window;
+    if state.drop_active {
+        events.push((heal_at, FaultEvent::SetDropProbability(0.0)));
+    }
+    if !state.partitions.is_empty()
+        || state.isolated.iter().any(|i| *i)
+        || state.client_isolated.iter().any(|i| *i)
+    {
+        events.push((heal_at, FaultEvent::HealAll));
+    }
+    for r in 0..n {
+        if state.crashed[r] {
+            events.push((heal_at, FaultEvent::Recover(r)));
+        }
+        if state.byzantine[r] {
+            events.push((heal_at, FaultEvent::Control(r, 0)));
+        }
+    }
+
+    FaultScript::from_events(events)
+}
+
+fn pick_fault(rng: &mut SimRng, state: &mut GenState, cfg: &ScheduleConfig) -> Option<FaultEvent> {
+    let healthy = state.healthy();
+    // Weighted fault menu. Partitions need two healthy replicas; drops must
+    // not already be active; TCP-compatible schedules stick to crashes and
+    // control codes.
+    let mut menu: Vec<(u64, u8)> = Vec::new();
+    if !healthy.is_empty() {
+        menu.push((30, 0)); // crash
+        menu.push((25, 3)); // byzantine control code 1..=4
+        menu.push((if cfg.beyond_budget { 40 } else { 8 }, 4)); // amnesia
+        if !cfg.tcp_compatible {
+            menu.push((15, 1)); // isolate
+            if healthy.len() >= 2 {
+                menu.push((10, 2)); // partition pair
+            }
+        }
+    }
+    if !cfg.tcp_compatible {
+        if !state.drop_active {
+            menu.push((10, 5)); // drop-probability churn
+        }
+        if state.client_isolated.iter().any(|i| !*i) {
+            menu.push((6, 6)); // client isolation (budget-free)
+        }
+    }
+    let total: u64 = menu.iter().map(|(w, _)| *w).sum();
+    if total == 0 {
+        return None;
+    }
+    let mut roll = rng.next_below(total);
+    let kind = menu
+        .iter()
+        .find(|(w, _)| {
+            if roll < *w {
+                true
+            } else {
+                roll -= *w;
+                false
+            }
+        })
+        .map(|(_, k)| *k)
+        .expect("non-empty menu");
+
+    match kind {
+        0 => {
+            let r = *rng.choose(&healthy);
+            state.crashed[r] = true;
+            Some(FaultEvent::Crash(r))
+        }
+        1 => {
+            let r = *rng.choose(&healthy);
+            state.isolated[r] = true;
+            Some(FaultEvent::Isolate(r))
+        }
+        2 => {
+            let a = *rng.choose(&healthy);
+            let rest: Vec<usize> = healthy.into_iter().filter(|r| *r != a).collect();
+            let b = *rng.choose(&rest);
+            let (a, b) = (a.min(b), a.max(b));
+            state.partitions.push((a, b));
+            Some(FaultEvent::PartitionPair(a, b))
+        }
+        3 => {
+            let r = *rng.choose(&healthy);
+            state.byzantine[r] = true;
+            // Codes 1..=4: mute, commit-log loss, both-logs loss, corrupt sigs.
+            Some(FaultEvent::Control(r, 1 + rng.next_below(4)))
+        }
+        4 => {
+            let r = *rng.choose(&healthy);
+            state.amnesic[r] = true;
+            Some(FaultEvent::Control(r, CONTROL_AMNESIA))
+        }
+        5 => {
+            state.drop_active = true;
+            Some(FaultEvent::SetDropProbability(rng.range_f64(0.01, 0.15)))
+        }
+        _ => {
+            let free: Vec<usize> = state
+                .client_isolated
+                .iter()
+                .enumerate()
+                .filter(|(_, iso)| !**iso)
+                .map(|(c, _)| c)
+                .collect();
+            let c = *rng.choose(&free);
+            state.client_isolated[c] = true;
+            Some(FaultEvent::Isolate(state.n + c))
+        }
+    }
+}
+
+fn pick_repair(rng: &mut SimRng, state: &mut GenState, _cfg: &ScheduleConfig) -> Option<FaultEvent> {
+    let mut menu: Vec<FaultEvent> = Vec::new();
+    for r in 0..state.n {
+        if state.crashed[r] {
+            menu.push(FaultEvent::Recover(r));
+        }
+        if state.isolated[r] {
+            menu.push(FaultEvent::Reconnect(r));
+        }
+        if state.byzantine[r] {
+            menu.push(FaultEvent::Control(r, 0));
+        }
+    }
+    for (a, b) in &state.partitions {
+        menu.push(FaultEvent::HealPair(*a, *b));
+    }
+    if state.drop_active {
+        menu.push(FaultEvent::SetDropProbability(0.0));
+    }
+    for (c, iso) in state.client_isolated.iter().enumerate() {
+        if *iso {
+            menu.push(FaultEvent::Reconnect(state.n + c));
+        }
+    }
+    if menu.is_empty() {
+        return None;
+    }
+    let event = rng.choose(&menu).clone();
+    match &event {
+        FaultEvent::Recover(r) => state.crashed[*r] = false,
+        FaultEvent::Reconnect(node) => {
+            if *node < state.n {
+                state.isolated[*node] = false;
+            } else {
+                state.client_isolated[*node - state.n] = false;
+            }
+        }
+        FaultEvent::Control(r, 0) => state.byzantine[*r] = false,
+        FaultEvent::HealPair(a, b) => state.partitions.retain(|p| p != &(*a, *b)),
+        FaultEvent::SetDropProbability(_) => state.drop_active = false,
+        _ => {}
+    }
+    Some(event)
+}
+
+/// What a schedule did to the cluster, derived purely from its events (so it
+/// stays correct for shrunk or hand-written schedules).
+#[derive(Debug, Clone, Default)]
+pub struct ScheduleAnalysis {
+    /// Replicas that were ever crashed, isolated, partitioned or sent a
+    /// non-reset control code. Only replicas *not* in this set can be held to
+    /// the identical-committed-prefix standard at the end of a run: a faulted
+    /// replica may legitimately hold a speculative divergent suffix until the
+    /// next view change repairs it (paper Lemma 1).
+    pub touched: BTreeSet<usize>,
+    /// Replicas that suffered amnesia (storage loss).
+    pub amnesic: BTreeSet<usize>,
+    /// Whether probabilistic message drops were ever enabled: drops can
+    /// touch any replica's suffix, so the cross-replica check is skipped.
+    pub used_drops: bool,
+    /// Peak number of concurrently faulty replicas (plus one while drops
+    /// were active) — the schedule's actual budget consumption.
+    pub peak_budget: usize,
+}
+
+/// Replays a schedule's events against the budget bookkeeping, returning
+/// which replicas were touched and the peak concurrent fault count.
+pub fn analyze_schedule(n: usize, events: &[TimedEvent]) -> ScheduleAnalysis {
+    let mut state = GenState::new(n, 0);
+    let mut out = ScheduleAnalysis::default();
+    let mut sorted: Vec<&TimedEvent> = events.iter().collect();
+    sorted.sort_by_key(|(t, _)| *t);
+    for (_, event) in sorted {
+        match event {
+            FaultEvent::Crash(r) if *r < n => {
+                state.crashed[*r] = true;
+                out.touched.insert(*r);
+            }
+            FaultEvent::Recover(r) if *r < n => state.crashed[*r] = false,
+            FaultEvent::Isolate(r) if *r < n => {
+                state.isolated[*r] = true;
+                out.touched.insert(*r);
+            }
+            FaultEvent::Reconnect(r) if *r < n => state.isolated[*r] = false,
+            FaultEvent::PartitionPair(a, b) => {
+                if *a < n {
+                    out.touched.insert(*a);
+                }
+                if *b < n {
+                    out.touched.insert(*b);
+                }
+                if *a < n && *b < n {
+                    state.partitions.push((*a, *b));
+                }
+            }
+            FaultEvent::HealPair(a, b) => state.partitions.retain(|p| p != &(*a, *b)),
+            FaultEvent::HealAll => {
+                state.partitions.clear();
+                state.isolated.iter_mut().for_each(|i| *i = false);
+            }
+            FaultEvent::Control(r, code) if *r < n => {
+                if *code == CONTROL_AMNESIA {
+                    state.amnesic[*r] = true;
+                    out.amnesic.insert(*r);
+                    out.touched.insert(*r);
+                } else if *code == 0 {
+                    state.byzantine[*r] = false;
+                } else {
+                    state.byzantine[*r] = true;
+                    out.touched.insert(*r);
+                }
+            }
+            FaultEvent::SetDropProbability(p) => {
+                if *p > 0.0 {
+                    out.used_drops = true;
+                    state.drop_active = true;
+                } else {
+                    state.drop_active = false;
+                }
+            }
+            _ => {}
+        }
+        out.peak_budget = out.peak_budget.max(state.budget_used());
+    }
+    out
+}
+
+/// Renders a schedule as ready-to-paste `FaultScript` builder code — the
+/// output format of the shrinker's minimal reproducers.
+pub fn format_script(events: &[TimedEvent]) -> String {
+    let mut out = String::from("FaultScript::new()");
+    let mut sorted: Vec<&TimedEvent> = events.iter().collect();
+    sorted.sort_by_key(|(t, _)| *t);
+    for (at, event) in sorted {
+        let secs = at.as_secs_f64();
+        let rendered = match event {
+            FaultEvent::Crash(r) => format!("FaultEvent::Crash({r})"),
+            FaultEvent::Recover(r) => format!("FaultEvent::Recover({r})"),
+            FaultEvent::PartitionPair(a, b) => format!("FaultEvent::PartitionPair({a}, {b})"),
+            FaultEvent::HealPair(a, b) => format!("FaultEvent::HealPair({a}, {b})"),
+            FaultEvent::Isolate(r) => format!("FaultEvent::Isolate({r})"),
+            FaultEvent::Reconnect(r) => format!("FaultEvent::Reconnect({r})"),
+            FaultEvent::HealAll => "FaultEvent::HealAll".to_string(),
+            FaultEvent::Control(r, c) => format!("FaultEvent::Control({r}, {c})"),
+            FaultEvent::SetDropProbability(p) => format!("FaultEvent::SetDropProbability({p:?})"),
+        };
+        out.push_str(&format!("\n    .at_secs_f64({secs:.3}, {rendered})"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let cfg = ScheduleConfig::default();
+        let a = generate(7, &cfg).into_sorted_events();
+        let b = generate(7, &cfg).into_sorted_events();
+        assert_eq!(a, b);
+        let c = generate(8, &cfg).into_sorted_events();
+        assert_ne!(a, c, "different seeds should differ (overwhelmingly)");
+    }
+
+    #[test]
+    fn in_budget_schedules_respect_t() {
+        let cfg = ScheduleConfig { t: 1, ..Default::default() };
+        for seed in 0..300 {
+            let events = generate(seed, &cfg).into_sorted_events();
+            let analysis = analyze_schedule(3, &events);
+            assert!(
+                analysis.peak_budget <= 1,
+                "seed {seed} exceeded the budget: {analysis:?}\n{}",
+                format_script(&events)
+            );
+        }
+    }
+
+    #[test]
+    fn beyond_budget_schedules_actually_exceed_it_sometimes() {
+        let cfg = ScheduleConfig {
+            t: 1,
+            beyond_budget: true,
+            max_events: 12,
+            ..Default::default()
+        };
+        let over = (0..100)
+            .filter(|seed| analyze_schedule(3, &generate(*seed, &cfg).into_sorted_events()).peak_budget > 1)
+            .count();
+        assert!(over > 30, "only {over}/100 beyond-budget schedules exceeded t");
+    }
+
+    #[test]
+    fn tcp_compatible_schedules_only_use_portable_events() {
+        let cfg = ScheduleConfig {
+            tcp_compatible: true,
+            max_events: 12,
+            ..Default::default()
+        };
+        for seed in 0..100 {
+            for (_, event) in generate(seed, &cfg).into_sorted_events() {
+                assert!(
+                    matches!(
+                        event,
+                        FaultEvent::Crash(_) | FaultEvent::Recover(_) | FaultEvent::Control(_, _)
+                    ),
+                    "seed {seed} produced non-TCP event {event:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repairs_are_emitted_by_end_of_window() {
+        let cfg = ScheduleConfig { max_events: 10, ..Default::default() };
+        for seed in 0..100 {
+            let events = generate(seed, &cfg).into_sorted_events();
+            // Replaying everything must end with no active repairable fault.
+            let analysis = analyze_schedule(3, &events);
+            let mut state = GenState::new(3, 8);
+            for (_, event) in &events {
+                match event {
+                    FaultEvent::Crash(r) => state.crashed[*r] = true,
+                    FaultEvent::Recover(r) => state.crashed[*r] = false,
+                    FaultEvent::Isolate(r) if *r < 3 => state.isolated[*r] = true,
+                    FaultEvent::Reconnect(r) if *r < 3 => state.isolated[*r] = false,
+                    FaultEvent::PartitionPair(a, b) => state.partitions.push((*a, *b)),
+                    FaultEvent::HealPair(a, b) => state.partitions.retain(|p| p != &(*a, *b)),
+                    FaultEvent::HealAll => {
+                        state.partitions.clear();
+                        state.isolated.iter_mut().for_each(|i| *i = false);
+                    }
+                    FaultEvent::Control(r, 0) => state.byzantine[*r] = false,
+                    FaultEvent::Control(r, c) if *c != CONTROL_AMNESIA => {
+                        state.byzantine[*r] = true
+                    }
+                    FaultEvent::SetDropProbability(p) => state.drop_active = *p > 0.0,
+                    _ => {}
+                }
+            }
+            assert!(!state.crashed.iter().any(|c| *c), "seed {seed} left a crash");
+            assert!(!state.byzantine.iter().any(|b| *b), "seed {seed} left a behaviour");
+            assert!(state.partitions.is_empty(), "seed {seed} left a partition");
+            assert!(!state.drop_active, "seed {seed} left drops on");
+            let _ = analysis;
+        }
+    }
+
+    #[test]
+    fn format_script_is_paste_ready() {
+        let events = vec![
+            (SimTime::ZERO + SimDuration::from_millis(1500), FaultEvent::Crash(1)),
+            (SimTime::ZERO + SimDuration::from_secs(3), FaultEvent::Control(0, 5)),
+        ];
+        let code = format_script(&events);
+        assert!(code.starts_with("FaultScript::new()"));
+        assert!(code.contains(".at_secs_f64(1.500, FaultEvent::Crash(1))"));
+        assert!(code.contains(".at_secs_f64(3.000, FaultEvent::Control(0, 5))"));
+    }
+}

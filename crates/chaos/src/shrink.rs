@@ -1,0 +1,167 @@
+//! Shrinking a failing schedule to a minimal reproducer.
+//!
+//! Classic delta debugging (ddmin) over the event list — try dropping
+//! ever-smaller chunks while the failure persists — followed by a per-event
+//! pass and a time-compression pass (pull every event earlier while the
+//! failure persists, shortening crash/partition durations and the overall
+//! reproduction). The caller supplies the deterministic `still_fails` oracle
+//! (typically [`crate::explorer::run_schedule`] with the original seed), so
+//! the shrunk schedule is guaranteed to reproduce the original verdict.
+
+use crate::schedule::TimedEvent;
+use xft_simnet::{SimDuration, SimTime};
+
+/// Shrinks `events` to a (locally) minimal failing schedule, calling
+/// `still_fails` at most `max_runs` times. The input must itself fail.
+pub fn shrink(
+    events: Vec<TimedEvent>,
+    mut still_fails: impl FnMut(&[TimedEvent]) -> bool,
+    max_runs: usize,
+) -> Vec<TimedEvent> {
+    let mut current = events;
+    let mut runs = 0usize;
+    let mut try_candidate =
+        |candidate: &[TimedEvent], runs: &mut usize| -> bool {
+            if *runs >= max_runs {
+                return false;
+            }
+            *runs += 1;
+            still_fails(candidate)
+        };
+
+    // Phase 1: ddmin — drop chunks, halving the granularity on failure.
+    let mut chunk = (current.len() / 2).max(1);
+    while chunk >= 1 && current.len() > 1 {
+        let mut removed_any = false;
+        let mut start = 0;
+        while start < current.len() {
+            let end = (start + chunk).min(current.len());
+            let mut candidate = current.clone();
+            candidate.drain(start..end);
+            if !candidate.is_empty() && try_candidate(&candidate, &mut runs) {
+                current = candidate;
+                removed_any = true;
+                // Retry the same start index against the shortened list.
+            } else {
+                start = end;
+            }
+        }
+        if chunk == 1 && !removed_any {
+            break;
+        }
+        if !removed_any {
+            chunk /= 2;
+        }
+        if runs >= max_runs {
+            break;
+        }
+    }
+
+    // Phase 2: single-event elimination until a fixpoint (cheap after ddmin,
+    // catches removals ddmin's chunk boundaries missed).
+    loop {
+        let mut removed_any = false;
+        let mut i = 0;
+        while i < current.len() && current.len() > 1 {
+            let mut candidate = current.clone();
+            candidate.remove(i);
+            if try_candidate(&candidate, &mut runs) {
+                current = candidate;
+                removed_any = true;
+            } else {
+                i += 1;
+            }
+        }
+        if !removed_any || runs >= max_runs {
+            break;
+        }
+    }
+
+    // Phase 3: pull events earlier (halve each event's time, then snap to
+    // whole 100 ms), shortening durations and the reproduction run.
+    for i in 0..current.len() {
+        for divisor in [4u64, 2] {
+            let t = current[i].0;
+            let shrunk_ns = t.as_nanos() / divisor;
+            let snapped = SimTime::ZERO + SimDuration::from_nanos(shrunk_ns - shrunk_ns % 100_000_000);
+            if snapped >= t {
+                continue;
+            }
+            let mut candidate = current.clone();
+            candidate[i].0 = snapped;
+            if try_candidate(&candidate, &mut runs) {
+                current = candidate;
+            }
+        }
+    }
+
+    current
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xft_simnet::FaultEvent;
+
+    fn at(secs: f64, e: FaultEvent) -> TimedEvent {
+        (SimTime::ZERO + SimDuration::from_secs_f64(secs), e)
+    }
+
+    #[test]
+    fn shrinks_to_the_single_culprit() {
+        // Failure oracle: fails iff the schedule still contains the crash of
+        // replica 2.
+        let events = vec![
+            at(1.0, FaultEvent::Crash(0)),
+            at(2.0, FaultEvent::Recover(0)),
+            at(3.0, FaultEvent::Crash(2)),
+            at(4.0, FaultEvent::Isolate(1)),
+            at(5.0, FaultEvent::HealAll),
+            at(6.0, FaultEvent::SetDropProbability(0.05)),
+        ];
+        let shrunk = shrink(
+            events,
+            |evs| evs.iter().any(|(_, e)| matches!(e, FaultEvent::Crash(2))),
+            200,
+        );
+        assert_eq!(shrunk.len(), 1);
+        assert!(matches!(shrunk[0].1, FaultEvent::Crash(2)));
+        // Time compression pulled the event earlier.
+        assert!(shrunk[0].0 < SimTime::ZERO + SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn shrinks_conjunction_to_both_culprits() {
+        // Fails only when BOTH amnesia controls are present (the demo shape).
+        let events = vec![
+            at(1.0, FaultEvent::Crash(2)),
+            at(2.0, FaultEvent::Control(0, 5)),
+            at(2.5, FaultEvent::Recover(2)),
+            at(3.0, FaultEvent::Control(1, 5)),
+            at(4.0, FaultEvent::SetDropProbability(0.02)),
+        ];
+        let fails = |evs: &[TimedEvent]| {
+            evs.iter().any(|(_, e)| matches!(e, FaultEvent::Control(0, 5)))
+                && evs.iter().any(|(_, e)| matches!(e, FaultEvent::Control(1, 5)))
+        };
+        let shrunk = shrink(events, fails, 200);
+        assert_eq!(shrunk.len(), 2);
+        assert!(fails(&shrunk));
+    }
+
+    #[test]
+    fn respects_the_run_budget() {
+        let events: Vec<TimedEvent> =
+            (0..64).map(|i| at(i as f64, FaultEvent::Crash(i % 3))).collect();
+        let mut runs = 0usize;
+        let _ = shrink(
+            events,
+            |_| {
+                runs += 1;
+                true
+            },
+            25,
+        );
+        assert!(runs <= 25, "ran {runs} times");
+    }
+}

@@ -9,6 +9,22 @@
 use crate::types::SeqNum;
 use xft_simnet::ControlCode;
 
+/// Control code triggering an *amnesia* fault: the replica instantly loses its
+/// stable storage — prepare/commit logs, executed history, client table and
+/// application state — and continues running from a blank slate. Unlike the
+/// [`ByzantineBehavior`] modes (which are sticky until reset with code `0`),
+/// amnesia is a one-shot event; the replica behaves correctly afterwards, it
+/// has just genuinely forgotten. This is the storage-loss incarnation of the
+/// paper's non-crash fault class, and the one fault that reliably produces
+/// *checker-visible* safety violations once injected beyond the `t` budget.
+///
+/// Only honoured when checkpointing is disabled (`checkpoint_interval == 0`):
+/// the in-budget repair replays the adopted log from the start, which needs
+/// the full log to exist. On a checkpointed configuration the control code is
+/// refused (counted as `amnesia_refused_checkpointing`) instead of leaving
+/// the replica with application state it can never rebuild.
+pub const CONTROL_AMNESIA: u64 = 5;
+
 /// The non-crash behaviour currently exhibited by a replica.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ByzantineBehavior {

@@ -55,8 +55,14 @@ const TOKEN_NEXT_REQUEST: u64 = 1;
 /// timestamp is added, so every outstanding request has a distinct token.
 const TOKEN_RETRANSMIT_BASE: u64 = 1 << 32;
 
+/// A per-request operation generator: maps the client-local request timestamp
+/// (1, 2, 3, …) to the operation payload. Lets every request of one client
+/// carry a distinct operation (the chaos workload issues seeded random
+/// reads/writes this way) while staying deterministic.
+pub type OpFactory = dyn Fn(Timestamp) -> Bytes + Send + Sync;
+
 /// Workload configuration for a client.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ClientWorkload {
     /// Payload size of each request in bytes (1 kB and 4 kB in the paper). Ignored when
     /// `op_bytes` is set.
@@ -69,6 +75,25 @@ pub struct ClientWorkload {
     /// Explicit operation payload (e.g. an encoded coordination-service operation for
     /// the ZooKeeper macro-benchmark); when `None` the op is `payload_size` zero bytes.
     pub op_bytes: Option<Bytes>,
+    /// Per-request operation generator; takes precedence over `op_bytes`.
+    pub op_factory: Option<Arc<OpFactory>>,
+    /// Record an invocation/response history entry per request (the chaos
+    /// linearizability checker consumes it). Off by default: long benchmark
+    /// runs should not accumulate per-op records.
+    pub record_history: bool,
+}
+
+impl std::fmt::Debug for ClientWorkload {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClientWorkload")
+            .field("payload_size", &self.payload_size)
+            .field("requests", &self.requests)
+            .field("think_time", &self.think_time)
+            .field("op_bytes", &self.op_bytes.as_ref().map(|b| b.len()))
+            .field("op_factory", &self.op_factory.is_some())
+            .field("record_history", &self.record_history)
+            .finish()
+    }
 }
 
 impl Default for ClientWorkload {
@@ -78,8 +103,31 @@ impl Default for ClientWorkload {
             requests: None,
             think_time: SimDuration::ZERO,
             op_bytes: None,
+            op_factory: None,
+            record_history: false,
         }
     }
+}
+
+/// One entry of a client's recorded invocation/response history
+/// (`record_history` workloads). An entry with `completed_at == None` was
+/// invoked but never committed before the run ended — the operation may or
+/// may not have taken effect, which is exactly what a linearizability checker
+/// must treat as an open interval.
+#[derive(Debug, Clone)]
+pub struct HistoryRecord {
+    /// Client-local request timestamp (1, 2, 3, …).
+    pub timestamp: Timestamp,
+    /// The operation payload submitted to the replicated service.
+    pub op: Bytes,
+    /// When the request was first issued.
+    pub invoked_at: SimTime,
+    /// When the commit condition was met (`None` = still outstanding).
+    pub completed_at: Option<SimTime>,
+    /// The application-level reply payload, when a committed reply carried it.
+    pub result: Option<Bytes>,
+    /// Sequence number the request committed at, when known.
+    pub sn: Option<u64>,
 }
 
 /// One outstanding (issued, uncommitted) request.
@@ -116,6 +164,8 @@ pub struct Client {
     pending: BTreeMap<Timestamp, Pending>,
     committed: u64,
     stopped: bool,
+    /// Invocation/response log (only populated with `record_history`).
+    history: BTreeMap<Timestamp, HistoryRecord>,
 }
 
 impl Client {
@@ -141,6 +191,7 @@ impl Client {
             pending: BTreeMap::new(),
             committed: 0,
             stopped: false,
+            history: BTreeMap::new(),
         }
     }
 
@@ -162,6 +213,12 @@ impl Client {
     /// The client's current view estimate.
     pub fn view(&self) -> ViewNumber {
         self.view
+    }
+
+    /// The recorded invocation/response history, in issue order (empty unless
+    /// the workload set `record_history`).
+    pub fn history(&self) -> Vec<HistoryRecord> {
+        self.history.values().cloned().collect()
     }
 
     /// The configured request window, clamped to [`MAX_CLIENT_WINDOW`].
@@ -209,10 +266,24 @@ impl Client {
     fn issue_one(&mut self, ctx: &mut Context<XPaxosMsg>) {
         self.next_ts += 1;
         let ts = self.next_ts;
-        let op = match &self.workload.op_bytes {
-            Some(bytes) => bytes.clone(),
-            None => Bytes::from(vec![0u8; self.workload.payload_size]),
+        let op = match (&self.workload.op_factory, &self.workload.op_bytes) {
+            (Some(factory), _) => factory(ts),
+            (None, Some(bytes)) => bytes.clone(),
+            (None, None) => Bytes::from(vec![0u8; self.workload.payload_size]),
         };
+        if self.workload.record_history {
+            self.history.insert(
+                ts,
+                HistoryRecord {
+                    timestamp: ts,
+                    op: op.clone(),
+                    invoked_at: ctx.now(),
+                    completed_at: None,
+                    result: None,
+                    sn: None,
+                },
+            );
+        }
         let request = Request::new(self.id, ts, op);
         ctx.charge(CryptoOp::Sign);
         let signature = self.signer.sign_digest(&client_request_digest(&request));
@@ -239,7 +310,9 @@ impl Client {
         );
     }
 
-    fn commit_condition_met(&self, pending: &Pending) -> Option<ViewNumber> {
+    /// Returns the `(view, reply digest)` of the winning quorum when the
+    /// commit condition is met.
+    fn commit_condition_met(&self, pending: &Pending) -> Option<(ViewNumber, [u8; 32])> {
         // Group replies by (view, reply digest) and look for a quorum.
         let mut by_key: BTreeMap<(u64, [u8; 32]), Vec<ReplicaId>> = BTreeMap::new();
         for (replica, reply) in &pending.replies {
@@ -248,7 +321,7 @@ impl Client {
                 .or_default()
                 .push(*replica);
         }
-        for ((view, _), replicas) in &by_key {
+        for ((view, digest), replicas) in &by_key {
             let view = ViewNumber(*view);
             if self.config.t == 1 {
                 // Fast path: the primary's reply carrying the follower's signed commit
@@ -261,13 +334,13 @@ impl Client {
                         .map(|r| r.follower_commit.is_some())
                         .unwrap_or(false);
                 if has_full_primary_reply || replicas.len() >= self.config.active_count() {
-                    return Some(view);
+                    return Some((view, *digest));
                 }
             } else {
                 // General case: matching replies from all t + 1 active replicas.
                 let active = self.groups.active_replicas(view);
                 if active.iter().all(|a| replicas.contains(a)) {
-                    return Some(view);
+                    return Some((view, *digest));
                 }
             }
         }
@@ -292,9 +365,30 @@ impl Client {
         let Some(pending_ref) = self.pending.get(&ts) else {
             return;
         };
-        if let Some(view) = self.commit_condition_met(pending_ref) {
+        if let Some((view, digest)) = self.commit_condition_met(pending_ref) {
             let pending = self.pending.remove(&ts).expect("pending exists");
             ctx.cancel_timer(pending.retransmit_timer);
+            if self.workload.record_history {
+                // The primary's reply in the winning quorum carries the full
+                // application payload; followers send the digest only.
+                let winning = pending
+                    .replies
+                    .values()
+                    .filter(|r| r.view == view && r.reply_digest.0 == digest);
+                let mut result = None;
+                let mut sn = None;
+                for r in winning {
+                    sn = Some(r.sn.0);
+                    if r.payload.is_some() {
+                        result = r.payload.clone();
+                    }
+                }
+                if let Some(record) = self.history.get_mut(&ts) {
+                    record.completed_at = Some(ctx.now());
+                    record.result = result;
+                    record.sn = sn;
+                }
+            }
             self.view = self.view.max(view);
             self.committed += 1;
             let latency = ctx.now().duration_since(pending.issued_at);

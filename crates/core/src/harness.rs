@@ -323,6 +323,7 @@ mod tests {
                 requests: Some(20),
                 think_time: SimDuration::ZERO,
                 op_bytes: None,
+            ..Default::default()
             })
             .build();
         cluster.run_for(SimDuration::from_secs(30));
@@ -341,6 +342,7 @@ mod tests {
                 requests: Some(10),
                 think_time: SimDuration::ZERO,
                 op_bytes: None,
+            ..Default::default()
             })
             .build();
         cluster.run_for(SimDuration::from_secs(30));

@@ -48,8 +48,8 @@ pub mod sync_group;
 pub mod types;
 pub mod wire;
 
-pub use byzantine::ByzantineBehavior;
-pub use client::{Client, ClientWorkload};
+pub use byzantine::{ByzantineBehavior, CONTROL_AMNESIA};
+pub use client::{Client, ClientWorkload, HistoryRecord};
 pub use config::XPaxosConfig;
 pub use xft_simnet::PipelineConfig;
 pub use harness::{ClusterBuilder, LatencySpec, XPaxosCluster};

@@ -63,15 +63,76 @@ impl Replica {
         // later request can execute before an earlier shed one, so "at or
         // below the latest executed timestamp" would wrongly swallow the shed
         // request's retry.
-        if let Some(record) = self.client_table.get(&client) {
-            if record.executed(ts) {
-                if let Some(reply) = record.reply_for(ts) {
-                    let reply = reply.clone();
-                    let node = self.client_node(client);
-                    ctx.send(node, XPaxosMsg::Reply(reply));
+        if self.client_table.get(&client).map(|r| r.executed(ts)).unwrap_or(false) {
+            // Escalation: a client that keeps re-sending an executed request
+            // cannot assemble a commit quorum from the current group (the
+            // chaos explorer surfaced wedges where the other active replica
+            // had forgotten the view). Suspect after repeated re-answers,
+            // exactly like the unexecuted-request monitor path.
+            let mut escalate = false;
+            if retransmission && self.phase == Phase::Active && self.is_active_in(self.view) {
+                if let Some(cached) = self
+                    .client_table
+                    .get_mut(&client)
+                    .and_then(|r| r.replies.get_mut(&ts))
+                {
+                    cached.resends += 1;
+                    if cached.resends >= super::CACHE_ANSWER_SUSPECT_THRESHOLD {
+                        // Consumed only when the suspect actually goes out
+                        // (the guard above matches the send below), so a
+                        // re-answer during a view change doesn't burn the
+                        // whole threshold cycle.
+                        cached.resends = 0;
+                        escalate = true;
+                    }
                 }
-                return;
             }
+            if let Some(cached) = self.client_table.get(&client).and_then(|r| r.reply_for(ts)) {
+                let mut reply = cached.reply.clone();
+                // Re-bind stale cached replies to the current view. A
+                // request that commits *through* a view change leaves
+                // each active replica holding a reply bound to whichever
+                // view it executed in; those never re-form a quorum at
+                // the client (found by the chaos explorer: a follower
+                // crash+recover mid-pipeline wedged every in-flight
+                // request forever). As an active member of the current
+                // view — whose adopted log contains the executed entry —
+                // this replica can vouch for the result in this view, so
+                // the t + 1 active replicas' re-bound replies match again.
+                if self.phase == Phase::Active
+                    && self.is_active_in(self.view)
+                    && reply.view < self.view
+                {
+                    ctx.charge(CryptoOp::Sign);
+                    reply.view = self.view;
+                    reply.replica = self.id;
+                    reply.reply_digest = reply_digest(self.view, reply.sn, client, ts, &cached.rd);
+                    reply.follower_commit = None;
+                }
+                // The t = 1 primary attaches the follower's signed commit
+                // when it holds one for this view (fresh fast-path
+                // commits, or proofs rebuilt by the view-change exchange).
+                if self.config.t == 1
+                    && self.is_primary_in(self.view)
+                    && reply.view == self.view
+                    && reply.follower_commit.is_none()
+                {
+                    reply.follower_commit = self
+                        .follower_commits
+                        .get(&reply.sn.0)
+                        .filter(|c| c.view == self.view)
+                        .cloned();
+                }
+                let node = self.client_node(client);
+                ctx.send(node, XPaxosMsg::Reply(reply));
+            }
+            if escalate {
+                ctx.count("cache_answer_suspects", 1);
+                let suspect = self.make_suspect(self.view);
+                ctx.send(self.client_node(client), XPaxosMsg::SuspectToClient(suspect));
+                self.suspect_view(ctx);
+            }
+            return;
         }
 
         // A retransmitted copy of a request that is still in the admission
@@ -364,6 +425,31 @@ impl Replica {
         }
     }
 
+    /// A proposal for a view ahead of ours, validly signed by that view's
+    /// primary, is proof the cluster moved on without us — after an amnesia
+    /// fault reset our view estimate, or after we missed every SUSPECT of an
+    /// interim view change. Join the view change toward it: either the
+    /// VIEW-CHANGE exchange completes normally, or our collection timeout
+    /// escalates with a signed SUSPECT and rotates the group (this is what
+    /// un-wedges a cluster whose current follower forgot the view: found by
+    /// the chaos explorer). No new power is granted to faulty replicas — an
+    /// active replica can already force view changes with signed SUSPECTs.
+    fn join_newer_view_if_proven(
+        &mut self,
+        view: crate::types::ViewNumber,
+        signed: &Digest,
+        signature: &xft_crypto::Signature,
+        ctx: &mut Context<XPaxosMsg>,
+    ) {
+        ctx.charge(CryptoOp::VerifySig);
+        let primary = self.groups.primary(view);
+        if signature.signer == crate::types::replica_key(primary)
+            && self.verifier.is_valid_digest(signed, signature)
+        {
+            self.enter_view_change(view, ctx);
+        }
+    }
+
     /// General case (t ≥ 2): a follower receives the primary's PREPARE.
     pub(crate) fn on_prepare(
         &mut self,
@@ -371,6 +457,11 @@ impl Replica {
         m: PrepareMsg,
         ctx: &mut Context<XPaxosMsg>,
     ) {
+        if m.view > self.view {
+            let expected = PrepareEntry::signed_digest(&m.batch.digest(), m.sn, m.view);
+            self.join_newer_view_if_proven(m.view, &expected, &m.signature, ctx);
+            return;
+        }
         if self.phase != Phase::Active || m.view != self.view || !self.is_active_in(self.view) {
             return;
         }
@@ -447,6 +538,11 @@ impl Replica {
         m: CommitCarryMsg,
         ctx: &mut Context<XPaxosMsg>,
     ) {
+        if m.view > self.view {
+            let expected = CommitEntry::commit_digest(&m.batch.digest(), m.sn, m.view);
+            self.join_newer_view_if_proven(m.view, &expected, &m.signature, ctx);
+            return;
+        }
         if self.phase != Phase::Active || m.view != self.view {
             return;
         }
@@ -713,15 +809,18 @@ impl Replica {
                     None
                 },
             };
-            // Remember recent replies for duplicate suppression.
+            // Remember recent replies (with the raw reply digest, for
+            // view re-binding) for duplicate suppression.
             self.client_table
                 .entry(req.client)
                 .or_default()
-                .record(req.timestamp, reply.clone());
+                .record(req.timestamp, reply.clone(), rd);
             self.clear_monitor(req.client, req.timestamp, ctx);
 
-            // Only active replicas answer clients (passive replicas execute silently).
-            if is_active {
+            // Only active replicas answer clients (passive replicas execute
+            // silently, as do rebuild replays — retransmissions are answered
+            // from the rebuilt reply cache).
+            if is_active && !self.replaying {
                 ctx.send(self.client_node(req.client), XPaxosMsg::Reply(reply));
             }
         }

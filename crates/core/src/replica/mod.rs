@@ -47,6 +47,31 @@ pub(crate) struct PendingCommit {
     pub(crate) sigs: BTreeMap<ReplicaId, Signature>,
 }
 
+/// A cached reply together with the *raw* application reply digest it was
+/// built from. The raw digest is what lets an active replica of a **later**
+/// view re-bind the cached reply to the current view when answering a
+/// retransmission (see `on_client_request`): the signed binding digest
+/// `reply_digest(view, sn, c, ts, rd)` must be recomputed for the new view,
+/// which needs `rd`.
+#[derive(Debug, Clone)]
+pub(crate) struct CachedReply {
+    pub(crate) reply: ReplyMsg,
+    pub(crate) rd: Digest,
+    /// Retransmissions answered from this cache entry since it was recorded
+    /// (or since the last escalation). A client that keeps re-sending an
+    /// *executed* request is telling us its replies never assemble a commit
+    /// quorum — e.g. the other active replica forgot the view, or holds a
+    /// reply from an older view. After [`CACHE_ANSWER_SUSPECT_THRESHOLD`]
+    /// re-answers the replica suspects the view, the Algorithm-4 escalation
+    /// the plain (unexecuted-request) monitor path already provides.
+    pub(crate) resends: u32,
+}
+
+/// Cache re-answers of one request before the view is suspected. The client
+/// retransmit cycle paces arrivals, so a single lost reply stays well below
+/// this; only a persistently uncommittable request crosses it.
+pub(crate) const CACHE_ANSWER_SUSPECT_THRESHOLD: u32 = 3;
+
 /// Cached replies per client for exactly-once semantics. With windowed clients
 /// several of a client's requests execute close together — and load shedding
 /// can reorder a single client's timestamps — so the seed's single "latest
@@ -55,7 +80,7 @@ pub(crate) struct PendingCommit {
 #[derive(Debug, Default, Clone)]
 pub(crate) struct ClientRecord {
     /// Replies to recent requests, pruned to [`CLIENT_REPLY_CACHE`] entries.
-    pub(crate) replies: BTreeMap<Timestamp, ReplyMsg>,
+    pub(crate) replies: BTreeMap<Timestamp, CachedReply>,
     /// Every executed timestamp, as merged inclusive ranges (start → end).
     /// Execution is near-monotone per client (gaps only while shedding
     /// reorders a client's requests, and they close when the stragglers
@@ -76,10 +101,11 @@ pub(crate) struct ClientRecord {
 pub(crate) const CLIENT_REPLY_CACHE: usize = 2 * crate::client::MAX_CLIENT_WINDOW;
 
 impl ClientRecord {
-    /// Records the reply for `ts`, pruning the oldest replies past the cap.
-    pub(crate) fn record(&mut self, ts: Timestamp, reply: ReplyMsg) {
+    /// Records the reply for `ts` (with its raw application reply digest),
+    /// pruning the oldest replies past the cap.
+    pub(crate) fn record(&mut self, ts: Timestamp, reply: ReplyMsg, rd: Digest) {
         self.mark_executed(ts);
-        self.replies.insert(ts, reply);
+        self.replies.insert(ts, CachedReply { reply, rd, resends: 0 });
         while self.replies.len() > CLIENT_REPLY_CACHE {
             let oldest = *self.replies.keys().next().expect("non-empty cache");
             self.replies.remove(&oldest);
@@ -126,7 +152,7 @@ impl ClientRecord {
     }
 
     /// The cached reply for exactly `ts`, if not yet pruned.
-    pub(crate) fn reply_for(&self, ts: Timestamp) -> Option<&ReplyMsg> {
+    pub(crate) fn reply_for(&self, ts: Timestamp) -> Option<&CachedReply> {
         self.replies.get(&ts)
     }
 }
@@ -185,6 +211,10 @@ pub struct Replica {
     pub(crate) state: Box<dyn StateMachine>,
     /// (sn, batch digest) for every executed batch, used by consistency checks.
     pub(crate) executed_history: Vec<(SeqNum, Digest)>,
+    /// Set while a view-change rebuild replays the adopted log: execution
+    /// updates all local state but suppresses client replies (clients get the
+    /// rebuilt cached replies on retransmission instead of a replay storm).
+    pub(crate) replaying: bool,
     /// Recently executed timestamps and cached replies per client
     /// (exactly-once semantics, windowed).
     pub(crate) client_table: HashMap<ClientId, ClientRecord>,
@@ -261,6 +291,7 @@ impl Replica {
             follower_commits: HashMap::new(),
             state,
             executed_history: Vec::new(),
+            replaying: false,
             client_table: HashMap::new(),
             stashed_proposals: BTreeMap::new(),
             early_commits: BTreeMap::new(),
@@ -332,6 +363,45 @@ impl Replica {
     /// Sets the replica's Byzantine behaviour (tests / FD experiments).
     pub fn set_behavior(&mut self, behavior: ByzantineBehavior) {
         self.behavior = behavior;
+    }
+
+    /// The *amnesia* fault ([`crate::byzantine::CONTROL_AMNESIA`]): lose every
+    /// piece of stable storage — ordering logs, executed history, client
+    /// table, application state — and continue from a blank slate. The view
+    /// estimate is forgotten too; the replica re-learns it from the next
+    /// SUSPECT / VIEW-CHANGE traffic and rebuilds state from the NEW-VIEW
+    /// selection, exactly like a freshly provisioned machine joining with a
+    /// stale identity. Within the `t` budget XPaxos recovers (some correct
+    /// replica's log survives into the view-change selection); beyond it,
+    /// committed requests are genuinely lost and the chaos checker sees it.
+    pub fn forget_state(&mut self) {
+        self.behavior = ByzantineBehavior::Correct;
+        self.replaying = false;
+        self.view = ViewNumber(0);
+        self.phase = Phase::Active;
+        self.next_sn = SeqNum(0);
+        self.exec_sn = SeqNum(0);
+        self.prepare_log = PrepareLog::new();
+        self.commit_log = CommitLog::new();
+        self.pending_commits.clear();
+        self.follower_commits.clear();
+        self.state.reset();
+        self.executed_history.clear();
+        self.client_table.clear();
+        self.stashed_proposals.clear();
+        self.early_commits.clear();
+        self.pending_requests.clear();
+        self.queued_keys.clear();
+        self.batch_timer = None;
+        self.proposed_in_flight = 0;
+        self.last_checkpoint = SeqNum(0);
+        self.prechk_votes.clear();
+        self.chkpt_votes.clear();
+        self.vc = None;
+        self.forwarded_suspects.clear();
+        self.monitored.clear();
+        self.monitored_by_req.clear();
+        self.detected_faulty.clear();
     }
 
     /// The currently configured Byzantine behaviour.
@@ -446,8 +516,20 @@ impl Actor for Replica {
         self.early_commits.clear();
     }
 
-    fn on_control(&mut self, code: ControlCode, _ctx: &mut Context<XPaxosMsg>) {
-        if let Some(behavior) = ByzantineBehavior::from_control_code(code) {
+    fn on_control(&mut self, code: ControlCode, ctx: &mut Context<XPaxosMsg>) {
+        if code.0 == crate::byzantine::CONTROL_AMNESIA {
+            // Amnesia repair works by replaying the adopted log from sn 1
+            // (view_change.rs), which requires the *full* log. With
+            // checkpointing enabled peers garbage-collect their prefixes and
+            // a blank replica would skip-adopt a checkpoint it never
+            // executed, serving clients from the wrong application state —
+            // so the injection is refused rather than made unsound.
+            if self.config.checkpoint_interval == 0 {
+                self.forget_state();
+            } else {
+                ctx.count("amnesia_refused_checkpointing", 1);
+            }
+        } else if let Some(behavior) = ByzantineBehavior::from_control_code(code) {
             self.behavior = behavior;
         }
     }
@@ -475,7 +557,7 @@ mod tests {
     fn client_record_merges_executed_ranges() {
         let mut r = ClientRecord::default();
         for ts in [1, 2, 3, 7, 5, 6, 4] {
-            r.record(ts, reply(ts));
+            r.record(ts, reply(ts), D::of(&ts.to_le_bytes()));
         }
         // Out-of-order execution collapses into one contiguous range.
         assert_eq!(r.executed_ranges, BTreeMap::from([(1, 7)]));
@@ -487,7 +569,7 @@ mod tests {
     fn client_record_executedness_survives_reply_pruning() {
         let mut r = ClientRecord::default();
         for ts in 1..=(CLIENT_REPLY_CACHE as u64 + 50) {
-            r.record(ts, reply(ts));
+            r.record(ts, reply(ts), D::of(&ts.to_le_bytes()));
         }
         assert_eq!(r.replies.len(), CLIENT_REPLY_CACHE);
         // The oldest replies were pruned…
@@ -500,11 +582,11 @@ mod tests {
     #[test]
     fn client_record_tracks_gaps_until_they_close() {
         let mut r = ClientRecord::default();
-        r.record(1, reply(1));
-        r.record(3, reply(3));
+        r.record(1, reply(1), D::of(b"1"));
+        r.record(3, reply(3), D::of(b"3"));
         assert!(!r.executed(2), "the shed request is still admissible");
         assert_eq!(r.executed_ranges.len(), 2);
-        r.record(2, reply(2));
+        r.record(2, reply(2), D::of(b"2"));
         assert_eq!(r.executed_ranges, BTreeMap::from([(1, 3)]));
     }
 }

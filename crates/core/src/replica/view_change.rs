@@ -415,6 +415,12 @@ impl Replica {
         let present: std::collections::BTreeSet<u64> = entries.iter().map(|e| e.sn.0).collect();
         let highest = present.iter().next_back().copied().unwrap_or(0);
         let lowest = present.iter().next().copied().unwrap_or(0);
+        // With checkpointing off the replica holds its full log, so divergent
+        // speculative execution can be *repaired for real* by replaying the
+        // adopted log from the start (see below). With checkpoints, truncated
+        // prefixes make a replay impossible and the digest-swap shortcut
+        // stands in for the snapshot transfer of a real deployment.
+        let full_log = self.last_checkpoint == SeqNum(0);
 
         // If everything below `lowest` was garbage-collected by checkpoints on the
         // other replicas, this replica adopts the checkpointed state: it skips forward
@@ -429,12 +435,11 @@ impl Replica {
                 None => true,
             };
             if replace {
-                // If this replica already executed a *different* batch at this slot
-                // (possible only for entries it executed speculatively in the t = 1
-                // fast path before being cut off), adopt the authoritative batch and
-                // record the repair — this models the state transfer a rejoining
-                // replica performs in a real deployment.
-                if entry.sn <= self.exec_sn {
+                if !full_log && entry.sn <= self.exec_sn {
+                    // Checkpointed mode: if this replica already executed a
+                    // *different* batch at this slot, swap the recorded digest
+                    // (the state-transfer shortcut; the full-log path below
+                    // repairs by replay instead).
                     let new_digest = entry.batch.digest();
                     if let Some(slot) = self
                         .executed_history
@@ -458,9 +463,20 @@ impl Replica {
             self.prepare_log.insert(entry);
         }
         // Fill any holes in the adopted sequence with no-op batches so execution can
-        // proceed past them (holes can only correspond to never-committed slots).
-        for sn in (self.exec_sn.0 + 1)..=highest {
-            if !present.contains(&sn) && !self.commit_log.contains(SeqNum(sn)) {
+        // proceed past them (holes can only correspond to never-committed slots). In
+        // full-log mode a leftover *uncommitted* entry of an older view at a
+        // selected-out slot is replaced by the same no-op every other replica fills
+        // there — keeping it would fork the sequence.
+        let first_hole_sn = if full_log { 1 } else { self.exec_sn.0 + 1 };
+        for sn in first_hole_sn..=highest {
+            if present.contains(&sn) {
+                continue;
+            }
+            let fill = match self.commit_log.get(SeqNum(sn)) {
+                Some(existing) => full_log && existing.view < target,
+                None => true,
+            };
+            if fill {
                 self.commit_log.insert(CommitEntry {
                     view: target,
                     sn: SeqNum(sn),
@@ -468,6 +484,39 @@ impl Replica {
                     primary_sig: xft_crypto::Signature::forged(self.signer.id()),
                     commit_sigs: BTreeMap::new(),
                 });
+            }
+        }
+
+        // Full-log repair: if what this replica *executed* diverges anywhere from the
+        // adopted canonical log — a speculatively executed slot that the new view
+        // selected differently or dropped (paper Lemma 1) — rolling the state machine
+        // forward would leave orphaned operations in the application state and the
+        // client table (the chaos explorer caught exactly that as duplicate write
+        // serials). Instead, roll back and replay the adopted log from the start:
+        // state machine, executed history, reply cache and exactly-once table are all
+        // rebuilt consistent with the new view. Replay suppresses client replies;
+        // retransmissions are answered from the rebuilt cache.
+        if full_log {
+            let mut rebuild = self.exec_sn.0 > highest;
+            if !rebuild {
+                rebuild = self.executed_history.iter().any(|(sn, digest)| {
+                    self.commit_log
+                        .get(*sn)
+                        .map(|e| e.batch.digest() != *digest)
+                        .unwrap_or(true)
+                });
+            }
+            if rebuild {
+                ctx.count("state_rebuilds", 1);
+                self.commit_log.lose_suffix(SeqNum(highest));
+                self.prepare_log.lose_suffix(SeqNum(highest));
+                self.state.reset();
+                self.executed_history.clear();
+                self.client_table.clear();
+                self.follower_commits.clear();
+                self.exec_sn = SeqNum(0);
+                // The install tail's try_execute (reply-suppressed) replays
+                // the adopted log from sn 1 and rebuilds everything above.
             }
         }
 
@@ -519,7 +568,13 @@ impl Replica {
             new_view: target.0,
         });
 
+        // Install-time execution never answers clients directly — after a
+        // rebuild it would replay the whole history as a reply storm; even a
+        // normal install's entries are better served from the rebuilt reply
+        // cache when the client retransmits.
+        self.replaying = true;
         self.try_execute(ctx);
+        self.replaying = false;
 
         // The new primary resumes proposing any buffered client requests.
         if self.is_primary_in(target) && !self.pending_requests.is_empty() {

@@ -22,6 +22,12 @@ pub trait StateMachine: Send {
     fn execution_cost_ns(&self, _op: &[u8]) -> u64 {
         0
     }
+
+    /// Resets the service to its initial (empty) state. Used by the *amnesia*
+    /// fault injection (a non-crash storage-loss fault): the replica forgets
+    /// its logs *and* its application state, then rebuilds both from whatever
+    /// the protocol re-delivers.
+    fn reset(&mut self);
 }
 
 /// The null service used by the 1/0 and 4/0 micro-benchmarks: every operation returns
@@ -51,6 +57,10 @@ impl StateMachine for NullService {
 
     fn state_digest(&self) -> Digest {
         Digest::of(&self.applied.to_le_bytes())
+    }
+
+    fn reset(&mut self) {
+        *self = NullService::new();
     }
 }
 
@@ -99,6 +109,10 @@ impl StateMachine for DigestChainService {
 
     fn state_digest(&self) -> Digest {
         self.chain
+    }
+
+    fn reset(&mut self) {
+        *self = DigestChainService::new();
     }
 }
 

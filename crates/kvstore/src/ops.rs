@@ -53,6 +53,22 @@ pub enum KvOp {
         /// The expired session id.
         session: u64,
     },
+    /// Create-or-overwrite: creates the node (version 0) if missing, else
+    /// overwrites its data. Returns the node's new version as 8 LE bytes —
+    /// the per-key write serial number the chaos linearizability checker keys
+    /// its register model on.
+    Put {
+        /// Path to upsert.
+        path: String,
+        /// New data.
+        data: Bytes,
+    },
+    /// Versioned read: returns the node's version (8 LE bytes) followed by
+    /// its data, so a reader observes *which* write it linearized after.
+    GetVer {
+        /// Path to read.
+        path: String,
+    },
 }
 
 /// Result of applying an operation.
@@ -94,6 +110,8 @@ const TAG_GET: u8 = 4;
 const TAG_EXISTS: u8 = 5;
 const TAG_CHILDREN: u8 = 6;
 const TAG_EXPIRE: u8 = 7;
+const TAG_PUT: u8 = 8;
+const TAG_GETVER: u8 = 9;
 
 fn put_str(out: &mut BytesMut, s: &str) {
     out.put_u32_le(s.len() as u32);
@@ -172,6 +190,16 @@ impl KvOp {
                 out.put_u8(TAG_EXPIRE);
                 out.put_u64_le(*session);
             }
+            KvOp::Put { path, data } => {
+                out.put_u8(TAG_PUT);
+                put_str(&mut out, path);
+                out.put_u32_le(data.len() as u32);
+                out.put_slice(data);
+            }
+            KvOp::GetVer { path } => {
+                out.put_u8(TAG_GETVER);
+                put_str(&mut out, path);
+            }
         }
         out.freeze()
     }
@@ -225,6 +253,17 @@ impl KvOp {
                     session: u64::from_le_bytes(data[pos..pos + 8].try_into().ok()?),
                 })
             }
+            TAG_PUT => {
+                let path = get_str(data, &mut pos)?;
+                let payload = get_bytes(data, &mut pos)?;
+                Some(KvOp::Put {
+                    path,
+                    data: payload,
+                })
+            }
+            TAG_GETVER => Some(KvOp::GetVer {
+                path: get_str(data, &mut pos)?,
+            }),
             _ => None,
         }
     }
@@ -263,6 +302,11 @@ mod tests {
         roundtrip(KvOp::Exists { path: "/k".into() });
         roundtrip(KvOp::GetChildren { path: "/".into() });
         roundtrip(KvOp::ExpireSession { session: 9 });
+        roundtrip(KvOp::Put {
+            path: "/chaos0".into(),
+            data: Bytes::from(vec![3u8; 16]),
+        });
+        roundtrip(KvOp::GetVer { path: "/chaos0".into() });
     }
 
     #[test]

@@ -70,6 +70,30 @@ impl CoordinationService {
                 let removed = self.tree.expire_session(*session);
                 KvResult::Ok(Bytes::copy_from_slice(&(removed as u64).to_le_bytes()))
             }
+            KvOp::Put { path, data } => {
+                if self.tree.exists(path) {
+                    match self.tree.set(path, data.clone(), None) {
+                        Ok(version) => {
+                            KvResult::Ok(Bytes::copy_from_slice(&version.to_le_bytes()))
+                        }
+                        Err(e) => KvResult::Err(err_name(e)),
+                    }
+                } else {
+                    match self.tree.create(path, data.clone(), None, false) {
+                        Ok(_) => KvResult::Ok(Bytes::copy_from_slice(&0u64.to_le_bytes())),
+                        Err(e) => KvResult::Err(err_name(e)),
+                    }
+                }
+            }
+            KvOp::GetVer { path } => match self.tree.get(path) {
+                Ok(node) => {
+                    let mut out = BytesMut::with_capacity(8 + node.data.len());
+                    out.put_u64_le(node.version);
+                    out.put_slice(&node.data);
+                    KvResult::Ok(out.freeze())
+                }
+                Err(e) => KvResult::Err(err_name(e)),
+            },
         }
     }
 
@@ -111,6 +135,10 @@ impl StateMachine for CoordinationService {
         // A small, size-proportional execution cost: ZooKeeper operations on tmpfs are
         // cheap compared to the replication protocol (which is the paper's point).
         500 + (op.len() as u64) / 4
+    }
+
+    fn reset(&mut self) {
+        *self = CoordinationService::new();
     }
 }
 
@@ -188,6 +216,48 @@ mod tests {
             }),
             KvResult::Err("NoParent")
         );
+    }
+
+    #[test]
+    fn put_upserts_and_getver_reports_versions() {
+        let mut svc = CoordinationService::new();
+        let put = |svc: &mut CoordinationService, data: &'static [u8]| {
+            match svc.apply_op(&KvOp::Put {
+                path: "/k".into(),
+                data: Bytes::from_static(data),
+            }) {
+                KvResult::Ok(v) => u64::from_le_bytes(v[..8].try_into().unwrap()),
+                KvResult::Err(e) => panic!("put failed: {e}"),
+            }
+        };
+        assert_eq!(put(&mut svc, b"a"), 0, "create returns version 0");
+        assert_eq!(put(&mut svc, b"b"), 1);
+        assert_eq!(put(&mut svc, b"c"), 2);
+        match svc.apply_op(&KvOp::GetVer { path: "/k".into() }) {
+            KvResult::Ok(out) => {
+                assert_eq!(u64::from_le_bytes(out[..8].try_into().unwrap()), 2);
+                assert_eq!(&out[8..], b"c");
+            }
+            KvResult::Err(e) => panic!("getver failed: {e}"),
+        }
+        assert_eq!(
+            svc.apply_op(&KvOp::GetVer { path: "/missing".into() }),
+            KvResult::Err("NoNode")
+        );
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut svc = CoordinationService::new();
+        let initial = svc.state_digest();
+        svc.apply_op(&KvOp::Put {
+            path: "/k".into(),
+            data: Bytes::from_static(b"x"),
+        });
+        assert_ne!(svc.state_digest(), initial);
+        svc.reset();
+        assert_eq!(svc.state_digest(), initial);
+        assert!(svc.tree().is_empty());
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub fn bench_workload(client: u64, payload: usize, ops: Option<u64>) -> ClientWo
         requests: ops,
         think_time: SimDuration::ZERO,
         op_bytes: Some(bench_create_op(client, payload)),
+        ..Default::default()
     }
 }
 

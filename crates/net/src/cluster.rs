@@ -1,6 +1,7 @@
 //! Cluster bring-up helpers shared by the binaries and the integration tests.
 
-use std::net::SocketAddr;
+use crate::address::AddressBook;
+use std::net::{SocketAddr, TcpListener};
 use std::sync::Arc;
 use xft_core::replica::Replica;
 use xft_core::types::{client_key, replica_key, ClientId};
@@ -21,6 +22,25 @@ pub fn register_cluster_keys(registry: &Arc<KeyRegistry>, config: &XPaxosConfig)
     for c in 0..config.client_nodes.len() {
         registry.register(client_key(ClientId(c as u64)));
     }
+}
+
+/// Binds `nodes` loopback listeners on OS-assigned ephemeral ports (bind port
+/// 0 and read the port back) and publishes them in a shared [`AddressBook`].
+///
+/// This is the collision-free way to stand up an in-process test cluster:
+/// fixed or randomly guessed port blocks collide when several test binaries
+/// (or several CI jobs on one machine) run in parallel, while ports the OS
+/// hands out are guaranteed free at bind time. Both the `tcp_cluster`
+/// integration test and the chaos explorer's live-socket sampling use this.
+pub fn bind_loopback_cluster(nodes: usize) -> std::io::Result<(Vec<TcpListener>, Arc<AddressBook>)> {
+    let listeners: Vec<TcpListener> = (0..nodes)
+        .map(|_| TcpListener::bind("127.0.0.1:0"))
+        .collect::<std::io::Result<_>>()?;
+    let mut addrs = Vec::with_capacity(nodes);
+    for (node, listener) in listeners.iter().enumerate() {
+        addrs.push((node, listener.local_addr()?));
+    }
+    Ok((listeners, AddressBook::new(addrs)))
 }
 
 /// Parses a comma-separated node address list (`host:port,host:port,…`),
@@ -78,6 +98,19 @@ mod tests {
         assert_eq!(addrs[1].port(), 1001);
         assert!(parse_node_addrs("localhost-no-port").is_err());
         assert!(parse_node_addrs("").is_err());
+    }
+
+    #[test]
+    fn bind_loopback_cluster_hands_out_distinct_live_ports() {
+        let (listeners, book) = bind_loopback_cluster(4).expect("bind");
+        assert_eq!(listeners.len(), 4);
+        let mut ports: Vec<u16> = (0..4).map(|n| book.get(n).expect("published").port()).collect();
+        ports.sort_unstable();
+        ports.dedup();
+        assert_eq!(ports.len(), 4, "OS-assigned ports must be distinct");
+        for p in ports {
+            assert_ne!(p, 0, "port must be read back, not left as the bind-0 wildcard");
+        }
     }
 
     #[test]

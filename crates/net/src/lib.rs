@@ -37,5 +37,7 @@ pub mod runtime;
 pub mod transport;
 
 pub use address::AddressBook;
-pub use cluster::{check_total_order, parse_node_addrs, register_cluster_keys};
+pub use cluster::{
+    bind_loopback_cluster, check_total_order, parse_node_addrs, register_cluster_keys,
+};
 pub use runtime::{NetConfig, NetHandle, StartMode, TcpRuntime};

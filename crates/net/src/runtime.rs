@@ -39,6 +39,11 @@ pub struct NetConfig {
     /// connection readers block on it, exerting TCP backpressure on peers
     /// instead of buffering without bound.
     pub inbox_capacity: usize,
+    /// Clock origin for the actor-visible time. Defaults to "when this
+    /// runtime started"; harnesses that compare event times *across* nodes
+    /// (the chaos history checker) pass one shared origin to every runtime
+    /// so all histories live on a common clock.
+    pub origin: Option<Instant>,
 }
 
 impl Default for NetConfig {
@@ -49,6 +54,7 @@ impl Default for NetConfig {
             reconnect_delay: Duration::from_millis(200),
             queue_capacity: 4096,
             inbox_capacity: 65536,
+            origin: None,
         }
     }
 }
@@ -72,12 +78,34 @@ pub struct NetHandle {
     committed: AtomicU64,
     shutdown: Arc<AtomicBool>,
     latencies_ns: Mutex<Vec<u64>>,
+    controls: Mutex<VecDeque<u64>>,
 }
 
 impl NetHandle {
     /// Requests go through commits recorded by the actor (client runtimes).
     pub fn committed(&self) -> u64 {
         self.committed.load(Ordering::Relaxed)
+    }
+
+    /// Queues a protocol control code for delivery to the driven actor — the
+    /// live-socket counterpart of the simulator's `FaultEvent::Control` (e.g.
+    /// "become Byzantine with behaviour 2", "suffer amnesia"). The run loop
+    /// drains queued codes before its next message, so injection is prompt
+    /// even under load. Used by the chaos explorer to replay fault schedules
+    /// against real TCP clusters.
+    pub fn inject_control(&self, code: u64) {
+        self.controls
+            .lock()
+            .expect("control queue poisoned")
+            .push_back(code);
+    }
+
+    /// Takes the next pending control code, if any (run-loop side).
+    fn next_control(&self) -> Option<u64> {
+        self.controls
+            .lock()
+            .expect("control queue poisoned")
+            .pop_front()
     }
 
     /// Asks the run loop (and all transport threads) to stop.
@@ -201,7 +229,7 @@ where
             local,
             driver: ActorDriver::new(xft_crypto::CostModel::free()),
             rng: SimRng::seed_from_u64(config.seed ^ local as u64),
-            origin: Instant::now(),
+            origin: config.origin.unwrap_or_else(Instant::now),
             timers: BinaryHeap::new(),
             cancelled: HashSet::new(),
             timer_seq: 0,
@@ -275,6 +303,12 @@ where
             self.fire_due_timers();
             if self.handle.is_shutdown() {
                 break;
+            }
+            // Injected control codes (chaos schedules over live sockets) are
+            // delivered ahead of network traffic, like the simulator's fault
+            // events.
+            while let Some(code) = self.handle.next_control() {
+                self.process(ActorEvent::Control(xft_simnet::ControlCode(code)));
             }
             if let Some((from, msg)) = self.pending_local.pop_front() {
                 self.process(ActorEvent::Message { from, msg });

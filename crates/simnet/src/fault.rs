@@ -40,10 +40,21 @@ impl FaultScript {
         FaultScript { events: Vec::new() }
     }
 
+    /// Builds a script from pre-timed events (used by the chaos schedule
+    /// generator and by shrunk reproducers).
+    pub fn from_events(events: Vec<(SimTime, FaultEvent)>) -> Self {
+        FaultScript { events }
+    }
+
     /// Adds an event at an absolute simulated time.
     pub fn at(mut self, time: SimTime, event: FaultEvent) -> Self {
         self.events.push((time, event));
         self
+    }
+
+    /// The scheduled events in insertion order.
+    pub fn events(&self) -> &[(SimTime, FaultEvent)] {
+        &self.events
     }
 
     /// Adds an event at `seconds` of simulated time.

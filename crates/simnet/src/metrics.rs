@@ -224,6 +224,38 @@ impl Metrics {
             .map(|(i, _)| i)
     }
 
+    /// A 64-bit fingerprint over everything this collector recorded: every
+    /// commit (time, latency, payload), every counter, every view change and
+    /// the per-node CPU table. Two runs with byte-identical metrics produce
+    /// equal fingerprints; the determinism tests compare faulty runs with it.
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a, good enough for regression comparison (not security).
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut eat = |bytes: &[u8]| {
+            for b in bytes {
+                h ^= *b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        for (at, latency, bytes) in &self.commits {
+            eat(&at.as_nanos().to_le_bytes());
+            eat(&latency.as_nanos().to_le_bytes());
+            eat(&(*bytes as u64).to_le_bytes());
+        }
+        for (at, view) in &self.view_changes {
+            eat(&at.as_nanos().to_le_bytes());
+            eat(&view.to_le_bytes());
+        }
+        for (name, value) in &self.counters {
+            eat(name.as_bytes());
+            eat(&value.to_le_bytes());
+        }
+        for ns in &self.cpu_ns {
+            eat(&ns.to_le_bytes());
+        }
+        h
+    }
+
     /// Latency (ms) of every commit in commit order — used by tests that need raw data.
     pub fn commit_latencies_ms(&self) -> Vec<f64> {
         self.commits.iter().map(|(_, l, _)| l.as_millis_f64()).collect()

@@ -80,4 +80,13 @@ smoke_pipelined() {
 }
 smoke_pipelined $((20000 + RANDOM % 20000)) || smoke_pipelined $((20000 + RANDOM % 20000))
 
+echo "==> chaos smoke: 200 in-budget seeds, fixed base seed, zero violations allowed"
+# Any non-linearizable verdict fails the build and prints the shrunk minimal
+# FaultScript reproducer. The window/drain are trimmed to keep the smoke
+# time-budgeted (~1 min); the full-length sweep is `chaos-explorer --seeds 1000`.
+target/release/chaos-explorer --seeds 200 --base-seed 1 --window-secs 5 --drain-secs 14
+
+echo "==> chaos demo: a deliberately over-budget run must be caught and shrunk"
+target/release/chaos-explorer --mode demo --window-secs 5 --drain-secs 14
+
 echo "CI green ✓"

@@ -11,6 +11,9 @@
 //! * [`net`] (`xft-net`) — the real TCP transport and runtime for live clusters,
 //! * [`baselines`] (`xft-baselines`) — Paxos, PBFT, Zyzzyva and Zab comparison
 //!   protocols,
+//! * [`chaos`] (`xft-chaos`) — seeded random fault schedules, the
+//!   linearizability checker over client histories, and shrinking of failing
+//!   schedules to minimal reproducers (the `chaos-explorer` binary),
 //! * [`reliability`] (`xft-reliability`) — the nines-of-reliability analysis,
 //! * [`kvstore`] (`xft-kvstore`) — the ZooKeeper-like coordination service.
 //!
@@ -26,6 +29,7 @@
 pub mod testing;
 
 pub use xft_baselines as baselines;
+pub use xft_chaos as chaos;
 pub use xft_core as core;
 pub use xft_crypto as crypto;
 pub use xft_kvstore as kvstore;

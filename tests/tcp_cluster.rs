@@ -25,7 +25,7 @@ use xft::kvstore::workload::bench_create_op;
 use xft::kvstore::CoordinationService;
 use xft::net::runtime::{NetConfig, NetHandle, StartMode, TcpRuntime};
 use xft::net::transport::TransportStats;
-use xft::net::{check_total_order, register_cluster_keys, AddressBook};
+use xft::net::{bind_loopback_cluster, check_total_order, register_cluster_keys, AddressBook};
 use xft::simnet::{Actor, PipelineConfig, SimDuration};
 use xft_wire::{WireDecode, WireEncode};
 
@@ -125,17 +125,11 @@ fn live_tcp_cluster_commits_survives_primary_kill_and_reconnect() {
     let registry = KeyRegistry::new(42 ^ 0x5eed);
     register_cluster_keys(&registry, &config);
 
-    // Bind every node's ephemeral loopback port first and publish the full
-    // membership in the shared address book before anything starts sending.
-    let mut listeners: Vec<TcpListener> = (0..N + CLIENTS)
-        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port"))
-        .collect();
-    let book = AddressBook::new(
-        listeners
-            .iter()
-            .enumerate()
-            .map(|(node, l)| (node, l.local_addr().expect("local addr"))),
-    );
+    // Bind every node on an OS-assigned ephemeral loopback port (bind port 0
+    // and read it back — parallel test runs can't collide on guessed ports)
+    // and publish the full membership in the shared address book before
+    // anything starts sending.
+    let (mut listeners, book) = bind_loopback_cluster(N + CLIENTS).expect("bind cluster ports");
 
     let mut replicas: Vec<Option<NodeThread<Replica>>> = Vec::new();
     for (r, listener) in listeners.drain(..N).enumerate() {
@@ -165,6 +159,7 @@ fn live_tcp_cluster_commits_survives_primary_kill_and_reconnect() {
             // A little think time keeps CPU contention civil.
             think_time: SimDuration::from_millis(5),
             op_bytes: Some(bench_create_op(c as u64, PAYLOAD)),
+        ..Default::default()
         };
         let client = Client::new(ClientId(c as u64), config.clone(), &registry, workload);
         clients.push(NodeThread::spawn(

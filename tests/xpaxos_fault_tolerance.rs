@@ -15,6 +15,7 @@ fn workload(requests: Option<u64>) -> ClientWorkload {
         requests,
         think_time: SimDuration::ZERO,
         op_bytes: None,
+    ..Default::default()
     }
 }
 
@@ -198,6 +199,141 @@ fn mute_byzantine_follower_is_tolerated() {
     cluster.run_for(SimDuration::from_secs(20));
     let after = cluster.total_committed();
     assert!(after > before + 10, "no progress with mute follower");
+    cluster.check_total_order().expect("total order preserved");
+}
+
+/// Injects `code` on `target` via the fault-script control path at 3 s (the
+/// same path the chaos explorer uses), optionally crashes `crash` at 4 s and
+/// recovers it at 9 s to force a view change that the Byzantine behaviour
+/// must survive, then asserts progress and total order among the replicas
+/// that stayed correct.
+fn drive_behavior_through_view_change(
+    seed: u64,
+    code: u64,
+    target: usize,
+    crash: Option<usize>,
+    fault_detection: bool,
+) -> xft_core::harness::XPaxosCluster {
+    let mut builder = fast_config(
+        ClusterBuilder::new(1, 3)
+            .with_seed(seed)
+            .with_latency(LatencySpec::Constant(SimDuration::from_millis(5)))
+            .with_workload(workload(None)),
+    );
+    if fault_detection {
+        builder = builder.with_config(|c| c.with_fault_detection(true));
+    }
+    let mut cluster = builder.build();
+
+    cluster.run_for(SimDuration::from_secs(3));
+    let before = cluster.total_committed();
+    assert!(before > 0, "no fault-free progress");
+    cluster.sim.inject_fault_at(
+        SimTime::ZERO + SimDuration::from_secs(3),
+        FaultEvent::Control(target, code),
+    );
+    if let Some(crash) = crash {
+        cluster.sim.inject_fault_at(
+            SimTime::ZERO + SimDuration::from_secs(4),
+            FaultEvent::Crash(crash),
+        );
+        cluster.sim.inject_fault_at(
+            SimTime::ZERO + SimDuration::from_secs(9),
+            FaultEvent::Recover(crash),
+        );
+    }
+    cluster.run_for(SimDuration::from_secs(30));
+
+    let after = cluster.total_committed();
+    assert!(
+        after > before + 10,
+        "no progress with behaviour {code} on replica {target}: {before} -> {after}"
+    );
+    // The fault forced the system past view 0.
+    let max_view = (0..3)
+        .filter(|r| Some(*r) != crash)
+        .map(|r| cluster.replica(r).view().0)
+        .max()
+        .unwrap();
+    assert!(max_view >= 1, "no view change happened (views stuck at 0)");
+    // Total order among the replicas that stayed non-Byzantine.
+    let correct: Vec<usize> = (0..3).filter(|r| *r != target).collect();
+    cluster
+        .check_total_order_among(&correct)
+        .expect("total order among correct replicas");
+    cluster
+}
+
+#[test]
+fn mute_primary_is_replaced_through_a_full_view_change() {
+    // Control code 1 = Mute on the view-0 primary: a "silent" non-crash
+    // fault; monitors on the follower escalate and the view moves on.
+    drive_behavior_through_view_change(61, 1, 0, None, false);
+}
+
+#[test]
+fn corrupt_signatures_primary_is_replaced_through_a_full_view_change() {
+    // Control code 4 = CorruptSignatures on the view-0 primary: followers
+    // reject its proposals (initiation condition (i) of §4.3.2) and rotate to
+    // a group it does not lead.
+    let cluster = drive_behavior_through_view_change(62, 4, 0, None, false);
+    let max_view = (1..3).map(|r| cluster.replica(r).view().0).max().unwrap();
+    assert!(
+        max_view >= 2,
+        "views 0 and 1 are both led by replica 0; expected view >= 2, got {max_view}"
+    );
+}
+
+#[test]
+fn data_loss_commit_log_follower_survives_a_view_change() {
+    // Control code 2 = DataLossCommitLog on the view-0 follower, then a
+    // primary crash forces the view change in which the truncated commit log
+    // is transferred. Within budget the correct replicas' logs cover the
+    // committed prefix, so progress and total order survive.
+    drive_behavior_through_view_change(63, 2, 1, Some(0), false);
+}
+
+#[test]
+fn data_loss_both_logs_follower_survives_a_view_change_with_fd() {
+    // Control code 3 = DataLossBothLogs — the dangerous fault of §4.4 — with
+    // fault detection enabled, so prepare logs are transferred and the
+    // VC-CONFIRM round runs during the forced view change.
+    drive_behavior_through_view_change(64, 3, 1, Some(0), true);
+}
+
+#[test]
+fn amnesia_follower_rejoins_after_storage_loss() {
+    // Control code 5 = amnesia: the follower loses logs, application state
+    // and its view estimate. The validly signed higher-view traffic it then
+    // sees pulls it back into a view change, and the cluster keeps
+    // committing throughout.
+    drive_behavior_through_view_change(65, 5, 1, None, false);
+}
+
+#[test]
+fn amnesia_is_refused_on_checkpointed_configurations() {
+    // With checkpointing enabled peers garbage-collect log prefixes, so a
+    // blank replica could never rebuild its application state by replay —
+    // the control code must be refused, not left to corrupt state silently.
+    let mut cluster = ClusterBuilder::new(1, 2)
+        .with_seed(66)
+        .with_latency(LatencySpec::Constant(SimDuration::from_millis(5)))
+        .with_workload(workload(None))
+        .with_config(|c| c.with_checkpoint_interval(16))
+        .build();
+    cluster.run_for(SimDuration::from_secs(5));
+    let executed_before = cluster.replica(1).executed_upto();
+    assert!(executed_before.0 > 0);
+    cluster.sim.inject_fault_at(
+        SimTime::ZERO + SimDuration::from_secs(5),
+        FaultEvent::Control(1, 5),
+    );
+    cluster.run_for(SimDuration::from_secs(2));
+    assert!(
+        cluster.replica(1).executed_upto() >= executed_before,
+        "refused amnesia must not wipe the replica"
+    );
+    assert!(cluster.sim.metrics().counter("amnesia_refused_checkpointing") > 0);
     cluster.check_total_order().expect("total order preserved");
 }
 
