@@ -140,7 +140,10 @@ impl BaselineReplica {
     fn on_request(&mut self, request: Request, ctx: &mut Context<BaselineMsg>) {
         if !self.is_leader() {
             // Forward to the leader (clients normally send there directly).
-            ctx.send(self.config.replica_nodes[0], BaselineMsg::Request { request });
+            ctx.send(
+                self.config.replica_nodes[0],
+                BaselineMsg::Request { request },
+            );
             return;
         }
         self.charge_auth(ctx, request.wire_size(), false);
@@ -177,8 +180,7 @@ impl BaselineReplica {
                     self.committed.insert(sn.0);
                     self.try_execute(ctx);
                 }
-                AgreementPattern::LeaderRoundTrip
-                | AgreementPattern::LeaderRoundTripWithCommit => {
+                AgreementPattern::LeaderRoundTrip | AgreementPattern::LeaderRoundTripWithCommit => {
                     if self.config.spec.quorum == 0 {
                         self.committed.insert(sn.0);
                         self.try_execute(ctx);
@@ -247,16 +249,18 @@ impl BaselineReplica {
         }
         self.charge_auth(ctx, 80, false);
         self.acks.entry(sn.0).or_default().insert(replica);
-        if self.acks[&sn.0].len() >= self.config.spec.quorum && self.log.contains_key(&sn.0)
-            && self.committed.insert(sn.0) {
-                self.try_execute(ctx);
-                if self.config.spec.pattern == AgreementPattern::LeaderRoundTripWithCommit {
-                    let msg = BaselineMsg::CommitNotify { sn };
-                    for node in self.other_cohort_nodes() {
-                        ctx.send(node, msg.clone());
-                    }
+        if self.acks[&sn.0].len() >= self.config.spec.quorum
+            && self.log.contains_key(&sn.0)
+            && self.committed.insert(sn.0)
+        {
+            self.try_execute(ctx);
+            if self.config.spec.pattern == AgreementPattern::LeaderRoundTripWithCommit {
+                let msg = BaselineMsg::CommitNotify { sn };
+                for node in self.other_cohort_nodes() {
+                    ctx.send(node, msg.clone());
                 }
             }
+        }
     }
 
     fn on_agree(&mut self, sn: SeqNum, replica: usize, ctx: &mut Context<BaselineMsg>) {
@@ -270,10 +274,12 @@ impl BaselineReplica {
             return;
         }
         let others = self.agrees.get(&sn.0).map(|s| s.len()).unwrap_or(0);
-        if others >= self.config.spec.quorum && self.log.contains_key(&sn.0)
-            && self.committed.insert(sn.0) {
-                self.try_execute(ctx);
-            }
+        if others >= self.config.spec.quorum
+            && self.log.contains_key(&sn.0)
+            && self.committed.insert(sn.0)
+        {
+            self.try_execute(ctx);
+        }
     }
 
     fn on_commit_notify(&mut self, sn: SeqNum, ctx: &mut Context<BaselineMsg>) {
@@ -296,8 +302,9 @@ impl BaselineReplica {
             // Replicas that answer clients: the leader in leader-centric patterns,
             // every cohort member in PBFT/Zyzzyva.
             let replies = match self.config.spec.pattern {
-                AgreementPattern::LeaderRoundTrip
-                | AgreementPattern::LeaderRoundTripWithCommit => self.is_leader(),
+                AgreementPattern::LeaderRoundTrip | AgreementPattern::LeaderRoundTripWithCommit => {
+                    self.is_leader()
+                }
                 AgreementPattern::AllToAll | AgreementPattern::Speculative => true,
             };
             for req in &batch.requests {

@@ -146,7 +146,10 @@ mod tests {
         // Paxos involves t+1 replicas in the common case (like XPaxos).
         assert_eq!(BaselineProtocol::PaxosWan.spec(t).common_case_cohort, 2);
         // The speculative PBFT variant uses 2t+1 of the 3t+1 replicas.
-        assert_eq!(BaselineProtocol::PbftSpeculative.spec(t).common_case_cohort, 3);
+        assert_eq!(
+            BaselineProtocol::PbftSpeculative.spec(t).common_case_cohort,
+            3
+        );
         // Zyzzyva uses all 3t+1 replicas.
         assert_eq!(BaselineProtocol::Zyzzyva.spec(t).common_case_cohort, 4);
         // Zab sends to all 2t followers.

@@ -10,9 +10,7 @@ fn bench_sha256(c: &mut Criterion) {
     for size in [64usize, 1024, 4096] {
         let data = vec![0xabu8; size];
         group.throughput(Throughput::Bytes(size as u64));
-        group.bench_function(format!("{size}B"), |b| {
-            b.iter(|| sha256(black_box(&data)))
-        });
+        group.bench_function(format!("{size}B"), |b| b.iter(|| sha256(black_box(&data))));
     }
     group.finish();
 }

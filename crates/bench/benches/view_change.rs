@@ -17,7 +17,7 @@ fn view_change_run(preload_requests: u64) -> u64 {
             requests: None,
             think_time: SimDuration::ZERO,
             op_bytes: None,
-        ..Default::default()
+            ..Default::default()
         })
         .with_config(|c| {
             c.with_delta(SimDuration::from_millis(100))

@@ -26,7 +26,13 @@ fn replicate_msg(payload: usize) -> XPaxosMsg {
 
 fn commit_carry_msg(batch_size: usize, payload: usize) -> XPaxosMsg {
     let requests = (0..batch_size)
-        .map(|i| Request::new(ClientId(i as u64), i as u64, Bytes::from(vec![0xCD; payload])))
+        .map(|i| {
+            Request::new(
+                ClientId(i as u64),
+                i as u64,
+                Bytes::from(vec![0xCD; payload]),
+            )
+        })
         .collect();
     XPaxosMsg::CommitCarry(CommitCarryMsg {
         view: ViewNumber(3),

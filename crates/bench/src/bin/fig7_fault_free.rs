@@ -34,7 +34,13 @@ fn sweep(t: usize, payload: usize, client_counts: &[usize], duration_secs: u64) 
         "{}",
         render_table(
             &title,
-            &["protocol", "clients", "kops/s", "mean latency (ms)", "p99 latency (ms)"],
+            &[
+                "protocol",
+                "clients",
+                "kops/s",
+                "mean latency (ms)",
+                "p99 latency (ms)"
+            ],
             &rows
         )
     );

@@ -16,7 +16,11 @@ use xft_simnet::{FaultScript, Region, SimDuration, SimTime};
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let (scale, clients, bin_secs) = if quick { (4u64, 60, 5u64) } else { (1u64, 250, 10u64) };
+    let (scale, clients, bin_secs) = if quick {
+        (4u64, 60, 5u64)
+    } else {
+        (1u64, 250, 10u64)
+    };
 
     // Paper schedule (seconds), optionally compressed.
     let crash_va = 180 / scale;
@@ -36,7 +40,7 @@ fn main() {
             requests: None,
             think_time: SimDuration::ZERO,
             op_bytes: None,
-        ..Default::default()
+            ..Default::default()
         })
         .with_config(|c| {
             // Δ = 1.25 s as derived from Table 3; faster client/replica timeouts so the
@@ -48,9 +52,21 @@ fn main() {
 
     // Replica ids follow Table 4 ordering: 0 = CA (primary), 1 = VA (follower), 2 = JP.
     let script = FaultScript::new()
-        .crash_for(SimTime::ZERO + SimDuration::from_secs(crash_va), 1, downtime)
-        .crash_for(SimTime::ZERO + SimDuration::from_secs(crash_ca), 0, downtime)
-        .crash_for(SimTime::ZERO + SimDuration::from_secs(crash_jp), 2, downtime);
+        .crash_for(
+            SimTime::ZERO + SimDuration::from_secs(crash_va),
+            1,
+            downtime,
+        )
+        .crash_for(
+            SimTime::ZERO + SimDuration::from_secs(crash_ca),
+            0,
+            downtime,
+        )
+        .crash_for(
+            SimTime::ZERO + SimDuration::from_secs(crash_jp),
+            2,
+            downtime,
+        );
     cluster.sim.schedule_fault_script(script);
 
     cluster.run_for(SimDuration::from_secs(horizon));
@@ -77,11 +93,18 @@ fn main() {
 
     let mut vc_rows = Vec::new();
     for (at, view) in cluster.sim.metrics().view_changes() {
-        vc_rows.push(vec![format!("{:.1}", at.as_secs_f64()), format!("view {view}")]);
+        vc_rows.push(vec![
+            format!("{:.1}", at.as_secs_f64()),
+            format!("view {view}"),
+        ]);
     }
     println!(
         "{}",
-        render_table("Completed view changes", &["time (s)", "installed"], &vc_rows)
+        render_table(
+            "Completed view changes",
+            &["time (s)", "installed"],
+            &vc_rows
+        )
     );
     println!(
         "Fault schedule: crash VA @ {crash_va}s, CA @ {crash_ca}s, JP @ {crash_jp}s (each recovers {}s later).",

@@ -20,7 +20,11 @@ fn max_tolerated(
             snapshot.set(r, which);
         }
         let g = model.guarantees(&snapshot);
-        let ok = if consistency { g.consistent } else { g.available };
+        let ok = if consistency {
+            g.consistent
+        } else {
+            g.available
+        };
         if ok {
             max_ok = k;
         }
@@ -49,8 +53,7 @@ fn main() {
                 guarantee.to_string(),
                 max_tolerated(model, ReplicaFaultState::NonCrash, is_consistency, n).to_string(),
                 max_tolerated(model, ReplicaFaultState::Crashed, is_consistency, n).to_string(),
-                max_tolerated(model, ReplicaFaultState::Partitioned, is_consistency, n)
-                    .to_string(),
+                max_tolerated(model, ReplicaFaultState::Partitioned, is_consistency, n).to_string(),
             ]);
         }
     }
@@ -58,7 +61,13 @@ fn main() {
         "{}",
         render_table(
             "Maximum tolerated faults per class",
-            &["protocol model", "guarantee", "non-crash", "crash", "partitioned"],
+            &[
+                "protocol model",
+                "guarantee",
+                "non-crash",
+                "crash",
+                "partitioned"
+            ],
             &rows
         )
     );

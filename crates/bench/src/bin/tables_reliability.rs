@@ -3,7 +3,7 @@
 
 use xft_bench::report::render_table;
 use xft_reliability::{
-    nines_of, table5, table6, table7, table8, ConsistencyRow, AvailabilityRow, ProtocolFamily,
+    nines_of, table5, table6, table7, table8, AvailabilityRow, ConsistencyRow, ProtocolFamily,
     ReliabilityParams,
 };
 
@@ -26,7 +26,13 @@ fn print_consistency(title: &str, rows: &[ConsistencyRow]) {
         "{}",
         render_table(
             title,
-            &["9benign", "9ofC(CFT)", "9correct", "9ofC(XPaxos) for 9sync=2..6", "9ofC(BFT)"],
+            &[
+                "9benign",
+                "9ofC(CFT)",
+                "9correct",
+                "9ofC(XPaxos) for 9sync=2..6",
+                "9ofC(BFT)"
+            ],
             &out
         )
     );
@@ -50,7 +56,12 @@ fn print_availability(title: &str, rows: &[AvailabilityRow]) {
         "{}",
         render_table(
             title,
-            &["9available", "9ofA(CFT) for 9benign=+1..8", "9ofA(BFT)", "9ofA(XPaxos)"],
+            &[
+                "9available",
+                "9ofA(CFT) for 9benign=+1..8",
+                "9ofA(BFT)",
+                "9ofA(XPaxos)"
+            ],
             &out
         )
     );
@@ -75,7 +86,10 @@ fn print_examples() {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let only: Option<&str> = args.iter().position(|a| a == "--table").map(|i| args[i + 1].as_str());
+    let only: Option<&str> = args
+        .iter()
+        .position(|a| a == "--table")
+        .map(|i| args[i + 1].as_str());
 
     if only.is_none() || args.iter().any(|a| a == "--examples") {
         print_examples();

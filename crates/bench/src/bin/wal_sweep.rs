@@ -1,0 +1,104 @@
+//! Durability cost sweep: WAL append throughput across fsync-batch sizes.
+//!
+//! Measures `xft-store`'s group-commit knob with realistic record shapes —
+//! each append is the canonical encoding of a `DurableEvent::Commit` carrying
+//! a single-request batch, i.e. exactly what one committed kv operation costs
+//! a replica on the write path. Four policies:
+//!
+//! * `fsync 1`  — one fsync per record (full per-op durability);
+//! * `fsync 8`  — group commit, one fsync per 8 records;
+//! * `fsync 64` — one fsync per 64 records;
+//! * `fsync 0`  — no explicit fsyncs (OS page cache only, the upper bound).
+//!
+//! After each run the directory is re-opened and recovered, asserting that
+//! every record survived (with `fsync 0` durability is the OS's promise, but
+//! within one process the page cache always reads back).
+//!
+//! Usage: `wal_sweep [--quick] [--records N] [--payload BYTES]`
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+use xft_bench::report::{f1, render_table};
+use xft_core::durable::DurableEvent;
+use xft_core::log::CommitEntry;
+use xft_core::types::{Batch, ClientId, Request, SeqNum, ViewNumber};
+use xft_crypto::{KeyId, Signature};
+use xft_store::{DiskStorage, Storage, SyncPolicy};
+use xft_wire::WireEncode;
+
+fn commit_record(sn: u64, payload: usize) -> Vec<u8> {
+    let request = Request::new(ClientId(1), sn, bytes::Bytes::from(vec![0x5A; payload]));
+    let entry = CommitEntry {
+        view: ViewNumber(0),
+        sn: SeqNum(sn),
+        batch: Batch::single(request),
+        primary_sig: Signature::forged(KeyId(0)),
+        commit_sigs: BTreeMap::from([(1, Signature::forged(KeyId(1)))]),
+    };
+    DurableEvent::Commit(entry).wire_bytes()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok())
+    };
+    let records = flag("--records").unwrap_or(if quick { 2_000 } else { 20_000 });
+    let payload = flag("--payload").unwrap_or(256);
+
+    let record = commit_record(1, payload);
+    println!(
+        "WAL append sweep: {records} records of {} wire bytes each (payload {payload} B)\n",
+        record.len()
+    );
+
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for batch in [1u64, 8, 64, 0] {
+        let dir =
+            std::env::temp_dir().join(format!("xft-wal-sweep-{}-{batch}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut storage =
+            DiskStorage::open(&dir, SyncPolicy::every(batch)).expect("open sweep dir");
+
+        let start = Instant::now();
+        for sn in 0..records {
+            storage.append(&commit_record(sn as u64 + 1, payload));
+        }
+        storage.sync(); // final barrier so every policy ends durable
+        let elapsed = start.elapsed();
+
+        let stats = storage.stats();
+        let recovered = storage.load();
+        assert_eq!(recovered.records.len(), records, "all records read back");
+        let per_op_us = elapsed.as_secs_f64() * 1e6 / records as f64;
+        rows.push(vec![
+            if batch == 0 {
+                "0 (never)".into()
+            } else {
+                batch.to_string()
+            },
+            f1(records as f64 / elapsed.as_secs_f64()),
+            f1(per_op_us),
+            stats.syncs.to_string(),
+            f1(stats.wal_bytes as f64 / (1 << 20) as f64),
+        ]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    print!(
+        "{}",
+        render_table(
+            "Durability cost: WAL appends vs fsync batching",
+            &["fsync batch", "appends/s", "µs/append", "fsyncs", "WAL MiB"],
+            &rows,
+        )
+    );
+    println!(
+        "\nGroup commit amortizes the fsync: batch 8 keeps at most 7 records at\n\
+         risk on power loss while recovering most of the no-fsync throughput."
+    );
+}

@@ -144,7 +144,7 @@ pub fn run_with_state(
                 requests: None,
                 think_time: SimDuration::ZERO,
                 op_bytes: spec.op_bytes.clone(),
-            ..Default::default()
+                ..Default::default()
             };
             let mut cluster = ClusterBuilder::new(spec.t, spec.clients)
                 .with_seed(spec.seed)
@@ -227,7 +227,9 @@ mod tests {
         };
         let xpaxos = result_for(ProtocolUnderTest::XPaxos);
         let paxos = result_for(ProtocolUnderTest::Baseline(BaselineProtocol::PaxosWan));
-        let pbft = result_for(ProtocolUnderTest::Baseline(BaselineProtocol::PbftSpeculative));
+        let pbft = result_for(ProtocolUnderTest::Baseline(
+            BaselineProtocol::PbftSpeculative,
+        ));
         assert!(xpaxos.committed > 0 && paxos.committed > 0 && pbft.committed > 0);
         // XPaxos and Paxos both need one CA↔VA round trip: within 25 ms of each other.
         assert!(

@@ -433,7 +433,8 @@ impl<'a> Reader<'a> {
 
     /// Reads a fixed-size byte array.
     pub fn get_array<const N: usize>(&mut self) -> Option<[u8; N]> {
-        self.get_slice(N).map(|s| s.try_into().expect("length checked"))
+        self.get_slice(N)
+            .map(|s| s.try_into().expect("length checked"))
     }
 
     /// Reads a single byte.

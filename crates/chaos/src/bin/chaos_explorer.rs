@@ -25,9 +25,13 @@ fn main() {
     let seeds: u64 = args.optional("--seeds").unwrap_or(200);
     let base_seed: u64 = args.optional("--base-seed").unwrap_or(1);
     let threads: usize = args.optional("--threads").unwrap_or_else(|| {
-        std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4)
+        std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
     });
-    let mode: String = args.optional("--mode").unwrap_or_else(|| "budget".to_string());
+    let mode: String = args
+        .optional("--mode")
+        .unwrap_or_else(|| "budget".to_string());
     let t: usize = args.optional("--t").unwrap_or(1);
     let clients: usize = args.optional("--clients").unwrap_or(3);
     let keys: usize = args.optional("--keys").unwrap_or(4);
@@ -36,6 +40,7 @@ fn main() {
     let window_secs: f64 = args.optional("--window-secs").unwrap_or(8.0);
     let drain_secs: f64 = args.optional("--drain-secs").unwrap_or(22.0);
     let tcp_sample: u64 = args.optional("--tcp-sample").unwrap_or(0);
+    let checkpoint_interval: u64 = args.optional("--checkpoint-interval").unwrap_or(32);
     let verbose: bool = args.optional("--verbose").unwrap_or(false);
     args.finish();
 
@@ -48,6 +53,7 @@ fn main() {
         drain: SimDuration::from_secs_f64(drain_secs),
         max_events,
         beyond_budget: mode == "beyond",
+        checkpoint_interval,
     };
 
     match mode.as_str() {
@@ -90,7 +96,10 @@ fn main() {
             // Deterministic over-budget demonstration: both active replicas
             // of view 0 lose their storage mid-run (2 > t concurrent
             // non-crash faults).
-            let demo_cfg = ExplorerConfig { beyond_budget: true, ..cfg.clone() };
+            let demo_cfg = ExplorerConfig {
+                beyond_budget: true,
+                ..cfg.clone()
+            };
             let events = demo_violation_events(&demo_cfg);
             let report = run_schedule(base_seed, events, &demo_cfg);
             print_report(&report, true);
@@ -135,7 +144,11 @@ fn sweep(
     println!(
         "peak concurrent faults observed: {peak} (budget t = {}{})",
         cfg.t,
-        if cfg.beyond_budget { ", deliberately exceeded" } else { "" }
+        if cfg.beyond_budget {
+            ", deliberately exceeded"
+        } else {
+            ""
+        }
     );
     if verbose {
         for r in &reports {
@@ -145,11 +158,7 @@ fn sweep(
     for r in &failing {
         print_report(r, true);
     }
-    println!(
-        "violating seeds: {} / {}",
-        failing.len(),
-        reports.len()
-    );
+    println!("violating seeds: {} / {}", failing.len(), reports.len());
     failing.first().map(|r| (*r).clone())
 }
 
@@ -163,6 +172,7 @@ fn tcp_phase(cfg: &ExplorerConfig, base_seed: u64, tcp_sample: u64) -> bool {
         clients: cfg.clients.min(2),
         keys: cfg.keys,
         read_pct: cfg.read_pct,
+        checkpoint_interval: cfg.checkpoint_interval,
         ..Default::default()
     };
     let mut ok = true;
@@ -192,7 +202,11 @@ fn print_report(report: &SeedReport, full: bool) {
         report.committed_after_heal,
         report.events.len(),
         report.peak_budget,
-        if report.ok() { "".to_string() } else { format!(", {} VIOLATIONS", report.violations.len()) }
+        if report.ok() {
+            "".to_string()
+        } else {
+            format!(", {} VIOLATIONS", report.violations.len())
+        }
     );
     if full {
         for v in &report.violations {
@@ -212,7 +226,9 @@ fn shrink_and_print(report: &SeedReport, cfg: &ExplorerConfig) {
         report.events.clone(),
         |events| {
             runs += 1;
-            !run_schedule(seed, events.to_vec(), cfg).violations.is_empty()
+            !run_schedule(seed, events.to_vec(), cfg)
+                .violations
+                .is_empty()
         },
         120,
     );

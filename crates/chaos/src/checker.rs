@@ -228,7 +228,9 @@ pub fn check_history(events: &[OpEvent]) -> Vec<Violation> {
                     continue; // malformed ack; nothing to constrain
                 }
                 let v = u64::from_le_bytes(payload[..8].try_into().expect("8 bytes"));
-                let KvOp::Put { data, .. } = &e.op else { unreachable!() };
+                let KvOp::Put { data, .. } = &e.op else {
+                    unreachable!()
+                };
                 (Some(v), Some(data.clone()))
             }
             Ok(payload) => {
@@ -349,7 +351,10 @@ fn check_key(
     for op in by_inv {
         while resp_idx < by_resp.len() && by_resp[resp_idx].completed_ns < op.invoked_ns {
             let done = by_resp[resp_idx];
-            if completed_max.map(|m| ord(done.version) > ord(m.version)).unwrap_or(true) {
+            if completed_max
+                .map(|m| ord(done.version) > ord(m.version))
+                .unwrap_or(true)
+            {
                 completed_max = Some(done);
             }
             resp_idx += 1;
@@ -375,7 +380,14 @@ mod tests {
     use super::*;
     use crate::workload::encode_value;
 
-    fn put(client: u64, ts: u64, key: &str, inv: u64, resp: Option<u64>, version: Option<u64>) -> OpEvent {
+    fn put(
+        client: u64,
+        ts: u64,
+        key: &str,
+        inv: u64,
+        resp: Option<u64>,
+        version: Option<u64>,
+    ) -> OpEvent {
         OpEvent {
             client,
             ts,
@@ -411,7 +423,9 @@ mod tests {
         OpEvent {
             client,
             ts,
-            op: KvOp::GetVer { path: key.to_string() },
+            op: KvOp::GetVer {
+                path: key.to_string(),
+            },
             invoked_ns: inv,
             completed_ns: Some(resp),
             result,
@@ -449,7 +463,8 @@ mod tests {
         ];
         let v = check_history(&h);
         assert!(
-            v.iter().any(|x| matches!(x, Violation::DuplicateWriteVersion { .. })),
+            v.iter()
+                .any(|x| matches!(x, Violation::DuplicateWriteVersion { .. })),
             "{v:?}"
         );
     }
@@ -463,7 +478,8 @@ mod tests {
         ];
         let v = check_history(&h);
         assert!(
-            v.iter().any(|x| matches!(x, Violation::VersionRegression { .. })),
+            v.iter()
+                .any(|x| matches!(x, Violation::VersionRegression { .. })),
             "{v:?}"
         );
     }
@@ -476,7 +492,8 @@ mod tests {
         ];
         let v = check_history(&h);
         assert!(
-            v.iter().any(|x| matches!(x, Violation::VersionRegression { .. })),
+            v.iter()
+                .any(|x| matches!(x, Violation::VersionRegression { .. })),
             "{v:?}"
         );
     }
@@ -497,12 +514,11 @@ mod tests {
     fn more_versions_than_writes_is_flagged() {
         // Only one write ever issued, yet version 1 observed: something
         // executed twice.
-        let h = vec![
-            put(0, 1, "/k", 0, Some(10), Some(1)),
-        ];
+        let h = vec![put(0, 1, "/k", 0, Some(10), Some(1))];
         let v = check_history(&h);
         assert!(
-            v.iter().any(|x| matches!(x, Violation::MoreVersionsThanWrites { .. })),
+            v.iter()
+                .any(|x| matches!(x, Violation::MoreVersionsThanWrites { .. })),
             "{v:?}"
         );
     }
@@ -515,7 +531,8 @@ mod tests {
         ];
         let v = check_history(&h);
         assert!(
-            v.iter().any(|x| matches!(x, Violation::ReadUnbornValue { .. })),
+            v.iter()
+                .any(|x| matches!(x, Violation::ReadUnbornValue { .. })),
             "{v:?}"
         );
     }
@@ -524,6 +541,10 @@ mod tests {
     fn foreign_value_is_flagged() {
         let h = vec![get(1, 1, "/k", 0, 10, Some(0), Some((7, 7)))];
         let v = check_history(&h);
-        assert!(v.iter().any(|x| matches!(x, Violation::ForeignValue { .. })), "{v:?}");
+        assert!(
+            v.iter()
+                .any(|x| matches!(x, Violation::ForeignValue { .. })),
+            "{v:?}"
+        );
     }
 }

@@ -42,6 +42,9 @@ pub struct ExplorerConfig {
     pub max_events: usize,
     /// Generate schedules beyond the `t` budget (expected to violate).
     pub beyond_budget: bool,
+    /// Checkpoint interval in sequence numbers (0 disables — the seed's
+    /// behaviour; the default keeps checkpointing and state transfer hot).
+    pub checkpoint_interval: u64,
 }
 
 impl Default for ExplorerConfig {
@@ -55,6 +58,7 @@ impl Default for ExplorerConfig {
             drain: SimDuration::from_secs(22),
             max_events: 8,
             beyond_budget: false,
+            checkpoint_interval: 32,
         }
     }
 }
@@ -115,19 +119,24 @@ pub fn run_schedule(seed: u64, events: Vec<TimedEvent>, cfg: &ExplorerConfig) ->
         .with_pipeline(PipelineConfig::default().with_client_window(3))
         .with_config(|mut c| {
             c.replica_retransmit = SimDuration::from_millis(400);
-            // Checkpointing would let a lagging replica *skip* execution
-            // (modeled snapshot adoption without state transfer), which makes
-            // it answer clients from stale application state once promoted —
-            // the checker would rightly flag it. Chaos runs therefore keep
-            // full logs.
+            // Checkpointing stays ON: lagging replicas must catch up through
+            // the real, proof-verified state-transfer protocol (the seed had
+            // to force full logs here because checkpoint adoption was a
+            // one-line fake). A short interval makes log truncation — and
+            // therefore state transfer — happen many times per run.
             c.with_delta(SimDuration::from_millis(100))
                 .with_client_retransmit(SimDuration::from_millis(400))
-                .with_checkpoint_interval(0)
+                .with_checkpoint_interval(cfg.checkpoint_interval)
         })
         .with_state_machine(|| Box::new(CoordinationService::new()))
+        // In-memory stable storage gives the torn-tail / corrupt-record disk
+        // faults a real WAL to damage, deterministically.
+        .with_storage_factory(|_| Box::new(xft_store::MemStorage::new()))
         .build();
 
-    cluster.sim.schedule_fault_script(FaultScript::from_events(events.clone()));
+    cluster
+        .sim
+        .schedule_fault_script(FaultScript::from_events(events.clone()));
     let heal_at = SimTime::ZERO + cfg.fault_window;
     cluster.run_until(heal_at + cfg.drain);
 
@@ -181,7 +190,12 @@ pub fn run_seed(seed: u64, cfg: &ExplorerConfig) -> SeedReport {
 
 /// Explores `seeds` seeds starting at `base_seed`, fanned out over `threads`
 /// worker threads. Reports come back sorted by seed.
-pub fn explore(base_seed: u64, seeds: u64, threads: usize, cfg: &ExplorerConfig) -> Vec<SeedReport> {
+pub fn explore(
+    base_seed: u64,
+    seeds: u64,
+    threads: usize,
+    cfg: &ExplorerConfig,
+) -> Vec<SeedReport> {
     let threads = threads.max(1);
     let next = std::sync::atomic::AtomicU64::new(0);
     let reports: Mutex<Vec<SeedReport>> = Mutex::new(Vec::with_capacity(seeds as usize));
@@ -209,9 +223,7 @@ pub fn explore(base_seed: u64, seeds: u64, threads: usize, cfg: &ExplorerConfig)
 /// criterion.
 pub fn demo_violation_events(cfg: &ExplorerConfig) -> Vec<TimedEvent> {
     let groups = xft_core::SyncGroups::new(cfg.t);
-    let actives = groups
-        .active_replicas(xft_core::ViewNumber(0))
-        .to_vec();
+    let actives = groups.active_replicas(xft_core::ViewNumber(0)).to_vec();
     let at = SimTime::ZERO + SimDuration::from_secs_f64(cfg.fault_window.as_secs_f64() * 0.5);
     actives
         .into_iter()
@@ -258,7 +270,10 @@ mod tests {
 
     #[test]
     fn demo_violation_is_caught() {
-        let cfg = ExplorerConfig { beyond_budget: true, ..quick_cfg() };
+        let cfg = ExplorerConfig {
+            beyond_budget: true,
+            ..quick_cfg()
+        };
         let events = demo_violation_events(&cfg);
         let report = run_schedule(42, events, &cfg);
         assert!(
@@ -273,7 +288,10 @@ mod tests {
         // The deterministic over-budget demo must shrink to a tiny schedule
         // that still fails — this is the acceptance-criterion path, pinned as
         // a test so the tool's core loop can't silently rot.
-        let cfg = ExplorerConfig { beyond_budget: true, ..quick_cfg() };
+        let cfg = ExplorerConfig {
+            beyond_budget: true,
+            ..quick_cfg()
+        };
         let events = demo_violation_events(&cfg);
         let report = run_schedule(42, events.clone(), &cfg);
         assert!(!report.ok());

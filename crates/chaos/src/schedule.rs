@@ -15,7 +15,7 @@
 //! checker must then *report* violations instead of the harness hanging.
 
 use std::collections::BTreeSet;
-use xft_core::byzantine::CONTROL_AMNESIA;
+use xft_core::byzantine::{CONTROL_AMNESIA, CONTROL_CORRUPT_WAL, CONTROL_TORN_TAIL};
 use xft_simnet::{FaultEvent, FaultScript, SimDuration, SimRng, SimTime};
 
 /// One scheduled fault event.
@@ -198,6 +198,7 @@ fn pick_fault(rng: &mut SimRng, state: &mut GenState, cfg: &ScheduleConfig) -> O
         menu.push((30, 0)); // crash
         menu.push((25, 3)); // byzantine control code 1..=4
         menu.push((if cfg.beyond_budget { 40 } else { 8 }, 4)); // amnesia
+        menu.push((8, 7)); // disk fault: torn WAL tail or corrupt record
         if !cfg.tcp_compatible {
             menu.push((15, 1)); // isolate
             if healthy.len() >= 2 {
@@ -261,6 +262,19 @@ fn pick_fault(rng: &mut SimRng, state: &mut GenState, cfg: &ScheduleConfig) -> O
             state.amnesic[r] = true;
             Some(FaultEvent::Control(r, CONTROL_AMNESIA))
         }
+        7 => {
+            // Disk faults lose a suffix of the replica's durable state (all
+            // of it, in a simulation without attached storage): budgeted
+            // like amnesia — storage, once damaged, stays damaged.
+            let r = *rng.choose(&healthy);
+            state.amnesic[r] = true;
+            let code = if rng.chance(0.5) {
+                CONTROL_TORN_TAIL
+            } else {
+                CONTROL_CORRUPT_WAL
+            };
+            Some(FaultEvent::Control(r, code))
+        }
         5 => {
             state.drop_active = true;
             Some(FaultEvent::SetDropProbability(rng.range_f64(0.01, 0.15)))
@@ -280,7 +294,11 @@ fn pick_fault(rng: &mut SimRng, state: &mut GenState, cfg: &ScheduleConfig) -> O
     }
 }
 
-fn pick_repair(rng: &mut SimRng, state: &mut GenState, _cfg: &ScheduleConfig) -> Option<FaultEvent> {
+fn pick_repair(
+    rng: &mut SimRng,
+    state: &mut GenState,
+    _cfg: &ScheduleConfig,
+) -> Option<FaultEvent> {
     let mut menu: Vec<FaultEvent> = Vec::new();
     for r in 0..state.n {
         if state.crashed[r] {
@@ -381,7 +399,10 @@ pub fn analyze_schedule(n: usize, events: &[TimedEvent]) -> ScheduleAnalysis {
                 state.isolated.iter_mut().for_each(|i| *i = false);
             }
             FaultEvent::Control(r, code) if *r < n => {
-                if *code == CONTROL_AMNESIA {
+                if *code == CONTROL_AMNESIA
+                    || *code == CONTROL_TORN_TAIL
+                    || *code == CONTROL_CORRUPT_WAL
+                {
                     state.amnesic[*r] = true;
                     out.amnesic.insert(*r);
                     out.touched.insert(*r);
@@ -447,7 +468,10 @@ mod tests {
 
     #[test]
     fn in_budget_schedules_respect_t() {
-        let cfg = ScheduleConfig { t: 1, ..Default::default() };
+        let cfg = ScheduleConfig {
+            t: 1,
+            ..Default::default()
+        };
         for seed in 0..300 {
             let events = generate(seed, &cfg).into_sorted_events();
             let analysis = analyze_schedule(3, &events);
@@ -468,9 +492,14 @@ mod tests {
             ..Default::default()
         };
         let over = (0..100)
-            .filter(|seed| analyze_schedule(3, &generate(*seed, &cfg).into_sorted_events()).peak_budget > 1)
+            .filter(|seed| {
+                analyze_schedule(3, &generate(*seed, &cfg).into_sorted_events()).peak_budget > 1
+            })
             .count();
-        assert!(over > 30, "only {over}/100 beyond-budget schedules exceeded t");
+        assert!(
+            over > 30,
+            "only {over}/100 beyond-budget schedules exceeded t"
+        );
     }
 
     #[test]
@@ -495,7 +524,10 @@ mod tests {
 
     #[test]
     fn repairs_are_emitted_by_end_of_window() {
-        let cfg = ScheduleConfig { max_events: 10, ..Default::default() };
+        let cfg = ScheduleConfig {
+            max_events: 10,
+            ..Default::default()
+        };
         for seed in 0..100 {
             let events = generate(seed, &cfg).into_sorted_events();
             // Replaying everything must end with no active repairable fault.
@@ -514,15 +546,25 @@ mod tests {
                         state.isolated.iter_mut().for_each(|i| *i = false);
                     }
                     FaultEvent::Control(r, 0) => state.byzantine[*r] = false,
-                    FaultEvent::Control(r, c) if *c != CONTROL_AMNESIA => {
+                    FaultEvent::Control(r, c)
+                        if *c != CONTROL_AMNESIA
+                            && *c != CONTROL_TORN_TAIL
+                            && *c != CONTROL_CORRUPT_WAL =>
+                    {
                         state.byzantine[*r] = true
                     }
                     FaultEvent::SetDropProbability(p) => state.drop_active = *p > 0.0,
                     _ => {}
                 }
             }
-            assert!(!state.crashed.iter().any(|c| *c), "seed {seed} left a crash");
-            assert!(!state.byzantine.iter().any(|b| *b), "seed {seed} left a behaviour");
+            assert!(
+                !state.crashed.iter().any(|c| *c),
+                "seed {seed} left a crash"
+            );
+            assert!(
+                !state.byzantine.iter().any(|b| *b),
+                "seed {seed} left a behaviour"
+            );
             assert!(state.partitions.is_empty(), "seed {seed} left a partition");
             assert!(!state.drop_active, "seed {seed} left drops on");
             let _ = analysis;
@@ -532,8 +574,14 @@ mod tests {
     #[test]
     fn format_script_is_paste_ready() {
         let events = vec![
-            (SimTime::ZERO + SimDuration::from_millis(1500), FaultEvent::Crash(1)),
-            (SimTime::ZERO + SimDuration::from_secs(3), FaultEvent::Control(0, 5)),
+            (
+                SimTime::ZERO + SimDuration::from_millis(1500),
+                FaultEvent::Crash(1),
+            ),
+            (
+                SimTime::ZERO + SimDuration::from_secs(3),
+                FaultEvent::Control(0, 5),
+            ),
         ];
         let code = format_script(&events);
         assert!(code.starts_with("FaultScript::new()"));

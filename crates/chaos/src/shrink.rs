@@ -20,14 +20,13 @@ pub fn shrink(
 ) -> Vec<TimedEvent> {
     let mut current = events;
     let mut runs = 0usize;
-    let mut try_candidate =
-        |candidate: &[TimedEvent], runs: &mut usize| -> bool {
-            if *runs >= max_runs {
-                return false;
-            }
-            *runs += 1;
-            still_fails(candidate)
-        };
+    let mut try_candidate = |candidate: &[TimedEvent], runs: &mut usize| -> bool {
+        if *runs >= max_runs {
+            return false;
+        }
+        *runs += 1;
+        still_fails(candidate)
+    };
 
     // Phase 1: ddmin — drop chunks, halving the granularity on failure.
     let mut chunk = (current.len() / 2).max(1);
@@ -83,7 +82,8 @@ pub fn shrink(
         for divisor in [4u64, 2] {
             let t = current[i].0;
             let shrunk_ns = t.as_nanos() / divisor;
-            let snapped = SimTime::ZERO + SimDuration::from_nanos(shrunk_ns - shrunk_ns % 100_000_000);
+            let snapped =
+                SimTime::ZERO + SimDuration::from_nanos(shrunk_ns - shrunk_ns % 100_000_000);
             if snapped >= t {
                 continue;
             }
@@ -141,8 +141,11 @@ mod tests {
             at(4.0, FaultEvent::SetDropProbability(0.02)),
         ];
         let fails = |evs: &[TimedEvent]| {
-            evs.iter().any(|(_, e)| matches!(e, FaultEvent::Control(0, 5)))
-                && evs.iter().any(|(_, e)| matches!(e, FaultEvent::Control(1, 5)))
+            evs.iter()
+                .any(|(_, e)| matches!(e, FaultEvent::Control(0, 5)))
+                && evs
+                    .iter()
+                    .any(|(_, e)| matches!(e, FaultEvent::Control(1, 5)))
         };
         let shrunk = shrink(events, fails, 200);
         assert_eq!(shrunk.len(), 2);
@@ -151,8 +154,9 @@ mod tests {
 
     #[test]
     fn respects_the_run_budget() {
-        let events: Vec<TimedEvent> =
-            (0..64).map(|i| at(i as f64, FaultEvent::Crash(i % 3))).collect();
+        let events: Vec<TimedEvent> = (0..64)
+            .map(|i| at(i as f64, FaultEvent::Crash(i % 3)))
+            .collect();
         let mut runs = 0usize;
         let _ = shrink(
             events,

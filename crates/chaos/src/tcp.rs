@@ -49,6 +49,8 @@ pub struct TcpChaosConfig {
     pub max_events: usize,
     /// Lift the budget (safety violations become expected).
     pub beyond_budget: bool,
+    /// Checkpoint interval in sequence numbers (0 disables).
+    pub checkpoint_interval: u64,
 }
 
 impl Default for TcpChaosConfig {
@@ -62,6 +64,7 @@ impl Default for TcpChaosConfig {
             drain: Duration::from_millis(2500),
             max_events: 4,
             beyond_budget: false,
+            checkpoint_interval: 32,
         }
     }
 }
@@ -130,10 +133,13 @@ pub fn run_seed_tcp(seed: u64, cfg: &TcpChaosConfig) -> SeedReport {
     let events = generate(seed, &schedule_cfg).into_sorted_events();
     let analysis = analyze_schedule(n, &events);
 
+    // Checkpointing stays on over real sockets too: live clusters truncate
+    // their logs and lagging replicas rejoin through wire-codec state
+    // transfer, exactly like the simulated runs.
     let mut config = XPaxosConfig::new(cfg.t, cfg.clients)
         .with_delta(SimDuration::from_millis(150))
         .with_client_retransmit(SimDuration::from_millis(400))
-        .with_checkpoint_interval(0)
+        .with_checkpoint_interval(cfg.checkpoint_interval)
         .with_pipeline(PipelineConfig::default().with_client_window(3));
     config.replica_retransmit = SimDuration::from_millis(500);
 

@@ -18,12 +18,25 @@ use xft_simnet::ControlCode;
 /// paper's non-crash fault class, and the one fault that reliably produces
 /// *checker-visible* safety violations once injected beyond the `t` budget.
 ///
-/// Only honoured when checkpointing is disabled (`checkpoint_interval == 0`):
-/// the in-budget repair replays the adopted log from the start, which needs
-/// the full log to exist. On a checkpointed configuration the control code is
-/// refused (counted as `amnesia_refused_checkpointing`) instead of leaving
-/// the replica with application state it can never rebuild.
+/// On configurations without checkpointing the in-budget repair replays the
+/// adopted log from the start; with checkpointing enabled the truncated
+/// prefix is recovered through the verified state-transfer protocol instead
+/// (`StateRequest` / `StateResponse`), so the fault is honoured either way.
 pub const CONTROL_AMNESIA: u64 = 5;
+
+/// Control code for a *torn WAL tail* disk fault: the replica's stable
+/// storage loses the final bytes of its write-ahead log (a crash mid-write),
+/// and the replica immediately restarts from what recovery salvages — the
+/// longest intact record prefix plus the latest snapshot. A replica without
+/// attached storage degrades to full [`CONTROL_AMNESIA`].
+pub const CONTROL_TORN_TAIL: u64 = 6;
+
+/// Control code for a *corrupt WAL record* disk fault: one bit of the stored
+/// log flips (silent media corruption). CRC verification at recovery drops
+/// the damaged record and everything after it, so the replica restarts from
+/// the intact prefix — partial amnesia whose blast radius is exactly the
+/// corrupted suffix. Degrades to full [`CONTROL_AMNESIA`] without storage.
+pub const CONTROL_CORRUPT_WAL: u64 = 7;
 
 /// The non-crash behaviour currently exhibited by a replica.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]

@@ -223,7 +223,10 @@ impl Client {
 
     /// The configured request window, clamped to [`MAX_CLIENT_WINDOW`].
     fn window(&self) -> usize {
-        self.config.pipeline.client_window.clamp(1, MAX_CLIENT_WINDOW)
+        self.config
+            .pipeline
+            .client_window
+            .clamp(1, MAX_CLIENT_WINDOW)
     }
 
     /// Backoff before re-sending a request the primary shed with BUSY — a few

@@ -47,7 +47,12 @@ pub struct ClusterBuilder {
     cores_per_node: u32,
     trace_messages: bool,
     state_factory: Box<dyn Fn() -> Box<dyn StateMachine>>,
+    storage_factory: Option<StorageFactory>,
 }
+
+/// Per-replica stable-storage constructor (see
+/// [`ClusterBuilder::with_storage_factory`]).
+type StorageFactory = Box<dyn Fn(ReplicaId) -> Box<dyn xft_store::Storage>>;
 
 impl ClusterBuilder {
     /// Creates a builder for a cluster tolerating `t` faults with `clients` clients.
@@ -63,13 +68,17 @@ impl ClusterBuilder {
             cores_per_node: 8,
             trace_messages: false,
             state_factory: Box::new(|| Box::new(DigestChainService::new())),
+            storage_factory: None,
         }
     }
 
     /// Overrides the protocol configuration (Δ, batch size, FD, …). The replica/client
     /// node layout is preserved.
     pub fn with_config(mut self, f: impl FnOnce(XPaxosConfig) -> XPaxosConfig) -> Self {
-        let nodes = (self.config.replica_nodes.clone(), self.config.client_nodes.clone());
+        let nodes = (
+            self.config.replica_nodes.clone(),
+            self.config.client_nodes.clone(),
+        );
         self.config = f(self.config);
         self.config.replica_nodes = nodes.0;
         self.config.client_nodes = nodes.1;
@@ -145,6 +154,18 @@ impl ClusterBuilder {
         self
     }
 
+    /// Attaches stable storage to every replica (the factory receives the
+    /// replica id). Simulated clusters use [`xft_store::MemStorage`], which
+    /// keeps the run deterministic while giving the disk-fault injection
+    /// controls (torn WAL tail, corrupt record) something real to damage.
+    pub fn with_storage_factory(
+        mut self,
+        factory: impl Fn(ReplicaId) -> Box<dyn xft_store::Storage> + 'static,
+    ) -> Self {
+        self.storage_factory = Some(Box::new(factory));
+        self
+    }
+
     /// Builds the cluster.
     pub fn build(self) -> XPaxosCluster {
         let n = self.config.n();
@@ -178,7 +199,11 @@ impl ClusterBuilder {
 
         let registry = KeyRegistry::new(self.seed ^ 0x5eed);
         for r in 0..n {
-            let replica = Replica::new(r, self.config.clone(), &registry, (self.state_factory)());
+            let mut replica =
+                Replica::new(r, self.config.clone(), &registry, (self.state_factory)());
+            if let Some(factory) = self.storage_factory.as_ref() {
+                replica = replica.with_storage(factory(r));
+            }
             let node = sim.add_node(XPaxosNode::Replica(Box::new(replica)));
             debug_assert_eq!(node, self.config.replica_nodes[r]);
         }
@@ -323,7 +348,7 @@ mod tests {
                 requests: Some(20),
                 think_time: SimDuration::ZERO,
                 op_bytes: None,
-            ..Default::default()
+                ..Default::default()
             })
             .build();
         cluster.run_for(SimDuration::from_secs(30));
@@ -342,7 +367,7 @@ mod tests {
                 requests: Some(10),
                 think_time: SimDuration::ZERO,
                 op_bytes: None,
-            ..Default::default()
+                ..Default::default()
             })
             .build();
         cluster.run_for(SimDuration::from_secs(30));

@@ -37,6 +37,7 @@
 pub mod byzantine;
 pub mod client;
 pub mod config;
+pub mod durable;
 pub mod harness;
 pub mod log;
 pub mod messages;
@@ -48,15 +49,17 @@ pub mod sync_group;
 pub mod types;
 pub mod wire;
 
-pub use byzantine::{ByzantineBehavior, CONTROL_AMNESIA};
+pub use byzantine::{ByzantineBehavior, CONTROL_AMNESIA, CONTROL_CORRUPT_WAL, CONTROL_TORN_TAIL};
 pub use client::{Client, ClientWorkload, HistoryRecord};
 pub use config::XPaxosConfig;
-pub use xft_simnet::PipelineConfig;
+pub use durable::{DurableEvent, ReplicaSnapshot, SealedSnapshot};
 pub use harness::{ClusterBuilder, LatencySpec, XPaxosCluster};
 pub use messages::XPaxosMsg;
 pub use model::{ProtocolModel, ReplicaFaultState, SystemSnapshot};
 pub use node::XPaxosNode;
+pub use replica::durability::RecoveryReport;
 pub use replica::{Phase, Replica};
 pub use state_machine::{DigestChainService, NullService, StateMachine};
 pub use sync_group::SyncGroups;
 pub use types::{Batch, ClientId, ReplicaId, Request, SeqNum, ViewNumber};
+pub use xft_simnet::PipelineConfig;

@@ -209,7 +209,11 @@ mod tests {
     use xft_crypto::KeyId;
 
     fn batch(tag: u8) -> Batch {
-        Batch::single(Request::new(ClientId(1), tag as u64, Bytes::from(vec![tag; 4])))
+        Batch::single(Request::new(
+            ClientId(1),
+            tag as u64,
+            Bytes::from(vec![tag; 4]),
+        ))
     }
 
     fn prepare(sn: u64, view: u64) -> PrepareEntry {

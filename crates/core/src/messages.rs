@@ -129,6 +129,16 @@ pub struct ViewChangeMsg {
     pub commit_log: Vec<CommitEntry>,
     /// The sender's prepare log — only transferred when fault detection is enabled.
     pub prepare_log: Vec<PrepareEntry>,
+    /// The sender's stable checkpoint: everything at or below it was
+    /// executed, agreed on and garbage-collected from the logs. The new
+    /// view's selection must treat those sequence numbers as *checkpointed
+    /// history* (recoverable only through state transfer), never as
+    /// never-committed holes to fill with no-ops.
+    pub last_checkpoint: SeqNum,
+    /// The t + 1 signed CHKPT messages proving `last_checkpoint` (empty when
+    /// it is 0). An unproven claim is rejected, so a faulty replica cannot
+    /// poison the selection with a fictitious horizon.
+    pub checkpoint_proof: Vec<CheckpointMsg>,
     /// Signature over a digest of the message.
     pub signature: Signature,
 }
@@ -144,7 +154,12 @@ impl ViewChangeMsg {
     /// Approximate wire size.
     pub fn wire_size(&self) -> usize {
         64 + self.commit_log.iter().map(|e| e.wire_size()).sum::<usize>()
-            + self.prepare_log.iter().map(|e| e.wire_size()).sum::<usize>()
+            + self
+                .prepare_log
+                .iter()
+                .map(|e| e.wire_size())
+                .sum::<usize>()
+            + self.checkpoint_proof.len() * 112
     }
 }
 
@@ -201,6 +216,37 @@ pub struct CheckpointMsg {
     /// `false` for the MAC-authenticated PRECHK round, `true` for the signed CHKPT round.
     pub signed: bool,
     /// Signature (meaningful when `signed`).
+    pub signature: Signature,
+}
+
+/// STATE-REQUEST: a lagging (or freshly restarted) replica asks a peer for a
+/// sealed checkpoint snapshot at or beyond `min_sn` — the first half of the
+/// state-transfer protocol that backs checkpointing and lazy replication
+/// (paper §4.5.1: a replica that garbage-collected its log can only catch a
+/// peer up by shipping the checkpointed state itself).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateRequestMsg {
+    /// The lowest checkpoint sequence number that would help the requester.
+    pub min_sn: SeqNum,
+    /// The requesting replica.
+    pub replica: ReplicaId,
+    /// Signature over [`state_request_digest`].
+    pub signature: Signature,
+}
+
+/// STATE-RESPONSE: a sealed snapshot (state + executed history + client
+/// table) together with the t + 1 signed CHKPT messages proving it is the
+/// agreed checkpoint. The receiver verifies the proof and the snapshot
+/// digest before adopting anything, so a faulty responder can delay state
+/// transfer but never corrupt it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateResponseMsg {
+    /// The snapshot plus its checkpoint proof.
+    pub sealed: crate::durable::SealedSnapshot,
+    /// The responding replica.
+    pub replica: ReplicaId,
+    /// Signature over [`state_response_digest`], attributing the response to
+    /// its sender (content integrity comes from the embedded proof).
     pub signature: Signature,
 }
 
@@ -274,6 +320,10 @@ pub enum XPaxosMsg {
         /// The committed entries being propagated.
         entries: Vec<CommitEntry>,
     },
+    /// Lagging replica → peer: request a checkpoint snapshot (state transfer).
+    StateRequest(StateRequestMsg),
+    /// Peer → lagging replica: the sealed snapshot with its checkpoint proof.
+    StateResponse(StateResponseMsg),
     /// Replica → everyone: a non-crash fault was detected during a view change.
     FaultDetected(FaultDetectedMsg),
     /// Replica → client: the view the replica is currently in (sent alongside SUSPECT
@@ -296,21 +346,19 @@ impl SimMessage for XPaxosMsg {
             XPaxosMsg::Busy(_) => 24,
             XPaxosMsg::Suspect(_) | XPaxosMsg::SuspectToClient(_) => 56,
             XPaxosMsg::ViewChange(vc) => vc.wire_size(),
-            XPaxosMsg::VcFinal(f) => {
-                64 + f.vc_set.iter().map(|m| m.wire_size()).sum::<usize>()
-            }
+            XPaxosMsg::VcFinal(f) => 64 + f.vc_set.iter().map(|m| m.wire_size()).sum::<usize>(),
             XPaxosMsg::VcConfirm(_) => 104,
             XPaxosMsg::NewView(nv) => {
-                64 + nv
-                    .prepare_log
-                    .iter()
-                    .map(|e| e.wire_size())
-                    .sum::<usize>()
+                64 + nv.prepare_log.iter().map(|e| e.wire_size()).sum::<usize>()
             }
             XPaxosMsg::Checkpoint(_) => 112,
             XPaxosMsg::LazyCheckpoint { proof } => 16 + proof.len() * 112,
             XPaxosMsg::LazyReplicate { entries, .. } => {
                 16 + entries.iter().map(|e| e.wire_size()).sum::<usize>()
+            }
+            XPaxosMsg::StateRequest(_) => 56,
+            XPaxosMsg::StateResponse(m) => {
+                64 + m.sealed.snapshot.wire_size() + m.sealed.proof.len() * 112
             }
             XPaxosMsg::FaultDetected(_) => 96,
         }
@@ -339,6 +387,8 @@ impl SimMessage for XPaxosMsg {
             }
             XPaxosMsg::LazyCheckpoint { .. } => "LAZYCHK",
             XPaxosMsg::LazyReplicate { .. } => "LAZY-REPLICATE",
+            XPaxosMsg::StateRequest(_) => "STATE-REQ",
+            XPaxosMsg::StateResponse(_) => "STATE-RESP",
             XPaxosMsg::FaultDetected(_) => "FAULT-DETECTED",
             XPaxosMsg::SuspectToClient(_) => "SUSPECT-CLIENT",
         }
@@ -354,6 +404,26 @@ pub fn client_request_digest(request: &Request) -> Digest {
 /// Digest signed in a SUSPECT message.
 pub fn suspect_digest(view: ViewNumber, replica: ReplicaId) -> Digest {
     xft_wire::domain_digest(b"suspect", &(view, replica as u64))
+}
+
+/// Digest signed in a CHKPT message: binds the view, the checkpoint sequence
+/// number and the agreed snapshot digest under a dedicated domain. Checkpoint
+/// votes are durable, load-bearing evidence (sealed-snapshot proofs,
+/// VIEW-CHANGE horizons, state-transfer verification), so they must never
+/// share a signing domain with any other message.
+pub fn checkpoint_vote_digest(view: ViewNumber, sn: SeqNum, state: &Digest) -> Digest {
+    xft_wire::domain_digest(b"chkpt", &(view, sn, *state))
+}
+
+/// Digest signed in a STATE-REQUEST message.
+pub fn state_request_digest(min_sn: SeqNum, replica: ReplicaId) -> Digest {
+    xft_wire::domain_digest(b"state-request", &(min_sn, replica as u64))
+}
+
+/// Digest signed in a STATE-RESPONSE message: binds the checkpoint sequence
+/// number, the snapshot digest and the responding replica.
+pub fn state_response_digest(sn: SeqNum, snapshot: &Digest, replica: ReplicaId) -> Digest {
+    xft_wire::domain_digest(b"state-response", &(sn, *snapshot, replica as u64))
 }
 
 /// Digest signed in a REPLY message (binds view, sn, client timestamp and reply digest).
@@ -427,6 +497,8 @@ mod tests {
             replica: 1,
             commit_log: vec![],
             prepare_log: vec![],
+            last_checkpoint: SeqNum(0),
+            checkpoint_proof: vec![],
             signature: Signature::forged(KeyId(1)),
         };
         let with_log = ViewChangeMsg {
@@ -451,6 +523,9 @@ mod tests {
         let d1 = reply_digest(ViewNumber(0), SeqNum(1), ClientId(1), 7, &r);
         let d2 = reply_digest(ViewNumber(0), SeqNum(2), ClientId(1), 7, &r);
         assert_ne!(d1, d2);
-        assert_ne!(suspect_digest(ViewNumber(0), 1), suspect_digest(ViewNumber(1), 1));
+        assert_ne!(
+            suspect_digest(ViewNumber(0), 1),
+            suspect_digest(ViewNumber(1), 1)
+        );
     }
 }

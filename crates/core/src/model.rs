@@ -225,8 +225,14 @@ mod tests {
     fn table1_cft_row() {
         // CFT consistency: any number of crash faults and partitions, zero non-crash.
         let m = ProtocolModel::AsyncCft;
-        assert!(m.guarantees(&snap(&[Crashed, Crashed, Partitioned])).consistent);
-        assert!(!m.guarantees(&snap(&[NonCrash, Correct, Correct])).consistent);
+        assert!(
+            m.guarantees(&snap(&[Crashed, Crashed, Partitioned]))
+                .consistent
+        );
+        assert!(
+            !m.guarantees(&snap(&[NonCrash, Correct, Correct]))
+                .consistent
+        );
         // CFT availability: majority correct & synchronous.
         assert!(m.guarantees(&snap(&[Correct, Correct, Crashed])).available);
         assert!(!m.guarantees(&snap(&[Correct, Crashed, Crashed])).available);
@@ -237,31 +243,62 @@ mod tests {
     fn table1_xft_row() {
         let m = ProtocolModel::Xft;
         // Without non-crash faults: consistent like CFT regardless of crashes/partitions.
-        assert!(m.guarantees(&snap(&[Crashed, Crashed, Partitioned])).consistent);
+        assert!(
+            m.guarantees(&snap(&[Crashed, Crashed, Partitioned]))
+                .consistent
+        );
         // With a non-crash fault but within the combined threshold: still consistent.
-        assert!(m.guarantees(&snap(&[NonCrash, Correct, Correct])).consistent);
+        assert!(
+            m.guarantees(&snap(&[NonCrash, Correct, Correct]))
+                .consistent
+        );
         // In anarchy: not consistent.
-        assert!(!m.guarantees(&snap(&[NonCrash, Crashed, Correct])).consistent);
+        assert!(
+            !m.guarantees(&snap(&[NonCrash, Crashed, Correct]))
+                .consistent
+        );
         // Availability requires a correct synchronous majority.
         assert!(m.guarantees(&snap(&[NonCrash, Correct, Correct])).available);
-        assert!(!m.guarantees(&snap(&[NonCrash, Partitioned, Correct])).available);
+        assert!(
+            !m.guarantees(&snap(&[NonCrash, Partitioned, Correct]))
+                .available
+        );
     }
 
     #[test]
     fn table1_bft_rows() {
         let bft = ProtocolModel::AsyncBft;
         // Async BFT stays consistent with ≤ t non-crash faults even in asynchrony.
-        assert!(bft.guarantees(&snap(&[NonCrash, Crashed, Correct])).consistent);
+        assert!(
+            bft.guarantees(&snap(&[NonCrash, Crashed, Correct]))
+                .consistent
+        );
         // But not with more than t non-crash faults.
-        assert!(!bft.guarantees(&snap(&[NonCrash, NonCrash, Correct])).consistent);
+        assert!(
+            !bft.guarantees(&snap(&[NonCrash, NonCrash, Correct]))
+                .consistent
+        );
         // Availability needs every class of fault within t.
-        assert!(!bft.guarantees(&snap(&[Crashed, Partitioned, Correct])).available);
-        assert!(bft.guarantees(&snap(&[Crashed, Correct, Correct])).available);
+        assert!(
+            !bft.guarantees(&snap(&[Crashed, Partitioned, Correct]))
+                .available
+        );
+        assert!(
+            bft.guarantees(&snap(&[Crashed, Correct, Correct]))
+                .available
+        );
 
         let sbft = ProtocolModel::SyncBft;
         // Synchronous BFT tolerates n−1 non-crash faults but no partitions.
-        assert!(sbft.guarantees(&snap(&[NonCrash, NonCrash, Correct])).consistent);
-        assert!(!sbft.guarantees(&snap(&[NonCrash, Partitioned, Correct])).consistent);
+        assert!(
+            sbft.guarantees(&snap(&[NonCrash, NonCrash, Correct]))
+                .consistent
+        );
+        assert!(
+            !sbft
+                .guarantees(&snap(&[NonCrash, Partitioned, Correct]))
+                .consistent
+        );
     }
 
     #[test]

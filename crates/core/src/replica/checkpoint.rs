@@ -9,10 +9,12 @@
 //! a consequence of lazy replication" — §5.4).
 
 use super::{Phase, Replica};
+use crate::durable::SealedSnapshot;
 use crate::log::CommitEntry;
 use crate::messages::{CheckpointMsg, XPaxosMsg};
-use crate::types::SeqNum;
-use xft_crypto::CryptoOp;
+use crate::types::{ReplicaId, SeqNum};
+use std::collections::BTreeMap;
+use xft_crypto::{CryptoOp, Digest};
 use xft_simnet::Context;
 
 impl Replica {
@@ -26,12 +28,18 @@ impl Replica {
         if sn.0 == 0 || !sn.0.is_multiple_of(interval) || sn <= self.last_checkpoint {
             return;
         }
+        // Capture the snapshot *now*, at the execution point whose digest the
+        // round agrees on; it is retained until the CHKPT quorum seals it
+        // (execution moves on in the meantime).
+        let snapshot = self.checkpoint_snapshot();
+        let digest = snapshot.digest();
+        self.pending_snapshots.insert(sn.0, snapshot);
         // PRECHK round: MAC-authenticated state digest exchange among active replicas.
         ctx.charge(CryptoOp::Mac { len: 64 });
         let msg = CheckpointMsg {
             sn,
             view: self.view,
-            state_digest: self.state.state_digest(),
+            state_digest: digest,
             replica: self.id,
             signed: false,
             signature: xft_crypto::Signature::forged(self.signer.id()),
@@ -52,7 +60,18 @@ impl Replica {
             return;
         }
         if m.signed {
+            // Verify before admitting the vote: CHKPT messages become part
+            // of durable checkpoint *proofs* (state transfer, VIEW-CHANGE
+            // horizons), and one garbage signature would poison every proof
+            // built from the vote set.
             ctx.charge(CryptoOp::VerifySig);
+            if m.replica >= self.config.n() {
+                return;
+            }
+            let expected = crate::messages::checkpoint_vote_digest(m.view, m.sn, &m.state_digest);
+            if !self.verifier.is_valid_digest(&expected, &m.signature) {
+                return;
+            }
             self.chkpt_votes.entry(m.sn.0).or_default().push(m.clone());
             self.check_chkpt_quorum(m.sn, ctx);
         } else {
@@ -98,12 +117,8 @@ impl Replica {
             state_digest: first,
             replica: self.id,
             signed: true,
-            signature: self.sign(&crate::messages::reply_digest(
-                self.view,
-                sn,
-                crate::types::ClientId(0),
-                0,
-                &first,
+            signature: self.sign(&crate::messages::checkpoint_vote_digest(
+                self.view, sn, &first,
             )),
         };
         self.chkpt_votes.entry(sn.0).or_default().push(msg.clone());
@@ -113,21 +128,49 @@ impl Replica {
         self.check_chkpt_quorum(sn, ctx);
     }
 
-    /// Once t + 1 signed CHKPT messages are in, the checkpoint is stable: truncate the
-    /// logs and propagate the proof to passive replicas (LAZYCHK).
+    /// Once t + 1 *distinct* replicas' signed CHKPT messages agree on one
+    /// digest, the checkpoint is stable: truncate the logs, seal the captured
+    /// snapshot with the proof (retaining it for state transfer, persisting
+    /// it to storage) and propagate the proof to passive replicas (LAZYCHK).
     fn check_chkpt_quorum(&mut self, sn: SeqNum, ctx: &mut Context<XPaxosMsg>) {
         let needed = self.config.active_count();
-        let proof: Vec<CheckpointMsg> = {
+        let (digest, proof): (Digest, Vec<CheckpointMsg>) = {
             let Some(votes) = self.chkpt_votes.get(&sn.0) else {
                 return;
             };
-            if votes.len() < needed || sn <= self.last_checkpoint {
+            if sn <= self.last_checkpoint {
                 return;
             }
-            votes.clone()
+            // Group by digest and dedupe by sender: a quorum means t + 1
+            // different replicas vouching for the same state, not t + 1
+            // messages. The quorum must include *this replica's own* vote:
+            // our vote is only cast once we executed to `sn` and captured
+            // the snapshot, so requiring it guarantees the truncation below
+            // never discards entries we have not executed, and that the
+            // agreed digest is ours (no fork can be laundered under a
+            // checkpoint this replica never reached).
+            let mut by_digest: BTreeMap<Digest, BTreeMap<ReplicaId, CheckpointMsg>> =
+                BTreeMap::new();
+            for m in votes {
+                if m.signed && m.replica < self.config.n() {
+                    by_digest
+                        .entry(m.state_digest)
+                        .or_default()
+                        .entry(m.replica)
+                        .or_insert_with(|| m.clone());
+                }
+            }
+            let Some((digest, group)) = by_digest
+                .into_iter()
+                .find(|(_, group)| group.len() >= needed && group.contains_key(&self.id))
+            else {
+                return;
+            };
+            (digest, group.into_values().collect())
         };
 
         self.last_checkpoint = sn;
+        self.checkpoint_proof = proof.clone();
         self.prepare_log.truncate_upto(sn);
         self.commit_log.truncate_upto(sn);
         self.pending_commits.retain(|k, _| *k > sn.0);
@@ -135,6 +178,21 @@ impl Replica {
         self.prechk_votes.retain(|k, _| *k > sn.0);
         self.chkpt_votes.retain(|k, _| *k >= sn.0);
         ctx.count("checkpoints", 1);
+
+        // Seal the snapshot captured at PRECHK time with the quorum proof —
+        // this replica can now serve verified state transfer for `sn` — and
+        // persist it, re-seeding the WAL with the surviving log tail.
+        if let Some(snapshot) = self.pending_snapshots.remove(&sn.0) {
+            if snapshot.digest() == digest {
+                let sealed = SealedSnapshot {
+                    snapshot,
+                    proof: proof.clone(),
+                };
+                self.persist_sealed_snapshot(&sealed);
+                self.latest_snapshot = Some(sealed);
+            }
+        }
+        self.pending_snapshots.retain(|k, _| *k > sn.0);
 
         // Propagate the checkpoint proof to the passive replicas.
         for passive in self.groups.passive_replicas(self.view) {
@@ -147,34 +205,78 @@ impl Replica {
         }
     }
 
-    /// A passive replica receives a checkpoint proof: adopt it and garbage-collect.
+    /// A passive replica receives a checkpoint proof: verify it, then either
+    /// garbage-collect (caught up) or fetch the checkpointed state through a
+    /// real, verified state transfer (lagging). The seed's one-line
+    /// "`exec_sn = sn`, modeling snapshot transfer" is gone — a replica never
+    /// skips execution it cannot account for.
     pub(crate) fn on_lazy_checkpoint(
         &mut self,
         proof: Vec<CheckpointMsg>,
         ctx: &mut Context<XPaxosMsg>,
     ) {
-        let needed = self.config.active_count();
-        if proof.len() < needed {
+        let Some((sn, digest)) = self.verify_checkpoint_proof(&proof, ctx) else {
             return;
-        }
-        let sn = proof[0].sn;
-        if !proof.iter().all(|m| m.sn == sn && m.signed) {
-            return;
-        }
-        for _ in &proof {
-            ctx.charge(CryptoOp::VerifySig);
-        }
+        };
         if sn <= self.last_checkpoint {
             return;
         }
-        self.last_checkpoint = sn;
-        self.prepare_log.truncate_upto(sn);
-        self.commit_log.truncate_upto(sn);
-        // A passive replica that lags behind the checkpoint adopts the checkpointed
-        // state (modeling snapshot transfer).
+        // Drain whatever lazy replication already delivered — but stop *at*
+        // the checkpoint boundary, so a replica that can reach it compares
+        // its state against the agreed digest before executing past it.
+        self.try_execute_upto(sn, ctx);
         if self.exec_sn < sn {
-            self.exec_sn = sn;
+            ctx.count("lazy_checkpoints_behind", 1);
+            self.begin_state_transfer(sn, ctx);
+            return;
         }
+        // At the checkpoint exactly, this replica can *compare* its state
+        // against the agreed digest. A mismatch means a forked suffix
+        // survived into the checkpointed prefix — garbage-collecting now
+        // would launder the fork below every later divergence check, so roll
+        // back and refetch instead of adopting the proof.
+        if self.exec_sn == sn {
+            let snapshot = self.checkpoint_snapshot();
+            if snapshot.digest() == digest {
+                // Seal our own snapshot with the received proof — this
+                // replica becomes a transfer source too (useful when the
+                // active replicas of a later view lag).
+                self.last_checkpoint = sn;
+                self.checkpoint_proof = proof.clone();
+                self.prepare_log.truncate_upto(sn);
+                self.commit_log.truncate_upto(sn);
+                let sealed = SealedSnapshot { snapshot, proof };
+                self.persist_sealed_snapshot(&sealed);
+                self.latest_snapshot = Some(sealed);
+            } else {
+                // The t + 1-signed quorum proves this replica's executed
+                // prefix forked somewhere at or below `sn` — and its *own
+                // log* may hold the forked entries, so a local replay can
+                // only reproduce the fork. Discard everything up to the
+                // checkpoint and fetch the agreed state instead.
+                ctx.count("lazy_checkpoint_state_mismatch", 1);
+                self.reset_execution_state();
+                self.last_checkpoint = SeqNum(0);
+                self.checkpoint_proof.clear();
+                self.prepare_log.truncate_upto(sn);
+                self.commit_log.truncate_upto(sn);
+                self.pending_commits.retain(|k, _| *k > sn.0);
+                self.pending_snapshots.clear();
+                self.begin_state_transfer(sn, ctx);
+                return;
+            }
+        } else {
+            // Executed past the checkpoint already (no state to compare at
+            // `sn`): adopt the proof and garbage-collect. Any fork in the
+            // prefix was repaired when the conflicting entries arrived
+            // (`on_lazy_replicate`).
+            self.last_checkpoint = sn;
+            self.checkpoint_proof = proof.clone();
+            self.prepare_log.truncate_upto(sn);
+            self.commit_log.truncate_upto(sn);
+        }
+        // Resume execution past the boundary we stopped at.
+        self.try_execute(ctx);
         ctx.count("lazy_checkpoints", 1);
     }
 
@@ -218,6 +320,7 @@ impl Replica {
         entries: Vec<CommitEntry>,
         ctx: &mut Context<XPaxosMsg>,
     ) {
+        let mut forked = false;
         for entry in entries {
             if entry.sn <= self.last_checkpoint {
                 continue;
@@ -228,11 +331,28 @@ impl Replica {
                 None => true,
             };
             if keep {
+                // A higher-view committed entry landing on a slot this
+                // replica already *executed* with a different batch is proof
+                // its speculative suffix forked (the isolated follower of
+                // paper Lemma 1): the entry it executed was selected out by
+                // a view change it missed. Repair below, before executing
+                // anything else on the forked state.
+                if entry.sn <= self.exec_sn {
+                    let new_digest = entry.batch.digest();
+                    forked |= self
+                        .executed_history
+                        .iter()
+                        .any(|(sn, digest)| *sn == entry.sn && *digest != new_digest);
+                }
                 if entry.sn > self.next_sn {
                     self.next_sn = entry.sn;
                 }
+                self.persist(|| crate::durable::DurableEvent::Commit(entry.clone()));
                 self.commit_log.insert(entry);
             }
+        }
+        if forked {
+            self.repair_forked_suffix(ctx);
         }
         self.try_execute(ctx);
         ctx.count("lazy_entries", 1);

@@ -63,7 +63,12 @@ impl Replica {
         // later request can execute before an earlier shed one, so "at or
         // below the latest executed timestamp" would wrongly swallow the shed
         // request's retry.
-        if self.client_table.get(&client).map(|r| r.executed(ts)).unwrap_or(false) {
+        if self
+            .client_table
+            .get(&client)
+            .map(|r| r.executed(ts))
+            .unwrap_or(false)
+        {
             // Escalation: a client that keeps re-sending an executed request
             // cannot assemble a commit quorum from the current group (the
             // chaos explorer surfaced wedges where the other active replica
@@ -129,7 +134,10 @@ impl Replica {
             if escalate {
                 ctx.count("cache_answer_suspects", 1);
                 let suspect = self.make_suspect(self.view);
-                ctx.send(self.client_node(client), XPaxosMsg::SuspectToClient(suspect));
+                ctx.send(
+                    self.client_node(client),
+                    XPaxosMsg::SuspectToClient(suspect),
+                );
                 self.suspect_view(ctx);
             }
             return;
@@ -234,7 +242,12 @@ impl Replica {
     }
 
     /// Cancels the retransmission monitor of an executed request.
-    pub(crate) fn clear_monitor(&mut self, client: ClientId, ts: Timestamp, ctx: &mut Context<XPaxosMsg>) {
+    pub(crate) fn clear_monitor(
+        &mut self,
+        client: ClientId,
+        ts: Timestamp,
+        ctx: &mut Context<XPaxosMsg>,
+    ) {
         if let Some((token, timer)) = self.monitored_by_req.remove(&(client, ts)) {
             self.monitored.remove(&token);
             ctx.cancel_timer(timer);
@@ -331,6 +344,7 @@ impl Replica {
             client_sigs: sigs.clone(),
             primary_sig,
         };
+        self.persist(|| crate::durable::DurableEvent::Prepare(entry.clone()));
         self.prepare_log.insert(entry);
 
         if self.config.t == 1 {
@@ -413,15 +427,22 @@ impl Replica {
     /// any. Stashed proposals were signature-verified on arrival and the
     /// stash is cleared on every view change, so replay skips straight to the
     /// apply step. Each replay ends with another drain call, so a run of
-    /// consecutive stashed proposals is consumed in order.
-    fn drain_stashed(&mut self, ctx: &mut Context<XPaxosMsg>) {
+    /// consecutive stashed proposals is consumed in order. Also invoked after
+    /// a state-transfer adoption, which is what releases carry proposals that
+    /// were deferred while execution lagged.
+    pub(crate) fn drain_stashed(&mut self, ctx: &mut Context<XPaxosMsg>) {
         let next = self.next_sn.next().0;
-        if let Some(msg) = self.stashed_proposals.remove(&next) {
-            match msg {
-                XPaxosMsg::Prepare(m) => self.apply_prepare(m, ctx),
-                XPaxosMsg::CommitCarry(m) => self.apply_commit_carry(m, ctx),
-                _ => {}
-            }
+        let Some(msg) = self.stashed_proposals.get(&next) else {
+            return;
+        };
+        if matches!(msg, XPaxosMsg::CommitCarry(_)) && SeqNum(next) != self.exec_sn.next() {
+            return; // execution still catching up; re-drained after adoption
+        }
+        let msg = self.stashed_proposals.remove(&next).expect("peeked above");
+        match msg {
+            XPaxosMsg::Prepare(m) => self.apply_prepare(m, ctx),
+            XPaxosMsg::CommitCarry(m) => self.apply_commit_carry(m, ctx),
+            _ => {}
         }
     }
 
@@ -497,13 +518,15 @@ impl Replica {
         debug_assert_eq!(m.sn, self.next_sn.next());
         self.next_sn = m.sn;
         let batch_digest = m.batch.digest();
-        self.prepare_log.insert(PrepareEntry {
+        let entry = PrepareEntry {
             view: m.view,
             sn: m.sn,
             batch: m.batch,
             client_sigs: m.client_sigs,
             primary_sig: m.signature,
-        });
+        };
+        self.persist(|| crate::durable::DurableEvent::Prepare(entry.clone()));
+        self.prepare_log.insert(entry);
 
         // Sign and broadcast the COMMIT to all active replicas.
         ctx.charge(CryptoOp::Sign);
@@ -567,6 +590,13 @@ impl Replica {
         if m.sn != self.next_sn.next() {
             return;
         }
+        if m.sn != self.exec_sn.next() {
+            // The carry path executes immediately, but execution lags the
+            // proposal stream (a state transfer is filling the checkpointed
+            // prefix): defer the proposal until the snapshot is adopted.
+            self.stash_proposal(m.sn, XPaxosMsg::CommitCarry(m), ctx);
+            return;
+        }
         self.apply_commit_carry(m, ctx);
     }
 
@@ -591,8 +621,8 @@ impl Replica {
         let combined_reply = combine_digests(&reply_digests);
 
         ctx.charge(CryptoOp::Sign);
-        let commit_digest = CommitEntry::commit_digest(&batch_digest, m.sn, m.view)
-            .combine(&combined_reply);
+        let commit_digest =
+            CommitEntry::commit_digest(&batch_digest, m.sn, m.view).combine(&combined_reply);
         let sig = self.sign(&commit_digest);
         let m1 = CommitMsg {
             view: m.view,
@@ -605,13 +635,15 @@ impl Replica {
 
         let mut commit_sigs = BTreeMap::new();
         commit_sigs.insert(self.id, sig);
-        self.commit_log.insert(CommitEntry {
+        let entry = CommitEntry {
             view: m.view,
             sn: m.sn,
             batch: m.batch,
             primary_sig: m.signature,
             commit_sigs,
-        });
+        };
+        self.persist(|| crate::durable::DurableEvent::Commit(entry.clone()));
+        self.commit_log.insert(entry);
         self.committed_batches += 1;
 
         let primary = self.groups.primary(m.view);
@@ -704,6 +736,7 @@ impl Replica {
             commit_sigs,
         };
         self.follower_commits.insert(m.sn.0, m);
+        self.persist(|| crate::durable::DurableEvent::Commit(entry.clone()));
         self.commit_log.insert(entry);
         self.committed_batches += 1;
         self.try_execute(ctx);
@@ -730,6 +763,7 @@ impl Replica {
             primary_sig: prep.primary_sig,
             commit_sigs: self.pending_commits.remove(&sn.0).unwrap_or_default().sigs,
         };
+        self.persist(|| crate::durable::DurableEvent::Commit(entry.clone()));
         self.commit_log.insert(entry);
         self.committed_batches += 1;
         self.try_execute(ctx);
@@ -746,13 +780,62 @@ impl Replica {
 
     /// Executes committed batches in sequence-number order and replies to clients.
     pub(crate) fn try_execute(&mut self, ctx: &mut Context<XPaxosMsg>) {
-        loop {
+        self.try_execute_upto(SeqNum(u64::MAX), ctx);
+    }
+
+    /// Executes committed batches in order, but not past `upto`. The bound
+    /// lets the lazy-checkpoint handler stop *exactly at* a checkpoint
+    /// boundary to compare its state digest against the agreed one — the
+    /// only point where a forked prefix is locally provable.
+    pub(crate) fn try_execute_upto(&mut self, upto: SeqNum, ctx: &mut Context<XPaxosMsg>) {
+        while self.exec_sn < upto {
             let next = self.exec_sn.next();
             let Some(entry) = self.commit_log.get(next) else {
                 break;
             };
             let batch = entry.batch.clone();
-            self.execute_batch_now(next, &batch, ctx);
+            // Fast-path cross-check (t = 1 primary): the follower executed
+            // this batch first and its signed commit m1 carries the digest of
+            // *its* replies. A mismatch with our own execution means the two
+            // active states diverged — the client would be handed a reply
+            // pair that only looks like a quorum. Execute with replies
+            // *withheld*, verify, and only then release the replies from the
+            // reply cache — a divergent batch's results never reach a client.
+            let verify_against = if self.config.t == 1
+                && self.is_primary_in(self.view)
+                && self.phase == Phase::Active
+                && !self.replaying
+            {
+                self.follower_commits
+                    .get(&next.0)
+                    .and_then(|fc| fc.reply_digest)
+            } else {
+                None
+            };
+            let Some(expected) = verify_against else {
+                self.execute_batch_now(next, &batch, ctx);
+                continue;
+            };
+            self.replaying = true;
+            let digests = self.execute_batch_now(next, &batch, ctx);
+            self.replaying = false;
+            if combine_digests(&digests) != expected {
+                ctx.count("fast_path_reply_divergence", 1);
+                self.suspect_view(ctx);
+                break;
+            }
+            for req in &batch.requests {
+                if let Some(cached) = self
+                    .client_table
+                    .get(&req.client)
+                    .and_then(|r| r.reply_for(req.timestamp))
+                {
+                    ctx.send(
+                        self.client_node(req.client),
+                        XPaxosMsg::Reply(cached.reply.clone()),
+                    );
+                }
+            }
         }
     }
 
@@ -811,10 +894,11 @@ impl Replica {
             };
             // Remember recent replies (with the raw reply digest, for
             // view re-binding) for duplicate suppression.
-            self.client_table
-                .entry(req.client)
-                .or_default()
-                .record(req.timestamp, reply.clone(), rd);
+            self.client_table.entry(req.client).or_default().record(
+                req.timestamp,
+                reply.clone(),
+                rd,
+            );
             self.clear_monitor(req.client, req.timestamp, ctx);
 
             // Only active replicas answer clients (passive replicas execute

@@ -1,0 +1,332 @@
+//! Replica persistence and crash recovery.
+//!
+//! With storage attached ([`Replica::with_storage`]) the replica appends a
+//! [`DurableEvent`] WAL record for every prepare, first-time commit and view
+//! install — always *inside* the protocol callback, so the record hits the
+//! WAL before the callback's outgoing messages (replies included) are
+//! released. Stable checkpoints install a [`SealedSnapshot`] file and re-seed
+//! the WAL with the entries that outlive it.
+//!
+//! Recovery ([`Replica::recover_from_storage`]) is the reverse: adopt the
+//! snapshot, replay the intact WAL prefix, and re-execute the committed
+//! entries through the *same* execution path used live (inside a detached
+//! context), so exactly-once bookkeeping and executed history are rebuilt
+//! rather than trusted.
+
+use super::{Phase, Replica};
+use crate::durable::{ClientRecordSnapshot, DurableEvent, ReplicaSnapshot, SealedSnapshot};
+use crate::messages::XPaxosMsg;
+use crate::types::{SeqNum, ViewNumber};
+use bytes::Reader;
+use xft_simnet::Context;
+use xft_store::{DiskFault, Recovered};
+use xft_wire::{WireDecode, WireEncode};
+
+/// What [`Replica::recover_from_storage`] found and rebuilt (logged by
+/// `xpaxos-server` at startup).
+#[derive(Debug, Clone, Default)]
+pub struct RecoveryReport {
+    /// Whether any durable state existed at all.
+    pub had_state: bool,
+    /// Whether a snapshot file was adopted, and at which sequence number.
+    pub snapshot_sn: Option<SeqNum>,
+    /// Intact WAL records replayed.
+    pub wal_records: usize,
+    /// Whether a torn or corrupt WAL tail had to be truncated.
+    pub lossy_tail: bool,
+    /// The view the replica recovered into.
+    pub view: ViewNumber,
+    /// The highest sequence number re-executed.
+    pub exec_sn: SeqNum,
+}
+
+impl Replica {
+    /// Appends one WAL record, if storage is attached. Proof-strengthening
+    /// re-inserts of an already-committed entry are deliberately *not*
+    /// persisted (the first commit record is what recovery needs; signatures
+    /// regrow through the protocol).
+    pub(crate) fn persist(&mut self, event: impl FnOnce() -> DurableEvent) {
+        if let Some(storage) = self.storage.as_mut() {
+            storage.append(&event().wire_bytes());
+        }
+    }
+
+    /// Persists a sealed snapshot and re-seeds the WAL with everything that
+    /// must outlive it: the current view, and the log entries beyond the
+    /// snapshot's sequence number.
+    pub(crate) fn persist_sealed_snapshot(&mut self, sealed: &SealedSnapshot) {
+        if self.storage.is_none() {
+            return;
+        }
+        let sn = sealed.sn();
+        let mut records: Vec<Vec<u8>> = Vec::new();
+        // Always re-seed the last *installed* view: a checkpoint can seal
+        // while a view change is in flight, and dropping the View record
+        // here would make a later crash recover the replica into view 0.
+        records.push(DurableEvent::View(self.installed_view).wire_bytes());
+        for entry in self.commit_log.iter().filter(|e| e.sn > sn) {
+            records.push(DurableEvent::Commit(entry.clone()).wire_bytes());
+        }
+        for entry in self.prepare_log.iter().filter(|e| e.sn > sn) {
+            records.push(DurableEvent::Prepare(entry.clone()).wire_bytes());
+        }
+        let bytes = sealed.to_bytes();
+        let storage = self.storage.as_mut().expect("checked above");
+        storage.install_snapshot(&bytes, &records);
+    }
+
+    /// Builds the canonical snapshot of this replica's state at its current
+    /// execution point (used at PRECHK initiation, so the captured state is
+    /// exactly the one whose digest the checkpoint round agrees on).
+    pub(crate) fn checkpoint_snapshot(&self) -> ReplicaSnapshot {
+        ReplicaSnapshot {
+            sn: self.exec_sn,
+            app: self.state.snapshot(),
+            app_digest: self.state.state_digest(),
+            executed: self.executed_history.clone(),
+            clients: self.client_record_snapshots(),
+        }
+    }
+
+    /// The canonical per-client exactly-once records (see
+    /// [`ClientRecordSnapshot`] for what is — and is not — included).
+    pub(crate) fn client_record_snapshots(&self) -> Vec<ClientRecordSnapshot> {
+        let mut clients: Vec<ClientRecordSnapshot> = self
+            .client_table
+            .iter()
+            .map(|(client, record)| ClientRecordSnapshot {
+                client: *client,
+                ranges: record
+                    .executed_ranges
+                    .iter()
+                    .map(|(s, e)| (*s, *e))
+                    .collect(),
+                replies: record
+                    .replies
+                    .iter()
+                    .map(|(ts, cached)| (*ts, cached.reply.sn, cached.rd))
+                    .collect(),
+            })
+            .collect();
+        clients.sort_by_key(|c| c.client.0);
+        clients
+    }
+
+    /// Replaces this replica's executed state with a sealed snapshot:
+    /// application state, executed history, exactly-once table, checkpoint
+    /// bookkeeping and log truncation — the *adoption* half of state
+    /// transfer. The caller is responsible for having verified the seal
+    /// (proof signatures + snapshot digest); this only cross-checks that the
+    /// restored state machine reproduces the agreed application digest.
+    ///
+    /// Returns `false` (best-effort restoring a blank state) when the
+    /// application snapshot does not decode or reproduces the wrong digest —
+    /// both indicate a faulty responder or a local `restore` bug, and the
+    /// caller should retry elsewhere.
+    pub(crate) fn adopt_sealed_snapshot(
+        &mut self,
+        sealed: SealedSnapshot,
+        persist: bool,
+        ctx: &mut Context<XPaxosMsg>,
+    ) -> bool {
+        let snap = &sealed.snapshot;
+        if !self.state.restore(&snap.app) {
+            ctx.count("state_transfer_bad_snapshot", 1);
+            return false;
+        }
+        if self.state.state_digest() != snap.app_digest {
+            // The blob decoded but rebuilt the wrong state — and `restore`
+            // has already overwritten the previous application state. Roll
+            // back *coherently* (blank state, blank bookkeeping) rather than
+            // leaving a blank state machine under live exec_sn/client-table
+            // values; execution stalls here until a good snapshot arrives
+            // (the pending transfer stays armed and retries elsewhere).
+            self.reset_execution_state();
+            self.last_checkpoint = SeqNum(0);
+            self.checkpoint_proof.clear();
+            ctx.count("state_transfer_bad_snapshot", 1);
+            return false;
+        }
+        let sn = snap.sn;
+        self.exec_sn = sn;
+        self.executed_history = snap.executed.clone();
+        self.client_table.clear();
+        for client in &snap.clients {
+            let record = super::ClientRecord::from_snapshot(client, self.view, self.id);
+            self.client_table.insert(client.client, record);
+        }
+        self.last_checkpoint = sn;
+        self.checkpoint_proof = sealed.proof.clone();
+        self.prepare_log.truncate_upto(sn);
+        self.commit_log.truncate_upto(sn);
+        self.pending_commits.retain(|k, _| *k > sn.0);
+        self.follower_commits.retain(|k, _| *k > sn.0);
+        self.prechk_votes.retain(|k, _| *k > sn.0);
+        self.chkpt_votes.retain(|k, _| *k >= sn.0);
+        self.pending_snapshots.retain(|k, _| *k > sn.0);
+        if self.next_sn < sn {
+            self.next_sn = sn;
+        }
+        if let Some(pending) = self.pending_transfer.take() {
+            if pending.target > sn {
+                // Snapshot helped but the goal moved on; keep transferring.
+                self.pending_transfer = Some(pending);
+            } else if let Some(timer) = pending.timer {
+                ctx.cancel_timer(timer);
+            }
+        }
+        self.latest_snapshot = Some(sealed);
+        if persist {
+            let sealed = self.latest_snapshot.clone().expect("just set");
+            self.persist_sealed_snapshot(&sealed);
+        }
+        true
+    }
+
+    /// Rebuilds the replica from its attached storage: adopt the snapshot
+    /// file, replay the intact WAL prefix, re-execute committed entries.
+    /// Call once after construction (before the runtime starts) when
+    /// restarting from a `--data-dir`; the disk-fault injection path reuses
+    /// the same logic mid-run.
+    pub fn recover_from_storage(&mut self) -> RecoveryReport {
+        let node = self.config.node_of(self.id);
+        xft_simnet::with_offline_context::<XPaxosMsg, _>(node, |ctx| self.recover_with(ctx))
+    }
+
+    /// Recovery body, parameterized over the context so the in-run disk-fault
+    /// path can reuse it. Effects recorded during replay are either discarded
+    /// (offline context) or harmless (replay suppresses client replies).
+    pub(crate) fn recover_with(&mut self, ctx: &mut Context<XPaxosMsg>) -> RecoveryReport {
+        let Some(storage) = self.storage.as_mut() else {
+            return RecoveryReport::default();
+        };
+        let recovered: Recovered = storage.load();
+        let mut report = RecoveryReport {
+            had_state: !recovered.is_empty(),
+            lossy_tail: recovered.tail.lossy(),
+            ..Default::default()
+        };
+        if let Some(bytes) = recovered.snapshot.as_deref() {
+            if let Some(sealed) = SealedSnapshot::from_bytes(bytes) {
+                // Sanity-check the file against its own embedded proof digest
+                // (full signature verification is pointless against our own
+                // disk — CRC already vouches for integrity).
+                let consistent = sealed
+                    .proof
+                    .first()
+                    .map(|m| m.state_digest == sealed.snapshot.digest())
+                    .unwrap_or(true);
+                if consistent && self.adopt_sealed_snapshot(sealed, false, ctx) {
+                    report.snapshot_sn = Some(self.last_checkpoint);
+                }
+            }
+        }
+        for raw in &recovered.records {
+            let mut r = Reader::new(raw);
+            let Some(event) = DurableEvent::decode_from(&mut r) else {
+                continue; // unknown record tag (downgrade tolerance)
+            };
+            report.wal_records += 1;
+            match event {
+                DurableEvent::View(v) => {
+                    if v >= self.view {
+                        self.view = v;
+                        self.installed_view = v;
+                        self.phase = Phase::Active;
+                    }
+                }
+                DurableEvent::Commit(entry) => {
+                    if entry.sn > self.last_checkpoint {
+                        if entry.sn > self.next_sn {
+                            self.next_sn = entry.sn;
+                        }
+                        self.commit_log.insert(entry);
+                    }
+                }
+                DurableEvent::Prepare(entry) => {
+                    if entry.sn > self.last_checkpoint {
+                        if entry.sn > self.next_sn {
+                            self.next_sn = entry.sn;
+                        }
+                        self.prepare_log.insert(entry);
+                    }
+                }
+            }
+        }
+        // Re-execute the committed tail through the normal path, with client
+        // replies suppressed (retransmissions are answered from the rebuilt
+        // reply cache instead).
+        self.replaying = true;
+        self.try_execute(ctx);
+        self.replaying = false;
+        report.view = self.view;
+        report.exec_sn = self.exec_sn;
+        ctx.count("storage_recoveries", 1);
+        report
+    }
+
+    /// Resets executed state to a blank slate: application state, executed
+    /// history, exactly-once table and the fast-path commit cache. Callers
+    /// decide what happens to the logs and checkpoint bookkeeping.
+    pub(crate) fn reset_execution_state(&mut self) {
+        self.state.reset();
+        self.executed_history.clear();
+        self.client_table.clear();
+        self.follower_commits.clear();
+        self.exec_sn = SeqNum(0);
+    }
+
+    /// This replica's executed suffix is proven divergent from the canonical
+    /// order (a speculatively executed entry was selected out by a view
+    /// change it missed — paper Lemma 1). Roll back to the last trustworthy
+    /// base and let the caller's `try_execute` replay the corrected log:
+    /// sequence number 1 with a full log, the last sealed snapshot when one
+    /// exists, or a blank slate plus a state transfer otherwise.
+    pub(crate) fn repair_forked_suffix(&mut self, ctx: &mut Context<XPaxosMsg>) {
+        ctx.count("fork_repairs", 1);
+        if self.last_checkpoint == SeqNum(0) {
+            self.reset_execution_state();
+        } else if let Some(sealed) = self
+            .latest_snapshot
+            .clone()
+            .filter(|s| s.sn() == self.last_checkpoint)
+        {
+            self.adopt_sealed_snapshot(sealed, false, ctx);
+        } else {
+            let target = self.last_checkpoint;
+            self.reset_execution_state();
+            self.last_checkpoint = SeqNum(0);
+            self.checkpoint_proof.clear();
+            self.begin_state_transfer(target, ctx);
+        }
+    }
+
+    /// A disk fault struck ([`crate::byzantine::CONTROL_TORN_TAIL`] /
+    /// [`crate::byzantine::CONTROL_CORRUPT_WAL`]): damage the stored bytes,
+    /// then restart the replica from whatever recovery salvages. Without
+    /// attached storage the fault degrades to full amnesia.
+    pub(crate) fn on_disk_fault(&mut self, code: u64, ctx: &mut Context<XPaxosMsg>) {
+        if self.storage.is_none() {
+            self.forget_state();
+            ctx.count("disk_fault_without_storage", 1);
+            return;
+        }
+        let fault = if code == crate::byzantine::CONTROL_TORN_TAIL {
+            DiskFault::TornTail {
+                bytes: 1 + ctx.rng().next_below(96),
+            }
+        } else {
+            // The backend reduces the offset modulo the WAL length, so any
+            // draw lands on a real bit.
+            DiskFault::FlipBit {
+                bit: ctx.rng().next_below(u64::MAX / 2),
+            }
+        };
+        if let Some(storage) = self.storage.as_mut() {
+            storage.inject(fault);
+        }
+        self.clear_volatile_state();
+        self.recover_with(ctx);
+        ctx.count("disk_fault_restarts", 1);
+    }
+}

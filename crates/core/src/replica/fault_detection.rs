@@ -116,10 +116,7 @@ impl Replica {
                 return;
             }
             let mine = vc.vc_confirms.get(&self.id).copied();
-            let mismatch = vc
-                .vc_confirms
-                .values()
-                .any(|d| Some(*d) != mine);
+            let mismatch = vc.vc_confirms.values().any(|d| Some(*d) != mine);
             (true, mismatch, vc.merged.clone().unwrap_or_default())
         };
         if !proceed {
@@ -180,11 +177,12 @@ pub(crate) fn detect_faults(
     merged: &[ViewChangeMsg],
 ) -> Vec<(ReplicaId, DetectedFaultKind)> {
     let mut detected: Vec<(ReplicaId, DetectedFaultKind)> = Vec::new();
-    let flag = |r: ReplicaId, k: DetectedFaultKind, out: &mut Vec<(ReplicaId, DetectedFaultKind)>| {
-        if !out.iter().any(|(x, _)| *x == r) {
-            out.push((r, k));
-        }
-    };
+    let flag =
+        |r: ReplicaId, k: DetectedFaultKind, out: &mut Vec<(ReplicaId, DetectedFaultKind)>| {
+            if !out.iter().any(|(x, _)| *x == r) {
+                out.push((r, k));
+            }
+        };
 
     for m in merged {
         for other in merged {
@@ -219,7 +217,11 @@ pub(crate) fn detect_faults(
                     .prepare_log
                     .iter()
                     .map(|p| (p.sn, p.view, p.batch.digest()))
-                    .chain(m.commit_log.iter().map(|c| (c.sn, c.view, c.batch.digest())))
+                    .chain(
+                        m.commit_log
+                            .iter()
+                            .map(|c| (c.sn, c.view, c.batch.digest())),
+                    )
                     .any(|(sn, view, digest)| {
                         sn == committed.sn
                             && view == committed.view

@@ -8,11 +8,14 @@
 
 pub mod checkpoint;
 pub mod common_case;
+pub mod durability;
 pub mod fault_detection;
+pub mod state_transfer;
 pub mod view_change;
 
 use crate::byzantine::ByzantineBehavior;
 use crate::config::XPaxosConfig;
+use crate::durable::{ReplicaSnapshot, SealedSnapshot};
 use crate::log::{CommitLog, PrepareLog};
 use crate::messages::{CommitMsg, ReplyMsg, SignedRequest, XPaxosMsg};
 use crate::state_machine::StateMachine;
@@ -21,9 +24,12 @@ use crate::types::{ClientId, ReplicaId, SeqNum, Timestamp, ViewNumber};
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
 use xft_crypto::{Digest, KeyRegistry, Signature, Signer, Verifier};
 use xft_simnet::{Actor, Context, ControlCode, NodeId, TimerId};
+use xft_store::Storage;
 
 /// Timer token: the primary's batch-accumulation timeout.
 pub(crate) const TOKEN_BATCH: u64 = 1;
+/// Timer token: the state-transfer retry timer.
+pub(crate) const TOKEN_STATE_TRANSFER: u64 = 2;
 /// Timer token base: the 2Δ VIEW-CHANGE collection window (plus the target view).
 pub(crate) const TOKEN_VC_COLLECT: u64 = 1_000_000_000;
 /// Timer token base: the overall view-change completion timeout (plus the target view).
@@ -105,7 +111,14 @@ impl ClientRecord {
     /// pruning the oldest replies past the cap.
     pub(crate) fn record(&mut self, ts: Timestamp, reply: ReplyMsg, rd: Digest) {
         self.mark_executed(ts);
-        self.replies.insert(ts, CachedReply { reply, rd, resends: 0 });
+        self.replies.insert(
+            ts,
+            CachedReply {
+                reply,
+                rd,
+                resends: 0,
+            },
+        );
         while self.replies.len() > CLIENT_REPLY_CACHE {
             let oldest = *self.replies.keys().next().expect("non-empty cache");
             self.replies.remove(&oldest);
@@ -155,6 +168,56 @@ impl ClientRecord {
     pub(crate) fn reply_for(&self, ts: Timestamp) -> Option<&CachedReply> {
         self.replies.get(&ts)
     }
+
+    /// Rebuilds a record from its canonical snapshot form (state transfer /
+    /// recovery). Cached replies come back as digest-only replies bound to
+    /// the adopting replica and view — the view re-binding path refreshes
+    /// them if the view moves on before a retransmission arrives.
+    pub(crate) fn from_snapshot(
+        snap: &crate::durable::ClientRecordSnapshot,
+        view: ViewNumber,
+        replica: ReplicaId,
+    ) -> Self {
+        let mut record = ClientRecord::default();
+        for (start, end) in &snap.ranges {
+            record.executed_ranges.insert(*start, *end);
+        }
+        for (ts, sn, rd) in &snap.replies {
+            let reply = ReplyMsg {
+                view,
+                sn: *sn,
+                timestamp: *ts,
+                reply_digest: crate::messages::reply_digest(view, *sn, snap.client, *ts, rd),
+                payload: None,
+                replica,
+                follower_commit: None,
+            };
+            record.replies.insert(
+                *ts,
+                CachedReply {
+                    reply,
+                    rd: *rd,
+                    resends: 0,
+                },
+            );
+        }
+        record
+    }
+}
+
+/// An in-progress state transfer: the replica is missing executed state up
+/// to `target` (a checkpoint its peers garbage-collected their logs at) and
+/// is fetching a sealed snapshot. Execution stalls at `exec_sn` until a
+/// verified snapshot is adopted; the retry timer rotates through peers.
+#[derive(Debug, Clone)]
+pub(crate) struct PendingTransfer {
+    /// The checkpoint sequence number needed (the snapshot adopted may be
+    /// newer).
+    pub(crate) target: SeqNum,
+    /// Requests sent so far (selects the next peer to ask).
+    pub(crate) attempts: u64,
+    /// Retry timer.
+    pub(crate) timer: Option<TimerId>,
 }
 
 /// Per-view-change bookkeeping (paper Algorithm 3 / 5).
@@ -196,6 +259,10 @@ pub struct Replica {
     // ---- view state -------------------------------------------------------------
     pub(crate) view: ViewNumber,
     pub(crate) phase: Phase,
+    /// The last view this replica *installed* (reached `Phase::Active` in).
+    /// Unlike `view`, which runs ahead during a view change, this is what a
+    /// WAL re-seed must record — recovery resumes from installed state.
+    pub(crate) installed_view: ViewNumber,
 
     // ---- ordering state ---------------------------------------------------------
     /// Highest sequence number prepared/accepted locally.
@@ -241,8 +308,25 @@ pub struct Replica {
 
     // ---- checkpointing ----------------------------------------------------------
     pub(crate) last_checkpoint: SeqNum,
+    /// The t + 1 signed CHKPT messages proving `last_checkpoint` (empty when
+    /// it is 0); carried in VIEW-CHANGE messages so the new view's selection
+    /// can trust the truncation horizon.
+    pub(crate) checkpoint_proof: Vec<crate::messages::CheckpointMsg>,
     pub(crate) prechk_votes: BTreeMap<u64, BTreeMap<ReplicaId, Digest>>,
     pub(crate) chkpt_votes: BTreeMap<u64, Vec<crate::messages::CheckpointMsg>>,
+    /// Snapshots captured when this replica initiated PRECHK at a sequence
+    /// number, awaiting their CHKPT proof.
+    pub(crate) pending_snapshots: BTreeMap<u64, ReplicaSnapshot>,
+    /// The latest stable checkpoint's sealed snapshot — what this replica
+    /// serves to lagging peers through state transfer.
+    pub(crate) latest_snapshot: Option<SealedSnapshot>,
+
+    // ---- durability & state transfer ---------------------------------------------
+    /// Attached stable storage; `None` runs the replica purely in memory
+    /// (the seed behaviour, still used by most simulations).
+    pub(crate) storage: Option<Box<dyn Storage>>,
+    /// An in-progress state transfer, if any.
+    pub(crate) pending_transfer: Option<PendingTransfer>,
 
     // ---- view change ------------------------------------------------------------
     pub(crate) vc: Option<ViewChangeState>,
@@ -283,6 +367,7 @@ impl Replica {
             behavior: ByzantineBehavior::Correct,
             view: ViewNumber(0),
             phase: Phase::Active,
+            installed_view: ViewNumber(0),
             next_sn: SeqNum(0),
             exec_sn: SeqNum(0),
             prepare_log: PrepareLog::new(),
@@ -300,8 +385,13 @@ impl Replica {
             batch_timer: None,
             proposed_in_flight: 0,
             last_checkpoint: SeqNum(0),
+            checkpoint_proof: Vec::new(),
             prechk_votes: BTreeMap::new(),
             chkpt_votes: BTreeMap::new(),
+            pending_snapshots: BTreeMap::new(),
+            latest_snapshot: None,
+            storage: None,
+            pending_transfer: None,
             vc: None,
             forwarded_suspects: HashSet::new(),
             monitored: HashMap::new(),
@@ -311,6 +401,20 @@ impl Replica {
             committed_batches: 0,
             view_changes_completed: 0,
         }
+    }
+
+    /// Attaches stable storage: every prepare/commit/view transition is
+    /// appended to its WAL and stable checkpoints install snapshot files, so
+    /// the replica can be rebuilt after `kill -9` with
+    /// [`Replica::recover_from_storage`].
+    pub fn with_storage(mut self, storage: Box<dyn Storage>) -> Self {
+        self.storage = Some(storage);
+        self
+    }
+
+    /// Whether stable storage is attached.
+    pub fn has_storage(&self) -> bool {
+        self.storage.is_some()
     }
 
     // ---- role helpers -----------------------------------------------------------
@@ -333,6 +437,11 @@ impl Replica {
     /// Highest executed sequence number.
     pub fn executed_upto(&self) -> SeqNum {
         self.exec_sn
+    }
+
+    /// The last stable checkpoint this replica adopted (0 = none).
+    pub fn last_checkpoint(&self) -> SeqNum {
+        self.last_checkpoint
     }
 
     /// The executed history (sn, batch digest) — used by consistency checks.
@@ -367,18 +476,31 @@ impl Replica {
 
     /// The *amnesia* fault ([`crate::byzantine::CONTROL_AMNESIA`]): lose every
     /// piece of stable storage — ordering logs, executed history, client
-    /// table, application state — and continue from a blank slate. The view
-    /// estimate is forgotten too; the replica re-learns it from the next
-    /// SUSPECT / VIEW-CHANGE traffic and rebuilds state from the NEW-VIEW
-    /// selection, exactly like a freshly provisioned machine joining with a
-    /// stale identity. Within the `t` budget XPaxos recovers (some correct
-    /// replica's log survives into the view-change selection); beyond it,
-    /// committed requests are genuinely lost and the chaos checker sees it.
+    /// table, application state, and the attached WAL/snapshot files — and
+    /// continue from a blank slate. The view estimate is forgotten too; the
+    /// replica re-learns it from the next SUSPECT / VIEW-CHANGE traffic and
+    /// rebuilds state from the NEW-VIEW selection (full-log replay) or from a
+    /// verified state transfer (checkpointed configurations), exactly like a
+    /// freshly provisioned machine joining with a stale identity. Within the
+    /// `t` budget XPaxos recovers; beyond it, committed requests are
+    /// genuinely lost and the chaos checker sees it.
     pub fn forget_state(&mut self) {
+        self.clear_volatile_state();
+        if let Some(storage) = self.storage.as_mut() {
+            storage.wipe();
+        }
+    }
+
+    /// Resets every piece of protocol and application state *except* the
+    /// storage handle — the shared core of [`Replica::forget_state`] (which
+    /// also wipes the disk) and the disk-fault restart path (which keeps the
+    /// damaged disk and recovers from it).
+    pub(crate) fn clear_volatile_state(&mut self) {
         self.behavior = ByzantineBehavior::Correct;
         self.replaying = false;
         self.view = ViewNumber(0);
         self.phase = Phase::Active;
+        self.installed_view = ViewNumber(0);
         self.next_sn = SeqNum(0);
         self.exec_sn = SeqNum(0);
         self.prepare_log = PrepareLog::new();
@@ -395,8 +517,12 @@ impl Replica {
         self.batch_timer = None;
         self.proposed_in_flight = 0;
         self.last_checkpoint = SeqNum(0);
+        self.checkpoint_proof.clear();
         self.prechk_votes.clear();
         self.chkpt_votes.clear();
+        self.pending_snapshots.clear();
+        self.latest_snapshot = None;
+        self.pending_transfer = None;
         self.vc = None;
         self.forwarded_suspects.clear();
         self.monitored.clear();
@@ -473,6 +599,8 @@ impl Actor for Replica {
             XPaxosMsg::Checkpoint(m) => self.on_checkpoint(m, ctx),
             XPaxosMsg::LazyCheckpoint { proof } => self.on_lazy_checkpoint(proof, ctx),
             XPaxosMsg::LazyReplicate { entries, .. } => self.on_lazy_replicate(entries, ctx),
+            XPaxosMsg::StateRequest(m) => self.on_state_request(m, ctx),
+            XPaxosMsg::StateResponse(m) => self.on_state_response(m, ctx),
             XPaxosMsg::FaultDetected(m) => self.on_fault_detected(m, ctx),
             // Replies, busy notices and client-directed suspects are never
             // addressed to replicas.
@@ -487,6 +615,8 @@ impl Actor for Replica {
         if token == TOKEN_BATCH {
             self.batch_timer = None;
             self.flush_batches(ctx);
+        } else if token == TOKEN_STATE_TRANSFER {
+            self.on_state_transfer_timer(ctx);
         } else if (TOKEN_VC_COLLECT..TOKEN_VC_TIMEOUT).contains(&token) {
             let target = ViewNumber(token - TOKEN_VC_COLLECT);
             self.on_vc_collect_deadline(target, ctx);
@@ -498,7 +628,7 @@ impl Actor for Replica {
         }
     }
 
-    fn on_recover(&mut self, _ctx: &mut Context<XPaxosMsg>) {
+    fn on_recover(&mut self, ctx: &mut Context<XPaxosMsg>) {
         // State (logs, state machine) is preserved across the crash, modeling stable
         // storage. Timers were discarded by the simulator; in-progress view-change
         // bookkeeping is reset — the replica will rejoin through SUSPECT / VIEW-CHANGE
@@ -514,23 +644,33 @@ impl Actor for Replica {
         self.proposed_in_flight = 0;
         self.stashed_proposals.clear();
         self.early_commits.clear();
+        // An interrupted state transfer resumes immediately (its retry timer
+        // died with the crash).
+        if let Some(pending) = self.pending_transfer.as_mut() {
+            pending.timer = None;
+            self.continue_state_transfer(ctx);
+        }
     }
 
     fn on_control(&mut self, code: ControlCode, ctx: &mut Context<XPaxosMsg>) {
-        if code.0 == crate::byzantine::CONTROL_AMNESIA {
-            // Amnesia repair works by replaying the adopted log from sn 1
-            // (view_change.rs), which requires the *full* log. With
-            // checkpointing enabled peers garbage-collect their prefixes and
-            // a blank replica would skip-adopt a checkpoint it never
-            // executed, serving clients from the wrong application state —
-            // so the injection is refused rather than made unsound.
-            if self.config.checkpoint_interval == 0 {
+        match code.0 {
+            crate::byzantine::CONTROL_AMNESIA => {
+                // Total storage loss. The replica rebuilds either by full-log
+                // replay (no checkpoints anywhere) or through verified state
+                // transfer of the latest checkpoint (view_change.rs /
+                // state_transfer.rs), so the injection is honoured on every
+                // configuration.
                 self.forget_state();
-            } else {
-                ctx.count("amnesia_refused_checkpointing", 1);
+                ctx.count("amnesia_injected", 1);
             }
-        } else if let Some(behavior) = ByzantineBehavior::from_control_code(code) {
-            self.behavior = behavior;
+            crate::byzantine::CONTROL_TORN_TAIL | crate::byzantine::CONTROL_CORRUPT_WAL => {
+                self.on_disk_fault(code.0, ctx);
+            }
+            _ => {
+                if let Some(behavior) = ByzantineBehavior::from_control_code(code) {
+                    self.behavior = behavior;
+                }
+            }
         }
     }
 }

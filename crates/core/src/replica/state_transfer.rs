@@ -1,0 +1,218 @@
+//! The state-transfer protocol: fetching a sealed checkpoint snapshot from a
+//! peer and verifying it before adoption.
+//!
+//! Checkpointing (paper §4.5.1) lets replicas garbage-collect their log
+//! prefixes; a replica that falls behind a checkpoint — a promoted passive
+//! replica, a restarted machine, an amnesia victim — can then no longer
+//! catch up by replay alone: it needs the checkpointed *state*. The paper
+//! waves at this ("a lagging replica obtains the checkpoint"); here it is a
+//! real protocol:
+//!
+//! 1. the lagging replica sends a signed `STATE-REQUEST(min_sn)` to one peer
+//!    at a time (active replicas of its current view first), with a
+//!    retransmission timer rotating through peers;
+//! 2. a peer holding a sealed snapshot at `sn ≥ min_sn` answers with a
+//!    signed `STATE-RESPONSE` carrying the [`crate::durable::SealedSnapshot`]
+//!    — the snapshot blob plus the t + 1 signed CHKPT messages of its
+//!    checkpoint round;
+//! 3. the requester verifies the proof signatures, checks that the agreed
+//!    digest equals the snapshot's recomputed digest, restores the
+//!    application state and cross-checks `D(st)` — only then does it adopt.
+//!
+//! A faulty peer can therefore delay a transfer (ignored request, garbage
+//! response) but never corrupt one: every byte adopted is covered by t + 1
+//! signatures, at least one from a correct replica.
+
+use super::{PendingTransfer, Replica, TOKEN_STATE_TRANSFER};
+use crate::messages::{
+    checkpoint_vote_digest, state_request_digest, state_response_digest, CheckpointMsg,
+    StateRequestMsg, StateResponseMsg, XPaxosMsg,
+};
+use crate::types::{ReplicaId, SeqNum};
+use std::collections::BTreeSet;
+use xft_crypto::{CryptoOp, Digest};
+use xft_simnet::Context;
+
+impl Replica {
+    /// Starts (or extends) a state transfer towards the checkpoint at
+    /// `target`. No-op if the replica has already executed past it or a
+    /// transfer for an equal-or-later target is in flight.
+    pub(crate) fn begin_state_transfer(&mut self, target: SeqNum, ctx: &mut Context<XPaxosMsg>) {
+        if self.exec_sn >= target {
+            return;
+        }
+        if let Some(pending) = self.pending_transfer.as_mut() {
+            if target > pending.target {
+                pending.target = target;
+            }
+            return; // a request is already in flight; the timer drives retries
+        }
+        self.pending_transfer = Some(PendingTransfer {
+            target,
+            attempts: 0,
+            timer: None,
+        });
+        ctx.count("state_transfers_started", 1);
+        self.continue_state_transfer(ctx);
+    }
+
+    /// Sends the next `STATE-REQUEST` and re-arms the retry timer. Peers are
+    /// tried round-robin: the active replicas of the current view first
+    /// (they hold the freshest checkpoint), then everyone else.
+    pub(crate) fn continue_state_transfer(&mut self, ctx: &mut Context<XPaxosMsg>) {
+        let Some(pending) = self.pending_transfer.as_mut() else {
+            return;
+        };
+        let attempts = pending.attempts;
+        pending.attempts += 1;
+        let target = pending.target;
+
+        let mut candidates: Vec<ReplicaId> = self
+            .groups
+            .active_replicas(self.view)
+            .iter()
+            .copied()
+            .filter(|r| *r != self.id)
+            .collect();
+        for r in 0..self.config.n() {
+            if r != self.id && !candidates.contains(&r) {
+                candidates.push(r);
+            }
+        }
+        if candidates.is_empty() {
+            return;
+        }
+        let peer = candidates[attempts as usize % candidates.len()];
+
+        ctx.charge(CryptoOp::Sign);
+        let msg = StateRequestMsg {
+            min_sn: target,
+            replica: self.id,
+            signature: self.sign(&state_request_digest(target, self.id)),
+        };
+        ctx.count("state_requests_sent", 1);
+        ctx.send(self.node_of(peer), XPaxosMsg::StateRequest(msg));
+
+        let timer = ctx.set_timer(self.config.replica_retransmit, TOKEN_STATE_TRANSFER);
+        if let Some(pending) = self.pending_transfer.as_mut() {
+            if let Some(old) = pending.timer.replace(timer) {
+                ctx.cancel_timer(old);
+            }
+        }
+    }
+
+    /// The transfer retry timer fired: give up if the gap closed by other
+    /// means (lazy replication), otherwise ask the next peer.
+    pub(crate) fn on_state_transfer_timer(&mut self, ctx: &mut Context<XPaxosMsg>) {
+        let Some(pending) = self.pending_transfer.as_mut() else {
+            return;
+        };
+        pending.timer = None;
+        if self.exec_sn >= pending.target {
+            self.pending_transfer = None;
+            return;
+        }
+        self.continue_state_transfer(ctx);
+    }
+
+    /// A peer asks for a snapshot: answer with the latest sealed checkpoint
+    /// if it satisfies `min_sn`. Served in any phase — state transfer must
+    /// work *during* view changes, which is precisely when promoted passive
+    /// replicas need it.
+    pub(crate) fn on_state_request(&mut self, m: StateRequestMsg, ctx: &mut Context<XPaxosMsg>) {
+        ctx.charge(CryptoOp::VerifySig);
+        if m.replica >= self.config.n() || m.replica == self.id {
+            return;
+        }
+        if !self
+            .verifier
+            .is_valid_digest(&state_request_digest(m.min_sn, m.replica), &m.signature)
+        {
+            return;
+        }
+        let Some(sealed) = self.latest_snapshot.as_ref() else {
+            ctx.count("state_requests_unserved", 1);
+            return;
+        };
+        if sealed.sn() < m.min_sn {
+            ctx.count("state_requests_unserved", 1);
+            return;
+        }
+        let sealed = sealed.clone();
+        let digest = sealed.snapshot.digest();
+        ctx.charge(CryptoOp::Sign);
+        let response = StateResponseMsg {
+            replica: self.id,
+            signature: self.sign(&state_response_digest(sealed.sn(), &digest, self.id)),
+            sealed,
+        };
+        ctx.count("state_responses_served", 1);
+        ctx.send(self.node_of(m.replica), XPaxosMsg::StateResponse(response));
+    }
+
+    /// A snapshot arrived: verify seal and sender, then adopt.
+    pub(crate) fn on_state_response(&mut self, m: StateResponseMsg, ctx: &mut Context<XPaxosMsg>) {
+        let Some(pending) = self.pending_transfer.as_ref() else {
+            return; // unsolicited or already satisfied
+        };
+        let sn = m.sealed.sn();
+        if sn <= self.exec_sn || sn < pending.target {
+            return; // too old to close the gap
+        }
+        ctx.charge(CryptoOp::VerifySig);
+        if m.replica >= self.config.n() {
+            return;
+        }
+        let snapshot_digest = m.sealed.snapshot.digest();
+        if !self.verifier.is_valid_digest(
+            &state_response_digest(sn, &snapshot_digest, m.replica),
+            &m.signature,
+        ) {
+            ctx.count("state_responses_rejected", 1);
+            return;
+        }
+        let Some((proof_sn, proof_digest)) = self.verify_checkpoint_proof(&m.sealed.proof, ctx)
+        else {
+            ctx.count("state_responses_rejected", 1);
+            return;
+        };
+        if proof_sn != sn || m.sealed.snapshot.sn != sn || proof_digest != snapshot_digest {
+            ctx.count("state_responses_rejected", 1);
+            return;
+        }
+        if self.adopt_sealed_snapshot(m.sealed, true, ctx) {
+            ctx.count("state_transfers_adopted", 1);
+            // Resume execution past the snapshot, release any proposals that
+            // were deferred while execution lagged, and rejoin the
+            // checkpoint cadence.
+            self.try_execute(ctx);
+            self.drain_stashed(ctx);
+            self.maybe_checkpoint(ctx);
+        }
+    }
+
+    /// Verifies a checkpoint proof: at least t + 1 *distinct* replicas'
+    /// signed CHKPT messages, all for the same sequence number and state
+    /// digest, every signature valid. Returns the proven `(sn, digest)`.
+    pub(crate) fn verify_checkpoint_proof(
+        &self,
+        proof: &[CheckpointMsg],
+        ctx: &mut Context<XPaxosMsg>,
+    ) -> Option<(SeqNum, Digest)> {
+        let first = proof.first()?;
+        let (sn, digest) = (first.sn, first.state_digest);
+        let mut signers: BTreeSet<ReplicaId> = BTreeSet::new();
+        for m in proof {
+            if !m.signed || m.sn != sn || m.state_digest != digest || m.replica >= self.config.n() {
+                return None;
+            }
+            ctx.charge(CryptoOp::VerifySig);
+            let signed = checkpoint_vote_digest(m.view, m.sn, &digest);
+            if !self.verifier.is_valid_digest(&signed, &m.signature) {
+                return None;
+            }
+            signers.insert(m.replica);
+        }
+        (signers.len() >= self.config.active_count()).then_some((sn, digest))
+    }
+}

@@ -118,12 +118,29 @@ impl Replica {
             }
             _ => {}
         }
+        // Claim the checkpoint horizon only when the stored proof actually
+        // verifies: a replica whose proof was assembled while it (or a peer)
+        // was corrupting signatures would otherwise have its VIEW-CHANGE
+        // rejected by every receiver, locking it out of view changes for
+        // good. Under-claiming is safe — the horizon is the *maximum* over
+        // the merged set, and correct replicas' proofs always verify.
+        let (claimed_checkpoint, claimed_proof) = if self.last_checkpoint > SeqNum(0)
+            && matches!(
+                self.verify_checkpoint_proof(&self.checkpoint_proof, ctx),
+                Some((sn, _)) if sn == self.last_checkpoint
+            ) {
+            (self.last_checkpoint, self.checkpoint_proof.clone())
+        } else {
+            (SeqNum(0), Vec::new())
+        };
         ctx.charge(CryptoOp::Sign);
         let mut vc = ViewChangeMsg {
             new_view: target,
             replica: self.id,
             commit_log,
             prepare_log,
+            last_checkpoint: claimed_checkpoint,
+            checkpoint_proof: claimed_proof,
             signature: xft_crypto::Signature::forged(self.signer.id()),
         };
         vc.signature = self.sign(&vc.digest());
@@ -134,8 +151,7 @@ impl Replica {
 
         if self.is_active_in(target) {
             // Active replicas of the new view collect messages from everyone else.
-            let collect_timer =
-                ctx.set_timer(self.config.two_delta(), TOKEN_VC_COLLECT + target.0);
+            let collect_timer = ctx.set_timer(self.config.two_delta(), TOKEN_VC_COLLECT + target.0);
             let timeout_timer =
                 ctx.set_timer(self.config.view_change_timeout, TOKEN_VC_TIMEOUT + target.0);
             self.vc = Some(ViewChangeState {
@@ -159,10 +175,29 @@ impl Replica {
         }
     }
 
-    /// Handles a VIEW-CHANGE message addressed to an active replica of the new view.
-    pub(crate) fn on_view_change(&mut self, m: ViewChangeMsg, ctx: &mut Context<XPaxosMsg>) {
+    /// Full validity check for a VIEW-CHANGE message: the sender's signature
+    /// plus the checkpoint-horizon proof. A claimed horizon must be backed by
+    /// its t + 1-signed CHKPT proof: the selection trusts it to distinguish
+    /// "checkpointed history" from "never-committed hole", and an unproven
+    /// claim could otherwise bury committed requests. Applied to directly
+    /// received messages *and* to messages embedded in VC-FINAL sets.
+    fn valid_view_change_msg(&self, m: &ViewChangeMsg, ctx: &mut Context<XPaxosMsg>) -> bool {
         ctx.charge(CryptoOp::VerifySig);
         if !self.verifier.is_valid_digest(&m.digest(), &m.signature) {
+            return false;
+        }
+        if m.last_checkpoint > SeqNum(0) {
+            match self.verify_checkpoint_proof(&m.checkpoint_proof, ctx) {
+                Some((sn, _)) if sn == m.last_checkpoint => {}
+                _ => return false,
+            }
+        }
+        true
+    }
+
+    /// Handles a VIEW-CHANGE message addressed to an active replica of the new view.
+    pub(crate) fn on_view_change(&mut self, m: ViewChangeMsg, ctx: &mut Context<XPaxosMsg>) {
+        if !self.valid_view_change_msg(&m, ctx) {
             return;
         }
         if m.new_view > self.view {
@@ -212,8 +247,8 @@ impl Replica {
                 self.maybe_merge(ctx);
                 return;
             }
-            let enough = vc.vc_msgs.len() == n
-                || (vc.collect_deadline_passed && vc.vc_msgs.len() >= n - t);
+            let enough =
+                vc.vc_msgs.len() == n || (vc.collect_deadline_passed && vc.vc_msgs.len() >= n - t);
             if !enough {
                 return;
             }
@@ -265,7 +300,7 @@ impl Replica {
     /// merge the sets and either run fault detection (VC-CONFIRM) or select directly.
     pub(crate) fn maybe_merge(&mut self, ctx: &mut Context<XPaxosMsg>) {
         let fd = self.config.fault_detection;
-        let merged = {
+        let (direct, embedded) = {
             let Some(vc) = self.vc.as_mut() else {
                 return;
             };
@@ -276,21 +311,39 @@ impl Replica {
             if !active.iter().all(|r| vc.vc_finals.contains_key(r)) {
                 return;
             }
-            // Union of every received set, keyed by the sender of the VIEW-CHANGE
-            // message.
-            let mut merged: BTreeMap<usize, ViewChangeMsg> = BTreeMap::new();
-            for final_msg in vc.vc_finals.values() {
-                for m in &final_msg.vc_set {
-                    merged.entry(m.replica).or_insert_with(|| m.clone());
-                }
-            }
-            for m in vc.vc_msgs.values() {
-                merged.entry(m.replica).or_insert_with(|| m.clone());
-            }
-            let merged: Vec<ViewChangeMsg> = merged.into_values().collect();
-            vc.merged = Some(merged.clone());
-            merged
+            let direct: Vec<ViewChangeMsg> = vc.vc_msgs.values().cloned().collect();
+            let embedded: Vec<ViewChangeMsg> = vc
+                .vc_finals
+                .values()
+                .flat_map(|f| f.vc_set.iter().cloned())
+                .collect();
+            (direct, embedded)
         };
+
+        // Union of every received set, keyed by the sender of the VIEW-CHANGE
+        // message. Directly received messages were fully verified in
+        // `on_view_change` and take precedence; messages reaching us only
+        // *inside* a peer's VC-FINAL set must pass the same signature and
+        // checkpoint-proof verification here — otherwise one faulty active
+        // replica could smuggle in a forged log or a fictitious checkpoint
+        // horizon under another replica's name.
+        let mut merged: BTreeMap<usize, ViewChangeMsg> = BTreeMap::new();
+        for m in direct {
+            merged.entry(m.replica).or_insert(m);
+        }
+        for m in embedded {
+            if merged.contains_key(&m.replica) {
+                continue;
+            }
+            if self.valid_view_change_msg(&m, ctx) {
+                merged.insert(m.replica, m);
+            }
+        }
+        let merged: Vec<ViewChangeMsg> = merged.into_values().collect();
+        let Some(vc) = self.vc.as_mut() else {
+            return;
+        };
+        vc.merged = Some(merged.clone());
 
         if fd {
             self.run_fault_detection_and_confirm(merged, ctx);
@@ -312,11 +365,28 @@ impl Replica {
             None => return,
         };
 
-        // For each sequence number keep the batch with the highest view number found in
-        // any commit log (and, with FD, any prepare log).
+        // The checkpoint horizon of the merged set: the highest *proven*
+        // stable checkpoint any contributor reached. Everything at or below
+        // it is checkpointed, executed history — garbage-collected from the
+        // logs and re-obtainable only through state transfer. Stale log
+        // entries below the horizon (a long-isolated replica's leftovers)
+        // must not be re-proposed, and the gap between them and the
+        // surviving logs must never be mistaken for never-committed holes:
+        // that would bury hundreds of committed requests under no-ops (the
+        // fork the chaos explorer caught the moment checkpointing was
+        // allowed into its schedules).
+        let horizon = merged
+            .iter()
+            .map(|m| m.last_checkpoint)
+            .max()
+            .unwrap_or(SeqNum(0));
+
+        // For each sequence number above the horizon keep the batch with the
+        // highest view number found in any commit log (and, with FD, any
+        // prepare log).
         let mut selected: BTreeMap<u64, (ViewNumber, Batch)> = BTreeMap::new();
         for m in &merged {
-            for entry in &m.commit_log {
+            for entry in m.commit_log.iter().filter(|e| e.sn > horizon) {
                 let slot = selected
                     .entry(entry.sn.0)
                     .or_insert((entry.view, entry.batch.clone()));
@@ -325,7 +395,7 @@ impl Replica {
                 }
             }
             if fd {
-                for entry in &m.prepare_log {
+                for entry in m.prepare_log.iter().filter(|e| e.sn > horizon) {
                     let slot = selected
                         .entry(entry.sn.0)
                         .or_insert((entry.view, entry.batch.clone()));
@@ -388,11 +458,23 @@ impl Replica {
             _ => return,
         };
         // Verify the proposal against our own selection where we have one: the new
-        // primary must not omit or alter requests we know were committed.
+        // primary must not omit or alter requests we know were committed. One
+        // tolerated omission: entries below the proposal's own checkpoint
+        // horizon (its lowest re-proposed sequence number) — the primary may
+        // know of a newer stable checkpoint than we do, and everything below
+        // a real checkpoint is preserved by it, not by re-proposal. A
+        // primary *lying* about the horizon buys nothing: the missing prefix
+        // must then come from a state transfer whose proof it cannot forge,
+        // so the view stalls (execution never skips ahead) and is suspected
+        // rather than forked. An *empty* proposal tolerates nothing
+        // (floor 0): otherwise a faulty primary could omit everything we
+        // know committed without even naming a horizon.
+        let proposal_floor = m.prepare_log.iter().map(|e| e.sn.0).min().unwrap_or(0);
         if !selection.is_empty() {
             for (sn, digest) in &selection {
                 match m.prepare_log.iter().find(|e| e.sn.0 == *sn) {
                     Some(entry) if entry.batch.digest() == *digest => {}
+                    None if *sn < proposal_floor => {}
                     _ => {
                         // The new primary is faulty: suspect the new view.
                         self.suspect_view(ctx);
@@ -416,18 +498,22 @@ impl Replica {
         let highest = present.iter().next_back().copied().unwrap_or(0);
         let lowest = present.iter().next().copied().unwrap_or(0);
         // With checkpointing off the replica holds its full log, so divergent
-        // speculative execution can be *repaired for real* by replaying the
-        // adopted log from the start (see below). With checkpoints, truncated
-        // prefixes make a replay impossible and the digest-swap shortcut
-        // stands in for the snapshot transfer of a real deployment.
+        // speculative execution can be repaired by replaying the adopted log
+        // from the start (see below). With checkpoints, the sealed snapshot
+        // takes the log prefix's place as the replay base.
         let full_log = self.last_checkpoint == SeqNum(0);
 
-        // If everything below `lowest` was garbage-collected by checkpoints on the
-        // other replicas, this replica adopts the checkpointed state: it skips forward
-        // (modeling the state-snapshot transfer of a real deployment).
-        if lowest > 0 && lowest > self.exec_sn.0 + 1 {
-            self.exec_sn = SeqNum(lowest - 1);
-        }
+        // `lowest > 1` means the cluster checkpointed at `lowest - 1` and the
+        // other replicas garbage-collected everything below: a replica that
+        // has not executed that far cannot replay its way there and must
+        // fetch the sealed snapshot through state transfer. Until it arrives,
+        // execution stalls at `exec_sn` — the replica never pretends to hold
+        // state it has not verified (the seed's `exec_sn = lowest - 1` skip).
+        let transfer_target = if lowest > 1 && SeqNum(lowest - 1) > self.exec_sn {
+            Some(SeqNum(lowest - 1))
+        } else {
+            None
+        };
 
         for entry in entries {
             let replace = match self.commit_log.get(entry.sn) {
@@ -435,30 +521,15 @@ impl Replica {
                 None => true,
             };
             if replace {
-                if !full_log && entry.sn <= self.exec_sn {
-                    // Checkpointed mode: if this replica already executed a
-                    // *different* batch at this slot, swap the recorded digest
-                    // (the state-transfer shortcut; the full-log path below
-                    // repairs by replay instead).
-                    let new_digest = entry.batch.digest();
-                    if let Some(slot) = self
-                        .executed_history
-                        .iter_mut()
-                        .find(|(sn, _)| *sn == entry.sn)
-                    {
-                        if slot.1 != new_digest {
-                            slot.1 = new_digest;
-                            ctx.count("state_repairs", 1);
-                        }
-                    }
-                }
-                self.commit_log.insert(CommitEntry {
+                let commit = CommitEntry {
                     view: target,
                     sn: entry.sn,
                     batch: entry.batch.clone(),
                     primary_sig: entry.primary_sig,
                     commit_sigs: BTreeMap::new(),
-                });
+                };
+                self.persist(|| crate::durable::DurableEvent::Commit(commit.clone()));
+                self.commit_log.insert(commit);
             }
             self.prepare_log.insert(entry);
         }
@@ -466,8 +537,14 @@ impl Replica {
         // proceed past them (holes can only correspond to never-committed slots). In
         // full-log mode a leftover *uncommitted* entry of an older view at a
         // selected-out slot is replaced by the same no-op every other replica fills
-        // there — keeping it would fork the sequence.
-        let first_hole_sn = if full_log { 1 } else { self.exec_sn.0 + 1 };
+        // there — keeping it would fork the sequence. Slots below a pending state
+        // transfer are *not* holes: they are checkpointed history this replica is
+        // about to adopt wholesale.
+        let first_hole_sn = match transfer_target {
+            Some(_) => lowest,
+            None if full_log => 1,
+            None => self.exec_sn.0 + 1,
+        };
         for sn in first_hole_sn..=highest {
             if present.contains(&sn) {
                 continue;
@@ -477,46 +554,63 @@ impl Replica {
                 None => true,
             };
             if fill {
-                self.commit_log.insert(CommitEntry {
+                let commit = CommitEntry {
                     view: target,
                     sn: SeqNum(sn),
                     batch: Batch::default(),
                     primary_sig: xft_crypto::Signature::forged(self.signer.id()),
                     commit_sigs: BTreeMap::new(),
-                });
+                };
+                self.persist(|| crate::durable::DurableEvent::Commit(commit.clone()));
+                self.commit_log.insert(commit);
             }
         }
 
-        // Full-log repair: if what this replica *executed* diverges anywhere from the
-        // adopted canonical log — a speculatively executed slot that the new view
+        // Divergence repair: if what this replica *executed* diverges anywhere from
+        // the adopted canonical log — a speculatively executed slot that the new view
         // selected differently or dropped (paper Lemma 1) — rolling the state machine
         // forward would leave orphaned operations in the application state and the
         // client table (the chaos explorer caught exactly that as duplicate write
-        // serials). Instead, roll back and replay the adopted log from the start:
-        // state machine, executed history, reply cache and exactly-once table are all
-        // rebuilt consistent with the new view. Replay suppresses client replies;
-        // retransmissions are answered from the rebuilt cache.
-        if full_log {
-            let mut rebuild = self.exec_sn.0 > highest;
+        // serials). Instead, roll back to the last trustworthy base and replay the
+        // adopted log: the very beginning in full-log mode, or the last sealed
+        // checkpoint snapshot otherwise. Replay suppresses client replies;
+        // retransmissions are answered from the rebuilt cache. (With a pending state
+        // transfer the snapshot adoption itself replaces everything executed so far,
+        // so there is nothing separate to repair.)
+        if transfer_target.is_none() {
+            let base = self.last_checkpoint;
+            let mut rebuild = self.exec_sn.0 > highest.max(base.0);
             if !rebuild {
                 rebuild = self.executed_history.iter().any(|(sn, digest)| {
-                    self.commit_log
-                        .get(*sn)
-                        .map(|e| e.batch.digest() != *digest)
-                        .unwrap_or(true)
+                    *sn > base
+                        && self
+                            .commit_log
+                            .get(*sn)
+                            .map(|e| e.batch.digest() != *digest)
+                            .unwrap_or(true)
                 });
             }
             if rebuild {
                 ctx.count("state_rebuilds", 1);
-                self.commit_log.lose_suffix(SeqNum(highest));
-                self.prepare_log.lose_suffix(SeqNum(highest));
-                self.state.reset();
-                self.executed_history.clear();
-                self.client_table.clear();
-                self.follower_commits.clear();
-                self.exec_sn = SeqNum(0);
-                // The install tail's try_execute (reply-suppressed) replays
-                // the adopted log from sn 1 and rebuilds everything above.
+                self.commit_log.lose_suffix(SeqNum(highest.max(base.0)));
+                self.prepare_log.lose_suffix(SeqNum(highest.max(base.0)));
+                if full_log {
+                    self.reset_execution_state();
+                    // The install tail's try_execute (reply-suppressed)
+                    // replays the adopted log from sn 1.
+                } else if let Some(sealed) = self.latest_snapshot.clone().filter(|s| s.sn() == base)
+                {
+                    // Rewind to the sealed checkpoint and replay forward.
+                    self.adopt_sealed_snapshot(sealed, false, ctx);
+                } else {
+                    // No local snapshot to rewind to (a promoted passive that
+                    // truncated without sealing): restart blank and fetch the
+                    // checkpoint from a peer before executing anything.
+                    self.reset_execution_state();
+                    self.last_checkpoint = SeqNum(0);
+                    self.checkpoint_proof.clear();
+                    self.begin_state_transfer(base, ctx);
+                }
             }
         }
 
@@ -534,8 +628,11 @@ impl Replica {
                     batch_digest: e.batch.digest(),
                     replica: self.id,
                     reply_digest: None,
-                    signature: self
-                        .sign(&CommitEntry::commit_digest(&e.batch.digest(), e.sn, target)),
+                    signature: self.sign(&CommitEntry::commit_digest(
+                        &e.batch.digest(),
+                        e.sn,
+                        target,
+                    )),
                 })
             })
             .collect();
@@ -554,6 +651,8 @@ impl Replica {
         self.pending_commits.retain(|sn, _| *sn <= self.next_sn.0);
         self.view = target;
         self.phase = Phase::Active;
+        self.installed_view = target;
+        self.persist(|| crate::durable::DurableEvent::View(target));
         self.view_changes_completed += 1;
         if let Some(vc) = self.vc.take() {
             if let Some(t) = vc.collect_timer {
@@ -567,6 +666,12 @@ impl Replica {
             at: ctx.now(),
             new_view: target.0,
         });
+
+        // A checkpointed prefix this replica lacks is fetched now that the
+        // view (and with it the preferred transfer sources) is installed.
+        if let Some(target_sn) = transfer_target {
+            self.begin_state_transfer(target_sn, ctx);
+        }
 
         // Install-time execution never answers clients directly — after a
         // rebuild it would replay the whole history as a reply storm; even a

@@ -26,7 +26,13 @@ pub struct SyncGroups {
 fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
     let mut out = Vec::new();
     let mut current = Vec::with_capacity(k);
-    fn recurse(start: usize, n: usize, k: usize, current: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+    fn recurse(
+        start: usize,
+        n: usize,
+        k: usize,
+        current: &mut Vec<usize>,
+        out: &mut Vec<Vec<usize>>,
+    ) {
         if current.len() == k {
             out.push(current.clone());
             return;
@@ -140,7 +146,10 @@ mod tests {
         assert_eq!(sg.primary(ViewNumber(2)), 1);
         assert_eq!(sg.passive_replicas(ViewNumber(2)), vec![0]);
         // Round-robin wraps.
-        assert_eq!(sg.active_replicas(ViewNumber(3)), sg.active_replicas(ViewNumber(0)));
+        assert_eq!(
+            sg.active_replicas(ViewNumber(3)),
+            sg.active_replicas(ViewNumber(0))
+        );
     }
 
     #[test]
@@ -164,8 +173,7 @@ mod tests {
             let sg = SyncGroups::new(t);
             let n = 2 * t + 1;
             for r in 0..n {
-                let appears = (0..sg.group_count() as u64)
-                    .any(|v| sg.is_active(ViewNumber(v), r));
+                let appears = (0..sg.group_count() as u64).any(|v| sg.is_active(ViewNumber(v), r));
                 assert!(appears, "replica {r} never active for t={t}");
             }
         }

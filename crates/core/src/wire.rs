@@ -13,11 +13,12 @@
 //! Enum variants carry explicit one-byte tags; unknown tags decode to `None`,
 //! which the envelope surfaces as [`xft_wire::WireError::Malformed`].
 
+use crate::durable::{ClientRecordSnapshot, DurableEvent, ReplicaSnapshot, SealedSnapshot};
 use crate::log::{CommitEntry, PrepareEntry};
 use crate::messages::{
     BusyMsg, CheckpointMsg, CommitCarryMsg, CommitMsg, DetectedFaultKind, FaultDetectedMsg,
-    NewViewMsg, PrepareMsg, ReplyMsg, SignedRequest, SuspectMsg, VcConfirmMsg, VcFinalMsg,
-    ViewChangeMsg, XPaxosMsg,
+    NewViewMsg, PrepareMsg, ReplyMsg, SignedRequest, StateRequestMsg, StateResponseMsg, SuspectMsg,
+    VcConfirmMsg, VcFinalMsg, ViewChangeMsg, XPaxosMsg,
 };
 use crate::types::{Batch, ClientId, Request, SeqNum, ViewNumber};
 use bytes::{BufMut, Reader};
@@ -44,6 +45,8 @@ mod tag {
     pub const FAULT_DETECTED: u8 = 15;
     pub const SUSPECT_TO_CLIENT: u8 = 16;
     pub const BUSY: u8 = 17;
+    pub const STATE_REQUEST: u8 = 18;
+    pub const STATE_RESPONSE: u8 = 19;
 }
 
 macro_rules! newtype_u64_codec {
@@ -90,13 +93,52 @@ macro_rules! struct_codec {
     };
 }
 
-struct_codec!(Request { client, timestamp, op });
+struct_codec!(Request {
+    client,
+    timestamp,
+    op
+});
 struct_codec!(Batch { requests });
 struct_codec!(SignedRequest { request, signature });
-struct_codec!(PrepareMsg { view, sn, batch, client_sigs, signature });
-struct_codec!(CommitCarryMsg { view, sn, batch, client_sigs, signature });
-struct_codec!(NewViewMsg { new_view, prepare_log, signature });
-struct_codec!(PrepareEntry { view, sn, batch, client_sigs, primary_sig });
+struct_codec!(PrepareMsg {
+    view,
+    sn,
+    batch,
+    client_sigs,
+    signature
+});
+struct_codec!(CommitCarryMsg {
+    view,
+    sn,
+    batch,
+    client_sigs,
+    signature
+});
+struct_codec!(NewViewMsg {
+    new_view,
+    prepare_log,
+    signature
+});
+struct_codec!(PrepareEntry {
+    view,
+    sn,
+    batch,
+    client_sigs,
+    primary_sig
+});
+struct_codec!(ClientRecordSnapshot {
+    client,
+    ranges,
+    replies
+});
+struct_codec!(ReplicaSnapshot {
+    sn,
+    app,
+    app_digest,
+    executed,
+    clients
+});
+struct_codec!(SealedSnapshot { snapshot, proof });
 
 // Structs holding a `ReplicaId` (usize) field need hand-written impls so the
 // id travels as u64.
@@ -241,6 +283,8 @@ impl WireDecode for ViewChangeMsg {
             replica: decode_replica(r)?,
             commit_log: WireDecode::decode_from(r)?,
             prepare_log: WireDecode::decode_from(r)?,
+            last_checkpoint: WireDecode::decode_from(r)?,
+            checkpoint_proof: WireDecode::decode_from(r)?,
             signature: WireDecode::decode_from(r)?,
         })
     }
@@ -249,14 +293,24 @@ impl WireDecode for ViewChangeMsg {
 impl ViewChangeMsg {
     /// The canonically encoded fields covered by the sender's signature (all of
     /// them except the signature itself), as a borrowing tuple.
+    #[allow(clippy::type_complexity)]
     pub(crate) fn unsigned_part(
         &self,
-    ) -> (ViewNumber, u64, &Vec<CommitEntry>, &Vec<PrepareEntry>) {
+    ) -> (
+        ViewNumber,
+        u64,
+        &Vec<CommitEntry>,
+        &Vec<PrepareEntry>,
+        SeqNum,
+        &Vec<CheckpointMsg>,
+    ) {
         (
             self.new_view,
             self.replica as u64,
             &self.commit_log,
             &self.prepare_log,
+            self.last_checkpoint,
+            &self.checkpoint_proof,
         )
     }
 }
@@ -281,6 +335,71 @@ impl WireDecode for CheckpointMsg {
             replica: decode_replica(r)?,
             signed: WireDecode::decode_from(r)?,
             signature: WireDecode::decode_from(r)?,
+        })
+    }
+}
+
+impl WireEncode for StateRequestMsg {
+    fn encode_into(&self, out: &mut impl BufMut) {
+        self.min_sn.encode_into(out);
+        encode_replica(self.replica, out);
+        self.signature.encode_into(out);
+    }
+}
+
+impl WireDecode for StateRequestMsg {
+    fn decode_from(r: &mut Reader<'_>) -> Option<Self> {
+        Some(StateRequestMsg {
+            min_sn: WireDecode::decode_from(r)?,
+            replica: decode_replica(r)?,
+            signature: WireDecode::decode_from(r)?,
+        })
+    }
+}
+
+impl WireEncode for StateResponseMsg {
+    fn encode_into(&self, out: &mut impl BufMut) {
+        self.sealed.encode_into(out);
+        encode_replica(self.replica, out);
+        self.signature.encode_into(out);
+    }
+}
+
+impl WireDecode for StateResponseMsg {
+    fn decode_from(r: &mut Reader<'_>) -> Option<Self> {
+        Some(StateResponseMsg {
+            sealed: WireDecode::decode_from(r)?,
+            replica: decode_replica(r)?,
+            signature: WireDecode::decode_from(r)?,
+        })
+    }
+}
+
+/// WAL record tags for [`DurableEvent`] (explicit, like the message tags:
+/// the on-disk format must never drift with enum reordering).
+mod wal_tag {
+    pub const VIEW: u8 = 1;
+    pub const COMMIT: u8 = 2;
+    pub const PREPARE: u8 = 3;
+}
+
+impl WireEncode for DurableEvent {
+    fn encode_into(&self, out: &mut impl BufMut) {
+        match self {
+            DurableEvent::View(v) => (wal_tag::VIEW, v).encode_into(out),
+            DurableEvent::Commit(e) => (wal_tag::COMMIT, e).encode_into(out),
+            DurableEvent::Prepare(e) => (wal_tag::PREPARE, e).encode_into(out),
+        }
+    }
+}
+
+impl WireDecode for DurableEvent {
+    fn decode_from(r: &mut Reader<'_>) -> Option<Self> {
+        Some(match r.get_u8()? {
+            wal_tag::VIEW => DurableEvent::View(WireDecode::decode_from(r)?),
+            wal_tag::COMMIT => DurableEvent::Commit(WireDecode::decode_from(r)?),
+            wal_tag::PREPARE => DurableEvent::Prepare(WireDecode::decode_from(r)?),
+            _ => return None,
         })
     }
 }
@@ -387,6 +506,8 @@ impl WireEncode for XPaxosMsg {
             XPaxosMsg::LazyReplicate { view, entries } => {
                 (tag::LAZY_REPLICATE, view, entries).encode_into(out)
             }
+            XPaxosMsg::StateRequest(m) => (tag::STATE_REQUEST, m).encode_into(out),
+            XPaxosMsg::StateResponse(m) => (tag::STATE_RESPONSE, m).encode_into(out),
             XPaxosMsg::FaultDetected(m) => (tag::FAULT_DETECTED, m).encode_into(out),
             XPaxosMsg::SuspectToClient(m) => (tag::SUSPECT_TO_CLIENT, m).encode_into(out),
             XPaxosMsg::Busy(m) => (tag::BUSY, m).encode_into(out),
@@ -416,6 +537,8 @@ impl WireDecode for XPaxosMsg {
                 let (view, entries) = WireDecode::decode_from(r)?;
                 XPaxosMsg::LazyReplicate { view, entries }
             }
+            tag::STATE_REQUEST => XPaxosMsg::StateRequest(WireDecode::decode_from(r)?),
+            tag::STATE_RESPONSE => XPaxosMsg::StateResponse(WireDecode::decode_from(r)?),
             tag::FAULT_DETECTED => XPaxosMsg::FaultDetected(WireDecode::decode_from(r)?),
             tag::SUSPECT_TO_CLIENT => XPaxosMsg::SuspectToClient(WireDecode::decode_from(r)?),
             tag::BUSY => XPaxosMsg::Busy(WireDecode::decode_from(r)?),
@@ -433,7 +556,11 @@ mod tests {
     use xft_wire::{decode_msg, encode_msg, WireError};
 
     fn request(tag: u8) -> Request {
-        Request::new(ClientId(tag as u64), 3 + tag as u64, Bytes::from(vec![tag; 16]))
+        Request::new(
+            ClientId(tag as u64),
+            3 + tag as u64,
+            Bytes::from(vec![tag; 16]),
+        )
     }
 
     fn sig(id: u64) -> Signature {
@@ -475,6 +602,15 @@ mod tests {
                 batch: Batch::new(vec![request(2), request(3)]),
                 client_sigs: vec![sig(8), sig(9)],
                 primary_sig: sig(0),
+            }],
+            last_checkpoint: SeqNum(64),
+            checkpoint_proof: vec![CheckpointMsg {
+                sn: SeqNum(64),
+                view: ViewNumber(2),
+                state_digest: Digest::of(b"chk"),
+                replica: 1,
+                signed: true,
+                signature: sig(1),
             }],
             signature: sig(2),
         };
@@ -543,7 +679,7 @@ mod tests {
         }));
         round_trip(XPaxosMsg::Checkpoint(chk.clone()));
         round_trip(XPaxosMsg::LazyCheckpoint {
-            proof: vec![chk.clone(), chk],
+            proof: vec![chk.clone(), chk.clone()],
         });
         round_trip(XPaxosMsg::LazyReplicate {
             view: ViewNumber(2),
@@ -566,6 +702,56 @@ mod tests {
             timestamp: 42,
             replica: 0,
         }));
+        round_trip(XPaxosMsg::StateRequest(StateRequestMsg {
+            min_sn: SeqNum(128),
+            replica: 2,
+            signature: sig(2),
+        }));
+        round_trip(XPaxosMsg::StateResponse(StateResponseMsg {
+            sealed: SealedSnapshot {
+                snapshot: ReplicaSnapshot {
+                    sn: SeqNum(128),
+                    app: Bytes::from_static(b"app"),
+                    app_digest: Digest::of(b"app"),
+                    executed: vec![(SeqNum(1), Digest::of(b"b1"))],
+                    clients: vec![ClientRecordSnapshot {
+                        client: ClientId(1),
+                        ranges: vec![(1, 4)],
+                        replies: vec![(4, SeqNum(1), Digest::of(b"r"))],
+                    }],
+                },
+                proof: vec![chk],
+            },
+            replica: 0,
+            signature: sig(0),
+        }));
+    }
+
+    #[test]
+    fn durable_events_round_trip_and_reject_unknown_tags() {
+        for event in [
+            DurableEvent::View(ViewNumber(7)),
+            DurableEvent::Commit(CommitEntry {
+                view: ViewNumber(1),
+                sn: SeqNum(3),
+                batch: Batch::single(request(5)),
+                primary_sig: sig(0),
+                commit_sigs: BTreeMap::from([(1, sig(1))]),
+            }),
+            DurableEvent::Prepare(PrepareEntry {
+                view: ViewNumber(1),
+                sn: SeqNum(4),
+                batch: Batch::single(request(6)),
+                client_sigs: vec![sig(9)],
+                primary_sig: sig(0),
+            }),
+        ] {
+            let bytes = event.wire_bytes();
+            let mut r = Reader::new(&bytes);
+            assert_eq!(DurableEvent::decode_from(&mut r), Some(event));
+            assert!(r.is_empty());
+        }
+        assert_eq!(DurableEvent::decode_from(&mut Reader::new(&[99])), None);
     }
 
     #[test]

@@ -50,7 +50,7 @@ impl CostModel {
     /// Cost model calibrated to the paper's setup (RSA-1024 + HMAC-SHA1, 8-vCPU VMs).
     pub fn paper_default() -> Self {
         CostModel {
-            sign_ns: 1_200_000,   // ~1.2 ms per RSA-1024 signature
+            sign_ns: 1_200_000,    // ~1.2 ms per RSA-1024 signature
             verify_sig_ns: 60_000, // ~60 µs per RSA-1024 verification
             mac_fixed_ns: 1_000,   // ~1 µs per HMAC
             per_byte_ns_q8: 768,   // 3 ns/byte in Q8 fixed point (768 / 256)

@@ -221,7 +221,11 @@ impl KvOp {
                 Some(KvOp::Create {
                     path,
                     data: payload,
-                    ephemeral_owner: if owner_raw == 0 { None } else { Some(owner_raw - 1) },
+                    ephemeral_owner: if owner_raw == 0 {
+                        None
+                    } else {
+                        Some(owner_raw - 1)
+                    },
                     sequential,
                 })
             }
@@ -306,7 +310,9 @@ mod tests {
             path: "/chaos0".into(),
             data: Bytes::from(vec![3u8; 16]),
         });
-        roundtrip(KvOp::GetVer { path: "/chaos0".into() });
+        roundtrip(KvOp::GetVer {
+            path: "/chaos0".into(),
+        });
     }
 
     #[test]

@@ -133,8 +133,10 @@ impl ZNodeTree {
             return Err(TreeError::NodeExists);
         }
         self.zxid += 1;
-        self.nodes
-            .insert(final_path.clone(), ZNode::new(data, self.zxid, ephemeral_owner));
+        self.nodes.insert(
+            final_path.clone(),
+            ZNode::new(data, self.zxid, ephemeral_owner),
+        );
         Ok(final_path)
     }
 
@@ -224,6 +226,69 @@ impl ZNodeTree {
         removed
     }
 
+    /// Serializes the whole tree — every node with its data, versions and
+    /// ephemeral ownership, plus the zxid counter — into an opaque blob.
+    /// Inverse of [`ZNodeTree::from_bytes`]; used by state-machine snapshots.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 * self.nodes.len());
+        out.extend_from_slice(&self.zxid.to_le_bytes());
+        out.extend_from_slice(&(self.nodes.len() as u32).to_le_bytes());
+        for (path, node) in &self.nodes {
+            out.extend_from_slice(&(path.len() as u32).to_le_bytes());
+            out.extend_from_slice(path.as_bytes());
+            out.extend_from_slice(&(node.data.len() as u32).to_le_bytes());
+            out.extend_from_slice(&node.data);
+            out.extend_from_slice(&node.version.to_le_bytes());
+            out.extend_from_slice(&node.created_at.to_le_bytes());
+            match node.ephemeral_owner {
+                Some(owner) => {
+                    out.push(1);
+                    out.extend_from_slice(&owner.to_le_bytes());
+                }
+                None => out.push(0),
+            }
+            out.extend_from_slice(&node.next_sequential.to_le_bytes());
+        }
+        out
+    }
+
+    /// Reconstructs a tree from [`ZNodeTree::to_bytes`] output. Returns
+    /// `None` on a malformed blob (truncated, trailing bytes, bad paths).
+    pub fn from_bytes(bytes: &[u8]) -> Option<ZNodeTree> {
+        let mut r = bytes::Reader::new(bytes);
+        let zxid = r.get_u64_le()?;
+        let count = r.get_u32_le()? as usize;
+        let mut nodes = BTreeMap::new();
+        for _ in 0..count {
+            let path_len = r.get_u32_le()? as usize;
+            let path = String::from_utf8(r.get_slice(path_len)?.to_vec()).ok()?;
+            let data_len = r.get_u32_le()? as usize;
+            let data = Bytes::copy_from_slice(r.get_slice(data_len)?);
+            let version = r.get_u64_le()?;
+            let created_at = r.get_u64_le()?;
+            let ephemeral_owner = match r.get_u8()? {
+                0 => None,
+                1 => Some(r.get_u64_le()?),
+                _ => return None,
+            };
+            let next_sequential = r.get_u64_le()?;
+            nodes.insert(
+                path,
+                ZNode {
+                    data,
+                    version,
+                    created_at,
+                    ephemeral_owner,
+                    next_sequential,
+                },
+            );
+        }
+        if r.remaining() != 0 || !nodes.contains_key("/") {
+            return None;
+        }
+        Some(ZNodeTree { nodes, zxid })
+    }
+
     /// A digest covering the entire tree contents (paths, data, versions).
     pub fn digest(&self) -> Digest {
         let mut acc = Digest::of(b"znode-tree");
@@ -247,7 +312,8 @@ mod tests {
     fn create_get_set_delete_roundtrip() {
         let mut t = ZNodeTree::new();
         assert!(t.is_empty());
-        t.create("/app", Bytes::from_static(b"cfg"), None, false).unwrap();
+        t.create("/app", Bytes::from_static(b"cfg"), None, false)
+            .unwrap();
         assert_eq!(t.get("/app").unwrap().data, Bytes::from_static(b"cfg"));
         assert_eq!(t.set("/app", Bytes::from_static(b"v2"), None).unwrap(), 1);
         assert_eq!(t.get("/app").unwrap().version, 1);
@@ -320,9 +386,12 @@ mod tests {
     fn ephemeral_nodes_die_with_their_session() {
         let mut t = ZNodeTree::new();
         t.create("/services", Bytes::new(), None, false).unwrap();
-        t.create("/services/s1", Bytes::new(), Some(7), false).unwrap();
-        t.create("/services/s2", Bytes::new(), Some(7), false).unwrap();
-        t.create("/services/s3", Bytes::new(), Some(8), false).unwrap();
+        t.create("/services/s1", Bytes::new(), Some(7), false)
+            .unwrap();
+        t.create("/services/s2", Bytes::new(), Some(7), false)
+            .unwrap();
+        t.create("/services/s3", Bytes::new(), Some(8), false)
+            .unwrap();
         assert_eq!(t.expire_session(7), 2);
         assert!(!t.exists("/services/s1"));
         assert!(t.exists("/services/s3"));
@@ -332,7 +401,8 @@ mod tests {
     fn digest_reflects_content_and_is_deterministic() {
         let build = |extra: bool| {
             let mut t = ZNodeTree::new();
-            t.create("/k", Bytes::from_static(b"v"), None, false).unwrap();
+            t.create("/k", Bytes::from_static(b"v"), None, false)
+                .unwrap();
             if extra {
                 t.set("/k", Bytes::from_static(b"v2"), None).unwrap();
             }

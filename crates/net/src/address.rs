@@ -32,13 +32,20 @@ impl AddressBook {
 
     /// Current address of `node`, if known.
     pub fn get(&self, node: NodeId) -> Option<SocketAddr> {
-        self.entries.lock().expect("address book poisoned").get(&node).copied()
+        self.entries
+            .lock()
+            .expect("address book poisoned")
+            .get(&node)
+            .copied()
     }
 
     /// Inserts or updates the address of `node` (e.g. after a recovery onto a
     /// fresh port).
     pub fn set(&self, node: NodeId, addr: SocketAddr) {
-        self.entries.lock().expect("address book poisoned").insert(node, addr);
+        self.entries
+            .lock()
+            .expect("address book poisoned")
+            .insert(node, addr);
     }
 
     /// All node ids currently in the book, in ascending order.

@@ -115,6 +115,9 @@ fn main() {
     let _max_in_flight: Option<usize> = args.optional("--max-in-flight");
     let _adaptive: Option<u64> = args.optional("--adaptive");
     let _max_pending: Option<usize> = args.optional("--max-pending");
+    let _checkpoint_interval: Option<u64> = args.optional("--checkpoint-interval");
+    let _data_dir: Option<String> = args.optional("--data-dir");
+    let _fsync_batch: Option<u64> = args.optional("--fsync-batch");
     args.finish();
 
     let addrs = match parse_node_addrs(&addrs_raw) {

@@ -5,7 +5,8 @@
 //! xpaxos-server --id 0 --t 1 --clients 1 \
 //!     --addrs 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7010 \
 //!     [--seed 1] [--delta-ms 500] [--retransmit-ms 2000] [--run-secs 0] \
-//!     [--window 1] [--max-in-flight 8] [--adaptive 1] [--max-pending 4096]
+//!     [--window 1] [--max-in-flight 8] [--adaptive 1] [--max-pending 4096] \
+//!     [--data-dir PATH] [--fsync-batch 1] [--checkpoint-interval 128]
 //! ```
 //!
 //! `--addrs` lists every node of the cluster in node-id order: the `2t + 1`
@@ -18,6 +19,15 @@
 //! restores the seed's always-wait batch timer, `--max-pending` bounds the
 //! admission queue (overflow is shed with BUSY), and `--window` is accepted
 //! so all cluster processes can share one flag list.
+//!
+//! With `--data-dir` the replica runs on durable storage (`xft-store`): every
+//! prepare/commit/view transition is WAL-logged and stable checkpoints
+//! install snapshot files. A restart with the same `--data-dir` recovers —
+//! scan the WAL, verify CRCs, truncate any torn tail, adopt the snapshot,
+//! re-execute — and rejoins the live cluster, fetching anything newer through
+//! verified state transfer. `--fsync-batch` is the group-commit knob: `1`
+//! fsyncs per record (full durability), `N` once per `N` records, `0` never
+//! (OS page cache only).
 
 use std::net::TcpListener;
 use std::process::exit;
@@ -32,6 +42,7 @@ use xft_net::{
     parse_node_addrs, register_cluster_keys, AddressBook, NetConfig, StartMode, TcpRuntime,
 };
 use xft_simnet::{PipelineConfig, SimDuration};
+use xft_store::{DiskStorage, SyncPolicy};
 
 fn main() {
     let mut args = Args::parse();
@@ -47,6 +58,9 @@ fn main() {
     let max_in_flight: usize = args.optional("--max-in-flight").unwrap_or(8);
     let adaptive: u64 = args.optional("--adaptive").unwrap_or(1);
     let max_pending: usize = args.optional("--max-pending").unwrap_or(4096);
+    let data_dir: Option<String> = args.optional("--data-dir");
+    let fsync_batch: u64 = args.optional("--fsync-batch").unwrap_or(1);
+    let checkpoint_interval: u64 = args.optional("--checkpoint-interval").unwrap_or(128);
     args.finish();
 
     let pipeline = PipelineConfig::default()
@@ -65,6 +79,7 @@ fn main() {
     let config = XPaxosConfig::new(t, clients)
         .with_delta(SimDuration::from_millis(delta_ms))
         .with_client_retransmit(SimDuration::from_millis(retransmit_ms))
+        .with_checkpoint_interval(checkpoint_interval)
         .with_pipeline(pipeline);
     let n = config.n();
     if id >= n {
@@ -84,7 +99,42 @@ fn main() {
 
     let registry = KeyRegistry::new(seed ^ 0x5eed);
     register_cluster_keys(&registry, &config);
-    let replica = Replica::new(id, config, &registry, Box::new(CoordinationService::new()));
+    let mut replica = Replica::new(id, config, &registry, Box::new(CoordinationService::new()));
+
+    // With a data directory the replica runs on durable storage; an existing
+    // directory means this is a restart, so recover before going live.
+    let mut start_mode = StartMode::Fresh;
+    if let Some(dir) = &data_dir {
+        let storage = match DiskStorage::open(dir, SyncPolicy::every(fsync_batch)) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("xpaxos-server: cannot open --data-dir {dir}: {e}");
+                exit(1);
+            }
+        };
+        let had_state = storage.has_state();
+        replica = replica.with_storage(Box::new(storage));
+        if had_state {
+            let report = replica.recover_from_storage();
+            start_mode = StartMode::Recovered;
+            eprintln!(
+                "xpaxos-server: replica {id} recovered from {dir}: view {}, \
+                 executed up to sn {}, snapshot {}, {} WAL records{}",
+                report.view.0,
+                report.exec_sn.0,
+                match report.snapshot_sn {
+                    Some(sn) => format!("at sn {}", sn.0),
+                    None => "none".to_string(),
+                },
+                report.wal_records,
+                if report.lossy_tail {
+                    ", torn tail truncated"
+                } else {
+                    ""
+                },
+            );
+        }
+    }
 
     let book = AddressBook::from_ordered(&addrs);
     let listener = match TcpListener::bind(addrs[id]) {
@@ -104,7 +154,7 @@ fn main() {
         Arc::clone(&book),
         listener,
         net_config,
-        StartMode::Fresh,
+        start_mode,
     ) {
         Ok(r) => r,
         Err(e) => {

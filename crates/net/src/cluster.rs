@@ -32,7 +32,9 @@ pub fn register_cluster_keys(registry: &Arc<KeyRegistry>, config: &XPaxosConfig)
 /// (or several CI jobs on one machine) run in parallel, while ports the OS
 /// hands out are guaranteed free at bind time. Both the `tcp_cluster`
 /// integration test and the chaos explorer's live-socket sampling use this.
-pub fn bind_loopback_cluster(nodes: usize) -> std::io::Result<(Vec<TcpListener>, Arc<AddressBook>)> {
+pub fn bind_loopback_cluster(
+    nodes: usize,
+) -> std::io::Result<(Vec<TcpListener>, Arc<AddressBook>)> {
     let listeners: Vec<TcpListener> = (0..nodes)
         .map(|_| TcpListener::bind("127.0.0.1:0"))
         .collect::<std::io::Result<_>>()?;
@@ -64,7 +66,12 @@ pub fn parse_node_addrs(list: &str) -> Result<Vec<SocketAddr>, String> {
 pub fn check_total_order(replicas: &[&Replica]) -> Result<(), String> {
     let histories: Vec<std::collections::BTreeMap<u64, _>> = replicas
         .iter()
-        .map(|r| r.executed_history().iter().map(|(sn, d)| (sn.0, *d)).collect())
+        .map(|r| {
+            r.executed_history()
+                .iter()
+                .map(|(sn, d)| (sn.0, *d))
+                .collect()
+        })
         .collect();
     for (i, a) in replicas.iter().enumerate() {
         for (j, b) in replicas.iter().enumerate().skip(i + 1) {
@@ -104,12 +111,17 @@ mod tests {
     fn bind_loopback_cluster_hands_out_distinct_live_ports() {
         let (listeners, book) = bind_loopback_cluster(4).expect("bind");
         assert_eq!(listeners.len(), 4);
-        let mut ports: Vec<u16> = (0..4).map(|n| book.get(n).expect("published").port()).collect();
+        let mut ports: Vec<u16> = (0..4)
+            .map(|n| book.get(n).expect("published").port())
+            .collect();
         ports.sort_unstable();
         ports.dedup();
         assert_eq!(ports.len(), 4, "OS-assigned ports must be distinct");
         for p in ports {
-            assert_ne!(p, 0, "port must be read back, not left as the bind-0 wildcard");
+            assert_ne!(
+                p, 0,
+                "port must be read back, not left as the bind-0 wildcard"
+            );
         }
     }
 

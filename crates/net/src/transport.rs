@@ -93,7 +93,15 @@ impl PeerLink {
         let handle = std::thread::Builder::new()
             .name(format!("xft-send-{local}-to-{peer}"))
             .spawn(move || {
-                sender_loop(local, peer, book, shutdown, thread_stats, rx, reconnect_delay)
+                sender_loop(
+                    local,
+                    peer,
+                    book,
+                    shutdown,
+                    thread_stats,
+                    rx,
+                    reconnect_delay,
+                )
             })
             .expect("spawn sender thread");
         PeerLink {
@@ -116,7 +124,9 @@ impl PeerLink {
             Err(TrySendError::Disconnected(_)) => {
                 // Sender thread already gone (shutdown or panic): the peer is
                 // effectively unreachable, not backpressured.
-                self.stats.dropped_unreachable.fetch_add(1, Ordering::Relaxed);
+                self.stats
+                    .dropped_unreachable
+                    .fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -337,7 +347,6 @@ fn is_timeout(e: &std::io::Error) -> bool {
 mod tests {
     use super::*;
 
-
     #[test]
     fn hello_round_trips_and_rejects_garbage() {
         let bytes = hello_bytes(42);
@@ -383,7 +392,9 @@ mod tests {
         }
         let mut got = Vec::new();
         for _ in 0..3 {
-            let (from, v) = rx.recv_timeout(Duration::from_secs(5)).expect("frame arrives");
+            let (from, v) = rx
+                .recv_timeout(Duration::from_secs(5))
+                .expect("frame arrives");
             assert_eq!(from, 0);
             got.push(v);
         }

@@ -21,4 +21,4 @@ pub mod tables;
 
 pub use nines::{nines_of, probability_from_nines};
 pub use probability::{ProtocolFamily, ReliabilityParams};
-pub use tables::{table5, table6, table7, table8, ConsistencyRow, AvailabilityRow};
+pub use tables::{table5, table6, table7, table8, AvailabilityRow, ConsistencyRow};

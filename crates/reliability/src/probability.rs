@@ -85,9 +85,7 @@ impl ProtocolFamily {
                 let p_nb = 1.0 - params.p_benign;
                 (0..=t)
                     .map(|i| {
-                        binomial(n, i)
-                            * p_nb.powi(i as i32)
-                            * params.p_benign.powi((n - i) as i32)
+                        binomial(n, i) * p_nb.powi(i as i32) * params.p_benign.powi((n - i) as i32)
                     })
                     .sum()
             }
@@ -140,18 +138,14 @@ impl ProtocolFamily {
             // BFT needs n − ⌊(n−1)/3⌋ = 2t + 1 available replicas out of 3t + 1.
             ProtocolFamily::Bft => ((n - t)..=n)
                 .map(|i| {
-                    binomial(n, i)
-                        * p_avail.powi(i as i32)
-                        * (1.0 - p_avail).powi((n - i) as i32)
+                    binomial(n, i) * p_avail.powi(i as i32) * (1.0 - p_avail).powi((n - i) as i32)
                 })
                 .sum(),
             // XPaxos needs a majority (t + 1) of available replicas, regardless of the
             // state of the others.
             ProtocolFamily::Xft => ((t + 1)..=n)
                 .map(|i| {
-                    binomial(n, i)
-                        * p_avail.powi(i as i32)
-                        * (1.0 - p_avail).powi((n - i) as i32)
+                    binomial(n, i) * p_avail.powi(i as i32) * (1.0 - p_avail).powi((n - i) as i32)
                 })
                 .sum(),
         }
@@ -273,7 +267,11 @@ mod tests {
     #[test]
     fn probabilities_are_valid() {
         let p = ReliabilityParams::new(0.999, 0.99, 0.95);
-        for fam in [ProtocolFamily::Cft, ProtocolFamily::Bft, ProtocolFamily::Xft] {
+        for fam in [
+            ProtocolFamily::Cft,
+            ProtocolFamily::Bft,
+            ProtocolFamily::Xft,
+        ] {
             for t in 1..=3 {
                 let c = fam.consistency(p, t);
                 let a = fam.availability(p, t);

@@ -52,11 +52,7 @@ fn consistency_table(t: usize) -> Vec<ConsistencyRow> {
             let xpaxos_by_synchrony = SYNCHRONY_NINES
                 .iter()
                 .map(|s| {
-                    let p = ReliabilityParams::new(
-                        p_benign,
-                        p_correct,
-                        probability_from_nines(*s),
-                    );
+                    let p = ReliabilityParams::new(p_benign, p_correct, probability_from_nines(*s));
                     nines_of(ProtocolFamily::Xft.consistency(p, t))
                 })
                 .collect();

@@ -218,6 +218,30 @@ impl<'a, M: SimMessage> Context<'a, M> {
     }
 }
 
+/// Runs `f` with a detached [`Context`] whose recorded effects are discarded.
+///
+/// Used by crash recovery: a replica rebuilding itself from stable storage
+/// replays its committed log through the exact same execution path it uses
+/// live (so exactly-once bookkeeping cannot drift), but outside any runtime —
+/// there is nobody to send to and no timer wheel yet. Timer ids handed out
+/// here start at a huge base so a stale id retained across recovery can never
+/// collide with one a real runtime assigns later.
+pub fn with_offline_context<M: SimMessage, R>(
+    node: NodeId,
+    f: impl FnOnce(&mut Context<'_, M>) -> R,
+) -> R {
+    let mut rng = SimRng::seed_from_u64(0);
+    let mut next_timer_id = u64::MAX / 2;
+    let mut ctx = Context::new(
+        node,
+        SimTime::ZERO,
+        &mut rng,
+        CostModel::free(),
+        &mut next_timer_id,
+    );
+    f(&mut ctx)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -113,7 +113,10 @@ mod tests {
             .at_secs(10, FaultEvent::Crash(0))
             .at_secs(20, FaultEvent::Recover(0));
         let events = script.into_sorted_events();
-        let times: Vec<u64> = events.iter().map(|(t, _)| t.as_nanos() / 1_000_000_000).collect();
+        let times: Vec<u64> = events
+            .iter()
+            .map(|(t, _)| t.as_nanos() / 1_000_000_000)
+            .collect();
         assert_eq!(times, vec![10, 20, 30]);
     }
 
@@ -135,12 +138,48 @@ mod tests {
     fn figure9_script_matches_paper_timings() {
         let events = FaultScript::figure9(1, 0, 2).into_sorted_events();
         assert_eq!(events.len(), 6);
-        assert_eq!(events[0], (SimTime::ZERO + SimDuration::from_secs(180), FaultEvent::Crash(1)));
-        assert_eq!(events[1], (SimTime::ZERO + SimDuration::from_secs(200), FaultEvent::Recover(1)));
-        assert_eq!(events[2], (SimTime::ZERO + SimDuration::from_secs(300), FaultEvent::Crash(0)));
-        assert_eq!(events[3], (SimTime::ZERO + SimDuration::from_secs(320), FaultEvent::Recover(0)));
-        assert_eq!(events[4], (SimTime::ZERO + SimDuration::from_secs(420), FaultEvent::Crash(2)));
-        assert_eq!(events[5], (SimTime::ZERO + SimDuration::from_secs(440), FaultEvent::Recover(2)));
+        assert_eq!(
+            events[0],
+            (
+                SimTime::ZERO + SimDuration::from_secs(180),
+                FaultEvent::Crash(1)
+            )
+        );
+        assert_eq!(
+            events[1],
+            (
+                SimTime::ZERO + SimDuration::from_secs(200),
+                FaultEvent::Recover(1)
+            )
+        );
+        assert_eq!(
+            events[2],
+            (
+                SimTime::ZERO + SimDuration::from_secs(300),
+                FaultEvent::Crash(0)
+            )
+        );
+        assert_eq!(
+            events[3],
+            (
+                SimTime::ZERO + SimDuration::from_secs(320),
+                FaultEvent::Recover(0)
+            )
+        );
+        assert_eq!(
+            events[4],
+            (
+                SimTime::ZERO + SimDuration::from_secs(420),
+                FaultEvent::Crash(2)
+            )
+        );
+        assert_eq!(
+            events[5],
+            (
+                SimTime::ZERO + SimDuration::from_secs(440),
+                FaultEvent::Recover(2)
+            )
+        );
     }
 
     #[test]

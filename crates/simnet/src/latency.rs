@@ -239,11 +239,8 @@ mod tests {
     fn region_model_uses_lan_stats_within_region() {
         let wan = RttStats::new(100.0, 500.0, 800.0, 1000.0);
         let matrix = vec![vec![wan; 2], vec![wan; 2]];
-        let model = RegionLatencyModel::new(
-            matrix,
-            vec![0, 0, 1],
-            RegionLatencyModel::default_lan(),
-        );
+        let model =
+            RegionLatencyModel::new(matrix, vec![0, 0, 1], RegionLatencyModel::default_lan());
         assert_eq!(model.stats_between(0, 1), RegionLatencyModel::default_lan());
         assert_eq!(model.stats_between(0, 2), wan);
         assert!(model.typical(0, 2) > model.typical(0, 1));

@@ -38,14 +38,14 @@ pub mod stats;
 pub mod time;
 pub mod trace;
 
-pub use actor::{Actor, Context, ControlCode, NodeId, SimMessage, TimerId};
+pub use actor::{with_offline_context, Actor, Context, ControlCode, NodeId, SimMessage, TimerId};
+pub use actor::{OutboundMessage, TimerOp};
 pub use ec2::{ec2_latency_model, ec2_rtt_matrix, recommended_delta_ms, Region};
 pub use fault::{FaultEvent, FaultScript};
 pub use latency::{ConstantLatency, LatencyModel, RegionLatencyModel, RttStats, UniformLatency};
 pub use metrics::{LatencySummary, MetricEvent, Metrics};
 pub use network::{Bandwidth, Network, SendOutcome};
 pub use pipeline::PipelineConfig;
-pub use actor::{OutboundMessage, TimerOp};
 pub use rng::SimRng;
 pub use runtime::{ActorDriver, ActorEvent, Runtime, StepEffects};
 pub use sim::{SimConfig, Simulation};

@@ -192,7 +192,11 @@ impl Metrics {
 
     /// Throughput time series (ops/sec per bin) for the Figure 9 style plots.
     pub fn throughput_timeseries(&self, bin: SimDuration, horizon: SimDuration) -> Vec<f64> {
-        let times: Vec<f64> = self.commits.iter().map(|(t, _, _)| t.as_secs_f64()).collect();
+        let times: Vec<f64> = self
+            .commits
+            .iter()
+            .map(|(t, _, _)| t.as_secs_f64())
+            .collect();
         rate_timeseries(&times, bin.as_secs_f64(), horizon.as_secs_f64())
     }
 
@@ -258,12 +262,18 @@ impl Metrics {
 
     /// Latency (ms) of every commit in commit order — used by tests that need raw data.
     pub fn commit_latencies_ms(&self) -> Vec<f64> {
-        self.commits.iter().map(|(_, l, _)| l.as_millis_f64()).collect()
+        self.commits
+            .iter()
+            .map(|(_, l, _)| l.as_millis_f64())
+            .collect()
     }
 
     /// Times (s) of every commit in commit order.
     pub fn commit_times_secs(&self) -> Vec<f64> {
-        self.commits.iter().map(|(t, _, _)| t.as_secs_f64()).collect()
+        self.commits
+            .iter()
+            .map(|(t, _, _)| t.as_secs_f64())
+            .collect()
     }
 }
 
@@ -324,8 +334,14 @@ mod tests {
     #[test]
     fn counters_and_view_changes() {
         let mut m = Metrics::new(1);
-        m.apply(MetricEvent::Count { name: "batches", delta: 2 });
-        m.apply(MetricEvent::Count { name: "batches", delta: 3 });
+        m.apply(MetricEvent::Count {
+            name: "batches",
+            delta: 2,
+        });
+        m.apply(MetricEvent::Count {
+            name: "batches",
+            delta: 3,
+        });
         m.apply(MetricEvent::ViewChange {
             at: SimTime::ZERO + SimDuration::from_secs(5),
             new_view: 2,

@@ -365,9 +365,13 @@ impl<A: Actor> Simulation<A> {
             cpu_charged_ns,
             metric_events,
             halt_requested,
-        } = self
-            .driver
-            .step(&mut self.nodes[node], node, event_time, &mut self.rng, event);
+        } = self.driver.step(
+            &mut self.nodes[node],
+            node,
+            event_time,
+            &mut self.rng,
+            event,
+        );
 
         // CPU accounting: the node stays busy for charged / cores.
         let busy_ns = cpu_charged_ns / self.config.cores_per_node.max(1) as u64;

@@ -188,7 +188,10 @@ mod tests {
         assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1000));
         assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1000));
         assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1000));
-        assert_eq!(SimDuration::from_millis_f64(2.5), SimDuration::from_micros(2500));
+        assert_eq!(
+            SimDuration::from_millis_f64(2.5),
+            SimDuration::from_micros(2500)
+        );
     }
 
     #[test]

@@ -1,0 +1,329 @@
+//! The on-disk backend: one data directory per replica.
+//!
+//! Layout:
+//!
+//! * `wal.log` — framed records appended through a buffered writer; fsync
+//!   cadence follows the [`SyncPolicy`] (group commit);
+//! * `snapshot.bin` — the latest snapshot blob, framed like a WAL record so
+//!   it carries its own CRC; installed by writing `snapshot.tmp`, fsyncing
+//!   it, then renaming over the old file (crash-atomic on POSIX).
+//!
+//! I/O errors are fatal by design (see [`Storage`]): a replica that cannot
+//! persist its log must stop rather than keep acknowledging writes it may
+//! forget.
+
+use crate::wal::{frame_record, scan_records};
+use crate::{DiskFault, Recovered, Storage, StorageStats, SyncPolicy, TailState};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+const WAL_FILE: &str = "wal.log";
+const WAL_TMP: &str = "wal.tmp";
+const SNAPSHOT_FILE: &str = "snapshot.bin";
+const SNAPSHOT_TMP: &str = "snapshot.tmp";
+
+/// Durable storage rooted at a data directory.
+pub struct DiskStorage {
+    dir: PathBuf,
+    wal: File,
+    policy: SyncPolicy,
+    stats: StorageStats,
+    unsynced: u64,
+}
+
+impl std::fmt::Debug for DiskStorage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DiskStorage")
+            .field("dir", &self.dir)
+            .field("policy", &self.policy)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl DiskStorage {
+    /// Opens (creating if needed) the data directory and its WAL.
+    pub fn open(dir: impl AsRef<Path>, policy: SyncPolicy) -> std::io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        // Leftovers of an interrupted atomic rewrite are dead weight: the
+        // rename never happened, so the live files are authoritative.
+        let _ = std::fs::remove_file(dir.join(WAL_TMP));
+        let _ = std::fs::remove_file(dir.join(SNAPSHOT_TMP));
+        let wal = OpenOptions::new()
+            .read(true)
+            .append(true)
+            .create(true)
+            .open(dir.join(WAL_FILE))?;
+        let wal_bytes = wal.metadata()?.len();
+        Ok(DiskStorage {
+            dir,
+            wal,
+            policy,
+            stats: StorageStats {
+                wal_bytes,
+                ..Default::default()
+            },
+            unsynced: 0,
+        })
+    }
+
+    /// Whether the directory already holds durable state (drives the
+    /// fresh-start vs recover decision in `xpaxos-server`).
+    pub fn has_state(&self) -> bool {
+        self.stats.wal_bytes > 0 || self.dir.join(SNAPSHOT_FILE).exists()
+    }
+
+    /// The data directory this storage is rooted at.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn fatal<T>(res: std::io::Result<T>, what: &str) -> T {
+        match res {
+            Ok(v) => v,
+            Err(e) => panic!("xft-store: fatal {what} failure: {e}"),
+        }
+    }
+
+    fn read_wal_bytes(&mut self) -> Vec<u8> {
+        let mut bytes = Vec::new();
+        Self::fatal(self.wal.seek(SeekFrom::Start(0)), "WAL seek");
+        Self::fatal(self.wal.read_to_end(&mut bytes), "WAL read");
+        bytes
+    }
+
+    fn rewrite_wal(&mut self, records: &[Vec<u8>]) {
+        // Crash-atomic: build the re-seeded WAL in a temp file, fsync it,
+        // then rename over the live log. Truncating wal.log in place would
+        // open a window where a crash loses durably acknowledged records
+        // that were meant to survive the snapshot.
+        let tmp = self.dir.join(WAL_TMP);
+        let path = self.dir.join(WAL_FILE);
+        let mut bytes = Vec::new();
+        for r in records {
+            bytes.extend_from_slice(&frame_record(r));
+        }
+        let mut file = Self::fatal(File::create(&tmp), "WAL tmp create");
+        Self::fatal(file.write_all(&bytes), "WAL rewrite");
+        Self::fatal(file.sync_all(), "WAL tmp fsync");
+        drop(file);
+        Self::fatal(std::fs::rename(&tmp, &path), "WAL rename");
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all(); // directory entry durability (best effort)
+        }
+        self.wal = Self::fatal(
+            OpenOptions::new().read(true).append(true).open(&path),
+            "WAL reopen",
+        );
+        self.stats.wal_bytes = bytes.len() as u64;
+        self.unsynced = 0;
+    }
+}
+
+impl Storage for DiskStorage {
+    fn append(&mut self, record: &[u8]) {
+        let framed = frame_record(record);
+        Self::fatal(self.wal.write_all(&framed), "WAL append");
+        self.stats.appends += 1;
+        self.stats.wal_bytes += framed.len() as u64;
+        self.unsynced += 1;
+        if self.policy.batch > 0 && self.unsynced >= self.policy.batch {
+            self.sync();
+        }
+    }
+
+    fn sync(&mut self) {
+        if self.unsynced > 0 {
+            Self::fatal(self.wal.sync_data(), "WAL fsync");
+            self.stats.syncs += 1;
+            self.unsynced = 0;
+        }
+    }
+
+    fn install_snapshot(&mut self, snapshot: &[u8], records: &[Vec<u8>]) {
+        // 1. Write the framed snapshot to a temp file and fsync it.
+        let tmp = self.dir.join(SNAPSHOT_TMP);
+        let finala = self.dir.join(SNAPSHOT_FILE);
+        let mut file = Self::fatal(File::create(&tmp), "snapshot create");
+        Self::fatal(file.write_all(&frame_record(snapshot)), "snapshot write");
+        Self::fatal(file.sync_all(), "snapshot fsync");
+        drop(file);
+        // 2. Atomically publish it.
+        Self::fatal(std::fs::rename(&tmp, &finala), "snapshot rename");
+        if let Ok(d) = File::open(&self.dir) {
+            let _ = d.sync_all(); // directory entry durability (best effort)
+        }
+        // 3. Re-seed the WAL with the entries that outlive the snapshot. A
+        //    crash between 2 and 3 leaves the new snapshot with the old WAL,
+        //    which recovery tolerates (stale records replay as no-ops).
+        self.rewrite_wal(records);
+        self.stats.snapshots += 1;
+    }
+
+    fn load(&mut self) -> Recovered {
+        let snapshot = match std::fs::read(self.dir.join(SNAPSHOT_FILE)) {
+            Ok(bytes) => {
+                // The snapshot file is one framed record; a damaged one is
+                // treated as absent (the replica re-fetches state from peers).
+                let scan = scan_records(&bytes);
+                if scan.records.len() == 1 && scan.tail == TailState::Clean {
+                    scan.records.into_iter().next()
+                } else {
+                    None
+                }
+            }
+            Err(_) => None,
+        };
+        let bytes = self.read_wal_bytes();
+        let out = scan_records(&bytes);
+        if out.valid_len < bytes.len() {
+            // Truncate the torn/corrupt tail so appends continue from the
+            // last intact record.
+            Self::fatal(
+                self.wal.set_len(out.valid_len as u64),
+                "WAL repair truncate",
+            );
+            Self::fatal(self.wal.sync_data(), "WAL repair fsync");
+        }
+        self.stats.wal_bytes = out.valid_len as u64;
+        Recovered {
+            snapshot,
+            records: out.records,
+            tail: out.tail,
+        }
+    }
+
+    fn wipe(&mut self) {
+        let _ = std::fs::remove_file(self.dir.join(SNAPSHOT_FILE));
+        let _ = std::fs::remove_file(self.dir.join(SNAPSHOT_TMP));
+        self.rewrite_wal(&[]);
+    }
+
+    fn inject(&mut self, fault: DiskFault) {
+        let mut bytes = self.read_wal_bytes();
+        match fault {
+            DiskFault::TornTail { bytes: n } => {
+                let keep = bytes.len().saturating_sub(n as usize);
+                bytes.truncate(keep);
+            }
+            DiskFault::FlipBit { bit } => {
+                if !bytes.is_empty() {
+                    let bit = (bit % (bytes.len() as u64 * 8)) as usize;
+                    bytes[bit / 8] ^= 1 << (bit % 8);
+                }
+            }
+        }
+        // Write the damaged image back verbatim (bypassing framing).
+        let path = self.dir.join(WAL_FILE);
+        let mut file = Self::fatal(
+            OpenOptions::new().write(true).truncate(true).open(&path),
+            "WAL damage rewrite",
+        );
+        Self::fatal(file.write_all(&bytes), "WAL damage write");
+        Self::fatal(file.sync_all(), "WAL damage fsync");
+        drop(file);
+        self.wal = Self::fatal(
+            OpenOptions::new().read(true).append(true).open(&path),
+            "WAL reopen",
+        );
+        self.stats.wal_bytes = bytes.len() as u64;
+    }
+
+    fn stats(&self) -> StorageStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "xft-store-test-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn survives_reopen() {
+        let dir = temp_dir("reopen");
+        {
+            let mut s = DiskStorage::open(&dir, SyncPolicy::EVERY_APPEND).unwrap();
+            assert!(!s.has_state());
+            s.append(b"one");
+            s.append(b"two");
+            s.install_snapshot(b"SNAP", &[b"two".to_vec()]);
+            s.append(b"three");
+        }
+        let mut s = DiskStorage::open(&dir, SyncPolicy::EVERY_APPEND).unwrap();
+        assert!(s.has_state());
+        let rec = s.load();
+        assert_eq!(rec.snapshot.as_deref(), Some(b"SNAP".as_ref()));
+        assert_eq!(rec.records, vec![b"two".to_vec(), b"three".to_vec()]);
+        assert_eq!(rec.tail, TailState::Clean);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appends_continue() {
+        let dir = temp_dir("torn");
+        let mut s = DiskStorage::open(&dir, SyncPolicy::every(0)).unwrap();
+        s.append(b"alpha");
+        s.append(b"beta");
+        s.inject(DiskFault::TornTail { bytes: 3 });
+        let rec = s.load();
+        assert_eq!(rec.records, vec![b"alpha".to_vec()]);
+        assert!(matches!(rec.tail, TailState::Torn { .. }));
+        s.append(b"gamma");
+        let rec = s.load();
+        assert_eq!(rec.records, vec![b"alpha".to_vec(), b"gamma".to_vec()]);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bit_flip_cannot_forge_a_record() {
+        let dir = temp_dir("flip");
+        let mut s = DiskStorage::open(&dir, SyncPolicy::EVERY_APPEND).unwrap();
+        s.append(b"payload-under-test");
+        s.inject(DiskFault::FlipBit { bit: 8 * 10 });
+        let rec = s.load();
+        assert!(rec.records.is_empty(), "damaged record must not decode");
+        assert!(matches!(rec.tail, TailState::Corrupt { .. }));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn group_commit_batches_fsyncs() {
+        let dir = temp_dir("batch");
+        let mut s = DiskStorage::open(&dir, SyncPolicy::every(8)).unwrap();
+        for i in 0..20u8 {
+            s.append(&[i]);
+        }
+        assert_eq!(s.stats().syncs, 2);
+        s.sync();
+        assert_eq!(s.stats().syncs, 3);
+        assert_eq!(s.stats().appends, 20);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn damaged_snapshot_reads_as_absent() {
+        let dir = temp_dir("snapdmg");
+        let mut s = DiskStorage::open(&dir, SyncPolicy::EVERY_APPEND).unwrap();
+        s.install_snapshot(b"GOOD", &[]);
+        // Flip a byte inside the snapshot file on disk.
+        let path = dir.join(SNAPSHOT_FILE);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(s.load().snapshot.is_none());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

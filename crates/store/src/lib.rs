@@ -1,0 +1,200 @@
+//! # xft-store — durable replica state for the XFT reproduction
+//!
+//! XPaxos's checkpointing and lazy replication (paper §4.5) assume a replica
+//! can lose its volatile state and still come back: the fault model explicitly
+//! includes machine crash–recover. This crate is the stable storage those
+//! assumptions lean on:
+//!
+//! * an **append-only WAL** of length-prefixed, CRC-checked records
+//!   ([`wal`]) with a group-commit fsync-batching knob ([`SyncPolicy`]) —
+//!   the replica appends its prepare/commit/view transitions here;
+//! * **snapshot files**: one opaque snapshot blob (the replica's encoded
+//!   state-machine snapshot plus the t + 1-signed CHKPT proof) installed
+//!   atomically via write-to-temp + rename, re-seeding the WAL with the
+//!   entries that must outlive it;
+//! * **crash recovery**: scan the WAL, verify every record's CRC, truncate a
+//!   torn or corrupt tail, and hand the intact prefix back for replay.
+//!
+//! Everything sits behind the [`Storage`] trait with two backends:
+//! [`DiskStorage`] for real `xft-net` deployments (`xpaxos-server
+//! --data-dir`), and the deterministic in-memory [`MemStorage`] for
+//! `xft-simnet` runs and the chaos explorer's disk-fault injection
+//! ([`DiskFault`]).
+//!
+//! The crate is protocol-agnostic: records and snapshots are opaque byte
+//! strings (the replica encodes them with `xft-wire`), so `xft-store` sits
+//! below `xft-core` in the workspace DAG and depends on nothing but `std`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod disk;
+pub mod mem;
+pub mod wal;
+
+pub use disk::DiskStorage;
+pub use mem::MemStorage;
+pub use wal::{crc32, MAX_RECORD};
+
+/// How the tail of a recovered WAL looked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TailState {
+    /// Every byte of the WAL parsed as intact records.
+    Clean,
+    /// The WAL ended mid-record (a crash between `write` and completion);
+    /// the partial record was dropped.
+    Torn {
+        /// Bytes discarded from the tail.
+        dropped: u64,
+    },
+    /// A record failed its CRC check; it and everything after it were
+    /// dropped (a corrupt record makes the remainder unattributable).
+    Corrupt {
+        /// Bytes discarded from the first bad record onward.
+        dropped: u64,
+    },
+}
+
+impl TailState {
+    /// Whether recovery had to discard any bytes.
+    pub fn lossy(&self) -> bool {
+        !matches!(self, TailState::Clean)
+    }
+}
+
+/// Everything a backend recovered from stable storage.
+#[derive(Debug, Clone)]
+pub struct Recovered {
+    /// The installed snapshot blob, if one exists.
+    pub snapshot: Option<Vec<u8>>,
+    /// Every intact WAL record, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// What happened at the end of the WAL.
+    pub tail: TailState,
+}
+
+impl Recovered {
+    /// Whether any durable state was found at all.
+    pub fn is_empty(&self) -> bool {
+        self.snapshot.is_none() && self.records.is_empty()
+    }
+}
+
+/// Group-commit policy: how many appended records may accumulate before the
+/// backend forces them to stable storage.
+///
+/// * `SyncPolicy::EVERY_APPEND` (batch = 1) fsyncs after each record — the
+///   strongest durability, one fsync per operation;
+/// * `SyncPolicy::every(n)` fsyncs once per `n` appends (group commit) —
+///   a crash can lose at most the last `n − 1` records;
+/// * `SyncPolicy::OS_FLUSH` (batch = 0) never fsyncs explicitly and leaves
+///   durability to the OS page cache — the fastest and weakest setting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncPolicy {
+    /// Appends per fsync; `0` disables explicit fsyncs.
+    pub batch: u64,
+}
+
+impl SyncPolicy {
+    /// Fsync after every single append.
+    pub const EVERY_APPEND: SyncPolicy = SyncPolicy { batch: 1 };
+    /// Never fsync explicitly; durability is whatever the OS provides.
+    pub const OS_FLUSH: SyncPolicy = SyncPolicy { batch: 0 };
+
+    /// Fsync once per `batch` appends (`0` = never).
+    pub fn every(batch: u64) -> Self {
+        SyncPolicy { batch }
+    }
+}
+
+impl Default for SyncPolicy {
+    /// Default to per-append durability; benchmarks opt into batching.
+    fn default() -> Self {
+        SyncPolicy::EVERY_APPEND
+    }
+}
+
+/// Cumulative counters a backend maintains (benchmarks and tests read them).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StorageStats {
+    /// Records appended to the WAL since open.
+    pub appends: u64,
+    /// Explicit fsync (or equivalent) barriers issued.
+    pub syncs: u64,
+    /// Snapshots installed.
+    pub snapshots: u64,
+    /// Bytes currently in the WAL.
+    pub wal_bytes: u64,
+}
+
+/// A storage-level fault, injected by the chaos explorer's disk-fault
+/// schedule entries. Both backends honour them, so a fault found in
+/// simulation reproduces against a real data directory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DiskFault {
+    /// Chop `bytes` off the end of the WAL (a torn write / lost tail).
+    TornTail {
+        /// Bytes to drop from the end (clamped to the WAL length).
+        bytes: u64,
+    },
+    /// Flip one bit somewhere in the WAL body (silent media corruption).
+    FlipBit {
+        /// Bit offset, interpreted modulo the WAL's length in bits.
+        bit: u64,
+    },
+}
+
+/// Stable storage for one replica: an append-only WAL plus a snapshot slot.
+///
+/// Implementations must make [`Storage::load`] reflect exactly what survived:
+/// the snapshot installed last, plus the longest intact prefix of records
+/// appended (re-seeded) since. I/O failures are fatal by design — a replica
+/// that cannot write its log can no longer uphold its durability promises,
+/// so backends panic rather than silently degrade.
+pub trait Storage: Send {
+    /// Appends one logical record to the WAL. The backend frames and
+    /// checksums it; durability follows the backend's [`SyncPolicy`].
+    fn append(&mut self, record: &[u8]);
+
+    /// Forces everything appended so far to stable storage.
+    fn sync(&mut self);
+
+    /// Installs `snapshot` as the new recovery base and re-seeds the WAL
+    /// with `records` (the entries that must survive past the snapshot).
+    /// The switch is crash-safe: recovery sees either the old state or the
+    /// new snapshot, never a mix.
+    fn install_snapshot(&mut self, snapshot: &[u8], records: &[Vec<u8>]);
+
+    /// Reads back everything durable, truncating any torn or corrupt WAL
+    /// tail in the process (so a subsequent append continues from the last
+    /// intact record).
+    fn load(&mut self) -> Recovered;
+
+    /// Destroys all durable state (the amnesia fault, or re-provisioning).
+    fn wipe(&mut self);
+
+    /// Damages the stored bytes in a controlled way (chaos disk faults).
+    fn inject(&mut self, fault: DiskFault);
+
+    /// Cumulative counters.
+    fn stats(&self) -> StorageStats;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_policy_constants_and_default() {
+        assert_eq!(SyncPolicy::default(), SyncPolicy::EVERY_APPEND);
+        assert_eq!(SyncPolicy::every(0), SyncPolicy::OS_FLUSH);
+        assert_eq!(SyncPolicy::every(8).batch, 8);
+    }
+
+    #[test]
+    fn tail_state_lossiness() {
+        assert!(!TailState::Clean.lossy());
+        assert!(TailState::Torn { dropped: 1 }.lossy());
+        assert!(TailState::Corrupt { dropped: 9 }.lossy());
+    }
+}

@@ -96,7 +96,10 @@ impl WireDecode for bool {
 }
 
 fn put_len(out: &mut impl BufMut, len: usize) {
-    debug_assert!(len <= u32::MAX as usize, "collection too large for the wire");
+    debug_assert!(
+        len <= u32::MAX as usize,
+        "collection too large for the wire"
+    );
     out.put_u32_le(len as u32);
 }
 
@@ -240,6 +243,7 @@ tuple_codec!(A: 0, B: 1);
 tuple_codec!(A: 0, B: 1, C: 2);
 tuple_codec!(A: 0, B: 1, C: 2, D: 3);
 tuple_codec!(A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_codec!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
 
 impl WireEncode for Digest {
     fn encode_into(&self, out: &mut impl BufMut) {

@@ -21,7 +21,10 @@ pub const DEFAULT_MAX_FRAME: usize = 16 << 20;
 /// `write_all` (one syscall, one segment on a `TCP_NODELAY` socket).
 pub fn write_frame<W: Write>(w: &mut W, payload: &[u8]) -> io::Result<()> {
     if payload.len() > u32::MAX as usize {
-        return Err(io::Error::new(io::ErrorKind::InvalidInput, "frame too large"));
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            "frame too large",
+        ));
     }
     w.write_all(&frame_bytes(payload))
 }
@@ -162,7 +165,9 @@ mod tests {
             read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap().unwrap(),
             vec![9u8; 300]
         );
-        assert!(read_frame(&mut cursor, DEFAULT_MAX_FRAME).unwrap().is_none());
+        assert!(read_frame(&mut cursor, DEFAULT_MAX_FRAME)
+            .unwrap()
+            .is_none());
     }
 
     #[test]

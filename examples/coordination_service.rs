@@ -46,7 +46,10 @@ fn main() {
 
     cluster.run_for(SimDuration::from_secs(120));
 
-    println!("committed coordination-service writes: {}", cluster.total_committed());
+    println!(
+        "committed coordination-service writes: {}",
+        cluster.total_committed()
+    );
     println!(
         "mean latency: {:.1} ms, replica 0 state digest: {}",
         cluster.sim.metrics().mean_latency_ms(),

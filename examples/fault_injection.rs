@@ -29,7 +29,10 @@ fn main() {
 
     // Phase 1: commit a prefix.
     cluster.run_for(SimDuration::from_secs(5));
-    println!("phase 1 (fault-free): {} commits", cluster.total_committed());
+    println!(
+        "phase 1 (fault-free): {} commits",
+        cluster.total_committed()
+    );
 
     // Phase 2: the primary of view 0 turns Byzantine — it "loses" its commit log
     // (a data-loss fault) and goes mute, which forces a view change.
@@ -47,7 +50,11 @@ fn main() {
         cluster.total_committed()
     );
     for (at, view) in cluster.sim.metrics().view_changes() {
-        println!("  view change completed at {:.1} s -> view {}", at.as_secs_f64(), view);
+        println!(
+            "  view change completed at {:.1} s -> view {}",
+            at.as_secs_f64(),
+            view
+        );
     }
     for r in 1..cluster.n() {
         let detected = cluster.replica(r).detected_faulty();

@@ -38,9 +38,10 @@ fn main() {
     );
 
     // Crash the follower (VA); XPaxos must change views to (CA, JP) and keep going.
-    cluster
-        .sim
-        .inject_fault_at(SimTime::ZERO + SimDuration::from_secs(30), FaultEvent::Crash(1));
+    cluster.sim.inject_fault_at(
+        SimTime::ZERO + SimDuration::from_secs(30),
+        FaultEvent::Crash(1),
+    );
     cluster.run_for(SimDuration::from_secs(30));
     let after = cluster.total_committed();
     println!(
@@ -48,7 +49,11 @@ fn main() {
         after - before
     );
     for (at, view) in cluster.sim.metrics().view_changes() {
-        println!("  view change completed at {:.1} s -> view {}", at.as_secs_f64(), view);
+        println!(
+            "  view change completed at {:.1} s -> view {}",
+            at.as_secs_f64(),
+            view
+        );
     }
     cluster.check_total_order().expect("total order holds");
     println!("total order verified ✓");

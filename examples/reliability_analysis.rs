@@ -27,7 +27,11 @@ fn main() {
 
     for t in [1usize, 2] {
         println!("fault threshold t = {t}:");
-        for family in [ProtocolFamily::Cft, ProtocolFamily::Xft, ProtocolFamily::Bft] {
+        for family in [
+            ProtocolFamily::Cft,
+            ProtocolFamily::Xft,
+            ProtocolFamily::Bft,
+        ] {
             let consistency = family.consistency(params, t);
             let availability = family.availability(params, t);
             println!(

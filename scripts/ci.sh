@@ -8,6 +8,9 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+echo "==> formatting is canonical (cargo fmt --check)"
+cargo fmt --all -- --check
+
 echo "==> tier-1: release build"
 cargo build --release --offline
 
@@ -79,6 +82,43 @@ smoke_pipelined() {
     [ "$ok" = 1 ]
 }
 smoke_pipelined $((20000 + RANDOM % 20000)) || smoke_pipelined $((20000 + RANDOM % 20000))
+
+echo "==> kill -9 recovery smoke: restart a server from its --data-dir"
+# 3 servers on durable storage; client 0 commits; replica 1 is killed with
+# SIGKILL and restarted from its data directory; it must log a recovery line
+# and client 1 must then commit against the healed cluster. The short
+# checkpoint interval makes the rejoin exercise snapshots + state transfer.
+smoke_recovery() {
+    local base=$1 datadir
+    datadir=$(mktemp -d)
+    local addrs="127.0.0.1:${base},127.0.0.1:$((base + 1)),127.0.0.1:$((base + 2))"
+    addrs="${addrs},127.0.0.1:$((base + 3)),127.0.0.1:$((base + 4))"
+    local flags=(--t 1 --clients 2 --addrs "$addrs" --delta-ms 200 --retransmit-ms 1000
+                 --checkpoint-interval 16)
+    local pids=()
+    for id in 0 1 2; do
+        target/release/xpaxos-server --id "$id" "${flags[@]}" \
+            --data-dir "$datadir/r$id" --run-secs 180 &
+        pids+=($!)
+    done
+    local ok=0
+    if target/release/xpaxos-client --id 0 "${flags[@]}" --ops 40 --payload 256 --timeout-secs 60; then
+        kill -9 "${pids[1]}" 2>/dev/null || true
+        wait "${pids[1]}" 2>/dev/null || true
+        target/release/xpaxos-server --id 1 "${flags[@]}" \
+            --data-dir "$datadir/r1" --run-secs 180 >"$datadir/r1.log" 2>&1 &
+        pids[1]=$!
+        if target/release/xpaxos-client --id 1 "${flags[@]}" --ops 40 --payload 256 --timeout-secs 60 \
+            && grep -q "recovered from" "$datadir/r1.log"; then
+            ok=1
+        fi
+    fi
+    kill "${pids[@]}" 2>/dev/null || true
+    wait "${pids[@]}" 2>/dev/null || true
+    rm -rf "$datadir"
+    [ "$ok" = 1 ]
+}
+smoke_recovery $((20000 + RANDOM % 20000)) || smoke_recovery $((20000 + RANDOM % 20000))
 
 echo "==> chaos smoke: 200 in-budget seeds, fixed base seed, zero violations allowed"
 # Any non-linearizable verdict fails the build and prints the shrunk minimal

@@ -36,4 +36,5 @@ pub use xft_kvstore as kvstore;
 pub use xft_net as net;
 pub use xft_reliability as reliability;
 pub use xft_simnet as simnet;
+pub use xft_store as store;
 pub use xft_wire as wire;

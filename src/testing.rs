@@ -177,7 +177,9 @@ mod tests {
             assert_eq!(a.rng().next_u64(), b.rng().next_u64());
         }
         let mut c = CaseRng::for_case(1, 6);
-        let diverged = (0..100).filter(|_| a.rng().next_u64() != c.rng().next_u64()).count();
+        let diverged = (0..100)
+            .filter(|_| a.rng().next_u64() != c.rng().next_u64())
+            .count();
         assert!(diverged > 90);
     }
 

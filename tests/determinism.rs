@@ -81,7 +81,9 @@ fn same_seed_is_deterministic_even_under_faults() {
         cluster.check_total_order().expect("total order");
         (
             cluster.total_committed(),
-            (0..cluster.n()).map(|r| log_digest(&cluster, r)).collect::<Vec<_>>(),
+            (0..cluster.n())
+                .map(|r| log_digest(&cluster, r))
+                .collect::<Vec<_>>(),
         )
     };
     assert_eq!(run(7), run(7));
@@ -114,7 +116,9 @@ fn same_seed_and_fault_script_give_identical_traces_and_metrics() {
         cluster.run_for(SimDuration::from_secs(30));
         (
             cluster.total_committed(),
-            (0..cluster.n()).map(|r| log_digest(&cluster, r)).collect::<Vec<_>>(),
+            (0..cluster.n())
+                .map(|r| log_digest(&cluster, r))
+                .collect::<Vec<_>>(),
             (0..cluster.n())
                 .map(|r| cluster.replica(r).state_digest())
                 .collect::<Vec<_>>(),

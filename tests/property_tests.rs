@@ -87,10 +87,17 @@ fn sync_groups_are_well_formed() {
         let active = groups.active_replicas(v);
         let passive = groups.passive_replicas(v);
         if active.len() != t + 1 {
-            return Err(format!("active group has {} members, want {}", active.len(), t + 1));
+            return Err(format!(
+                "active group has {} members, want {}",
+                active.len(),
+                t + 1
+            ));
         }
         if passive.len() != t {
-            return Err(format!("passive set has {} members, want {t}", passive.len()));
+            return Err(format!(
+                "passive set has {} members, want {t}",
+                passive.len()
+            ));
         }
         if !active.contains(&groups.primary(v)) {
             return Err("primary not inside its synchronous group".into());
@@ -108,28 +115,40 @@ fn sync_groups_are_well_formed() {
 /// nines, and XFT consistency/availability always dominates CFT.
 #[test]
 fn reliability_formulas_are_monotone_and_dominate_cft() {
-    check("reliability_formulas_are_monotone_and_dominate_cft", 64, |rng| {
-        let benign_a = rng.f64_in(0.95, 0.999999);
-        let delta = rng.f64_in(0.0, 0.00005);
-        let correct_frac = rng.f64_in(0.9, 1.0);
-        let sync = rng.f64_in(0.95, 0.999999);
-        let t = rng.usize_in(1, 3);
-        let benign_b = (benign_a + delta).min(0.9999995);
-        let pa = ReliabilityParams::new(benign_a, benign_a * correct_frac, sync);
-        let pb = ReliabilityParams::new(benign_b, benign_b * correct_frac, sync);
-        for fam in [ProtocolFamily::Cft, ProtocolFamily::Bft, ProtocolFamily::Xft] {
-            if fam.consistency(pb, t) + 1e-12 < fam.consistency(pa, t) {
-                return Err(format!("{fam:?} consistency not monotone at t = {t}"));
+    check(
+        "reliability_formulas_are_monotone_and_dominate_cft",
+        64,
+        |rng| {
+            let benign_a = rng.f64_in(0.95, 0.999999);
+            let delta = rng.f64_in(0.0, 0.00005);
+            let correct_frac = rng.f64_in(0.9, 1.0);
+            let sync = rng.f64_in(0.95, 0.999999);
+            let t = rng.usize_in(1, 3);
+            let benign_b = (benign_a + delta).min(0.9999995);
+            let pa = ReliabilityParams::new(benign_a, benign_a * correct_frac, sync);
+            let pb = ReliabilityParams::new(benign_b, benign_b * correct_frac, sync);
+            for fam in [
+                ProtocolFamily::Cft,
+                ProtocolFamily::Bft,
+                ProtocolFamily::Xft,
+            ] {
+                if fam.consistency(pb, t) + 1e-12 < fam.consistency(pa, t) {
+                    return Err(format!("{fam:?} consistency not monotone at t = {t}"));
+                }
             }
-        }
-        if ProtocolFamily::Xft.consistency(pa, t) + 1e-12 < ProtocolFamily::Cft.consistency(pa, t) {
-            return Err(format!("XFT consistency below CFT at t = {t}"));
-        }
-        if ProtocolFamily::Xft.availability(pa, t) + 1e-12 < ProtocolFamily::Cft.availability(pa, t) {
-            return Err(format!("XFT availability below CFT at t = {t}"));
-        }
-        Ok(())
-    });
+            if ProtocolFamily::Xft.consistency(pa, t) + 1e-12
+                < ProtocolFamily::Cft.consistency(pa, t)
+            {
+                return Err(format!("XFT consistency below CFT at t = {t}"));
+            }
+            if ProtocolFamily::Xft.availability(pa, t) + 1e-12
+                < ProtocolFamily::Cft.availability(pa, t)
+            {
+                return Err(format!("XFT availability below CFT at t = {t}"));
+            }
+            Ok(())
+        },
+    );
 }
 
 /// The coordination service is deterministic: any operation sequence applied to two
@@ -152,7 +171,10 @@ fn coordination_service_is_deterministic() {
                     ephemeral_owner: None,
                     sequential: false,
                 },
-                1 => KvOp::SetData { path, data: data.clone().into() },
+                1 => KvOp::SetData {
+                    path,
+                    data: data.clone().into(),
+                },
                 2 => KvOp::Delete { path },
                 _ => KvOp::GetData { path },
             };
@@ -216,7 +238,9 @@ fn arb_commit_entry(rng: &mut CaseRng) -> CommitEntry {
         sn: SeqNum(rng.u64_below(1 << 20)),
         batch: arb_batch(rng),
         primary_sig: arb_signature(rng),
-        commit_sigs: (0..sigs).map(|r| (r, arb_signature(rng))).collect::<BTreeMap<_, _>>(),
+        commit_sigs: (0..sigs)
+            .map(|r| (r, arb_signature(rng)))
+            .collect::<BTreeMap<_, _>>(),
     }
 }
 
@@ -225,7 +249,9 @@ fn arb_prepare_entry(rng: &mut CaseRng) -> PrepareEntry {
         view: ViewNumber(rng.u64_below(100)),
         sn: SeqNum(rng.u64_below(1 << 20)),
         batch: arb_batch(rng),
-        client_sigs: (0..rng.usize_in(0, 3)).map(|_| arb_signature(rng)).collect(),
+        client_sigs: (0..rng.usize_in(0, 3))
+            .map(|_| arb_signature(rng))
+            .collect(),
         primary_sig: arb_signature(rng),
     }
 }
@@ -234,8 +260,16 @@ fn arb_view_change(rng: &mut CaseRng) -> ViewChangeMsg {
     ViewChangeMsg {
         new_view: ViewNumber(rng.u64_below(100)),
         replica: rng.usize_in(0, 8),
-        commit_log: (0..rng.usize_in(0, 2)).map(|_| arb_commit_entry(rng)).collect(),
-        prepare_log: (0..rng.usize_in(0, 2)).map(|_| arb_prepare_entry(rng)).collect(),
+        commit_log: (0..rng.usize_in(0, 2))
+            .map(|_| arb_commit_entry(rng))
+            .collect(),
+        prepare_log: (0..rng.usize_in(0, 2))
+            .map(|_| arb_prepare_entry(rng))
+            .collect(),
+        last_checkpoint: SeqNum(rng.u64_below(1 << 20)),
+        checkpoint_proof: (0..rng.usize_in(0, 2))
+            .map(|_| arb_checkpoint(rng))
+            .collect(),
         signature: arb_signature(rng),
     }
 }
@@ -266,14 +300,18 @@ fn arb_msg(rng: &mut CaseRng) -> XPaxosMsg {
             view: ViewNumber(rng.u64_below(100)),
             sn: SeqNum(rng.u64_below(1 << 20)),
             batch: arb_batch(rng),
-            client_sigs: (0..rng.usize_in(0, 3)).map(|_| arb_signature(rng)).collect(),
+            client_sigs: (0..rng.usize_in(0, 3))
+                .map(|_| arb_signature(rng))
+                .collect(),
             signature: arb_signature(rng),
         }),
         3 => XPaxosMsg::CommitCarry(CommitCarryMsg {
             view: ViewNumber(rng.u64_below(100)),
             sn: SeqNum(rng.u64_below(1 << 20)),
             batch: arb_batch(rng),
-            client_sigs: (0..rng.usize_in(0, 3)).map(|_| arb_signature(rng)).collect(),
+            client_sigs: (0..rng.usize_in(0, 3))
+                .map(|_| arb_signature(rng))
+                .collect(),
             signature: arb_signature(rng),
         }),
         4 => XPaxosMsg::Commit(arb_commit(rng)),
@@ -295,7 +333,9 @@ fn arb_msg(rng: &mut CaseRng) -> XPaxosMsg {
         8 => XPaxosMsg::VcFinal(VcFinalMsg {
             new_view: ViewNumber(rng.u64_below(100)),
             replica: rng.usize_in(0, 8),
-            vc_set: (0..rng.usize_in(0, 2)).map(|_| arb_view_change(rng)).collect(),
+            vc_set: (0..rng.usize_in(0, 2))
+                .map(|_| arb_view_change(rng))
+                .collect(),
             signature: arb_signature(rng),
         }),
         9 => XPaxosMsg::VcConfirm(VcConfirmMsg {
@@ -306,16 +346,22 @@ fn arb_msg(rng: &mut CaseRng) -> XPaxosMsg {
         }),
         10 => XPaxosMsg::NewView(NewViewMsg {
             new_view: ViewNumber(rng.u64_below(100)),
-            prepare_log: (0..rng.usize_in(0, 2)).map(|_| arb_prepare_entry(rng)).collect(),
+            prepare_log: (0..rng.usize_in(0, 2))
+                .map(|_| arb_prepare_entry(rng))
+                .collect(),
             signature: arb_signature(rng),
         }),
         11 => XPaxosMsg::Checkpoint(arb_checkpoint(rng)),
         12 => XPaxosMsg::LazyCheckpoint {
-            proof: (0..rng.usize_in(0, 3)).map(|_| arb_checkpoint(rng)).collect(),
+            proof: (0..rng.usize_in(0, 3))
+                .map(|_| arb_checkpoint(rng))
+                .collect(),
         },
         13 => XPaxosMsg::LazyReplicate {
             view: ViewNumber(rng.u64_below(100)),
-            entries: (0..rng.usize_in(0, 2)).map(|_| arb_commit_entry(rng)).collect(),
+            entries: (0..rng.usize_in(0, 2))
+                .map(|_| arb_commit_entry(rng))
+                .collect(),
         },
         14 => XPaxosMsg::FaultDetected(FaultDetectedMsg {
             new_view: ViewNumber(rng.u64_below(100)),
@@ -433,46 +479,151 @@ fn signed_digests_track_canonical_encoding() {
 /// Whole-cluster simulations are comparatively expensive; run fewer cases.
 #[test]
 fn xpaxos_total_order_under_random_crash_schedules() {
-    check("xpaxos_total_order_under_random_crash_schedules", 8, |rng| {
-        let seed = rng.u64_in(0, 1000);
-        let victim = rng.usize_in(0, 3);
-        let crash_at_secs = rng.u64_in(2, 8);
-        let downtime_secs = rng.u64_in(1, 10);
-        let partition_instead = rng.bool();
-        let mut cluster = ClusterBuilder::new(1, 2)
-            .with_seed(seed)
-            .with_latency(LatencySpec::Uniform(
-                SimDuration::from_millis(2),
-                SimDuration::from_millis(15),
-            ))
-            .with_workload(ClientWorkload { payload_size: 128, ..Default::default() })
-            .with_config(|c| {
-                c.with_delta(SimDuration::from_millis(100))
-                    .with_client_retransmit(SimDuration::from_millis(500))
-                    .with_checkpoint_interval(0)
-            })
-            .build();
-        let start = SimTime::ZERO + SimDuration::from_secs(crash_at_secs);
-        let end = start + SimDuration::from_secs(downtime_secs);
-        if partition_instead {
-            cluster.sim.inject_fault_at(start, FaultEvent::Isolate(victim));
-            cluster.sim.inject_fault_at(end, FaultEvent::Reconnect(victim));
-        } else {
-            cluster.sim.inject_fault_at(start, FaultEvent::Crash(victim));
-            cluster.sim.inject_fault_at(end, FaultEvent::Recover(victim));
-        }
-        cluster.run_for(SimDuration::from_secs(30));
+    check(
+        "xpaxos_total_order_under_random_crash_schedules",
+        8,
+        |rng| {
+            let seed = rng.u64_in(0, 1000);
+            let victim = rng.usize_in(0, 3);
+            let crash_at_secs = rng.u64_in(2, 8);
+            let downtime_secs = rng.u64_in(1, 10);
+            let partition_instead = rng.bool();
+            let mut cluster = ClusterBuilder::new(1, 2)
+                .with_seed(seed)
+                .with_latency(LatencySpec::Uniform(
+                    SimDuration::from_millis(2),
+                    SimDuration::from_millis(15),
+                ))
+                .with_workload(ClientWorkload {
+                    payload_size: 128,
+                    ..Default::default()
+                })
+                .with_config(|c| {
+                    c.with_delta(SimDuration::from_millis(100))
+                        .with_client_retransmit(SimDuration::from_millis(500))
+                        .with_checkpoint_interval(0)
+                })
+                .build();
+            let start = SimTime::ZERO + SimDuration::from_secs(crash_at_secs);
+            let end = start + SimDuration::from_secs(downtime_secs);
+            if partition_instead {
+                cluster
+                    .sim
+                    .inject_fault_at(start, FaultEvent::Isolate(victim));
+                cluster
+                    .sim
+                    .inject_fault_at(end, FaultEvent::Reconnect(victim));
+            } else {
+                cluster
+                    .sim
+                    .inject_fault_at(start, FaultEvent::Crash(victim));
+                cluster
+                    .sim
+                    .inject_fault_at(end, FaultEvent::Recover(victim));
+            }
+            cluster.run_for(SimDuration::from_secs(30));
 
-        // Liveness: the system must keep committing after the fault heals.
-        if cluster.total_committed() <= 20 {
-            return Err(format!(
-                "only {} commits (seed {seed}, victim {victim}, partition {partition_instead})",
-                cluster.total_committed()
-            ));
+            // Liveness: the system must keep committing after the fault heals.
+            if cluster.total_committed() <= 20 {
+                return Err(format!(
+                    "only {} commits (seed {seed}, victim {victim}, partition {partition_instead})",
+                    cluster.total_committed()
+                ));
+            }
+            // Safety among the replicas that were never disturbed (the disturbed replica may
+            // hold a speculative suffix until it repairs through a later view change).
+            let undisturbed: Vec<usize> = (0..3).filter(|r| *r != victim).collect();
+            cluster.check_total_order_among(&undisturbed)
+        },
+    );
+}
+
+/// WAL recovery honours the committed-prefix contract at *every* byte offset:
+/// however the tail is lost (truncation anywhere, a flipped bit anywhere),
+/// the records that survive are exactly a prefix of what was appended — never
+/// a divergent or forged record — and a fresh replay of the same bytes agrees.
+#[test]
+fn wal_recovery_is_a_committed_prefix_under_truncation_and_corruption() {
+    use xft::store::wal::{frame_record, scan_records};
+    use xft::store::{DiskFault, MemStorage, Storage};
+
+    check("wal_recovery_committed_prefix", 16, |rng| {
+        let records: Vec<Vec<u8>> = (0..rng.usize_in(3, 9)).map(|_| rng.bytes(0, 80)).collect();
+        let mut wal = Vec::new();
+        for r in &records {
+            wal.extend_from_slice(&frame_record(r));
         }
-        // Safety among the replicas that were never disturbed (the disturbed replica may
-        // hold a speculative suffix until it repairs through a later view change).
-        let undisturbed: Vec<usize> = (0..3).filter(|r| *r != victim).collect();
-        cluster.check_total_order_among(&undisturbed)
+
+        let is_prefix = |scanned: &[Vec<u8>], what: &str| -> Result<(), String> {
+            if scanned.len() > records.len() {
+                return Err(format!("{what}: recovered more records than were written"));
+            }
+            for (i, rec) in scanned.iter().enumerate() {
+                if rec != &records[i] {
+                    return Err(format!("{what}: record {i} diverged after recovery"));
+                }
+            }
+            Ok(())
+        };
+
+        // Truncation at every byte offset — the torn-write sweep.
+        for cut in 0..=wal.len() {
+            let out = scan_records(&wal[..cut]);
+            is_prefix(&out.records, &format!("truncate at {cut}"))?;
+            if out.valid_len > cut {
+                return Err(format!(
+                    "valid_len {} beyond the {cut}-byte tail",
+                    out.valid_len
+                ));
+            }
+            // Recovery matches a fresh replay of the same surviving bytes.
+            let replay = scan_records(&wal[..out.valid_len]);
+            if replay.records != out.records {
+                return Err(format!("recovery at {cut} disagrees with a fresh replay"));
+            }
+            if cut == wal.len() && out.records.len() != records.len() {
+                return Err("undamaged WAL must recover completely".into());
+            }
+        }
+
+        // A single flipped bit at every byte offset — the CRC sweep.
+        for byte in 0..wal.len() {
+            let mut damaged = wal.clone();
+            damaged[byte] ^= 1 << rng.usize_in(0, 8);
+            let out = scan_records(&damaged);
+            is_prefix(&out.records, &format!("bit flip in byte {byte}"))?;
+        }
+
+        // End to end through a Storage backend: damage, recover (which
+        // truncates the bad tail), append fresh records, recover again — the
+        // result is the surviving prefix plus the new records, in order.
+        let mut storage = MemStorage::new();
+        for r in &records {
+            storage.append(r);
+        }
+        let fault = if rng.bool() {
+            DiskFault::TornTail {
+                bytes: rng.u64_in(1, wal.len() as u64 + 1),
+            }
+        } else {
+            DiskFault::FlipBit {
+                bit: rng.u64_in(0, wal.len() as u64 * 8),
+            }
+        };
+        storage.inject(fault);
+        let recovered = storage.load();
+        is_prefix(&recovered.records, "storage backend recovery")?;
+        storage.append(b"fresh-after-repair");
+        let after = storage.load();
+        let expected: Vec<Vec<u8>> = recovered
+            .records
+            .iter()
+            .cloned()
+            .chain(std::iter::once(b"fresh-after-repair".to_vec()))
+            .collect();
+        if after.records != expected {
+            return Err("appends after repair must continue the committed prefix".into());
+        }
+        Ok(())
     });
 }

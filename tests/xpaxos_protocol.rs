@@ -81,7 +81,9 @@ fn lazy_replication_keeps_the_passive_replica_up_to_date() {
     // which executes them.
     assert!(cluster.sim.trace().count_between(1, 2, "LAZY-REPLICATE") > 0);
     assert!(cluster.replica(2).executed_upto() > SeqNum(0));
-    cluster.check_total_order().expect("total order including passive replica");
+    cluster
+        .check_total_order()
+        .expect("total order including passive replica");
 }
 
 #[test]
@@ -89,7 +91,10 @@ fn fault_detection_flags_a_data_loss_primary() {
     let mut cluster = ClusterBuilder::new(1, 2)
         .with_seed(5)
         .with_latency(LatencySpec::Constant(SimDuration::from_millis(5)))
-        .with_workload(ClientWorkload { payload_size: 128, ..Default::default() })
+        .with_workload(ClientWorkload {
+            payload_size: 128,
+            ..Default::default()
+        })
         .with_config(|c| {
             c.with_delta(SimDuration::from_millis(100))
                 .with_client_retransmit(SimDuration::from_millis(500))
@@ -115,7 +120,12 @@ fn fault_detection_flags_a_data_loss_primary() {
     // Progress resumed in a later view. (Note: with the follower crashed *and* the
     // primary non-crash-faulty the system is briefly in anarchy, so the paper does not
     // promise consistency here — what it promises, and what we assert, is detection.)
-    assert!(cluster.sim.metrics().view_changes().iter().any(|(_, v)| *v >= 1));
+    assert!(cluster
+        .sim
+        .metrics()
+        .view_changes()
+        .iter()
+        .any(|(_, v)| *v >= 1));
     // The data-loss fault of the old primary must be detected by some correct replica
     // during the view change (strong completeness).
     let detected_anywhere = (1..3).any(|r| cluster.replica(r).detected_faulty().contains(&0));
@@ -133,13 +143,18 @@ fn checkpointing_truncates_logs_and_preserves_progress() {
     let mut cluster = ClusterBuilder::new(1, 4)
         .with_seed(6)
         .with_latency(LatencySpec::Constant(SimDuration::from_millis(2)))
-        .with_workload(ClientWorkload { payload_size: 64, ..Default::default() })
+        .with_workload(ClientWorkload {
+            payload_size: 64,
+            ..Default::default()
+        })
         .with_config(|c| c.with_checkpoint_interval(16))
         .build();
     cluster.run_for(SimDuration::from_secs(20));
     assert!(cluster.total_committed() > 200);
     assert!(cluster.sim.metrics().counter("checkpoints") > 0);
-    cluster.check_total_order().expect("total order with checkpointing");
+    cluster
+        .check_total_order()
+        .expect("total order with checkpointing");
 }
 
 #[test]
@@ -147,7 +162,10 @@ fn corrupt_signature_primary_is_replaced() {
     let mut cluster = ClusterBuilder::new(1, 2)
         .with_seed(7)
         .with_latency(LatencySpec::Constant(SimDuration::from_millis(5)))
-        .with_workload(ClientWorkload { payload_size: 128, ..Default::default() })
+        .with_workload(ClientWorkload {
+            payload_size: 128,
+            ..Default::default()
+        })
         .with_config(|c| {
             c.with_delta(SimDuration::from_millis(100))
                 .with_client_retransmit(SimDuration::from_millis(500))
