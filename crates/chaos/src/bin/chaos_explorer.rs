@@ -7,14 +7,20 @@
 //! chaos-explorer --seeds 200 --mode beyond        # over-budget sweep: must be caught
 //! chaos-explorer --mode demo                      # deterministic over-budget demo
 //! chaos-explorer --seeds 50 --tcp-sample 2        # also replay 2 seeds over real sockets
+//! chaos-explorer --mode demo --recorder-dump DIR  # attach a flight-recorder dump
 //! ```
+//!
+//! With `--recorder-dump DIR`, any shrunk reproducer is re-run with the
+//! telemetry flight recorder on (observation-only, so the verdict is
+//! unchanged) and the interleaved protocol history of all replicas is written
+//! to `DIR/flight-recorder-seed-<seed>.txt` next to the reproducer output.
 //!
 //! Exit code 0 = the run's expectation held (clean for in-budget sweeps,
 //! caught-and-shrunk for `beyond`/`demo`); 1 = it did not.
 
 use std::process::exit;
 use std::time::Instant;
-use xft_chaos::explorer::{demo_violation_events, run_schedule};
+use xft_chaos::explorer::{demo_violation_events, record_flight, run_schedule};
 use xft_chaos::tcp::{run_seed_tcp, TcpChaosConfig};
 use xft_chaos::{explore, format_script, shrink, ExplorerConfig, SeedReport};
 use xft_net::cli::Args;
@@ -42,6 +48,7 @@ fn main() {
     let tcp_sample: u64 = args.optional("--tcp-sample").unwrap_or(0);
     let checkpoint_interval: u64 = args.optional("--checkpoint-interval").unwrap_or(32);
     let verbose: bool = args.optional("--verbose").unwrap_or(false);
+    let recorder_dump: Option<String> = args.optional("--recorder-dump");
     args.finish();
 
     let cfg = ExplorerConfig {
@@ -66,7 +73,7 @@ fn main() {
                 }
                 _ => {
                     if let Some(report) = failing {
-                        shrink_and_print(&report, &cfg);
+                        shrink_and_print(&report, &cfg, recorder_dump.as_deref());
                     }
                     println!("RESULT: FAIL — safety violated within the fault budget");
                     exit(1);
@@ -81,7 +88,7 @@ fn main() {
                         "over-budget schedule caught by the checker (seed {}, peak budget {} > t = {t})",
                         report.seed, report.peak_budget
                     );
-                    shrink_and_print(&report, &cfg);
+                    shrink_and_print(&report, &cfg, recorder_dump.as_deref());
                     println!("RESULT: OK — over-budget run caught and shrunk");
                 }
                 None => {
@@ -107,7 +114,7 @@ fn main() {
                 println!("RESULT: FAIL — the demo violation was not caught");
                 exit(1);
             }
-            shrink_and_print(&report, &demo_cfg);
+            shrink_and_print(&report, &demo_cfg, recorder_dump.as_deref());
             println!("RESULT: OK — demo violation caught and shrunk");
         }
         other => {
@@ -218,7 +225,7 @@ fn print_report(report: &SeedReport, full: bool) {
     }
 }
 
-fn shrink_and_print(report: &SeedReport, cfg: &ExplorerConfig) {
+fn shrink_and_print(report: &SeedReport, cfg: &ExplorerConfig, recorder_dump: Option<&str>) {
     let seed = report.seed;
     let started = Instant::now();
     let mut runs = 0u32;
@@ -240,8 +247,19 @@ fn shrink_and_print(report: &SeedReport, cfg: &ExplorerConfig) {
         started.elapsed().as_secs_f64()
     );
     println!("{}", format_script(&shrunk));
-    let verdict = run_schedule(seed, shrunk, cfg);
+    let verdict = run_schedule(seed, shrunk.clone(), cfg);
     for v in &verdict.violations {
         println!("    reproduces: {v}");
+    }
+    // With --recorder-dump the reproducer gets a post-mortem: the same shrunk
+    // schedule replayed with the flight recorder on, dumped to a file.
+    if let Some(dir) = recorder_dump {
+        let (_, dump) = record_flight(seed, shrunk, cfg);
+        let path = std::path::Path::new(dir).join(format!("flight-recorder-seed-{seed}.txt"));
+        let written = std::fs::create_dir_all(dir).and_then(|_| std::fs::write(&path, &dump));
+        match written {
+            Ok(()) => println!("    flight recorder: {}", path.display()),
+            Err(e) => eprintln!("    flight recorder: cannot write {}: {e}", path.display()),
+        }
     }
 }

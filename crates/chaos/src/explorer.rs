@@ -16,10 +16,11 @@
 use crate::checker::{check_history, decode_history, OpEvent, Violation};
 use crate::schedule::{analyze_schedule, generate, ScheduleConfig, TimedEvent};
 use crate::workload::chaos_workload;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use xft_core::harness::{ClusterBuilder, LatencySpec};
 use xft_kvstore::CoordinationService;
 use xft_simnet::{FaultScript, PipelineConfig, SimDuration, SimTime};
+use xft_telemetry::Telemetry;
 
 /// Knobs of a chaos exploration run.
 #[derive(Debug, Clone)]
@@ -104,12 +105,48 @@ impl SeedReport {
 /// both the explorer and the shrinker use: same seed + same events ⇒ same
 /// report.
 pub fn run_schedule(seed: u64, events: Vec<TimedEvent>, cfg: &ExplorerConfig) -> SeedReport {
+    run_schedule_inner(seed, events, cfg, None)
+}
+
+/// Re-runs one schedule with the flight recorder on: every replica feeds one
+/// shared telemetry hub, and the recorder's interleaved view of the run comes
+/// back alongside the report. Telemetry is observation-only, so the report is
+/// identical to [`run_schedule`]'s for the same seed and events (pinned by a
+/// test below) — this is how a shrunk reproducer gets its post-mortem.
+pub fn record_flight(
+    seed: u64,
+    events: Vec<TimedEvent>,
+    cfg: &ExplorerConfig,
+) -> (SeedReport, String) {
+    let hub = Telemetry::enabled();
+    // Match the Δ the chaos cluster runs with (100 ms, below) so the dump's
+    // synchrony estimate judges silence on the right scale.
+    hub.set_delta_ns(100_000_000);
+    let report = run_schedule_inner(seed, events, cfg, Some(Arc::clone(&hub)));
+    let cause = format!(
+        "chaos seed {seed}: {} violation(s), {} commits",
+        report.violations.len(),
+        report.committed
+    );
+    let dump = hub.dump(&cause);
+    (report, dump)
+}
+
+fn run_schedule_inner(
+    seed: u64,
+    events: Vec<TimedEvent>,
+    cfg: &ExplorerConfig,
+    telemetry: Option<Arc<Telemetry>>,
+) -> SeedReport {
+    // Explorer worker threads are reused across seeds; a trace id left in the
+    // thread-local by an earlier run must not leak into this one's recorder.
+    xft_telemetry::trace::clear();
     let n = 2 * cfg.t + 1;
     let analysis = analyze_schedule(n, &events);
     let keys = cfg.keys;
     let read_pct = cfg.read_pct;
 
-    let mut cluster = ClusterBuilder::new(cfg.t, cfg.clients)
+    let mut builder = ClusterBuilder::new(cfg.t, cfg.clients)
         .with_seed(seed)
         .with_latency(LatencySpec::Uniform(
             SimDuration::from_millis(2),
@@ -131,8 +168,11 @@ pub fn run_schedule(seed: u64, events: Vec<TimedEvent>, cfg: &ExplorerConfig) ->
         .with_state_machine(|| Box::new(CoordinationService::new()))
         // In-memory stable storage gives the torn-tail / corrupt-record disk
         // faults a real WAL to damage, deterministically.
-        .with_storage_factory(|_| Box::new(xft_store::MemStorage::new()))
-        .build();
+        .with_storage_factory(|_| Box::new(xft_store::MemStorage::new()));
+    if let Some(hub) = telemetry {
+        builder = builder.with_telemetry_factory(move |_| Arc::clone(&hub));
+    }
+    let mut cluster = builder.build();
 
     cluster
         .sim
@@ -281,6 +321,25 @@ mod tests {
             "double amnesia must be visible to the checker (committed {})",
             report.committed
         );
+    }
+
+    #[test]
+    fn flight_recording_does_not_change_the_verdict() {
+        // Telemetry must stay strictly out of protocol state: the same seed
+        // and schedule produce the same report with the recorder on or off,
+        // and the dump actually holds the run's protocol history.
+        let cfg = ExplorerConfig {
+            beyond_budget: true,
+            ..quick_cfg()
+        };
+        let events = demo_violation_events(&cfg);
+        let plain = run_schedule(42, events.clone(), &cfg);
+        let (traced, dump) = record_flight(42, events, &cfg);
+        assert_eq!(plain.committed, traced.committed);
+        assert_eq!(plain.committed_after_heal, traced.committed_after_heal);
+        assert_eq!(plain.violations, traced.violations);
+        assert!(dump.contains("=== flight recorder dump"), "{dump}");
+        assert!(dump.contains("commit"), "missing commit stages:\n{dump}");
     }
 
     #[test]

@@ -48,11 +48,16 @@ pub struct ClusterBuilder {
     trace_messages: bool,
     state_factory: Box<dyn Fn() -> Box<dyn StateMachine>>,
     storage_factory: Option<StorageFactory>,
+    telemetry_factory: Option<TelemetryFactory>,
 }
 
 /// Per-replica stable-storage constructor (see
 /// [`ClusterBuilder::with_storage_factory`]).
 type StorageFactory = Box<dyn Fn(ReplicaId) -> Box<dyn xft_store::Storage>>;
+
+/// Per-replica telemetry-hub constructor (see
+/// [`ClusterBuilder::with_telemetry_factory`]).
+type TelemetryFactory = Box<dyn Fn(ReplicaId) -> std::sync::Arc<xft_telemetry::Telemetry>>;
 
 impl ClusterBuilder {
     /// Creates a builder for a cluster tolerating `t` faults with `clients` clients.
@@ -69,6 +74,7 @@ impl ClusterBuilder {
             trace_messages: false,
             state_factory: Box::new(|| Box::new(DigestChainService::new())),
             storage_factory: None,
+            telemetry_factory: None,
         }
     }
 
@@ -166,6 +172,18 @@ impl ClusterBuilder {
         self
     }
 
+    /// Attaches a telemetry hub to every replica (by replica id). Telemetry
+    /// is observation-only and timestamped with the simulation's virtual
+    /// clock, so an enabled hub does not perturb determinism — the
+    /// fingerprint of a run is identical with telemetry on or off.
+    pub fn with_telemetry_factory(
+        mut self,
+        factory: impl Fn(ReplicaId) -> std::sync::Arc<xft_telemetry::Telemetry> + 'static,
+    ) -> Self {
+        self.telemetry_factory = Some(Box::new(factory));
+        self
+    }
+
     /// Builds the cluster.
     pub fn build(self) -> XPaxosCluster {
         let n = self.config.n();
@@ -203,6 +221,9 @@ impl ClusterBuilder {
                 Replica::new(r, self.config.clone(), &registry, (self.state_factory)());
             if let Some(factory) = self.storage_factory.as_ref() {
                 replica = replica.with_storage(factory(r));
+            }
+            if let Some(factory) = self.telemetry_factory.as_ref() {
+                replica = replica.with_telemetry(factory(r));
             }
             let node = sim.add_node(XPaxosNode::Replica(Box::new(replica)));
             debug_assert_eq!(node, self.config.replica_nodes[r]);

@@ -178,6 +178,10 @@ impl Replica {
         self.prechk_votes.retain(|k, _| *k > sn.0);
         self.chkpt_votes.retain(|k, _| *k >= sn.0);
         ctx.count("checkpoints", 1);
+        self.telemetry.add("xft_checkpoints_total", 1);
+        self.tel_event(ctx, "chkpt", || {
+            format!("sn={} view={} stable", sn.0, self.view.0)
+        });
 
         // Seal the snapshot captured at PRECHK time with the quorum proof —
         // this replica can now serve verified state transfer for `sn` — and

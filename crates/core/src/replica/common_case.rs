@@ -15,7 +15,7 @@ use crate::messages::{
     client_request_digest, reply_digest, CommitCarryMsg, CommitMsg, PrepareMsg, ReplyMsg,
     SignedRequest, XPaxosMsg,
 };
-use crate::types::{Batch, ClientId, SeqNum, Timestamp};
+use crate::types::{Batch, ClientId, ReplicaId, SeqNum, Timestamp};
 use std::collections::BTreeMap;
 use xft_crypto::{CryptoOp, Digest, Signature};
 use xft_simnet::{Context, NodeId};
@@ -165,6 +165,10 @@ impl Replica {
         let queues_here = self.phase != Phase::Active || self.is_primary_in(self.view);
         if queues_here && queue_full {
             ctx.count("requests_shed", 1);
+            self.telemetry.add("xft_shed_total", 1);
+            self.tel_event(ctx, "shed", || {
+                format!("client={} ts={} queue full", client.0, ts)
+            });
             ctx.send(
                 self.client_node(client),
                 XPaxosMsg::Busy(crate::messages::BusyMsg {
@@ -186,12 +190,18 @@ impl Replica {
             // Buffer during view changes; the new primary will pick pending requests up.
             self.queued_keys.insert((client, ts));
             self.pending_requests.push_back(req);
+            self.pending_traces
+                .push_back(xft_telemetry::trace::current());
             return;
         }
 
         if self.is_primary_in(self.view) {
             self.queued_keys.insert((client, ts));
             self.pending_requests.push_back(req);
+            self.pending_traces
+                .push_back(xft_telemetry::trace::current());
+            self.telemetry.add("xft_admitted_total", 1);
+            self.tel_event(ctx, "admit", || format!("client={} ts={}", client.0, ts));
             self.pump_pipeline(ctx, false);
         } else {
             // Not the primary: forward to the current primary (covers both clients with
@@ -272,6 +282,10 @@ impl Replica {
         if self.phase != Phase::Active || !self.is_primary_in(self.view) {
             return;
         }
+        // Proposals re-establish their batch's correlation id below; restore
+        // the caller's afterwards so the rest of its step stays correctly
+        // attributed (e.g. the commit that freed a pipeline slot).
+        let caller_trace = xft_telemetry::trace::current();
         let max_in_flight = self.config.pipeline.max_in_flight_batches.max(1);
         while self.proposed_in_flight < max_in_flight && !self.pending_requests.is_empty() {
             let full = self.pending_requests.len() >= self.config.batch_size;
@@ -282,12 +296,21 @@ impl Replica {
             }
             let take = self.pending_requests.len().min(self.config.batch_size);
             let chunk: Vec<SignedRequest> = self.pending_requests.drain(..take).collect();
+            // The batch inherits the first traced request's correlation id,
+            // so the trace crosses the batch-timer hop into the proposal.
+            let batch_trace = self
+                .pending_traces
+                .drain(..take.min(self.pending_traces.len()))
+                .find(|t| *t != 0)
+                .unwrap_or(0);
             for req in &chunk {
                 self.queued_keys
                     .remove(&(req.request.client, req.request.timestamp));
             }
+            xft_telemetry::trace::set_current(batch_trace);
             self.propose_batch(chunk, ctx);
         }
+        xft_telemetry::trace::set_current(caller_trace);
         if !self.pending_requests.is_empty() {
             if self.batch_timer.is_none() {
                 self.batch_timer = Some(ctx.set_timer(self.config.batch_timeout, TOKEN_BATCH));
@@ -326,6 +349,17 @@ impl Replica {
         ctx.charge(CryptoOp::Hash {
             len: batch.wire_size(),
         });
+        if self.telemetry.is_enabled() {
+            let now_ns = ctx.now().as_nanos();
+            self.telemetry.add("xft_batches_proposed_total", 1);
+            self.telemetry
+                .observe("xft_batch_size", 1.0, batch.len() as u64);
+            self.telemetry
+                .with_monitor(|m| m.note_proposal(sn.0, now_ns));
+            self.tel_event(ctx, "batch", || {
+                format!("sn={} view={} reqs={}", sn.0, view.0, batch.len())
+            });
+        }
 
         // The primary's signature doubles as its commit statement in the t = 1 path and
         // as the prepare statement in the general path.
@@ -336,6 +370,7 @@ impl Replica {
         };
         ctx.charge(CryptoOp::Sign);
         let primary_sig = self.sign(&signed);
+        self.tel_event(ctx, "sign", || format!("sn={} view={}", sn.0, view.0));
 
         let entry = PrepareEntry {
             view,
@@ -516,6 +551,9 @@ impl Replica {
     /// the stash — don't pay (or charge) verification twice.
     fn apply_prepare(&mut self, m: PrepareMsg, ctx: &mut Context<XPaxosMsg>) {
         debug_assert_eq!(m.sn, self.next_sn.next());
+        self.tel_event(ctx, "prepare", || {
+            format!("sn={} view={} reqs={}", m.sn.0, m.view.0, m.batch.len())
+        });
         self.next_sn = m.sn;
         let batch_digest = m.batch.digest();
         let entry = PrepareEntry {
@@ -645,6 +683,10 @@ impl Replica {
         self.persist(|| crate::durable::DurableEvent::Commit(entry.clone()));
         self.commit_log.insert(entry);
         self.committed_batches += 1;
+        self.telemetry.add("xft_commits_total", 1);
+        self.tel_event(ctx, "commit", || {
+            format!("sn={} view={} carry", m.sn.0, m.view.0)
+        });
 
         let primary = self.groups.primary(m.view);
         ctx.send(self.node_of(primary), XPaxosMsg::Commit(m1));
@@ -707,7 +749,26 @@ impl Replica {
                 .or_default()
                 .sigs
                 .insert(m.replica, m.signature);
+            self.note_peer_ack(m.sn, m.replica, ctx);
             self.try_complete_general(m.sn, ctx);
+        }
+    }
+
+    /// Feeds a follower's COMMIT acknowledgement into the synchrony monitor's
+    /// per-peer RTT estimate. Observation-only: the monitor matches the ack
+    /// against proposals *this* replica timestamped in `propose_batch`, so
+    /// acks for batches proposed elsewhere are ignored.
+    fn note_peer_ack(&self, sn: SeqNum, peer: ReplicaId, ctx: &Context<XPaxosMsg>) {
+        if !self.telemetry.is_enabled() {
+            return;
+        }
+        let now_ns = ctx.now().as_nanos();
+        let rtt = self
+            .telemetry
+            .with_monitor(|m| m.note_commit_ack(sn.0, peer as u64, now_ns))
+            .flatten();
+        if let Some(rtt_ns) = rtt {
+            self.telemetry.observe("xft_peer_rtt_seconds", 1e-9, rtt_ns);
         }
     }
 
@@ -719,6 +780,10 @@ impl Replica {
         if prep.batch.digest() != m.batch_digest {
             // The follower committed a different batch than we prepared: a non-crash
             // fault somewhere; trigger a view change.
+            if self.telemetry.is_enabled() {
+                self.telemetry
+                    .with_monitor(|mon| mon.mark_faulty(m.replica as u64));
+            }
             self.suspect_view(ctx);
             return;
         }
@@ -726,6 +791,7 @@ impl Replica {
         if m.replica != follower {
             return;
         }
+        self.note_peer_ack(m.sn, m.replica, ctx);
         let mut commit_sigs = BTreeMap::new();
         commit_sigs.insert(follower, m.signature);
         let entry = CommitEntry {
@@ -735,10 +801,15 @@ impl Replica {
             primary_sig: prep.primary_sig,
             commit_sigs,
         };
+        let sn = m.sn;
         self.follower_commits.insert(m.sn.0, m);
         self.persist(|| crate::durable::DurableEvent::Commit(entry.clone()));
         self.commit_log.insert(entry);
         self.committed_batches += 1;
+        self.telemetry.add("xft_commits_total", 1);
+        self.tel_event(ctx, "commit", || {
+            format!("sn={} view={} fast-path", sn.0, self.view.0)
+        });
         self.try_execute(ctx);
         self.maybe_checkpoint(ctx);
         self.note_batch_committed(ctx);
@@ -766,6 +837,10 @@ impl Replica {
         self.persist(|| crate::durable::DurableEvent::Commit(entry.clone()));
         self.commit_log.insert(entry);
         self.committed_batches += 1;
+        self.telemetry.add("xft_commits_total", 1);
+        self.tel_event(ctx, "commit", || {
+            format!("sn={} view={} general", sn.0, self.view.0)
+        });
         self.try_execute(ctx);
         self.maybe_checkpoint(ctx);
         self.lazy_replicate(sn, ctx);
@@ -821,6 +896,15 @@ impl Replica {
             self.replaying = false;
             if combine_digests(&digests) != expected {
                 ctx.count("fast_path_reply_divergence", 1);
+                if self.telemetry.is_enabled() {
+                    let follower = self.groups.followers(self.view)[0];
+                    self.telemetry.add("xft_reply_divergence_total", 1);
+                    self.telemetry
+                        .with_monitor(|mon| mon.mark_faulty(follower as u64));
+                    self.tel_event(ctx, "diverge", || {
+                        format!("sn={} follower={} reply digests differ", next.0, follower)
+                    });
+                }
                 self.suspect_view(ctx);
                 break;
             }
@@ -850,6 +934,10 @@ impl Replica {
         debug_assert_eq!(sn, self.exec_sn.next(), "execution must be in order");
         self.exec_sn = sn;
         self.executed_history.push((sn, batch.digest()));
+        self.telemetry.add("xft_executed_batches_total", 1);
+        self.tel_event(ctx, "execute", || {
+            format!("sn={} reqs={}", sn.0, batch.len())
+        });
 
         let is_primary = self.is_primary_in(self.view);
         // In the t = 1 fast path only the primary answers the client (Figure 2b); in
@@ -905,6 +993,9 @@ impl Replica {
             // silently, as do rebuild replays — retransmissions are answered
             // from the rebuilt reply cache).
             if is_active && !self.replaying {
+                self.tel_event(ctx, "reply", || {
+                    format!("sn={} client={} ts={}", sn.0, req.client.0, req.timestamp)
+                });
                 ctx.send(self.client_node(req.client), XPaxosMsg::Reply(reply));
             }
         }

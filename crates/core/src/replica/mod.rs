@@ -298,6 +298,11 @@ pub struct Replica {
     /// Admission queue: requests accepted but not yet proposed. Bounded by
     /// `config.pipeline.max_pending_requests`; overflow is shed with BUSY.
     pub(crate) pending_requests: VecDeque<SignedRequest>,
+    /// Telemetry-only mirror of `pending_requests`: the correlation id each
+    /// request carried at admission (0 = none), re-established when its batch
+    /// is proposed so the trace survives the batch-timer hop. Never feeds
+    /// protocol decisions or `Metrics`.
+    pub(crate) pending_traces: VecDeque<u64>,
     /// Mirror of `pending_requests` keys, so retransmissions of a request
     /// that is still queued (client re-sends after a suspect or recovery)
     /// don't occupy additional queue slots or batch capacity.
@@ -345,6 +350,13 @@ pub struct Replica {
     // ---- statistics --------------------------------------------------------------
     pub(crate) committed_batches: u64,
     pub(crate) view_changes_completed: u64,
+
+    // ---- observability ------------------------------------------------------------
+    /// Telemetry hub (disabled by default). Strictly observation-only:
+    /// nothing recorded here ever feeds back into protocol decisions, and
+    /// every record call is clocked by the runtime's (possibly virtual)
+    /// clock, so simulated runs stay deterministic with telemetry on or off.
+    pub(crate) telemetry: std::sync::Arc<xft_telemetry::Telemetry>,
 }
 
 impl Replica {
@@ -381,6 +393,7 @@ impl Replica {
             stashed_proposals: BTreeMap::new(),
             early_commits: BTreeMap::new(),
             pending_requests: VecDeque::new(),
+            pending_traces: VecDeque::new(),
             queued_keys: HashSet::new(),
             batch_timer: None,
             proposed_in_flight: 0,
@@ -400,6 +413,7 @@ impl Replica {
             detected_faulty: BTreeSet::new(),
             committed_batches: 0,
             view_changes_completed: 0,
+            telemetry: xft_telemetry::Telemetry::disabled(),
         }
     }
 
@@ -415,6 +429,34 @@ impl Replica {
     /// Whether stable storage is attached.
     pub fn has_storage(&self) -> bool {
         self.storage.is_some()
+    }
+
+    /// Attaches a telemetry hub: protocol counters, flight-recorder events,
+    /// and synchrony-monitor samples flow into it. Observation-only — see
+    /// the field documentation.
+    pub fn with_telemetry(mut self, telemetry: std::sync::Arc<xft_telemetry::Telemetry>) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// The attached telemetry hub (a disabled hub unless
+    /// [`Replica::with_telemetry`] was used).
+    pub fn telemetry(&self) -> &std::sync::Arc<xft_telemetry::Telemetry> {
+        &self.telemetry
+    }
+
+    /// Records one flight-recorder stage event, timestamped with the actor's
+    /// deterministic clock. No-op (one branch) when telemetry is disabled.
+    pub(crate) fn tel_event(
+        &self,
+        ctx: &Context<XPaxosMsg>,
+        stage: &'static str,
+        detail: impl FnOnce() -> String,
+    ) {
+        if self.telemetry.is_enabled() {
+            self.telemetry
+                .event(ctx.now().as_nanos(), self.id as u64, stage, detail);
+        }
     }
 
     // ---- role helpers -----------------------------------------------------------
@@ -513,6 +555,7 @@ impl Replica {
         self.stashed_proposals.clear();
         self.early_commits.clear();
         self.pending_requests.clear();
+        self.pending_traces.clear();
         self.queued_keys.clear();
         self.batch_timer = None;
         self.proposed_in_flight = 0;
@@ -550,6 +593,11 @@ impl Replica {
         self.config.node_of(replica)
     }
 
+    /// The replica id occupying simnet node `node`, if it is a replica node.
+    pub(crate) fn replica_of_node(&self, node: NodeId) -> Option<ReplicaId> {
+        self.config.replica_nodes.iter().position(|n| *n == node)
+    }
+
     /// Simnet node id of a client.
     pub(crate) fn client_node(&self, client: ClientId) -> NodeId {
         // Clients occupy the configured client nodes indexed by their id.
@@ -581,6 +629,18 @@ impl Actor for Replica {
     fn on_start(&mut self, _ctx: &mut Context<XPaxosMsg>) {}
 
     fn on_message(&mut self, from: NodeId, msg: XPaxosMsg, ctx: &mut Context<XPaxosMsg>) {
+        // Synchrony monitoring: note that the sending peer replica is alive.
+        // Observation-only (telemetry never feeds protocol state), and even a
+        // mute replica still *hears*.
+        if self.telemetry.is_enabled() {
+            if let Some(peer) = self.replica_of_node(from) {
+                if peer != self.id {
+                    let now_ns = ctx.now().as_nanos();
+                    self.telemetry
+                        .with_monitor(|m| m.note_heard(peer as u64, now_ns));
+                }
+            }
+        }
         // A mute replica receives but never reacts: a "silent" non-crash fault.
         if self.behavior == ByzantineBehavior::Mute {
             return;

@@ -147,6 +147,18 @@ impl Replica {
             sealed,
         };
         ctx.count("state_responses_served", 1);
+        self.telemetry.add(
+            "xft_state_transfer_bytes_total",
+            response.sealed.snapshot.wire_size() as u64,
+        );
+        self.tel_event(ctx, "xfer", || {
+            format!(
+                "served sn={} to replica {} ({} bytes)",
+                response.sealed.sn().0,
+                m.replica,
+                response.sealed.snapshot.wire_size()
+            )
+        });
         ctx.send(self.node_of(m.replica), XPaxosMsg::StateResponse(response));
     }
 
@@ -180,8 +192,13 @@ impl Replica {
             ctx.count("state_responses_rejected", 1);
             return;
         }
+        let adopted_bytes = m.sealed.snapshot.wire_size() as u64;
         if self.adopt_sealed_snapshot(m.sealed, true, ctx) {
             ctx.count("state_transfers_adopted", 1);
+            self.telemetry.add("xft_state_transfers_adopted_total", 1);
+            self.tel_event(ctx, "xfer", || {
+                format!("adopted sn={} ({adopted_bytes} bytes)", sn.0)
+            });
             // Resume execution past the snapshot, release any proposals that
             // were deferred while execution lagged, and rejoin the
             // checkpoint cadence.

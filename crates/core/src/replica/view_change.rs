@@ -37,6 +37,12 @@ impl Replica {
         ctx.charge(CryptoOp::Sign);
         let suspect = self.make_suspect(view);
         ctx.count("suspects_sent", 1);
+        self.telemetry.record_suspect(
+            ctx.now().as_nanos(),
+            self.id as u64,
+            view.0,
+            "local suspicion (timeout, bad signature or divergence)",
+        );
         for node in self.other_replica_nodes() {
             ctx.send(node, XPaxosMsg::Suspect(suspect.clone()));
         }
@@ -666,6 +672,16 @@ impl Replica {
             at: ctx.now(),
             new_view: target.0,
         });
+        self.telemetry.record_view_change(
+            ctx.now().as_nanos(),
+            self.id as u64,
+            target.0,
+            if transfer_target.is_some() {
+                "view-change exchange complete (state transfer pending)"
+            } else {
+                "view-change exchange complete"
+            },
+        );
 
         // A checkpointed prefix this replica lacks is fetched now that the
         // view (and with it the preferred transfer sources) is installed.
@@ -694,6 +710,12 @@ impl Replica {
             return;
         }
         ctx.count("view_change_timeouts", 1);
+        self.telemetry.record_suspect(
+            ctx.now().as_nanos(),
+            self.id as u64,
+            target.0,
+            "view-change collection timed out",
+        );
         ctx.charge(CryptoOp::Sign);
         let suspect = self.make_suspect(target);
         for node in self.other_replica_nodes() {

@@ -108,13 +108,13 @@ impl Stats {
     }
 }
 
-/// Percentile of a sorted sample set, using the same rounded-rank convention
-/// as `xft_simnet::stats::percentile` (`round((n − 1) · q)`), so the p50/p90/
-/// p99 columns printed by the binaries match the simulator's metrics for
-/// identical data.
+/// Percentile of a sorted sample set. The rank rule lives in
+/// `xft_telemetry::percentile_index` — the one shared implementation also
+/// behind `xft_simnet::stats::percentile` and the telemetry histograms — so
+/// the p50/p90/p99 columns printed by the binaries match the simulator's
+/// metrics and the scrape endpoint for identical data.
 fn percentile(sorted: &[Duration], q: f64) -> Duration {
-    let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
+    sorted[xft_telemetry::percentile_index(sorted.len(), q)]
 }
 
 /// Summarizes samples (sorting them in place); `None` when empty.

@@ -6,7 +6,8 @@
 //!     --addrs 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7010 \
 //!     [--seed 1] [--delta-ms 500] [--retransmit-ms 2000] [--run-secs 0] \
 //!     [--window 1] [--max-in-flight 8] [--adaptive 1] [--max-pending 4096] \
-//!     [--data-dir PATH] [--fsync-batch 1] [--checkpoint-interval 128]
+//!     [--data-dir PATH] [--fsync-batch 1] [--checkpoint-interval 128] \
+//!     [--metrics-addr 127.0.0.1:9100] [--telemetry 0|1]
 //! ```
 //!
 //! `--addrs` lists every node of the cluster in node-id order: the `2t + 1`
@@ -28,21 +29,34 @@
 //! verified state transfer. `--fsync-batch` is the group-commit knob: `1`
 //! fsyncs per record (full durability), `N` once per `N` records, `0` never
 //! (OS page cache only).
+//!
+//! `--metrics-addr` starts an in-process Prometheus-text scrape endpoint
+//! (`GET /metrics`) with a `/healthz` synchrony report, and implies
+//! `--telemetry 1`: protocol stages feed the flight recorder, WAL fsyncs the
+//! latency histogram, the transport its drop/queue series, and a panic or a
+//! SUSPECT prints a flight-recorder dump to stderr. `--telemetry 1` without
+//! `--metrics-addr` records without serving (the shutdown line still prints
+//! a metrics summary). Telemetry is observation-only — protocol state and
+//! message bytes are identical with it on or off (modulo the optional trace
+//! field in the envelope, which carries no authenticated meaning).
 
 use std::net::TcpListener;
 use std::process::exit;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 use xft_core::replica::Replica;
 use xft_core::XPaxosConfig;
 use xft_crypto::KeyRegistry;
 use xft_kvstore::CoordinationService;
 use xft_net::cli::Args;
 use xft_net::{
-    parse_node_addrs, register_cluster_keys, AddressBook, NetConfig, StartMode, TcpRuntime,
+    parse_node_addrs, register_cluster_keys, AddressBook, MetricsServer, NetConfig, StartMode,
+    TcpRuntime,
 };
 use xft_simnet::{PipelineConfig, SimDuration};
 use xft_store::{DiskStorage, SyncPolicy};
+use xft_telemetry::Telemetry;
 
 fn main() {
     let mut args = Args::parse();
@@ -61,7 +75,28 @@ fn main() {
     let data_dir: Option<String> = args.optional("--data-dir");
     let fsync_batch: u64 = args.optional("--fsync-batch").unwrap_or(1);
     let checkpoint_interval: u64 = args.optional("--checkpoint-interval").unwrap_or(128);
+    let metrics_addr: Option<String> = args.optional("--metrics-addr");
+    let telemetry_on: u64 = args
+        .optional("--telemetry")
+        .unwrap_or(u64::from(metrics_addr.is_some()));
     args.finish();
+
+    let telemetry = if telemetry_on != 0 {
+        Telemetry::enabled()
+    } else {
+        Telemetry::disabled()
+    };
+    telemetry.set_delta_ns(delta_ms.saturating_mul(1_000_000));
+    if telemetry.is_enabled() {
+        telemetry.set_dump_on_suspect(true);
+        // A crash should leave the last seconds of protocol history behind.
+        let hook_telemetry = Arc::clone(&telemetry);
+        let default_hook = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            default_hook(info);
+            eprintln!("{}", hook_telemetry.dump("panic"));
+        }));
+    }
 
     let pipeline = PipelineConfig::default()
         .with_client_window(window)
@@ -99,14 +134,15 @@ fn main() {
 
     let registry = KeyRegistry::new(seed ^ 0x5eed);
     register_cluster_keys(&registry, &config);
-    let mut replica = Replica::new(id, config, &registry, Box::new(CoordinationService::new()));
+    let mut replica = Replica::new(id, config, &registry, Box::new(CoordinationService::new()))
+        .with_telemetry(Arc::clone(&telemetry));
 
     // With a data directory the replica runs on durable storage; an existing
     // directory means this is a restart, so recover before going live.
     let mut start_mode = StartMode::Fresh;
     if let Some(dir) = &data_dir {
         let storage = match DiskStorage::open(dir, SyncPolicy::every(fsync_batch)) {
-            Ok(s) => s,
+            Ok(s) => s.with_telemetry(Arc::clone(&telemetry)),
             Err(e) => {
                 eprintln!("xpaxos-server: cannot open --data-dir {dir}: {e}");
                 exit(1);
@@ -144,8 +180,14 @@ fn main() {
             exit(1);
         }
     };
+    // One shared origin for the runtime clock and the scrape endpoint's
+    // /healthz estimate, so "silent for 2Δ" is judged on the same axis the
+    // telemetry events were stamped with.
+    let origin = Instant::now();
     let net_config = NetConfig {
         seed,
+        origin: Some(origin),
+        telemetry: Arc::clone(&telemetry),
         ..NetConfig::default()
     };
     let mut runtime = match TcpRuntime::start(
@@ -167,12 +209,46 @@ fn main() {
         runtime.local_addr()
     );
 
+    let metrics_shutdown = Arc::new(AtomicBool::new(false));
+    let metrics_server = metrics_addr.as_deref().map(|raw| {
+        let addr = match raw.parse() {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("xpaxos-server: bad --metrics-addr {raw}: {e}");
+                exit(2);
+            }
+        };
+        let server = MetricsServer::start(
+            addr,
+            Arc::clone(&telemetry),
+            Arc::clone(&metrics_shutdown),
+            move || origin.elapsed().as_nanos() as u64,
+        );
+        match server {
+            Ok(s) => {
+                eprintln!(
+                    "xpaxos-server: replica {id} serving /metrics and /healthz on {}",
+                    s.addr()
+                );
+                s
+            }
+            Err(e) => {
+                eprintln!("xpaxos-server: cannot bind --metrics-addr {raw}: {e}");
+                exit(1);
+            }
+        }
+    });
+
     if run_secs == 0 {
         runtime.run();
     } else {
         runtime.run_for(Duration::from_secs(run_secs));
     }
 
+    if let Some(server) = metrics_server {
+        metrics_shutdown.store(true, Ordering::Relaxed);
+        server.join();
+    }
     let stats = runtime.transport_stats();
     let replica = runtime.shutdown();
     eprintln!(

@@ -33,6 +33,7 @@
 pub mod address;
 pub mod cli;
 pub mod cluster;
+pub mod metrics_http;
 pub mod runtime;
 pub mod transport;
 
@@ -40,4 +41,5 @@ pub use address::AddressBook;
 pub use cluster::{
     bind_loopback_cluster, check_total_order, parse_node_addrs, register_cluster_keys,
 };
+pub use metrics_http::MetricsServer;
 pub use runtime::{NetConfig, NetHandle, StartMode, TcpRuntime};

@@ -1,0 +1,161 @@
+//! A minimal Prometheus-text-format scrape endpoint over plain `std::net`.
+//!
+//! Serves exactly two paths:
+//!
+//! * `GET /metrics` — the telemetry registry rendered in Prometheus text
+//!   exposition format (counters, gauges, log₂-bucketed histograms);
+//! * `GET /healthz` — a human-readable synchrony report: the runtime fault
+//!   estimate (t_c, t_b, t_p), per-peer RTT/last-heard lines and recent
+//!   view-change causes.
+//!
+//! Everything else is a 404. The server is one thread with a nonblocking
+//! accept loop; each request is handled inline (scrapes are rare and cheap,
+//! so there is no per-connection thread).
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+use xft_telemetry::Telemetry;
+
+/// A running scrape endpoint; dropping it does **not** stop the thread —
+/// signal `shutdown` (usually the runtime's flag) and call [`MetricsServer::join`].
+#[derive(Debug)]
+pub struct MetricsServer {
+    addr: SocketAddr,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl MetricsServer {
+    /// Binds `addr` and serves `telemetry` until `shutdown` flips to true.
+    ///
+    /// `now_ns` supplies the clock the `/healthz` synchrony estimate is
+    /// evaluated against — pass the same origin-relative clock the runtime
+    /// stamps telemetry events with, so "silent for 2Δ" means the same thing
+    /// in both places.
+    pub fn start(
+        addr: SocketAddr,
+        telemetry: Arc<Telemetry>,
+        shutdown: Arc<AtomicBool>,
+        now_ns: impl Fn() -> u64 + Send + 'static,
+    ) -> std::io::Result<MetricsServer> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let handle = std::thread::Builder::new()
+            .name("xft-metrics-http".to_string())
+            .spawn(move || loop {
+                match listener.accept() {
+                    Ok((stream, _)) => serve_one(stream, &telemetry, &now_ns),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        if shutdown.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                    Err(_) => {
+                        if shutdown.load(Ordering::Relaxed) {
+                            return;
+                        }
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                }
+            })?;
+        Ok(MetricsServer {
+            addr,
+            handle: Some(handle),
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Waits for the serving thread (signal the shutdown flag first).
+    pub fn join(mut self) {
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+fn serve_one(mut stream: std::net::TcpStream, telemetry: &Telemetry, now_ns: &impl Fn() -> u64) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    // Read until the end of the request head (headers are ignored).
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    while !buf.windows(4).any(|w| w == b"\r\n\r\n") && buf.len() < 8192 {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(_) => break,
+        }
+    }
+    let head = String::from_utf8_lossy(&buf);
+    let path = head
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/");
+    let (status, content_type, body) = match path {
+        "/metrics" => (
+            "200 OK",
+            "text/plain; version=0.0.4",
+            telemetry.render_prometheus(),
+        ),
+        "/healthz" => ("200 OK", "text/plain", telemetry.healthz(now_ns())),
+        _ => ("404 Not Found", "text/plain", "not found\n".to_string()),
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    let _ = stream.flush();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpStream;
+
+    fn http_get(addr: SocketAddr, path: &str) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect scrape endpoint");
+        write!(s, "GET {path} HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        let mut out = String::new();
+        s.read_to_string(&mut out).unwrap();
+        out
+    }
+
+    #[test]
+    fn serves_metrics_and_healthz() {
+        let telemetry = Telemetry::enabled();
+        telemetry.add("xft_commits_total", 3);
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let server = MetricsServer::start(
+            "127.0.0.1:0".parse().unwrap(),
+            telemetry,
+            shutdown.clone(),
+            || 1_000_000,
+        )
+        .expect("bind metrics server");
+        let addr = server.addr();
+
+        let metrics = http_get(addr, "/metrics");
+        assert!(metrics.starts_with("HTTP/1.1 200 OK"), "{metrics}");
+        assert!(metrics.contains("xft_commits_total 3"), "{metrics}");
+
+        let health = http_get(addr, "/healthz");
+        assert!(health.contains("synchrony estimate"), "{health}");
+
+        let missing = http_get(addr, "/nope");
+        assert!(missing.starts_with("HTTP/1.1 404"), "{missing}");
+
+        shutdown.store(true, Ordering::Relaxed);
+        server.join();
+    }
+}

@@ -22,7 +22,8 @@ use xft_simnet::{
     Actor, ActorDriver, ActorEvent, MetricEvent, Metrics, NodeId, Runtime, SimDuration, SimRng,
     SimTime, StepEffects, TimerId, TimerOp,
 };
-use xft_wire::{encode_msg_vec, WireDecode, WireEncode};
+use xft_telemetry::Telemetry;
+use xft_wire::{encode_msg_traced_vec, TraceContext, WireDecode, WireEncode};
 
 /// Tuning knobs of a [`TcpRuntime`].
 #[derive(Debug, Clone)]
@@ -44,6 +45,13 @@ pub struct NetConfig {
     /// (the chaos history checker) pass one shared origin to every runtime
     /// so all histories live on a common clock.
     pub origin: Option<Instant>,
+    /// Telemetry hub shared with the transport threads (queue depths, drop
+    /// and frame counters) and, via [`NetConfig`], with whoever scrapes it.
+    /// Disabled by default; enabling it also turns on trace-context
+    /// propagation: inbound envelopes' correlation ids are parked in the
+    /// thread-local trace slot around each actor step and stamped back onto
+    /// outbound envelopes.
+    pub telemetry: Arc<Telemetry>,
 }
 
 impl Default for NetConfig {
@@ -55,6 +63,7 @@ impl Default for NetConfig {
             queue_capacity: 4096,
             inbox_capacity: 65536,
             origin: None,
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -173,10 +182,12 @@ where
     cancelled: HashSet<TimerId>,
     timer_seq: u64,
     links: HashMap<NodeId, PeerLink>,
-    inbox_rx: Receiver<(NodeId, A::Msg)>,
+    inbox_rx: Receiver<(NodeId, A::Msg, Option<TraceContext>)>,
     /// Self-sends bypass the bounded network inbox: the protocol thread is
     /// the inbox's only consumer, so blocking on it here would self-deadlock.
-    pending_local: VecDeque<(NodeId, A::Msg)>,
+    /// The third element is the correlation id active when the send was made
+    /// (0 = none), so a trace survives a local hop too.
+    pending_local: VecDeque<(NodeId, A::Msg, u64)>,
     metrics: Metrics,
     handle: Arc<NetHandle>,
     stats: Arc<TransportStats>,
@@ -211,8 +222,9 @@ where
         book.set(local, local_addr);
 
         let handle = Arc::new(NetHandle::default());
-        let stats = Arc::new(TransportStats::default());
-        let (inbox_tx, inbox_rx) = sync_channel::<(NodeId, A::Msg)>(config.inbox_capacity);
+        let stats = Arc::new(TransportStats::with_telemetry(config.telemetry.clone()));
+        let (inbox_tx, inbox_rx) =
+            sync_channel::<(NodeId, A::Msg, Option<TraceContext>)>(config.inbox_capacity);
         let reader_threads = Arc::new(Mutex::new(Vec::new()));
         let accept_thread = spawn_acceptor::<A::Msg>(
             local,
@@ -310,7 +322,8 @@ where
             while let Some(code) = self.handle.next_control() {
                 self.process(ActorEvent::Control(xft_simnet::ControlCode(code)));
             }
-            if let Some((from, msg)) = self.pending_local.pop_front() {
+            if let Some((from, msg, trace)) = self.pending_local.pop_front() {
+                xft_telemetry::trace::set_current(trace);
                 self.process(ActorEvent::Message { from, msg });
                 continue;
             }
@@ -325,7 +338,14 @@ where
                 wait = wait.min(d.saturating_duration_since(Instant::now()));
             }
             match self.inbox_rx.recv_timeout(wait) {
-                Ok((from, msg)) => self.process(ActorEvent::Message { from, msg }),
+                Ok((from, msg, trace)) => {
+                    self.config.telemetry.gauge_add("xft_net_inbox_depth", -1);
+                    // Park the inbound envelope's correlation id for the
+                    // duration of the step: instrumentation downstream tags
+                    // its events with it, and outbound sends re-stamp it.
+                    xft_telemetry::trace::set_current(trace.map(|t| t.id).unwrap_or(0));
+                    self.process(ActorEvent::Message { from, msg });
+                }
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => break,
             }
@@ -360,6 +380,8 @@ where
             .step(&mut self.actor, self.local, now, &mut self.rng, event);
         self.events_processed += 1;
         self.apply(now, effects);
+        // Don't leak this step's correlation id into timer/control steps.
+        xft_telemetry::trace::clear();
     }
 
     /// Returns the sender link for `peer`, spawning its thread on first use.
@@ -388,9 +410,11 @@ where
         for out in effects.sends {
             if out.to == self.local {
                 // Self-sends short-circuit the network, as in the simulator.
-                self.pending_local.push_back((self.local, out.msg));
+                self.pending_local
+                    .push_back((self.local, out.msg, out.trace));
             } else {
-                let payload = encode_msg_vec(&out.msg);
+                let trace = (out.trace != 0).then_some(TraceContext { id: out.trace });
+                let payload = encode_msg_traced_vec(&out.msg, trace);
                 self.ensure_link(out.to).send(payload);
             }
         }
@@ -479,10 +503,12 @@ where
     /// would misattribute to us, a spoofed-`from` request is dropped. (The
     /// simulator backend, which owns every node, can deliver arbitrary pairs.)
     fn post_message(&mut self, from: NodeId, to: NodeId, msg: A::Msg) {
+        let trace_id = xft_telemetry::trace::current();
         if to == self.local {
-            self.pending_local.push_back((from, msg));
+            self.pending_local.push_back((from, msg, trace_id));
         } else if from == self.local {
-            let payload = encode_msg_vec(&msg);
+            let trace = (trace_id != 0).then_some(TraceContext { id: trace_id });
+            let payload = encode_msg_traced_vec(&msg, trace);
             self.ensure_link(to).send(payload);
         }
     }

@@ -15,7 +15,8 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 use xft_simnet::NodeId;
-use xft_wire::{decode_msg, FrameBuffer, WireDecode};
+use xft_telemetry::Telemetry;
+use xft_wire::{decode_msg_traced, FrameBuffer, TraceContext, WireDecode};
 
 /// Magic opening the per-connection handshake (distinct from the per-message
 /// envelope magic so a misdirected client fails immediately).
@@ -56,7 +57,7 @@ pub fn parse_hello(raw: &[u8; HELLO_LEN]) -> Option<NodeId> {
 
 /// Counters shared by all transport threads of one runtime (drop accounting is
 /// surfaced by the binaries and asserted on in tests).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct TransportStats {
     /// Frames dropped because a peer queue was full.
     pub dropped_full: AtomicU64,
@@ -66,6 +67,36 @@ pub struct TransportStats {
     pub sent: AtomicU64,
     /// Frames received and decoded.
     pub received: AtomicU64,
+    /// Telemetry hub shared with the runtime: every transport drop also lands
+    /// in the `xft_net_dropped_total` counter, queue depths in gauges.
+    /// Disabled by default.
+    pub telemetry: Arc<Telemetry>,
+}
+
+impl Default for TransportStats {
+    fn default() -> Self {
+        Self::with_telemetry(Telemetry::disabled())
+    }
+}
+
+impl TransportStats {
+    /// Stats whose drop/queue accounting also feeds `telemetry`.
+    pub fn with_telemetry(telemetry: Arc<Telemetry>) -> Self {
+        TransportStats {
+            dropped_full: AtomicU64::new(0),
+            dropped_unreachable: AtomicU64::new(0),
+            sent: AtomicU64::new(0),
+            received: AtomicU64::new(0),
+            telemetry,
+        }
+    }
+
+    /// One frame dropped (queue overflow or unreachable peer): bump the raw
+    /// counter *and* the shared telemetry series.
+    fn note_drop(&self, raw: &AtomicU64) {
+        raw.fetch_add(1, Ordering::Relaxed);
+        self.telemetry.add("xft_net_dropped_total", 1);
+    }
 }
 
 /// The sending half of a peer link: a bounded queue drained by a dedicated
@@ -117,16 +148,16 @@ impl PeerLink {
     /// the protocol thread.
     pub fn send(&self, payload: Vec<u8>) {
         match self.queue.try_send(payload) {
-            Ok(()) => {}
+            Ok(()) => {
+                self.stats.telemetry.gauge_add("xft_net_outq_depth", 1);
+            }
             Err(TrySendError::Full(_)) => {
-                self.stats.dropped_full.fetch_add(1, Ordering::Relaxed);
+                self.stats.note_drop(&self.stats.dropped_full);
             }
             Err(TrySendError::Disconnected(_)) => {
                 // Sender thread already gone (shutdown or panic): the peer is
                 // effectively unreachable, not backpressured.
-                self.stats
-                    .dropped_unreachable
-                    .fetch_add(1, Ordering::Relaxed);
+                self.stats.note_drop(&self.stats.dropped_unreachable);
             }
         }
     }
@@ -167,6 +198,7 @@ fn sender_loop(
             }
             Err(RecvTimeoutError::Disconnected) => return,
         };
+        stats.telemetry.gauge_add("xft_net_outq_depth", -1);
 
         // One write attempt plus one reconnect-and-retry; then the frame is
         // dropped (XPaxos recovers lost messages via retransmission).
@@ -177,7 +209,10 @@ fn sender_loop(
                     break; // peer recently unreachable: drop without blocking
                 }
                 match connect(local, peer, &book) {
-                    Some(s) => stream = Some(s),
+                    Some(s) => {
+                        stats.telemetry.add("xft_net_connects_total", 1);
+                        stream = Some(s);
+                    }
                     None => {
                         next_attempt = Instant::now() + reconnect_delay;
                         break;
@@ -197,8 +232,9 @@ fn sender_loop(
         }
         if written {
             stats.sent.fetch_add(1, Ordering::Relaxed);
+            stats.telemetry.add("xft_net_frames_sent_total", 1);
         } else {
-            stats.dropped_unreachable.fetch_add(1, Ordering::Relaxed);
+            stats.note_drop(&stats.dropped_unreachable);
         }
         // No explicit shutdown-with-queued-frames check: PeerLink::join drops
         // the sending half, so recv drains the queue and then reports
@@ -226,7 +262,7 @@ fn write_framed(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
 pub fn spawn_acceptor<M>(
     local: NodeId,
     listener: TcpListener,
-    inbox: SyncSender<(NodeId, M)>,
+    inbox: SyncSender<(NodeId, M, Option<TraceContext>)>,
     shutdown: Arc<AtomicBool>,
     stats: Arc<TransportStats>,
     readers: Arc<Mutex<Vec<JoinHandle<()>>>>,
@@ -276,7 +312,7 @@ where
 
 fn reader_loop<M: WireDecode>(
     mut stream: TcpStream,
-    inbox: SyncSender<(NodeId, M)>,
+    inbox: SyncSender<(NodeId, M, Option<TraceContext>)>,
     shutdown: Arc<AtomicBool>,
     stats: Arc<TransportStats>,
     max_frame: usize,
@@ -316,10 +352,12 @@ fn reader_loop<M: WireDecode>(
                 frames.extend(&chunk[..n]);
                 loop {
                     match frames.next_frame() {
-                        Ok(Some(frame)) => match decode_msg::<M>(&frame) {
-                            Ok(msg) => {
+                        Ok(Some(frame)) => match decode_msg_traced::<M>(&frame) {
+                            Ok((msg, trace)) => {
                                 stats.received.fetch_add(1, Ordering::Relaxed);
-                                if inbox.send((from, msg)).is_err() {
+                                stats.telemetry.add("xft_net_frames_received_total", 1);
+                                stats.telemetry.gauge_add("xft_net_inbox_depth", 1);
+                                if inbox.send((from, msg, trace)).is_err() {
                                     return; // runtime gone
                                 }
                             }
@@ -367,7 +405,7 @@ mod tests {
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(TransportStats::default());
         let readers = Arc::new(Mutex::new(Vec::new()));
-        let (tx, rx) = sync_channel::<(NodeId, u64)>(64);
+        let (tx, rx) = sync_channel::<(NodeId, u64, Option<TraceContext>)>(64);
         let accept = spawn_acceptor::<u64>(
             1,
             listener,
@@ -392,10 +430,11 @@ mod tests {
         }
         let mut got = Vec::new();
         for _ in 0..3 {
-            let (from, v) = rx
+            let (from, v, trace) = rx
                 .recv_timeout(Duration::from_secs(5))
                 .expect("frame arrives");
             assert_eq!(from, 0);
+            assert_eq!(trace, None, "plain encode carries no trace context");
             got.push(v);
         }
         assert_eq!(got, vec![7, 8, 9]);
@@ -419,7 +458,10 @@ mod tests {
         };
         let book = AddressBook::new([(1usize, dead)]);
         let shutdown = Arc::new(AtomicBool::new(false));
-        let stats = Arc::new(TransportStats::default());
+        // Telemetry-backed stats: every drop — queue overflow or unreachable
+        // peer — must also land in the shared xft_net_dropped_total counter,
+        // not just the per-cause raw counters (the silent-drop accounting fix).
+        let stats = Arc::new(TransportStats::with_telemetry(Telemetry::enabled()));
         let link = PeerLink::spawn(
             0,
             1,
@@ -443,6 +485,11 @@ mod tests {
         let dropped = stats.dropped_unreachable.load(Ordering::Relaxed)
             + stats.dropped_full.load(Ordering::Relaxed);
         assert_eq!(dropped, 20, "all frames dropped, none delivered");
+        assert_eq!(
+            stats.telemetry.counter("xft_net_dropped_total").get(),
+            20,
+            "drops must feed the shared xft_net_dropped_total series"
+        );
         shutdown.store(true, Ordering::Relaxed);
         link.join();
     }

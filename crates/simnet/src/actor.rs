@@ -71,6 +71,11 @@ pub struct OutboundMessage<M> {
     pub to: NodeId,
     /// Message payload.
     pub msg: M,
+    /// Telemetry correlation id current when the actor called
+    /// [`Context::send`] (0 = none). Observation-only: the simulator threads
+    /// it to the receiving step's thread-local, the TCP runtime encodes it
+    /// as the wire envelope's optional trace field.
+    pub trace: u64,
 }
 
 /// A timer operation requested by an actor during a callback.
@@ -142,7 +147,11 @@ impl<'a, M: SimMessage> Context<'a, M> {
 
     /// Sends `msg` to `to` through the simulated network.
     pub fn send(&mut self, to: NodeId, msg: M) {
-        self.sends.push(OutboundMessage { to, msg });
+        self.sends.push(OutboundMessage {
+            to,
+            msg,
+            trace: xft_telemetry::trace::current(),
+        });
     }
 
     /// Sends `msg` to every node in `targets`, skipping the local node.

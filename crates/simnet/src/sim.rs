@@ -58,8 +58,19 @@ impl Default for SimConfig {
 
 enum EventKind<M> {
     Start,
-    Deliver { from: NodeId, msg: M },
-    Timer { id: TimerId, token: u64, epoch: u64 },
+    /// `trace` is the telemetry correlation id riding along with the message
+    /// (0 = none) — the simulator's analogue of the optional trace field in
+    /// the TCP wire envelope. Observation-only: it never influences delivery.
+    Deliver {
+        from: NodeId,
+        msg: M,
+        trace: u64,
+    },
+    Timer {
+        id: TimerId,
+        token: u64,
+        epoch: u64,
+    },
     Fault(FaultEvent),
 }
 
@@ -240,7 +251,11 @@ impl<A: Actor> Simulation<A> {
             time: self.now,
             seq,
             node: to,
-            kind: EventKind::Deliver { from, msg },
+            kind: EventKind::Deliver {
+                from,
+                msg,
+                trace: xft_telemetry::trace::current(),
+            },
         });
     }
 
@@ -287,7 +302,7 @@ impl<A: Actor> Simulation<A> {
         match event.kind {
             EventKind::Fault(fault) => self.apply_fault(fault),
             EventKind::Start => self.dispatch(event.node, event.time, ActorEvent::Start),
-            EventKind::Deliver { from, msg } => {
+            EventKind::Deliver { from, msg, trace } => {
                 if !self.alive[event.node] {
                     return true; // message to a crashed node is lost
                 }
@@ -299,10 +314,11 @@ impl<A: Actor> Simulation<A> {
                         time,
                         seq,
                         node: event.node,
-                        kind: EventKind::Deliver { from, msg },
+                        kind: EventKind::Deliver { from, msg, trace },
                     });
                     return true;
                 }
+                xft_telemetry::trace::set_current(trace);
                 self.dispatch(event.node, event.time, ActorEvent::Message { from, msg });
             }
             EventKind::Timer { id, token, epoch } => {
@@ -383,7 +399,12 @@ impl<A: Actor> Simulation<A> {
             self.metrics.charge_cpu(node, cpu_charged_ns);
         }
 
-        // Outbound messages leave once the CPU work that produced them is finished.
+        // Outbound messages leave once the CPU work that produced them is
+        // finished. Each carries the telemetry correlation id current at its
+        // `ctx.send` call (set by the inbound delivery, or freshly minted by
+        // a client inside the step), which is how a trace follows a request
+        // across replica hops in the simulator — mirroring the TCP
+        // envelope's optional trace field.
         let send_time = done_at;
         for out in sends {
             let size = out.msg.size_bytes();
@@ -401,6 +422,7 @@ impl<A: Actor> Simulation<A> {
                         kind: EventKind::Deliver {
                             from: node,
                             msg: out.msg,
+                            trace: out.trace,
                         },
                     });
                     Some(t)
@@ -444,6 +466,9 @@ impl<A: Actor> Simulation<A> {
         if halt_requested {
             self.halted = true;
         }
+        // Don't leak this step's correlation id into timer/control steps of
+        // other nodes — the same hygiene the TCP runtime applies per message.
+        xft_telemetry::trace::clear();
     }
 }
 

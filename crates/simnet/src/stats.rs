@@ -11,16 +11,11 @@ pub fn mean(values: &[f64]) -> f64 {
 }
 
 /// Returns the `q`-quantile (0.0 ≤ q ≤ 1.0) of `values` using nearest-rank on a sorted
-/// copy. Returns 0.0 for an empty slice.
+/// copy. Returns 0.0 for an empty slice. Delegates to the workspace's single
+/// percentile implementation in `xft-telemetry`, shared with
+/// `xft-microbench::Stats` and the telemetry histograms.
 pub fn percentile(values: &[f64], q: f64) -> f64 {
-    if values.is_empty() {
-        return 0.0;
-    }
-    let mut sorted: Vec<f64> = values.to_vec();
-    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    let q = q.clamp(0.0, 1.0);
-    let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
+    xft_telemetry::percentile(values, q)
 }
 
 /// Population standard deviation of `values`.

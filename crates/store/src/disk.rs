@@ -30,6 +30,7 @@ pub struct DiskStorage {
     policy: SyncPolicy,
     stats: StorageStats,
     unsynced: u64,
+    telemetry: std::sync::Arc<xft_telemetry::Telemetry>,
 }
 
 impl std::fmt::Debug for DiskStorage {
@@ -66,7 +67,18 @@ impl DiskStorage {
                 ..Default::default()
             },
             unsynced: 0,
+            telemetry: xft_telemetry::Telemetry::disabled(),
         })
+    }
+
+    /// Attaches a telemetry hub: WAL appends and fsyncs are counted and
+    /// fsync latency lands in the `xft_wal_fsync_seconds` histogram. Disk
+    /// storage only backs live (`xft-net`) deployments — simulated runs use
+    /// [`crate::MemStorage`] — so wall-clock timing here never touches the
+    /// deterministic simulator.
+    pub fn with_telemetry(mut self, telemetry: std::sync::Arc<xft_telemetry::Telemetry>) -> Self {
+        self.telemetry = telemetry;
+        self
     }
 
     /// Whether the directory already holds durable state (drives the
@@ -129,6 +141,9 @@ impl Storage for DiskStorage {
         self.stats.appends += 1;
         self.stats.wal_bytes += framed.len() as u64;
         self.unsynced += 1;
+        self.telemetry.add("xft_wal_appends_total", 1);
+        self.telemetry
+            .add("xft_wal_bytes_written_total", framed.len() as u64);
         if self.policy.batch > 0 && self.unsynced >= self.policy.batch {
             self.sync();
         }
@@ -136,9 +151,18 @@ impl Storage for DiskStorage {
 
     fn sync(&mut self) {
         if self.unsynced > 0 {
+            let started = self.telemetry.is_enabled().then(std::time::Instant::now);
             Self::fatal(self.wal.sync_data(), "WAL fsync");
             self.stats.syncs += 1;
             self.unsynced = 0;
+            if let Some(started) = started {
+                self.telemetry.add("xft_wal_fsyncs_total", 1);
+                self.telemetry.observe(
+                    "xft_wal_fsync_seconds",
+                    1e-9,
+                    started.elapsed().as_nanos() as u64,
+                );
+            }
         }
     }
 

@@ -23,7 +23,10 @@
 //!
 //! The crate is protocol-agnostic: records and snapshots are opaque byte
 //! strings (the replica encodes them with `xft-wire`), so `xft-store` sits
-//! below `xft-core` in the workspace DAG and depends on nothing but `std`.
+//! below `xft-core` in the workspace DAG and depends only on `std` and the
+//! equally dependency-free `xft-telemetry` (WAL append/fsync latency
+//! instrumentation on [`DiskStorage`], see
+//! [`DiskStorage::with_telemetry`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

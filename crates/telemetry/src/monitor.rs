@@ -1,0 +1,280 @@
+//! The synchrony monitor: an empirical estimate of the paper's fault vector.
+//!
+//! XFT's fault model counts, at any instant, `t_c` crashed machines, `t_b`
+//! Byzantine machines and `t_p` partitioned/slow machines, and guarantees
+//! consistency while `t_c + t_b + t_p ≤ t`. The paper assumes this condition;
+//! a deployment wants to *watch* it. Each replica feeds this monitor from
+//! its message flow — who it heard from and when, round-trip times of its
+//! own proposals, suspects it raised, view changes it completed — and the
+//! monitor renders a best-effort `(t_c, t_b, t_p)` estimate:
+//!
+//! * a peer silent for more than `2Δ` counts toward **t_c** (crash-suspect);
+//! * a peer whose smoothed proposal→ack RTT exceeds `Δ` counts toward
+//!   **t_p** (alive but outside the synchrony bound);
+//! * a peer caught misbehaving (bad signature, divergent reply digest)
+//!   counts toward **t_b** — these are sticky, faults are forever.
+//!
+//! Everything here is observation-only and clocked by caller-supplied
+//! `now_ns`, so simulated runs stay deterministic.
+
+use std::collections::BTreeMap;
+
+/// What the monitor knows about one peer replica.
+#[derive(Debug, Clone, Default)]
+pub struct PeerHealth {
+    /// Last time (ns) any message from this peer arrived.
+    pub last_heard_ns: u64,
+    /// Smoothed proposal→ack round-trip time (ns), EWMA with α = 1/4.
+    pub rtt_ewma_ns: u64,
+    /// Number of RTT samples folded into the EWMA.
+    pub rtt_samples: u64,
+    /// Whether this peer was ever caught actively misbehaving.
+    pub detected_faulty: bool,
+}
+
+/// The monitor's runtime estimate of the paper's fault vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultEstimate {
+    /// Peers silent beyond 2Δ (crash-suspected).
+    pub t_c: usize,
+    /// Peers detected actively misbehaving (sticky).
+    pub t_b: usize,
+    /// Peers alive but with smoothed RTT beyond Δ (partitioned/slow).
+    pub t_p: usize,
+}
+
+impl FaultEstimate {
+    /// Total estimated concurrent faults `t_c + t_b + t_p`.
+    pub fn total(&self) -> usize {
+        self.t_c + self.t_b + self.t_p
+    }
+}
+
+/// How many outstanding proposal timestamps the monitor keeps for RTT
+/// matching; older entries are evicted first.
+const MAX_OUTSTANDING: usize = 1024;
+
+/// Per-replica synchrony monitor. One per replica, behind the
+/// [`crate::Telemetry`] hub's mutex; all methods take explicit `now_ns`.
+#[derive(Debug, Default)]
+pub struct SynchronyMonitor {
+    peers: BTreeMap<u64, PeerHealth>,
+    /// Proposal send times by sequence number, for RTT measurement.
+    proposals: BTreeMap<u64, u64>,
+    /// SUSPECTs this replica raised: `(now_ns, view, reason)`.
+    suspects: Vec<(u64, u64, String)>,
+    /// View changes completed here: `(now_ns, new_view, cause)`.
+    view_changes: Vec<(u64, u64, String)>,
+}
+
+impl SynchronyMonitor {
+    /// An empty monitor.
+    pub fn new() -> Self {
+        SynchronyMonitor::default()
+    }
+
+    /// Notes that any message from `peer` arrived at `now_ns`.
+    pub fn note_heard(&mut self, peer: u64, now_ns: u64) {
+        self.peers.entry(peer).or_default().last_heard_ns = now_ns;
+    }
+
+    /// Notes that this replica sent the proposal for `sn` at `now_ns`.
+    pub fn note_proposal(&mut self, sn: u64, now_ns: u64) {
+        while self.proposals.len() >= MAX_OUTSTANDING {
+            self.proposals.pop_first();
+        }
+        self.proposals.insert(sn, now_ns);
+    }
+
+    /// Notes that `peer` acknowledged (committed) `sn` at `now_ns`; returns
+    /// the measured round-trip time if the proposal send was still tracked.
+    pub fn note_commit_ack(&mut self, sn: u64, peer: u64, now_ns: u64) -> Option<u64> {
+        let sent = *self.proposals.get(&sn)?;
+        let rtt = now_ns.saturating_sub(sent);
+        let health = self.peers.entry(peer).or_default();
+        health.last_heard_ns = health.last_heard_ns.max(now_ns);
+        health.rtt_ewma_ns = if health.rtt_samples == 0 {
+            rtt
+        } else {
+            (health.rtt_ewma_ns.saturating_mul(3).saturating_add(rtt)) / 4
+        };
+        health.rtt_samples += 1;
+        Some(rtt)
+    }
+
+    /// Marks `peer` as caught actively misbehaving (sticky).
+    pub fn mark_faulty(&mut self, peer: u64) {
+        self.peers.entry(peer).or_default().detected_faulty = true;
+    }
+
+    /// Records a SUSPECT this replica raised.
+    pub fn record_suspect(&mut self, now_ns: u64, view: u64, reason: String) {
+        self.suspects.push((now_ns, view, reason));
+    }
+
+    /// Records a completed view change and its cause.
+    pub fn record_view_change(&mut self, now_ns: u64, new_view: u64, cause: String) {
+        self.view_changes.push((now_ns, new_view, cause));
+    }
+
+    /// Number of SUSPECTs raised.
+    pub fn suspect_count(&self) -> usize {
+        self.suspects.len()
+    }
+
+    /// Number of view changes completed.
+    pub fn view_change_count(&self) -> usize {
+        self.view_changes.len()
+    }
+
+    /// Health snapshot of one peer, if ever heard from.
+    pub fn peer(&self, peer: u64) -> Option<&PeerHealth> {
+        self.peers.get(&peer)
+    }
+
+    /// Estimates the fault vector at `now_ns` given the deployment's
+    /// synchrony bound `delta_ns`. A peer never heard from is not counted
+    /// (it may simply not have spoken yet).
+    pub fn estimate(&self, now_ns: u64, delta_ns: u64) -> FaultEstimate {
+        let mut est = FaultEstimate {
+            t_c: 0,
+            t_b: 0,
+            t_p: 0,
+        };
+        for health in self.peers.values() {
+            if health.detected_faulty {
+                est.t_b += 1;
+            } else if health.last_heard_ns > 0
+                && now_ns.saturating_sub(health.last_heard_ns) > 2 * delta_ns
+            {
+                est.t_c += 1;
+            } else if health.rtt_samples > 0 && health.rtt_ewma_ns > delta_ns {
+                est.t_p += 1;
+            }
+        }
+        est
+    }
+
+    /// Renders a human-readable health report (the `/healthz` body).
+    pub fn render(&self, now_ns: u64, delta_ns: u64) -> String {
+        use std::fmt::Write as _;
+        let est = self.estimate(now_ns, delta_ns);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "synchrony estimate: t_c={} t_b={} t_p={} (delta={:.0}ms, now={:.3}s)",
+            est.t_c,
+            est.t_b,
+            est.t_p,
+            delta_ns as f64 / 1e6,
+            now_ns as f64 / 1e9,
+        );
+        for (peer, h) in &self.peers {
+            let _ = writeln!(
+                out,
+                "peer {peer}: last_heard={:.3}s rtt_ewma={:.3}ms samples={}{}",
+                h.last_heard_ns as f64 / 1e9,
+                h.rtt_ewma_ns as f64 / 1e6,
+                h.rtt_samples,
+                if h.detected_faulty {
+                    " DETECTED-FAULTY"
+                } else {
+                    ""
+                },
+            );
+        }
+        let _ = writeln!(
+            out,
+            "suspects raised: {}; view changes completed: {}",
+            self.suspects.len(),
+            self.view_changes.len()
+        );
+        for (at, view, cause) in self.view_changes.iter().rev().take(5) {
+            let _ = writeln!(
+                out,
+                "  view change -> {view} at {:.3}s: {cause}",
+                *at as f64 / 1e9
+            );
+        }
+        for (at, view, reason) in self.suspects.iter().rev().take(5) {
+            let _ = writeln!(
+                out,
+                "  suspect of view {view} at {:.3}s: {reason}",
+                *at as f64 / 1e9
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MS: u64 = 1_000_000;
+
+    #[test]
+    fn silent_peer_counts_toward_t_c() {
+        let mut m = SynchronyMonitor::new();
+        m.note_heard(1, 10 * MS);
+        m.note_heard(2, 990 * MS);
+        // delta = 100ms; at t=1s peer 1 has been silent 990ms > 2*delta.
+        let est = m.estimate(1000 * MS, 100 * MS);
+        assert_eq!(
+            est,
+            FaultEstimate {
+                t_c: 1,
+                t_b: 0,
+                t_p: 0
+            }
+        );
+        assert_eq!(est.total(), 1);
+    }
+
+    #[test]
+    fn slow_rtt_counts_toward_t_p_and_faulty_is_sticky() {
+        let mut m = SynchronyMonitor::new();
+        m.note_proposal(5, 0);
+        let rtt = m.note_commit_ack(5, 1, 300 * MS);
+        assert_eq!(rtt, Some(300 * MS));
+        let est = m.estimate(310 * MS, 100 * MS);
+        assert_eq!(est.t_p, 1);
+        m.mark_faulty(1);
+        let est = m.estimate(310 * MS, 100 * MS);
+        assert_eq!((est.t_b, est.t_p), (1, 0));
+    }
+
+    #[test]
+    fn rtt_ewma_smooths_and_unknown_sn_is_ignored() {
+        let mut m = SynchronyMonitor::new();
+        assert_eq!(m.note_commit_ack(99, 1, 50), None);
+        m.note_proposal(1, 0);
+        m.note_commit_ack(1, 1, 100);
+        m.note_proposal(2, 200);
+        m.note_commit_ack(2, 1, 400); // sample 200
+        let h = m.peer(1).unwrap();
+        assert_eq!(h.rtt_samples, 2);
+        assert_eq!(h.rtt_ewma_ns, (100 * 3 + 200) / 4);
+    }
+
+    #[test]
+    fn render_mentions_estimate_and_events() {
+        let mut m = SynchronyMonitor::new();
+        m.record_suspect(MS, 0, "no PREPARE within 2Δ".to_string());
+        m.record_view_change(2 * MS, 1, "suspect timeout".to_string());
+        let text = m.render(3 * MS, MS);
+        assert!(text.contains("synchrony estimate"));
+        assert!(text.contains("view change -> 1"));
+        assert!(text.contains("no PREPARE"));
+    }
+
+    #[test]
+    fn proposal_table_is_bounded() {
+        let mut m = SynchronyMonitor::new();
+        for sn in 0..(MAX_OUTSTANDING as u64 + 10) {
+            m.note_proposal(sn, sn);
+        }
+        assert!(m.proposals.len() <= MAX_OUTSTANDING);
+        assert!(m.note_commit_ack(0, 1, 99).is_none(), "oldest evicted");
+    }
+}

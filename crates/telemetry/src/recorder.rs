@@ -1,0 +1,145 @@
+//! The flight recorder: a bounded ring of recent protocol events.
+//!
+//! When something goes wrong — a panic, a SUSPECT, a chaos-checker
+//! violation — the interesting evidence is what happened in the last few
+//! hundred protocol steps, which logs either don't capture or drown. The
+//! recorder keeps a fixed-size ring of structured events (timestamp, node,
+//! trace correlation ID, pipeline stage, detail) that costs one `VecDeque`
+//! push per event while healthy and can be dumped as text on demand.
+
+use std::collections::VecDeque;
+
+/// One recorded protocol event.
+#[derive(Debug, Clone)]
+pub struct FlightEvent {
+    /// Event time in nanoseconds (virtual in simulation, since-origin live).
+    pub at_ns: u64,
+    /// Node that recorded the event.
+    pub node: u64,
+    /// Trace correlation ID in effect (0 = none).
+    pub trace: u64,
+    /// Pipeline stage label (`admit`, `batch`, `sign`, `prepare`, `commit`,
+    /// `fsync`, `execute`, `reply`, `suspect`, …).
+    pub stage: &'static str,
+    /// Free-form detail (sequence number, view, cause, …).
+    pub detail: String,
+}
+
+/// Default ring capacity (events kept per recorder).
+pub const DEFAULT_CAPACITY: usize = 2048;
+
+/// A bounded in-memory ring buffer of [`FlightEvent`]s.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    cap: usize,
+    ring: VecDeque<FlightEvent>,
+    /// Events evicted because the ring was full.
+    evicted: u64,
+}
+
+impl FlightRecorder {
+    /// A recorder holding at most `cap` events (0 is clamped to 1).
+    pub fn new(cap: usize) -> Self {
+        FlightRecorder {
+            cap: cap.max(1),
+            ring: VecDeque::new(),
+            evicted: 0,
+        }
+    }
+
+    /// Records one event, evicting the oldest when full.
+    pub fn record(&mut self, ev: FlightEvent) {
+        if self.ring.len() == self.cap {
+            self.ring.pop_front();
+            self.evicted += 1;
+        }
+        self.ring.push_back(ev);
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Iterates over held events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &FlightEvent> {
+        self.ring.iter()
+    }
+
+    /// Renders the ring as text, oldest first, with a header line naming
+    /// `cause` — the format attached to panic output, SUSPECT logs and chaos
+    /// reproducers.
+    pub fn dump(&self, cause: &str) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "=== flight recorder dump ({cause}; {} events, {} evicted) ===",
+            self.ring.len(),
+            self.evicted
+        );
+        for ev in &self.ring {
+            let _ = writeln!(
+                out,
+                "{:>12.6}s node={} trace={:016x} {:<8} {}",
+                ev.at_ns as f64 / 1e9,
+                ev.node,
+                ev.trace,
+                ev.stage,
+                ev.detail
+            );
+        }
+        let _ = writeln!(out, "=== end of flight recorder dump ===");
+        out
+    }
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new(DEFAULT_CAPACITY)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(at: u64, stage: &'static str) -> FlightEvent {
+        FlightEvent {
+            at_ns: at,
+            node: 0,
+            trace: 0xabc,
+            stage,
+            detail: format!("sn={at}"),
+        }
+    }
+
+    #[test]
+    fn ring_is_bounded_and_keeps_newest() {
+        let mut r = FlightRecorder::new(3);
+        for i in 0..5 {
+            r.record(ev(i, "commit"));
+        }
+        assert_eq!(r.len(), 3);
+        let ats: Vec<u64> = r.events().map(|e| e.at_ns).collect();
+        assert_eq!(ats, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn dump_contains_cause_trace_and_events() {
+        let mut r = FlightRecorder::new(8);
+        r.record(ev(1_500_000, "admit"));
+        r.record(ev(2_500_000, "execute"));
+        let text = r.dump("unit test");
+        assert!(text.contains("unit test"));
+        assert!(text.contains("admit"));
+        assert!(text.contains("execute"));
+        assert!(text.contains("0000000000000abc"));
+        assert!(text.contains("2 events"));
+    }
+}

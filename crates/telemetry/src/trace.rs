@@ -1,0 +1,82 @@
+//! Trace correlation: a request-scoped correlation ID minted at the client
+//! and carried across hops.
+//!
+//! The `Actor` API (shared by the simulator and the TCP runtime) knows
+//! nothing about traces, and widening it would touch every protocol
+//! callback. Instead the ID rides out of band: the client mints one in
+//! `issue_one` and publishes it to a thread-local; `xft-net`'s runtime
+//! encodes the thread-local into the version-2 wire envelope on send, and on
+//! receive restores the envelope's ID to the thread-local before invoking
+//! the actor callback. Protocol code that wants to label a flight-recorder
+//! event just reads [`current`].
+//!
+//! The thread-local is observation-only: nothing in protocol state ever
+//! reads it, so simulator determinism (`Metrics::fingerprint`) is
+//! unaffected. ID `0` means "no trace".
+
+use std::cell::Cell;
+
+thread_local! {
+    static CURRENT: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Mints a correlation ID from two request-identifying words (client id and
+/// request timestamp) with FNV-1a — deterministic, so simulator runs mint
+/// the same IDs every time. Never returns 0 (the "no trace" sentinel).
+pub fn mint(client: u64, ts: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in client.to_le_bytes().into_iter().chain(ts.to_le_bytes()) {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    if h == 0 {
+        1
+    } else {
+        h
+    }
+}
+
+/// Sets the calling thread's current trace ID.
+pub fn set_current(id: u64) {
+    CURRENT.with(|c| c.set(id));
+}
+
+/// The calling thread's current trace ID (0 = none).
+pub fn current() -> u64 {
+    CURRENT.with(|c| c.get())
+}
+
+/// Clears the calling thread's current trace ID.
+pub fn clear() {
+    CURRENT.with(|c| c.set(0));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mint_is_deterministic_and_nonzero() {
+        assert_eq!(mint(3, 17), mint(3, 17));
+        assert_ne!(mint(3, 17), mint(3, 18));
+        assert_ne!(mint(3, 17), 0);
+    }
+
+    #[test]
+    fn thread_local_set_get_clear() {
+        clear();
+        assert_eq!(current(), 0);
+        set_current(42);
+        assert_eq!(current(), 42);
+        clear();
+        assert_eq!(current(), 0);
+    }
+
+    #[test]
+    fn thread_locals_are_independent() {
+        set_current(7);
+        let other = std::thread::spawn(current).join().unwrap();
+        assert_eq!(other, 0);
+        clear();
+    }
+}

@@ -32,7 +32,9 @@ pub mod frame;
 
 pub use codec::{WireDecode, WireEncode, MAX_COLLECTION_LEN};
 pub use envelope::{
-    decode_msg, encode_msg, encode_msg_into, encode_msg_vec, WireError, MAGIC, WIRE_VERSION,
+    decode_msg, decode_msg_traced, encode_msg, encode_msg_into, encode_msg_traced_into,
+    encode_msg_traced_vec, encode_msg_vec, TraceContext, WireError, MAGIC, WIRE_VERSION,
+    WIRE_VERSION_TRACED,
 };
 pub use frame::{frame_bytes, read_frame, write_frame, FrameBuffer, DEFAULT_MAX_FRAME};
 

@@ -120,13 +120,78 @@ smoke_recovery() {
 }
 smoke_recovery $((20000 + RANDOM % 20000)) || smoke_recovery $((20000 + RANDOM % 20000))
 
+echo "==> telemetry smoke: scrape /metrics + /healthz across commits, fsyncs and a view change"
+# 3 servers with --metrics-addr (durable, so WAL fsyncs happen); client 0
+# commits, the view-0 primary is SIGKILLed to force a view change, client 1
+# commits against the healed cluster, then replica 1's scrape endpoint must
+# report nonzero protocol, WAL and view-change series.
+http_get() { # host port path — curl when available, bash /dev/tcp otherwise
+    if command -v curl >/dev/null 2>&1; then
+        curl -sf --max-time 5 "http://$1:$2$3"
+    else
+        exec 3<>"/dev/tcp/$1/$2" || return 1
+        printf 'GET %s HTTP/1.1\r\nHost: x\r\nConnection: close\r\n\r\n' "$3" >&3
+        cat <&3
+        exec 3<&- 3>&-
+    fi
+}
+smoke_metrics() {
+    local base=$1 mbase=$(($1 + 5)) datadir
+    datadir=$(mktemp -d)
+    local addrs="127.0.0.1:${base},127.0.0.1:$((base + 1)),127.0.0.1:$((base + 2))"
+    addrs="${addrs},127.0.0.1:$((base + 3)),127.0.0.1:$((base + 4))"
+    local flags=(--t 1 --clients 2 --addrs "$addrs" --delta-ms 200 --retransmit-ms 1000
+                 --checkpoint-interval 16)
+    local pids=()
+    for id in 0 1 2; do
+        target/release/xpaxos-server --id "$id" "${flags[@]}" \
+            --data-dir "$datadir/r$id" --metrics-addr "127.0.0.1:$((mbase + id))" \
+            --run-secs 180 2>/dev/null &
+        pids+=($!)
+    done
+    local ok=0
+    if target/release/xpaxos-client --id 0 "${flags[@]}" --ops 40 --payload 256 --timeout-secs 60; then
+        # Kill the view-0 primary: the survivors must suspect, change view and
+        # keep committing — all of it visible on replica 1's scrape endpoint.
+        kill -9 "${pids[0]}" 2>/dev/null || true
+        wait "${pids[0]}" 2>/dev/null || true
+        if target/release/xpaxos-client --id 1 "${flags[@]}" --ops 40 --payload 256 --timeout-secs 60; then
+            local scrape health
+            scrape=$(http_get 127.0.0.1 "$((mbase + 1))" /metrics)
+            health=$(http_get 127.0.0.1 "$((mbase + 1))" /healthz)
+            if grep -Eq '^xft_commits_total [1-9]' <<<"$scrape" \
+                && grep -Eq '^xft_wal_fsync_seconds_count [1-9]' <<<"$scrape" \
+                && grep -Eq '^xft_view_changes_total [1-9]' <<<"$scrape" \
+                && grep -q 'synchrony estimate' <<<"$health"; then
+                ok=1
+            else
+                echo "scrape missed expected series:" >&2
+                grep -E '^xft_(commits_total|wal_fsync_seconds_count|view_changes_total)' \
+                    <<<"$scrape" >&2 || true
+            fi
+        fi
+    fi
+    kill "${pids[@]}" 2>/dev/null || true
+    wait "${pids[@]}" 2>/dev/null || true
+    rm -rf "$datadir"
+    [ "$ok" = 1 ]
+}
+smoke_metrics $((20000 + RANDOM % 20000)) || smoke_metrics $((20000 + RANDOM % 20000))
+
 echo "==> chaos smoke: 200 in-budget seeds, fixed base seed, zero violations allowed"
 # Any non-linearizable verdict fails the build and prints the shrunk minimal
 # FaultScript reproducer. The window/drain are trimmed to keep the smoke
 # time-budgeted (~1 min); the full-length sweep is `chaos-explorer --seeds 1000`.
 target/release/chaos-explorer --seeds 200 --base-seed 1 --window-secs 5 --drain-secs 14
 
-echo "==> chaos demo: a deliberately over-budget run must be caught and shrunk"
-target/release/chaos-explorer --mode demo --window-secs 5 --drain-secs 14
+echo "==> chaos demo: a deliberately over-budget run must be caught, shrunk and flight-recorded"
+recorder_dir=$(mktemp -d)
+target/release/chaos-explorer --mode demo --window-secs 5 --drain-secs 14 \
+    --recorder-dump "$recorder_dir"
+# The shrunk reproducer must come with a non-empty flight-recorder post-mortem.
+dump_file=$(ls "$recorder_dir"/flight-recorder-seed-*.txt 2>/dev/null | head -1)
+[ -n "$dump_file" ] || { echo "no flight-recorder dump written" >&2; exit 1; }
+grep -q "flight recorder dump" "$dump_file"
+rm -rf "$recorder_dir"
 
 echo "CI green ✓"

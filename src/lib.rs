@@ -15,7 +15,11 @@
 //!   linearizability checker over client histories, and shrinking of failing
 //!   schedules to minimal reproducers (the `chaos-explorer` binary),
 //! * [`reliability`] (`xft-reliability`) — the nines-of-reliability analysis,
-//! * [`kvstore`] (`xft-kvstore`) — the ZooKeeper-like coordination service.
+//! * [`kvstore`] (`xft-kvstore`) — the ZooKeeper-like coordination service,
+//! * [`telemetry`] (`xft-telemetry`) — metrics registry, trace correlation,
+//!   synchrony monitor and flight recorder (observation-only),
+//! * [`microbench`] (`xft-microbench`) — the vendored criterion-style bench
+//!   harness and its latency statistics.
 //!
 //! It also hosts [`testing`], the seeded property-testing harness the
 //! integration tests use in place of `proptest` (the build is offline).
@@ -33,8 +37,10 @@ pub use xft_chaos as chaos;
 pub use xft_core as core;
 pub use xft_crypto as crypto;
 pub use xft_kvstore as kvstore;
+pub use xft_microbench as microbench;
 pub use xft_net as net;
 pub use xft_reliability as reliability;
 pub use xft_simnet as simnet;
 pub use xft_store as store;
+pub use xft_telemetry as telemetry;
 pub use xft_wire as wire;

@@ -25,7 +25,7 @@ use xft::kvstore::{CoordinationService, KvOp};
 use xft::reliability::{ProtocolFamily, ReliabilityParams};
 use xft::simnet::{FaultEvent, SimDuration, SimTime};
 use xft::testing::{check, CaseRng};
-use xft::wire::{decode_msg, encode_msg_vec, WireError, MAGIC, WIRE_VERSION};
+use xft::wire::{decode_msg, encode_msg_vec, WireError, MAGIC, WIRE_VERSION, WIRE_VERSION_TRACED};
 use xft_core::state_machine::StateMachine;
 
 /// SHA-256 and HMAC are deterministic and sensitive to any single-byte change.
@@ -419,8 +419,10 @@ fn wire_codec_rejects_malformed_inputs_without_panicking() {
         if decode_msg::<XPaxosMsg>(&bad_magic) != Err(WireError::BadMagic) {
             return Err("corrupted magic not rejected as BadMagic".into());
         }
+        // Versions above WIRE_VERSION_TRACED (the highest this build speaks)
+        // are from the future.
         let mut bad_version = encoded.clone();
-        bad_version[4] = WIRE_VERSION + 1 + rng.byte() % 100;
+        bad_version[4] = WIRE_VERSION_TRACED + 1 + rng.byte() % 100;
         if !matches!(
             decode_msg::<XPaxosMsg>(&bad_version),
             Err(WireError::UnsupportedVersion(_))

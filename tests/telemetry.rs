@@ -1,0 +1,154 @@
+//! Integration tests for the `xft-telemetry` tentpole: the workspace-wide
+//! percentile implementation agrees with every consumer, telemetry stays
+//! strictly out of protocol state (identical metrics fingerprints with the
+//! hub on or off), and the load-shedding path feeds the shared
+//! `xft_shed_total` counter instead of dropping silently.
+
+use std::sync::Arc;
+use std::time::Duration;
+use xft::core::client::ClientWorkload;
+use xft::core::harness::{ClusterBuilder, LatencySpec};
+use xft::simnet::{PipelineConfig, SimDuration};
+use xft::telemetry::Telemetry;
+use xft::testing::check;
+
+/// Satellite: one percentile rule for the whole workspace. `xft-microbench`'s
+/// `Stats`, `xft-simnet`'s `stats::percentile` and `xft_telemetry::percentile`
+/// must report the identical p50/p90/p99 on random samples, and the
+/// log-bucketed histogram's quantile must bound the exact percentile within
+/// its containing power-of-two bucket.
+#[test]
+fn percentile_implementations_agree_on_random_samples() {
+    check("percentile_implementations_agree", 48, |rng| {
+        let len = rng.usize_in(1, 400);
+        let samples_ns: Vec<u64> = (0..len).map(|_| rng.u64_in(1, 5_000_000)).collect();
+        let as_f64: Vec<f64> = samples_ns.iter().map(|&v| v as f64).collect();
+        let mut as_durations: Vec<Duration> = samples_ns
+            .iter()
+            .map(|&v| Duration::from_nanos(v))
+            .collect();
+
+        let bench = xft::microbench::summarize(&mut as_durations).expect("non-empty sample");
+        let hist = xft::telemetry::Histogram::new();
+        for &v in &samples_ns {
+            hist.record(v);
+        }
+
+        for (q, bench_value) in [(0.50, bench.p50()), (0.90, bench.p90), (0.99, bench.p99)] {
+            let telemetry = xft::telemetry::percentile(&as_f64, q);
+            let simnet = xft::simnet::stats::percentile(&as_f64, q);
+            if telemetry != simnet {
+                return Err(format!(
+                    "q={q}: telemetry {telemetry} != simnet {simnet} on {len} samples"
+                ));
+            }
+            if bench_value != Duration::from_nanos(telemetry as u64) {
+                return Err(format!(
+                    "q={q}: microbench {bench_value:?} != shared rule {telemetry} ns on {len} samples"
+                ));
+            }
+            // The histogram's bucket bound must contain the exact percentile:
+            // bound/2 < exact <= bound (power-of-two buckets, upper bound
+            // reported).
+            let bound = hist.quantile(q);
+            if telemetry > bound || telemetry <= bound / 2.0 {
+                return Err(format!(
+                    "q={q}: exact percentile {telemetry} outside histogram bucket ({}, {bound}]",
+                    bound / 2.0
+                ));
+            }
+        }
+        Ok(())
+    });
+}
+
+/// Satellite: `Busy` shedding is counted, not silent. A burst far beyond the
+/// bounded admission queue must increment the shared `xft_shed_total` counter
+/// by exactly as much as the simulator's own `requests_shed` metric — both
+/// are bumped at the single shed site in the replica.
+#[test]
+fn busy_shedding_feeds_the_shared_shed_counter() {
+    let hub = Telemetry::enabled();
+    let factory_hub = Arc::clone(&hub);
+    let mut cluster = ClusterBuilder::new(1, 4)
+        .with_seed(23)
+        .with_latency(LatencySpec::Constant(SimDuration::from_millis(1)))
+        .with_workload(ClientWorkload {
+            payload_size: 256,
+            requests: Some(50),
+            ..Default::default()
+        })
+        .with_pipeline(
+            PipelineConfig::default()
+                .with_client_window(16)
+                .with_max_in_flight(1)
+                .with_max_pending(8),
+        )
+        .with_telemetry_factory(move |_| Arc::clone(&factory_hub))
+        .build();
+    cluster.run_for(SimDuration::from_secs(60));
+
+    let shed_sim = cluster.sim.metrics().counter("requests_shed");
+    assert!(shed_sim > 0, "the workload never overflowed the queue");
+    assert_eq!(
+        hub.counter("xft_shed_total").get(),
+        shed_sim,
+        "every shed request must be accounted in xft_shed_total"
+    );
+    assert!(
+        hub.counter("xft_admitted_total").get() > 0,
+        "admissions never counted"
+    );
+    assert!(
+        hub.counter("xft_commits_total").get() > 0,
+        "commits never counted"
+    );
+    assert_eq!(cluster.total_committed(), 200, "shed requests were lost");
+}
+
+/// Telemetry is observation-only: the same seeded run produces bit-identical
+/// commit traces and metrics fingerprints with the hub enabled or disabled.
+#[test]
+fn telemetry_does_not_perturb_the_metrics_fingerprint() {
+    let run = |telemetry: Option<Arc<Telemetry>>| {
+        let mut builder = ClusterBuilder::new(1, 3)
+            .with_seed(0x7E1E)
+            .with_latency(LatencySpec::Uniform(
+                SimDuration::from_millis(2),
+                SimDuration::from_millis(20),
+            ))
+            .with_workload(ClientWorkload {
+                payload_size: 256,
+                requests: Some(40),
+                ..Default::default()
+            });
+        if let Some(hub) = telemetry {
+            builder = builder.with_telemetry_factory(move |_| Arc::clone(&hub));
+        }
+        let mut cluster = builder.build();
+        cluster.run_for(SimDuration::from_secs(30));
+        (
+            cluster.total_committed(),
+            cluster.sim.metrics().fingerprint(),
+            (0..cluster.n())
+                .map(|r| cluster.replica(r).state_digest())
+                .collect::<Vec<_>>(),
+        )
+    };
+    let hub = Telemetry::enabled();
+    let with_hub = run(Some(Arc::clone(&hub)));
+    let without = run(None);
+    assert_eq!(
+        with_hub, without,
+        "an enabled telemetry hub changed the run"
+    );
+    assert!(with_hub.0 > 0, "the baseline run never committed");
+    assert!(
+        hub.counter("xft_commits_total").get() > 0,
+        "the enabled hub observed nothing"
+    );
+    assert!(
+        hub.recorded_events() > 0,
+        "the flight recorder stayed empty"
+    );
+}
