@@ -8,7 +8,9 @@
 //! * `fsync 1`  — one fsync per record (full per-op durability);
 //! * `fsync 8`  — group commit, one fsync per 8 records;
 //! * `fsync 64` — one fsync per 64 records;
-//! * `fsync 0`  — no explicit fsyncs (OS page cache only, the upper bound).
+//! * `fsync 0`  — no explicit fsyncs (OS page cache only, the upper bound);
+//! * `overlapped` — per-append durability with the fsync pipelined on a
+//!   background thread (appends don't wait; durability is tracked by LSN).
 //!
 //! After each run the directory is re-opened and recovered, asserting that
 //! every record survived (with `fsync 0` durability is the OS's promise, but
@@ -57,12 +59,26 @@ fn main() {
     );
 
     let mut rows: Vec<Vec<String>> = Vec::new();
-    for batch in [1u64, 8, 64, 0] {
-        let dir =
-            std::env::temp_dir().join(format!("xft-wal-sweep-{}-{batch}", std::process::id()));
+    // (policy label, policy): the overlapped row pipelines fsyncs on a
+    // background thread — appends never wait, the final sync() barrier is the
+    // only blocking fsync, and durability is tracked by LSN.
+    let mut configs: Vec<(String, SyncPolicy)> = [1u64, 8, 64, 0]
+        .into_iter()
+        .map(|batch| {
+            let label = if batch == 0 {
+                "0 (never)".into()
+            } else {
+                batch.to_string()
+            };
+            (label, SyncPolicy::every(batch))
+        })
+        .collect();
+    configs.push(("overlapped".into(), SyncPolicy::EVERY_APPEND.overlapped()));
+
+    for (idx, (label, policy)) in configs.into_iter().enumerate() {
+        let dir = std::env::temp_dir().join(format!("xft-wal-sweep-{}-{idx}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
-        let mut storage =
-            DiskStorage::open(&dir, SyncPolicy::every(batch)).expect("open sweep dir");
+        let mut storage = DiskStorage::open(&dir, policy).expect("open sweep dir");
 
         let start = Instant::now();
         for sn in 0..records {
@@ -71,16 +87,17 @@ fn main() {
         storage.sync(); // final barrier so every policy ends durable
         let elapsed = start.elapsed();
 
+        assert_eq!(
+            storage.durable_lsn(),
+            records as u64,
+            "barrier made all durable"
+        );
         let stats = storage.stats();
         let recovered = storage.load();
         assert_eq!(recovered.records.len(), records, "all records read back");
         let per_op_us = elapsed.as_secs_f64() * 1e6 / records as f64;
         rows.push(vec![
-            if batch == 0 {
-                "0 (never)".into()
-            } else {
-                batch.to_string()
-            },
+            label,
             f1(records as f64 / elapsed.as_secs_f64()),
             f1(per_op_us),
             stats.syncs.to_string(),

@@ -54,6 +54,10 @@ const TOKEN_NEXT_REQUEST: u64 = 1;
 /// Timer token base for per-request retransmission timeouts; the request's
 /// timestamp is added, so every outstanding request has a distinct token.
 const TOKEN_RETRANSMIT_BASE: u64 = 1 << 32;
+/// Bit position of the sub-client index in a [`MuxClient`] timer token. All
+/// plain client tokens fit far below it (`TOKEN_RETRANSMIT_BASE` plus a
+/// timestamp), so `token >> TOKEN_SUB_SHIFT` recovers the sub-client.
+const TOKEN_SUB_SHIFT: u64 = 40;
 
 /// A per-request operation generator: maps the client-local request timestamp
 /// (1, 2, 3, …) to the operation payload. Lets every request of one client
@@ -166,6 +170,10 @@ pub struct Client {
     stopped: bool,
     /// Invocation/response log (only populated with `record_history`).
     history: BTreeMap<Timestamp, HistoryRecord>,
+    /// Offset added to every timer token. Zero for a standalone client; a
+    /// [`MuxClient`] gives each sub-client `index << TOKEN_SUB_SHIFT` so
+    /// their timers stay distinguishable inside one shared actor.
+    token_base: u64,
 }
 
 impl Client {
@@ -192,6 +200,7 @@ impl Client {
             committed: 0,
             stopped: false,
             history: BTreeMap::new(),
+            token_base: 0,
         }
     }
 
@@ -302,8 +311,10 @@ impl Client {
         xft_telemetry::trace::set_current(xft_telemetry::trace::mint(self.id.0, ts));
         let primary = self.groups.primary(self.view);
         ctx.send(self.node_of(primary), XPaxosMsg::Replicate(signed));
-        let retransmit_timer =
-            ctx.set_timer(self.config.client_retransmit, TOKEN_RETRANSMIT_BASE + ts);
+        let retransmit_timer = ctx.set_timer(
+            self.config.client_retransmit,
+            self.token_base + TOKEN_RETRANSMIT_BASE + ts,
+        );
         self.pending.insert(
             ts,
             Pending {
@@ -357,6 +368,9 @@ impl Client {
     }
 
     fn on_reply(&mut self, reply: ReplyMsg, ctx: &mut Context<XPaxosMsg>) {
+        if reply.client != self.id {
+            return; // mux front-end misrouted (or stray) reply
+        }
         let ts = reply.timestamp;
         let Some(pending) = self.pending.get_mut(&ts) else {
             return; // reply for a request that already committed (or was never ours)
@@ -405,7 +419,10 @@ impl Client {
             if self.workload.think_time == SimDuration::ZERO {
                 self.fill_window(ctx);
             } else {
-                ctx.set_timer(self.workload.think_time, TOKEN_NEXT_REQUEST);
+                ctx.set_timer(
+                    self.workload.think_time,
+                    self.token_base + TOKEN_NEXT_REQUEST,
+                );
             }
         }
     }
@@ -418,6 +435,9 @@ impl Client {
     /// view estimate is only ever adopted from verified replies and suspects —
     /// a forged BUSY may delay one request, never redirect future ones.
     fn on_busy(&mut self, m: BusyMsg, ctx: &mut Context<XPaxosMsg>) {
+        if m.client != self.id {
+            return;
+        }
         let delay = self.busy_backoff_delay(ctx);
         let Some(pending) = self.pending.get_mut(&m.timestamp) else {
             return;
@@ -432,7 +452,8 @@ impl Client {
         }
         ctx.cancel_timer(pending.retransmit_timer);
         pending.busy_backoff = true;
-        pending.retransmit_timer = ctx.set_timer(delay, TOKEN_RETRANSMIT_BASE + m.timestamp);
+        pending.retransmit_timer =
+            ctx.set_timer(delay, self.token_base + TOKEN_RETRANSMIT_BASE + m.timestamp);
     }
 
     /// The retransmission timer of request `ts` fired.
@@ -474,7 +495,10 @@ impl Client {
                 ctx.send(self.node_of(replica), XPaxosMsg::Resend(signed.clone()));
             }
         }
-        let timer = ctx.set_timer(self.config.client_retransmit, TOKEN_RETRANSMIT_BASE + ts);
+        let timer = ctx.set_timer(
+            self.config.client_retransmit,
+            self.token_base + TOKEN_RETRANSMIT_BASE + ts,
+        );
         if let Some(pending) = self.pending.get_mut(&ts) {
             pending.retransmit_timer = timer;
         }
@@ -505,6 +529,100 @@ impl Client {
     }
 }
 
+/// Several windowed [`Client`]s behind one network endpoint.
+///
+/// The classic deployment gives every client its own node (socket, acceptor,
+/// protocol thread); at high client counts the per-connection fan-in becomes
+/// the bottleneck — and one process per client is operationally silly for a
+/// load generator anyway. The mux front-end runs all sub-clients inside a
+/// single actor on a single node: requests go out stamped with the issuing
+/// sub-client's [`ClientId`] as always, and the `client` echo on
+/// [`ReplyMsg`]/[`BusyMsg`] routes each response back to its owner. Replicas
+/// are oblivious — the deployment simply publishes one address for every
+/// client slot of the address book.
+///
+/// Timer tokens are namespaced per sub-client (`index << TOKEN_SUB_SHIFT`) so
+/// the shared timer wheel stays collision-free; unsigned-view SUSPECT
+/// messages fan out to every sub-client, which is exactly what `n` separate
+/// clients would have concluded from `n` copies.
+pub struct MuxClient {
+    clients: Vec<Client>,
+}
+
+impl MuxClient {
+    /// Wraps `clients` (any non-zero number) into one mux actor.
+    pub fn new(mut clients: Vec<Client>) -> Self {
+        assert!(!clients.is_empty(), "mux needs at least one client");
+        assert!(
+            clients.len() < (1usize << (64 - TOKEN_SUB_SHIFT)),
+            "too many sub-clients for token namespacing"
+        );
+        for (index, client) in clients.iter_mut().enumerate() {
+            client.token_base = (index as u64) << TOKEN_SUB_SHIFT;
+        }
+        MuxClient { clients }
+    }
+
+    /// The wrapped sub-clients, in index order.
+    pub fn clients(&self) -> &[Client] {
+        &self.clients
+    }
+
+    /// Total requests committed across all sub-clients.
+    pub fn committed(&self) -> u64 {
+        self.clients.iter().map(|c| c.committed()).sum()
+    }
+
+    /// Routes a reply/busy echo to the owning sub-client, if it is ours.
+    fn sub_for(&mut self, client: ClientId) -> Option<&mut Client> {
+        self.clients.iter_mut().find(|c| c.id() == client)
+    }
+}
+
+impl Actor for MuxClient {
+    type Msg = XPaxosMsg;
+
+    fn on_start(&mut self, ctx: &mut Context<XPaxosMsg>) {
+        for client in &mut self.clients {
+            client.on_start(ctx);
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: XPaxosMsg, ctx: &mut Context<XPaxosMsg>) {
+        match msg {
+            XPaxosMsg::Reply(reply) => {
+                if let Some(sub) = self.sub_for(reply.client) {
+                    sub.on_reply(reply, ctx);
+                }
+            }
+            XPaxosMsg::Busy(m) => {
+                if let Some(sub) = self.sub_for(m.client) {
+                    sub.on_busy(m, ctx);
+                }
+            }
+            XPaxosMsg::SuspectToClient(_) | XPaxosMsg::Suspect(_) => {
+                for client in &mut self.clients {
+                    client.on_message(from, msg.clone(), ctx);
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn on_timer(&mut self, token: u64, ctx: &mut Context<XPaxosMsg>) {
+        let index = (token >> TOKEN_SUB_SHIFT) as usize;
+        if let Some(client) = self.clients.get_mut(index) {
+            client.on_timer(token, ctx);
+        }
+    }
+
+    fn on_recover(&mut self, ctx: &mut Context<XPaxosMsg>) {
+        for client in &mut self.clients {
+            client.on_recover(ctx);
+        }
+    }
+}
+
 impl Actor for Client {
     type Msg = XPaxosMsg;
 
@@ -522,6 +640,7 @@ impl Actor for Client {
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Context<XPaxosMsg>) {
+        let token = token.wrapping_sub(self.token_base);
         if token >= TOKEN_RETRANSMIT_BASE {
             self.retransmit(token - TOKEN_RETRANSMIT_BASE, ctx);
         } else if token == TOKEN_NEXT_REQUEST {
@@ -541,8 +660,10 @@ impl Actor for Client {
                 signature: pending.signature,
             };
             ctx.send(primary_node, XPaxosMsg::Replicate(signed));
-            pending.retransmit_timer =
-                ctx.set_timer(self.config.client_retransmit, TOKEN_RETRANSMIT_BASE + ts);
+            pending.retransmit_timer = ctx.set_timer(
+                self.config.client_retransmit,
+                self.token_base + TOKEN_RETRANSMIT_BASE + ts,
+            );
         }
         self.fill_window(ctx);
     }

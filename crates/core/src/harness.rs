@@ -49,6 +49,7 @@ pub struct ClusterBuilder {
     state_factory: Box<dyn Fn() -> Box<dyn StateMachine>>,
     storage_factory: Option<StorageFactory>,
     telemetry_factory: Option<TelemetryFactory>,
+    crypto_front: Option<crate::pipeline::FrontMode>,
 }
 
 /// Per-replica stable-storage constructor (see
@@ -75,6 +76,7 @@ impl ClusterBuilder {
             state_factory: Box::new(|| Box::new(DigestChainService::new())),
             storage_factory: None,
             telemetry_factory: None,
+            crypto_front: None,
         }
     }
 
@@ -184,6 +186,15 @@ impl ClusterBuilder {
         self
     }
 
+    /// Sets every replica's crypto front-end mode. Simulations must stay
+    /// deterministic, so `Pool(0)` (the enabled-but-synchronous front: same
+    /// queuing and accounting code paths, executed inline) is the right knob
+    /// here — determinism tests pin that it is trace-identical to `Inline`.
+    pub fn with_crypto_front(mut self, mode: crate::pipeline::FrontMode) -> Self {
+        self.crypto_front = Some(mode);
+        self
+    }
+
     /// Builds the cluster.
     pub fn build(self) -> XPaxosCluster {
         let n = self.config.n();
@@ -224,6 +235,10 @@ impl ClusterBuilder {
             }
             if let Some(factory) = self.telemetry_factory.as_ref() {
                 replica = replica.with_telemetry(factory(r));
+            }
+            // After with_telemetry: the front captures the replica's hub.
+            if let Some(mode) = self.crypto_front {
+                replica = replica.with_crypto_front(mode);
             }
             let node = sim.add_node(XPaxosNode::Replica(Box::new(replica)));
             debug_assert_eq!(node, self.config.replica_nodes[r]);

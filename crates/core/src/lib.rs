@@ -43,6 +43,7 @@ pub mod log;
 pub mod messages;
 pub mod model;
 pub mod node;
+pub mod pipeline;
 pub mod replica;
 pub mod state_machine;
 pub mod sync_group;
@@ -57,6 +58,7 @@ pub use harness::{ClusterBuilder, LatencySpec, XPaxosCluster};
 pub use messages::XPaxosMsg;
 pub use model::{ProtocolModel, ReplicaFaultState, SystemSnapshot};
 pub use node::XPaxosNode;
+pub use pipeline::{CryptoFront, FrontMode};
 pub use replica::durability::RecoveryReport;
 pub use replica::{Phase, Replica};
 pub use state_machine::{DigestChainService, NullService, StateMachine};

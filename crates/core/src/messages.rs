@@ -77,6 +77,10 @@ pub struct ReplyMsg {
     pub view: ViewNumber,
     /// Sequence number of the batch that contained the request.
     pub sn: SeqNum,
+    /// The client the reply is addressed to. Replies for distinct clients can
+    /// arrive over one shared connection (the mux client front-end); the echo
+    /// lets the receiver demultiplex without per-client sockets.
+    pub client: ClientId,
     /// Echo of the client's timestamp.
     pub timestamp: Timestamp,
     /// Digest of the application-level reply.
@@ -101,6 +105,9 @@ pub struct BusyMsg {
     /// The replica's current view, for diagnostics only — clients must not
     /// adopt a view estimate from an unsigned message.
     pub view: ViewNumber,
+    /// The client whose request was shed (mux demultiplexing, like
+    /// [`ReplyMsg::client`]).
+    pub client: ClientId,
     /// Timestamp of the shed request.
     pub timestamp: Timestamp,
     /// Replica shedding the request.
@@ -329,6 +336,12 @@ pub enum XPaxosMsg {
     /// Replica → client: the view the replica is currently in (sent alongside SUSPECT
     /// handling so clients can follow view changes, Algorithm 4).
     SuspectToClient(SuspectMsg),
+    /// Storage → own replica (local only): the background WAL fsync reached
+    /// this LSN; deferred client replies gated on it may be released. Never
+    /// legitimately sent over the wire, and harmless if forged: the replica
+    /// re-reads the real durable LSN from its own storage before releasing
+    /// anything.
+    SyncDone(u64),
 }
 
 impl SimMessage for XPaxosMsg {
@@ -361,6 +374,7 @@ impl SimMessage for XPaxosMsg {
                 64 + m.sealed.snapshot.wire_size() + m.sealed.proof.len() * 112
             }
             XPaxosMsg::FaultDetected(_) => 96,
+            XPaxosMsg::SyncDone(_) => 8,
         }
     }
 
@@ -391,6 +405,7 @@ impl SimMessage for XPaxosMsg {
             XPaxosMsg::StateResponse(_) => "STATE-RESP",
             XPaxosMsg::FaultDetected(_) => "FAULT-DETECTED",
             XPaxosMsg::SuspectToClient(_) => "SUSPECT-CLIENT",
+            XPaxosMsg::SyncDone(_) => "SYNC-DONE",
         }
     }
 }

@@ -325,11 +325,16 @@ impl Replica {
         ctx: &mut Context<XPaxosMsg>,
     ) {
         let mut forked = false;
+        // One batched verification charge for the whole entry set instead of
+        // a per-entry pass (the entries share the sender's signing key, so
+        // the batch path's midstate reuse applies).
+        ctx.charge(CryptoOp::VerifyBatch {
+            count: entries.len(),
+        });
         for entry in entries {
             if entry.sn <= self.last_checkpoint {
                 continue;
             }
-            ctx.charge(CryptoOp::VerifySig);
             let keep = match self.commit_log.get(entry.sn) {
                 Some(existing) => existing.view < entry.view,
                 None => true,

@@ -21,12 +21,14 @@ use xft_crypto::{CryptoOp, Digest, Signature};
 use xft_simnet::{Context, NodeId};
 
 impl Replica {
-    /// Signs a digest, honouring the `CorruptSignatures` Byzantine behaviour.
+    /// Signs a digest through the crypto front (stage *sign∥* — off the
+    /// protocol thread when the front is pooled), honouring the
+    /// `CorruptSignatures` Byzantine behaviour.
     pub(crate) fn sign(&self, digest: &Digest) -> Signature {
         if self.behavior == ByzantineBehavior::CorruptSignatures {
             Signature::forged(self.signer.id())
         } else {
-            self.signer.sign_digest(digest)
+            self.crypto_front.sign_digest(&self.signer, digest)
         }
     }
 
@@ -45,13 +47,20 @@ impl Replica {
         retransmission: bool,
         ctx: &mut Context<XPaxosMsg>,
     ) {
-        ctx.charge(CryptoOp::VerifySig);
-        if self
-            .verifier
-            .verify_digest(&client_request_digest(&req.request), &req.signature)
-            .is_err()
-        {
-            return;
+        // Fresh requests defer signature verification to the *batched* pass
+        // at proposal time (the stateless front's verify∥ stage), where a
+        // whole batch is checked in one go. Retransmissions are still
+        // verified here: they can arm Algorithm-4 monitors and escalate to
+        // view suspicion — paths a forged signature must never reach.
+        if retransmission {
+            ctx.charge(CryptoOp::VerifySig);
+            if self
+                .verifier
+                .verify_digest(&client_request_digest(&req.request), &req.signature)
+                .is_err()
+            {
+                return;
+            }
         }
 
         let client = req.request.client;
@@ -129,7 +138,7 @@ impl Replica {
                         .cloned();
                 }
                 let node = self.client_node(client);
-                ctx.send(node, XPaxosMsg::Reply(reply));
+                self.send_to_client_gated(node, XPaxosMsg::Reply(reply), ctx);
             }
             if escalate {
                 ctx.count("cache_answer_suspects", 1);
@@ -173,6 +182,7 @@ impl Replica {
                 self.client_node(client),
                 XPaxosMsg::Busy(crate::messages::BusyMsg {
                     view: self.view,
+                    client,
                     timestamp: ts,
                     replica: self.id,
                 }),
@@ -335,17 +345,44 @@ impl Replica {
 
     /// Assigns the next sequence number to a batch and sends it to the followers.
     fn propose_batch(&mut self, requests: Vec<SignedRequest>, ctx: &mut Context<XPaxosMsg>) {
-        let (reqs, sigs): (Vec<_>, Vec<_>) = requests
+        let (mut reqs, mut sigs): (Vec<_>, Vec<_>) = requests
             .into_iter()
             .map(|sr| (sr.request, sr.signature))
             .unzip();
+
+        // Stateless front, stage verify∥: the whole batch's client
+        // signatures are checked in one pass (deferred from admission). On
+        // failure the per-signature fallback pinpoints the culprits; they
+        // are dropped and the remaining requests proceed as this batch.
+        ctx.charge(CryptoOp::VerifyBatch { count: reqs.len() });
+        if let Err(culprits) = self
+            .crypto_front
+            .verify_client_sigs(&self.verifier, &reqs, &sigs)
+        {
+            // The fallback re-verified every signature individually.
+            ctx.charge(CryptoOp::VerifyBatch { count: reqs.len() });
+            ctx.count("sig_batch_fallbacks", 1);
+            self.tel_event(ctx, "sig-fallback", || {
+                format!("culprits={} of {}", culprits.len(), reqs.len())
+            });
+            for &i in culprits.iter().rev() {
+                reqs.remove(i);
+                sigs.remove(i);
+            }
+            if reqs.is_empty() {
+                return; // nothing genuine left to propose
+            }
+        }
+
         let batch = Batch::new(reqs);
         self.next_sn = self.next_sn.next();
         self.proposed_in_flight += 1;
         ctx.count("batches_proposed", 1);
         let sn = self.next_sn;
         let view = self.view;
-        let batch_digest = batch.digest();
+        // Stage order: the batch digest (cached thereafter) comes off the
+        // front too.
+        let batch_digest = self.crypto_front.digest_batch(&batch);
         ctx.charge(CryptoOp::Hash {
             len: batch.wire_size(),
         });
@@ -524,15 +561,27 @@ impl Replica {
         if self.is_primary_in(self.view) {
             return; // the primary never receives PREPAREs
         }
-        // Verify the primary's and the clients' signatures.
+        // Verify the primary's and the clients' signatures (the latter as a
+        // single batched pass through the crypto front).
         ctx.charge(CryptoOp::VerifySig);
         let expected = PrepareEntry::signed_digest(&m.batch.digest(), m.sn, m.view);
         if !self.verifier.is_valid_digest(&expected, &m.signature) {
             self.suspect_view(ctx);
             return;
         }
-        for _ in &m.client_sigs {
-            ctx.charge(CryptoOp::VerifySig);
+        ctx.charge(CryptoOp::VerifyBatch {
+            count: m.client_sigs.len(),
+        });
+        if m.client_sigs.len() != m.batch.len()
+            || self
+                .crypto_front
+                .verify_client_sigs(&self.verifier, &m.batch.requests, &m.client_sigs)
+                .is_err()
+        {
+            // A correctly-behaving primary never proposes unverified client
+            // requests, so this is evidence against the primary itself.
+            self.suspect_view(ctx);
+            return;
         }
         if m.sn > self.next_sn.next() {
             // Ahead of the pipeline: buffer and replay once the gap fills.
@@ -617,8 +666,17 @@ impl Replica {
             self.suspect_view(ctx);
             return;
         }
-        for _ in &m.client_sigs {
-            ctx.charge(CryptoOp::VerifySig);
+        ctx.charge(CryptoOp::VerifyBatch {
+            count: m.client_sigs.len(),
+        });
+        if m.client_sigs.len() != m.batch.len()
+            || self
+                .crypto_front
+                .verify_client_sigs(&self.verifier, &m.batch.requests, &m.client_sigs)
+                .is_err()
+        {
+            self.suspect_view(ctx);
+            return;
         }
         if m.sn > self.next_sn.next() {
             // Ahead of the pipeline: buffer and replay once the gap fills.
@@ -914,10 +972,9 @@ impl Replica {
                     .get(&req.client)
                     .and_then(|r| r.reply_for(req.timestamp))
                 {
-                    ctx.send(
-                        self.client_node(req.client),
-                        XPaxosMsg::Reply(cached.reply.clone()),
-                    );
+                    let node = self.client_node(req.client);
+                    let reply = XPaxosMsg::Reply(cached.reply.clone());
+                    self.send_to_client_gated(node, reply, ctx);
                 }
             }
         }
@@ -970,6 +1027,7 @@ impl Replica {
             let reply = ReplyMsg {
                 view: self.view,
                 sn,
+                client: req.client,
                 timestamp: req.timestamp,
                 reply_digest: reply_digest(self.view, sn, req.client, req.timestamp, &rd),
                 payload: if is_primary { Some(payload) } else { None },
@@ -996,7 +1054,8 @@ impl Replica {
                 self.tel_event(ctx, "reply", || {
                     format!("sn={} client={} ts={}", sn.0, req.client.0, req.timestamp)
                 });
-                ctx.send(self.client_node(req.client), XPaxosMsg::Reply(reply));
+                let node = self.client_node(req.client);
+                self.send_to_client_gated(node, XPaxosMsg::Reply(reply), ctx);
             }
         }
         digests

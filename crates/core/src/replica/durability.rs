@@ -18,7 +18,7 @@ use crate::durable::{ClientRecordSnapshot, DurableEvent, ReplicaSnapshot, Sealed
 use crate::messages::XPaxosMsg;
 use crate::types::{SeqNum, ViewNumber};
 use bytes::Reader;
-use xft_simnet::Context;
+use xft_simnet::{Context, NodeId};
 use xft_store::{DiskFault, Recovered};
 use xft_wire::{WireDecode, WireEncode};
 
@@ -48,6 +48,56 @@ impl Replica {
     pub(crate) fn persist(&mut self, event: impl FnOnce() -> DurableEvent) {
         if let Some(storage) = self.storage.as_mut() {
             storage.append(&event().wire_bytes());
+        }
+    }
+
+    /// Sends a client-bound message now, or — when the attached storage runs
+    /// overlapped fsyncs and the WAL tip is not yet durable — defers it until
+    /// the background fsync reaches the current append LSN. Admission and
+    /// ordering are never gated; only the durability promise a reply carries.
+    pub(crate) fn send_to_client_gated(
+        &mut self,
+        node: NodeId,
+        msg: XPaxosMsg,
+        ctx: &mut Context<XPaxosMsg>,
+    ) {
+        if let Some(storage) = self.storage.as_ref() {
+            if storage.overlapped() {
+                let required = storage.wal_lsn();
+                if storage.durable_lsn() < required {
+                    self.deferred_replies.push_back((required, node, msg));
+                    self.telemetry.add("xft_reply_deferred_total", 1);
+                    return;
+                }
+                // The gate is open: anything still queued is durable too
+                // (LSNs in the queue are non-decreasing), so flush it first
+                // to keep replies in execution order.
+                self.release_durable_replies(ctx);
+            }
+        }
+        ctx.send(node, msg);
+    }
+
+    /// Releases deferred replies whose required LSN the background fsync has
+    /// passed. Re-reads the durable LSN from our own storage, so a forged or
+    /// stale `SyncDone` can never release a reply early.
+    pub(crate) fn release_durable_replies(&mut self, ctx: &mut Context<XPaxosMsg>) {
+        if self.deferred_replies.is_empty() {
+            return;
+        }
+        let durable = match self.storage.as_ref() {
+            Some(storage) => storage.durable_lsn(),
+            // Storage detached with replies still queued (amnesia paths clear
+            // the queue, so this is unreachable in practice): nothing gates
+            // them any more.
+            None => u64::MAX,
+        };
+        while let Some((required, _, _)) = self.deferred_replies.front() {
+            if *required > durable {
+                break;
+            }
+            let (_, node, msg) = self.deferred_replies.pop_front().expect("front checked");
+            ctx.send(node, msg);
         }
     }
 

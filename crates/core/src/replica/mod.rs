@@ -186,6 +186,7 @@ impl ClientRecord {
             let reply = ReplyMsg {
                 view,
                 sn: *sn,
+                client: snap.client,
                 timestamp: *ts,
                 reply_digest: crate::messages::reply_digest(view, *sn, snap.client, *ts, rd),
                 payload: None,
@@ -253,6 +254,11 @@ pub struct Replica {
     pub(crate) groups: SyncGroups,
     pub(crate) signer: Signer,
     pub(crate) verifier: Verifier,
+    /// Stateless crypto front-end: batched client-signature verification,
+    /// batch digesting and PREPARE/COMMIT signing, optionally on a worker
+    /// pool. Synchronous at the API, so ordering decisions are identical in
+    /// every mode (see [`crate::pipeline`]).
+    pub(crate) crypto_front: crate::pipeline::CryptoFront,
     /// Injected non-crash behaviour (tests / FD experiments).
     pub(crate) behavior: ByzantineBehavior,
 
@@ -330,6 +336,11 @@ pub struct Replica {
     /// Attached stable storage; `None` runs the replica purely in memory
     /// (the seed behaviour, still used by most simulations).
     pub(crate) storage: Option<Box<dyn Storage>>,
+    /// Client replies held back until the WAL is durable up to their LSN
+    /// (overlapped-fsync storage only; always empty otherwise). FIFO with
+    /// non-decreasing LSNs, flushed by `SyncDone` notifications. Fsync
+    /// completion gates *replies* — never admission or ordering.
+    pub(crate) deferred_replies: VecDeque<(u64, NodeId, XPaxosMsg)>,
     /// An in-progress state transfer, if any.
     pub(crate) pending_transfer: Option<PendingTransfer>,
 
@@ -376,6 +387,7 @@ impl Replica {
             groups,
             signer,
             verifier,
+            crypto_front: crate::pipeline::CryptoFront::inline(),
             behavior: ByzantineBehavior::Correct,
             view: ViewNumber(0),
             phase: Phase::Active,
@@ -404,6 +416,7 @@ impl Replica {
             pending_snapshots: BTreeMap::new(),
             latest_snapshot: None,
             storage: None,
+            deferred_replies: VecDeque::new(),
             pending_transfer: None,
             vc: None,
             forwarded_suspects: HashSet::new(),
@@ -436,7 +449,24 @@ impl Replica {
     /// the field documentation.
     pub fn with_telemetry(mut self, telemetry: std::sync::Arc<xft_telemetry::Telemetry>) -> Self {
         self.telemetry = telemetry;
+        // Rebuild the front against the new hub so its gauges/histograms
+        // land there, whatever order the builders were called in.
+        self.crypto_front =
+            crate::pipeline::CryptoFront::new(self.crypto_front.mode(), self.telemetry.clone());
         self
+    }
+
+    /// Configures the crypto front-end (default: [`crate::pipeline::FrontMode::Inline`]).
+    /// `Pool(n)` fans verification/digesting/signing across `n` worker
+    /// threads; `Pool(0)` keeps the front's code path but runs synchronously.
+    pub fn with_crypto_front(mut self, mode: crate::pipeline::FrontMode) -> Self {
+        self.crypto_front = crate::pipeline::CryptoFront::new(mode, self.telemetry.clone());
+        self
+    }
+
+    /// The configured crypto front mode.
+    pub fn crypto_front_mode(&self) -> crate::pipeline::FrontMode {
+        self.crypto_front.mode()
     }
 
     /// The attached telemetry hub (a disabled hub unless
@@ -565,6 +595,7 @@ impl Replica {
         self.chkpt_votes.clear();
         self.pending_snapshots.clear();
         self.latest_snapshot = None;
+        self.deferred_replies.clear();
         self.pending_transfer = None;
         self.vc = None;
         self.forwarded_suspects.clear();
@@ -662,6 +693,10 @@ impl Actor for Replica {
             XPaxosMsg::StateRequest(m) => self.on_state_request(m, ctx),
             XPaxosMsg::StateResponse(m) => self.on_state_response(m, ctx),
             XPaxosMsg::FaultDetected(m) => self.on_fault_detected(m, ctx),
+            // The durable LSN moved (background fsync completion, injected by
+            // the runtime — or a forged copy, which is harmless: the release
+            // re-reads the true durable LSN from our own storage).
+            XPaxosMsg::SyncDone(_) => self.release_durable_replies(ctx),
             // Replies, busy notices and client-directed suspects are never
             // addressed to replicas.
             XPaxosMsg::Reply(_) | XPaxosMsg::Busy(_) | XPaxosMsg::SuspectToClient(_) => {}
@@ -745,6 +780,7 @@ mod tests {
         ReplyMsg {
             view: ViewNumber(0),
             sn: Sn(ts),
+            client: ClientId(1),
             timestamp: ts,
             reply_digest: D::of(&ts.to_le_bytes()),
             payload: None,

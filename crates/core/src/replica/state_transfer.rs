@@ -219,16 +219,18 @@ impl Replica {
         let first = proof.first()?;
         let (sn, digest) = (first.sn, first.state_digest);
         let mut signers: BTreeSet<ReplicaId> = BTreeSet::new();
+        let mut items: Vec<(Digest, xft_crypto::Signature)> = Vec::with_capacity(proof.len());
         for m in proof {
             if !m.signed || m.sn != sn || m.state_digest != digest || m.replica >= self.config.n() {
                 return None;
             }
-            ctx.charge(CryptoOp::VerifySig);
-            let signed = checkpoint_vote_digest(m.view, m.sn, &digest);
-            if !self.verifier.is_valid_digest(&signed, &m.signature) {
-                return None;
-            }
+            items.push((checkpoint_vote_digest(m.view, m.sn, &digest), m.signature));
             signers.insert(m.replica);
+        }
+        // One batched pass over the whole proof (t + 1 signatures).
+        ctx.charge(CryptoOp::VerifyBatch { count: items.len() });
+        if self.verifier.verify_batch(&items).is_err() {
+            return None;
         }
         (signers.len() >= self.config.active_count()).then_some((sn, digest))
     }

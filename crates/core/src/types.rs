@@ -111,28 +111,65 @@ impl fmt::Debug for Request {
 
 /// A batch of requests ordered under a single sequence number (batching optimization,
 /// paper §4.5). A batch of one models the unbatched protocol.
-#[derive(Clone, PartialEq, Eq, Default)]
+#[derive(Default)]
 pub struct Batch {
     /// Requests in the batch, in arrival order at the primary.
     pub requests: Vec<Request>,
+    /// Lazily computed digest. A batch's digest is recomputed at every
+    /// protocol step that references it (propose, prepare, commit, execute,
+    /// consistency checks) — caching it collapses those into one hash per
+    /// batch per replica. Never serialized, and excluded from equality.
+    cached_digest: std::sync::OnceLock<Digest>,
 }
+
+impl Clone for Batch {
+    fn clone(&self) -> Self {
+        let cached_digest = std::sync::OnceLock::new();
+        // The clone holds the same requests, so the digest carries over.
+        if let Some(d) = self.cached_digest.get() {
+            let _ = cached_digest.set(*d);
+        }
+        Batch {
+            requests: self.requests.clone(),
+            cached_digest,
+        }
+    }
+}
+
+impl PartialEq for Batch {
+    fn eq(&self, other: &Self) -> bool {
+        self.requests == other.requests
+    }
+}
+
+impl Eq for Batch {}
 
 impl Batch {
     /// Creates a batch from requests.
     pub fn new(requests: Vec<Request>) -> Self {
-        Batch { requests }
+        Batch {
+            requests,
+            cached_digest: std::sync::OnceLock::new(),
+        }
     }
 
     /// Creates a batch holding a single request.
     pub fn single(request: Request) -> Self {
-        Batch {
-            requests: vec![request],
-        }
+        Batch::new(vec![request])
     }
 
     /// Digest of the whole batch, derived from its canonical wire encoding.
+    /// Computed once and cached.
     pub fn digest(&self) -> Digest {
-        xft_wire::domain_digest(b"batch", self)
+        *self
+            .cached_digest
+            .get_or_init(|| xft_wire::domain_digest(b"batch", self))
+    }
+
+    /// Seeds the digest cache with an externally computed value (the crypto
+    /// front hashes a clone on a worker thread and hands the result back).
+    pub(crate) fn warm_digest(&self, digest: Digest) {
+        let _ = self.cached_digest.set(digest);
     }
 
     /// Number of requests in the batch.

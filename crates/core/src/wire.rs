@@ -47,6 +47,7 @@ mod tag {
     pub const BUSY: u8 = 17;
     pub const STATE_REQUEST: u8 = 18;
     pub const STATE_RESPONSE: u8 = 19;
+    pub const SYNC_DONE: u8 = 20;
 }
 
 macro_rules! newtype_u64_codec {
@@ -98,7 +99,18 @@ struct_codec!(Request {
     timestamp,
     op
 });
-struct_codec!(Batch { requests });
+// `Batch` carries a non-wire digest cache, so its codec is written out: only
+// the requests cross the wire, and decoding starts with a cold cache.
+impl WireEncode for Batch {
+    fn encode_into(&self, out: &mut impl BufMut) {
+        self.requests.encode_into(out);
+    }
+}
+impl WireDecode for Batch {
+    fn decode_from(r: &mut Reader<'_>) -> Option<Self> {
+        Vec::<Request>::decode_from(r).map(Batch::new)
+    }
+}
 struct_codec!(SignedRequest { request, signature });
 struct_codec!(PrepareMsg {
     view,
@@ -211,6 +223,7 @@ impl WireEncode for ReplyMsg {
     fn encode_into(&self, out: &mut impl BufMut) {
         self.view.encode_into(out);
         self.sn.encode_into(out);
+        self.client.encode_into(out);
         self.timestamp.encode_into(out);
         self.reply_digest.encode_into(out);
         self.payload.encode_into(out);
@@ -224,6 +237,7 @@ impl WireDecode for ReplyMsg {
         Some(ReplyMsg {
             view: WireDecode::decode_from(r)?,
             sn: WireDecode::decode_from(r)?,
+            client: WireDecode::decode_from(r)?,
             timestamp: WireDecode::decode_from(r)?,
             reply_digest: WireDecode::decode_from(r)?,
             payload: WireDecode::decode_from(r)?,
@@ -236,6 +250,7 @@ impl WireDecode for ReplyMsg {
 impl WireEncode for BusyMsg {
     fn encode_into(&self, out: &mut impl BufMut) {
         self.view.encode_into(out);
+        self.client.encode_into(out);
         self.timestamp.encode_into(out);
         encode_replica(self.replica, out);
     }
@@ -245,6 +260,7 @@ impl WireDecode for BusyMsg {
     fn decode_from(r: &mut Reader<'_>) -> Option<Self> {
         Some(BusyMsg {
             view: WireDecode::decode_from(r)?,
+            client: WireDecode::decode_from(r)?,
             timestamp: WireDecode::decode_from(r)?,
             replica: decode_replica(r)?,
         })
@@ -511,6 +527,7 @@ impl WireEncode for XPaxosMsg {
             XPaxosMsg::FaultDetected(m) => (tag::FAULT_DETECTED, m).encode_into(out),
             XPaxosMsg::SuspectToClient(m) => (tag::SUSPECT_TO_CLIENT, m).encode_into(out),
             XPaxosMsg::Busy(m) => (tag::BUSY, m).encode_into(out),
+            XPaxosMsg::SyncDone(lsn) => (tag::SYNC_DONE, lsn).encode_into(out),
         }
     }
 }
@@ -542,6 +559,7 @@ impl WireDecode for XPaxosMsg {
             tag::FAULT_DETECTED => XPaxosMsg::FaultDetected(WireDecode::decode_from(r)?),
             tag::SUSPECT_TO_CLIENT => XPaxosMsg::SuspectToClient(WireDecode::decode_from(r)?),
             tag::BUSY => XPaxosMsg::Busy(WireDecode::decode_from(r)?),
+            tag::SYNC_DONE => XPaxosMsg::SyncDone(WireDecode::decode_from(r)?),
             _ => return None,
         })
     }
@@ -648,6 +666,7 @@ mod tests {
         round_trip(XPaxosMsg::Reply(ReplyMsg {
             view: ViewNumber(1),
             sn: SeqNum(4),
+            client: ClientId(9),
             timestamp: 77,
             reply_digest: Digest::of(b"r"),
             payload: Some(Bytes::from_static(b"payload")),
@@ -699,9 +718,11 @@ mod tests {
         }));
         round_trip(XPaxosMsg::Busy(BusyMsg {
             view: ViewNumber(3),
+            client: ClientId(7),
             timestamp: 42,
             replica: 0,
         }));
+        round_trip(XPaxosMsg::SyncDone(123_456));
         round_trip(XPaxosMsg::StateRequest(StateRequestMsg {
             min_sn: SeqNum(128),
             replica: 2,

@@ -19,6 +19,11 @@ pub enum CryptoOp {
     Sign,
     /// Verifying a digital signature.
     VerifySig,
+    /// Verifying a batch of `count` digital signatures in one pass.
+    VerifyBatch {
+        /// Number of signatures in the batch.
+        count: usize,
+    },
     /// Computing one MAC tag.
     Mac {
         /// Number of bytes authenticated.
@@ -84,6 +89,7 @@ impl CostModel {
             CryptoOp::Hash { len } => self.mac_fixed_ns + per_byte(len),
             CryptoOp::Sign => self.sign_ns,
             CryptoOp::VerifySig => self.verify_sig_ns,
+            CryptoOp::VerifyBatch { count } => self.verify_sig_ns * count as u64,
             CryptoOp::Mac { len } | CryptoOp::VerifyMac { len } => {
                 self.mac_fixed_ns + per_byte(len)
             }
@@ -126,6 +132,16 @@ mod tests {
         ] {
             assert_eq!(m.cost_ns(op), 0);
         }
+    }
+
+    #[test]
+    fn batch_verify_charges_linearly() {
+        let m = CostModel::paper_default();
+        assert_eq!(
+            m.cost_ns(CryptoOp::VerifyBatch { count: 20 }),
+            20 * m.cost_ns(CryptoOp::VerifySig)
+        );
+        assert_eq!(m.cost_ns(CryptoOp::VerifyBatch { count: 0 }), 0);
     }
 
     #[test]

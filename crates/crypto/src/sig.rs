@@ -8,13 +8,23 @@
 //! implementation. The substitution is documented in DESIGN.md.
 
 use crate::digest::Digest;
-use crate::hmac::{hmac_sha256, verify_tag};
+use crate::hmac::{verify_tag, HmacKey};
 use crate::keys::{KeyId, KeyRegistry, SecretKey};
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, RwLock};
 
 /// Domain-separation prefix so signature tags can never collide with channel MAC tags.
 const SIG_DOMAIN: &[u8] = b"xft-signature-v1";
+
+/// Computes the signature tag for (`id`, `digest`) under a precomputed HMAC key.
+fn tag_for(hmac: &HmacKey, id: KeyId, digest: &Digest) -> [u8; 32] {
+    let mut ctx = hmac.start();
+    ctx.update(SIG_DOMAIN);
+    ctx.update(&id.0.to_le_bytes());
+    ctx.update(digest.as_bytes());
+    ctx.finalize()
+}
 
 /// A signature over a message digest, attributable to `signer`.
 #[derive(Clone, Copy, PartialEq, Eq, Hash)]
@@ -67,17 +77,22 @@ impl fmt::Display for SignError {
 impl std::error::Error for SignError {}
 
 /// Signing handle held by a single node. Owns the node's secret key.
+///
+/// The HMAC midstates for the key are precomputed at construction
+/// ([`HmacKey`]), so each signature costs only the message compressions
+/// (three for a digest-sized input) rather than re-deriving the pads.
 #[derive(Clone)]
 pub struct Signer {
     id: KeyId,
-    key: SecretKey,
+    hmac: HmacKey,
 }
 
 impl Signer {
     /// Creates a signer for `id`, registering its key with `registry`.
     pub fn new(registry: &KeyRegistry, id: KeyId) -> Self {
-        let key = registry.register(id);
-        Signer { id, key }
+        let key: SecretKey = registry.register(id);
+        let hmac = HmacKey::new(key.as_bytes());
+        Signer { id, hmac }
     }
 
     /// The identity this signer signs as.
@@ -87,13 +102,9 @@ impl Signer {
 
     /// Signs a message digest.
     pub fn sign_digest(&self, digest: &Digest) -> Signature {
-        let mut buf = Vec::with_capacity(SIG_DOMAIN.len() + 8 + 32);
-        buf.extend_from_slice(SIG_DOMAIN);
-        buf.extend_from_slice(&self.id.0.to_le_bytes());
-        buf.extend_from_slice(digest.as_bytes());
         Signature {
             signer: self.id,
-            tag: hmac_sha256(self.key.as_bytes(), &buf),
+            tag: tag_for(&self.hmac, self.id, digest),
         }
     }
 
@@ -110,33 +121,84 @@ impl fmt::Debug for Signer {
 }
 
 /// Verification handle shared by all nodes; wraps the key registry.
+///
+/// Per-signer HMAC midstates are cached on first use, so steady-state
+/// verification of a busy signer's signatures skips the key-pad setup.
 #[derive(Clone)]
 pub struct Verifier {
     registry: Arc<KeyRegistry>,
+    hmac_cache: Arc<RwLock<HashMap<KeyId, HmacKey>>>,
 }
 
 impl Verifier {
     /// Creates a verifier backed by `registry`.
     pub fn new(registry: Arc<KeyRegistry>) -> Self {
-        Verifier { registry }
+        Verifier {
+            registry,
+            hmac_cache: Arc::new(RwLock::new(HashMap::new())),
+        }
+    }
+
+    /// Returns the (cached) HMAC midstate for `signer`, or an error if the
+    /// identity is unknown.
+    fn hmac_of(&self, signer: KeyId) -> Result<HmacKey, SignError> {
+        if let Some(h) = self.hmac_cache.read().unwrap().get(&signer) {
+            return Ok(h.clone());
+        }
+        let key = self
+            .registry
+            .key_of(signer)
+            .ok_or(SignError::UnknownSigner(signer))?;
+        let h = HmacKey::new(key.as_bytes());
+        self.hmac_cache.write().unwrap().insert(signer, h.clone());
+        Ok(h)
     }
 
     /// Verifies that `sig` is a valid signature by `sig.signer` over `digest`.
     pub fn verify_digest(&self, digest: &Digest, sig: &Signature) -> Result<(), SignError> {
-        let key = self
-            .registry
-            .key_of(sig.signer)
-            .ok_or(SignError::UnknownSigner(sig.signer))?;
-        let mut buf = Vec::with_capacity(SIG_DOMAIN.len() + 8 + 32);
-        buf.extend_from_slice(SIG_DOMAIN);
-        buf.extend_from_slice(&sig.signer.0.to_le_bytes());
-        buf.extend_from_slice(digest.as_bytes());
-        let expected = hmac_sha256(key.as_bytes(), &buf);
+        let hmac = self.hmac_of(sig.signer)?;
+        let expected = tag_for(&hmac, sig.signer, digest);
         if verify_tag(&expected, &sig.tag) {
             Ok(())
         } else {
             Err(SignError::BadSignature(sig.signer))
         }
+    }
+
+    /// Verifies a whole batch of `(digest, signature)` pairs in one pass.
+    ///
+    /// The fast path folds every per-item tag difference into a single
+    /// accumulator and performs one comparison at the end — the common case
+    /// (every signature valid) never branches per item. If the fold is
+    /// non-zero (or a signer is unknown), a per-signature fallback pass
+    /// pinpoints the culprits and returns their indices, so the caller can
+    /// drop exactly the bad requests and re-admit the rest.
+    pub fn verify_batch(&self, items: &[(Digest, Signature)]) -> Result<(), Vec<usize>> {
+        let mut fold = 0u8;
+        let mut unknown = false;
+        for (digest, sig) in items {
+            match self.hmac_of(sig.signer) {
+                Ok(hmac) => {
+                    let expected = tag_for(&hmac, sig.signer, digest);
+                    for (e, a) in expected.iter().zip(sig.tag.iter()) {
+                        fold |= e ^ a;
+                    }
+                }
+                Err(_) => unknown = true,
+            }
+        }
+        if fold == 0 && !unknown {
+            return Ok(());
+        }
+        // Fallback: identify exactly which signatures failed.
+        let culprits: Vec<usize> = items
+            .iter()
+            .enumerate()
+            .filter(|(_, (digest, sig))| self.verify_digest(digest, sig).is_err())
+            .map(|(i, _)| i)
+            .collect();
+        debug_assert!(!culprits.is_empty());
+        Err(culprits)
     }
 
     /// Verifies a signature over raw bytes.
@@ -222,6 +284,49 @@ mod tests {
         let sig = alice.sign_digest(&d);
         assert!(verifier.verify_bytes(b"payload", &sig).is_ok());
         assert!(verifier.is_valid_digest(&d, &sig));
+    }
+
+    #[test]
+    fn batch_verify_accepts_all_valid_signatures() {
+        let (_r, alice, bob, verifier) = setup();
+        let items: Vec<(Digest, Signature)> = (0..16u32)
+            .map(|i| {
+                let d = Digest::of(&i.to_le_bytes());
+                let sig = if i % 2 == 0 {
+                    alice.sign_digest(&d)
+                } else {
+                    bob.sign_digest(&d)
+                };
+                (d, sig)
+            })
+            .collect();
+        assert_eq!(verifier.verify_batch(&items), Ok(()));
+        assert_eq!(verifier.verify_batch(&[]), Ok(()));
+    }
+
+    #[test]
+    fn batch_verify_fallback_pinpoints_culprits() {
+        let (_r, alice, _b, verifier) = setup();
+        let mut items: Vec<(Digest, Signature)> = (0..8u32)
+            .map(|i| {
+                let d = Digest::of(&i.to_le_bytes());
+                (d, alice.sign_digest(&d))
+            })
+            .collect();
+        items[3].1.tag[0] ^= 0x80;
+        items[6].1 = Signature::forged(KeyId(1));
+        assert_eq!(verifier.verify_batch(&items), Err(vec![3, 6]));
+    }
+
+    #[test]
+    fn batch_verify_flags_unknown_signers() {
+        let (_r, alice, _b, verifier) = setup();
+        let d = Digest::of(b"x");
+        let good = alice.sign_digest(&d);
+        let mut stranger = good;
+        stranger.signer = KeyId(4242);
+        let items = vec![(d, good), (d, stranger)];
+        assert_eq!(verifier.verify_batch(&items), Err(vec![1]));
     }
 
     #[test]

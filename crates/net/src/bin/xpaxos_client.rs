@@ -5,7 +5,7 @@
 //! xpaxos-client --t 1 --clients 4 --window 8 \
 //!     --addrs <replica addrs>,<client addrs> \
 //!     --ops 1000 [--id 0] [--payload 1024] [--seed 1] [--delta-ms 500] \
-//!     [--retransmit-ms 2000] [--timeout-secs 60]
+//!     [--retransmit-ms 2000] [--timeout-secs 60] [--mux 1] [--json OUT]
 //! ```
 //!
 //! Without `--id` the binary spawns **all** `--clients` windowed workers
@@ -16,12 +16,17 @@
 //! service; the binary prints aggregate throughput plus p50/p90/p99 latency
 //! and exits 0 once every worker commits its target. A cluster that fails to
 //! commit the target within `--timeout-secs` exits 1.
+//!
+//! `--mux 1` runs all workers as sub-clients of one [`MuxClient`] on a single
+//! socket — the servers must then publish the same address for every client
+//! slot (pass the first client address `clients` times). `--json OUT` writes
+//! `{"ops_per_sec", "p50", "p90", "p99"}` (latencies in milliseconds).
 
 use std::net::TcpListener;
 use std::process::exit;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
-use xft_core::client::Client;
+use xft_core::client::{Client, MuxClient};
 use xft_core::types::ClientId;
 use xft_core::XPaxosConfig;
 use xft_crypto::KeyRegistry;
@@ -97,6 +102,77 @@ fn run_worker(
     }
 }
 
+/// Runs **all** workers as sub-clients of one [`MuxClient`] on a single
+/// socket (`--mux`). The cluster must publish the same address for every
+/// client slot; replies are demultiplexed by their `client` echo.
+#[allow(clippy::too_many_arguments)]
+fn run_mux(
+    config: XPaxosConfig,
+    registry: Arc<KeyRegistry>,
+    book: Arc<AddressBook>,
+    clients: usize,
+    ops: u64,
+    payload: usize,
+    seed: u64,
+    deadline: Instant,
+) -> WorkerResult {
+    let n = config.n();
+    let subs: Vec<Client> = (0..clients)
+        .map(|id| {
+            let workload = bench_workload(id as u64, payload, Some(ops));
+            Client::new(ClientId(id as u64), config.clone(), &registry, workload)
+        })
+        .collect();
+    let mux = MuxClient::new(subs);
+    let listener = match TcpListener::bind(book.get(n).expect("client addr published")) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("xpaxos-client: mux cannot bind: {e}");
+            return WorkerResult {
+                committed: 0,
+                latencies: Vec::new(),
+            };
+        }
+    };
+    // Every client slot resolves to the mux endpoint.
+    let local = listener.local_addr().expect("mux listener addr");
+    for id in 0..clients {
+        book.set(n + id, local);
+    }
+    let mut runtime = match TcpRuntime::start(
+        mux,
+        n,
+        book,
+        listener,
+        NetConfig {
+            seed: seed ^ 0xC11E47,
+            ..NetConfig::default()
+        },
+        StartMode::Fresh,
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("xpaxos-client: mux start failed: {e}");
+            return WorkerResult {
+                committed: 0,
+                latencies: Vec::new(),
+            };
+        }
+    };
+    let target = ops * clients as u64;
+    let handle = runtime.handle();
+    while handle.committed() < target && Instant::now() < deadline {
+        runtime.run_for(Duration::from_millis(100));
+    }
+    let committed = handle.committed();
+    let latencies = handle.latencies();
+    runtime.shutdown();
+    WorkerResult {
+        committed,
+        latencies,
+    }
+}
+
 fn main() {
     let mut args = Args::parse();
     let t: usize = args.required("--t");
@@ -110,6 +186,8 @@ fn main() {
     let delta_ms: u64 = args.optional("--delta-ms").unwrap_or(500);
     let retransmit_ms: u64 = args.optional("--retransmit-ms").unwrap_or(2000);
     let timeout_secs: u64 = args.optional("--timeout-secs").unwrap_or(60);
+    let mux: u64 = args.optional("--mux").unwrap_or(0);
+    let json_out: Option<String> = args.optional("--json");
     // Accepted for flag-list parity with xpaxos-server; only the servers act
     // on them.
     let _max_in_flight: Option<usize> = args.optional("--max-in-flight");
@@ -118,6 +196,7 @@ fn main() {
     let _checkpoint_interval: Option<u64> = args.optional("--checkpoint-interval");
     let _data_dir: Option<String> = args.optional("--data-dir");
     let _fsync_batch: Option<u64> = args.optional("--fsync-batch");
+    let _batch_size: Option<usize> = args.optional("--batch-size");
     args.finish();
 
     let addrs = match parse_node_addrs(&addrs_raw) {
@@ -163,25 +242,37 @@ fn main() {
 
     let started = Instant::now();
     let deadline = started + Duration::from_secs(timeout_secs);
-    let handles: Vec<std::thread::JoinHandle<WorkerResult>> = worker_ids
-        .into_iter()
-        .map(|id| {
-            let config = config.clone();
-            let registry = Arc::clone(&registry);
-            let book = Arc::clone(&book);
-            std::thread::Builder::new()
-                .name(format!("client-{id}"))
-                .spawn(move || run_worker(id, config, registry, book, ops, payload, seed, deadline))
-                .expect("spawn client worker")
-        })
-        .collect();
-
-    let mut committed = 0u64;
-    let mut latencies: Vec<Duration> = Vec::new();
-    for handle in handles {
-        let result = handle.join().expect("client worker panicked");
-        committed += result.committed;
-        latencies.extend(result.latencies);
+    let (mut committed, mut latencies): (u64, Vec<Duration>) = (0, Vec::new());
+    if mux != 0 {
+        if only_id.is_some() {
+            eprintln!("xpaxos-client: --id and --mux are mutually exclusive");
+            exit(2);
+        }
+        let result = run_mux(
+            config, registry, book, clients, ops, payload, seed, deadline,
+        );
+        committed = result.committed;
+        latencies = result.latencies;
+    } else {
+        let handles: Vec<std::thread::JoinHandle<WorkerResult>> = worker_ids
+            .into_iter()
+            .map(|id| {
+                let config = config.clone();
+                let registry = Arc::clone(&registry);
+                let book = Arc::clone(&book);
+                std::thread::Builder::new()
+                    .name(format!("client-{id}"))
+                    .spawn(move || {
+                        run_worker(id, config, registry, book, ops, payload, seed, deadline)
+                    })
+                    .expect("spawn client worker")
+            })
+            .collect();
+        for handle in handles {
+            let result = handle.join().expect("client worker panicked");
+            committed += result.committed;
+            latencies.extend(result.latencies);
+        }
     }
     let elapsed = started.elapsed();
 
@@ -190,7 +281,8 @@ fn main() {
         "xpaxos-client: committed {committed}/{total_target} ops in {:.2} s ({throughput:.1} ops/s)",
         elapsed.as_secs_f64()
     );
-    if let Some(stats) = criterion::summarize(&mut latencies) {
+    let stats = criterion::summarize(&mut latencies);
+    if let Some(stats) = &stats {
         println!(
             "xpaxos-client: latency min {}  mean {}  p50 {}  p90 {}  p99 {}",
             criterion::fmt_duration(stats.min),
@@ -199,6 +291,20 @@ fn main() {
             criterion::fmt_duration(stats.p90),
             criterion::fmt_duration(stats.p99),
         );
+    }
+    if let Some(path) = json_out {
+        // Latency percentiles in milliseconds.
+        let ms = |d: Duration| d.as_secs_f64() * 1e3;
+        let (p50, p90, p99) = stats
+            .as_ref()
+            .map(|s| (ms(s.p50()), ms(s.p90), ms(s.p99)))
+            .unwrap_or((0.0, 0.0, 0.0));
+        let json = format!(
+            "{{\"ops_per_sec\": {throughput:.1}, \"p50\": {p50:.4}, \"p90\": {p90:.4}, \"p99\": {p99:.4}}}\n"
+        );
+        if let Err(e) = std::fs::write(&path, json) {
+            eprintln!("xpaxos-client: cannot write {path}: {e}");
+        }
     }
     exit(if committed >= total_target { 0 } else { 1 });
 }

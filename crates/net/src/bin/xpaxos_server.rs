@@ -6,7 +6,9 @@
 //!     --addrs 127.0.0.1:7000,127.0.0.1:7001,127.0.0.1:7002,127.0.0.1:7010 \
 //!     [--seed 1] [--delta-ms 500] [--retransmit-ms 2000] [--run-secs 0] \
 //!     [--window 1] [--max-in-flight 8] [--adaptive 1] [--max-pending 4096] \
-//!     [--data-dir PATH] [--fsync-batch 1] [--checkpoint-interval 128] \
+//!     [--batch-size 20] \
+//!     [--data-dir PATH] [--fsync-batch 1] [--fsync-overlap 0|1] \
+//!     [--crypto-workers 0] [--checkpoint-interval 128] \
 //!     [--metrics-addr 127.0.0.1:9100] [--telemetry 0|1]
 //! ```
 //!
@@ -18,8 +20,10 @@
 //! The pipeline knobs mirror `xft_simnet::PipelineConfig`: `--max-in-flight`
 //! bounds how many batches the primary keeps in flight, `--adaptive 0`
 //! restores the seed's always-wait batch timer, `--max-pending` bounds the
-//! admission queue (overflow is shed with BUSY), and `--window` is accepted
-//! so all cluster processes can share one flag list.
+//! admission queue (overflow is shed with BUSY), `--batch-size` caps requests
+//! per proposed batch (larger batches amortize per-round protocol cost under
+//! many windowed clients), and `--window` is accepted so all cluster
+//! processes can share one flag list.
 //!
 //! With `--data-dir` the replica runs on durable storage (`xft-store`): every
 //! prepare/commit/view transition is WAL-logged and stable checkpoints
@@ -28,7 +32,14 @@
 //! re-execute — and rejoins the live cluster, fetching anything newer through
 //! verified state transfer. `--fsync-batch` is the group-commit knob: `1`
 //! fsyncs per record (full durability), `N` once per `N` records, `0` never
-//! (OS page cache only).
+//! (OS page cache only). `--fsync-overlap 1` moves fsyncs to a background
+//! thread: ordering proceeds while the disk syncs, and client replies are
+//! held until the WAL is durable up to their LSN (same durability promise,
+//! fsync latency off the critical path).
+//!
+//! `--crypto-workers N` (N > 0) moves signature verification and signing to
+//! a worker pool (`FrontMode::Pool`); the default keeps crypto inline, which
+//! is the right call on single-core hosts.
 //!
 //! `--metrics-addr` starts an in-process Prometheus-text scrape endpoint
 //! (`GET /metrics`) with a `/healthz` synchrony report, and implies
@@ -45,6 +56,8 @@ use std::process::exit;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use xft_core::messages::XPaxosMsg;
+use xft_core::pipeline::FrontMode;
 use xft_core::replica::Replica;
 use xft_core::XPaxosConfig;
 use xft_crypto::KeyRegistry;
@@ -74,6 +87,9 @@ fn main() {
     let max_pending: usize = args.optional("--max-pending").unwrap_or(4096);
     let data_dir: Option<String> = args.optional("--data-dir");
     let fsync_batch: u64 = args.optional("--fsync-batch").unwrap_or(1);
+    let fsync_overlap: u64 = args.optional("--fsync-overlap").unwrap_or(0);
+    let crypto_workers: u64 = args.optional("--crypto-workers").unwrap_or(0);
+    let batch_size: Option<usize> = args.optional("--batch-size");
     let checkpoint_interval: u64 = args.optional("--checkpoint-interval").unwrap_or(128);
     let metrics_addr: Option<String> = args.optional("--metrics-addr");
     let telemetry_on: u64 = args
@@ -111,11 +127,14 @@ fn main() {
             exit(2);
         }
     };
-    let config = XPaxosConfig::new(t, clients)
+    let mut config = XPaxosConfig::new(t, clients)
         .with_delta(SimDuration::from_millis(delta_ms))
         .with_client_retransmit(SimDuration::from_millis(retransmit_ms))
         .with_checkpoint_interval(checkpoint_interval)
         .with_pipeline(pipeline);
+    if let Some(batch) = batch_size {
+        config = config.with_batch_size(batch);
+    }
     let n = config.n();
     if id >= n {
         eprintln!("xpaxos-server: --id {id} out of range for t = {t} (n = {n})");
@@ -136,18 +155,27 @@ fn main() {
     register_cluster_keys(&registry, &config);
     let mut replica = Replica::new(id, config, &registry, Box::new(CoordinationService::new()))
         .with_telemetry(Arc::clone(&telemetry));
+    if crypto_workers > 0 {
+        replica = replica.with_crypto_front(FrontMode::Pool(crypto_workers as usize));
+    }
 
     // With a data directory the replica runs on durable storage; an existing
     // directory means this is a restart, so recover before going live.
     let mut start_mode = StartMode::Fresh;
+    let mut sync_notifier = None;
     if let Some(dir) = &data_dir {
-        let storage = match DiskStorage::open(dir, SyncPolicy::every(fsync_batch)) {
+        let mut policy = SyncPolicy::every(fsync_batch);
+        if fsync_overlap != 0 {
+            policy = policy.overlapped();
+        }
+        let storage = match DiskStorage::open(dir, policy) {
             Ok(s) => s.with_telemetry(Arc::clone(&telemetry)),
             Err(e) => {
                 eprintln!("xpaxos-server: cannot open --data-dir {dir}: {e}");
                 exit(1);
             }
         };
+        sync_notifier = storage.sync_notifier_slot();
         let had_state = storage.has_state();
         replica = replica.with_storage(Box::new(storage));
         if had_state {
@@ -208,6 +236,13 @@ fn main() {
         "xpaxos-server: replica {id} of {n} listening on {} (t = {t}, delta = {delta_ms} ms)",
         runtime.local_addr()
     );
+    // Late-bind the fsync-completion callback now that the inbox exists:
+    // each background fsync surfaces as a local SyncDone message, releasing
+    // any client replies gated on the newly durable LSN.
+    if let Some(slot) = sync_notifier {
+        let inject = runtime.local_injector();
+        let _ = slot.set(Box::new(move |lsn| inject(XPaxosMsg::SyncDone(lsn))));
+    }
 
     let metrics_shutdown = Arc::new(AtomicBool::new(false));
     let metrics_server = metrics_addr.as_deref().map(|raw| {

@@ -10,11 +10,11 @@
 //! [`Metrics`] collector the simulator uses.
 
 use crate::address::AddressBook;
-use crate::transport::{spawn_acceptor, PeerLink, TransportStats};
+use crate::transport::{spawn_acceptor, PeerSender, TransportStats, WriterPool};
 use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError};
+use std::sync::mpsc::{sync_channel, Receiver, RecvTimeoutError, SyncSender};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -40,6 +40,11 @@ pub struct NetConfig {
     /// connection readers block on it, exerting TCP backpressure on peers
     /// instead of buffering without bound.
     pub inbox_capacity: usize,
+    /// Writer threads in the outbound [`WriterPool`]; peers are spread over
+    /// them round-robin. Two is a good default: one shard can sit in a slow
+    /// syscall while the other keeps draining, without spawning a thread per
+    /// peer (a replica serving 64 clients would otherwise run 64 senders).
+    pub writer_shards: usize,
     /// Clock origin for the actor-visible time. Defaults to "when this
     /// runtime started"; harnesses that compare event times *across* nodes
     /// (the chaos history checker) pass one shared origin to every runtime
@@ -62,6 +67,7 @@ impl Default for NetConfig {
             reconnect_delay: Duration::from_millis(200),
             queue_capacity: 4096,
             inbox_capacity: 65536,
+            writer_shards: 2,
             origin: None,
             telemetry: Telemetry::disabled(),
         }
@@ -181,7 +187,8 @@ where
     timers: BinaryHeap<ArmedTimer>,
     cancelled: HashSet<TimerId>,
     timer_seq: u64,
-    links: HashMap<NodeId, PeerLink>,
+    writers: Option<WriterPool>,
+    links: HashMap<NodeId, PeerSender>,
     inbox_rx: Receiver<(NodeId, A::Msg, Option<TraceContext>)>,
     /// Self-sends bypass the bounded network inbox: the protocol thread is
     /// the inbox's only consumer, so blocking on it here would self-deadlock.
@@ -193,9 +200,12 @@ where
     stats: Arc<TransportStats>,
     accept_thread: Option<JoinHandle<()>>,
     reader_threads: Arc<Mutex<Vec<JoinHandle<()>>>>,
-    book: Arc<AddressBook>,
     config: NetConfig,
     local_addr: SocketAddr,
+    /// A kept clone of the inbox sender, handed out by [`Self::local_injector`]
+    /// so other threads (e.g. a storage fsync-completion callback) can post a
+    /// message to this node as if it arrived from itself.
+    injector_tx: SyncSender<(NodeId, A::Msg, Option<TraceContext>)>,
     events_processed: u64,
 }
 
@@ -226,6 +236,7 @@ where
         let (inbox_tx, inbox_rx) =
             sync_channel::<(NodeId, A::Msg, Option<TraceContext>)>(config.inbox_capacity);
         let reader_threads = Arc::new(Mutex::new(Vec::new()));
+        let injector_tx = inbox_tx.clone();
         let accept_thread = spawn_acceptor::<A::Msg>(
             local,
             listener,
@@ -236,6 +247,15 @@ where
             config.max_frame,
         );
 
+        let writers = WriterPool::new(
+            local,
+            book.clone(),
+            handle.shutdown_flag(),
+            stats.clone(),
+            config.writer_shards,
+            config.queue_capacity,
+            config.reconnect_delay,
+        );
         let mut runtime = TcpRuntime {
             actor,
             local,
@@ -245,6 +265,7 @@ where
             timers: BinaryHeap::new(),
             cancelled: HashSet::new(),
             timer_seq: 0,
+            writers: Some(writers),
             links: HashMap::new(),
             inbox_rx,
             pending_local: VecDeque::new(),
@@ -253,9 +274,9 @@ where
             stats,
             accept_thread: Some(accept_thread),
             reader_threads,
-            book,
             config,
             local_addr,
+            injector_tx,
             events_processed: 0,
         };
         // Sender threads are created lazily by ensure_link on the first send
@@ -276,6 +297,23 @@ where
     /// The shared observability/shutdown handle.
     pub fn handle(&self) -> Arc<NetHandle> {
         self.handle.clone()
+    }
+
+    /// Returns a thread-safe closure that posts `msg` to this node's own
+    /// inbox, attributed to the node itself. Used to surface completions from
+    /// background threads (e.g. the WAL's overlapped-fsync thread) into the
+    /// protocol loop. Best-effort: if the inbox is momentarily full the
+    /// notification is dropped — acceptable for edge-triggered signals that
+    /// are re-raised by the next completion.
+    pub fn local_injector(&self) -> impl Fn(A::Msg) + Send + Sync + 'static
+    where
+        A::Msg: Sync,
+    {
+        let tx = self.injector_tx.clone();
+        let local = self.local;
+        move |msg| {
+            let _ = tx.try_send((local, msg, None));
+        }
     }
 
     /// Transport counters (sent/received/dropped frames).
@@ -384,26 +422,16 @@ where
         xft_telemetry::trace::clear();
     }
 
-    /// Returns the sender link for `peer`, spawning its thread on first use.
-    fn ensure_link(&mut self, peer: NodeId) -> &PeerLink {
-        let (local, book, handle, stats, config) = (
-            self.local,
-            &self.book,
-            &self.handle,
-            &self.stats,
-            &self.config,
-        );
-        self.links.entry(peer).or_insert_with(|| {
-            PeerLink::spawn(
-                local,
-                peer,
-                book.clone(),
-                handle.shutdown_flag(),
-                stats.clone(),
-                config.queue_capacity,
-                config.reconnect_delay,
-            )
-        })
+    /// Returns the sender handle for `peer`, registering it with the writer
+    /// pool on first use.
+    fn ensure_link(&mut self, peer: NodeId) -> &PeerSender {
+        let writers = self
+            .writers
+            .as_mut()
+            .expect("writer pool alive until shutdown");
+        self.links
+            .entry(peer)
+            .or_insert_with(|| writers.sender(peer))
     }
 
     fn apply(&mut self, now: SimTime, effects: StepEffects<A::Msg>) {
@@ -458,8 +486,9 @@ where
     /// that survives into a [`StartMode::Recovered`] restart).
     pub fn shutdown(mut self) -> A {
         self.handle.request_shutdown();
-        for (_, link) in self.links.drain() {
-            link.join();
+        self.links.clear();
+        if let Some(writers) = self.writers.take() {
+            writers.join();
         }
         if let Some(h) = self.accept_thread.take() {
             let _ = h.join();

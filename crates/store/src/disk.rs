@@ -13,24 +13,68 @@
 //! forget.
 
 use crate::wal::{frame_record, scan_records};
-use crate::{DiskFault, Recovered, Storage, StorageStats, SyncPolicy, TailState};
+use crate::{DiskFault, Recovered, Storage, StorageStats, SyncNotifier, SyncPolicy, TailState};
 use std::fs::{File, OpenOptions};
 use std::io::{Read, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 
 const WAL_FILE: &str = "wal.log";
 const WAL_TMP: &str = "wal.tmp";
 const SNAPSHOT_FILE: &str = "snapshot.bin";
 const SNAPSHOT_TMP: &str = "snapshot.tmp";
 
+/// Shared state of the background fsync thread (overlapped group commit).
+///
+/// The appending thread writes records and bumps `appended`; the fsync
+/// thread captures that LSN, dups the WAL handle, `sync_data`s it, and
+/// advances `durable` — so while one fsync is in flight the next batch of
+/// appends accumulates, and durability completion is decoupled from append
+/// admission exactly as the pipelined-commit design wants.
+struct Overlap {
+    appended: Arc<AtomicU64>,
+    durable: Arc<AtomicU64>,
+    syncs: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    wake: Arc<(Mutex<()>, Condvar)>,
+    notifier: SyncNotifier,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Overlap {
+    fn new() -> Self {
+        Overlap {
+            appended: Arc::new(AtomicU64::new(0)),
+            durable: Arc::new(AtomicU64::new(0)),
+            syncs: Arc::new(AtomicU64::new(0)),
+            stop: Arc::new(AtomicBool::new(false)),
+            wake: Arc::new((Mutex::new(()), Condvar::new())),
+            notifier: SyncNotifier::default(),
+            thread: None,
+        }
+    }
+
+    /// Wakes the fsync thread; the lock round-trip closes the race between
+    /// its predicate check and its wait.
+    fn wake(&self) {
+        let _guard = self.wake.0.lock().expect("fsync wake lock poisoned");
+        self.wake.1.notify_all();
+    }
+}
+
 /// Durable storage rooted at a data directory.
 pub struct DiskStorage {
     dir: PathBuf,
-    wal: File,
+    /// Shared with the overlap fsync thread, which dups the handle under the
+    /// lock and syncs outside it — appends only hold the lock for the write
+    /// syscall, never for a disk flush.
+    wal: Arc<Mutex<File>>,
     policy: SyncPolicy,
     stats: StorageStats,
     unsynced: u64,
     telemetry: std::sync::Arc<xft_telemetry::Telemetry>,
+    overlap: Option<Overlap>,
 }
 
 impl std::fmt::Debug for DiskStorage {
@@ -60,7 +104,7 @@ impl DiskStorage {
         let wal_bytes = wal.metadata()?.len();
         Ok(DiskStorage {
             dir,
-            wal,
+            wal: Arc::new(Mutex::new(wal)),
             policy,
             stats: StorageStats {
                 wal_bytes,
@@ -68,7 +112,94 @@ impl DiskStorage {
             },
             unsynced: 0,
             telemetry: xft_telemetry::Telemetry::disabled(),
+            overlap: policy.overlap.then(Overlap::new),
         })
+    }
+
+    /// The completion-callback slot of an overlapped storage (`None` without
+    /// `SyncPolicy::overlapped`). Install the callback once the receiver
+    /// exists — typically a closure posting a "sync done" message into the
+    /// protocol runtime's inbox.
+    pub fn sync_notifier_slot(&self) -> Option<SyncNotifier> {
+        self.overlap.as_ref().map(|o| o.notifier.clone())
+    }
+
+    /// Spawns the background fsync thread on first use (lazily, so it
+    /// captures the telemetry hub attached after `open`).
+    fn ensure_overlap_thread(&mut self) {
+        let telemetry = self.telemetry.clone();
+        let wal = self.wal.clone();
+        let Some(overlap) = self.overlap.as_mut() else {
+            return;
+        };
+        if overlap.thread.is_some() {
+            return;
+        }
+        let (appended, durable, syncs) = (
+            overlap.appended.clone(),
+            overlap.durable.clone(),
+            overlap.syncs.clone(),
+        );
+        let (stop, wake, notifier) = (
+            overlap.stop.clone(),
+            overlap.wake.clone(),
+            overlap.notifier.clone(),
+        );
+        let thread = std::thread::Builder::new()
+            .name("xft-fsync".into())
+            .spawn(move || loop {
+                {
+                    let (lock, cv) = &*wake;
+                    let mut guard = lock.lock().expect("fsync wake lock poisoned");
+                    while !stop.load(Ordering::Relaxed)
+                        && appended.load(Ordering::Acquire) <= durable.load(Ordering::Acquire)
+                    {
+                        guard = cv.wait(guard).expect("fsync wake lock poisoned");
+                    }
+                }
+                if stop.load(Ordering::Relaxed) {
+                    return;
+                }
+                // Everything written before this load is covered by the
+                // sync below; anything racing in after it rides the next
+                // round (that is the pipelining).
+                let target = appended.load(Ordering::Acquire);
+                let file = Self::fatal(
+                    wal.lock().expect("WAL lock poisoned").try_clone(),
+                    "WAL handle dup",
+                );
+                let started = telemetry.is_enabled().then(std::time::Instant::now);
+                // A sync failure panics this thread: `durable` stops
+                // advancing, so the replica stalls its durability promises
+                // rather than acknowledging writes the disk never took.
+                Self::fatal(file.sync_data(), "WAL fsync");
+                durable.fetch_max(target, Ordering::AcqRel);
+                syncs.fetch_add(1, Ordering::Relaxed);
+                if let Some(started) = started {
+                    telemetry.add("xft_wal_fsyncs_total", 1);
+                    telemetry.observe(
+                        "xft_wal_fsync_seconds",
+                        1e-9,
+                        started.elapsed().as_nanos() as u64,
+                    );
+                }
+                if let Some(notify) = notifier.get() {
+                    notify(target);
+                }
+            })
+            .expect("spawn fsync thread");
+        overlap.thread = Some(thread);
+    }
+
+    /// Marks everything appended so far durable (callers that just performed
+    /// a full synchronous barrier themselves: snapshot install, WAL rewrite,
+    /// fault injection).
+    fn mark_all_durable(&self) {
+        if let Some(overlap) = &self.overlap {
+            overlap
+                .durable
+                .fetch_max(overlap.appended.load(Ordering::Acquire), Ordering::AcqRel);
+        }
     }
 
     /// Attaches a telemetry hub: WAL appends and fsyncs are counted and
@@ -101,8 +232,9 @@ impl DiskStorage {
 
     fn read_wal_bytes(&mut self) -> Vec<u8> {
         let mut bytes = Vec::new();
-        Self::fatal(self.wal.seek(SeekFrom::Start(0)), "WAL seek");
-        Self::fatal(self.wal.read_to_end(&mut bytes), "WAL read");
+        let mut wal = self.wal.lock().expect("WAL lock poisoned");
+        Self::fatal(wal.seek(SeekFrom::Start(0)), "WAL seek");
+        Self::fatal(wal.read_to_end(&mut bytes), "WAL read");
         bytes
     }
 
@@ -125,34 +257,81 @@ impl DiskStorage {
         if let Ok(d) = File::open(&self.dir) {
             let _ = d.sync_all(); // directory entry durability (best effort)
         }
-        self.wal = Self::fatal(
+        *self.wal.lock().expect("WAL lock poisoned") = Self::fatal(
             OpenOptions::new().read(true).append(true).open(&path),
             "WAL reopen",
         );
         self.stats.wal_bytes = bytes.len() as u64;
         self.unsynced = 0;
+        // The rewrite itself was a full synchronous barrier.
+        self.mark_all_durable();
+    }
+}
+
+impl Drop for DiskStorage {
+    fn drop(&mut self) {
+        if let Some(overlap) = self.overlap.as_mut() {
+            overlap.stop.store(true, Ordering::Relaxed);
+            let thread = overlap.thread.take();
+            overlap.wake();
+            if let Some(thread) = thread {
+                let _ = thread.join();
+            }
+        }
     }
 }
 
 impl Storage for DiskStorage {
     fn append(&mut self, record: &[u8]) {
+        if self.policy.overlap {
+            self.ensure_overlap_thread();
+        }
         let framed = frame_record(record);
-        Self::fatal(self.wal.write_all(&framed), "WAL append");
+        Self::fatal(
+            self.wal
+                .lock()
+                .expect("WAL lock poisoned")
+                .write_all(&framed),
+            "WAL append",
+        );
         self.stats.appends += 1;
         self.stats.wal_bytes += framed.len() as u64;
         self.unsynced += 1;
         self.telemetry.add("xft_wal_appends_total", 1);
         self.telemetry
             .add("xft_wal_bytes_written_total", framed.len() as u64);
-        if self.policy.batch > 0 && self.unsynced >= self.policy.batch {
+        if let Some(overlap) = &self.overlap {
+            overlap
+                .appended
+                .store(self.stats.appends, Ordering::Release);
+            overlap.wake();
+        } else if self.policy.batch > 0 && self.unsynced >= self.policy.batch {
             self.sync();
         }
     }
 
     fn sync(&mut self) {
+        if let Some(overlap) = &self.overlap {
+            // Explicit barrier: catch up synchronously instead of waiting on
+            // the background thread.
+            let target = overlap.appended.load(Ordering::Acquire);
+            if overlap.durable.load(Ordering::Acquire) < target {
+                Self::fatal(
+                    self.wal.lock().expect("WAL lock poisoned").sync_data(),
+                    "WAL fsync",
+                );
+                overlap.durable.fetch_max(target, Ordering::AcqRel);
+                overlap.syncs.fetch_add(1, Ordering::Relaxed);
+            }
+            self.unsynced = 0;
+            return;
+        }
         if self.unsynced > 0 {
             let started = self.telemetry.is_enabled().then(std::time::Instant::now);
-            Self::fatal(self.wal.sync_data(), "WAL fsync");
+            Self::fatal(
+                self.wal.lock().expect("WAL lock poisoned").sync_data(),
+                "WAL fsync",
+            );
             self.stats.syncs += 1;
             self.unsynced = 0;
             if let Some(started) = started {
@@ -205,11 +384,9 @@ impl Storage for DiskStorage {
         if out.valid_len < bytes.len() {
             // Truncate the torn/corrupt tail so appends continue from the
             // last intact record.
-            Self::fatal(
-                self.wal.set_len(out.valid_len as u64),
-                "WAL repair truncate",
-            );
-            Self::fatal(self.wal.sync_data(), "WAL repair fsync");
+            let wal = self.wal.lock().expect("WAL lock poisoned");
+            Self::fatal(wal.set_len(out.valid_len as u64), "WAL repair truncate");
+            Self::fatal(wal.sync_data(), "WAL repair fsync");
         }
         self.stats.wal_bytes = out.valid_len as u64;
         Recovered {
@@ -248,15 +425,35 @@ impl Storage for DiskStorage {
         Self::fatal(file.write_all(&bytes), "WAL damage write");
         Self::fatal(file.sync_all(), "WAL damage fsync");
         drop(file);
-        self.wal = Self::fatal(
+        *self.wal.lock().expect("WAL lock poisoned") = Self::fatal(
             OpenOptions::new().read(true).append(true).open(&path),
             "WAL reopen",
         );
         self.stats.wal_bytes = bytes.len() as u64;
+        self.mark_all_durable();
     }
 
     fn stats(&self) -> StorageStats {
-        self.stats
+        let mut stats = self.stats;
+        if let Some(overlap) = &self.overlap {
+            stats.syncs += overlap.syncs.load(Ordering::Relaxed);
+        }
+        stats
+    }
+
+    fn wal_lsn(&self) -> u64 {
+        self.stats.appends
+    }
+
+    fn durable_lsn(&self) -> u64 {
+        match &self.overlap {
+            Some(overlap) => overlap.durable.load(Ordering::Acquire),
+            None => self.stats.appends,
+        }
+    }
+
+    fn overlapped(&self) -> bool {
+        self.overlap.is_some()
     }
 }
 
@@ -333,6 +530,48 @@ mod tests {
         s.sync();
         assert_eq!(s.stats().syncs, 3);
         assert_eq!(s.stats().appends, 20);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn overlapped_fsync_reports_durability_and_notifies() {
+        let dir = temp_dir("overlap");
+        let mut s = DiskStorage::open(&dir, SyncPolicy::every(1).overlapped()).unwrap();
+        assert!(Storage::overlapped(&s));
+        let slot = s
+            .sync_notifier_slot()
+            .expect("overlap exposes a notifier slot");
+        let seen = Arc::new(AtomicU64::new(0));
+        let seen_in_cb = seen.clone();
+        let _ = slot.set(Box::new(move |lsn| {
+            seen_in_cb.fetch_max(lsn, Ordering::Relaxed);
+        }));
+        for i in 0..32u8 {
+            s.append(&[i]);
+        }
+        assert_eq!(s.wal_lsn(), 32);
+        // The background thread catches up without any explicit sync().
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+        while s.durable_lsn() < 32 && std::time::Instant::now() < deadline {
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        assert_eq!(s.durable_lsn(), 32);
+        assert_eq!(
+            seen.load(Ordering::Relaxed),
+            32,
+            "notifier saw the last LSN"
+        );
+        assert!(s.stats().syncs >= 1);
+        // An explicit sync() is a synchronous barrier.
+        s.append(b"tail");
+        s.sync();
+        assert_eq!(s.durable_lsn(), 33);
+        drop(s);
+        let mut s = DiskStorage::open(&dir, SyncPolicy::EVERY_APPEND).unwrap();
+        let rec = s.load();
+        assert_eq!(rec.records.len(), 33);
+        assert_eq!(rec.tail, TailState::Clean);
+        drop(s);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

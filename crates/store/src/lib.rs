@@ -92,23 +92,55 @@ impl Recovered {
 ///   a crash can lose at most the last `n − 1` records;
 /// * `SyncPolicy::OS_FLUSH` (batch = 0) never fsyncs explicitly and leaves
 ///   durability to the OS page cache — the fastest and weakest setting.
+///
+/// Orthogonally, `overlap` moves the fsync off the appending thread: appends
+/// return immediately, a background thread fsyncs as fast as the disk allows
+/// (natural group commit — everything appended during one fsync rides the
+/// next), and completion is reported through [`Storage::durable_lsn`] plus an
+/// optional [`SyncNotifier`] callback. Callers that promised durability (the
+/// replica's client replies) wait for the LSN instead of the fsync itself.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SyncPolicy {
     /// Appends per fsync; `0` disables explicit fsyncs.
     pub batch: u64,
+    /// Run fsyncs on a background thread, overlapped with appends.
+    pub overlap: bool,
 }
 
 impl SyncPolicy {
     /// Fsync after every single append.
-    pub const EVERY_APPEND: SyncPolicy = SyncPolicy { batch: 1 };
+    pub const EVERY_APPEND: SyncPolicy = SyncPolicy {
+        batch: 1,
+        overlap: false,
+    };
     /// Never fsync explicitly; durability is whatever the OS provides.
-    pub const OS_FLUSH: SyncPolicy = SyncPolicy { batch: 0 };
+    pub const OS_FLUSH: SyncPolicy = SyncPolicy {
+        batch: 0,
+        overlap: false,
+    };
 
     /// Fsync once per `batch` appends (`0` = never).
     pub fn every(batch: u64) -> Self {
-        SyncPolicy { batch }
+        SyncPolicy {
+            batch,
+            overlap: false,
+        }
+    }
+
+    /// Moves fsyncs to a background thread (pipelined group commit).
+    pub fn overlapped(mut self) -> Self {
+        self.overlap = true;
+        self
     }
 }
+
+/// Late-bound completion callback for overlapped fsyncs: the backend invokes
+/// it with the newly durable LSN after each background fsync. A `OnceLock`
+/// slot because the receiver (the protocol runtime's inbox) usually does not
+/// exist yet when the storage is constructed — install the callback whenever
+/// it is ready; completions before that are still visible through
+/// [`Storage::durable_lsn`].
+pub type SyncNotifier = std::sync::Arc<std::sync::OnceLock<Box<dyn Fn(u64) + Send + Sync>>>;
 
 impl Default for SyncPolicy {
     /// Default to per-append durability; benchmarks opt into batching.
@@ -181,6 +213,26 @@ pub trait Storage: Send {
 
     /// Cumulative counters.
     fn stats(&self) -> StorageStats;
+
+    /// Log sequence number of the last appended record (1-based count of
+    /// appends since open).
+    fn wal_lsn(&self) -> u64 {
+        self.stats().appends
+    }
+
+    /// Highest LSN known to be on stable storage. For synchronous backends
+    /// this equals [`Storage::wal_lsn`] (durability is whatever the policy
+    /// bought at append time); overlapped backends lag behind it until the
+    /// background fsync catches up.
+    fn durable_lsn(&self) -> u64 {
+        self.wal_lsn()
+    }
+
+    /// Whether fsyncs run overlapped (callers should then gate durability-
+    /// promising actions on [`Storage::durable_lsn`]).
+    fn overlapped(&self) -> bool {
+        false
+    }
 }
 
 #[cfg(test)]

@@ -178,6 +178,47 @@ smoke_metrics() {
 }
 smoke_metrics $((20000 + RANDOM % 20000)) || smoke_metrics $((20000 + RANDOM % 20000))
 
+echo "==> perf smoke: 64 muxed clients must beat 5x the seed's loopback throughput"
+# The seed repo measured ~380 ops/s on this loopback benchmark (EXPERIMENTS.md);
+# the pipelined front-end lands ~35k on an idle single-core container. The 5x
+# bar (1900 ops/s) is deliberately far below the measured number so CI noise
+# cannot flake it, while still catching any order-of-magnitude regression in
+# the batched-verify/ordering/writer-pool path. Results land in
+# BENCH_loopback.json for the experiment log.
+smoke_perf() {
+    local base=$1 clients=64 ops=500
+    local addrs="127.0.0.1:${base},127.0.0.1:$((base + 1)),127.0.0.1:$((base + 2))"
+    local muxaddr="127.0.0.1:$((base + 4))"
+    for _ in $(seq "$clients"); do addrs="${addrs},${muxaddr}"; done
+    # delta 5000: suspicion timeouts must stay above the loaded p99 or the
+    # cluster view-changes itself mid-benchmark.
+    local flags=(--t 1 --clients "$clients" --window 8 --addrs "$addrs"
+                 --delta-ms 5000 --retransmit-ms 2000)
+    local pids=()
+    for id in 0 1 2; do
+        target/release/xpaxos-server --id "$id" "${flags[@]}" \
+            --batch-size 256 --max-in-flight 16 --checkpoint-interval 100000 \
+            --run-secs 120 2>/dev/null &
+        pids+=($!)
+    done
+    local ok=0
+    if target/release/xpaxos-client "${flags[@]}" --mux 1 --ops "$ops" \
+        --payload 256 --timeout-secs 90 --json BENCH_loopback.json; then
+        local tput
+        tput=$(sed -n 's/.*"ops_per_sec": \([0-9]*\).*/\1/p' BENCH_loopback.json)
+        if [ -n "$tput" ] && [ "$tput" -ge 1900 ]; then
+            echo "perf smoke: ${tput} ops/s (bar: 1900)"
+            ok=1
+        else
+            echo "perf smoke: ${tput:-?} ops/s is below the 1900 ops/s bar" >&2
+        fi
+    fi
+    kill "${pids[@]}" 2>/dev/null || true
+    wait "${pids[@]}" 2>/dev/null || true
+    [ "$ok" = 1 ]
+}
+smoke_perf $((20000 + RANDOM % 20000)) || smoke_perf $((20000 + RANDOM % 20000))
+
 echo "==> chaos smoke: 200 in-budget seeds, fixed base seed, zero violations allowed"
 # Any non-linearizable verdict fails the build and prints the shrunk minimal
 # FaultScript reproducer. The window/drain are trimmed to keep the smoke

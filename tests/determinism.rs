@@ -6,13 +6,15 @@
 
 use xft::core::client::ClientWorkload;
 use xft::core::harness::{ClusterBuilder, LatencySpec, XPaxosCluster};
+use xft::core::pipeline::FrontMode;
 use xft::crypto::Digest;
 use xft::simnet::{FaultEvent, SimDuration, SimTime};
 
 /// Builds a cluster with a randomized-latency workload; everything depends only
-/// on `seed`.
-fn build(seed: u64) -> XPaxosCluster {
-    ClusterBuilder::new(1, 3)
+/// on `seed` (and the crypto front mode, which determinism tests pin as
+/// trace-neutral).
+fn build_with_front(seed: u64, front: Option<FrontMode>) -> XPaxosCluster {
+    let mut builder = ClusterBuilder::new(1, 3)
         .with_seed(seed)
         .with_latency(LatencySpec::Uniform(
             SimDuration::from_millis(2),
@@ -22,8 +24,15 @@ fn build(seed: u64) -> XPaxosCluster {
             payload_size: 256,
             requests: Some(40),
             ..Default::default()
-        })
-        .build()
+        });
+    if let Some(mode) = front {
+        builder = builder.with_crypto_front(mode);
+    }
+    builder.build()
+}
+
+fn build(seed: u64) -> XPaxosCluster {
+    build_with_front(seed, None)
 }
 
 /// A digest of one replica's committed log: every (sequence number, batch
@@ -106,6 +115,41 @@ fn faulty_script() -> xft::simnet::FaultScript {
         .at_secs_f64(8.0, FaultEvent::PartitionPair(1, 2))
         .at_secs_f64(10.0, FaultEvent::HealAll)
         .at_secs_f64(11.0, FaultEvent::Control(2, 5)) // amnesia
+}
+
+/// The crypto front-end in its enabled-but-synchronous mode (`Pool(0)`) runs
+/// the exact queuing/accounting code paths of the worker pool but executes
+/// jobs inline — so a simulated cluster with the front enabled must produce
+/// byte-identical traces and an identical metrics fingerprint to one running
+/// `Inline`. This is the contract that lets `xpaxos-server --crypto-workers`
+/// ship without forking the protocol logic between simulation and deployment.
+#[test]
+fn synchronous_crypto_front_is_trace_identical_to_inline() {
+    let run = |front: Option<FrontMode>| {
+        let mut cluster = build_with_front(0xF207_7E57, front);
+        cluster.sim.schedule_fault_script(faulty_script());
+        cluster.run_for(SimDuration::from_secs(30));
+        cluster.check_total_order().expect("total order");
+        (
+            cluster.total_committed(),
+            (0..cluster.n())
+                .map(|r| log_digest(&cluster, r))
+                .collect::<Vec<_>>(),
+            (0..cluster.n())
+                .map(|r| cluster.replica(r).state_digest())
+                .collect::<Vec<_>>(),
+            cluster.sim.metrics().fingerprint(),
+        )
+    };
+    let inline = run(Some(FrontMode::Inline));
+    let front = run(Some(FrontMode::Pool(0)));
+    let default = run(None);
+    assert!(inline.0 > 0, "workload never committed");
+    assert_eq!(
+        inline, front,
+        "enabled-but-synchronous crypto front diverged from inline execution"
+    );
+    assert_eq!(inline, default, "explicit Inline diverged from the default");
 }
 
 #[test]

@@ -5,7 +5,11 @@
 
 use xft::core::client::ClientWorkload;
 use xft::core::harness::{ClusterBuilder, LatencySpec};
+use xft::core::messages::{SignedRequest, XPaxosMsg};
+use xft::core::types::{ClientId, Request};
+use xft::crypto::{KeyId, Signature};
 use xft::simnet::{PipelineConfig, SimDuration};
+use xft::telemetry::Telemetry;
 use xft::testing::check;
 
 fn saturating_workload(requests: u64) -> ClientWorkload {
@@ -261,5 +265,59 @@ fn shedding_preserves_exactly_once_under_reordering_property() {
     assert!(
         sheds_seen > 0,
         "no case shed a request — the property never exercised the BUSY path"
+    );
+}
+
+/// Negative path of the batched signature verification (the crypto front's
+/// verify∥ stage): a forged client signature slipped into the admission queue
+/// is caught at proposal time. The whole-batch check fails, the per-signature
+/// fallback pinpoints the culprit, the culprit alone is dropped, and every
+/// genuine request — including those sharing its batch — still commits. The
+/// fallback is observable as the `xft_sig_batch_fallback_total` counter.
+#[test]
+fn corrupt_client_signature_is_dropped_by_batch_verify_fallback() {
+    let telemetry = Telemetry::enabled();
+    let hub = telemetry.clone();
+    let mut cluster = ClusterBuilder::new(1, 3)
+        .with_seed(33)
+        .with_latency(LatencySpec::Constant(SimDuration::from_micros(25)))
+        .with_workload(ClientWorkload {
+            payload_size: 256,
+            requests: Some(50),
+            ..Default::default()
+        })
+        .with_pipeline(PipelineConfig::default().with_client_window(8))
+        .with_telemetry_factory(move |_| hub.clone())
+        .build();
+
+    // Warm the pipeline so genuine requests are in flight and queued when the
+    // forged one lands — it must share a batch with honest traffic.
+    cluster.run_for(SimDuration::from_millis(2));
+    let forged = SignedRequest {
+        // A timestamp far beyond the workload's range: fresh, never executed.
+        request: Request::new(ClientId(0), 999_999, vec![0xEE; 64].into()),
+        signature: Signature::forged(KeyId(0)),
+    };
+    let client0_node = cluster.n(); // clients follow the replicas in node order
+    cluster
+        .sim
+        .post_message(client0_node, 0, XPaxosMsg::Replicate(forged));
+    cluster.run_for(SimDuration::from_secs(30));
+
+    cluster.check_total_order().expect("total order holds");
+    assert_eq!(
+        cluster.total_committed(),
+        150,
+        "every genuine request must commit despite sharing the pipeline with a forged one"
+    );
+    assert_eq!(
+        telemetry.counter("xft_sig_batch_fallback_total").get(),
+        1,
+        "exactly one batched verification fell back to per-signature checking"
+    );
+    assert_eq!(
+        cluster.sim.metrics().counter("sig_batch_fallbacks"),
+        1,
+        "the primary's fallback must also land in the simulation metrics"
     );
 }

@@ -318,6 +318,7 @@ fn arb_msg(rng: &mut CaseRng) -> XPaxosMsg {
         5 => XPaxosMsg::Reply(ReplyMsg {
             view: ViewNumber(rng.u64_below(100)),
             sn: SeqNum(rng.u64_below(1 << 20)),
+            client: ClientId(rng.u64_below(1 << 16)),
             timestamp: rng.u64_below(1 << 30),
             reply_digest: arb_digest(rng),
             payload: rng.bool().then(|| Bytes::from(rng.bytes(0, 128))),

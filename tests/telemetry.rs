@@ -12,6 +12,89 @@ use xft::simnet::{PipelineConfig, SimDuration};
 use xft::telemetry::Telemetry;
 use xft::testing::check;
 
+/// Satellite (parallel front-end PR): the three series the pipeline stages
+/// report — crypto queue depth, batch-verify latency, writer-shard queue
+/// depth — must land in the shared hub and therefore in the `/metrics`
+/// scrape (the HTTP endpoint serves exactly `render_prometheus()`).
+#[test]
+fn pipeline_stage_series_appear_in_the_metrics_scrape() {
+    use std::net::TcpListener;
+    use std::sync::atomic::AtomicBool;
+    use xft::core::messages::client_request_digest;
+    use xft::core::pipeline::{CryptoFront, FrontMode};
+    use xft::core::types::{client_key, ClientId, Request};
+    use xft::crypto::{KeyRegistry, Signer, Verifier};
+    use xft::net::transport::{TransportStats, WriterPool};
+    use xft::net::AddressBook;
+
+    let hub = Telemetry::enabled();
+
+    // Crypto stage: a pooled front batch-verifying real signatures records
+    // queue depth (gauge, back to 0 once drained) and verify latency.
+    let registry = KeyRegistry::new(4);
+    let (requests, sigs): (Vec<_>, Vec<_>) = (0..16u64)
+        .map(|i| {
+            let client = ClientId(i % 4);
+            let req = Request {
+                client,
+                timestamp: i,
+                op: vec![i as u8; 64].into(),
+            };
+            let sig = Signer::new(&registry, client_key(client))
+                .sign_digest(&client_request_digest(&req));
+            (req, sig)
+        })
+        .unzip();
+    let front = CryptoFront::new(FrontMode::Pool(2), Arc::clone(&hub));
+    let verifier = Verifier::new(registry);
+    assert_eq!(
+        front.verify_client_sigs(&verifier, &requests, &sigs),
+        Ok(())
+    );
+    assert!(
+        hub.histogram("xft_crypto_verify_seconds", 1e-9).count() > 0,
+        "batch verification never observed its latency"
+    );
+    assert_eq!(
+        hub.gauge("xft_crypto_queue_depth").get(),
+        0,
+        "crypto queue depth must return to zero once the batch drains"
+    );
+
+    // Transport stage: enqueueing on a writer shard bumps the shard-depth
+    // gauge; the drain (delivery or drop) takes it back down.
+    let dead = {
+        let l = TcpListener::bind("127.0.0.1:0").unwrap();
+        l.local_addr().unwrap()
+    };
+    let book = AddressBook::new([(1usize, dead)]);
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(TransportStats::with_telemetry(Arc::clone(&hub)));
+    let mut pool = WriterPool::new(0, book, shutdown, stats, 1, 8, Duration::from_millis(10));
+    let sender = pool.sender(1);
+    for v in 0..4u64 {
+        sender.send(xft::wire::encode_msg_vec(&v));
+    }
+    pool.join();
+    assert_eq!(
+        hub.gauge("xft_net_writer_shard_depth").get(),
+        0,
+        "writer shard depth must return to zero once the pool drains"
+    );
+
+    let scrape = hub.render_prometheus();
+    for series in [
+        "xft_crypto_queue_depth",
+        "xft_crypto_verify_seconds",
+        "xft_net_writer_shard_depth",
+    ] {
+        assert!(
+            scrape.contains(series),
+            "series {series} missing from the /metrics scrape:\n{scrape}"
+        );
+    }
+}
+
 /// Satellite: one percentile rule for the whole workspace. `xft-microbench`'s
 /// `Stats`, `xft-simnet`'s `stats::percentile` and `xft_telemetry::percentile`
 /// must report the identical p50/p90/p99 on random samples, and the
