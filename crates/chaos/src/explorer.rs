@@ -164,6 +164,12 @@ fn run_schedule_inner(
             c.with_delta(SimDuration::from_millis(100))
                 .with_client_retransmit(SimDuration::from_millis(400))
                 .with_checkpoint_interval(cfg.checkpoint_interval)
+                // A deliberately tiny chunk so every chaos state transfer is
+                // multi-chunk: crashes, partitions and disk faults land *mid*
+                // transfer, exercising per-chunk verification, peer rotation
+                // and WAL resume rather than a single-frame fast path.
+                .with_state_chunk_bytes(1024)
+                .with_state_fetch_window(2)
         })
         .with_state_machine(|| Box::new(CoordinationService::new()))
         // In-memory stable storage gives the torn-tail / corrupt-record disk

@@ -159,6 +159,20 @@ pub fn generate(seed: u64, cfg: &ScheduleConfig) -> FaultScript {
             pick_repair(&mut rng, &mut state, cfg)
         };
         if let Some(event) = event {
+            // Compound mid-transfer pattern: amnesia forces the replica into
+            // a chunked state transfer; a disk fault shortly after lands
+            // while that transfer is (often) still in flight, so recovery
+            // must resume from the WAL-journaled chunks. Same replica, so
+            // the budget slot is unchanged.
+            if let FaultEvent::Control(r, CONTROL_AMNESIA) = &event {
+                if rng.chance(0.35) {
+                    let follow = (t_ns + 250_000_000).min(window_ns);
+                    events.push((
+                        SimTime::ZERO + SimDuration::from_nanos(follow),
+                        FaultEvent::Control(*r, CONTROL_TORN_TAIL),
+                    ));
+                }
+            }
             events.push((at, event));
         }
     }

@@ -20,8 +20,9 @@ use xft_simnet::ControlCode;
 ///
 /// On configurations without checkpointing the in-budget repair replays the
 /// adopted log from the start; with checkpointing enabled the truncated
-/// prefix is recovered through the verified state-transfer protocol instead
-/// (`StateRequest` / `StateResponse`), so the fault is honoured either way.
+/// prefix is recovered through the chunked, verified state-transfer protocol
+/// (`StateChunkRequest` / `StateChunkResponse`), so the fault is honoured
+/// either way.
 pub const CONTROL_AMNESIA: u64 = 5;
 
 /// Control code for a *torn WAL tail* disk fault: the replica's stable

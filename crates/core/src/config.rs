@@ -18,6 +18,18 @@ pub struct XPaxosConfig {
     pub batch_timeout: SimDuration,
     /// Checkpoint interval (in sequence numbers). 0 disables checkpointing.
     pub checkpoint_interval: u64,
+    /// State-transfer chunk size in bytes: sealed snapshots are served in
+    /// chunks of at most this size, each verified against the t + 1-signed
+    /// seal via a Merkle audit path. Cluster-uniform — the value is bound
+    /// into the checkpoint commitment, so replicas configured differently
+    /// fail the PRECHK digest agreement loudly instead of mis-verifying.
+    pub state_chunk_bytes: u32,
+    /// State-transfer fetch window: the maximum number of chunk requests a
+    /// recovering replica keeps outstanding. Together with
+    /// [`XPaxosConfig::state_chunk_bytes`] this is the repair budget — at
+    /// most `window × chunk` bytes of recovery traffic are in flight, so a
+    /// rejoining replica never starves live traffic.
+    pub state_fetch_window: u32,
     /// Client retransmission timeout: after this long without a committed reply the
     /// client broadcasts a RE-SEND to all active replicas.
     pub client_retransmit: SimDuration,
@@ -53,6 +65,8 @@ impl XPaxosConfig {
             batch_size: 20,
             batch_timeout: SimDuration::from_millis(2),
             checkpoint_interval: 128,
+            state_chunk_bytes: 64 * 1024,
+            state_fetch_window: 4,
             client_retransmit: SimDuration::from_secs(4),
             replica_retransmit: SimDuration::from_secs(4),
             view_change_timeout: SimDuration::from_millis(1250 * 4),
@@ -111,6 +125,19 @@ impl XPaxosConfig {
     /// Sets the checkpoint interval.
     pub fn with_checkpoint_interval(mut self, interval: u64) -> Self {
         self.checkpoint_interval = interval;
+        self
+    }
+
+    /// Sets the state-transfer chunk size (clamped to at least 512 bytes so
+    /// audit-path overhead cannot dominate every frame).
+    pub fn with_state_chunk_bytes(mut self, bytes: u32) -> Self {
+        self.state_chunk_bytes = bytes.max(512);
+        self
+    }
+
+    /// Sets the state-transfer fetch window (clamped to at least 1).
+    pub fn with_state_fetch_window(mut self, window: u32) -> Self {
+        self.state_fetch_window = window.max(1);
         self
     }
 
@@ -186,6 +213,8 @@ mod tests {
             .with_fault_detection(true)
             .with_batch_size(0)
             .with_checkpoint_interval(64)
+            .with_state_chunk_bytes(100)
+            .with_state_fetch_window(0)
             .with_lazy_replication(false);
         assert_eq!(c.delta, SimDuration::from_millis(100));
         assert_eq!(c.two_delta(), SimDuration::from_millis(200));
@@ -193,6 +222,8 @@ mod tests {
         assert!(c.fault_detection);
         assert_eq!(c.batch_size, 1, "batch size is clamped to at least 1");
         assert_eq!(c.checkpoint_interval, 64);
+        assert_eq!(c.state_chunk_bytes, 512, "chunk size is clamped to ≥ 512");
+        assert_eq!(c.state_fetch_window, 1, "fetch window is clamped to ≥ 1");
         assert!(!c.lazy_replication);
     }
 }

@@ -11,7 +11,7 @@
 //!   needs to adopt the state at a checkpoint: the application snapshot
 //!   (from [`StateMachine::snapshot`]), the executed history, and the
 //!   canonical per-client exactly-once table. The checkpoint agreement
-//!   (PRECHK/CHKPT, paper §4.5.1) runs over [`ReplicaSnapshot::digest`], so
+//!   (PRECHK/CHKPT, paper §4.5.1) runs over [`ReplicaSnapshot::digest_with`], so
 //!   the t + 1 signed CHKPT messages of a stable checkpoint *are* the
 //!   transferable proof that a snapshot blob is the agreed state — this is
 //!   what makes state transfer verifiable instead of trusted.
@@ -22,7 +22,7 @@ use crate::log::{CommitEntry, PrepareEntry};
 use crate::messages::CheckpointMsg;
 use crate::types::{ClientId, SeqNum, Timestamp, ViewNumber};
 use bytes::Bytes;
-use xft_crypto::Digest;
+use xft_crypto::{merkle_root, Digest};
 use xft_wire::WireEncode;
 
 /// One WAL record: a replica state transition that must survive a crash.
@@ -38,6 +38,33 @@ pub enum DurableEvent {
     /// transfer still contains what it acknowledged preparing pre-crash
     /// (the fault-detection mechanism treats losing it as a data-loss fault).
     Prepare(PrepareEntry),
+    /// A verified state-transfer chunk was received. Journaled so a replica
+    /// killed mid-transfer resumes from the chunks it already fetched instead
+    /// of restarting the whole download.
+    TransferChunk(TransferChunkRecord),
+}
+
+/// The WAL record of one verified state-transfer chunk (see
+/// [`DurableEvent::TransferChunk`]). Carries everything needed to rebuild the
+/// in-flight transfer after a crash: the manifest fields committed by the
+/// sealed digest, the chunk itself, and the t + 1 CHKPT proof (so adoption
+/// after reassembly can re-verify without another network round).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TransferChunkRecord {
+    /// The sealed checkpoint sequence number the chunk belongs to.
+    pub sn: SeqNum,
+    /// Chunk (Merkle leaf) size the commitment used.
+    pub chunk_bytes: u32,
+    /// Total length of the encoded snapshot.
+    pub total_len: u64,
+    /// Merkle root over the chunk leaves.
+    pub root: Digest,
+    /// This chunk's index.
+    pub index: u32,
+    /// The chunk bytes.
+    pub data: Bytes,
+    /// The signed CHKPT quorum sealing the snapshot digest.
+    pub proof: Vec<CheckpointMsg>,
 }
 
 /// The canonical exactly-once record of one client inside a snapshot.
@@ -66,6 +93,12 @@ pub struct ReplicaSnapshot {
     /// The checkpoint sequence number: every operation up to and including
     /// `sn` is reflected.
     pub sn: SeqNum,
+    /// The window base: `executed` carries only `(base, sn]`. Derived from
+    /// the capture sequence number (`sn − checkpoint interval`), never from
+    /// the locally observed stable checkpoint — `last_checkpoint` differs
+    /// transiently across replicas while a quorum forms, and every active
+    /// replica must encode a byte-identical snapshot at PRECHK capture.
+    pub base: SeqNum,
     /// The application snapshot ([`StateMachine::snapshot`] output). Must be
     /// deterministic: digest-equal states encode byte-identically, since the
     /// checkpoint digest covers these bytes.
@@ -75,33 +108,54 @@ pub struct ReplicaSnapshot {
     /// `D(st)` of the application state, kept alongside the bytes so a
     /// restored state machine can be cross-checked against what was agreed.
     pub app_digest: Digest,
-    /// The executed history `(sn, batch digest)` for `1..=sn`.
-    ///
-    /// Carried in full: snapshot size therefore grows with the total history
-    /// rather than the checkpoint interval. Truncating it at the previous
-    /// checkpoint is a known follow-up (see ROADMAP), but needs coordinated
-    /// truncation across replicas — every active replica must digest an
-    /// identical `executed` vector at capture time, and truncation points
-    /// can differ transiently while a checkpoint quorum is still forming.
+    /// The executed history `(sn, batch digest)` for the window
+    /// `base + 1 ..= sn` only. History at and below `base` is attested by the
+    /// previous seal and garbage-collected, so snapshot size is
+    /// O(checkpoint interval), not O(total history).
     pub executed: Vec<(SeqNum, Digest)>,
-    /// Canonical client records, ascending by client id.
+    /// Canonical client records, ascending by client id. Replies whose
+    /// executing sequence number is at or below `base` are pruned at capture
+    /// (except each client's most recent, kept to re-answer retransmits of
+    /// an idle client's last request).
     pub clients: Vec<ClientRecordSnapshot>,
 }
 
 impl ReplicaSnapshot {
-    /// The digest the PRECHK/CHKPT rounds agree on: a domain-separated hash
-    /// of the snapshot's entire canonical encoding. Two replicas produce the
-    /// same digest iff they agree on the application state, the executed
-    /// history *and* the exactly-once table — so a checkpoint now attests
-    /// all three, and a verified state transfer cannot smuggle in a client
-    /// table that re-executes or forgets a request.
-    pub fn digest(&self) -> Digest {
-        xft_wire::domain_digest(b"replica-snapshot", self)
+    /// Splits the canonical encoding into `chunk_bytes`-sized chunks and
+    /// returns the encoded bytes plus the per-chunk Merkle leaf digests.
+    /// Every chunk is full-size except possibly the last.
+    pub fn chunk_leaves(bytes: &[u8], chunk_bytes: u32) -> Vec<Digest> {
+        if bytes.is_empty() {
+            return vec![chunk_leaf(0, &[])];
+        }
+        let chunk = (chunk_bytes as usize).max(1);
+        bytes
+            .chunks(chunk)
+            .enumerate()
+            .map(|(i, c)| chunk_leaf(i as u32, c))
+            .collect()
+    }
+
+    /// The digest the PRECHK/CHKPT rounds agree on: a commitment to the
+    /// Merkle chunk tree of the snapshot's canonical encoding. Two replicas
+    /// produce the same digest iff they agree on the application state, the
+    /// executed window *and* the exactly-once table — and because the digest
+    /// commits to the chunk tree (leaf size, total length, root), a lagging
+    /// replica can verify each fetched chunk against the t + 1-signed seal
+    /// with just an audit path, before it holds the whole snapshot.
+    ///
+    /// `chunk_bytes` is the cluster-uniform `state_chunk_bytes` knob; it is
+    /// bound into the commitment so replicas configured differently fail
+    /// loudly at PRECHK rather than mis-verifying chunks.
+    pub fn digest_with(&self, chunk_bytes: u32) -> Digest {
+        let bytes = self.wire_bytes();
+        let root = merkle_root(&Self::chunk_leaves(&bytes, chunk_bytes));
+        snapshot_commitment(chunk_bytes, bytes.len() as u64, &root)
     }
 
     /// Approximate wire size (drives the simulator's bandwidth model).
     pub fn wire_size(&self) -> usize {
-        8 + self.app.len()
+        16 + self.app.len()
             + 32
             + self.executed.len() * 40
             + self
@@ -112,11 +166,34 @@ impl ReplicaSnapshot {
     }
 }
 
+/// Leaf digest of one snapshot chunk, bound to its index.
+pub fn chunk_leaf(index: u32, data: &[u8]) -> Digest {
+    Digest::of_parts(&[b"state-chunk", &index.to_le_bytes(), data])
+}
+
+/// The sealed commitment: what CHKPT signatures actually cover. Binds the
+/// chunk size, the encoded length and the Merkle root, so a chunk response
+/// claiming any of the three differently cannot verify.
+pub fn snapshot_commitment(chunk_bytes: u32, total_len: u64, root: &Digest) -> Digest {
+    Digest::of_parts(&[
+        b"replica-snapshot-merkle",
+        &chunk_bytes.to_le_bytes(),
+        &total_len.to_le_bytes(),
+        root.as_bytes(),
+    ])
+}
+
+/// Number of chunks a `total_len`-byte snapshot splits into.
+pub fn chunk_count(total_len: u64, chunk_bytes: u32) -> u32 {
+    let chunk = (chunk_bytes as u64).max(1);
+    (total_len.div_ceil(chunk)).max(1) as u32
+}
+
 /// A snapshot sealed by its checkpoint proof: the `t + 1` signed CHKPT
-/// messages whose `state_digest` equals [`ReplicaSnapshot::digest`]. This is
-/// what active replicas retain in memory for state transfer, what
-/// `StateResponse` carries on the wire, and what `xft-store` persists as the
-/// snapshot file.
+/// messages whose `state_digest` equals [`ReplicaSnapshot::digest_with`].
+/// This is what active replicas retain in memory for state transfer (served
+/// piecewise through `StateChunkRequest`/`StateChunkResponse`) and what
+/// `xft-store` persists as the snapshot file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SealedSnapshot {
     /// The snapshot itself.
@@ -152,6 +229,7 @@ mod tests {
     fn snapshot() -> ReplicaSnapshot {
         ReplicaSnapshot {
             sn: SeqNum(128),
+            base: SeqNum(0),
             app: Bytes::from_static(b"app-bytes"),
             app_digest: Digest::of(b"app"),
             executed: vec![
@@ -166,19 +244,65 @@ mod tests {
         }
     }
 
+    const CHUNK: u32 = 64;
+
     #[test]
     fn snapshot_digest_covers_every_component() {
         let base = snapshot();
         let mut other = base.clone();
         other.app = Bytes::from_static(b"app-bytes!");
-        assert_ne!(base.digest(), other.digest());
+        assert_ne!(base.digest_with(CHUNK), other.digest_with(CHUNK));
         let mut other = base.clone();
         other.executed.pop();
-        assert_ne!(base.digest(), other.digest());
+        assert_ne!(base.digest_with(CHUNK), other.digest_with(CHUNK));
         let mut other = base.clone();
         other.clients[0].ranges = vec![(1, 8)];
-        assert_ne!(base.digest(), other.digest());
-        assert_eq!(base.digest(), snapshot().digest());
+        assert_ne!(base.digest_with(CHUNK), other.digest_with(CHUNK));
+        let mut other = base.clone();
+        other.base = SeqNum(64);
+        assert_ne!(base.digest_with(CHUNK), other.digest_with(CHUNK));
+        assert_eq!(base.digest_with(CHUNK), snapshot().digest_with(CHUNK));
+        // The chunk size is part of the commitment.
+        assert_ne!(base.digest_with(CHUNK), base.digest_with(CHUNK * 2));
+    }
+
+    #[test]
+    fn every_chunk_verifies_against_the_commitment() {
+        let snap = snapshot();
+        let bytes = snap.wire_bytes();
+        let leaves = ReplicaSnapshot::chunk_leaves(&bytes, CHUNK);
+        assert!(leaves.len() > 1, "fixture must span several chunks");
+        assert_eq!(
+            leaves.len(),
+            chunk_count(bytes.len() as u64, CHUNK) as usize
+        );
+        let root = merkle_root(&leaves);
+        assert_eq!(
+            snap.digest_with(CHUNK),
+            snapshot_commitment(CHUNK, bytes.len() as u64, &root)
+        );
+        for (i, piece) in bytes.chunks(CHUNK as usize).enumerate() {
+            let leaf = chunk_leaf(i as u32, piece);
+            assert_eq!(leaf, leaves[i]);
+            let path = xft_crypto::merkle_path(&leaves, i).unwrap();
+            assert!(xft_crypto::merkle_verify(
+                &leaf,
+                i,
+                leaves.len(),
+                &path,
+                &root
+            ));
+        }
+        // A swapped chunk cannot claim another index.
+        let first = chunk_leaf(0, &bytes[..CHUNK as usize]);
+        let path1 = xft_crypto::merkle_path(&leaves, 1).unwrap();
+        assert!(!xft_crypto::merkle_verify(
+            &first,
+            1,
+            leaves.len(),
+            &path1,
+            &root
+        ));
     }
 
     #[test]

@@ -226,34 +226,64 @@ pub struct CheckpointMsg {
     pub signature: Signature,
 }
 
-/// STATE-REQUEST: a lagging (or freshly restarted) replica asks a peer for a
-/// sealed checkpoint snapshot at or beyond `min_sn` — the first half of the
-/// state-transfer protocol that backs checkpointing and lazy replication
-/// (paper §4.5.1: a replica that garbage-collected its log can only catch a
-/// peer up by shipping the checkpointed state itself).
+/// STATE-CHUNK-REQUEST: a lagging (or freshly restarted) replica asks a peer
+/// for one chunk of a sealed checkpoint snapshot at or beyond `min_sn` — the
+/// pull half of the chunked state-transfer protocol (paper §4.5.1: a replica
+/// that garbage-collected its log can only catch a peer up by shipping the
+/// checkpointed state itself). The requester starts at index 0 (whose
+/// response doubles as the manifest) and then pulls the remaining chunks
+/// under a bounded fetch window, so recovery traffic never exceeds
+/// `state_fetch_window × state_chunk_bytes` in flight.
 #[derive(Debug, Clone, PartialEq)]
-pub struct StateRequestMsg {
+pub struct StateChunkRequestMsg {
     /// The lowest checkpoint sequence number that would help the requester.
     pub min_sn: SeqNum,
+    /// The exact snapshot generation the requester is mid-way through
+    /// fetching, or `SeqNum(0)` for "whatever is freshest". Pinning matters
+    /// when the cluster seals checkpoints faster than a narrow fetch window
+    /// drains: without it every new seal would restart the transfer and it
+    /// could never complete.
+    pub want_sn: SeqNum,
+    /// The chunk index requested. A peer whose sealed snapshot has fewer
+    /// chunks answers with chunk 0, which re-manifests the transfer.
+    pub index: u32,
     /// The requesting replica.
     pub replica: ReplicaId,
-    /// Signature over [`state_request_digest`].
+    /// Signature over [`state_chunk_request_digest`].
     pub signature: Signature,
 }
 
-/// STATE-RESPONSE: a sealed snapshot (state + executed history + client
-/// table) together with the t + 1 signed CHKPT messages proving it is the
-/// agreed checkpoint. The receiver verifies the proof and the snapshot
-/// digest before adopting anything, so a faulty responder can delay state
-/// transfer but never corrupt it.
+/// STATE-CHUNK-RESPONSE: one bounded-size chunk of the sealed snapshot's
+/// canonical encoding, with everything needed to verify it in isolation: the
+/// chunk-tree manifest (`chunk_bytes`, `total_len`, `root`), a Merkle audit
+/// path from this chunk's leaf to the root, and the t + 1 signed CHKPT proof
+/// whose `state_digest` commits to that manifest. The receiver verifies the
+/// proof, recomputes the commitment from the manifest, and checks the audit
+/// path before storing a single byte — so a faulty responder can delay state
+/// transfer but never corrupt it, and a crash mid-transfer loses nothing
+/// that was journaled.
 #[derive(Debug, Clone, PartialEq)]
-pub struct StateResponseMsg {
-    /// The snapshot plus its checkpoint proof.
-    pub sealed: crate::durable::SealedSnapshot,
+pub struct StateChunkResponseMsg {
+    /// The sealed checkpoint sequence number the chunk belongs to.
+    pub sn: SeqNum,
+    /// Chunk (Merkle leaf) size the commitment used.
+    pub chunk_bytes: u32,
+    /// Total length of the encoded snapshot.
+    pub total_len: u64,
+    /// Merkle root over the chunk leaves.
+    pub root: Digest,
+    /// This chunk's index.
+    pub index: u32,
+    /// The chunk bytes (exactly `chunk_bytes` long except for the last chunk).
+    pub data: bytes::Bytes,
+    /// Audit path from this chunk's leaf to `root`.
+    pub path: Vec<Digest>,
+    /// The signed CHKPT quorum sealing the snapshot commitment.
+    pub proof: Vec<CheckpointMsg>,
     /// The responding replica.
     pub replica: ReplicaId,
-    /// Signature over [`state_response_digest`], attributing the response to
-    /// its sender (content integrity comes from the embedded proof).
+    /// Signature over [`state_chunk_response_digest`], attributing the
+    /// response to its sender (content integrity comes from the proof chain).
     pub signature: Signature,
 }
 
@@ -327,10 +357,10 @@ pub enum XPaxosMsg {
         /// The committed entries being propagated.
         entries: Vec<CommitEntry>,
     },
-    /// Lagging replica → peer: request a checkpoint snapshot (state transfer).
-    StateRequest(StateRequestMsg),
-    /// Peer → lagging replica: the sealed snapshot with its checkpoint proof.
-    StateResponse(StateResponseMsg),
+    /// Lagging replica → peer: request one snapshot chunk (state transfer).
+    StateChunkRequest(StateChunkRequestMsg),
+    /// Peer → lagging replica: one verified-in-isolation snapshot chunk.
+    StateChunkResponse(StateChunkResponseMsg),
     /// Replica → everyone: a non-crash fault was detected during a view change.
     FaultDetected(FaultDetectedMsg),
     /// Replica → client: the view the replica is currently in (sent alongside SUSPECT
@@ -369,9 +399,9 @@ impl SimMessage for XPaxosMsg {
             XPaxosMsg::LazyReplicate { entries, .. } => {
                 16 + entries.iter().map(|e| e.wire_size()).sum::<usize>()
             }
-            XPaxosMsg::StateRequest(_) => 56,
-            XPaxosMsg::StateResponse(m) => {
-                64 + m.sealed.snapshot.wire_size() + m.sealed.proof.len() * 112
+            XPaxosMsg::StateChunkRequest(_) => 72,
+            XPaxosMsg::StateChunkResponse(m) => {
+                120 + m.data.len() + m.path.len() * 32 + m.proof.len() * 112
             }
             XPaxosMsg::FaultDetected(_) => 96,
             XPaxosMsg::SyncDone(_) => 8,
@@ -401,8 +431,8 @@ impl SimMessage for XPaxosMsg {
             }
             XPaxosMsg::LazyCheckpoint { .. } => "LAZYCHK",
             XPaxosMsg::LazyReplicate { .. } => "LAZY-REPLICATE",
-            XPaxosMsg::StateRequest(_) => "STATE-REQ",
-            XPaxosMsg::StateResponse(_) => "STATE-RESP",
+            XPaxosMsg::StateChunkRequest(_) => "CHUNK-REQ",
+            XPaxosMsg::StateChunkResponse(_) => "CHUNK-RESP",
             XPaxosMsg::FaultDetected(_) => "FAULT-DETECTED",
             XPaxosMsg::SuspectToClient(_) => "SUSPECT-CLIENT",
             XPaxosMsg::SyncDone(_) => "SYNC-DONE",
@@ -430,15 +460,32 @@ pub fn checkpoint_vote_digest(view: ViewNumber, sn: SeqNum, state: &Digest) -> D
     xft_wire::domain_digest(b"chkpt", &(view, sn, *state))
 }
 
-/// Digest signed in a STATE-REQUEST message.
-pub fn state_request_digest(min_sn: SeqNum, replica: ReplicaId) -> Digest {
-    xft_wire::domain_digest(b"state-request", &(min_sn, replica as u64))
+/// Digest signed in a STATE-CHUNK-REQUEST message.
+pub fn state_chunk_request_digest(
+    min_sn: SeqNum,
+    want_sn: SeqNum,
+    index: u32,
+    replica: ReplicaId,
+) -> Digest {
+    xft_wire::domain_digest(
+        b"state-chunk-request",
+        &(min_sn, want_sn, index as u64, replica as u64),
+    )
 }
 
-/// Digest signed in a STATE-RESPONSE message: binds the checkpoint sequence
-/// number, the snapshot digest and the responding replica.
-pub fn state_response_digest(sn: SeqNum, snapshot: &Digest, replica: ReplicaId) -> Digest {
-    xft_wire::domain_digest(b"state-response", &(sn, *snapshot, replica as u64))
+/// Digest signed in a STATE-CHUNK-RESPONSE message: binds the sealed
+/// checkpoint sequence number, the chunk-tree manifest, the chunk's leaf
+/// digest and the responding replica.
+pub fn state_chunk_response_digest(m: &StateChunkResponseMsg) -> Digest {
+    let leaf = crate::durable::chunk_leaf(m.index, &m.data);
+    xft_wire::domain_digest(
+        b"state-chunk-response",
+        &(
+            m.sn,
+            (m.chunk_bytes as u64, m.total_len, m.root),
+            (m.index as u64, leaf, m.replica as u64),
+        ),
+    )
 }
 
 /// Digest signed in a REPLY message (binds view, sn, client timestamp and reply digest).

@@ -32,7 +32,7 @@ impl Replica {
         // round agrees on; it is retained until the CHKPT quorum seals it
         // (execution moves on in the meantime).
         let snapshot = self.checkpoint_snapshot();
-        let digest = snapshot.digest();
+        let digest = snapshot.digest_with(self.config.state_chunk_bytes);
         self.pending_snapshots.insert(sn.0, snapshot);
         // PRECHK round: MAC-authenticated state digest exchange among active replicas.
         ctx.charge(CryptoOp::Mac { len: 64 });
@@ -177,6 +177,10 @@ impl Replica {
         self.follower_commits.retain(|k, _| *k > sn.0);
         self.prechk_votes.retain(|k, _| *k > sn.0);
         self.chkpt_votes.retain(|k, _| *k >= sn.0);
+        // Garbage-collect executed history and dead cached replies below the
+        // new window base — this is what keeps long-lived replicas O(interval)
+        // instead of O(history).
+        self.truncate_below_checkpoint(sn);
         ctx.count("checkpoints", 1);
         self.telemetry.add("xft_checkpoints_total", 1);
         self.tel_event(ctx, "chkpt", || {
@@ -187,7 +191,7 @@ impl Replica {
         // this replica can now serve verified state transfer for `sn` — and
         // persist it, re-seeding the WAL with the surviving log tail.
         if let Some(snapshot) = self.pending_snapshots.remove(&sn.0) {
-            if snapshot.digest() == digest {
+            if snapshot.digest_with(self.config.state_chunk_bytes) == digest {
                 let sealed = SealedSnapshot {
                     snapshot,
                     proof: proof.clone(),
@@ -241,7 +245,7 @@ impl Replica {
         // back and refetch instead of adopting the proof.
         if self.exec_sn == sn {
             let snapshot = self.checkpoint_snapshot();
-            if snapshot.digest() == digest {
+            if snapshot.digest_with(self.config.state_chunk_bytes) == digest {
                 // Seal our own snapshot with the received proof — this
                 // replica becomes a transfer source too (useful when the
                 // active replicas of a later view lag).
@@ -249,6 +253,7 @@ impl Replica {
                 self.checkpoint_proof = proof.clone();
                 self.prepare_log.truncate_upto(sn);
                 self.commit_log.truncate_upto(sn);
+                self.truncate_below_checkpoint(sn);
                 let sealed = SealedSnapshot { snapshot, proof };
                 self.persist_sealed_snapshot(&sealed);
                 self.latest_snapshot = Some(sealed);
@@ -278,6 +283,7 @@ impl Replica {
             self.checkpoint_proof = proof.clone();
             self.prepare_log.truncate_upto(sn);
             self.commit_log.truncate_upto(sn);
+            self.truncate_below_checkpoint(sn);
         }
         // Resume execution past the boundary we stopped at.
         self.try_execute(ctx);

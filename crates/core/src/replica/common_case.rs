@@ -139,6 +139,18 @@ impl Replica {
                 }
                 let node = self.client_node(client);
                 self.send_to_client_gated(node, XPaxosMsg::Reply(reply), ctx);
+            } else if retransmission {
+                // Executed, but the reply fell off the bounded cache. Only a
+                // client violating the `MAX_TS_SPREAD` contract can get here
+                // (retention covers every timestamp a correct client can
+                // still retransmit), so this is swallowed without
+                // escalation — suspecting the view on a replayed ancient
+                // timestamp would hand any client a view-change lever. Still
+                // counted: a wedge here is a retention bug, not noise.
+                ctx.count("cache_answers_pruned", 1);
+                self.tel_event(ctx, "cache-miss", || {
+                    format!("client={} ts={} executed, reply pruned", client.0, ts)
+                });
             }
             if escalate {
                 ctx.count("cache_answer_suspects", 1);

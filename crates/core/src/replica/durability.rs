@@ -125,41 +125,94 @@ impl Replica {
         storage.install_snapshot(&bytes, &records);
     }
 
+    /// The deterministic window base for a checkpoint captured at `sn`: one
+    /// checkpoint interval back (saturating at genesis). Derived from the
+    /// capture point and the cluster-uniform interval *only* — never from
+    /// the locally observed `last_checkpoint`, which differs transiently
+    /// across replicas while a CHKPT quorum forms, and the PRECHK round
+    /// needs every active replica to encode a byte-identical snapshot.
+    pub(crate) fn checkpoint_base(&self, sn: SeqNum) -> SeqNum {
+        if self.config.checkpoint_interval == 0 {
+            return SeqNum(0);
+        }
+        SeqNum(sn.0.saturating_sub(self.config.checkpoint_interval))
+    }
+
     /// Builds the canonical snapshot of this replica's state at its current
     /// execution point (used at PRECHK initiation, so the captured state is
-    /// exactly the one whose digest the checkpoint round agrees on).
+    /// exactly the one whose digest the checkpoint round agrees on). The
+    /// snapshot is *windowed*: executed history and cached replies at or
+    /// below the window base are attested by the previous seal and excluded,
+    /// so the capture is O(checkpoint interval) however long the run.
     pub(crate) fn checkpoint_snapshot(&self) -> ReplicaSnapshot {
+        let sn = self.exec_sn;
+        let base = self.checkpoint_base(sn);
         ReplicaSnapshot {
-            sn: self.exec_sn,
+            sn,
+            base,
             app: self.state.snapshot(),
             app_digest: self.state.state_digest(),
-            executed: self.executed_history.clone(),
-            clients: self.client_record_snapshots(),
+            executed: self
+                .executed_history
+                .iter()
+                .filter(|(s, _)| *s > base)
+                .cloned()
+                .collect(),
+            clients: self.client_record_snapshots(base),
         }
     }
 
     /// The canonical per-client exactly-once records (see
     /// [`ClientRecordSnapshot`] for what is — and is not — included).
-    pub(crate) fn client_record_snapshots(&self) -> Vec<ClientRecordSnapshot> {
+    /// Cached replies executed at or below `base` are pruned, except each
+    /// client's last `MAX_CLIENT_WINDOW` replies by timestamp
+    /// ([`ClientRecord::retained_reply_floor`]): a correct client's
+    /// retransmittable requests all lie in that suffix, and a reply pruned
+    /// before the retransmission arrives can never be re-answered. Still
+    /// O(1) per client, so the capture stays flat in the history length.
+    pub(crate) fn client_record_snapshots(&self, base: SeqNum) -> Vec<ClientRecordSnapshot> {
         let mut clients: Vec<ClientRecordSnapshot> = self
             .client_table
             .iter()
-            .map(|(client, record)| ClientRecordSnapshot {
-                client: *client,
-                ranges: record
-                    .executed_ranges
-                    .iter()
-                    .map(|(s, e)| (*s, *e))
-                    .collect(),
-                replies: record
-                    .replies
-                    .iter()
-                    .map(|(ts, cached)| (*ts, cached.reply.sn, cached.rd))
-                    .collect(),
+            .map(|(client, record)| {
+                let floor = record.retained_reply_floor();
+                ClientRecordSnapshot {
+                    client: *client,
+                    ranges: record
+                        .executed_ranges
+                        .iter()
+                        .map(|(s, e)| (*s, *e))
+                        .collect(),
+                    replies: record
+                        .replies
+                        .iter()
+                        .filter(|(ts, cached)| {
+                            cached.reply.sn > base || floor.is_none_or(|f| **ts >= f)
+                        })
+                        .map(|(ts, cached)| (*ts, cached.reply.sn, cached.rd))
+                        .collect(),
+                }
             })
             .collect();
         clients.sort_by_key(|c| c.client.0);
         clients
+    }
+
+    /// Garbage-collects executed state below a freshly sealed checkpoint at
+    /// `sn`: executed history strictly below the window base (one interval
+    /// of slack keeps fork detection working across a view change straddling
+    /// the seal), and cached client replies by the same rule the capture
+    /// path uses — so a veteran replica's live tables stay byte-equivalent
+    /// to what an adopting replica decodes from the snapshot.
+    pub(crate) fn truncate_below_checkpoint(&mut self, sn: SeqNum) {
+        let base = self.checkpoint_base(sn);
+        self.executed_history.retain(|(s, _)| *s > base);
+        for record in self.client_table.values_mut() {
+            let floor = record.retained_reply_floor();
+            record
+                .replies
+                .retain(|ts, cached| cached.reply.sn > base || floor.is_none_or(|f| *ts >= f));
+        }
     }
 
     /// Replaces this replica's executed state with a sealed snapshot:
@@ -264,13 +317,16 @@ impl Replica {
                 let consistent = sealed
                     .proof
                     .first()
-                    .map(|m| m.state_digest == sealed.snapshot.digest())
+                    .map(|m| {
+                        m.state_digest == sealed.snapshot.digest_with(self.config.state_chunk_bytes)
+                    })
                     .unwrap_or(true);
                 if consistent && self.adopt_sealed_snapshot(sealed, false, ctx) {
                     report.snapshot_sn = Some(self.last_checkpoint);
                 }
             }
         }
+        let mut chunk_progress: Option<super::ChunkProgress> = None;
         for raw in &recovered.records {
             let mut r = Reader::new(raw);
             let Some(event) = DurableEvent::decode_from(&mut r) else {
@@ -301,6 +357,36 @@ impl Replica {
                         self.prepare_log.insert(entry);
                     }
                 }
+                DurableEvent::TransferChunk(c) => {
+                    // Rebuild the in-flight transfer from journaled chunks
+                    // (verified before they were written; the reassembled
+                    // snapshot is digest-checked again before adoption, so a
+                    // tampered WAL can stall recovery but not corrupt it).
+                    if c.sn <= self.last_checkpoint {
+                        continue; // superseded by the adopted snapshot
+                    }
+                    let stale = chunk_progress
+                        .as_ref()
+                        .is_some_and(|p| c.sn < p.sn || (c.sn == p.sn && p.root != c.root));
+                    if stale {
+                        continue;
+                    }
+                    if chunk_progress.as_ref().map(|p| p.sn) != Some(c.sn) {
+                        chunk_progress = Some(super::ChunkProgress {
+                            sn: c.sn,
+                            chunk_bytes: c.chunk_bytes,
+                            total_len: c.total_len,
+                            root: c.root,
+                            proof: c.proof,
+                            chunks: Default::default(),
+                            inflight: Default::default(),
+                        });
+                    }
+                    let progress = chunk_progress.as_mut().expect("just ensured");
+                    if c.index < progress.chunk_count() {
+                        progress.chunks.insert(c.index, c.data);
+                    }
+                }
             }
         }
         // Re-execute the committed tail through the normal path, with client
@@ -309,6 +395,23 @@ impl Replica {
         self.replaying = true;
         self.try_execute(ctx);
         self.replaying = false;
+        // Resume a transfer that was mid-flight at the crash. No timer is
+        // armed here (recovery may run in an offline context); the first
+        // live `begin_state_transfer` — triggered by observing the cluster's
+        // checkpoint, or immediately by `on_disk_fault` — finds `timer:
+        // None` and drives it.
+        if let Some(progress) = chunk_progress.take() {
+            if progress.sn > self.exec_sn && self.pending_transfer.is_none() {
+                self.telemetry.add("xft_state_transfer_resumes_total", 1);
+                ctx.count("state_transfer_resumes", 1);
+                self.pending_transfer = Some(super::PendingTransfer {
+                    target: progress.sn,
+                    attempts: 0,
+                    timer: None,
+                    progress: Some(progress),
+                });
+            }
+        }
         report.view = self.view;
         report.exec_sn = self.exec_sn;
         ctx.count("storage_recoveries", 1);
@@ -377,6 +480,12 @@ impl Replica {
         }
         self.clear_volatile_state();
         self.recover_with(ctx);
+        if self.pending_transfer.is_some() {
+            // A transfer rebuilt from journaled chunks: this context is live,
+            // so re-arm it immediately instead of waiting to observe a peer
+            // checkpoint.
+            self.continue_state_transfer(ctx);
+        }
         ctx.count("disk_fault_restarts", 1);
     }
 }

@@ -169,6 +169,31 @@ impl ClientRecord {
         self.replies.get(&ts)
     }
 
+    /// The oldest timestamp the checkpoint window rule must retain for this
+    /// client, regardless of how far below the window base its reply was
+    /// executed. A correct client caps its timestamp spread at
+    /// `MAX_TS_SPREAD = MAX_CLIENT_WINDOW`, so every request it can still
+    /// retransmit has `ts ≥ highest executed ts − MAX_CLIENT_WINDOW` —
+    /// pruning inside that range wedges the request forever: once the
+    /// original reply misses its quorum, the retransmission → re-answer
+    /// path is the *only* recovery, and at high throughput a sequence-number
+    /// window can close before the client's first retransmission timer even
+    /// fires.
+    ///
+    /// Derived from `executed_ranges` — exact, and identical on every
+    /// replica at the same execution point — *never* from the reply map
+    /// itself: a veteran replica (which truncated at past seals after
+    /// execution had moved on) and a freshly adopting replica (which decoded
+    /// the capture-time set) hold different stale entries, so any rule that
+    /// reads the map's own membership selects different survivors on each
+    /// and the next PRECHK round disagrees on byte-identical snapshots.
+    pub(crate) fn retained_reply_floor(&self) -> Option<Timestamp> {
+        self.executed_ranges
+            .values()
+            .next_back()
+            .map(|end| end.saturating_sub(crate::client::MAX_CLIENT_WINDOW as u64))
+    }
+
     /// Rebuilds a record from its canonical snapshot form (state transfer /
     /// recovery). Cached replies come back as digest-only replies bound to
     /// the adopting replica and view — the view re-binding path refreshes
@@ -208,8 +233,9 @@ impl ClientRecord {
 
 /// An in-progress state transfer: the replica is missing executed state up
 /// to `target` (a checkpoint its peers garbage-collected their logs at) and
-/// is fetching a sealed snapshot. Execution stalls at `exec_sn` until a
-/// verified snapshot is adopted; the retry timer rotates through peers.
+/// is pulling the sealed snapshot chunk by chunk. Execution stalls at
+/// `exec_sn` until the reassembled snapshot is verified and adopted; the
+/// retry timer rotates through peers.
 #[derive(Debug, Clone)]
 pub(crate) struct PendingTransfer {
     /// The checkpoint sequence number needed (the snapshot adopted may be
@@ -219,6 +245,62 @@ pub(crate) struct PendingTransfer {
     pub(crate) attempts: u64,
     /// Retry timer.
     pub(crate) timer: Option<TimerId>,
+    /// Chunk-level progress, established by the first verified response
+    /// (which doubles as the transfer manifest) or rebuilt from WAL
+    /// `TransferChunk` records after a crash.
+    pub(crate) progress: Option<ChunkProgress>,
+}
+
+/// Verified progress of one chunked snapshot transfer: the manifest the
+/// t + 1-signed seal commits to, plus every chunk verified so far. Each
+/// verified chunk is journaled to the WAL, so a crash mid-transfer resumes
+/// from here instead of refetching.
+#[derive(Debug, Clone)]
+pub(crate) struct ChunkProgress {
+    /// The sealed checkpoint being fetched.
+    pub(crate) sn: SeqNum,
+    /// Chunk size the seal commits to (must match the local config).
+    pub(crate) chunk_bytes: u32,
+    /// Total length of the snapshot's canonical encoding.
+    pub(crate) total_len: u64,
+    /// Merkle root over the chunk leaves.
+    pub(crate) root: Digest,
+    /// The t + 1 signed CHKPT proof carried by every verified response.
+    pub(crate) proof: Vec<crate::messages::CheckpointMsg>,
+    /// Verified chunks by index.
+    pub(crate) chunks: BTreeMap<u32, bytes::Bytes>,
+    /// Indices requested and not yet answered (bounds in-flight repair
+    /// traffic to `state_fetch_window × state_chunk_bytes`).
+    pub(crate) inflight: BTreeSet<u32>,
+}
+
+impl ChunkProgress {
+    /// Number of chunks the manifest describes.
+    pub(crate) fn chunk_count(&self) -> u32 {
+        crate::durable::chunk_count(self.total_len, self.chunk_bytes)
+    }
+
+    /// Whether every chunk has been verified.
+    pub(crate) fn is_complete(&self) -> bool {
+        self.chunks.len() as u32 == self.chunk_count()
+    }
+}
+
+/// Responder-side cache of one sealed snapshot's chunked encoding: the
+/// canonical bytes, their Merkle leaves and root, and the t + 1 proof of
+/// that very generation. Serving N chunks encodes and hashes the snapshot
+/// once instead of N times. The cache deliberately outlives newer seals
+/// while a requester pins its generation (`want_sn`): a slow transfer must
+/// be able to finish against a stable snapshot even though the cluster
+/// keeps checkpointing, otherwise it restarts on every seal and a transfer
+/// wider than one checkpoint interval can never complete.
+#[derive(Debug, Clone)]
+pub(crate) struct ChunkCache {
+    pub(crate) sn: SeqNum,
+    pub(crate) bytes: bytes::Bytes,
+    pub(crate) leaves: Vec<Digest>,
+    pub(crate) root: Digest,
+    pub(crate) proof: Vec<crate::messages::CheckpointMsg>,
 }
 
 /// Per-view-change bookkeeping (paper Algorithm 3 / 5).
@@ -241,6 +323,18 @@ pub(crate) struct ViewChangeState {
     pub(crate) merged: Option<Vec<crate::messages::ViewChangeMsg>>,
     /// The selection this replica computed from the merged set (sn → batch digest).
     pub(crate) selection_digests: BTreeMap<u64, Digest>,
+    /// The checkpoint horizon of the merged set — the highest *proven* stable
+    /// checkpoint any contributor claimed — and its t + 1-signed proof.
+    /// Everything at or below it is preserved by that checkpoint, not by
+    /// re-proposal, so installation must treat it as the sequencing floor of
+    /// the new view (see [`Replica::install_new_view`]).
+    pub(crate) horizon: SeqNum,
+    pub(crate) horizon_proof: Vec<crate::messages::CheckpointMsg>,
+    /// A NEW-VIEW that arrived before our own VC-FINAL merge finished. The
+    /// selection it must be validated against does not exist yet, so it is
+    /// held here and replayed the moment the merge completes — installing it
+    /// unvalidated would let a faulty primary omit committed requests.
+    pub(crate) pending_new_view: Option<crate::messages::NewViewMsg>,
     /// 2Δ collection timer.
     pub(crate) collect_timer: Option<TimerId>,
     /// Overall completion timer.
@@ -343,6 +437,8 @@ pub struct Replica {
     pub(crate) deferred_replies: VecDeque<(u64, NodeId, XPaxosMsg)>,
     /// An in-progress state transfer, if any.
     pub(crate) pending_transfer: Option<PendingTransfer>,
+    /// Responder-side chunk cache for the latest sealed snapshot.
+    pub(crate) chunk_cache: Option<ChunkCache>,
 
     // ---- view change ------------------------------------------------------------
     pub(crate) vc: Option<ViewChangeState>,
@@ -418,6 +514,7 @@ impl Replica {
             storage: None,
             deferred_replies: VecDeque::new(),
             pending_transfer: None,
+            chunk_cache: None,
             vc: None,
             forwarded_suspects: HashSet::new(),
             monitored: HashMap::new(),
@@ -597,11 +694,42 @@ impl Replica {
         self.latest_snapshot = None;
         self.deferred_replies.clear();
         self.pending_transfer = None;
+        self.chunk_cache = None;
         self.vc = None;
         self.forwarded_suspects.clear();
         self.monitored.clear();
         self.monitored_by_req.clear();
         self.detected_faulty.clear();
+    }
+
+    /// Cancels every outstanding timer owned by state that
+    /// [`Replica::clear_volatile_state`] is about to drop. Unlike a simulated
+    /// crash (where the simulator discards the node's timers), the amnesia
+    /// and disk-fault injections keep the node scheduled — a state-transfer
+    /// retry timer armed before the fault would otherwise fire into the
+    /// *next* transfer's bookkeeping and double-drive it. Must run before the
+    /// clear, while the timer ids are still known; handlers are also guarded
+    /// against the context-less `forget_state` callers where cancellation is
+    /// impossible.
+    pub(crate) fn cancel_volatile_timers(&mut self, ctx: &mut Context<XPaxosMsg>) {
+        if let Some(timer) = self.batch_timer.take() {
+            ctx.cancel_timer(timer);
+        }
+        if let Some(timer) = self.pending_transfer.as_mut().and_then(|p| p.timer.take()) {
+            ctx.cancel_timer(timer);
+        }
+        if let Some(vc) = self.vc.as_mut() {
+            if let Some(timer) = vc.collect_timer.take() {
+                ctx.cancel_timer(timer);
+            }
+            if let Some(timer) = vc.timeout_timer.take() {
+                ctx.cancel_timer(timer);
+            }
+        }
+        for (_, (_, timer)) in self.monitored_by_req.drain() {
+            ctx.cancel_timer(timer);
+        }
+        self.monitored.clear();
     }
 
     /// The currently configured Byzantine behaviour.
@@ -690,8 +818,8 @@ impl Actor for Replica {
             XPaxosMsg::Checkpoint(m) => self.on_checkpoint(m, ctx),
             XPaxosMsg::LazyCheckpoint { proof } => self.on_lazy_checkpoint(proof, ctx),
             XPaxosMsg::LazyReplicate { entries, .. } => self.on_lazy_replicate(entries, ctx),
-            XPaxosMsg::StateRequest(m) => self.on_state_request(m, ctx),
-            XPaxosMsg::StateResponse(m) => self.on_state_response(m, ctx),
+            XPaxosMsg::StateChunkRequest(m) => self.on_state_chunk_request(m, ctx),
+            XPaxosMsg::StateChunkResponse(m) => self.on_state_chunk_response(m, ctx),
             XPaxosMsg::FaultDetected(m) => self.on_fault_detected(m, ctx),
             // The durable LSN moved (background fsync completion, injected by
             // the runtime — or a forged copy, which is harmless: the release
@@ -755,10 +883,12 @@ impl Actor for Replica {
                 // transfer of the latest checkpoint (view_change.rs /
                 // state_transfer.rs), so the injection is honoured on every
                 // configuration.
+                self.cancel_volatile_timers(ctx);
                 self.forget_state();
                 ctx.count("amnesia_injected", 1);
             }
             crate::byzantine::CONTROL_TORN_TAIL | crate::byzantine::CONTROL_CORRUPT_WAL => {
+                self.cancel_volatile_timers(ctx);
                 self.on_disk_fault(code.0, ctx);
             }
             _ => {

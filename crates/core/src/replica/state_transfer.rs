@@ -1,42 +1,72 @@
-//! The state-transfer protocol: fetching a sealed checkpoint snapshot from a
-//! peer and verifying it before adoption.
+//! Chunked, verifiable, resumable state transfer: pulling a sealed
+//! checkpoint snapshot from peers in bounded frames and verifying every
+//! frame before adoption.
 //!
 //! Checkpointing (paper §4.5.1) lets replicas garbage-collect their log
 //! prefixes; a replica that falls behind a checkpoint — a promoted passive
 //! replica, a restarted machine, an amnesia victim — can then no longer
 //! catch up by replay alone: it needs the checkpointed *state*. The paper
 //! waves at this ("a lagging replica obtains the checkpoint"); here it is a
-//! real protocol:
+//! real protocol, and one that scales to snapshots far larger than a
+//! network frame:
 //!
-//! 1. the lagging replica sends a signed `STATE-REQUEST(min_sn)` to one peer
-//!    at a time (active replicas of its current view first), with a
-//!    retransmission timer rotating through peers;
-//! 2. a peer holding a sealed snapshot at `sn ≥ min_sn` answers with a
-//!    signed `STATE-RESPONSE` carrying the [`crate::durable::SealedSnapshot`]
-//!    — the snapshot blob plus the t + 1 signed CHKPT messages of its
-//!    checkpoint round;
+//! 1. the lagging replica sends a signed `STATE-CHUNK-REQUEST(min_sn, 0)`
+//!    to one peer at a time (active replicas of its current view first),
+//!    with a retransmission timer rotating through peers;
+//! 2. once a manifest is known, subsequent requests *pin* that snapshot
+//!    generation (`want_sn`), and peers keep serving a pinned generation
+//!    from their chunk cache even after sealing newer checkpoints — a
+//!    transfer slower than the checkpoint cadence would otherwise restart
+//!    on every seal and never complete; a peer holding a sealed snapshot
+//!    at `sn ≥ min_sn` answers each index
+//!    with a `STATE-CHUNK-RESPONSE` carrying at most
+//!    [`crate::config::XPaxosConfig::state_chunk_bytes`] of the snapshot's
+//!    canonical encoding, the chunk-tree manifest (`chunk_bytes`,
+//!    `total_len`, Merkle `root`), a Merkle audit path for the chunk, and
+//!    the t + 1 signed CHKPT proof of the seal — every response is
+//!    independently verifiable, so a transfer survives primary failover and
+//!    peer rotation mid-flight;
 //! 3. the requester verifies the proof signatures, checks that the agreed
-//!    digest equals the snapshot's recomputed digest, restores the
-//!    application state and cross-checks `D(st)` — only then does it adopt.
+//!    digest equals [`crate::durable::snapshot_commitment`] over the
+//!    manifest, verifies the chunk's audit path against the root, and only
+//!    then journals the chunk to its WAL ([`DurableEvent::TransferChunk`])
+//!    — a crash mid-transfer resumes from the journaled chunks instead of
+//!    refetching;
+//! 4. the first verified response doubles as the manifest; the requester
+//!    then keeps up to [`crate::config::XPaxosConfig::state_fetch_window`]
+//!    chunk requests outstanding (the *repair budget*: at most
+//!    `window × chunk` recovery bytes in flight), self-clocking like a
+//!    transport window;
+//! 5. once every chunk is in, the snapshot is reassembled, decoded, and
+//!    cross-checked against the sealed digest one final time before
+//!    adoption — the per-chunk Merkle checks reject garbage early on the
+//!    wire, the whole-snapshot check is the authoritative gate.
 //!
 //! A faulty peer can therefore delay a transfer (ignored request, garbage
-//! response) but never corrupt one: every byte adopted is covered by t + 1
+//! chunk) but never corrupt one: every byte adopted is covered by t + 1
 //! signatures, at least one from a correct replica.
 
-use super::{PendingTransfer, Replica, TOKEN_STATE_TRANSFER};
+use super::{ChunkCache, ChunkProgress, PendingTransfer, Replica, TOKEN_STATE_TRANSFER};
+use crate::durable::{
+    chunk_count, chunk_leaf, snapshot_commitment, DurableEvent, ReplicaSnapshot, SealedSnapshot,
+    TransferChunkRecord,
+};
 use crate::messages::{
-    checkpoint_vote_digest, state_request_digest, state_response_digest, CheckpointMsg,
-    StateRequestMsg, StateResponseMsg, XPaxosMsg,
+    checkpoint_vote_digest, state_chunk_request_digest, state_chunk_response_digest, CheckpointMsg,
+    StateChunkRequestMsg, StateChunkResponseMsg, XPaxosMsg,
 };
 use crate::types::{ReplicaId, SeqNum};
-use std::collections::BTreeSet;
-use xft_crypto::{CryptoOp, Digest};
-use xft_simnet::Context;
+use bytes::{Bytes, Reader};
+use std::collections::{BTreeMap, BTreeSet};
+use xft_crypto::{merkle_path, merkle_root, merkle_verify, CryptoOp, Digest};
+use xft_simnet::{Context, SimMessage};
+use xft_wire::{WireDecode, WireEncode};
 
 impl Replica {
     /// Starts (or extends) a state transfer towards the checkpoint at
-    /// `target`. No-op if the replica has already executed past it or a
-    /// transfer for an equal-or-later target is in flight.
+    /// `target`. No-op if the replica has already executed past it; a
+    /// transfer resumed from the WAL (no retry timer armed yet) is kicked
+    /// back into motion.
     pub(crate) fn begin_state_transfer(&mut self, target: SeqNum, ctx: &mut Context<XPaxosMsg>) {
         if self.exec_sn >= target {
             return;
@@ -45,27 +75,38 @@ impl Replica {
             if target > pending.target {
                 pending.target = target;
             }
-            return; // a request is already in flight; the timer drives retries
+            if pending.timer.is_none() {
+                // Rebuilt from the WAL after a crash, or orphaned by a timer
+                // race: nothing is driving it, so drive it now.
+                self.continue_state_transfer(ctx);
+            }
+            return; // otherwise a request is in flight; the timer drives retries
         }
         self.pending_transfer = Some(PendingTransfer {
             target,
             attempts: 0,
             timer: None,
+            progress: None,
         });
         ctx.count("state_transfers_started", 1);
         self.continue_state_transfer(ctx);
     }
 
-    /// Sends the next `STATE-REQUEST` and re-arms the retry timer. Peers are
-    /// tried round-robin: the active replicas of the current view first
-    /// (they hold the freshest checkpoint), then everyone else.
+    /// Sends the next round of `STATE-CHUNK-REQUEST`s and re-arms the retry
+    /// timer. Peers are tried round-robin: the active replicas of the
+    /// current view first (they hold the freshest checkpoint), then everyone
+    /// else. Without a manifest yet, chunk 0 is requested (its response
+    /// doubles as the manifest); with one, the lowest missing chunks up to
+    /// the fetch window.
     pub(crate) fn continue_state_transfer(&mut self, ctx: &mut Context<XPaxosMsg>) {
-        let Some(pending) = self.pending_transfer.as_mut() else {
-            return;
+        let (attempts, target) = match self.pending_transfer.as_mut() {
+            Some(pending) => {
+                let attempts = pending.attempts;
+                pending.attempts += 1;
+                (attempts, pending.target)
+            }
+            None => return,
         };
-        let attempts = pending.attempts;
-        pending.attempts += 1;
-        let target = pending.target;
 
         let mut candidates: Vec<ReplicaId> = self
             .groups
@@ -84,14 +125,46 @@ impl Replica {
         }
         let peer = candidates[attempts as usize % candidates.len()];
 
-        ctx.charge(CryptoOp::Sign);
-        let msg = StateRequestMsg {
-            min_sn: target,
-            replica: self.id,
-            signature: self.sign(&state_request_digest(target, self.id)),
+        let window = self.config.state_fetch_window as usize;
+        // Mid-transfer, requests pin the generation already in progress
+        // (`want_sn`) and lower `min_sn` to it: finishing the pinned
+        // snapshot beats restarting on whatever newer seal exists, even if
+        // the target has crept past it — adoption re-arms the transfer for
+        // the remainder of the gap.
+        let mut min_sn = target;
+        let mut want_sn = SeqNum(0);
+        let indices: Vec<u32> = match self
+            .pending_transfer
+            .as_mut()
+            .and_then(|p| p.progress.as_mut())
+        {
+            None => vec![0],
+            Some(progress) => {
+                // Retry path: anything still marked in flight is presumed
+                // lost with the peer being rotated away from.
+                progress.inflight.clear();
+                let count = progress.chunk_count();
+                let missing: Vec<u32> = (0..count)
+                    .filter(|i| !progress.chunks.contains_key(i))
+                    .take(window)
+                    .collect();
+                if missing.is_empty() {
+                    // Complete-but-unadopted progress only survives a failed
+                    // adoption; refetch the manifest from scratch.
+                    vec![0]
+                } else {
+                    min_sn = progress.sn;
+                    want_sn = progress.sn;
+                    for i in &missing {
+                        progress.inflight.insert(*i);
+                    }
+                    missing
+                }
+            }
         };
-        ctx.count("state_requests_sent", 1);
-        ctx.send(self.node_of(peer), XPaxosMsg::StateRequest(msg));
+        for index in indices {
+            self.send_chunk_request(peer, index, min_sn, want_sn, ctx);
+        }
 
         let timer = ctx.set_timer(self.config.replica_retransmit, TOKEN_STATE_TRANSFER);
         if let Some(pending) = self.pending_transfer.as_mut() {
@@ -101,8 +174,30 @@ impl Replica {
         }
     }
 
+    /// Signs and sends one chunk request.
+    fn send_chunk_request(
+        &mut self,
+        peer: ReplicaId,
+        index: u32,
+        min_sn: SeqNum,
+        want_sn: SeqNum,
+        ctx: &mut Context<XPaxosMsg>,
+    ) {
+        ctx.charge(CryptoOp::Sign);
+        let msg = StateChunkRequestMsg {
+            min_sn,
+            want_sn,
+            index,
+            replica: self.id,
+            signature: self.sign(&state_chunk_request_digest(min_sn, want_sn, index, self.id)),
+        };
+        ctx.count("state_chunk_requests_sent", 1);
+        ctx.send(self.node_of(peer), XPaxosMsg::StateChunkRequest(msg));
+    }
+
     /// The transfer retry timer fired: give up if the gap closed by other
-    /// means (lazy replication), otherwise ask the next peer.
+    /// means (lazy replication), otherwise re-request the missing chunks
+    /// from the next peer.
     pub(crate) fn on_state_transfer_timer(&mut self, ctx: &mut Context<XPaxosMsg>) {
         let Some(pending) = self.pending_transfer.as_mut() else {
             return;
@@ -115,89 +210,303 @@ impl Replica {
         self.continue_state_transfer(ctx);
     }
 
-    /// A peer asks for a snapshot: answer with the latest sealed checkpoint
-    /// if it satisfies `min_sn`. Served in any phase — state transfer must
-    /// work *during* view changes, which is precisely when promoted passive
-    /// replicas need it.
-    pub(crate) fn on_state_request(&mut self, m: StateRequestMsg, ctx: &mut Context<XPaxosMsg>) {
+    /// A peer asks for a snapshot chunk: serve it from the latest sealed
+    /// checkpoint if it satisfies `min_sn`. Served in any phase — state
+    /// transfer must work *during* view changes, which is precisely when
+    /// promoted passive replicas need it. An out-of-range index is answered
+    /// with chunk 0, re-manifesting the transfer (the requester's manifest
+    /// may describe a snapshot this replica has since superseded).
+    pub(crate) fn on_state_chunk_request(
+        &mut self,
+        m: StateChunkRequestMsg,
+        ctx: &mut Context<XPaxosMsg>,
+    ) {
+        ctx.charge(CryptoOp::VerifySig);
+        if m.replica >= self.config.n() || m.replica == self.id {
+            return;
+        }
+        if !self.verifier.is_valid_digest(
+            &state_chunk_request_digest(m.min_sn, m.want_sn, m.index, m.replica),
+            &m.signature,
+        ) {
+            return;
+        }
+        // Serve from the cached generation whenever it satisfies the
+        // request: the requester pinned exactly this generation, or it
+        // takes anything at or beyond `min_sn`. Keeping the cache stable
+        // across newer seals is what lets a transfer slower than the
+        // checkpoint cadence finish at all — rebuilding eagerly would
+        // restart every in-flight requester on each seal.
+        let cacheable = self
+            .chunk_cache
+            .as_ref()
+            .is_some_and(|c| c.sn >= m.min_sn && (m.want_sn == c.sn || m.want_sn == SeqNum(0)));
+        if !cacheable {
+            let Some(sealed) = self.latest_snapshot.as_ref() else {
+                ctx.count("state_chunk_requests_unserved", 1);
+                return;
+            };
+            if sealed.sn() < m.min_sn {
+                ctx.count("state_chunk_requests_unserved", 1);
+                return;
+            }
+            let bytes = sealed.snapshot.wire_bytes();
+            let leaves = ReplicaSnapshot::chunk_leaves(&bytes, self.config.state_chunk_bytes);
+            let root = merkle_root(&leaves);
+            self.chunk_cache = Some(ChunkCache {
+                sn: sealed.sn(),
+                bytes: Bytes::from(bytes),
+                leaves,
+                root,
+                proof: sealed.proof.clone(),
+            });
+        }
+        let cache = self.chunk_cache.as_ref().expect("just built");
+        let sn = cache.sn;
+        let proof = cache.proof.clone();
+        let count = cache.leaves.len() as u32;
+        let index = if m.index < count { m.index } else { 0 };
+        let chunk = self.config.state_chunk_bytes as usize;
+        let start = index as usize * chunk;
+        let end = (start + chunk).min(cache.bytes.len());
+        let data = cache.bytes.slice(start..end);
+        let path = merkle_path(&cache.leaves, index as usize).unwrap_or_default();
+
+        let mut response = StateChunkResponseMsg {
+            sn,
+            chunk_bytes: self.config.state_chunk_bytes,
+            total_len: cache.bytes.len() as u64,
+            root: cache.root,
+            index,
+            data,
+            path,
+            proof,
+            replica: self.id,
+            signature: xft_crypto::Signature::forged(self.signer.id()),
+        };
+        ctx.charge(CryptoOp::Sign);
+        response.signature = self.sign(&state_chunk_response_digest(&response));
+        let served_bytes = response.data.len() as u64;
+        ctx.count("state_chunks_served", 1);
+        self.telemetry.add("xft_state_chunks_served_total", 1);
+        self.telemetry
+            .add("xft_state_transfer_bytes_total", served_bytes);
+        let msg = XPaxosMsg::StateChunkResponse(response);
+        let frame = msg.size_bytes() as u64;
+        self.telemetry.observe("xft_state_chunk_bytes", 1.0, frame);
+        if self.telemetry.is_enabled() {
+            // Peak frame gauge: what CI asserts stays bounded however large
+            // the snapshot grows.
+            let peak = self.telemetry.gauge("xft_state_chunk_frame_bytes_max");
+            if frame as i64 > peak.get() {
+                peak.set(frame as i64);
+            }
+        }
+        self.tel_event(ctx, "xfer", || {
+            format!(
+                "served sn={} chunk {}/{} to replica {} ({} bytes)",
+                sn.0, index, count, m.replica, served_bytes
+            )
+        });
+        ctx.send(self.node_of(m.replica), msg);
+    }
+
+    /// A snapshot chunk arrived: verify it in isolation (sender signature,
+    /// t + 1 seal proof, manifest commitment, Merkle audit path, exact
+    /// length), journal it for crash-resume, and either finish the transfer
+    /// or keep the fetch window full.
+    pub(crate) fn on_state_chunk_response(
+        &mut self,
+        m: StateChunkResponseMsg,
+        ctx: &mut Context<XPaxosMsg>,
+    ) {
+        let Some(pending) = self.pending_transfer.as_ref() else {
+            return; // unsolicited or already satisfied
+        };
+        let sn = m.sn;
+        // The floor is the pinned generation if one is in progress — NOT the
+        // target, which may have crept past it while we fetched. Finishing
+        // the pinned snapshot is still forward progress; adoption re-arms
+        // the transfer for whatever gap remains.
+        let floor = pending
+            .progress
+            .as_ref()
+            .map(|p| p.sn)
+            .unwrap_or(pending.target);
+        if sn <= self.exec_sn || sn < floor {
+            return; // too old to close the gap / below the pinned generation
+        }
+        if m.chunk_bytes != self.config.state_chunk_bytes {
+            // The seal binds the chunk size; a different one can only come
+            // from a misconfigured or faulty peer.
+            ctx.count("state_chunks_rejected", 1);
+            return;
+        }
         ctx.charge(CryptoOp::VerifySig);
         if m.replica >= self.config.n() || m.replica == self.id {
             return;
         }
         if !self
             .verifier
-            .is_valid_digest(&state_request_digest(m.min_sn, m.replica), &m.signature)
+            .is_valid_digest(&state_chunk_response_digest(&m), &m.signature)
         {
+            ctx.count("state_chunks_rejected", 1);
             return;
         }
-        let Some(sealed) = self.latest_snapshot.as_ref() else {
-            ctx.count("state_requests_unserved", 1);
-            return;
-        };
-        if sealed.sn() < m.min_sn {
-            ctx.count("state_requests_unserved", 1);
+        // Structural checks: index in range, exact chunk length (full-size
+        // except the final chunk), audit path proving the chunk's leaf
+        // under the manifest root.
+        let count = chunk_count(m.total_len, m.chunk_bytes);
+        if m.index >= count {
+            ctx.count("state_chunks_rejected", 1);
             return;
         }
-        let sealed = sealed.clone();
-        let digest = sealed.snapshot.digest();
-        ctx.charge(CryptoOp::Sign);
-        let response = StateResponseMsg {
-            replica: self.id,
-            signature: self.sign(&state_response_digest(sealed.sn(), &digest, self.id)),
-            sealed,
+        let expected_len = if m.index + 1 == count {
+            m.total_len - (count as u64 - 1) * m.chunk_bytes as u64
+        } else {
+            m.chunk_bytes as u64
         };
-        ctx.count("state_responses_served", 1);
-        self.telemetry.add(
-            "xft_state_transfer_bytes_total",
-            response.sealed.snapshot.wire_size() as u64,
-        );
-        self.tel_event(ctx, "xfer", || {
-            format!(
-                "served sn={} to replica {} ({} bytes)",
-                response.sealed.sn().0,
-                m.replica,
-                response.sealed.snapshot.wire_size()
-            )
-        });
-        ctx.send(self.node_of(m.replica), XPaxosMsg::StateResponse(response));
+        if m.data.len() as u64 != expected_len {
+            ctx.count("state_chunks_rejected", 1);
+            return;
+        }
+        let leaf = chunk_leaf(m.index, &m.data);
+        if !merkle_verify(&leaf, m.index as usize, count as usize, &m.path, &m.root) {
+            ctx.count("state_chunks_rejected", 1);
+            return;
+        }
+        // The t + 1 seal must vouch for exactly this manifest.
+        let Some((proof_sn, proof_digest)) = self.verify_checkpoint_proof(&m.proof, ctx) else {
+            ctx.count("state_chunks_rejected", 1);
+            return;
+        };
+        if proof_sn != sn
+            || proof_digest != snapshot_commitment(m.chunk_bytes, m.total_len, &m.root)
+        {
+            ctx.count("state_chunks_rejected", 1);
+            return;
+        }
+
+        // Verified. Integrate into (or restart) the progress: a response for
+        // a newer seal than the one in progress means the peers sealed again
+        // and garbage-collected the old snapshot — start over on the new one.
+        let pending = self.pending_transfer.as_mut().expect("checked above");
+        let restart = match pending.progress.as_ref() {
+            None => true,
+            Some(p) => {
+                if sn < p.sn || (sn == p.sn && p.root != m.root) {
+                    return; // a stale generation (or an impossible conflicting manifest)
+                }
+                sn > p.sn
+            }
+        };
+        if restart {
+            pending.progress = Some(ChunkProgress {
+                sn,
+                chunk_bytes: m.chunk_bytes,
+                total_len: m.total_len,
+                root: m.root,
+                proof: m.proof.clone(),
+                chunks: BTreeMap::new(),
+                inflight: BTreeSet::new(),
+            });
+        }
+        let progress = pending.progress.as_mut().expect("just ensured");
+        progress.inflight.remove(&m.index);
+        let fresh = progress.chunks.insert(m.index, m.data.clone()).is_none();
+        let complete = progress.is_complete();
+        let mut to_request: Vec<u32> = Vec::new();
+        if !complete {
+            let window = self.config.state_fetch_window as usize;
+            let room = window.saturating_sub(progress.inflight.len());
+            to_request = (0..progress.chunk_count())
+                .filter(|i| !progress.chunks.contains_key(i) && !progress.inflight.contains(i))
+                .take(room)
+                .collect();
+            for i in &to_request {
+                progress.inflight.insert(*i);
+            }
+        }
+
+        if fresh {
+            ctx.count("state_chunks_verified", 1);
+            self.telemetry.add("xft_state_chunks_verified_total", 1);
+            // Journal the verified chunk so a crash resumes the transfer
+            // from the WAL instead of refetching every chunk.
+            self.persist(|| {
+                DurableEvent::TransferChunk(TransferChunkRecord {
+                    sn,
+                    chunk_bytes: m.chunk_bytes,
+                    total_len: m.total_len,
+                    root: m.root,
+                    index: m.index,
+                    data: m.data.clone(),
+                    proof: m.proof.clone(),
+                })
+            });
+        }
+
+        if complete {
+            self.finish_chunk_transfer(ctx);
+            return;
+        }
+
+        // Self-clocked window: top up requests towards the peer that just
+        // answered — pinned to the generation it is serving — and grant the
+        // transfer a fresh retransmit period.
+        for index in to_request {
+            self.send_chunk_request(m.replica, index, sn, sn, ctx);
+        }
+        if fresh {
+            let timer = ctx.set_timer(self.config.replica_retransmit, TOKEN_STATE_TRANSFER);
+            if let Some(pending) = self.pending_transfer.as_mut() {
+                if let Some(old) = pending.timer.replace(timer) {
+                    ctx.cancel_timer(old);
+                }
+            }
+        }
     }
 
-    /// A snapshot arrived: verify seal and sender, then adopt.
-    pub(crate) fn on_state_response(&mut self, m: StateResponseMsg, ctx: &mut Context<XPaxosMsg>) {
-        let Some(pending) = self.pending_transfer.as_ref() else {
-            return; // unsolicited or already satisfied
-        };
-        let sn = m.sealed.sn();
-        if sn <= self.exec_sn || sn < pending.target {
-            return; // too old to close the gap
-        }
-        ctx.charge(CryptoOp::VerifySig);
-        if m.replica >= self.config.n() {
-            return;
-        }
-        let snapshot_digest = m.sealed.snapshot.digest();
-        if !self.verifier.is_valid_digest(
-            &state_response_digest(sn, &snapshot_digest, m.replica),
-            &m.signature,
-        ) {
-            ctx.count("state_responses_rejected", 1);
-            return;
-        }
-        let Some((proof_sn, proof_digest)) = self.verify_checkpoint_proof(&m.sealed.proof, ctx)
+    /// Every chunk is in: reassemble the snapshot, run the authoritative
+    /// whole-snapshot digest check against the sealed commitment, and adopt.
+    /// On any failure the progress is discarded (the retry timer refetches
+    /// from scratch) — with verified chunks this can only mean a bug or a
+    /// hostile WAL, never a slow path.
+    pub(crate) fn finish_chunk_transfer(&mut self, ctx: &mut Context<XPaxosMsg>) {
+        let Some(progress) = self
+            .pending_transfer
+            .as_mut()
+            .and_then(|p| p.progress.take())
         else {
-            ctx.count("state_responses_rejected", 1);
             return;
         };
-        if proof_sn != sn || m.sealed.snapshot.sn != sn || proof_digest != snapshot_digest {
-            ctx.count("state_responses_rejected", 1);
+        let mut bytes = Vec::with_capacity(progress.total_len as usize);
+        for data in progress.chunks.values() {
+            bytes.extend_from_slice(data);
+        }
+        let mut r = Reader::new(&bytes);
+        let decoded = ReplicaSnapshot::decode_from(&mut r).filter(|_| r.is_empty());
+        let Some(snapshot) = decoded else {
+            ctx.count("state_transfer_bad_snapshot", 1);
+            return;
+        };
+        let commitment =
+            snapshot_commitment(progress.chunk_bytes, progress.total_len, &progress.root);
+        if snapshot.sn != progress.sn || snapshot.digest_with(progress.chunk_bytes) != commitment {
+            ctx.count("state_transfer_bad_snapshot", 1);
             return;
         }
-        let adopted_bytes = m.sealed.snapshot.wire_size() as u64;
-        if self.adopt_sealed_snapshot(m.sealed, true, ctx) {
+        let sn = progress.sn;
+        let adopted_bytes = progress.total_len;
+        let sealed = SealedSnapshot {
+            snapshot,
+            proof: progress.proof,
+        };
+        if self.adopt_sealed_snapshot(sealed, true, ctx) {
             ctx.count("state_transfers_adopted", 1);
             self.telemetry.add("xft_state_transfers_adopted_total", 1);
             self.tel_event(ctx, "xfer", || {
-                format!("adopted sn={} ({adopted_bytes} bytes)", sn.0)
+                format!("adopted sn={} ({adopted_bytes} bytes, chunked)", sn.0)
             });
             // Resume execution past the snapshot, release any proposals that
             // were deferred while execution lagged, and rejoin the

@@ -150,6 +150,17 @@ impl Replica {
             signature: xft_crypto::Signature::forged(self.signer.id()),
         };
         vc.signature = self.sign(&vc.digest());
+        self.tel_event(ctx, "vc-send", || {
+            format!(
+                "target={} chkpt={} commits={}..{} n={} exec={}",
+                target.0,
+                vc.last_checkpoint.0,
+                vc.commit_log.first().map_or(0, |e| e.sn.0),
+                vc.commit_log.last().map_or(0, |e| e.sn.0),
+                vc.commit_log.len(),
+                self.exec_sn.0,
+            )
+        });
 
         for replica in self.groups.active_replicas(target).to_vec() {
             ctx.send(self.node_of(replica), XPaxosMsg::ViewChange(vc.clone()));
@@ -170,6 +181,9 @@ impl Replica {
                 confirm_sent: false,
                 merged: None,
                 selection_digests: BTreeMap::new(),
+                horizon: SeqNum(0),
+                horizon_proof: Vec::new(),
+                pending_new_view: None,
                 collect_timer: Some(collect_timer),
                 timeout_timer: Some(timeout_timer),
             });
@@ -386,6 +400,27 @@ impl Replica {
             .map(|m| m.last_checkpoint)
             .max()
             .unwrap_or(SeqNum(0));
+        self.tel_event(ctx, "vc-select", || {
+            let who: Vec<String> = merged
+                .iter()
+                .map(|m| {
+                    format!(
+                        "r{}:chkpt={},log={}..{}({})",
+                        m.replica,
+                        m.last_checkpoint.0,
+                        m.commit_log.first().map_or(0, |e| e.sn.0),
+                        m.commit_log.last().map_or(0, |e| e.sn.0),
+                        m.commit_log.len()
+                    )
+                })
+                .collect();
+            format!(
+                "target={} horizon={} merged=[{}]",
+                target.0,
+                horizon.0,
+                who.join(" ")
+            )
+        });
 
         // For each sequence number above the horizon keep the batch with the
         // highest view number found in any commit log (and, with FD, any
@@ -415,8 +450,19 @@ impl Replica {
             .iter()
             .map(|(sn, (_, batch))| (*sn, batch.digest()))
             .collect();
+        // Remember the horizon together with its proof (every merged claim
+        // was proof-verified on receipt, so the max claim's proof is the one
+        // backing `horizon`): installation needs it to seal or fetch the
+        // checkpointed prefix it floors the new view on.
+        let horizon_proof = merged
+            .iter()
+            .find(|m| m.last_checkpoint == horizon)
+            .map(|m| m.checkpoint_proof.clone())
+            .unwrap_or_default();
         if let Some(vc) = self.vc.as_mut() {
             vc.selection_digests = selection_digests;
+            vc.horizon = horizon;
+            vc.horizon_proof = horizon_proof;
         }
 
         if self.groups.is_primary(target, self.id) {
@@ -448,6 +494,10 @@ impl Replica {
                 ctx.send(node, XPaxosMsg::NewView(nv.clone()));
             }
             self.install_new_view(target, prepare_log, ctx);
+        } else if let Some(nv) = self.vc.as_mut().and_then(|vc| vc.pending_new_view.take()) {
+            // A NEW-VIEW beat our VC-FINAL merge; validate it now that the
+            // selection exists.
+            self.on_new_view(nv, ctx);
         }
     }
 
@@ -457,11 +507,22 @@ impl Replica {
         if m.new_view > self.view {
             self.enter_view_change(m.new_view, ctx);
         }
-        let selection = match self.vc.as_ref() {
-            Some(vc) if vc.target == m.new_view && self.is_active_in(m.new_view) => {
-                vc.selection_digests.clone()
+        if !self.is_active_in(m.new_view) {
+            return;
+        }
+        let selection = {
+            let Some(vc) = self.vc.as_mut() else { return };
+            if vc.target != m.new_view {
+                return;
             }
-            _ => return,
+            if vc.merged.is_none() {
+                // The primary's NEW-VIEW overtook the VC-FINAL exchange: we
+                // have no selection to validate it against yet. Hold it —
+                // `proceed_with_selection` replays it once the merge lands.
+                vc.pending_new_view = Some(m);
+                return;
+            }
+            vc.selection_digests.clone()
         };
         // Verify the proposal against our own selection where we have one: the new
         // primary must not omit or alter requests we know were committed. One
@@ -508,15 +569,30 @@ impl Replica {
         // from the start (see below). With checkpoints, the sealed snapshot
         // takes the log prefix's place as the replay base.
         let full_log = self.last_checkpoint == SeqNum(0);
+        // The merge horizon: the selection excluded everything at or below
+        // it as checkpointed history, so the new view *assumes* that prefix
+        // — it is preserved by the proven checkpoint, never by re-proposal.
+        let (horizon, horizon_proof) = match self.vc.as_ref() {
+            Some(vc) if vc.target == target => (vc.horizon, vc.horizon_proof.clone()),
+            _ => (SeqNum(0), Vec::new()),
+        };
 
-        // `lowest > 1` means the cluster checkpointed at `lowest - 1` and the
-        // other replicas garbage-collected everything below: a replica that
-        // has not executed that far cannot replay its way there and must
-        // fetch the sealed snapshot through state transfer. Until it arrives,
-        // execution stalls at `exec_sn` — the replica never pretends to hold
-        // state it has not verified (the seed's `exec_sn = lowest - 1` skip).
-        let transfer_target = if lowest > 1 && SeqNum(lowest - 1) > self.exec_sn {
-            Some(SeqNum(lowest - 1))
+        // The checkpointed prefix the adopted log sits on: the merge horizon,
+        // or further still when the selection's own entries start later
+        // (`lowest > 1` means the cluster checkpointed at `lowest - 1` and
+        // garbage-collected everything below). A replica that has not
+        // executed that far cannot replay its way there and must fetch the
+        // sealed snapshot through state transfer. Until it arrives, execution
+        // stalls at `exec_sn` — the replica never pretends to hold state it
+        // has not verified (the seed's `exec_sn = lowest - 1` skip). Floor
+        // the horizon in even when the selection is *empty*: resuming
+        // sequencing below a proven checkpoint re-proposes slots that were
+        // committed, client-acked and sealed — the fork the chaos explorer
+        // caught when one active sealed a checkpoint moments before the view
+        // fell and took the only surviving log copy down with it.
+        let checkpointed_prefix = horizon.0.max(lowest.saturating_sub(1));
+        let transfer_target = if SeqNum(checkpointed_prefix) > self.exec_sn {
+            Some(SeqNum(checkpointed_prefix))
         } else {
             None
         };
@@ -547,7 +623,9 @@ impl Replica {
         // transfer are *not* holes: they are checkpointed history this replica is
         // about to adopt wholesale.
         let first_hole_sn = match transfer_target {
-            Some(_) => lowest,
+            // `max(1)`: a horizon-only transfer adopts an *empty* log
+            // (`lowest` = 0), which leaves nothing to hole-fill.
+            Some(_) => lowest.max(1),
             None if full_log => 1,
             None => self.exec_sn.0 + 1,
         };
@@ -569,6 +647,47 @@ impl Replica {
                 };
                 self.persist(|| crate::durable::DurableEvent::Commit(commit.clone()));
                 self.commit_log.insert(commit);
+            }
+        }
+
+        // A proven horizon above our own stable checkpoint is adopted the way
+        // a lazy checkpoint proof is (`on_lazy_checkpoint`): standing exactly
+        // at the boundary, compare state digests and seal — raising the
+        // Lemma-1 replay base past the suffix the selection deliberately
+        // excluded, and making this replica a transfer source for the other
+        // actives. On a mismatch the executed suffix forked somewhere at or
+        // below the horizon, so discard and refetch rather than launder the
+        // fork under the garbage-collection line. (Replicas *behind* the
+        // horizon took the state-transfer branch above; replicas *past* it
+        // are checked entry-by-entry below.)
+        if transfer_target.is_none() && horizon > self.last_checkpoint && self.exec_sn == horizon {
+            if let Some((sn, digest)) = self.verify_checkpoint_proof(&horizon_proof, ctx) {
+                if sn == horizon {
+                    let snapshot = self.checkpoint_snapshot();
+                    if snapshot.digest_with(self.config.state_chunk_bytes) == digest {
+                        self.last_checkpoint = horizon;
+                        self.checkpoint_proof = horizon_proof.clone();
+                        self.prepare_log.truncate_upto(horizon);
+                        self.commit_log.truncate_upto(horizon);
+                        self.truncate_below_checkpoint(horizon);
+                        let sealed = crate::durable::SealedSnapshot {
+                            snapshot,
+                            proof: horizon_proof,
+                        };
+                        self.persist_sealed_snapshot(&sealed);
+                        self.latest_snapshot = Some(sealed);
+                    } else {
+                        ctx.count("lazy_checkpoint_state_mismatch", 1);
+                        self.reset_execution_state();
+                        self.last_checkpoint = SeqNum(0);
+                        self.checkpoint_proof.clear();
+                        self.prepare_log.truncate_upto(horizon);
+                        self.commit_log.truncate_upto(horizon);
+                        self.pending_commits.retain(|k, _| *k > horizon.0);
+                        self.pending_snapshots.clear();
+                        self.begin_state_transfer(horizon, ctx);
+                    }
+                }
             }
         }
 
@@ -596,6 +715,12 @@ impl Replica {
                             .unwrap_or(true)
                 });
             }
+            self.tel_event(ctx, "nv-install", || {
+                format!(
+                    "target={} lowest={} highest={} base={} exec={} rebuild={}",
+                    target.0, lowest, highest, base.0, self.exec_sn.0, rebuild
+                )
+            });
             if rebuild {
                 ctx.count("state_rebuilds", 1);
                 self.commit_log.lose_suffix(SeqNum(highest.max(base.0)));
@@ -649,11 +774,12 @@ impl Replica {
             }
         }
 
-        // Sequencing in the new view continues from the end of the adopted log. Any
-        // higher slots this replica prepared in previous views were never committed
-        // (outside anarchy) and are abandoned: their requests will be re-proposed when
-        // the clients retransmit.
-        self.next_sn = SeqNum(highest.max(self.exec_sn.0));
+        // Sequencing in the new view continues from the end of the adopted log —
+        // never below the checkpointed prefix it sits on, even when the adopted
+        // log is empty. Any higher slots this replica prepared in previous views
+        // were never committed (outside anarchy) and are abandoned: their
+        // requests will be re-proposed when the clients retransmit.
+        self.next_sn = SeqNum(highest.max(self.exec_sn.0).max(checkpointed_prefix));
         self.pending_commits.retain(|sn, _| *sn <= self.next_sn.0);
         self.view = target;
         self.phase = Phase::Active;

@@ -13,12 +13,14 @@
 //! Enum variants carry explicit one-byte tags; unknown tags decode to `None`,
 //! which the envelope surfaces as [`xft_wire::WireError::Malformed`].
 
-use crate::durable::{ClientRecordSnapshot, DurableEvent, ReplicaSnapshot, SealedSnapshot};
+use crate::durable::{
+    ClientRecordSnapshot, DurableEvent, ReplicaSnapshot, SealedSnapshot, TransferChunkRecord,
+};
 use crate::log::{CommitEntry, PrepareEntry};
 use crate::messages::{
     BusyMsg, CheckpointMsg, CommitCarryMsg, CommitMsg, DetectedFaultKind, FaultDetectedMsg,
-    NewViewMsg, PrepareMsg, ReplyMsg, SignedRequest, StateRequestMsg, StateResponseMsg, SuspectMsg,
-    VcConfirmMsg, VcFinalMsg, ViewChangeMsg, XPaxosMsg,
+    NewViewMsg, PrepareMsg, ReplyMsg, SignedRequest, StateChunkRequestMsg, StateChunkResponseMsg,
+    SuspectMsg, VcConfirmMsg, VcFinalMsg, ViewChangeMsg, XPaxosMsg,
 };
 use crate::types::{Batch, ClientId, Request, SeqNum, ViewNumber};
 use bytes::{BufMut, Reader};
@@ -45,9 +47,11 @@ mod tag {
     pub const FAULT_DETECTED: u8 = 15;
     pub const SUSPECT_TO_CLIENT: u8 = 16;
     pub const BUSY: u8 = 17;
-    pub const STATE_REQUEST: u8 = 18;
-    pub const STATE_RESPONSE: u8 = 19;
+    // 18 (STATE_REQUEST) and 19 (STATE_RESPONSE) carried the retired
+    // monolithic state-transfer protocol; they must not be reused.
     pub const SYNC_DONE: u8 = 20;
+    pub const STATE_CHUNK_REQUEST: u8 = 21;
+    pub const STATE_CHUNK_RESPONSE: u8 = 22;
 }
 
 macro_rules! newtype_u64_codec {
@@ -145,12 +149,22 @@ struct_codec!(ClientRecordSnapshot {
 });
 struct_codec!(ReplicaSnapshot {
     sn,
+    base,
     app,
     app_digest,
     executed,
     clients
 });
 struct_codec!(SealedSnapshot { snapshot, proof });
+struct_codec!(TransferChunkRecord {
+    sn,
+    chunk_bytes,
+    total_len,
+    root,
+    index,
+    data,
+    proof
+});
 
 // Structs holding a `ReplicaId` (usize) field need hand-written impls so the
 // id travels as u64.
@@ -355,39 +369,66 @@ impl WireDecode for CheckpointMsg {
     }
 }
 
-impl WireEncode for StateRequestMsg {
+impl WireEncode for StateChunkRequestMsg {
     fn encode_into(&self, out: &mut impl BufMut) {
         self.min_sn.encode_into(out);
+        self.want_sn.encode_into(out);
+        self.index.encode_into(out);
         encode_replica(self.replica, out);
         self.signature.encode_into(out);
     }
 }
 
-impl WireDecode for StateRequestMsg {
+impl WireDecode for StateChunkRequestMsg {
     fn decode_from(r: &mut Reader<'_>) -> Option<Self> {
-        Some(StateRequestMsg {
+        Some(StateChunkRequestMsg {
             min_sn: WireDecode::decode_from(r)?,
+            want_sn: WireDecode::decode_from(r)?,
+            index: WireDecode::decode_from(r)?,
             replica: decode_replica(r)?,
             signature: WireDecode::decode_from(r)?,
         })
     }
 }
 
-impl WireEncode for StateResponseMsg {
+impl WireEncode for StateChunkResponseMsg {
     fn encode_into(&self, out: &mut impl BufMut) {
-        self.sealed.encode_into(out);
+        self.sn.encode_into(out);
+        self.chunk_bytes.encode_into(out);
+        self.total_len.encode_into(out);
+        self.root.encode_into(out);
+        self.index.encode_into(out);
+        self.data.encode_into(out);
+        self.path.encode_into(out);
+        self.proof.encode_into(out);
         encode_replica(self.replica, out);
         self.signature.encode_into(out);
     }
 }
 
-impl WireDecode for StateResponseMsg {
+impl WireDecode for StateChunkResponseMsg {
     fn decode_from(r: &mut Reader<'_>) -> Option<Self> {
-        Some(StateResponseMsg {
-            sealed: WireDecode::decode_from(r)?,
+        let msg = StateChunkResponseMsg {
+            sn: WireDecode::decode_from(r)?,
+            chunk_bytes: WireDecode::decode_from(r)?,
+            total_len: WireDecode::decode_from(r)?,
+            root: WireDecode::decode_from(r)?,
+            index: WireDecode::decode_from(r)?,
+            data: WireDecode::decode_from(r)?,
+            path: WireDecode::decode_from(r)?,
+            proof: WireDecode::decode_from(r)?,
             replica: decode_replica(r)?,
             signature: WireDecode::decode_from(r)?,
-        })
+        };
+        // Field-level caps on top of the generic collection bound: a Merkle
+        // audit path has one sibling per tree level (64 covers 2^64 chunks),
+        // and a checkpoint proof carries one vote per replica. Anything
+        // longer is hostile padding and is rejected before verification
+        // spends signature checks on it.
+        if msg.path.len() > 64 || msg.proof.len() > 64 {
+            return None;
+        }
+        Some(msg)
     }
 }
 
@@ -397,6 +438,7 @@ mod wal_tag {
     pub const VIEW: u8 = 1;
     pub const COMMIT: u8 = 2;
     pub const PREPARE: u8 = 3;
+    pub const TRANSFER_CHUNK: u8 = 4;
 }
 
 impl WireEncode for DurableEvent {
@@ -405,6 +447,7 @@ impl WireEncode for DurableEvent {
             DurableEvent::View(v) => (wal_tag::VIEW, v).encode_into(out),
             DurableEvent::Commit(e) => (wal_tag::COMMIT, e).encode_into(out),
             DurableEvent::Prepare(e) => (wal_tag::PREPARE, e).encode_into(out),
+            DurableEvent::TransferChunk(c) => (wal_tag::TRANSFER_CHUNK, c).encode_into(out),
         }
     }
 }
@@ -415,6 +458,7 @@ impl WireDecode for DurableEvent {
             wal_tag::VIEW => DurableEvent::View(WireDecode::decode_from(r)?),
             wal_tag::COMMIT => DurableEvent::Commit(WireDecode::decode_from(r)?),
             wal_tag::PREPARE => DurableEvent::Prepare(WireDecode::decode_from(r)?),
+            wal_tag::TRANSFER_CHUNK => DurableEvent::TransferChunk(WireDecode::decode_from(r)?),
             _ => return None,
         })
     }
@@ -522,8 +566,8 @@ impl WireEncode for XPaxosMsg {
             XPaxosMsg::LazyReplicate { view, entries } => {
                 (tag::LAZY_REPLICATE, view, entries).encode_into(out)
             }
-            XPaxosMsg::StateRequest(m) => (tag::STATE_REQUEST, m).encode_into(out),
-            XPaxosMsg::StateResponse(m) => (tag::STATE_RESPONSE, m).encode_into(out),
+            XPaxosMsg::StateChunkRequest(m) => (tag::STATE_CHUNK_REQUEST, m).encode_into(out),
+            XPaxosMsg::StateChunkResponse(m) => (tag::STATE_CHUNK_RESPONSE, m).encode_into(out),
             XPaxosMsg::FaultDetected(m) => (tag::FAULT_DETECTED, m).encode_into(out),
             XPaxosMsg::SuspectToClient(m) => (tag::SUSPECT_TO_CLIENT, m).encode_into(out),
             XPaxosMsg::Busy(m) => (tag::BUSY, m).encode_into(out),
@@ -554,8 +598,8 @@ impl WireDecode for XPaxosMsg {
                 let (view, entries) = WireDecode::decode_from(r)?;
                 XPaxosMsg::LazyReplicate { view, entries }
             }
-            tag::STATE_REQUEST => XPaxosMsg::StateRequest(WireDecode::decode_from(r)?),
-            tag::STATE_RESPONSE => XPaxosMsg::StateResponse(WireDecode::decode_from(r)?),
+            tag::STATE_CHUNK_REQUEST => XPaxosMsg::StateChunkRequest(WireDecode::decode_from(r)?),
+            tag::STATE_CHUNK_RESPONSE => XPaxosMsg::StateChunkResponse(WireDecode::decode_from(r)?),
             tag::FAULT_DETECTED => XPaxosMsg::FaultDetected(WireDecode::decode_from(r)?),
             tag::SUSPECT_TO_CLIENT => XPaxosMsg::SuspectToClient(WireDecode::decode_from(r)?),
             tag::BUSY => XPaxosMsg::Busy(WireDecode::decode_from(r)?),
@@ -723,29 +767,55 @@ mod tests {
             replica: 0,
         }));
         round_trip(XPaxosMsg::SyncDone(123_456));
-        round_trip(XPaxosMsg::StateRequest(StateRequestMsg {
+        round_trip(XPaxosMsg::StateChunkRequest(StateChunkRequestMsg {
             min_sn: SeqNum(128),
+            want_sn: SeqNum(160),
+            index: 3,
             replica: 2,
             signature: sig(2),
         }));
-        round_trip(XPaxosMsg::StateResponse(StateResponseMsg {
-            sealed: SealedSnapshot {
-                snapshot: ReplicaSnapshot {
-                    sn: SeqNum(128),
-                    app: Bytes::from_static(b"app"),
-                    app_digest: Digest::of(b"app"),
-                    executed: vec![(SeqNum(1), Digest::of(b"b1"))],
-                    clients: vec![ClientRecordSnapshot {
-                        client: ClientId(1),
-                        ranges: vec![(1, 4)],
-                        replies: vec![(4, SeqNum(1), Digest::of(b"r"))],
-                    }],
-                },
-                proof: vec![chk],
-            },
+        round_trip(XPaxosMsg::StateChunkResponse(StateChunkResponseMsg {
+            sn: SeqNum(128),
+            chunk_bytes: 512,
+            total_len: 1300,
+            root: Digest::of(b"root"),
+            index: 2,
+            data: Bytes::from(vec![7u8; 276]),
+            path: vec![Digest::of(b"sib0"), Digest::of(b"sib1")],
+            proof: vec![chk],
             replica: 0,
             signature: sig(0),
         }));
+    }
+
+    #[test]
+    fn sealed_snapshot_round_trips_with_base() {
+        let sealed = SealedSnapshot {
+            snapshot: ReplicaSnapshot {
+                sn: SeqNum(128),
+                base: SeqNum(64),
+                app: Bytes::from_static(b"app"),
+                app_digest: Digest::of(b"app"),
+                executed: vec![(SeqNum(65), Digest::of(b"b65"))],
+                clients: vec![ClientRecordSnapshot {
+                    client: ClientId(1),
+                    ranges: vec![(1, 4)],
+                    replies: vec![(4, SeqNum(65), Digest::of(b"r"))],
+                }],
+            },
+            proof: vec![CheckpointMsg {
+                sn: SeqNum(128),
+                view: ViewNumber(1),
+                state_digest: Digest::of(b"state"),
+                replica: 0,
+                signed: true,
+                signature: sig(0),
+            }],
+        };
+        let bytes = sealed.wire_bytes();
+        let mut r = Reader::new(&bytes);
+        assert_eq!(SealedSnapshot::decode_from(&mut r), Some(sealed));
+        assert!(r.is_empty());
     }
 
     #[test]
@@ -765,6 +835,22 @@ mod tests {
                 batch: Batch::single(request(6)),
                 client_sigs: vec![sig(9)],
                 primary_sig: sig(0),
+            }),
+            DurableEvent::TransferChunk(TransferChunkRecord {
+                sn: SeqNum(256),
+                chunk_bytes: 512,
+                total_len: 1024,
+                root: Digest::of(b"root"),
+                index: 1,
+                data: Bytes::from(vec![3u8; 512]),
+                proof: vec![CheckpointMsg {
+                    sn: SeqNum(256),
+                    view: ViewNumber(1),
+                    state_digest: Digest::of(b"state"),
+                    replica: 1,
+                    signed: true,
+                    signature: sig(1),
+                }],
             }),
         ] {
             let bytes = event.wire_bytes();

@@ -33,6 +33,7 @@ pub mod digest;
 pub mod hmac;
 pub mod keys;
 pub mod mac;
+pub mod merkle;
 pub mod sha256;
 pub mod sig;
 
@@ -41,5 +42,6 @@ pub use digest::Digest;
 pub use hmac::hmac_sha256;
 pub use keys::{KeyId, KeyRegistry, SecretKey};
 pub use mac::{Authenticator, MacTag};
+pub use merkle::{merkle_path, merkle_root, merkle_verify};
 pub use sha256::{sha256, Sha256};
 pub use sig::{SignError, Signature, Signer, Verifier};

@@ -1,0 +1,194 @@
+//! A binary Merkle tree over [`Digest`] leaves.
+//!
+//! Used by the chunked state-transfer protocol: the sealed checkpoint digest
+//! commits to the Merkle root of a snapshot's chunk hashes, so a lagging
+//! replica can fetch the snapshot piecewise and verify every chunk against the
+//! t + 1-signed seal using only the chunk bytes and an audit path — without
+//! holding the whole snapshot first. The kvstore's tree digest uses the same
+//! fold so application state is Merkle-committed all the way down.
+//!
+//! Construction: leaves are hashed pairwise level by level; an odd node at the
+//! end of a level is *promoted unchanged* to the next level (no duplication —
+//! duplicating the last leaf famously admits second preimages across leaf
+//! counts). Interior nodes are domain-separated from leaves by the caller
+//! hashing leaves before they enter the tree; interior hashing here always
+//! frames both children, so a leaf digest can never collide with an interior
+//! node's preimage structure.
+
+use crate::digest::Digest;
+
+/// Hash of an interior node from its two children.
+fn node(left: &Digest, right: &Digest) -> Digest {
+    Digest::of_parts(&[b"merkle-node", left.as_bytes(), right.as_bytes()])
+}
+
+/// Computes the Merkle root of a leaf-digest sequence.
+///
+/// The root of an empty sequence is defined as `Digest::ZERO`; a single leaf
+/// is its own root.
+pub fn merkle_root(leaves: &[Digest]) -> Digest {
+    if leaves.is_empty() {
+        return Digest::ZERO;
+    }
+    let mut level: Vec<Digest> = leaves.to_vec();
+    while level.len() > 1 {
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            next.push(match pair {
+                [l, r] => node(l, r),
+                [odd] => *odd, // promoted unchanged
+                _ => unreachable!(),
+            });
+        }
+        level = next;
+    }
+    level[0]
+}
+
+/// Produces the audit path for `index` into `leaves`: the sibling digests
+/// needed by [`merkle_verify`] to recompute the root, ordered leaf-to-root.
+///
+/// Levels where the node is a promoted odd tail contribute no sibling, so the
+/// path can be shorter than ⌈log₂ n⌉ entries. Returns `None` if `index` is out
+/// of bounds.
+pub fn merkle_path(leaves: &[Digest], index: usize) -> Option<Vec<Digest>> {
+    if index >= leaves.len() {
+        return None;
+    }
+    let mut path = Vec::new();
+    let mut level: Vec<Digest> = leaves.to_vec();
+    let mut idx = index;
+    while level.len() > 1 {
+        let sibling = idx ^ 1;
+        if sibling < level.len() {
+            path.push(level[sibling]);
+        }
+        let mut next = Vec::with_capacity(level.len().div_ceil(2));
+        for pair in level.chunks(2) {
+            next.push(match pair {
+                [l, r] => node(l, r),
+                [odd] => *odd,
+                _ => unreachable!(),
+            });
+        }
+        level = next;
+        idx /= 2;
+    }
+    Some(path)
+}
+
+/// Verifies that `leaf` sits at `index` of a tree with `leaf_count` leaves and
+/// the given `root`, using the audit `path` from [`merkle_path`].
+///
+/// The leaf count is part of the statement: promotion points are derived from
+/// it, and a path with leftover or missing entries for the implied shape is
+/// rejected. Counts whose promotion structure happens to coincide along this
+/// index's walk (e.g. 9 vs 16 for index 3) fold identically — which is why
+/// callers must take `root` and `leaf_count` from the *same* commitment, as
+/// the state-transfer seal does, rather than trusting them independently.
+pub fn merkle_verify(
+    leaf: &Digest,
+    index: usize,
+    leaf_count: usize,
+    path: &[Digest],
+    root: &Digest,
+) -> bool {
+    if index >= leaf_count || leaf_count == 0 {
+        return false;
+    }
+    let mut acc = *leaf;
+    let mut idx = index;
+    let mut width = leaf_count;
+    let mut path_iter = path.iter();
+    while width > 1 {
+        let sibling = idx ^ 1;
+        if sibling < width {
+            let Some(s) = path_iter.next() else {
+                return false; // path too short for this tree shape
+            };
+            acc = if idx.is_multiple_of(2) {
+                node(&acc, s)
+            } else {
+                node(s, &acc)
+            };
+        }
+        // else: promoted odd tail, accumulator passes through unchanged
+        idx /= 2;
+        width = width.div_ceil(2);
+    }
+    path_iter.next().is_none() && acc == *root
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn leaves(n: usize) -> Vec<Digest> {
+        (0..n).map(|i| Digest::of(&[i as u8])).collect()
+    }
+
+    #[test]
+    fn roots_are_stable_and_shape_sensitive() {
+        assert_eq!(merkle_root(&[]), Digest::ZERO);
+        let one = leaves(1);
+        assert_eq!(merkle_root(&one), one[0]);
+        for n in 2..20 {
+            let a = merkle_root(&leaves(n));
+            let b = merkle_root(&leaves(n + 1));
+            assert_ne!(a, b, "root must depend on leaf count (n = {n})");
+            assert_eq!(a, merkle_root(&leaves(n)), "root must be deterministic");
+        }
+    }
+
+    #[test]
+    fn every_leaf_of_every_small_tree_verifies() {
+        for n in 1..40 {
+            let ls = leaves(n);
+            let root = merkle_root(&ls);
+            for i in 0..n {
+                let path = merkle_path(&ls, i).expect("in bounds");
+                assert!(
+                    merkle_verify(&ls[i], i, n, &path, &root),
+                    "leaf {i} of {n} failed to verify"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn wrong_leaf_index_count_or_path_is_rejected() {
+        let ls = leaves(9);
+        let root = merkle_root(&ls);
+        let path = merkle_path(&ls, 3).unwrap();
+        assert!(merkle_verify(&ls[3], 3, 9, &path, &root));
+        // Wrong leaf.
+        assert!(!merkle_verify(&ls[4], 3, 9, &path, &root));
+        // Wrong index.
+        assert!(!merkle_verify(&ls[3], 4, 9, &path, &root));
+        // Wrong claimed leaf count: a count implying a different promotion
+        // structure along the walk changes how many siblings the path must
+        // supply, so the path is rejected as too long or too short.
+        assert!(!merkle_verify(&ls[3], 3, 8, &path, &root));
+        let tail = merkle_path(&ls, 8).unwrap();
+        assert!(merkle_verify(&ls[8], 8, 9, &tail, &root));
+        assert!(!merkle_verify(&ls[8], 8, 16, &tail, &root));
+        // Truncated and extended paths.
+        assert!(!merkle_verify(&ls[3], 3, 9, &path[..path.len() - 1], &root));
+        let mut longer = path.clone();
+        longer.push(Digest::ZERO);
+        assert!(!merkle_verify(&ls[3], 3, 9, &longer, &root));
+        // Out of bounds.
+        assert!(merkle_path(&ls, 9).is_none());
+        assert!(!merkle_verify(&ls[0], 9, 9, &path, &root));
+        assert!(!merkle_verify(&ls[0], 0, 0, &[], &Digest::ZERO));
+    }
+
+    #[test]
+    fn tampered_leaf_fails_against_recomputed_sibling_paths() {
+        let mut ls = leaves(12);
+        let root = merkle_root(&ls);
+        ls[7] = Digest::of(b"evil");
+        let path = merkle_path(&ls, 7).unwrap();
+        assert!(!merkle_verify(&ls[7], 7, 12, &path, &root));
+    }
+}

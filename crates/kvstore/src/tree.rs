@@ -289,18 +289,34 @@ impl ZNodeTree {
         Some(ZNodeTree { nodes, zxid })
     }
 
-    /// A digest covering the entire tree contents (paths, data, versions).
+    /// Per-node leaf digests in path order — the leaves of the tree's Merkle
+    /// commitment. Exposed so incremental verifiers can audit single nodes.
+    pub fn merkle_leaves(&self) -> Vec<Digest> {
+        self.nodes
+            .iter()
+            .map(|(path, node)| {
+                Digest::of_parts(&[
+                    b"znode-leaf",
+                    path.as_bytes(),
+                    &node.data,
+                    &node.version.to_le_bytes(),
+                    &node.ephemeral_owner.unwrap_or(u64::MAX).to_le_bytes(),
+                ])
+            })
+            .collect()
+    }
+
+    /// A digest covering the entire tree contents (paths, data, versions): the
+    /// Merkle root over [`ZNodeTree::merkle_leaves`], bound to the node count.
+    /// Any single node (plus its audit path) can therefore be verified against
+    /// this digest without rehashing the whole tree.
     pub fn digest(&self) -> Digest {
-        let mut acc = Digest::of(b"znode-tree");
-        for (path, node) in &self.nodes {
-            acc = acc.combine(&Digest::of_parts(&[
-                path.as_bytes(),
-                &node.data,
-                &node.version.to_le_bytes(),
-                &node.ephemeral_owner.unwrap_or(u64::MAX).to_le_bytes(),
-            ]));
-        }
-        acc
+        let root = xft_crypto::merkle_root(&self.merkle_leaves());
+        Digest::of_parts(&[
+            b"znode-tree",
+            &(self.nodes.len() as u64).to_le_bytes(),
+            root.as_bytes(),
+        ])
     }
 }
 
@@ -410,5 +426,43 @@ mod tests {
         };
         assert_eq!(build(false), build(false));
         assert_ne!(build(false), build(true));
+    }
+
+    #[test]
+    fn single_nodes_verify_against_the_merkle_digest() {
+        let mut t = ZNodeTree::new();
+        for i in 0..17 {
+            t.create(
+                &format!("/n{i}"),
+                Bytes::from(vec![i as u8; 32]),
+                None,
+                false,
+            )
+            .unwrap();
+        }
+        let leaves = t.merkle_leaves();
+        let root = xft_crypto::merkle_root(&leaves);
+        assert_eq!(
+            t.digest(),
+            Digest::of_parts(&[
+                b"znode-tree",
+                &(leaves.len() as u64).to_le_bytes(),
+                root.as_bytes()
+            ])
+        );
+        for (i, leaf) in leaves.iter().enumerate() {
+            let path = xft_crypto::merkle_path(&leaves, i).unwrap();
+            assert!(xft_crypto::merkle_verify(
+                leaf,
+                i,
+                leaves.len(),
+                &path,
+                &root
+            ));
+        }
+        // Mutating one node changes its leaf and the root.
+        let before = t.digest();
+        t.set("/n3", Bytes::from_static(b"mutated"), None).unwrap();
+        assert_ne!(t.digest(), before);
     }
 }

@@ -194,6 +194,8 @@ fn main() {
     let _adaptive: Option<u64> = args.optional("--adaptive");
     let _max_pending: Option<usize> = args.optional("--max-pending");
     let _checkpoint_interval: Option<u64> = args.optional("--checkpoint-interval");
+    let _state_chunk_bytes: Option<u32> = args.optional("--state-chunk-bytes");
+    let _state_fetch_window: Option<u32> = args.optional("--state-fetch-window");
     let _data_dir: Option<String> = args.optional("--data-dir");
     let _fsync_batch: Option<u64> = args.optional("--fsync-batch");
     let _batch_size: Option<usize> = args.optional("--batch-size");

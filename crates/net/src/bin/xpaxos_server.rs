@@ -9,6 +9,7 @@
 //!     [--batch-size 20] \
 //!     [--data-dir PATH] [--fsync-batch 1] [--fsync-overlap 0|1] \
 //!     [--crypto-workers 0] [--checkpoint-interval 128] \
+//!     [--state-chunk-bytes 65536] [--state-fetch-window 4] \
 //!     [--metrics-addr 127.0.0.1:9100] [--telemetry 0|1]
 //! ```
 //!
@@ -91,6 +92,8 @@ fn main() {
     let crypto_workers: u64 = args.optional("--crypto-workers").unwrap_or(0);
     let batch_size: Option<usize> = args.optional("--batch-size");
     let checkpoint_interval: u64 = args.optional("--checkpoint-interval").unwrap_or(128);
+    let state_chunk_bytes: Option<u32> = args.optional("--state-chunk-bytes");
+    let state_fetch_window: Option<u32> = args.optional("--state-fetch-window");
     let metrics_addr: Option<String> = args.optional("--metrics-addr");
     let telemetry_on: u64 = args
         .optional("--telemetry")
@@ -134,6 +137,12 @@ fn main() {
         .with_pipeline(pipeline);
     if let Some(batch) = batch_size {
         config = config.with_batch_size(batch);
+    }
+    if let Some(chunk) = state_chunk_bytes {
+        config = config.with_state_chunk_bytes(chunk);
+    }
+    if let Some(window) = state_fetch_window {
+        config = config.with_state_fetch_window(window);
     }
     let n = config.n();
     if id >= n {

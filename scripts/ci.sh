@@ -178,6 +178,84 @@ smoke_metrics() {
 }
 smoke_metrics $((20000 + RANDOM % 20000)) || smoke_metrics $((20000 + RANDOM % 20000))
 
+echo "==> chunked rejoin smoke: kill -9 a replica, grow the store, rejoin via bounded Merkle chunks"
+# The kvstore grows far past one 1 KiB state chunk; passive replica 2 is
+# SIGKILLed and misses several checkpoint intervals, so the actives have
+# truncated the history it needs and a restart can only catch up through the
+# chunked state-transfer protocol. The restarted replica's scrape must show a
+# verified multi-chunk transfer adopted, and the serving replicas' peak
+# response frame must stay O(chunk_bytes) — 1 KiB data + envelope/Merkle-path/
+# proof overhead, capped at 3072 B — however large the snapshot has grown.
+smoke_chunked() {
+    local base=$1 mbase=$(($1 + 7)) datadir
+    datadir=$(mktemp -d)
+    local addrs="127.0.0.1:${base},127.0.0.1:$((base + 1)),127.0.0.1:$((base + 2))"
+    addrs="${addrs},127.0.0.1:$((base + 3)),127.0.0.1:$((base + 4)),127.0.0.1:$((base + 5))"
+    local flags=(--t 1 --clients 3 --addrs "$addrs" --delta-ms 200 --retransmit-ms 1000
+                 --checkpoint-interval 16 --state-chunk-bytes 1024 --state-fetch-window 2)
+    local pids=()
+    for id in 0 1 2; do
+        target/release/xpaxos-server --id "$id" "${flags[@]}" \
+            --data-dir "$datadir/r$id" --metrics-addr "127.0.0.1:$((mbase + id))" \
+            --run-secs 240 2>/dev/null &
+        pids+=($!)
+    done
+    local ok=0
+    # Phase 1: grow the store well past one chunk window (40 x 1 KiB values).
+    if target/release/xpaxos-client --id 0 "${flags[@]}" --ops 40 --payload 1024 --timeout-secs 60; then
+        # Phase 2: kill the passive; the survivors seal checkpoints it misses.
+        kill -9 "${pids[2]}" 2>/dev/null || true
+        wait "${pids[2]}" 2>/dev/null || true
+        if target/release/xpaxos-client --id 1 "${flags[@]}" --ops 40 --payload 1024 --timeout-secs 60; then
+            # Phase 3: restart replica 2 from its WAL; fresh traffic announces
+            # sealed checkpoints it can only reach via chunked state transfer.
+            target/release/xpaxos-server --id 2 "${flags[@]}" \
+                --data-dir "$datadir/r2" --metrics-addr "127.0.0.1:$((mbase + 2))" \
+                --run-secs 240 2>/dev/null &
+            pids[2]=$!
+            # Let the restarted listener come up and the peers' reconnect
+            # backoff expire before the phase-3 burst: checkpoint
+            # announcements are sent once at seal time, so frames dropped
+            # while the listener is still binding are never re-offered.
+            sleep 2
+            if target/release/xpaxos-client --id 2 "${flags[@]}" --ops 40 --payload 1024 --timeout-secs 60; then
+                local scrape adopted="" verified="" tries=0
+                while [ "$tries" -lt 45 ]; do
+                    scrape=$(http_get 127.0.0.1 "$((mbase + 2))" /metrics || true)
+                    adopted=$(sed -n 's/^xft_state_transfers_adopted_total \([0-9]*\).*/\1/p' <<<"$scrape")
+                    verified=$(sed -n 's/^xft_state_chunks_verified_total \([0-9]*\).*/\1/p' <<<"$scrape")
+                    if [ "${adopted:-0}" -ge 1 ] && [ "${verified:-0}" -ge 2 ]; then
+                        break
+                    fi
+                    tries=$((tries + 1))
+                    sleep 1
+                done
+                local peak=0 p
+                for peer in 0 1; do
+                    p=$(http_get 127.0.0.1 "$((mbase + peer))" /metrics 2>/dev/null \
+                        | sed -n 's/^xft_state_chunk_frame_bytes_max \([0-9]*\).*/\1/p')
+                    if [ -n "$p" ] && [ "$p" -gt "$peak" ]; then
+                        peak=$p
+                    fi
+                done
+                if [ "${adopted:-0}" -ge 1 ] && [ "${verified:-0}" -ge 2 ] \
+                    && [ "$peak" -gt 0 ] && [ "$peak" -le 3072 ]; then
+                    echo "chunked rejoin: adopted=$adopted verified=$verified peak_frame=${peak}B (cap 3072)"
+                    ok=1
+                else
+                    echo "chunked rejoin missed its gates:" \
+                        "adopted=${adopted:-0} verified=${verified:-0} peak_frame=${peak}B" >&2
+                fi
+            fi
+        fi
+    fi
+    kill "${pids[@]}" 2>/dev/null || true
+    wait "${pids[@]}" 2>/dev/null || true
+    rm -rf "$datadir"
+    [ "$ok" = 1 ]
+}
+smoke_chunked $((20000 + RANDOM % 20000)) || smoke_chunked $((20000 + RANDOM % 20000))
+
 echo "==> perf smoke: 64 muxed clients must beat 5x the seed's loopback throughput"
 # The seed repo measured ~380 ops/s on this loopback benchmark (EXPERIMENTS.md);
 # the pipelined front-end lands ~35k on an idle single-core container. The 5x

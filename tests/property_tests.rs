@@ -14,8 +14,9 @@ use xft::core::client::ClientWorkload;
 use xft::core::harness::{ClusterBuilder, LatencySpec};
 use xft::core::log::{CommitEntry, PrepareEntry};
 use xft::core::messages::{
-    CheckpointMsg, CommitCarryMsg, CommitMsg, DetectedFaultKind, FaultDetectedMsg, NewViewMsg,
-    PrepareMsg, ReplyMsg, SignedRequest, SuspectMsg, VcConfirmMsg, VcFinalMsg, ViewChangeMsg,
+    BusyMsg, CheckpointMsg, CommitCarryMsg, CommitMsg, DetectedFaultKind, FaultDetectedMsg,
+    NewViewMsg, PrepareMsg, ReplyMsg, SignedRequest, StateChunkRequestMsg, StateChunkResponseMsg,
+    SuspectMsg, VcConfirmMsg, VcFinalMsg, ViewChangeMsg,
 };
 use xft::core::sync_group::SyncGroups;
 use xft::core::types::{Batch, ClientId, Request, SeqNum, ViewNumber};
@@ -285,9 +286,9 @@ fn arb_checkpoint(rng: &mut CaseRng) -> CheckpointMsg {
     }
 }
 
-/// A uniformly random message covering all 16 [`XPaxosMsg`] variants.
+/// A uniformly random message covering every [`XPaxosMsg`] variant.
 fn arb_msg(rng: &mut CaseRng) -> XPaxosMsg {
-    match rng.u64_below(16) {
+    match rng.u64_below(20) {
         0 => XPaxosMsg::Replicate(SignedRequest {
             request: arb_request(rng),
             signature: arb_signature(rng),
@@ -375,8 +376,36 @@ fn arb_msg(rng: &mut CaseRng) -> XPaxosMsg {
             reporter: rng.usize_in(0, 8),
             signature: arb_signature(rng),
         }),
-        _ => XPaxosMsg::SuspectToClient(SuspectMsg {
+        15 => XPaxosMsg::SuspectToClient(SuspectMsg {
             view: ViewNumber(rng.u64_below(100)),
+            replica: rng.usize_in(0, 8),
+            signature: arb_signature(rng),
+        }),
+        16 => XPaxosMsg::Busy(BusyMsg {
+            view: ViewNumber(rng.u64_below(100)),
+            client: ClientId(rng.u64_below(1 << 16)),
+            timestamp: rng.u64_below(1 << 30),
+            replica: rng.usize_in(0, 8),
+        }),
+        17 => XPaxosMsg::SyncDone(rng.u64_below(1 << 40)),
+        18 => XPaxosMsg::StateChunkRequest(StateChunkRequestMsg {
+            min_sn: SeqNum(rng.u64_below(1 << 20)),
+            want_sn: SeqNum(rng.u64_below(1 << 20)),
+            index: rng.u64_below(1 << 16) as u32,
+            replica: rng.usize_in(0, 8),
+            signature: arb_signature(rng),
+        }),
+        _ => XPaxosMsg::StateChunkResponse(StateChunkResponseMsg {
+            sn: SeqNum(rng.u64_below(1 << 20)),
+            chunk_bytes: 512 + rng.u64_below(1 << 16) as u32,
+            total_len: rng.u64_below(1 << 30),
+            root: arb_digest(rng),
+            index: rng.u64_below(1 << 10) as u32,
+            data: Bytes::from(rng.bytes(0, 700)),
+            path: (0..rng.usize_in(0, 6)).map(|_| arb_digest(rng)).collect(),
+            proof: (0..rng.usize_in(0, 3))
+                .map(|_| arb_checkpoint(rng))
+                .collect(),
             replica: rng.usize_in(0, 8),
             signature: arb_signature(rng),
         }),
@@ -434,7 +463,7 @@ fn wire_codec_rejects_malformed_inputs_without_panicking() {
         // An unknown variant tag is malformed.
         let mut unknown_tag = Vec::from(MAGIC);
         unknown_tag.push(WIRE_VERSION);
-        unknown_tag.push(17 + (rng.byte() % 200)); // tags stop at 16
+        unknown_tag.push(23 + (rng.byte() % 200)); // tags stop at 22
         unknown_tag.extend_from_slice(&rng.bytes(0, 64));
         if decode_msg::<XPaxosMsg>(&unknown_tag).is_err() {
             // expected — fall through
@@ -448,6 +477,63 @@ fn wire_codec_rejects_malformed_inputs_without_panicking() {
         let idx = rng.usize_in(0, flipped.len());
         flipped[idx] ^= 1 << (rng.byte() % 8);
         let _ = decode_msg::<XPaxosMsg>(&flipped);
+        Ok(())
+    });
+}
+
+/// State-transfer frames are the largest things on the wire, so their decoder
+/// enforces field-level caps on top of the generic collection bound: a Merkle
+/// audit path longer than any possible tree depth or an oversized checkpoint
+/// proof is rejected at decode, and a hostile length prefix on the chunk data
+/// errors cleanly instead of allocating.
+#[test]
+fn state_chunk_decoder_caps_hostile_lengths() {
+    check("state_chunk_decoder_caps_hostile_lengths", 64, |rng| {
+        let base = StateChunkResponseMsg {
+            sn: SeqNum(rng.u64_below(1 << 20)),
+            chunk_bytes: 512,
+            total_len: rng.u64_below(1 << 20),
+            root: arb_digest(rng),
+            index: rng.u64_below(1 << 10) as u32,
+            data: Bytes::from(rng.bytes(0, 512)),
+            path: (0..rng.usize_in(0, 6)).map(|_| arb_digest(rng)).collect(),
+            proof: (0..rng.usize_in(0, 3))
+                .map(|_| arb_checkpoint(rng))
+                .collect(),
+            replica: rng.usize_in(0, 8),
+            signature: arb_signature(rng),
+        };
+        let encoded = encode_msg_vec(&XPaxosMsg::StateChunkResponse(base.clone()));
+        if decode_msg::<XPaxosMsg>(&encoded).is_err() {
+            return Err("in-cap chunk response failed to decode".into());
+        }
+
+        // 65 path entries: deeper than a 2^64-leaf tree, can never verify.
+        let mut long_path = base.clone();
+        long_path.path = (0..65).map(|_| arb_digest(rng)).collect();
+        let encoded = encode_msg_vec(&XPaxosMsg::StateChunkResponse(long_path));
+        if decode_msg::<XPaxosMsg>(&encoded).is_ok() {
+            return Err("65-entry audit path decoded despite the cap".into());
+        }
+
+        // 65 proof votes: more than one per replica of any real cluster.
+        let mut long_proof = base.clone();
+        long_proof.proof = (0..65).map(|_| arb_checkpoint(rng)).collect();
+        let encoded = encode_msg_vec(&XPaxosMsg::StateChunkResponse(long_proof));
+        if decode_msg::<XPaxosMsg>(&encoded).is_ok() {
+            return Err("65-vote checkpoint proof decoded despite the cap".into());
+        }
+
+        // Rewrite the chunk data's u32 length prefix to ~4 GiB: the decoder
+        // must reject the length before trusting it, not reserve memory.
+        // Layout: 6-byte envelope (magic, version, tag), then
+        // sn(8) + chunk_bytes(4) + total_len(8) + root(32) + index(4).
+        let mut hostile = encode_msg_vec(&XPaxosMsg::StateChunkResponse(base));
+        let data_len_at = 6 + 8 + 4 + 8 + 32 + 4;
+        hostile[data_len_at..data_len_at + 4].copy_from_slice(&u32::MAX.to_le_bytes());
+        if decode_msg::<XPaxosMsg>(&hostile).is_ok() {
+            return Err("4 GiB data length prefix decoded".into());
+        }
         Ok(())
     });
 }
@@ -539,6 +625,108 @@ fn xpaxos_total_order_under_random_crash_schedules() {
             cluster.check_total_order_among(&undisturbed)
         },
     );
+}
+
+/// Bounded-checkpoint invariants swept across checkpoint intervals under
+/// latency jitter (which skews `last_checkpoint` across replicas at any
+/// given instant):
+///
+/// 1. checkpoints keep sealing — a seal requires t + 1 replicas to digest
+///    *byte-identical* windowed snapshots at the same sequence number, so
+///    sustained sealing is direct evidence that capture is deterministic
+///    despite the transient skew;
+/// 2. the live executed-history window stays O(interval) however far
+///    execution runs (≥ 10 intervals here) — the tentpole "flat capture"
+///    guarantee, where the unbounded implementation grew O(history);
+/// 3. a view change forced mid-run succeeds even though every log it can
+///    select from has been truncated below the stable checkpoint.
+#[test]
+fn checkpoint_interval_sweep_stays_flat_and_survives_view_change() {
+    check("checkpoint_interval_sweep", 4, |rng| {
+        let interval = [8u64, 16, 32, 64][rng.usize_in(0, 4)];
+        let seed = rng.u64_in(0, 1000);
+        let mut cluster = ClusterBuilder::new(1, 2)
+            .with_seed(seed)
+            .with_latency(LatencySpec::Uniform(
+                SimDuration::from_millis(2),
+                SimDuration::from_millis(15),
+            ))
+            .with_workload(ClientWorkload {
+                payload_size: 64,
+                ..Default::default()
+            })
+            .with_config(move |mut c| {
+                // The Algorithm-4 monitor must fire within the crash window,
+                // else the recovered primary answers before anyone suspects.
+                c.replica_retransmit = SimDuration::from_millis(500);
+                c.with_delta(SimDuration::from_millis(100))
+                    .with_client_retransmit(SimDuration::from_millis(500))
+                    .with_checkpoint_interval(interval)
+            })
+            .build();
+        // Crash the view-0 primary after several seals: the ensuing view
+        // change must succeed from truncated histories.
+        cluster.sim.inject_fault_at(
+            SimTime::ZERO + SimDuration::from_secs(6),
+            FaultEvent::Crash(0),
+        );
+        cluster.sim.inject_fault_at(
+            SimTime::ZERO + SimDuration::from_secs(10),
+            FaultEvent::Recover(0),
+        );
+        cluster.run_for(SimDuration::from_secs(30));
+        // Keep going (bounded) until execution has covered ≥ 10 intervals,
+        // so the flat-capture claim is tested against a genuinely long run.
+        for _ in 0..4 {
+            let exec = (0..3).map(|r| cluster.replica(r).executed_upto().0).max();
+            if exec >= Some(10 * interval) {
+                break;
+            }
+            cluster.run_for(SimDuration::from_secs(10));
+        }
+
+        let sealed = cluster.sim.metrics().counter("checkpoints");
+        if sealed == 0 {
+            return Err(format!(
+                "no checkpoint sealed (interval {interval}, seed {seed})"
+            ));
+        }
+        let exec = (0..3)
+            .map(|r| cluster.replica(r).executed_upto().0)
+            .max()
+            .unwrap();
+        if exec < 10 * interval {
+            return Err(format!(
+                "executed only {exec} sns, wanted ≥ {} (interval {interval}, seed {seed})",
+                10 * interval
+            ));
+        }
+        // Flat capture: the live window spans at most the suffix since the
+        // stable checkpoint plus one interval of fork-detection slack (plus
+        // in-flight batches) — never the whole history.
+        for r in 0..3 {
+            let hist = cluster.replica(r).executed_history().len() as u64;
+            if cluster.replica(r).last_checkpoint().0 > 0 && hist > 3 * interval + 40 {
+                return Err(format!(
+                    "replica {r} retains {hist} executed entries at interval \
+                     {interval} after {exec} sns (seed {seed}) — capture is not flat"
+                ));
+            }
+        }
+        // The crash must have forced a view change off view 0.
+        if cluster.replica(1).view().0 == 0 {
+            let views: Vec<u64> = (0..3).map(|r| cluster.replica(r).view().0).collect();
+            return Err(format!(
+                "no view change despite the primary crash (interval {interval}, seed {seed}, \
+                 views {views:?}, {} commits, {} vcs, {} suspects, {} retransmissions)",
+                cluster.total_committed(),
+                cluster.sim.metrics().counter("view_changes"),
+                cluster.sim.metrics().counter("suspects_sent"),
+                cluster.sim.metrics().counter("client_retransmissions"),
+            ));
+        }
+        cluster.check_total_order()
+    });
 }
 
 /// WAL recovery honours the committed-prefix contract at *every* byte offset:

@@ -361,6 +361,248 @@ fn amnesia_on_checkpointed_configuration_recovers_via_state_transfer() {
     cluster.check_total_order().expect("total order preserved");
 }
 
+/// A workload that grows the replicated kvstore monotonically: every request
+/// creates a fresh top-level znode with a 160-byte value, so the checkpoint
+/// snapshot keeps growing and any state transfer of it spans many chunks.
+fn growing_kv_workload(client: u64) -> ClientWorkload {
+    use std::sync::Arc;
+    ClientWorkload {
+        payload_size: 16,
+        requests: None,
+        think_time: SimDuration::from_millis(5),
+        op_bytes: None,
+        op_factory: Some(Arc::new(move |ts| {
+            xft::kvstore::KvOp::Put {
+                path: format!("/g-c{client}-t{ts}"),
+                data: bytes::Bytes::from(vec![0xAB; 160]),
+            }
+            .encode()
+        })),
+        record_history: false,
+    }
+}
+
+/// A cluster whose snapshots are large relative to `chunk_bytes`, so state
+/// transfer is genuinely chunked. Storage is attached: transfer chunks are
+/// journaled, and disk faults have a real WAL to damage.
+fn chunked_cluster(seed: u64, chunk_bytes: u32, window: u32) -> xft_core::harness::XPaxosCluster {
+    ClusterBuilder::new(1, 2)
+        .with_seed(seed)
+        .with_latency(LatencySpec::Constant(SimDuration::from_millis(5)))
+        .with_workload_factory(|c| growing_kv_workload(c as u64))
+        .with_state_machine(|| Box::new(xft::kvstore::CoordinationService::new()))
+        .with_storage_factory(|_| Box::new(xft::store::MemStorage::new()))
+        .with_config(move |mut c| {
+            // A short retry period so a transfer whose peer died rotates to
+            // the next source quickly.
+            c.replica_retransmit = SimDuration::from_millis(500);
+            c.with_delta(SimDuration::from_millis(100))
+                .with_client_retransmit(SimDuration::from_millis(500))
+                .with_checkpoint_interval(32)
+                .with_state_chunk_bytes(chunk_bytes)
+                .with_state_fetch_window(window)
+        })
+        .build()
+}
+
+#[test]
+fn multi_chunk_state_transfer_rejoins_amnesic_replica() {
+    // Grow the kvstore well past one chunk, wipe the passive replica, and
+    // check it rejoins through the chunk-pull protocol: many individually
+    // verified frames, then one adopted snapshot, then convergence.
+    let mut cluster = chunked_cluster(81, 2048, 4);
+    cluster.run_for(SimDuration::from_secs(6));
+    assert!(
+        cluster.sim.metrics().counter("checkpoints") > 0,
+        "no checkpoint sealed"
+    );
+    cluster.sim.inject_fault_at(
+        SimTime::ZERO + SimDuration::from_secs(6),
+        FaultEvent::Control(2, xft_core::byzantine::CONTROL_AMNESIA),
+    );
+    cluster.run_for(SimDuration::from_secs(24));
+
+    let metrics = cluster.sim.metrics();
+    assert!(
+        metrics.counter("state_transfers_adopted") > 0,
+        "the amnesic replica must adopt a verified snapshot"
+    );
+    assert!(
+        metrics.counter("state_chunks_verified") >= 10,
+        "expected a genuinely chunked transfer, verified only {} chunks",
+        metrics.counter("state_chunks_verified")
+    );
+    assert_eq!(
+        metrics.counter("state_chunks_rejected"),
+        0,
+        "correct peers' chunks must all verify"
+    );
+    assert!(cluster.replica(2).executed_upto().0 > 32);
+    cluster.check_total_order().expect("total order preserved");
+}
+
+#[test]
+fn disk_fault_mid_transfer_resumes_from_journaled_chunks() {
+    // Amnesia starts a long multi-chunk transfer (tiny chunks, narrow
+    // window); a torn-WAL-tail disk fault lands while it is in flight. The
+    // replica must rebuild the partial transfer from its journaled chunks at
+    // recovery and finish the download instead of starting over — and the
+    // cluster must converge.
+    let mut cluster = chunked_cluster(82, 512, 2);
+    cluster.run_for(SimDuration::from_secs(6));
+    cluster.sim.inject_fault_at(
+        SimTime::ZERO + SimDuration::from_secs(6),
+        FaultEvent::Control(2, xft_core::byzantine::CONTROL_AMNESIA),
+    );
+    cluster.sim.inject_fault_at(
+        SimTime::ZERO + SimDuration::from_millis(6500),
+        FaultEvent::Control(2, xft_core::byzantine::CONTROL_TORN_TAIL),
+    );
+    cluster.run_for(SimDuration::from_secs(34));
+
+    let metrics = cluster.sim.metrics();
+    assert!(
+        metrics.counter("state_transfer_resumes") > 0,
+        "recovery must rebuild the in-flight transfer from WAL chunk records"
+    );
+    assert!(metrics.counter("state_transfers_adopted") > 0);
+    assert!(cluster.replica(2).executed_upto().0 > 32);
+    cluster.check_total_order().expect("total order preserved");
+}
+
+#[test]
+fn repeated_amnesia_mid_transfer_leaves_no_stale_side_state() {
+    // Regression test for the amnesia audit: `forget_state` must clear every
+    // piece of transfer/checkpoint side state (pending transfer, chunk
+    // progress, responder cache) *and* the timers that drive it. Unlike a
+    // simulated crash, a control fault does not make the simulator discard
+    // the node's timers — before the audit, a state-transfer retry timer
+    // armed pre-amnesia would fire into the blanked replica and drive a
+    // transfer the wiped WAL knew nothing about. A second amnesia landing
+    // mid-transfer exercises exactly that: the half-finished transfer's
+    // progress and timer are dropped, and the replica still re-fetches from
+    // scratch and converges.
+    let mut cluster = chunked_cluster(84, 1024, 2);
+    cluster.run_for(SimDuration::from_secs(6));
+    cluster.sim.inject_fault_at(
+        SimTime::ZERO + SimDuration::from_secs(6),
+        FaultEvent::Control(2, xft_core::byzantine::CONTROL_AMNESIA),
+    );
+    // ~1.5 s in: the first post-amnesia transfer is mid-flight.
+    cluster.sim.inject_fault_at(
+        SimTime::ZERO + SimDuration::from_millis(7500),
+        FaultEvent::Control(2, xft_core::byzantine::CONTROL_AMNESIA),
+    );
+    cluster.run_for(SimDuration::from_secs(30));
+
+    let metrics = cluster.sim.metrics();
+    assert_eq!(metrics.counter("amnesia_injected"), 2);
+    assert!(
+        metrics.counter("state_transfers_adopted") > 0,
+        "the twice-wiped replica must still adopt a verified snapshot"
+    );
+    assert!(cluster.replica(2).executed_upto().0 > 32);
+    cluster.check_total_order().expect("total order preserved");
+}
+
+#[test]
+fn primary_failover_during_state_transfer_completes_via_peer_rotation() {
+    // A recovered replica lags behind sealed checkpoints (peers have
+    // truncated their logs) and starts a chunked transfer; the primary
+    // crashes mid-transfer. Every chunk response is independently verifiable
+    // against the t + 1 seal, so the transfer survives the failover by
+    // rotating to the surviving peer, while the view change promotes the
+    // transferring replica.
+    let mut cluster = chunked_cluster(83, 512, 2);
+    cluster.sim.inject_fault_at(
+        SimTime::ZERO + SimDuration::from_secs(3),
+        FaultEvent::Crash(2),
+    );
+    cluster.sim.inject_fault_at(
+        SimTime::ZERO + SimDuration::from_secs(9),
+        FaultEvent::Recover(2),
+    );
+    cluster.sim.inject_fault_at(
+        SimTime::ZERO + SimDuration::from_millis(9400),
+        FaultEvent::Crash(0),
+    );
+    cluster.sim.inject_fault_at(
+        SimTime::ZERO + SimDuration::from_secs(15),
+        FaultEvent::Recover(0),
+    );
+    cluster.run_for(SimDuration::from_secs(45));
+
+    let metrics = cluster.sim.metrics();
+    assert!(
+        metrics.counter("state_transfers_started") > 0,
+        "the lagging replica must need a state transfer"
+    );
+    assert!(
+        metrics.counter("state_transfers_adopted") > 0,
+        "the transfer must complete despite the failover"
+    );
+    assert!(cluster.replica(2).executed_upto().0 > 32);
+    cluster.check_total_order().expect("total order preserved");
+}
+
+#[test]
+fn pipelined_clients_survive_brief_primary_crash_with_bounded_reply_cache() {
+    // Regression (chaos seeds 18/46/337/645/746): checkpoint truncation used
+    // to prune cached client replies by sequence number, keeping only each
+    // client's single latest reply. With a pipelined client (window > 1), a
+    // request whose original reply misses its commit quorum — e.g. the t = 1
+    // primary replied before the follower's commit arrived, so no
+    // `follower_commit` was attached — recovers solely through the
+    // retransmission → re-answer path. At checkpoint-every-few-hundred-ms
+    // throughput the pruning window closed *before* the client's first
+    // retransmission timer fired, wedging the client forever on an executed
+    // request whose reply no replica could reproduce. Retention now covers
+    // each client's last `MAX_CLIENT_WINDOW` cached timestamps, matching the
+    // client-side `MAX_TS_SPREAD` contract.
+    use xft_chaos::chaos_workload;
+    let mut cluster = ClusterBuilder::new(1, 3)
+        .with_seed(18)
+        .with_latency(LatencySpec::Uniform(
+            SimDuration::from_millis(2),
+            SimDuration::from_millis(12),
+        ))
+        .with_workload_factory(|c| chaos_workload(18, c as u64, 4, 35))
+        .with_pipeline(xft_simnet::PipelineConfig::default().with_client_window(3))
+        .with_config(|mut c| {
+            c.replica_retransmit = SimDuration::from_millis(400);
+            c.with_delta(SimDuration::from_millis(100))
+                .with_client_retransmit(SimDuration::from_millis(400))
+                .with_checkpoint_interval(32)
+                .with_state_chunk_bytes(1024)
+                .with_state_fetch_window(2)
+        })
+        .with_state_machine(|| Box::new(xft_kvstore::CoordinationService::new()))
+        .with_storage_factory(|_| Box::new(xft_store::MemStorage::new()))
+        .build();
+    cluster.sim.inject_fault_at(
+        SimTime::ZERO + SimDuration::from_nanos(1_872_000_000),
+        FaultEvent::Crash(0),
+    );
+    cluster.sim.inject_fault_at(
+        SimTime::ZERO + SimDuration::from_nanos(2_147_000_000),
+        FaultEvent::Recover(0),
+    );
+    cluster.run_for(SimDuration::from_secs(8));
+    let mid = cluster.total_committed();
+    cluster.run_for(SimDuration::from_secs(22));
+    let end = cluster.total_committed();
+    assert!(
+        end > mid + 100,
+        "clients wedged after the crash healed: {mid} -> {end} commits"
+    );
+    assert_eq!(
+        cluster.sim.metrics().counter("cache_answers_pruned"),
+        0,
+        "a correct client's retransmission hit a pruned reply"
+    );
+    cluster.check_total_order().expect("total order preserved");
+}
+
 #[test]
 fn t2_cluster_survives_two_crashes() {
     let mut cluster = fast_config(
