@@ -105,7 +105,23 @@ impl SeedReport {
 /// both the explorer and the shrinker use: same seed + same events ⇒ same
 /// report.
 pub fn run_schedule(seed: u64, events: Vec<TimedEvent>, cfg: &ExplorerConfig) -> SeedReport {
-    run_schedule_inner(seed, events, cfg, None)
+    run_schedule_inner(seed, events, cfg, None, false).0
+}
+
+/// Re-runs one schedule with evidence logging on and harvests every replica's
+/// evidence log alongside the verdict (one `Vec` per replica, indexed by id).
+/// Evidence recording is observation-only — it consumes no randomness, sets
+/// no timers and charges no simulated cost — so the report is identical to
+/// [`run_schedule`]'s for the same seed and events (pinned by a test below):
+/// the logs the auditor reads are from *the* run that violated, not a
+/// lookalike.
+pub fn run_schedule_with_evidence(
+    seed: u64,
+    events: Vec<TimedEvent>,
+    cfg: &ExplorerConfig,
+) -> (SeedReport, Vec<Vec<xft_core::evidence::EvidenceRecord>>) {
+    let (report, evidence) = run_schedule_inner(seed, events, cfg, None, true);
+    (report, evidence.expect("evidence harvest requested"))
 }
 
 /// Re-runs one schedule with the flight recorder on: every replica feeds one
@@ -122,7 +138,7 @@ pub fn record_flight(
     // Match the Δ the chaos cluster runs with (100 ms, below) so the dump's
     // synchrony estimate judges silence on the right scale.
     hub.set_delta_ns(100_000_000);
-    let report = run_schedule_inner(seed, events, cfg, Some(Arc::clone(&hub)));
+    let report = run_schedule_inner(seed, events, cfg, Some(Arc::clone(&hub)), false).0;
     let cause = format!(
         "chaos seed {seed}: {} violation(s), {} commits",
         report.violations.len(),
@@ -137,7 +153,11 @@ fn run_schedule_inner(
     events: Vec<TimedEvent>,
     cfg: &ExplorerConfig,
     telemetry: Option<Arc<Telemetry>>,
-) -> SeedReport {
+    evidence: bool,
+) -> (
+    SeedReport,
+    Option<Vec<Vec<xft_core::evidence::EvidenceRecord>>>,
+) {
     // Explorer worker threads are reused across seeds; a trace id left in the
     // thread-local by an earlier run must not leak into this one's recorder.
     xft_telemetry::trace::clear();
@@ -178,6 +198,7 @@ fn run_schedule_inner(
     if let Some(hub) = telemetry {
         builder = builder.with_telemetry_factory(move |_| Arc::clone(&hub));
     }
+    builder = builder.with_evidence(evidence);
     let mut cluster = builder.build();
 
     cluster
@@ -218,14 +239,31 @@ fn run_schedule_inner(
         violations.push(Violation::NoProgressAfterHeal);
     }
 
-    SeedReport {
-        seed,
-        events,
-        committed,
-        committed_after_heal,
-        violations,
-        peak_budget: analysis.peak_budget,
-    }
+    // Harvest the surviving evidence (a wiped replica's log is gone with its
+    // storage — the auditor works from what the *other* replicas witnessed).
+    let harvested = evidence.then(|| {
+        (0..n)
+            .map(|r| {
+                cluster
+                    .replica(r)
+                    .evidence()
+                    .map(|log| log.records().to_vec())
+                    .unwrap_or_default()
+            })
+            .collect()
+    });
+
+    (
+        SeedReport {
+            seed,
+            events,
+            committed,
+            committed_after_heal,
+            violations,
+            peak_budget: analysis.peak_budget,
+        },
+        harvested,
+    )
 }
 
 /// Generates and runs the schedule of one seed.

@@ -1,0 +1,245 @@
+//! Post-mortem accountability for explored schedules: re-run a violating
+//! seed with evidence logging on, feed the harvested logs to the
+//! `xft-forensics` auditor, and check the verdict against ground truth.
+//!
+//! The explorer *knows* which replicas it instructed to misbehave (the
+//! control-code targets of the schedule), so every audit doubles as an
+//! end-to-end test of the no-false-accusation guarantee: the culprit set a
+//! proof bundle pins must be a subset of the replicas the schedule actually
+//! made Byzantine. A proof naming an untouched replica would mean the
+//! auditor (or the protocol's signing discipline) is broken — the explorer
+//! treats it as a failure of the run, not a finding.
+
+use crate::explorer::{run_schedule_with_evidence, ExplorerConfig, SeedReport};
+use crate::schedule::TimedEvent;
+use std::collections::BTreeSet;
+use xft_forensics::{AuditStats, Auditor, ProofBundle};
+use xft_simnet::{FaultEvent, SimDuration, SimTime};
+
+/// The auditor's verdict on one re-run schedule, alongside the ground truth.
+#[derive(Debug, Clone)]
+pub struct AuditOutcome {
+    /// The (identical) verdict of the evidence-recording re-run.
+    pub report: SeedReport,
+    /// The proofs of culpability the evidence supports.
+    pub bundle: ProofBundle,
+    /// Ingestion counters (records read, statements verified/discarded).
+    pub stats: AuditStats,
+    /// Ground truth: replicas the schedule made Byzantine (control-code
+    /// targets, code ≠ 0), ascending.
+    pub injected: Vec<u64>,
+}
+
+impl AuditOutcome {
+    /// The distinct accused replicas, ascending.
+    pub fn culprits(&self) -> Vec<u64> {
+        self.bundle.culprits()
+    }
+
+    /// Whether every accusation names a replica the schedule actually made
+    /// Byzantine — the no-false-accusation guarantee, checked against ground
+    /// truth.
+    pub fn no_false_accusations(&self) -> bool {
+        let injected: BTreeSet<u64> = self.injected.iter().copied().collect();
+        self.culprits().iter().all(|c| injected.contains(c))
+    }
+}
+
+/// The replicas a schedule instructs to misbehave: targets of a non-zero
+/// control code (mute / data-loss / corrupt-signature behaviours, amnesia and
+/// the disk faults). Crashes and partitions cannot equivocate and are
+/// excluded — an accusation against a merely-crashed replica is false.
+pub fn injected_byzantine(events: &[TimedEvent]) -> Vec<u64> {
+    let set: BTreeSet<u64> = events
+        .iter()
+        .filter_map(|(_, e)| match e {
+            FaultEvent::Control(r, code) if *code != 0 => Some(*r as u64),
+            _ => None,
+        })
+        .collect();
+    set.into_iter().collect()
+}
+
+/// Re-runs `events` under `seed` with evidence logging on, audits the
+/// harvested logs, and returns proofs plus the injected-fault ground truth.
+///
+/// The auditor's verification context mirrors the harness's key material:
+/// the cluster derives its registry from `seed ^ 0x5eed`, so the proofs are
+/// verifiable by anyone who knows the run's seed — and by `xft-audit`
+/// offline, since each proof embeds the context.
+pub fn audit_run(seed: u64, events: Vec<TimedEvent>, cfg: &ExplorerConfig) -> AuditOutcome {
+    let injected = injected_byzantine(&events);
+    let (report, logs) = run_schedule_with_evidence(seed, events, cfg);
+    let mut auditor = Auditor::new(cfg.t, seed ^ 0x5eed);
+    let bundle = auditor.audit(&logs);
+    AuditOutcome {
+        report,
+        bundle,
+        stats: auditor.stats(),
+        injected,
+    }
+}
+
+/// A deterministic single-equivocator schedule: the view-0 primary suffers
+/// amnesia mid-window. The wiped primary re-proposes early slots with
+/// different batches in the same view; the followers' evidence logs then
+/// hold conflicting signed proposals for the same `(view, sn)` — exactly one
+/// culprit for the auditor to pin. Run it with `checkpoint_interval = 0` so
+/// the conflicting early-slot evidence is never garbage-collected.
+pub fn demo_equivocation_events(cfg: &ExplorerConfig) -> Vec<TimedEvent> {
+    let groups = xft_core::SyncGroups::new(cfg.t);
+    let primary = groups.active_replicas(xft_core::ViewNumber(0))[0];
+    let at = SimTime::ZERO + SimDuration::from_secs_f64(cfg.fault_window.as_secs_f64() * 0.5);
+    vec![(
+        at,
+        FaultEvent::Control(primary, xft_core::byzantine::CONTROL_AMNESIA),
+    )]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explorer::{demo_violation_events, run_schedule};
+
+    fn audit_cfg() -> ExplorerConfig {
+        ExplorerConfig {
+            clients: 2,
+            fault_window: SimDuration::from_secs(5),
+            drain: SimDuration::from_secs(15),
+            max_events: 5,
+            beyond_budget: true,
+            // GC off: the conflicting early-slot evidence must survive to
+            // the end of the run for the auditor to see both sides.
+            checkpoint_interval: 0,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn evidence_recording_does_not_change_the_verdict() {
+        // Evidence logging must stay strictly observational: same seed and
+        // schedule, same report, recorded or not — so auditing a violation
+        // re-runs *that* violation.
+        let cfg = audit_cfg();
+        let events = demo_violation_events(&cfg);
+        let plain = run_schedule(42, events.clone(), &cfg);
+        let (recorded, logs) = run_schedule_with_evidence(42, events, &cfg);
+        assert_eq!(plain.committed, recorded.committed);
+        assert_eq!(plain.committed_after_heal, recorded.committed_after_heal);
+        assert_eq!(plain.violations, recorded.violations);
+        assert!(logs.iter().any(|l| !l.is_empty()), "no evidence harvested");
+    }
+
+    #[test]
+    fn single_equivocator_is_pinned_exactly() {
+        let cfg = audit_cfg();
+        let events = demo_equivocation_events(&cfg);
+        let injected = injected_byzantine(&events);
+        let outcome = audit_run(7, events, &cfg);
+        assert_eq!(outcome.injected, injected);
+        assert_eq!(
+            outcome.culprits(),
+            injected,
+            "the wiped primary must be the one and only culprit \
+             (stats: {:?})",
+            outcome.stats
+        );
+        assert!(outcome.no_false_accusations());
+        for proof in &outcome.bundle.proofs {
+            proof
+                .verify()
+                .expect("every emitted proof verifies offline");
+        }
+        // The bundle survives serialization — the artifact attached to a
+        // reproducer is byte-for-byte re-verifiable by `xft-audit`.
+        let restored =
+            ProofBundle::from_bytes(&outcome.bundle.to_bytes()).expect("bundle round-trip");
+        assert_eq!(restored, outcome.bundle);
+    }
+
+    /// The per-control-code detection matrix behind the EXPERIMENTS.md
+    /// accountability table. For each Byzantine control code the view-0
+    /// primary is made faulty mid-window while the other active replica
+    /// crash-recovers (forcing the view change where data-loss behaviours
+    /// surface); the run is audited and the outcome printed as a markdown
+    /// row. Two properties are asserted for every code: no false
+    /// accusations, and any checker-visible violation comes with the
+    /// culprit pinned exactly whenever the surviving evidence can prove
+    /// equivocation. Regenerate the table with
+    /// `cargo test -p xft-chaos --release detection_matrix -- --ignored --nocapture`.
+    #[test]
+    #[ignore = "experiment-table generator, ~30s"]
+    fn detection_matrix() {
+        let cfg = audit_cfg();
+        let groups = xft_core::SyncGroups::new(cfg.t);
+        let actives = groups.active_replicas(xft_core::ViewNumber(0));
+        let (primary, follower) = (actives[0], actives[1]);
+        let w = cfg.fault_window.as_secs_f64();
+        let at = |f: f64| SimTime::ZERO + SimDuration::from_secs_f64(w * f);
+        let names = [
+            "mute",
+            "data-loss (commit log)",
+            "data-loss (both logs)",
+            "corrupt signatures",
+            "amnesia (storage wipe)",
+            "torn WAL tail",
+            "corrupt WAL record",
+        ];
+        println!("| code | behaviour | violations | proofs | culprits | injected | false acc. |");
+        println!("|------|-----------|------------|--------|----------|----------|------------|");
+        for code in 1u64..=7 {
+            let events = vec![
+                (at(0.4), FaultEvent::Control(primary, code)),
+                (at(0.55), FaultEvent::Crash(follower)),
+                (at(0.75), FaultEvent::Recover(follower)),
+            ];
+            let outcome = audit_run(13, events, &cfg);
+            println!(
+                "| {code} | {} | {} | {} | {:?} | {:?} | {} |",
+                names[(code - 1) as usize],
+                outcome.report.violations.len(),
+                outcome.bundle.proofs.len(),
+                outcome.culprits(),
+                outcome.injected,
+                if outcome.no_false_accusations() {
+                    "no"
+                } else {
+                    "YES"
+                }
+            );
+            assert!(
+                outcome.no_false_accusations(),
+                "code {code}: accused {:?}, injected only {:?}",
+                outcome.culprits(),
+                outcome.injected
+            );
+            for proof in &outcome.bundle.proofs {
+                proof
+                    .verify()
+                    .expect("every emitted proof verifies offline");
+            }
+            // The storage-loss codes leave both sides of the fork signed in
+            // the survivors' evidence: the culprit must be pinned exactly.
+            if code >= xft_core::byzantine::CONTROL_AMNESIA {
+                assert_eq!(
+                    outcome.culprits(),
+                    outcome.injected,
+                    "code {code}: storage-loss equivocation must be provable"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn double_amnesia_audit_never_accuses_untouched_replicas() {
+        let cfg = audit_cfg();
+        let events = demo_violation_events(&cfg);
+        let outcome = audit_run(42, events, &cfg);
+        assert!(
+            outcome.no_false_accusations(),
+            "accused {:?}, injected only {:?}",
+            outcome.culprits(),
+            outcome.injected
+        );
+    }
+}

@@ -24,6 +24,11 @@
 //!   fans seeds out across threads;
 //! * [`mod@shrink`] — delta-debugging of a failing schedule down to a minimal
 //!   reproducer, printed as ready-to-paste [`FaultScript`] code;
+//! * [`mod@forensics`] — accountability post-mortem: re-runs a violating
+//!   schedule with evidence logging on, audits the harvested logs with
+//!   `xft-forensics`, and checks the accused culprits against the schedule's
+//!   ground truth (accusations must be a subset of the injected Byzantine
+//!   replicas);
 //! * [`tcp`] — replays crash/recovery/control schedules against a *live*
 //!   loopback-TCP cluster through `xft-net`'s control-injection path, so a
 //!   sampled subset of scenarios is validated over real sockets too.
@@ -40,6 +45,7 @@
 
 pub mod checker;
 pub mod explorer;
+pub mod forensics;
 pub mod schedule;
 pub mod shrink;
 pub mod tcp;
@@ -47,6 +53,7 @@ pub mod workload;
 
 pub use checker::{check_history, OpEvent, Violation};
 pub use explorer::{explore, run_schedule, run_seed, ExplorerConfig, SeedReport};
+pub use forensics::{audit_run, injected_byzantine, AuditOutcome};
 pub use schedule::{analyze_schedule, format_script, generate, ScheduleConfig, TimedEvent};
 pub use shrink::shrink;
 pub use workload::{chaos_op_factory, chaos_workload, decode_value, key_path};

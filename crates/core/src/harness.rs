@@ -50,6 +50,7 @@ pub struct ClusterBuilder {
     storage_factory: Option<StorageFactory>,
     telemetry_factory: Option<TelemetryFactory>,
     crypto_front: Option<crate::pipeline::FrontMode>,
+    evidence: bool,
 }
 
 /// Per-replica stable-storage constructor (see
@@ -77,6 +78,7 @@ impl ClusterBuilder {
             storage_factory: None,
             telemetry_factory: None,
             crypto_front: None,
+            evidence: false,
         }
     }
 
@@ -186,6 +188,15 @@ impl ClusterBuilder {
         self
     }
 
+    /// Attaches an in-memory evidence log to every replica. Evidence
+    /// recording is observation-only (hash-chained journal of accountable
+    /// traffic); the forensics auditor harvests the logs after a run via
+    /// [`XPaxosCluster::replica`] + `Replica::evidence`.
+    pub fn with_evidence(mut self, on: bool) -> Self {
+        self.evidence = on;
+        self
+    }
+
     /// Sets every replica's crypto front-end mode. Simulations must stay
     /// deterministic, so `Pool(0)` (the enabled-but-synchronous front: same
     /// queuing and accounting code paths, executed inline) is the right knob
@@ -239,6 +250,9 @@ impl ClusterBuilder {
             // After with_telemetry: the front captures the replica's hub.
             if let Some(mode) = self.crypto_front {
                 replica = replica.with_crypto_front(mode);
+            }
+            if self.evidence {
+                replica = replica.with_evidence_log(crate::evidence::EvidenceLog::in_memory());
             }
             let node = sim.add_node(XPaxosNode::Replica(Box::new(replica)));
             debug_assert_eq!(node, self.config.replica_nodes[r]);

@@ -38,6 +38,7 @@ pub mod byzantine;
 pub mod client;
 pub mod config;
 pub mod durable;
+pub mod evidence;
 pub mod harness;
 pub mod log;
 pub mod messages;
@@ -54,6 +55,7 @@ pub use byzantine::{ByzantineBehavior, CONTROL_AMNESIA, CONTROL_CORRUPT_WAL, CON
 pub use client::{Client, ClientWorkload, HistoryRecord};
 pub use config::XPaxosConfig;
 pub use durable::{DurableEvent, ReplicaSnapshot, SealedSnapshot};
+pub use evidence::{EvidenceAnchor, EvidenceLog, EvidenceRecord};
 pub use harness::{ClusterBuilder, LatencySpec, XPaxosCluster};
 pub use messages::XPaxosMsg;
 pub use model::{ProtocolModel, ReplicaFaultState, SystemSnapshot};

@@ -206,6 +206,9 @@ impl Replica {
     /// to what an adopting replica decodes from the snapshot.
     pub(crate) fn truncate_below_checkpoint(&mut self, sn: SeqNum) {
         let base = self.checkpoint_base(sn);
+        if let Some(evidence) = self.evidence.as_mut() {
+            evidence.gc_below(base);
+        }
         self.executed_history.retain(|(s, _)| *s > base);
         for record in self.client_table.values_mut() {
             let floor = record.retained_reply_floor();
@@ -408,6 +411,7 @@ impl Replica {
                     target: progress.sn,
                     attempts: 0,
                     timer: None,
+                    trace: xft_telemetry::trace::mint(self.id as u64, progress.sn.0),
                     progress: Some(progress),
                 });
             }

@@ -245,6 +245,11 @@ pub(crate) struct PendingTransfer {
     pub(crate) attempts: u64,
     /// Retry timer.
     pub(crate) timer: Option<TimerId>,
+    /// Correlation ID minted when the transfer started: every chunk request
+    /// of this transfer carries it, so the whole fetch — across peer
+    /// rotations and crash-resumes — groups as one trace in the flight
+    /// recorder, like any client request.
+    pub(crate) trace: u64,
     /// Chunk-level progress, established by the first verified response
     /// (which doubles as the transfer manifest) or rebuilt from WAL
     /// `TransferChunk` records after a crash.
@@ -464,6 +469,14 @@ pub struct Replica {
     /// every record call is clocked by the runtime's (possibly virtual)
     /// clock, so simulated runs stay deterministic with telemetry on or off.
     pub(crate) telemetry: std::sync::Arc<xft_telemetry::Telemetry>,
+
+    // ---- accountability -----------------------------------------------------------
+    /// The forensic evidence log (`None` = accountability off, the default).
+    /// Every accountable protocol message this replica sends or accepts is
+    /// appended, hash-chained, with its trace id and arrival metadata;
+    /// checkpoint GC bounds it to O(interval). Observation-only, like
+    /// telemetry: recording never feeds back into protocol decisions.
+    pub(crate) evidence: Option<crate::evidence::EvidenceLog>,
 }
 
 impl Replica {
@@ -524,6 +537,7 @@ impl Replica {
             committed_batches: 0,
             view_changes_completed: 0,
             telemetry: xft_telemetry::Telemetry::disabled(),
+            evidence: None,
         }
     }
 
@@ -551,6 +565,81 @@ impl Replica {
         self.crypto_front =
             crate::pipeline::CryptoFront::new(self.crypto_front.mode(), self.telemetry.clone());
         self
+    }
+
+    /// Attaches a forensic evidence log: every accountable protocol message
+    /// sent or accepted is appended (hash-chained, durably), bounded by
+    /// checkpoint GC. The auditor in `xft-forensics` cross-checks these logs
+    /// across replicas to produce proofs of culpability.
+    pub fn with_evidence_log(mut self, mut log: crate::evidence::EvidenceLog) -> Self {
+        log.set_recorder(self.id as u64);
+        self.evidence = Some(log);
+        self
+    }
+
+    /// The attached evidence log, if accountability is on.
+    pub fn evidence(&self) -> Option<&crate::evidence::EvidenceLog> {
+        self.evidence.as_ref()
+    }
+
+    /// Records one accepted message into the evidence log (no-op when
+    /// accountability is off or the message carries no replica statement).
+    /// Runs *before* verification by design: the auditor re-verifies every
+    /// signature offline, so capturing invalid traffic is harmless — it can
+    /// never become a proof — while capturing early guarantees nothing the
+    /// replica acted on is missing.
+    pub(crate) fn note_evidence_received(
+        &mut self,
+        from: NodeId,
+        msg: &XPaxosMsg,
+        ctx: &Context<XPaxosMsg>,
+    ) {
+        if self.evidence.is_none() || !crate::evidence::is_accountable(msg) {
+            return;
+        }
+        let peer = self
+            .replica_of_node(from)
+            .map(|r| r as u64)
+            .unwrap_or(crate::evidence::PEER_UNKNOWN);
+        let sn = crate::evidence::evidence_sn(msg).unwrap_or(self.exec_sn.0);
+        let now_ns = ctx.now().as_nanos();
+        let trace = xft_telemetry::trace::current();
+        if let Some(log) = self.evidence.as_mut() {
+            log.record(crate::evidence::DIR_RECEIVED, peer, now_ns, trace, sn, msg);
+        }
+    }
+
+    /// Journals every accountable message queued for sending in this
+    /// callback (called at handler exit; contexts are per-callback, so
+    /// [`Context::pending_sends`] is exactly this handler's output). Bulk
+    /// messages are digest-compacted on recording — see
+    /// [`crate::evidence::is_bulk`].
+    pub(crate) fn note_evidence_sent(&mut self, ctx: &Context<XPaxosMsg>) {
+        if self.evidence.is_none() {
+            return;
+        }
+        let now_ns = ctx.now().as_nanos();
+        let fallback_sn = self.exec_sn.0;
+        let items: Vec<(u64, u64, u64, &XPaxosMsg)> = ctx
+            .pending_sends()
+            .iter()
+            .filter(|out| crate::evidence::is_accountable(&out.msg))
+            .map(|out| {
+                let peer = self
+                    .replica_of_node(out.to)
+                    .map(|r| r as u64)
+                    .unwrap_or(crate::evidence::PEER_UNKNOWN);
+                let sn = crate::evidence::evidence_sn(&out.msg).unwrap_or(fallback_sn);
+                (peer, sn, out.trace, &out.msg)
+            })
+            .collect();
+        if items.is_empty() {
+            return;
+        }
+        let log = self.evidence.as_mut().expect("checked above");
+        for (peer, sn, trace, msg) in items {
+            log.record(crate::evidence::DIR_SENT, peer, now_ns, trace, sn, msg);
+        }
     }
 
     /// Configures the crypto front-end (default: [`crate::pipeline::FrontMode::Inline`]).
@@ -657,6 +746,11 @@ impl Replica {
         self.clear_volatile_state();
         if let Some(storage) = self.storage.as_mut() {
             storage.wipe();
+        }
+        // The machine lost *all* its storage — its own evidence included.
+        // Culpability is pinned from the logs of the replicas it talked to.
+        if let Some(evidence) = self.evidence.as_mut() {
+            evidence.wipe();
         }
     }
 
@@ -804,6 +898,7 @@ impl Actor for Replica {
         if self.behavior == ByzantineBehavior::Mute {
             return;
         }
+        self.note_evidence_received(from, &msg, ctx);
         match msg {
             XPaxosMsg::Replicate(req) => self.on_client_request(req, false, ctx),
             XPaxosMsg::Resend(req) => self.on_client_request(req, true, ctx),
@@ -829,6 +924,7 @@ impl Actor for Replica {
             // addressed to replicas.
             XPaxosMsg::Reply(_) | XPaxosMsg::Busy(_) | XPaxosMsg::SuspectToClient(_) => {}
         }
+        self.note_evidence_sent(ctx);
     }
 
     fn on_timer(&mut self, token: u64, ctx: &mut Context<XPaxosMsg>) {
@@ -849,6 +945,7 @@ impl Actor for Replica {
         } else if token >= TOKEN_MONITOR {
             self.on_monitor_timeout(token, ctx);
         }
+        self.note_evidence_sent(ctx);
     }
 
     fn on_recover(&mut self, ctx: &mut Context<XPaxosMsg>) {
@@ -873,6 +970,7 @@ impl Actor for Replica {
             pending.timer = None;
             self.continue_state_transfer(ctx);
         }
+        self.note_evidence_sent(ctx);
     }
 
     fn on_control(&mut self, code: ControlCode, ctx: &mut Context<XPaxosMsg>) {
@@ -897,6 +995,7 @@ impl Actor for Replica {
                 }
             }
         }
+        self.note_evidence_sent(ctx);
     }
 }
 

@@ -86,6 +86,10 @@ impl Replica {
             target,
             attempts: 0,
             timer: None,
+            // Correlate the whole fetch under one trace id, minted from the
+            // puller's identity and the checkpoint it is chasing (both words
+            // deterministic, so replays mint the same id).
+            trace: xft_telemetry::trace::mint(self.id as u64, target.0),
             progress: None,
         });
         ctx.count("state_transfers_started", 1);
@@ -192,7 +196,17 @@ impl Replica {
             signature: self.sign(&state_chunk_request_digest(min_sn, want_sn, index, self.id)),
         };
         ctx.count("state_chunk_requests_sent", 1);
+        // Stamp the request with the transfer's trace id so the whole fetch
+        // correlates in the flight recorder (the responder's reply inherits
+        // it from the delivery, like every other message). Timer-driven
+        // retries otherwise carry trace 0; the ambient trace is restored so
+        // an in-handler caller (e.g. a response topping up the window) keeps
+        // its own correlation for anything else it sends.
+        let transfer_trace = self.pending_transfer.as_ref().map_or(0, |p| p.trace);
+        let ambient = xft_telemetry::trace::current();
+        xft_telemetry::trace::set_current(transfer_trace);
         ctx.send(self.node_of(peer), XPaxosMsg::StateChunkRequest(msg));
+        xft_telemetry::trace::set_current(ambient);
     }
 
     /// The transfer retry timer fired: give up if the gap closed by other

@@ -1,0 +1,94 @@
+//! `xft-audit` — offline verifier / pretty-printer for proof-of-culpability
+//! bundles written by the chaos explorer (or any auditor embedder).
+//!
+//! Usage:
+//! ```text
+//! xft-audit <bundle-file>            pretty-print the bundle and verify
+//! xft-audit --verify <bundle-file>   verify only; exit 0 iff the bundle
+//!                                    is non-empty and every proof holds
+//! ```
+//!
+//! Verification is entirely self-contained: each proof carries its own
+//! carrier messages and verification context, so this binary needs no
+//! access to the run, the evidence logs, or the network that produced it.
+
+use std::process::ExitCode;
+use xft_forensics::proof::class_name;
+use xft_forensics::ProofBundle;
+
+fn usage() -> ExitCode {
+    eprintln!("usage: xft-audit [--verify] <bundle-file>");
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (verify_only, path) = match args.as_slice() {
+        [path] => (false, path.clone()),
+        [flag, path] if flag == "--verify" => (true, path.clone()),
+        _ => return usage(),
+    };
+
+    let data = match std::fs::read(&path) {
+        Ok(data) => data,
+        Err(e) => {
+            eprintln!("xft-audit: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let Some(bundle) = ProofBundle::from_bytes(&data) else {
+        eprintln!("xft-audit: {path}: not a valid proof bundle");
+        return ExitCode::FAILURE;
+    };
+
+    if bundle.proofs.is_empty() {
+        println!("{path}: empty bundle (no proofs)");
+        // An empty bundle verifies nothing — failure under --verify.
+        return if verify_only {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    let mut all_valid = true;
+    for (i, proof) in bundle.proofs.iter().enumerate() {
+        match proof.verify() {
+            Ok(()) => {
+                if verify_only {
+                    println!("proof {i}: VALID   {}", proof.describe());
+                } else {
+                    println!("proof {i}: VALID");
+                    println!("  class:   {} ({})", proof.class, class_name(proof.class));
+                    println!("  culprit: replica {}", proof.culprit);
+                    println!("  view:    {}", proof.view);
+                    println!("  sn:      {}", proof.sn);
+                    println!(
+                        "  context: n={} t={} key_seed={:#x}",
+                        proof.n, proof.t, proof.key_seed
+                    );
+                    println!(
+                        "  carriers: {} + {} bytes of signed messages",
+                        proof.msg_a.len(),
+                        proof.msg_b.len()
+                    );
+                }
+            }
+            Err(e) => {
+                all_valid = false;
+                println!("proof {i}: INVALID ({e})   {}", proof.describe());
+            }
+        }
+    }
+    println!(
+        "{path}: {} proof(s), culprits: {:?}",
+        bundle.proofs.len(),
+        bundle.culprits()
+    );
+
+    if all_valid {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

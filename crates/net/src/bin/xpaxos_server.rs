@@ -10,7 +10,8 @@
 //!     [--data-dir PATH] [--fsync-batch 1] [--fsync-overlap 0|1] \
 //!     [--crypto-workers 0] [--checkpoint-interval 128] \
 //!     [--state-chunk-bytes 65536] [--state-fetch-window 4] \
-//!     [--metrics-addr 127.0.0.1:9100] [--telemetry 0|1]
+//!     [--metrics-addr 127.0.0.1:9100] [--telemetry 0|1] \
+//!     [--evidence-dir PATH]
 //! ```
 //!
 //! `--addrs` lists every node of the cluster in node-id order: the `2t + 1`
@@ -41,6 +42,14 @@
 //! `--crypto-workers N` (N > 0) moves signature verification and signing to
 //! a worker pool (`FrontMode::Pool`); the default keeps crypto inline, which
 //! is the right call on single-core hosts.
+//!
+//! `--evidence-dir` turns on accountability forensics: every signed
+//! protocol message the replica sends or accepts is appended to a durable,
+//! hash-chained evidence log under PATH (its own `xft-store` directory,
+//! separate from `--data-dir`), garbage-collected at the checkpoint horizon.
+//! The log is what the `xft-forensics` auditor ingests to produce proofs of
+//! culpability; with `--metrics-addr` it is also scrapeable as text at
+//! `GET /evidence`.
 //!
 //! `--metrics-addr` starts an in-process Prometheus-text scrape endpoint
 //! (`GET /metrics`) with a `/healthz` synchrony report, and implies
@@ -95,6 +104,7 @@ fn main() {
     let state_chunk_bytes: Option<u32> = args.optional("--state-chunk-bytes");
     let state_fetch_window: Option<u32> = args.optional("--state-fetch-window");
     let metrics_addr: Option<String> = args.optional("--metrics-addr");
+    let evidence_dir: Option<String> = args.optional("--evidence-dir");
     let telemetry_on: u64 = args
         .optional("--telemetry")
         .unwrap_or(u64::from(metrics_addr.is_some()));
@@ -209,6 +219,34 @@ fn main() {
         }
     }
 
+    // The evidence log lives in its own storage directory: it has its own
+    // GC cadence (the checkpoint horizon) and its own WAL/snapshot pair, and
+    // a restart resumes the hash chain where it left off. Overlapped
+    // group-commit fsyncs keep the recording overhead off the critical
+    // path — evidence is for post-hoc audit, not for the protocol's
+    // durability promise, so a crash losing the unsynced tail only shortens
+    // the chain (recovery resumes from the intact prefix).
+    if let Some(dir) = &evidence_dir {
+        let storage = match DiskStorage::open(dir, SyncPolicy::every(64).overlapped()) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("xpaxos-server: cannot open --evidence-dir {dir}: {e}");
+                exit(1);
+            }
+        };
+        let log = xft_core::evidence::EvidenceLog::new(Box::new(storage));
+        eprintln!(
+            "xpaxos-server: replica {id} recording evidence to {dir} \
+             (chain at seq {}, {} dropped by GC)",
+            log.anchor().next_seq + log.records().len() as u64,
+            log.anchor().dropped,
+        );
+        // Threaded recording: the protocol thread only encodes the (digest-
+        // compacted) payload; SHA-256 chaining and WAL appends run on the
+        // dedicated evidence worker (fsyncs overlap on top of that).
+        replica = replica.with_evidence_log(log.into_threaded());
+    }
+
     let book = AddressBook::from_ordered(&addrs);
     let listener = match TcpListener::bind(addrs[id]) {
         Ok(l) => l,
@@ -267,11 +305,17 @@ fn main() {
             Arc::clone(&telemetry),
             Arc::clone(&metrics_shutdown),
             move || origin.elapsed().as_nanos() as u64,
+            evidence_dir.as_ref().map(std::path::PathBuf::from),
         );
         match server {
             Ok(s) => {
                 eprintln!(
-                    "xpaxos-server: replica {id} serving /metrics and /healthz on {}",
+                    "xpaxos-server: replica {id} serving /metrics, /healthz{} on {}",
+                    if evidence_dir.is_some() {
+                        " and /evidence"
+                    } else {
+                        ""
+                    },
                     s.addr()
                 );
                 s

@@ -225,6 +225,14 @@ impl<'a, M: SimMessage> Context<'a, M> {
     pub fn cost_model(&self) -> CostModel {
         self.cost_model
     }
+
+    /// The sends queued so far in this callback, in order. Contexts are
+    /// fresh per callback, so at handler exit this is exactly what the
+    /// handler emitted — the hook actors use to journal outbound traffic
+    /// (e.g. the replica's evidence log) without shimming every send site.
+    pub fn pending_sends(&self) -> &[OutboundMessage<M>] {
+        &self.sends
+    }
 }
 
 /// Runs `f` with a detached [`Context`] whose recorded effects are discarded.

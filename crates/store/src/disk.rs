@@ -20,9 +20,15 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-const WAL_FILE: &str = "wal.log";
+/// WAL file name inside a storage directory. Public so read-only consumers
+/// (the `/evidence` scrape route) can find the log without going through
+/// [`DiskStorage::open`] — opening would truncate a torn tail out from under
+/// the live writer.
+pub const WAL_FILE: &str = "wal.log";
 const WAL_TMP: &str = "wal.tmp";
-const SNAPSHOT_FILE: &str = "snapshot.bin";
+/// Snapshot file name inside a storage directory (same read-only rationale
+/// as [`WAL_FILE`]).
+pub const SNAPSHOT_FILE: &str = "snapshot.bin";
 const SNAPSHOT_TMP: &str = "snapshot.tmp";
 
 /// Shared state of the background fsync thread (overlapped group commit).

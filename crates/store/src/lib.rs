@@ -35,7 +35,7 @@ pub mod disk;
 pub mod mem;
 pub mod wal;
 
-pub use disk::DiskStorage;
+pub use disk::{DiskStorage, SNAPSHOT_FILE, WAL_FILE};
 pub use mem::MemStorage;
 pub use wal::{crc32, MAX_RECORD};
 

@@ -19,21 +19,41 @@ pub const MAX_RECORD: usize = 16 << 20;
 /// Bytes of framing per record (length + CRC).
 pub const RECORD_HEADER: usize = 8;
 
-/// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven.
+/// CRC-32 (IEEE 802.3 polynomial, reflected), table-driven with
+/// slicing-by-8: the hot loop folds 8 input bytes per iteration through 8
+/// precomputed tables, breaking the per-byte load-use dependency chain of
+/// the classic algorithm (~5-8× faster on large buffers; every WAL append
+/// and scan pays this, and the evidence log checksums full batch messages).
 ///
 /// Guarantees detection of any single-bit error and any burst up to 32 bits
 /// — the failure modes the WAL property tests inject.
 pub fn crc32(data: &[u8]) -> u32 {
-    const TABLE: [u32; 256] = crc32_table();
+    let t = &CRC_TABLES;
     let mut crc = 0xFFFF_FFFFu32;
-    for &b in data {
-        crc = (crc >> 8) ^ TABLE[((crc ^ b as u32) & 0xFF) as usize];
+    let mut rest = data;
+    while rest.len() >= 8 {
+        let lo = u32::from_le_bytes(rest[0..4].try_into().expect("4 bytes")) ^ crc;
+        let hi = u32::from_le_bytes(rest[4..8].try_into().expect("4 bytes"));
+        crc = t[7][(lo & 0xFF) as usize]
+            ^ t[6][((lo >> 8) & 0xFF) as usize]
+            ^ t[5][((lo >> 16) & 0xFF) as usize]
+            ^ t[4][(lo >> 24) as usize]
+            ^ t[3][(hi & 0xFF) as usize]
+            ^ t[2][((hi >> 8) & 0xFF) as usize]
+            ^ t[1][((hi >> 16) & 0xFF) as usize]
+            ^ t[0][(hi >> 24) as usize];
+        rest = &rest[8..];
+    }
+    for &b in rest {
+        crc = (crc >> 8) ^ t[0][((crc ^ b as u32) & 0xFF) as usize];
     }
     !crc
 }
 
-const fn crc32_table() -> [u32; 256] {
-    let mut table = [0u32; 256];
+static CRC_TABLES: [[u32; 256]; 8] = crc32_tables();
+
+const fn crc32_tables() -> [[u32; 256]; 8] {
+    let mut t = [[0u32; 256]; 8];
     let mut i = 0;
     while i < 256 {
         let mut crc = i as u32;
@@ -46,10 +66,22 @@ const fn crc32_table() -> [u32; 256] {
             };
             bit += 1;
         }
-        table[i] = crc;
+        t[0][i] = crc;
         i += 1;
     }
-    table
+    // Table k maps a byte to its CRC contribution k positions further into
+    // the stream: t[k][b] = shift(t[k-1][b]) folded through table 0.
+    let mut k = 1;
+    while k < 8 {
+        let mut i = 0;
+        while i < 256 {
+            let prev = t[k - 1][i];
+            t[k][i] = (prev >> 8) ^ t[0][(prev & 0xFF) as usize];
+            i += 1;
+        }
+        k += 1;
+    }
+    t
 }
 
 /// Frames one record (header + payload) into a fresh buffer.

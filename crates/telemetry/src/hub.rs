@@ -189,6 +189,37 @@ impl Telemetry {
         self.registry.render_prometheus()
     }
 
+    /// Renders the registry plus the synchrony monitor's fault-vector
+    /// estimate as of `now_ns`: the `(t_c, t_b, t_p)` gauges and a per-peer
+    /// last-heard age. The estimate is computed at scrape time (it depends
+    /// on "now"), which is why it lives here and not in the registry.
+    pub fn render_prometheus_at(&self, now_ns: u64) -> String {
+        use std::fmt::Write as _;
+        let mut out = self.registry.render_prometheus();
+        if !self.enabled {
+            return out;
+        }
+        let delta = self.delta_ns();
+        if let Ok(m) = self.monitor.lock() {
+            let est = m.estimate(now_ns, delta);
+            let _ = writeln!(out, "# TYPE xft_est_crash_faults gauge");
+            let _ = writeln!(out, "xft_est_crash_faults {}", est.t_c);
+            let _ = writeln!(out, "# TYPE xft_est_byzantine_faults gauge");
+            let _ = writeln!(out, "xft_est_byzantine_faults {}", est.t_b);
+            let _ = writeln!(out, "# TYPE xft_est_partitioned gauge");
+            let _ = writeln!(out, "xft_est_partitioned {}", est.t_p);
+            let _ = writeln!(out, "# TYPE xft_last_heard_age_seconds gauge");
+            for (peer, health) in m.peers() {
+                let age = now_ns.saturating_sub(health.last_heard_ns) as f64 / 1e9;
+                let _ = writeln!(
+                    out,
+                    "xft_last_heard_age_seconds{{peer=\"{peer}\"}} {age:.3}"
+                );
+            }
+        }
+        out
+    }
+
     /// Renders the `/healthz` body: the synchrony estimate and recent
     /// suspect/view-change history as of `now_ns`.
     pub fn healthz(&self, now_ns: u64) -> String {
@@ -231,6 +262,33 @@ mod tests {
         let dump = t.dump("test");
         assert!(dump.contains("sn=4"));
         assert!(t.render_prometheus().contains("xft_commits_total 3"));
+    }
+
+    #[test]
+    fn scrape_with_clock_exports_fault_vector_gauges() {
+        let t = Telemetry::enabled();
+        t.set_delta_ns(100_000_000); // 100ms
+        t.add("xft_commits_total", 1);
+        t.with_monitor(|m| {
+            m.note_heard(1, 50_000_000); // silent for 950ms at scrape: t_c
+            m.note_heard(2, 990_000_000); // fresh: healthy
+            m.mark_faulty(3); // sticky: t_b
+        });
+        let body = t.render_prometheus_at(1_000_000_000);
+        assert!(
+            body.contains("xft_commits_total 1"),
+            "registry still renders"
+        );
+        assert!(body.contains("xft_est_crash_faults 1"));
+        assert!(body.contains("xft_est_byzantine_faults 1"));
+        assert!(body.contains("xft_est_partitioned 0"));
+        assert!(body.contains("xft_last_heard_age_seconds{peer=\"1\"} 0.950"));
+        assert!(body.contains("xft_last_heard_age_seconds{peer=\"2\"} 0.010"));
+        // A disabled hub scrapes to the bare registry, no estimate section.
+        let off = Telemetry::disabled();
+        assert!(!off
+            .render_prometheus_at(1_000_000_000)
+            .contains("xft_est_crash_faults"));
     }
 
     #[test]

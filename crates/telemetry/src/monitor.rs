@@ -132,6 +132,11 @@ impl SynchronyMonitor {
         self.peers.get(&peer)
     }
 
+    /// Every peer ever heard from, in id order (for per-peer gauge export).
+    pub fn peers(&self) -> impl Iterator<Item = (u64, &PeerHealth)> {
+        self.peers.iter().map(|(id, h)| (*id, h))
+    }
+
     /// Estimates the fault vector at `now_ns` given the deployment's
     /// synchrony bound `delta_ns`. A peer never heard from is not counted
     /// (it may simply not have spoken yet).

@@ -131,6 +131,39 @@ mod tests {
     }
 
     #[test]
+    fn wraparound_evicts_oldest_in_order_and_dump_stays_well_formed() {
+        // Fill well past capacity — several full wraps — and check the ring
+        // always holds exactly the newest `cap` events in recording order,
+        // with the eviction counter accounting for every dropped event.
+        let cap = 16;
+        let total = cap as u64 * 3 + 5;
+        let mut r = FlightRecorder::new(cap);
+        for i in 0..total {
+            r.record(ev(i, "commit"));
+            assert!(r.len() <= cap, "ring exceeded capacity at event {i}");
+        }
+        assert_eq!(r.len(), cap);
+        let ats: Vec<u64> = r.events().map(|e| e.at_ns).collect();
+        let expected: Vec<u64> = (total - cap as u64..total).collect();
+        assert_eq!(ats, expected, "survivors must be the newest, oldest first");
+        assert_eq!(r.evicted, total - cap as u64);
+
+        let text = r.dump("wraparound");
+        assert!(text.starts_with("=== flight recorder dump (wraparound"));
+        assert!(text.contains(&format!("{cap} events, {} evicted", total - cap as u64)));
+        assert!(text
+            .trim_end()
+            .ends_with("=== end of flight recorder dump ==="));
+        // Every surviving event renders exactly once; every evicted one is gone.
+        for at in &expected {
+            assert!(text.contains(&format!("sn={at}")));
+        }
+        assert!(!text.contains(&format!("sn={}", total - cap as u64 - 1)));
+        // Header + one line per event + footer.
+        assert_eq!(text.trim_end().lines().count(), cap + 2);
+    }
+
+    #[test]
     fn dump_contains_cause_trace_and_events() {
         let mut r = FlightRecorder::new(8);
         r.record(ev(1_500_000, "admit"));

@@ -120,11 +120,12 @@ smoke_recovery() {
 }
 smoke_recovery $((20000 + RANDOM % 20000)) || smoke_recovery $((20000 + RANDOM % 20000))
 
-echo "==> telemetry smoke: scrape /metrics + /healthz across commits, fsyncs and a view change"
-# 3 servers with --metrics-addr (durable, so WAL fsyncs happen); client 0
-# commits, the view-0 primary is SIGKILLed to force a view change, client 1
-# commits against the healed cluster, then replica 1's scrape endpoint must
-# report nonzero protocol, WAL and view-change series.
+echo "==> telemetry smoke: scrape /metrics + /healthz + /evidence across commits, fsyncs and a view change"
+# 3 servers with --metrics-addr (durable, so WAL fsyncs happen) and
+# --evidence-dir; client 0 commits, the view-0 primary is SIGKILLed to force
+# a view change, client 1 commits against the healed cluster, then replica
+# 1's scrape endpoint must report nonzero protocol, WAL and view-change
+# series, the synchrony fault-vector gauges, and a non-empty evidence chain.
 http_get() { # host port path — curl when available, bash /dev/tcp otherwise
     if command -v curl >/dev/null 2>&1; then
         curl -sf --max-time 5 "http://$1:$2$3"
@@ -146,7 +147,7 @@ smoke_metrics() {
     for id in 0 1 2; do
         target/release/xpaxos-server --id "$id" "${flags[@]}" \
             --data-dir "$datadir/r$id" --metrics-addr "127.0.0.1:$((mbase + id))" \
-            --run-secs 180 2>/dev/null &
+            --evidence-dir "$datadir/ev$id" --run-secs 180 2>/dev/null &
         pids+=($!)
     done
     local ok=0
@@ -156,18 +157,24 @@ smoke_metrics() {
         kill -9 "${pids[0]}" 2>/dev/null || true
         wait "${pids[0]}" 2>/dev/null || true
         if target/release/xpaxos-client --id 1 "${flags[@]}" --ops 40 --payload 256 --timeout-secs 60; then
-            local scrape health
+            local scrape health evidence
             scrape=$(http_get 127.0.0.1 "$((mbase + 1))" /metrics)
             health=$(http_get 127.0.0.1 "$((mbase + 1))" /healthz)
+            evidence=$(http_get 127.0.0.1 "$((mbase + 1))" /evidence)
             if grep -Eq '^xft_commits_total [1-9]' <<<"$scrape" \
                 && grep -Eq '^xft_wal_fsync_seconds_count [1-9]' <<<"$scrape" \
                 && grep -Eq '^xft_view_changes_total [1-9]' <<<"$scrape" \
-                && grep -q 'synchrony estimate' <<<"$health"; then
+                && grep -Eq '^xft_est_crash_faults [0-9]' <<<"$scrape" \
+                && grep -Eq '^xft_last_heard_age_seconds\{' <<<"$scrape" \
+                && grep -q 'synchrony estimate' <<<"$health" \
+                && grep -q '# evidence chain' <<<"$evidence" \
+                && grep -Eq 'seq=[0-9]+ .* (PREPARE|COMMIT)' <<<"$evidence"; then
                 ok=1
             else
                 echo "scrape missed expected series:" >&2
-                grep -E '^xft_(commits_total|wal_fsync_seconds_count|view_changes_total)' \
+                grep -E '^xft_(commits_total|wal_fsync_seconds_count|view_changes_total|est_crash_faults)' \
                     <<<"$scrape" >&2 || true
+                head -3 <<<"$evidence" >&2 || true
             fi
         fi
     fi
@@ -312,5 +319,29 @@ dump_file=$(ls "$recorder_dir"/flight-recorder-seed-*.txt 2>/dev/null | head -1)
 [ -n "$dump_file" ] || { echo "no flight-recorder dump written" >&2; exit 1; }
 grep -q "flight recorder dump" "$dump_file"
 rm -rf "$recorder_dir"
+
+echo "==> chaos beyond-budget audit gate: 200 seeds, every violating schedule audited, no false accusations"
+# The over-budget sweep must catch at least one violation, and the
+# accountability gate inside `--mode beyond` re-audits every violating seed
+# against its injected fault schedule — one accusation of an untouched
+# replica fails the build ("no false accusations", pinned at 200 seeds).
+target/release/chaos-explorer --mode beyond --seeds 200 --base-seed 1 \
+    --window-secs 5 --drain-secs 14 | tee /tmp/xft-beyond-audit.log
+grep -q "0 false accusations" /tmp/xft-beyond-audit.log
+rm -f /tmp/xft-beyond-audit.log
+
+echo "==> accountability smoke: equivocating replica pinned by a proof that verifies offline"
+# Deterministic single-equivocator run (view-0 primary wiped mid-run): the
+# auditor must emit at least one proof of culpability naming exactly that
+# replica, the bundle lands on disk, and xft-audit must round-trip it —
+# decode, re-verify every signature, and report the same culprit set.
+proof_dir=$(mktemp -d)
+target/release/chaos-explorer --mode audit --window-secs 5 --drain-secs 14 \
+    --proof-dump "$proof_dir"
+proof_file=$(ls "$proof_dir"/proof-seed-*.bin 2>/dev/null | head -1)
+[ -n "$proof_file" ] || { echo "no proof bundle written" >&2; exit 1; }
+target/release/xft-audit --verify "$proof_file" | tee /tmp/xft-audit.log
+grep -q "culprits: \[0\]" /tmp/xft-audit.log
+rm -rf "$proof_dir" /tmp/xft-audit.log
 
 echo "CI green ✓"
